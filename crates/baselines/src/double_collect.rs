@@ -1,0 +1,225 @@
+//! The naive double-collect snapshot heuristic.
+//!
+//! "Maybe a double collect will work, i.e. reading the same set of values in
+//! every register twice in a row? Neither does this work." (Section 4.)
+//! This process implements exactly that heuristic so experiments can both
+//! measure it (it is fast when it works) and exhibit its unsoundness in the
+//! fully-anonymous model.
+
+use fa_core::View;
+use fa_memory::{Action, LocalRegId, Process, StepInput};
+
+/// A write–scan process that terminates when two consecutive scans observe
+/// identical per-register contents, outputting its view at that point.
+///
+/// Sound in models where a repeated identical collect implies quiescence
+/// (e.g. write-once SWMR); **unsound** under (full) anonymity — see the
+/// `incomparable_outputs_witness` test for the two-processor refutation
+/// built from the paper's Section 4.1 covering execution.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DoubleCollectProcess<V: Ord> {
+    m: usize,
+    view: View<V>,
+    write_idx: usize,
+    /// The previous scan's per-register observation, if the scan completed.
+    prev_collect: Option<Vec<View<V>>>,
+    phase: Phase<V>,
+    /// Set once the output action has been emitted; next step halts.
+    output_emitted: bool,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Phase<V: Ord> {
+    Write,
+    AwaitWrote,
+    Scanning { next: usize, collected: Vec<View<V>> },
+    Done,
+}
+
+impl<V: Ord + Clone> DoubleCollectProcess<V> {
+    /// Creates the process with the given input over `m` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(input: V, m: usize) -> Self {
+        assert!(m > 0, "the model requires at least one register");
+        DoubleCollectProcess {
+            m,
+            view: View::singleton(input),
+            write_idx: 0,
+            prev_collect: None,
+            phase: Phase::Write,
+            output_emitted: false,
+        }
+    }
+
+    /// The processor's current view (analysis only).
+    #[must_use]
+    pub fn view(&self) -> &View<V> {
+        &self.view
+    }
+}
+
+impl<V: Ord + Clone> Process for DoubleCollectProcess<V> {
+    type Value = View<V>;
+    type Output = View<V>;
+
+    fn step(&mut self, input: StepInput<View<V>>) -> Action<View<V>, View<V>> {
+        if self.output_emitted {
+            return Action::Halt;
+        }
+        match std::mem::replace(&mut self.phase, Phase::Done) {
+            Phase::Write => {
+                let local = LocalRegId(self.write_idx);
+                self.write_idx = (self.write_idx + 1) % self.m;
+                self.phase = Phase::AwaitWrote;
+                Action::Write { local, value: self.view.clone() }
+            }
+            Phase::AwaitWrote => {
+                debug_assert!(matches!(input, StepInput::Wrote));
+                self.phase = Phase::Scanning { next: 1, collected: Vec::with_capacity(self.m) };
+                Action::Read { local: LocalRegId(0) }
+            }
+            Phase::Scanning { next, mut collected } => {
+                let StepInput::ReadValue(v) = input else {
+                    panic!("double collect expected a read value during scan");
+                };
+                collected.push(v);
+                if next < self.m {
+                    self.phase = Phase::Scanning { next: next + 1, collected };
+                    return Action::Read { local: LocalRegId(next) };
+                }
+                // Scan complete: absorb, then compare with the previous scan.
+                for reg in &collected {
+                    self.view.union_with(reg);
+                }
+                let stable = self.prev_collect.as_ref() == Some(&collected);
+                self.prev_collect = Some(collected);
+                if stable {
+                    self.output_emitted = true;
+                    self.phase = Phase::Done;
+                    return Action::Output(self.view.clone());
+                }
+                let local = LocalRegId(self.write_idx);
+                self.write_idx = (self.write_idx + 1) % self.m;
+                self.phase = Phase::AwaitWrote;
+                Action::Write { local, value: self.view.clone() }
+            }
+            Phase::Done => Action::Halt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+    use rand::SeedableRng;
+
+    fn v(ids: &[u32]) -> View<u32> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn terminates_under_round_robin_two_procs() {
+        let n = 2;
+        let procs = vec![DoubleCollectProcess::new(1u32, n), DoubleCollectProcess::new(2, n)];
+        let memory =
+            SharedMemory::new(n, View::new(), vec![Wiring::identity(n); n]).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_round_robin(100_000).unwrap();
+        for i in 0..n {
+            assert!(exec.first_output(ProcId(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn solo_run_outputs_own_input() {
+        let n = 3;
+        let procs: Vec<DoubleCollectProcess<u32>> =
+            (0..n).map(|i| DoubleCollectProcess::new(i as u32 + 1, n)).collect();
+        let memory =
+            SharedMemory::new(n, View::new(), vec![Wiring::identity(n); n]).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_solo(ProcId(0), 100_000).unwrap();
+        assert_eq!(exec.first_output(ProcId(0)), Some(&v(&[1])));
+    }
+
+    #[test]
+    fn usually_fine_under_random_schedules() {
+        // The heuristic is not *always* wrong — that is what makes it
+        // seductive. Under seeded random schedules it produces comparable
+        // views here; the point of the paper is that an adversary can break
+        // it (next test).
+        for seed in 0..10 {
+            let n = 3;
+            let procs: Vec<DoubleCollectProcess<u32>> =
+                (0..n).map(|i| DoubleCollectProcess::new(i as u32 + 1, n)).collect();
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+            let memory = SharedMemory::new(n, View::new(), wirings).unwrap();
+            let mut exec = Executor::new(procs, memory).unwrap();
+            let outcome = exec.run(fa_memory::RandomScheduler::new(rng), 1_000_000).unwrap();
+            if !outcome.all_halted {
+                continue; // double collect may livelock; that's fine here
+            }
+            let views: Vec<View<u32>> =
+                (0..n).map(|i| exec.first_output(ProcId(i)).unwrap().clone()).collect();
+            for a in &views {
+                for b in &views {
+                    assert!(a.comparable(b), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incomparable_outputs_witness() {
+        // The Section 4.1 refutation, at the process level: shadow p only
+        // ever reads {1,2}; shadow p' only ever reads {1,3}. Both double
+        // collects succeed, and the outputs are incomparable — the snapshot
+        // task containment condition is violated.
+        let drive = |input: u32, world: View<u32>| -> View<u32> {
+            let mut proc = DoubleCollectProcess::new(input, 3);
+            let mut step_input = StepInput::Start;
+            for _ in 0..100 {
+                match proc.step(step_input) {
+                    Action::Write { .. } => step_input = StepInput::Wrote,
+                    Action::Read { .. } => step_input = StepInput::ReadValue(world.clone()),
+                    Action::Output(out) => return out,
+                    Action::Halt => panic!("halted without output"),
+                }
+            }
+            panic!("did not terminate");
+        };
+        let out_p = drive(1, v(&[1, 2]));
+        let out_p_prime = drive(1, v(&[1, 3]));
+        assert_eq!(out_p, v(&[1, 2]));
+        assert_eq!(out_p_prime, v(&[1, 3]));
+        assert!(
+            !out_p.comparable(&out_p_prime),
+            "double collect terminates with incomparable snapshots"
+        );
+    }
+
+    #[test]
+    fn double_collect_requires_two_identical_scans() {
+        // A process whose reads keep changing never terminates.
+        let mut proc = DoubleCollectProcess::new(1u32, 2);
+        let mut step_input = StepInput::Start;
+        let mut tick = 0u32;
+        for _ in 0..1000 {
+            match proc.step(step_input) {
+                Action::Write { .. } => step_input = StepInput::Wrote,
+                Action::Read { .. } => {
+                    tick += 1;
+                    step_input = StepInput::ReadValue(v(&[1, tick]));
+                }
+                Action::Output(_) => panic!("must not terminate under churn"),
+                Action::Halt => panic!("must not halt"),
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # fa-baselines: comparison algorithms from stronger models
+//!
+//! The paper's Section 8 situates the fully-anonymous snapshot against prior
+//! work in stronger models. This crate implements those baselines so the
+//! benchmark harness (experiment E9) can compare like for like:
+//!
+//! * [`DoubleCollectProcess`] — the naive "terminate after two identical
+//!   collects" heuristic. Works often in practice, but is **not** a correct
+//!   snapshot in the (fully-)anonymous model: the covering executions of
+//!   Section 4.1 drive two processors to terminate with incomparable views.
+//!   The unit tests and the model checker exhibit the violation.
+//! * [`SwmrSnapshotProcess`] — a one-shot Afek-style snapshot in the classic
+//!   *non-anonymous* single-writer model: each processor owns a register,
+//!   writes once, and double-collects. With write-once registers the double
+//!   collect is sound; this is the "everything is easy with identities"
+//!   control.
+//! * [`weak_counter`] — Guerraoui & Ruppert's weak-counter primitive for
+//!   *processor-anonymous, named-memory* systems, plus the demonstration the
+//!   paper appeals to in Section 8: the construction relies on a shared
+//!   ordering of registers, and an anonymous-memory wiring breaks its
+//!   monotonicity property.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod double_collect;
+mod swmr;
+pub mod weak_counter;
+
+pub use double_collect::DoubleCollectProcess;
+pub use swmr::{SwmrRegister, SwmrSnapshotProcess};
+pub use weak_counter::{WeakCounterProcess, WeakCounterReport};

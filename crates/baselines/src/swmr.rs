@@ -1,0 +1,199 @@
+//! One-shot Afek-style snapshot in the classic non-anonymous SWMR model.
+//!
+//! The control baseline: processors have identities, each owns register `i`
+//! of a *named* memory (enforced by the memory's single-writer mode). A
+//! processor writes its input once to its own register, then performs
+//! repeated collects until two consecutive collects are identical, and
+//! outputs the set of values collected.
+//!
+//! Because registers here are write-once, a successful double collect
+//! certifies the exact memory state at a point in time, so outputs are
+//! totally ordered by containment and the snapshot task is solved — this is
+//! the textbook situation the fully-anonymous model destroys (no identities,
+//! no owned registers, no common register order).
+
+use fa_core::View;
+use fa_memory::{Action, LocalRegId, Process, StepInput};
+use serde::{Deserialize, Serialize};
+
+/// Contents of a single-writer register: unwritten, or the owner's value.
+#[derive(
+    Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SwmrRegister<V> {
+    /// The value written by the owner, if any.
+    pub value: Option<V>,
+}
+
+/// The one-shot SWMR snapshot process. **Not anonymous**: the process is
+/// constructed with its own identity (the index of the register it owns).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SwmrSnapshotProcess<V: Ord> {
+    /// This processor's identity = the register it owns.
+    me: usize,
+    input: V,
+    m: usize,
+    prev_collect: Option<Vec<SwmrRegister<V>>>,
+    phase: Phase<V>,
+    output_emitted: bool,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Phase<V> {
+    WriteOwn,
+    AwaitWrote,
+    Scanning { next: usize, collected: Vec<SwmrRegister<V>> },
+    Done,
+}
+
+impl<V: Ord + Clone> SwmrSnapshotProcess<V> {
+    /// Creates the process with identity `me` (owner of register `me`) and
+    /// the given input, over `m` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= m` or `m == 0`.
+    #[must_use]
+    pub fn new(me: usize, input: V, m: usize) -> Self {
+        assert!(m > 0, "the model requires at least one register");
+        assert!(me < m, "identity must index an owned register");
+        SwmrSnapshotProcess {
+            me,
+            input,
+            m,
+            prev_collect: None,
+            phase: Phase::WriteOwn,
+            output_emitted: false,
+        }
+    }
+}
+
+impl<V: Ord + Clone> Process for SwmrSnapshotProcess<V> {
+    type Value = SwmrRegister<V>;
+    type Output = View<V>;
+
+    fn step(&mut self, input: StepInput<SwmrRegister<V>>) -> Action<SwmrRegister<V>, View<V>> {
+        if self.output_emitted {
+            return Action::Halt;
+        }
+        match std::mem::replace(&mut self.phase, Phase::Done) {
+            Phase::WriteOwn => {
+                self.phase = Phase::AwaitWrote;
+                Action::Write {
+                    local: LocalRegId(self.me),
+                    value: SwmrRegister { value: Some(self.input.clone()) },
+                }
+            }
+            Phase::AwaitWrote => {
+                debug_assert!(matches!(input, StepInput::Wrote));
+                self.phase = Phase::Scanning { next: 1, collected: Vec::with_capacity(self.m) };
+                Action::Read { local: LocalRegId(0) }
+            }
+            Phase::Scanning { next, mut collected } => {
+                let StepInput::ReadValue(v) = input else {
+                    panic!("swmr snapshot expected a read value during scan");
+                };
+                collected.push(v);
+                if next < self.m {
+                    self.phase = Phase::Scanning { next: next + 1, collected };
+                    return Action::Read { local: LocalRegId(next) };
+                }
+                let stable = self.prev_collect.as_ref() == Some(&collected);
+                if stable {
+                    self.output_emitted = true;
+                    self.phase = Phase::Done;
+                    let view: View<V> =
+                        collected.into_iter().filter_map(|r| r.value).collect();
+                    return Action::Output(view);
+                }
+                self.prev_collect = Some(collected);
+                // Start the next collect immediately (no re-write needed:
+                // the own register is write-once).
+                self.phase = Phase::Scanning { next: 1, collected: Vec::with_capacity(self.m) };
+                Action::Read { local: LocalRegId(0) }
+            }
+            Phase::Done => Action::Halt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+    use rand::SeedableRng;
+
+    fn system(n: usize) -> Executor<SwmrSnapshotProcess<u32>> {
+        let procs: Vec<SwmrSnapshotProcess<u32>> =
+            (0..n).map(|i| SwmrSnapshotProcess::new(i, 10 + i as u32, n)).collect();
+        let mut memory = SharedMemory::named(n, n, SwmrRegister::default()).unwrap();
+        memory.set_owners((0..n).map(ProcId).collect()).unwrap();
+        Executor::new(procs, memory).unwrap()
+    }
+
+    #[test]
+    fn solves_snapshot_task_under_random_schedules() {
+        for seed in 0..20 {
+            let n = 4;
+            let mut exec = system(n);
+            exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(seed), 1_000_000)
+                .unwrap();
+            let views: Vec<View<u32>> =
+                (0..n).map(|i| exec.first_output(ProcId(i)).unwrap().clone()).collect();
+            for (i, a) in views.iter().enumerate() {
+                assert!(a.contains(&(10 + i as u32)), "seed {seed}: own value present");
+                for b in &views {
+                    assert!(a.comparable(b), "seed {seed}: outputs comparable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solo_processor_sees_only_itself() {
+        let mut exec = system(3);
+        exec.run_solo(ProcId(2), 100_000).unwrap();
+        assert_eq!(exec.first_output(ProcId(2)), Some(&View::singleton(12)));
+    }
+
+    #[test]
+    fn single_writer_protection_is_active() {
+        // A buggy "anonymous" process writing register 0 regardless of
+        // identity trips the memory's owner check.
+        let procs: Vec<SwmrSnapshotProcess<u32>> =
+            vec![SwmrSnapshotProcess::new(0, 1, 2), SwmrSnapshotProcess::new(0, 2, 2)];
+        let mut memory = SharedMemory::named(2, 2, SwmrRegister::default()).unwrap();
+        memory.set_owners(vec![ProcId(0), ProcId(1)]).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        // p1 (constructed with the wrong identity 0) attempts to write
+        // register 0, which p0 owns.
+        let err = exec.step_proc(ProcId(1)).unwrap_err();
+        assert!(matches!(err, fa_memory::MemoryError::NotOwner { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "identity must index an owned register")]
+    fn rejects_out_of_range_identity() {
+        let _ = SwmrSnapshotProcess::new(5, 1u32, 3);
+    }
+
+    #[test]
+    fn works_without_owner_enforcement_too() {
+        // The algorithm itself never writes a register it does not own; the
+        // owner map is belt and braces.
+        let n = 3;
+        let procs: Vec<SwmrSnapshotProcess<u32>> =
+            (0..n).map(|i| SwmrSnapshotProcess::new(i, i as u32, n)).collect();
+        let memory = SharedMemory::new(
+            n,
+            SwmrRegister::default(),
+            vec![Wiring::identity(n); n],
+        )
+        .unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_round_robin(1_000_000).unwrap();
+        for i in 0..n {
+            assert!(exec.first_output(ProcId(i)).is_some());
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Guerraoui & Ruppert's weak counter, and why it needs *named* memory.
+//!
+//! The weak counter is the primitive behind Guerraoui & Ruppert's
+//! processor-anonymous snapshot and consensus: processors "participate in a
+//! race, starting from a common initial position in a one-dimensional array,
+//! to be the first to write at a position in the array" (paper,
+//! Section 1). A `get` operation walks the array of binary registers from
+//! position 0 upwards, finds the first unset register, sets it, and returns
+//! its position. The key property: a `get` that starts after another `get`
+//! completed returns a position **at least as large**.
+//!
+//! "With anonymous memory, there is no way to even define a common starting
+//! register for the race or a shared ordering of the registers to race
+//! through, and this scheme does not work" (Section 1; also Section 8).
+//! [`anonymous_memory_violation`] constructs the violating execution: with
+//! cyclically shifted wirings two processors walk the array in different
+//! orders, and a later `get` returns a *smaller* position than an earlier,
+//! completed one.
+
+use fa_memory::{
+    Action, Executor, LocalRegId, MemoryError, ProcId, Process, SharedMemory, StepInput,
+    Wiring,
+};
+
+/// A processor performing `count` weak-counter `get` operations on an array
+/// of `m` binary registers, outputting each obtained position.
+///
+/// The register value is `bool` (`false` = unset). The walk is over *local*
+/// register names — which is the whole point: with the identity wiring this
+/// is the common shared order the construction needs; with anonymous wirings
+/// every processor walks a different order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct WeakCounterProcess {
+    m: usize,
+    remaining: usize,
+    phase: Phase,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Walking the array: next local position to examine.
+    Walk { pos: usize },
+    /// Found an unset register at `pos`; the set-write is in flight.
+    Claiming { pos: usize },
+    /// The output action for position `pos` is in flight.
+    Outputting,
+    Done,
+}
+
+impl WeakCounterProcess {
+    /// Creates a process that performs `count` `get`s over `m` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `count == 0`.
+    #[must_use]
+    pub fn new(m: usize, count: usize) -> Self {
+        assert!(m > 0, "the model requires at least one register");
+        assert!(count > 0, "at least one get required");
+        WeakCounterProcess { m, remaining: count, phase: Phase::Walk { pos: 0 } }
+    }
+}
+
+impl Process for WeakCounterProcess {
+    type Value = bool;
+    /// Each output is the position returned by one `get`.
+    type Output = usize;
+
+    fn step(&mut self, input: StepInput<bool>) -> Action<bool, usize> {
+        match std::mem::replace(&mut self.phase, Phase::Done) {
+            Phase::Walk { pos } => {
+                match input {
+                    StepInput::ReadValue(true) => {
+                        // Register set: keep walking. (The array is sized by
+                        // the caller; walking off the end is a panic — the
+                        // counter is exhausted.)
+                        assert!(pos + 1 < self.m, "weak counter exhausted");
+                        self.phase = Phase::Walk { pos: pos + 1 };
+                        Action::Read { local: LocalRegId(pos + 1) }
+                    }
+                    StepInput::ReadValue(false) => {
+                        // First unset register found: claim it.
+                        self.phase = Phase::Claiming { pos };
+                        Action::Write { local: LocalRegId(pos), value: true }
+                    }
+                    StepInput::Start | StepInput::OutputRecorded => {
+                        // Begin (or begin the next get): read position 0...
+                        // or continue from `pos` — a fresh get restarts the
+                        // walk from 0 per the construction.
+                        self.phase = Phase::Walk { pos };
+                        Action::Read { local: LocalRegId(pos) }
+                    }
+                    StepInput::Wrote => unreachable!("walk expects read results"),
+                }
+            }
+            Phase::Claiming { pos } => {
+                debug_assert!(matches!(input, StepInput::Wrote));
+                self.phase = Phase::Outputting;
+                Action::Output(pos)
+            }
+            Phase::Outputting => {
+                debug_assert!(matches!(input, StepInput::OutputRecorded));
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    self.phase = Phase::Done;
+                    Action::Halt
+                } else {
+                    // Next get restarts the walk from position 0.
+                    self.phase = Phase::Walk { pos: 0 };
+                    Action::Read { local: LocalRegId(0) }
+                }
+            }
+            Phase::Done => Action::Halt,
+        }
+    }
+}
+
+/// Outcome of a weak-counter demonstration run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeakCounterReport {
+    /// Positions returned, per processor, in operation order.
+    pub positions: Vec<Vec<usize>>,
+    /// `true` iff the second, later `get` returned a strictly larger
+    /// position than the first, completed one — the progress property that
+    /// lets Guerraoui & Ruppert use the counter for fresh timestamps.
+    pub strictly_increasing: bool,
+}
+
+/// Runs the property demonstration on *named* memory: `p0` completes a `get`,
+/// then `p1` performs one. The later `get` must return a position at least
+/// as large. This is the setting of Guerraoui & Ruppert, and it works.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn named_memory_demo(m: usize) -> Result<WeakCounterReport, MemoryError> {
+    let procs = vec![WeakCounterProcess::new(m, 1), WeakCounterProcess::new(m, 1)];
+    let memory = SharedMemory::named(m, 2, false)?;
+    let mut exec = Executor::new(procs, memory)?;
+    exec.run_solo(ProcId(0), 10_000)?; // g1 completes
+    exec.run_solo(ProcId(1), 10_000)?; // then g2 runs
+    let positions: Vec<Vec<usize>> =
+        (0..2).map(|i| exec.outputs(ProcId(i)).to_vec()).collect();
+    let strictly_increasing = positions[1][0] > positions[0][0];
+    Ok(WeakCounterReport { positions, strictly_increasing })
+}
+
+/// Runs the same two sequential `get`s on *anonymous* memory with cyclically
+/// shifted wirings and exhibits the violation: the second, later `get`
+/// returns the **same** position 0 as the first — there is no common order
+/// to race through, so sequential operations no longer obtain distinct,
+/// increasing timestamps, which is what Guerraoui & Ruppert's constructions
+/// consume the counter for.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn anonymous_memory_violation(m: usize) -> Result<WeakCounterReport, MemoryError> {
+    assert!(m >= 2, "the violation needs at least two registers");
+    // p0 walks the identity order; p1's wiring shifts by one, so p1's local
+    // position 0 is ground-truth register 1.
+    let wirings = vec![Wiring::identity(m), Wiring::cyclic_shift(m, 1)];
+    let procs = vec![WeakCounterProcess::new(m, 1), WeakCounterProcess::new(m, 1)];
+    let memory = SharedMemory::new(m, false, wirings)?;
+    let mut exec = Executor::new(procs, memory)?;
+    // g1 by p1: p1's local position 0 is ground-truth register 1; it is
+    // unset, so p1 claims it and returns position 0.
+    exec.run_solo(ProcId(1), 10_000)?;
+    // g2 by p0, strictly after g1 completed: p0's local position 0 is
+    // ground-truth register 0, still unset — p0 claims it and also returns
+    // position 0. Two sequential gets, identical "timestamps".
+    exec.run_solo(ProcId(0), 10_000)?;
+    let positions: Vec<Vec<usize>> =
+        (0..2).map(|i| exec.outputs(ProcId(i)).to_vec()).collect();
+    let strictly_increasing = positions[0][0] > positions[1][0];
+    Ok(WeakCounterReport { positions, strictly_increasing })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_memory_counter_increases() {
+        for m in 2..8 {
+            let report = named_memory_demo(m).unwrap();
+            assert!(report.strictly_increasing, "m={m}: {:?}", report.positions);
+            // Sequential gets return strictly increasing positions here.
+            assert_eq!(report.positions[0], vec![0]);
+            assert_eq!(report.positions[1], vec![1]);
+        }
+    }
+
+    #[test]
+    fn anonymous_memory_breaks_the_race() {
+        for m in 2..8 {
+            let report = anonymous_memory_violation(m).unwrap();
+            assert!(
+                !report.strictly_increasing,
+                "m={m}: anonymous wiring must break the counter, got {:?}",
+                report.positions
+            );
+            // Both sequential gets return position 0: duplicate "timestamps".
+            assert_eq!(report.positions[0], vec![0]);
+            assert_eq!(report.positions[1], vec![0]);
+        }
+    }
+
+    #[test]
+    fn concurrent_gets_may_share_positions_hence_weak() {
+        // Step-granular round-robin makes the two processors read the same
+        // unset register before either claims it: both gets return the same
+        // position. Duplicates under concurrency are exactly why the counter
+        // is only "weak"; per-processor sequences still increase.
+        let procs = vec![WeakCounterProcess::new(8, 3), WeakCounterProcess::new(8, 2)];
+        let memory = SharedMemory::named(8, 2, false).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_round_robin(10_000).unwrap();
+        assert_eq!(exec.outputs(ProcId(0)), &[0, 1, 2]);
+        assert_eq!(exec.outputs(ProcId(1)), &[0, 1]);
+        for p in 0..2 {
+            let outs = exec.outputs(ProcId(p));
+            assert!(outs.windows(2).all(|w| w[0] < w[1]), "per-proc increasing");
+        }
+    }
+
+    #[test]
+    fn sequential_gets_are_distinct_on_named_memory() {
+        let procs = vec![WeakCounterProcess::new(8, 3), WeakCounterProcess::new(8, 2)];
+        let memory = SharedMemory::named(8, 2, false).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        // Fully sequential: p0's gets, then p1's.
+        exec.run_solo(ProcId(0), 10_000).unwrap();
+        exec.run_solo(ProcId(1), 10_000).unwrap();
+        assert_eq!(exec.outputs(ProcId(0)), &[0, 1, 2]);
+        assert_eq!(exec.outputs(ProcId(1)), &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weak counter exhausted")]
+    fn exhaustion_panics() {
+        let mut p = WeakCounterProcess::new(2, 1);
+        let _ = p.step(StepInput::Start);
+        let _ = p.step(StepInput::ReadValue(true));
+        let _ = p.step(StepInput::ReadValue(true));
+    }
+
+    #[test]
+    fn per_get_walk_restarts_from_zero() {
+        let mut p = WeakCounterProcess::new(4, 2);
+        // First get: read 0 -> unset -> claim -> output 0.
+        assert_eq!(p.step(StepInput::Start), Action::read(0));
+        assert_eq!(p.step(StepInput::ReadValue(false)), Action::write(0, true));
+        assert_eq!(p.step(StepInput::Wrote), Action::Output(0));
+        // Second get restarts at local position 0.
+        assert_eq!(p.step(StepInput::OutputRecorded), Action::read(0));
+        assert_eq!(p.step(StepInput::ReadValue(true)), Action::read(1));
+        assert_eq!(p.step(StepInput::ReadValue(false)), Action::write(1, true));
+        assert_eq!(p.step(StepInput::Wrote), Action::Output(1));
+        assert_eq!(p.step(StepInput::OutputRecorded), Action::Halt);
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation of the level mechanism: termination level n (the paper), n−1
+//! (footnote 4), and 1 (≈ double collect). Lower levels terminate sooner —
+//! the price of the paper's safety margin — but level 1 is incorrect (see
+//! the model-check ablation test in tests/ablation.rs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_core::runner::{run_snapshot_random, SnapshotRunConfig};
+
+fn bench_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_terminate_level");
+    group.sample_size(10);
+    for n in [4usize, 6] {
+        for (label, level) in [("level_n", n), ("level_n_minus_1", n - 1), ("level_1", 1)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(n, level),
+                |b, &(n, level)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        let cfg = SnapshotRunConfig::new((0..n as u32).collect())
+                            .with_seed(seed)
+                            .with_terminate_level(level);
+                        run_snapshot_random(&cfg).expect("terminates")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

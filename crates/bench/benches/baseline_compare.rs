@@ -1,0 +1,44 @@
+//! E9 — Baseline comparison: the fully-anonymous snapshot (ours) vs the
+//! non-anonymous SWMR double-collect snapshot vs the naive double collect on
+//! anonymous memory. Expected shape: anonymity costs steps — the SWMR
+//! baseline finishes far sooner; the naive double collect is cheap when it
+//! terminates but is not a correct snapshot in the anonymous model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_bench::{anonymous_snapshot_steps, double_collect_steps, swmr_steps};
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_compare");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("fully_anonymous", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                anonymous_snapshot_steps(n, seed, 100_000_000)
+                    .expect("run")
+                    .expect("terminates")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("swmr_named", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                swmr_steps(n, seed, 100_000_000).expect("run").expect("terminates")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                // May livelock; budget-bounded. Count non-terminating runs as
+                // the budget (they are rare under random schedules).
+                double_collect_steps(n, seed, 2_000_000).expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks obstruction-free consensus (Figure 5): solo decision latency
+//! and contended runs with a solo tail (experiment E7's timing side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_core::runner::{run_consensus_random, WiringMode};
+use fa_core::{ConsensusProcess, SnapRegister};
+use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+
+fn bench_solo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_solo");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let procs: Vec<ConsensusProcess<u32>> =
+                    (0..n as u32).map(|x| ConsensusProcess::new(x, n)).collect();
+                let memory = SharedMemory::new(
+                    n,
+                    SnapRegister::default(),
+                    vec![Wiring::identity(n); n],
+                )
+                .expect("memory");
+                let mut exec = Executor::new(procs, memory).expect("executor");
+                exec.run_solo(ProcId(0), 100_000_000).expect("solo decides");
+                assert!(exec.is_halted(ProcId(0)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_contended");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let inputs: Vec<u32> = (0..n as u32).collect();
+                let res = run_consensus_random(
+                    &inputs,
+                    seed,
+                    &WiringMode::Random,
+                    20_000 * n,
+                    100_000_000,
+                )
+                .expect("run");
+                assert!(res.all_decided);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks the long-lived snapshot (Section 7): invocation throughput as
+//! invocations accumulate view state across calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_core::{LongLivedSnapshotProcess, SnapRegister};
+use fa_memory::{Executor, SharedMemory, Wiring};
+use rand::SeedableRng;
+
+fn bench_long_lived(c: &mut Criterion) {
+    let mut group = c.benchmark_group("long_lived_snapshot");
+    group.sample_size(10);
+    for invocations in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(invocations),
+            &invocations,
+            |b, &k| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let n = 3;
+                    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                    let procs: Vec<LongLivedSnapshotProcess<u32>> = (0..n as u32)
+                        .map(|p| {
+                            let inputs: Vec<u32> =
+                                (0..k as u32).map(|i| p * 1000 + i).collect();
+                            LongLivedSnapshotProcess::new(inputs, n)
+                        })
+                        .collect();
+                    let wirings: Vec<Wiring> =
+                        (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+                    let memory =
+                        SharedMemory::new(n, SnapRegister::default(), wirings).expect("memory");
+                    let mut exec = Executor::new(procs, memory).expect("executor");
+                    exec.run_random(rng, 500_000_000).expect("terminates");
+                    exec.total_steps()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_long_lived);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Benchmarks the wait-free snapshot (Figure 3): wall-clock and simulated
+//! step counts vs the number of processors (experiment E4's timing side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_core::runner::{run_snapshot_random, SnapshotRunConfig};
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_steps");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let cfg = SnapshotRunConfig::new((0..n as u32).collect()).with_seed(seed);
+                run_snapshot_random(&cfg).expect("terminates")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

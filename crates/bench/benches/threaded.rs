@@ -1,0 +1,35 @@
+//! E12 — The same algorithms on real OS threads and lock-protected (atomic)
+//! registers: demonstrates the implementation runs on real concurrency, not
+//! only in the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_core::{SnapRegister, SnapshotProcess};
+use fa_memory::{threaded::run_threaded, Wiring};
+use rand::SeedableRng;
+
+fn bench_threaded_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_snapshot");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                let procs: Vec<SnapshotProcess<u32>> =
+                    (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+                let wirings: Vec<Wiring> =
+                    (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+                let report =
+                    run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000)
+                        .expect("threaded run");
+                assert!(report.all_halted, "threaded snapshot must terminate");
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threaded_snapshot);
+criterion_main!(benches);

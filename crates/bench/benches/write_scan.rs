@@ -1,0 +1,73 @@
+//! Benchmarks the write–scan loop (Figure 1): steps until every processor's
+//! view converges to the full input set, under the random and bounded-delay
+//! adversaries. Convergence is schedule-dependent — bounded-delay schedules
+//! can settle into non-converging covering patterns (exactly the paper's
+//! Section 4 phenomenon; see the stable-view experiments) — so runs are
+//! capped and a capped run reports the cap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_core::{View, WriteScanProcess};
+use fa_memory::{
+    BoundedDelayScheduler, Executor, ProcId, RandomScheduler, Scheduler, SharedMemory, Wiring,
+};
+use rand::SeedableRng;
+
+fn converge<S: Scheduler>(n: usize, seed: u64, mut sched: S) -> usize {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xabc);
+    let procs: Vec<WriteScanProcess<u32>> =
+        (0..n as u32).map(|x| WriteScanProcess::new(x, n)).collect();
+    let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+    let memory = SharedMemory::new(n, View::new(), wirings).expect("memory");
+    let mut exec = Executor::new(procs, memory).expect("executor");
+    let full: View<u32> = (0..n as u32).collect();
+    const CAP: usize = 1_000_000;
+    let mut steps = 0usize;
+    while (0..n).any(|i| exec.process(ProcId(i)).view() != &full) {
+        let p = sched.next(&exec.live_procs()).expect("write-scan never halts");
+        exec.step_proc(p).expect("step");
+        steps += 1;
+        if steps >= CAP {
+            // Non-convergence is a legitimate outcome for quasi-fair
+            // adversaries (Section 4's covering patterns); report the cap.
+            break;
+        }
+    }
+    steps
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_scan_convergence");
+    group.sample_size(10);
+    for n in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                converge(
+                    n,
+                    seed,
+                    RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed)),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bounded_delay_k4", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                converge(
+                    n,
+                    seed,
+                    BoundedDelayScheduler::new(
+                        rand_chacha::ChaCha8Rng::seed_from_u64(seed),
+                        n,
+                        4,
+                    ),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

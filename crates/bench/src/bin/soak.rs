@@ -1,0 +1,60 @@
+//! Soak test: long randomized campaign over all algorithms, checking task
+//! invariants on every run. Exits nonzero on the first violation.
+//!
+//! Usage: `cargo run --release -p fa-bench --bin soak [minutes]`
+
+use std::time::{Duration, Instant};
+
+use fa_core::runner::{
+    run_consensus_random, run_renaming_random, run_snapshot_random, SnapshotRunConfig,
+    WiringMode,
+};
+use fa_bench::group_inputs;
+
+fn main() {
+    let minutes: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let deadline = Instant::now() + Duration::from_secs(minutes * 60);
+    let mut runs = 0u64;
+    let mut seed = 0u64;
+    println!("soaking for {minutes} minute(s)…");
+    while Instant::now() < deadline {
+        seed += 1;
+        let n = 2 + (seed as usize % 6);
+        // Snapshot with random group structure.
+        let inputs = group_inputs(n, 1 + (seed as usize % n), seed);
+        let cfg = SnapshotRunConfig::new(inputs.clone()).with_seed(seed);
+        let res = run_snapshot_random(&cfg).expect("snapshot terminates");
+        for (i, v) in res.views.iter().enumerate() {
+            assert!(v.contains(&inputs[i]), "seed {seed}: missing self");
+            for w in &res.views {
+                assert!(v.comparable(w), "seed {seed}: incomparable snapshot outputs");
+            }
+        }
+        // Renaming.
+        let names = run_renaming_random(&inputs, seed, &WiringMode::Random, 200_000_000)
+            .expect("renaming terminates");
+        let groups: std::collections::BTreeSet<u32> = inputs.iter().copied().collect();
+        let bound = groups.len() * (groups.len() + 1) / 2;
+        for (i, &a) in names.iter().enumerate() {
+            assert!((1..=bound).contains(&a), "seed {seed}: name {a} out of range");
+            for (j, &b) in names.iter().enumerate() {
+                assert!(
+                    i == j || inputs[i] == inputs[j] || a != b,
+                    "seed {seed}: cross-group collision"
+                );
+            }
+        }
+        // Consensus (with solo tail to force termination).
+        let res = run_consensus_random(&inputs, seed, &WiringMode::Random, 40_000, 50_000_000)
+            .expect("consensus run");
+        assert!(res.all_decided, "seed {seed}: solo tail must decide");
+        let d = res.decisions[0].unwrap();
+        assert!(res.decisions.iter().all(|x| x.unwrap() == d), "seed {seed}: disagreement");
+        assert!(inputs.contains(&d), "seed {seed}: invalid decision");
+        runs += 1;
+        if runs % 50 == 0 {
+            println!("  {runs} campaign rounds, last n={n}");
+        }
+    }
+    println!("soak complete: {runs} rounds, no violations");
+}

@@ -1,0 +1,23 @@
+//! E4 — Wait-freedom in practice: steps-to-termination distribution of the
+//! snapshot algorithm under seeded random schedules and random wirings.
+
+use fa_bench::{print_table, snapshot_step_stats};
+
+fn main() {
+    println!("== E4: snapshot steps to termination (random schedules/wirings) ==\n");
+    let mut rows = Vec::new();
+    for n in 2..=10usize {
+        let stats = snapshot_step_stats(n, 0..50).expect("runs complete");
+        rows.push(vec![
+            n.to_string(),
+            stats.runs.to_string(),
+            format!("{:.0}", stats.mean),
+            stats.min.to_string(),
+            stats.max.to_string(),
+            format!("{:.1}", stats.mean / (n * n) as f64),
+        ]);
+    }
+    print_table(&["n", "runs", "mean steps", "min", "max", "mean / n²"], &rows);
+    println!("\nEvery run terminated: the algorithm is wait-free in practice;");
+    println!("growth tracks n² · scans (each scan is n+1 accesses, levels go to n).");
+}

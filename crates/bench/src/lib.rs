@@ -1,0 +1,306 @@
+//! # fa-bench: experiment harness
+//!
+//! Shared machinery for the experiment binaries (`src/bin/*`) and Criterion
+//! benches (`benches/*`). Each binary regenerates one artifact of the paper;
+//! the mapping is the per-experiment index in `DESIGN.md`, and observed
+//! results are recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fa_core::runner::{run_snapshot_random, SnapshotRunConfig};
+use fa_core::{SnapRegister, View};
+use fa_memory::{Executor, MemoryError, ProcId, SharedMemory, Wiring};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Prints a markdown table: a header row and aligned value rows.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    println!("{}", fmt_row(headers.iter().map(|s| (*s).to_string()).collect()));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", fmt_row(sep));
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Summary statistics over a sample of per-run step counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepStats {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean total steps.
+    pub mean: f64,
+    /// Minimum total steps.
+    pub min: usize,
+    /// Maximum total steps.
+    pub max: usize,
+}
+
+impl StepStats {
+    /// Aggregates a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    #[must_use]
+    pub fn from_sample(sample: &[usize]) -> Self {
+        assert!(!sample.is_empty(), "empty sample");
+        let sum: usize = sample.iter().sum();
+        StepStats {
+            runs: sample.len(),
+            mean: sum as f64 / sample.len() as f64,
+            min: *sample.iter().min().expect("nonempty"),
+            max: *sample.iter().max().expect("nonempty"),
+        }
+    }
+}
+
+/// Runs the fully-anonymous snapshot for `n` distinct-input processors under
+/// `seeds.len()` random schedules and returns total-step statistics (E4).
+///
+/// # Errors
+///
+/// Propagates runner errors.
+pub fn snapshot_step_stats(n: usize, seeds: std::ops::Range<u64>) -> Result<StepStats, MemoryError> {
+    let mut sample = Vec::new();
+    for seed in seeds {
+        let cfg = SnapshotRunConfig::new((0..n as u32).collect()).with_seed(seed);
+        let res = run_snapshot_random(&cfg)?;
+        sample.push(res.total_steps);
+    }
+    Ok(StepStats::from_sample(&sample))
+}
+
+/// Steps to completion for the double-collect baseline on anonymous memory
+/// (may fail to terminate; reports `None` for such runs).
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn double_collect_steps(
+    n: usize,
+    seed: u64,
+    budget: usize,
+) -> Result<Option<usize>, MemoryError> {
+    use fa_baselines::DoubleCollectProcess;
+    let procs: Vec<DoubleCollectProcess<u32>> =
+        (0..n).map(|i| DoubleCollectProcess::new(i as u32, n)).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x57a8_1e55_0000_0000);
+    let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+    let memory = SharedMemory::new(n, View::new(), wirings)?;
+    let mut exec = Executor::new(procs, memory)?;
+    let outcome =
+        exec.run(fa_memory::RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)), budget)?;
+    Ok(outcome.all_halted.then(|| exec.total_steps()))
+}
+
+/// Steps to completion for the SWMR (non-anonymous) baseline.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn swmr_steps(n: usize, seed: u64, budget: usize) -> Result<Option<usize>, MemoryError> {
+    use fa_baselines::{SwmrRegister, SwmrSnapshotProcess};
+    let procs: Vec<SwmrSnapshotProcess<u32>> =
+        (0..n).map(|i| SwmrSnapshotProcess::new(i, i as u32, n)).collect();
+    let mut memory = SharedMemory::named(n, n, SwmrRegister::default())?;
+    memory.set_owners((0..n).map(ProcId).collect())?;
+    let mut exec = Executor::new(procs, memory)?;
+    let outcome =
+        exec.run(fa_memory::RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)), budget)?;
+    Ok(outcome.all_halted.then(|| exec.total_steps()))
+}
+
+/// Steps for the fully-anonymous snapshot (ours), `None` on budget
+/// exhaustion.
+///
+/// # Errors
+///
+/// Propagates executor errors other than budget exhaustion.
+pub fn anonymous_snapshot_steps(
+    n: usize,
+    seed: u64,
+    budget: usize,
+) -> Result<Option<usize>, MemoryError> {
+    use fa_core::SnapshotProcess;
+    let procs: Vec<SnapshotProcess<u32>> =
+        (0..n).map(|i| SnapshotProcess::new(i as u32, n)).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x57a8_1e55_0000_0000);
+    let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+    let memory = SharedMemory::new(n, SnapRegister::default(), wirings)?;
+    let mut exec = Executor::new(procs, memory)?;
+    let outcome =
+        exec.run(fa_memory::RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)), budget)?;
+    Ok(outcome.all_halted.then(|| exec.total_steps()))
+}
+
+/// A seeded RNG for experiment code that needs auxiliary randomness.
+#[must_use]
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Random distinct-input vector of length `n`.
+#[must_use]
+pub fn distinct_inputs(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+/// Random group inputs: `n` processors spread over up to `g` groups.
+#[must_use]
+pub fn group_inputs(n: usize, g: usize, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..g) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_stats_aggregates() {
+        let s = StepStats::from_sample(&[10, 20, 30]);
+        assert_eq!(s.runs, 3);
+        assert!((s.mean - 20.0).abs() < f64::EPSILON);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn step_stats_rejects_empty() {
+        let _ = StepStats::from_sample(&[]);
+    }
+
+    #[test]
+    fn snapshot_stats_small() {
+        let stats = snapshot_step_stats(3, 0..5).unwrap();
+        assert_eq!(stats.runs, 5);
+        assert!(stats.min > 0);
+        assert!(stats.max >= stats.min);
+    }
+
+    #[test]
+    fn baselines_terminate_on_small_systems() {
+        assert!(swmr_steps(3, 1, 1_000_000).unwrap().is_some());
+        assert!(anonymous_snapshot_steps(3, 1, 10_000_000).unwrap().is_some());
+        // Double collect usually terminates under random schedules.
+        let _ = double_collect_steps(3, 1, 1_000_000).unwrap();
+    }
+
+    #[test]
+    fn table_printer_is_well_formed() {
+        // Smoke: must not panic on aligned input.
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn table_printer_rejects_ragged() {
+        print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}
+
+/// Renders a trace as an ASCII timeline: one lane per processor, one row per
+/// step, with a compact action summary in the acting processor's lane. Handy
+/// for inspecting counterexample schedules and demo executions.
+#[must_use]
+pub fn render_timeline<V: std::fmt::Debug, O: std::fmt::Debug>(
+    trace: &fa_memory::Trace<V, O>,
+    n: usize,
+) -> String {
+    use fa_memory::EventKind;
+    let lane_width = 16usize;
+    let mut out = String::new();
+    // Header.
+    out.push_str("time ");
+    for i in 0..n {
+        out.push_str(&format!("| {:<w$}", format!("p{i}"), w = lane_width));
+    }
+    out.push('\n');
+    for e in trace.events() {
+        out.push_str(&format!("{:>4} ", e.time));
+        for i in 0..n {
+            let cell = if e.proc.index() == i {
+                match &e.kind {
+                    EventKind::Read { global, value, .. } => {
+                        format!("R {global}={value:?}")
+                    }
+                    EventKind::Write { global, value, .. } => {
+                        format!("W {global}:={value:?}")
+                    }
+                    EventKind::Output(o) => format!("OUT {o:?}"),
+                    EventKind::Halt => "HALT".to_string(),
+                }
+            } else {
+                String::new()
+            };
+            let mut cell = cell;
+            cell.truncate(lane_width);
+            out.push_str(&format!("| {cell:<w$}", w = lane_width));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::*;
+    use fa_memory::{Executor, SharedMemory, Wiring};
+    use fa_memory::{Action, Process, StepInput};
+
+    #[derive(Clone)]
+    struct Tiny(bool);
+    impl Process for Tiny {
+        type Value = u8;
+        type Output = u8;
+        fn step(&mut self, _i: StepInput<u8>) -> Action<u8, u8> {
+            if self.0 {
+                Action::Halt
+            } else {
+                self.0 = true;
+                Action::write(0, 9)
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_contains_lanes_and_actions() {
+        let memory = SharedMemory::new(1, 0u8, vec![Wiring::identity(1); 2]).unwrap();
+        let mut exec = Executor::new(vec![Tiny(false), Tiny(false)], memory).unwrap();
+        exec.record_trace(true);
+        exec.run_round_robin(100).unwrap();
+        let s = render_timeline(exec.trace().unwrap(), 2);
+        assert!(s.contains("p0"));
+        assert!(s.contains("p1"));
+        assert!(s.contains("W r0:=9"));
+        assert!(s.contains("HALT"));
+        // One row per event plus the header.
+        assert_eq!(s.lines().count(), exec.trace().unwrap().len() + 1);
+    }
+}

@@ -1,0 +1,354 @@
+//! Obstruction-free consensus (Section 7, Figure 5).
+//!
+//! Guerraoui & Ruppert's derandomization of Chandra's shared-coin consensus,
+//! ported to the fully-anonymous model by replacing atomic memory snapshots
+//! with the long-lived snapshot of Section 7.
+//!
+//! Each processor keeps a preference (initially its input) and a monotone
+//! timestamp (initially 0) and loops:
+//!
+//! 1. invoke the long-lived snapshot with input `(preference, timestamp)`;
+//! 2. in the returned view, compute each value's maximum timestamp;
+//! 3. if some value's maximum timestamp is at least 2 greater than every
+//!    other value's, **decide** it;
+//! 4. otherwise adopt the value with the highest timestamp (ties broken
+//!    towards the smallest value — a deterministic rule every anonymous
+//!    processor shares) and set the timestamp to the highest seen plus one.
+//!
+//! Termination is obstruction-free: a processor running solo keeps pushing
+//! its own timestamp up by one per round; within three solo rounds it leads
+//! by 2 and decides. Agreement follows as in Chandra's proof — all
+//! communication goes through the long-lived snapshot, whose outputs are
+//! totally ordered by containment.
+//!
+//! ## A subtlety the anonymous setting adds
+//!
+//! In Chandra's single-writer setting every processor's current pair is
+//! visible in every snapshot, so a value with no visible competitor may
+//! decide at once. Under full anonymity this is **unsafe**: covering writes
+//! can erase a competitor's pair from every register before anyone reads it
+//! (our model checker produces a concrete 2-processor disagreement for the
+//! naive rule — see `fa-modelcheck`). The decision rule below therefore
+//! counts unseen values as present at timestamp 0: a value decides only
+//! when its timestamp is at least 2 ahead of every other value *and* at
+//! least 2 absolutely.
+
+use fa_memory::{Action, Process, StepInput};
+
+use crate::snapshot::{EngineStep, SnapRegister, SnapshotEngine};
+use crate::View;
+
+/// A `(timestamp, value)` pair written into the long-lived snapshot.
+///
+/// Ordered by timestamp first, so `View<Stamped<V>>::iter().last()` is the
+/// lexicographically largest stamped value.
+pub type Stamped<V> = (u64, V);
+
+/// The obstruction-free consensus process of Figure 5.
+///
+/// `V` is the type of proposed values (group identifiers, in the task
+/// reading). The process decides exactly once and halts; under schedules
+/// with perpetual contention it may run forever, which is permitted for an
+/// obstruction-free algorithm — bound runs with a step budget.
+///
+/// ```
+/// use fa_core::{ConsensusProcess, SnapRegister};
+/// use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+///
+/// let n = 2;
+/// let procs = vec![ConsensusProcess::new(10u32, n), ConsensusProcess::new(20, n)];
+/// let memory =
+///     SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
+/// let mut exec = Executor::new(procs, memory).unwrap();
+/// // Run p0 solo: obstruction-freedom guarantees it decides (its own value).
+/// exec.run_solo(ProcId(0), 1_000_000).unwrap();
+/// assert_eq!(exec.first_output(ProcId(0)), Some(&10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConsensusProcess<V: Ord> {
+    engine: SnapshotEngine<Stamped<V>>,
+    preference: V,
+    timestamp: u64,
+    /// Output emitted; next step halts.
+    output_emitted: bool,
+    /// Completed snapshot rounds (for metrics).
+    rounds: usize,
+}
+
+// Equality and hashing ignore the `rounds` instrumentation counter (see
+// `SnapshotEngine` for the rationale).
+impl<V: Ord> PartialEq for ConsensusProcess<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.engine == other.engine
+            && self.preference == other.preference
+            && self.timestamp == other.timestamp
+            && self.output_emitted == other.output_emitted
+    }
+}
+
+impl<V: Ord> Eq for ConsensusProcess<V> {}
+
+impl<V: Ord + std::hash::Hash> std::hash::Hash for ConsensusProcess<V> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.engine.hash(state);
+        self.preference.hash(state);
+        self.timestamp.hash(state);
+        self.output_emitted.hash(state);
+    }
+}
+
+impl<V: Ord + Clone> ConsensusProcess<V> {
+    /// Creates the process proposing `input`, for `n` processors/registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(input: V, n: usize) -> Self {
+        ConsensusProcess {
+            engine: SnapshotEngine::new((0, input.clone()), n),
+            preference: input,
+            timestamp: 0,
+            output_emitted: false,
+            rounds: 0,
+        }
+    }
+
+    /// The current preference (analysis only).
+    #[must_use]
+    pub fn preference(&self) -> &V {
+        &self.preference
+    }
+
+    /// The current timestamp (analysis only).
+    #[must_use]
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// Completed snapshot rounds (analysis only).
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Applies the decision rule of Figure 5 to a snapshot view: decide if
+    /// the leading value's maximum timestamp beats every other value's by at
+    /// least 2 — *including values not in the snapshot, which count as
+    /// timestamp 0* — otherwise adopt-and-bump. Returns `Some(value)` on
+    /// decision. See the module docs for why the unseen-value clause is
+    /// necessary under full anonymity.
+    fn evaluate(&mut self, view: &View<Stamped<V>>) -> Option<V> {
+        // Per-value maximum timestamp. Views are nonempty (they contain our
+        // own stamped input).
+        let mut best: Option<(u64, &V)> = None; // leader: max ts, min value on tie
+        let mut second_ts: Option<u64> = None; // max ts among non-leader values
+        // First pass: find the leader.
+        for (ts, v) in view.iter() {
+            best = Some(match best {
+                None => (*ts, v),
+                Some((bts, bv)) => {
+                    if *ts > bts || (*ts == bts && v < bv) {
+                        (*ts, v)
+                    } else {
+                        (bts, bv)
+                    }
+                }
+            });
+        }
+        let (leader_ts, leader) = best.expect("a view always contains our own input");
+        // Second pass: the best timestamp among other values.
+        for (ts, v) in view.iter() {
+            if v != leader {
+                second_ts = Some(second_ts.map_or(*ts, |s| s.max(*ts)));
+            }
+        }
+        // Unseen values must be assumed present at timestamp 0: unlike
+        // Chandra's SWMR setting, anonymous-memory covering can erase a
+        // competitor's pair from every register before anyone reads it (our
+        // model checker exhibits a 2-processor disagreement if a sole-value
+        // snapshot decides at timestamp 0). Hence the lead is measured
+        // against max(best other seen, 0).
+        let leads_by_two = leader_ts >= second_ts.unwrap_or(0).saturating_add(2);
+        if leads_by_two {
+            return Some(leader.clone());
+        }
+        self.preference = leader.clone();
+        self.timestamp = leader_ts + 1;
+        None
+    }
+}
+
+impl<V: Ord + Clone> Process for ConsensusProcess<V> {
+    type Value = SnapRegister<Stamped<V>>;
+    /// The decided value.
+    type Output = V;
+
+    fn step(
+        &mut self,
+        input: StepInput<SnapRegister<Stamped<V>>>,
+    ) -> Action<SnapRegister<Stamped<V>>, V> {
+        if self.output_emitted {
+            return Action::Halt;
+        }
+        let mut engine_input = input;
+        loop {
+            match self.engine.step(engine_input) {
+                EngineStep::Access(Action::Read { local }) => {
+                    return Action::Read { local };
+                }
+                EngineStep::Access(Action::Write { local, value }) => {
+                    return Action::Write { local, value };
+                }
+                EngineStep::Access(_) => {
+                    unreachable!("the engine only issues memory accesses")
+                }
+                EngineStep::Done(view) => {
+                    self.rounds += 1;
+                    if let Some(v) = self.evaluate(&view) {
+                        self.output_emitted = true;
+                        return Action::Output(v);
+                    }
+                    // Re-invoke the long-lived snapshot with the new pair;
+                    // the resumed engine immediately writes, which is this
+                    // step's action.
+                    self.engine.resume_with((self.timestamp, self.preference.clone()));
+                    engine_input = StepInput::Start;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+    use rand::SeedableRng;
+
+    fn consensus_exec(
+        inputs: &[u32],
+        random_wirings_seed: Option<u64>,
+    ) -> Executor<ConsensusProcess<u32>> {
+        let n = inputs.len();
+        let procs: Vec<ConsensusProcess<u32>> =
+            inputs.iter().map(|&x| ConsensusProcess::new(x, n)).collect();
+        let wirings = match random_wirings_seed {
+            Some(seed) => {
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                (0..n).map(|_| Wiring::random(n, &mut rng)).collect()
+            }
+            None => vec![Wiring::identity(n); n],
+        };
+        let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
+        Executor::new(procs, memory).unwrap()
+    }
+
+    #[test]
+    fn solo_run_decides_own_value() {
+        let mut exec = consensus_exec(&[10, 20, 30], None);
+        exec.run_solo(ProcId(2), 10_000_000).unwrap();
+        assert_eq!(exec.first_output(ProcId(2)), Some(&30));
+        assert!(exec.is_halted(ProcId(2)));
+    }
+
+    #[test]
+    fn random_schedules_reach_agreement_and_validity() {
+        for seed in 0..15 {
+            let inputs = [7u32, 3, 9];
+            let mut exec = consensus_exec(&inputs, Some(seed));
+            // Random schedules decide with probability 1; use a generous
+            // budget and accept rare non-termination by skipping.
+            let rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed.wrapping_mul(77).wrapping_add(1));
+            let outcome = exec.run(fa_memory::RandomScheduler::new(rng), 10_000_000).unwrap();
+            if !outcome.all_halted {
+                continue; // obstruction-free: perpetual contention is legal
+            }
+            let decisions: Vec<u32> =
+                (0..3).map(|i| *exec.first_output(ProcId(i)).unwrap()).collect();
+            assert!(decisions.windows(2).all(|w| w[0] == w[1]), "seed {seed}: disagreement");
+            assert!(inputs.contains(&decisions[0]), "seed {seed}: invalid decision");
+        }
+    }
+
+    #[test]
+    fn late_solo_runner_adopts_leader_not_own_input() {
+        // p0 runs alone and decides 10. Then p1 runs: it must also decide 10
+        // (agreement), not its own 20.
+        let mut exec = consensus_exec(&[10, 20], None);
+        exec.run_solo(ProcId(0), 1_000_000).unwrap();
+        assert_eq!(exec.first_output(ProcId(0)), Some(&10));
+        exec.run_solo(ProcId(1), 1_000_000).unwrap();
+        assert_eq!(exec.first_output(ProcId(1)), Some(&10), "agreement violated");
+    }
+
+    #[test]
+    fn evaluate_decides_on_two_lead() {
+        let mut p = ConsensusProcess::new(5u32, 2);
+        let view: View<Stamped<u32>> = [(4, 5u32), (1, 9)].into_iter().collect();
+        assert_eq!(p.evaluate(&view), Some(5));
+    }
+
+    #[test]
+    fn evaluate_adopts_on_one_lead() {
+        let mut p = ConsensusProcess::new(5u32, 2);
+        let view: View<Stamped<u32>> = [(2, 9u32), (1, 5)].into_iter().collect();
+        assert_eq!(p.evaluate(&view), None);
+        assert_eq!(*p.preference(), 9);
+        assert_eq!(p.timestamp(), 3);
+    }
+
+    #[test]
+    fn evaluate_breaks_timestamp_ties_towards_smaller_value() {
+        let mut p = ConsensusProcess::new(5u32, 2);
+        let view: View<Stamped<u32>> = [(3, 9u32), (3, 5)].into_iter().collect();
+        assert_eq!(p.evaluate(&view), None);
+        assert_eq!(*p.preference(), 5);
+        assert_eq!(p.timestamp(), 4);
+    }
+
+    #[test]
+    fn evaluate_sole_value_needs_timestamp_two() {
+        // A sole-value snapshot may hide a covered competitor at timestamp
+        // 0, so deciding requires a lead of 2 over 0.
+        let mut p = ConsensusProcess::new(5u32, 2);
+        let view: View<Stamped<u32>> = [(0, 5u32)].into_iter().collect();
+        assert_eq!(p.evaluate(&view), None, "timestamp 0 must not decide");
+        let mut p = ConsensusProcess::new(5u32, 2);
+        let view: View<Stamped<u32>> = [(0, 5u32), (1, 5)].into_iter().collect();
+        assert_eq!(p.evaluate(&view), None, "timestamp 1 must not decide");
+        let mut p = ConsensusProcess::new(5u32, 2);
+        let view: View<Stamped<u32>> = [(0, 5u32), (2, 5)].into_iter().collect();
+        assert_eq!(p.evaluate(&view), Some(5), "timestamp 2 decides");
+    }
+
+    #[test]
+    fn decisions_are_output_exactly_once() {
+        let mut exec = consensus_exec(&[1, 2], None);
+        let rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let outcome = exec.run(fa_memory::RandomScheduler::new(rng), 10_000_000).unwrap();
+        if outcome.all_halted {
+            for i in 0..2 {
+                assert_eq!(exec.outputs(ProcId(i)).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn anonymous_wirings_do_not_break_agreement() {
+        for seed in 0..10 {
+            let n = 4;
+            let inputs = [4u32, 1, 3, 2];
+            let mut exec = consensus_exec(&inputs, Some(seed + 100));
+            let rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let outcome = exec.run(fa_memory::RandomScheduler::new(rng), 20_000_000).unwrap();
+            if !outcome.all_halted {
+                continue;
+            }
+            let decisions: Vec<u32> =
+                (0..n).map(|i| *exec.first_output(ProcId(i)).unwrap()).collect();
+            assert!(decisions.windows(2).all(|w| w[0] == w[1]), "seed {seed}");
+            assert!(inputs.contains(&decisions[0]), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Executable paper math: Definition 5.1 and the durability lemmas of the
+//! safety proof (Section 5.3.2).
+//!
+//! The correctness proof of the snapshot algorithm pivots on one notion: a
+//! set of values `W` being **durably stored despite interference by a set of
+//! processors `Q`** at a state. Writing `R_W` for the registers whose view
+//! contains `W`, and `Q_W ⊆ Q` for the processors that either already hold
+//! `W` in their view or are mid-scan without having read any register of
+//! `R_W` yet, the condition is `|R_W| > |Q \ Q_W|`: the potential erasers
+//! are too few to cover every `W`-register before one of them must scan —
+//! and that scan forces `W` into the eraser's view.
+//!
+//! This module computes the definition on live executor states, so that the
+//! proof's key lemmas become *runtime-checkable invariants*:
+//!
+//! * **Lemma 5.3** — when a processor terminates, its output view is durably
+//!   stored despite interference by all of `P` (checked at every output in
+//!   [`check_lemma_5_3_along_run`]);
+//! * **Lemma 5.2** — once `W` is durably stored w.r.t. `P`, every processor
+//!   that later takes a step and terminates outputs a superset of `W`
+//!   (checked across the remainder of the run).
+
+use fa_memory::{Executor, MemoryError, ProcId, Scheduler};
+
+use crate::{SnapshotProcess, View};
+
+/// The set `R_W` of Definition 5.1: ground-truth registers whose stored
+/// view contains `W`.
+#[must_use]
+pub fn registers_containing<V: Ord + Clone>(
+    exec: &Executor<SnapshotProcess<V>>,
+    w: &View<V>,
+) -> Vec<usize> {
+    exec.memory()
+        .contents()
+        .iter()
+        .enumerate()
+        .filter(|(_, reg)| w.is_subset(&reg.view))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Definition 5.1: is `W` durably stored at the current state, despite
+/// interference by the processors `q ∈ Q`?
+///
+/// `Q_W` members are harmless: they either already hold `W` in their view
+/// (anything they write contains `W`), or they are scanning and have not yet
+/// read any `R_W` register — so before writing again they must read one,
+/// absorbing `W`. The condition requires the *harmful* rest of `Q` to be
+/// outnumbered by the `W`-registers: `|R_W| > |Q \ Q_W|`.
+#[must_use]
+pub fn durably_stored<V: Ord + Clone>(
+    exec: &Executor<SnapshotProcess<V>>,
+    w: &View<V>,
+    q: &[ProcId],
+) -> bool {
+    let r_w = registers_containing(exec, w);
+    let harmless = |p: ProcId| -> bool {
+        if exec.is_halted(p) {
+            // A halted processor never writes again; it cannot erase.
+            return true;
+        }
+        let proc = exec.process(p);
+        if w.is_subset(proc.view()) {
+            return true;
+        }
+        match proc.scan_reads_consumed() {
+            Some(consumed) => {
+                // Globals read so far this scan.
+                let wiring = exec.memory().wiring(p);
+                (0..consumed)
+                    .map(|local| wiring.global(fa_memory::LocalRegId(local)).index())
+                    .all(|g| !r_w.contains(&g))
+            }
+            None => false,
+        }
+    };
+    let harmful = q.iter().filter(|&&p| !harmless(p)).count();
+    r_w.len() > harmful
+}
+
+/// Drives `exec` under `scheduler` for at most `budget` steps and checks
+/// Lemmas 5.3 and 5.2 along the way:
+///
+/// * whenever a processor produces its snapshot output `W`, `W` must be
+///   durably stored despite interference by all processors (Lemma 5.3), and
+/// * every output produced *after* some `W` became durably stored must
+///   contain `W` (Lemma 5.2).
+///
+/// Returns the number of outputs checked.
+///
+/// # Errors
+///
+/// * Executor errors are propagated.
+/// * A failed lemma is reported as a panic message inside
+///   `Err(MemoryError::SchedulerStuck)`? No — lemma violations panic: they
+///   would be implementation bugs, and tests want a loud failure.
+///
+/// # Panics
+///
+/// Panics if either lemma fails (that would falsify the paper's proof or,
+/// far more likely, reveal an implementation bug).
+pub fn check_lemma_5_3_along_run<V, S>(
+    exec: &mut Executor<SnapshotProcess<V>>,
+    mut scheduler: S,
+    budget: usize,
+) -> Result<usize, MemoryError>
+where
+    V: Ord + Clone + core::fmt::Debug,
+    S: Scheduler,
+{
+    let n = exec.proc_count();
+    let all: Vec<ProcId> = (0..n).map(ProcId).collect();
+    let mut durable_outputs: Vec<View<V>> = Vec::new();
+    let mut checked = 0usize;
+    let mut outputs_seen = vec![false; n];
+
+    for _ in 0..budget {
+        if exec.all_halted() {
+            break;
+        }
+        let live = exec.live_procs();
+        let Some(p) = scheduler.next(&live) else { break };
+        exec.step_proc(p)?;
+        if !outputs_seen[p.0] {
+            if let Some(w) = exec.first_output(p).cloned() {
+                outputs_seen[p.0] = true;
+                checked += 1;
+                // Lemma 5.3: the fresh output is durably stored w.r.t. P.
+                assert!(
+                    durably_stored(exec, &w, &all),
+                    "Lemma 5.3 violated: output {w} of {p} not durably stored"
+                );
+                // Lemma 5.2: this output contains every previously durable W.
+                for earlier in &durable_outputs {
+                    assert!(
+                        earlier.is_subset(&w),
+                        "Lemma 5.2 violated: output {w} misses durable {earlier}"
+                    );
+                }
+                durable_outputs.push(w);
+            }
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnapRegister;
+    use fa_memory::{RandomScheduler, SharedMemory, Wiring};
+    use rand::SeedableRng;
+
+    fn exec(n: usize, seed: u64) -> Executor<SnapshotProcess<u32>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let procs: Vec<SnapshotProcess<u32>> =
+            (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+        let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+        let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
+        Executor::new(procs, memory).unwrap()
+    }
+
+    #[test]
+    fn lemmas_hold_along_random_runs() {
+        for n in 2..=5usize {
+            for seed in 0..6u64 {
+                let mut e = exec(n, seed);
+                let sched =
+                    RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xd));
+                let checked =
+                    check_lemma_5_3_along_run(&mut e, sched, 50_000_000).unwrap();
+                assert_eq!(checked, n, "n={n} seed={seed}: every processor outputs once");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_state_durability_is_vacuous_only_for_empty_w() {
+        let e = exec(3, 1);
+        // W = {} is contained in every register: |R_W| = 3 > 0 harmful.
+        assert!(durably_stored(&e, &View::new(), &[]));
+        // A non-present W has R_W = ∅: never durable.
+        let w = View::singleton(9u32);
+        assert!(!durably_stored(&e, &w, &[]));
+    }
+
+    #[test]
+    fn registers_containing_counts_supersets() {
+        let mut e = exec(2, 3);
+        // Run p0 until it halts: all registers end containing {0}.
+        e.run_solo(ProcId(0), 1_000_000).unwrap();
+        let w = View::singleton(0u32);
+        assert_eq!(registers_containing(&e, &w).len(), 2);
+    }
+
+    #[test]
+    fn scanning_processor_without_rw_reads_is_harmless() {
+        // Directly exercise the Q_W scanning clause: a processor that has
+        // consumed no reads this scan is harmless for any W present in
+        // memory it hasn't touched.
+        let mut e = exec(2, 4);
+        // p0 writes once (its initial view {0}) and begins its scan.
+        e.step_proc(ProcId(0)).unwrap(); // write
+        let w = View::singleton(0u32);
+        // R_W = the register p0 wrote. p1 hasn't stepped: it is poised to
+        // write a non-W view and is NOT scanning => harmful. |R_W| = 1 > 1?
+        // No: durability requires more registers than harmful processors.
+        assert!(!durably_stored(&e, &w, &[ProcId(1)]));
+        // Against no interference, one register suffices.
+        assert!(durably_stored(&e, &w, &[]));
+    }
+}

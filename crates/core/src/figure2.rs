@@ -1,0 +1,390 @@
+//! The pathological infinite execution of Figure 2 (Section 4.1), rebuilt
+//! step by step, plus its 5-processor extension.
+//!
+//! Three processors `p1, p2, p3` with inputs `1, 2, 3` run the write–scan
+//! loop over three registers, wired so that `p2` and `p3` keep overwriting
+//! each other's writes. Despite taking infinitely many steps, `p2` and `p3`
+//! hold the incomparable views `{1,2}` and `{1,3}` forever. Rows 5–13 of the
+//! paper's table repeat verbatim ad infinitum.
+//!
+//! The extension adds two *shadow* processors `p` and `p'` (both with
+//! input 1) that are scheduled so that, after a warm-up iteration, every read
+//! `p` performs returns `{1,2}` and every read `p'` performs returns `{1,3}`
+//! — demonstrating that "read the same set everywhere, forever" is not a
+//! sound snapshot termination rule (the motivation for the level mechanism of
+//! Section 5).
+//!
+//! Paper-to-code mapping: the paper's registers `r1, r2, r3` are ground-truth
+//! registers `0, 1, 2`; processors `p1, p2, p3` are `ProcId(0..=2)`; shadows
+//! `p, p'` are `ProcId(3)`, `ProcId(4)`.
+
+use fa_memory::{
+    Action, Executor, LassoSchedule, MemoryError, ProcId, SharedMemory, Wiring,
+};
+
+use crate::{View, WriteScanProcess};
+
+/// One row of Figure 2: who acted, and the resulting registers and views.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Figure2Row {
+    /// Row number, 1-based as in the paper.
+    pub row: usize,
+    /// The paper's description of the row.
+    pub action: &'static str,
+    /// Post-state register contents `r1, r2, r3`.
+    pub registers: [View<u32>; 3],
+    /// Post-state views of `p1, p2, p3`.
+    pub views: [View<u32>; 3],
+}
+
+fn v(ids: &[u32]) -> View<u32> {
+    ids.iter().copied().collect()
+}
+
+/// The paper's table: expected post-states of rows 1–13.
+#[must_use]
+pub fn expected_rows() -> Vec<Figure2Row> {
+    let rows: [(&'static str, [&[u32]; 3], [&[u32]; 3]); 13] = [
+        ("p1 writes twice and ends with a scan", [&[], &[1], &[1]], [&[1], &[2], &[3]]),
+        ("p2 writes then scans", [&[2], &[1], &[1]], [&[1], &[1, 2], &[3]]),
+        ("p3 overwrites p2 then scans", [&[3], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
+        ("p1 overwrites p3 then scans", [&[1], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
+        ("p2 writes then scans", [&[1], &[1, 2], &[1]], [&[1], &[1, 2], &[1, 3]]),
+        ("p3 overwrites p2 then scans", [&[1], &[1, 3], &[1]], [&[1], &[1, 2], &[1, 3]]),
+        ("p1 overwrites p3 then scans", [&[1], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
+        ("p2 writes then scans", [&[1], &[1], &[1, 2]], [&[1], &[1, 2], &[1, 3]]),
+        ("p3 overwrites p2 then scans", [&[1], &[1], &[1, 3]], [&[1], &[1, 2], &[1, 3]]),
+        ("p1 overwrites p3 then scans", [&[1], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
+        ("p2 writes then scans", [&[1, 2], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
+        ("p3 overwrites p2 then scans", [&[1, 3], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
+        (
+            "p1 overwrites p3 then scans (same as 4)",
+            [&[1], &[1], &[1]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(i, (action, regs, views))| Figure2Row {
+            row: i + 1,
+            action,
+            registers: [v(regs[0]), v(regs[1]), v(regs[2])],
+            views: [v(views[0]), v(views[1]), v(views[2])],
+        })
+        .collect()
+}
+
+/// The wirings of the three core processors: `p1` is wired `local i ↦ global
+/// (i+1) mod 3` (so its writes land on `r2, r3, r1, …`), while `p2` and `p3`
+/// have the identity wiring.
+#[must_use]
+pub fn core_wirings() -> Vec<Wiring> {
+    vec![
+        Wiring::from_perm(vec![1, 2, 0]).expect("valid permutation"),
+        Wiring::identity(3),
+        Wiring::identity(3),
+    ]
+}
+
+/// The lasso schedule of the 3-processor execution: rows 1–4 are the prefix,
+/// rows 5–13 the repeating cycle. Each row is one full write–scan iteration
+/// of one processor (4 atomic steps: 1 write + 3 reads); row 1 is two
+/// iterations of `p1`.
+#[must_use]
+pub fn core_schedule() -> LassoSchedule {
+    let iteration = |p: usize| std::iter::repeat(ProcId(p)).take(4);
+    let prefix: Vec<ProcId> = iteration(0)
+        .chain(iteration(0)) // row 1: p1 twice
+        .chain(iteration(1)) // row 2
+        .chain(iteration(2)) // row 3
+        .chain(iteration(0)) // row 4
+        .collect();
+    let cycle: Vec<ProcId> = (0..3)
+        .flat_map(|_| iteration(1).chain(iteration(2)).chain(iteration(0)))
+        .collect();
+    LassoSchedule::new(prefix, cycle)
+}
+
+fn core_executor() -> Result<Executor<WriteScanProcess<u32>>, MemoryError> {
+    let procs: Vec<WriteScanProcess<u32>> =
+        [1u32, 2, 3].iter().map(|&x| WriteScanProcess::new(x, 3)).collect();
+    let memory = SharedMemory::new(3, View::new(), core_wirings())?;
+    Executor::new(procs, memory)
+}
+
+/// Runs rows 1–13 of Figure 2 and returns the observed post-state of each
+/// row, in the paper's format. Compare against [`expected_rows`].
+///
+/// # Errors
+///
+/// Propagates executor errors (none occur for this fixed construction).
+pub fn run_figure2() -> Result<Vec<Figure2Row>, MemoryError> {
+    let mut exec = core_executor()?;
+    let expected = expected_rows();
+    let mut out = Vec::with_capacity(13);
+    // Row step counts: row 1 is 8 steps (two iterations), others 4.
+    let row_procs: [(usize, usize); 13] = [
+        (0, 8),
+        (1, 4),
+        (2, 4),
+        (0, 4),
+        (1, 4),
+        (2, 4),
+        (0, 4),
+        (1, 4),
+        (2, 4),
+        (0, 4),
+        (1, 4),
+        (2, 4),
+        (0, 4),
+    ];
+    for (row, &(proc, steps)) in row_procs.iter().enumerate() {
+        for _ in 0..steps {
+            exec.step_proc(ProcId(proc))?;
+        }
+        out.push(Figure2Row {
+            row: row + 1,
+            action: expected[row].action,
+            registers: [
+                exec.memory().read_global(fa_memory::RegId(0)).clone(),
+                exec.memory().read_global(fa_memory::RegId(1)).clone(),
+                exec.memory().read_global(fa_memory::RegId(2)).clone(),
+            ],
+            views: [
+                exec.process(ProcId(0)).view().clone(),
+                exec.process(ProcId(1)).view().clone(),
+                exec.process(ProcId(2)).view().clone(),
+            ],
+        });
+    }
+    Ok(out)
+}
+
+/// Report of the 5-processor extension.
+#[derive(Clone, Debug)]
+pub struct ExtendedReport {
+    /// Views of `p1, p2, p3, p, p'` at the end of the run.
+    pub final_views: Vec<View<u32>>,
+    /// Every value read by shadow `p` after its warm-up iteration.
+    pub shadow_p_reads: Vec<View<u32>>,
+    /// Every value read by shadow `p'` after its warm-up iteration.
+    pub shadow_p_prime_reads: Vec<View<u32>>,
+    /// The distinct views held by live processors at the end (the stable
+    /// views of the infinite continuation).
+    pub stable_views: Vec<View<u32>>,
+}
+
+/// Runs the 5-processor extension for `cycles` iterations of the rows-5–13
+/// cycle (after the rows-1–4 prefix) and reports what the shadow processors
+/// observed.
+///
+/// Shadows are scheduled by the covering rule of Section 4.1: whenever `p2`
+/// (resp. `p3`) performs a write, shadow `p` (resp. `p'`) immediately
+/// performs all its pending accesses that target the register just written.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+///
+/// # Panics
+///
+/// Panics if `cycles == 0`.
+pub fn run_figure2_extended(cycles: usize) -> Result<ExtendedReport, MemoryError> {
+    assert!(cycles > 0, "at least one cycle required");
+    let shadow_wiring = Wiring::from_perm(vec![1, 2, 0]).expect("valid permutation");
+    let mut wirings = core_wirings();
+    wirings.push(shadow_wiring.clone()); // p
+    wirings.push(shadow_wiring); // p'
+    let procs: Vec<WriteScanProcess<u32>> =
+        [1u32, 2, 3, 1, 1].iter().map(|&x| WriteScanProcess::new(x, 3)).collect();
+    let memory = SharedMemory::new(3, View::new(), wirings)?;
+    let mut exec = Executor::new(procs, memory)?;
+
+    let p = ProcId(3);
+    let p_prime = ProcId(4);
+    let mut shadow_p_reads = Vec::new();
+    let mut shadow_p_prime_reads = Vec::new();
+    // Reads during each shadow's first write–scan iteration are warm-up.
+    let warmup_steps = 4usize;
+
+    // Steps one write–scan iteration of `writer`, firing `shadow`'s pending
+    // accesses (those aimed at the register the writer just wrote) right
+    // after the writer's write step.
+    let mut run_row = |exec: &mut Executor<WriteScanProcess<u32>>,
+                       writer: usize,
+                       shadow: Option<ProcId>|
+     -> Result<(), MemoryError> {
+        let writer = ProcId(writer);
+        // The writer's poised action is its write; note the target.
+        let target = match exec.pending_action(writer) {
+            Some(Action::Write { local, .. }) => {
+                exec.memory().wiring(writer).global(*local)
+            }
+            other => panic!("writer must be poised to write, found {other:?}"),
+        };
+        exec.step_proc(writer)?; // the write
+        if let Some(s) = shadow {
+            loop {
+                let fire = match exec.pending_action(s) {
+                    Some(a @ (Action::Read { .. } | Action::Write { .. })) => {
+                        let local = a.local_register().expect("memory access");
+                        exec.memory().wiring(s).global(local) == target
+                    }
+                    _ => false,
+                };
+                if !fire {
+                    break;
+                }
+                let before = exec.steps_taken(s);
+                let was_read = matches!(exec.pending_action(s), Some(Action::Read { .. }));
+                exec.step_proc(s)?;
+                debug_assert_eq!(exec.steps_taken(s), before + 1);
+                if was_read && exec.steps_taken(s) > warmup_steps {
+                    let value = exec.memory().read_global(target).clone();
+                    if s == p {
+                        shadow_p_reads.push(value);
+                    } else {
+                        shadow_p_prime_reads.push(value);
+                    }
+                }
+            }
+        }
+        for _ in 0..3 {
+            exec.step_proc(writer)?; // the scan
+        }
+        Ok(())
+    };
+
+    // Prefix: rows 1–4 (no shadow activity; their pending writes target r2,
+    // which is only "just written" by p2/p3 during the cycle).
+    run_row(&mut exec, 0, None)?;
+    run_row(&mut exec, 0, None)?;
+    run_row(&mut exec, 1, None)?;
+    run_row(&mut exec, 2, None)?;
+    run_row(&mut exec, 0, None)?;
+
+    // Cycle: rows 5–13, with shadows attached to p2 and p3.
+    for _ in 0..cycles {
+        for _ in 0..3 {
+            run_row(&mut exec, 1, Some(p))?;
+            run_row(&mut exec, 2, Some(p_prime))?;
+            run_row(&mut exec, 0, None)?;
+        }
+    }
+
+    let final_views: Vec<View<u32>> =
+        (0..5).map(|i| exec.process(ProcId(i)).view().clone()).collect();
+    let mut stable_views: Vec<View<u32>> = final_views.clone();
+    stable_views.sort();
+    stable_views.dedup();
+    Ok(ExtendedReport { final_views, shadow_p_reads, shadow_p_prime_reads, stable_views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable_view::{analyze_lasso, StableViewGraph};
+
+    #[test]
+    fn rows_match_the_paper_exactly() {
+        let observed = run_figure2().unwrap();
+        let expected = expected_rows();
+        assert_eq!(observed.len(), 13);
+        for (o, e) in observed.iter().zip(&expected) {
+            assert_eq!(o.registers, e.registers, "row {}: registers", e.row);
+            assert_eq!(o.views, e.views, "row {}: views", e.row);
+        }
+    }
+
+    #[test]
+    fn row13_state_equals_row4_state() {
+        let rows = run_figure2().unwrap();
+        assert_eq!(rows[3].registers, rows[12].registers);
+        assert_eq!(rows[3].views, rows[12].views);
+    }
+
+    #[test]
+    fn lasso_analysis_finds_single_source_dag() {
+        let report = analyze_lasso(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100)
+            .unwrap();
+        // Stable views are exactly the paper's: {1}, {1,2}, {1,3}.
+        let vs = report.graph.vertices();
+        assert_eq!(vs.len(), 3);
+        assert!(vs.contains(&v(&[1])));
+        assert!(vs.contains(&v(&[1, 2])));
+        assert!(vs.contains(&v(&[1, 3])));
+        assert!(report.graph.is_dag());
+        assert!(report.graph.has_unique_source());
+        assert_eq!(report.graph.sources(), vec![&v(&[1])]);
+        // The cycle repeats with period 1 (row 13's state equals row 4's).
+        assert_eq!(report.period, 1);
+    }
+
+    #[test]
+    fn incomparable_views_persist_forever() {
+        let report = analyze_lasso(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100)
+            .unwrap();
+        let v2 = &report.stable_views[&1];
+        let v3 = &report.stable_views[&2];
+        assert_eq!(v2, &v(&[1, 2]));
+        assert_eq!(v3, &v(&[1, 3]));
+        assert!(!v2.comparable(v3), "the whole point: incomparable stable views");
+    }
+
+    #[test]
+    fn extension_shadows_read_constant_incomparable_sets() {
+        let report = run_figure2_extended(30).unwrap();
+        assert!(!report.shadow_p_reads.is_empty());
+        assert!(!report.shadow_p_prime_reads.is_empty());
+        for r in &report.shadow_p_reads {
+            assert_eq!(r, &v(&[1, 2]), "p must only ever read {{1,2}}");
+        }
+        for r in &report.shadow_p_prime_reads {
+            assert_eq!(r, &v(&[1, 3]), "p' must only ever read {{1,3}}");
+        }
+    }
+
+    #[test]
+    fn extension_preserves_core_views_and_stable_structure() {
+        let report = run_figure2_extended(20).unwrap();
+        assert_eq!(report.final_views[0], v(&[1]));
+        assert_eq!(report.final_views[1], v(&[1, 2]));
+        assert_eq!(report.final_views[2], v(&[1, 3]));
+        assert_eq!(report.final_views[3], v(&[1, 2]), "shadow p stabilizes at {{1,2}}");
+        assert_eq!(report.final_views[4], v(&[1, 3]), "shadow p' stabilizes at {{1,3}}");
+        let graph = StableViewGraph::from_views(report.stable_views.clone());
+        assert!(graph.has_unique_source());
+        assert_eq!(graph.sources(), vec![&v(&[1])]);
+    }
+
+    #[test]
+    fn more_registers_do_not_prevent_the_pattern() {
+        // Section 4.1: "no additional number of registers would prevent this
+        // type of infinite execution". Rebuild with 4 registers: p1 covers
+        // the extra register, p2/p3 still chase each other. We verify the
+        // weaker, structural claim: an adversarial lasso over 4 registers
+        // still yields incomparable stable views.
+        let wirings = vec![
+            Wiring::from_perm(vec![1, 2, 3, 0]).unwrap(),
+            Wiring::identity(4),
+            Wiring::identity(4),
+        ];
+        let iteration = |p: usize| std::iter::repeat(ProcId(p)).take(5);
+        let prefix: Vec<ProcId> = iteration(0)
+            .chain(iteration(0))
+            .chain(iteration(0)) // p1 fills r2, r3, r4 with {1}
+            .chain(iteration(1))
+            .chain(iteration(2))
+            .chain(iteration(0))
+            .collect();
+        let cycle: Vec<ProcId> = (0..4)
+            .flat_map(|_| iteration(1).chain(iteration(2)).chain(iteration(0)))
+            .collect();
+        let sched = LassoSchedule::new(prefix, cycle);
+        let report = analyze_lasso(&[1, 2, 3], 4, wirings, &sched, 200).unwrap();
+        let v2 = &report.stable_views[&1];
+        let v3 = &report.stable_views[&2];
+        assert!(!v2.comparable(v3), "incomparable views persist with 4 registers");
+        assert!(report.graph.has_unique_source());
+    }
+}

@@ -1,0 +1,409 @@
+//! The global stabilization time (Definition 4.1), computed exactly for
+//! lasso executions, with Lemma 4.4 as a runtime-checked invariant.
+//!
+//! > "Let GST be the earliest time after which all views are stable, all
+//! > processors that are not live have taken their last step, and all writes
+//! > by non-live processors have been overwritten by live processors."
+//!
+//! For an ultimately-periodic execution the three conditions are decidable
+//! from a finite trace: run the lasso to its periodicity point, record the
+//! trace, and take the maximum of
+//!
+//! 1. the time after the last view change of any processor,
+//! 2. the time after the last step of any non-live processor, and
+//! 3. the earliest time from which every register's last writer is live
+//!    (or the register was never written).
+//!
+//! [`analyze_gst`] returns the GST together with the stable views, and
+//! checks **Lemma 4.4** on the periodic part: a live processor with stable
+//! view `V2` only ever reads from processors whose stable view is a subset
+//! of `V2`.
+
+use std::collections::HashMap;
+
+use fa_memory::{
+    Action, EventKind, Executor, LassoSchedule, MemoryError, ProcId, Scheduler, SharedMemory,
+    Wiring,
+};
+
+use crate::stable_view::StableViewGraph;
+use crate::{View, WriteScanProcess};
+
+/// Result of the exact GST analysis of a lasso execution.
+#[derive(Clone, Debug)]
+pub struct GstReport {
+    /// The global stabilization time (a step index into the recorded
+    /// execution).
+    pub gst: u64,
+    /// Steps recorded until periodicity was certified.
+    pub total_steps: u64,
+    /// The stable view of each live processor.
+    pub stable_views: HashMap<usize, View<u32>>,
+    /// The stable-view graph (always a single-source DAG, per Theorem 4.8).
+    pub graph: StableViewGraph<u32>,
+    /// Number of post-GST reads checked against Lemma 4.4.
+    pub lemma_4_4_reads_checked: usize,
+}
+
+/// Runs the write–scan loop under `schedule` until the global state at a
+/// cycle boundary repeats, computes the GST of the represented infinite
+/// execution, and verifies Lemma 4.4 on every post-GST read.
+///
+/// # Errors
+///
+/// * Executor errors on malformed configurations.
+/// * [`MemoryError::StepBudgetExhausted`] if periodicity is not reached
+///   within `max_cycles` cycle iterations.
+///
+/// # Panics
+///
+/// Panics if `inputs` and `wirings` lengths differ, or if Lemma 4.4 fails
+/// (which would falsify the paper's Section 4 or reveal a bug).
+pub fn analyze_gst(
+    inputs: &[u32],
+    m: usize,
+    wirings: Vec<Wiring>,
+    schedule: &LassoSchedule,
+    max_cycles: usize,
+) -> Result<GstReport, MemoryError> {
+    assert_eq!(inputs.len(), wirings.len(), "one wiring per processor required");
+    let n = inputs.len();
+    let procs: Vec<WriteScanProcess<u32>> =
+        inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+    let memory = SharedMemory::new(m, View::new(), wirings)?;
+    let mut exec = Executor::new(procs, memory)?;
+    exec.record_trace(true);
+
+    let mut sched = schedule.clone();
+    for _ in 0..schedule.prefix_len() {
+        let p = sched.next(&exec.live_procs()).expect("lasso never stops");
+        exec.step_proc(p)?;
+    }
+
+    // Iterate cycles until the cycle-boundary state repeats (as in
+    // `stable_view::analyze_lasso`, but keeping the full trace).
+    type Key = (Vec<View<u32>>, Vec<(WriteScanProcess<u32>, Option<Action<View<u32>, ()>>)>);
+    let state_key = |exec: &Executor<WriteScanProcess<u32>>| -> Key {
+        (
+            exec.memory().contents().to_vec(),
+            (0..n)
+                .map(|i| {
+                    (exec.process(ProcId(i)).clone(), exec.pending_action(ProcId(i)).cloned())
+                })
+                .collect(),
+        )
+    };
+    let mut seen: HashMap<Key, usize> = HashMap::new();
+    seen.insert(state_key(&exec), 0);
+    let mut periodic = false;
+    for cycle in 1..=max_cycles {
+        for _ in 0..schedule.cycle_len() {
+            let p = sched.next(&exec.live_procs()).expect("lasso never stops");
+            exec.step_proc(p)?;
+        }
+        let key = state_key(&exec);
+        if seen.contains_key(&key) {
+            periodic = true;
+            break;
+        }
+        seen.insert(key, cycle);
+    }
+    if !periodic {
+        return Err(MemoryError::StepBudgetExhausted {
+            budget: max_cycles * schedule.cycle_len(),
+        });
+    }
+
+    let live = schedule.live_procs();
+    let is_live = |p: ProcId| live.contains(&p);
+    let stable_views: HashMap<usize, View<u32>> = live
+        .iter()
+        .map(|&p| (p.index(), exec.process(p).view().clone()))
+        .collect();
+    let graph = StableViewGraph::from_views(stable_views.values().cloned());
+    let trace = exec.trace().expect("trace recording enabled").clone();
+    let total_steps = exec.time();
+
+    // Condition 1: views stable. A view changes only on reads that enlarge
+    // it; replay views along the trace and find the last change.
+    let mut views: Vec<View<u32>> =
+        inputs.iter().map(|&x| View::singleton(x)).collect();
+    let mut last_view_change = 0u64;
+    for e in trace.events() {
+        if let EventKind::Read { value, .. } = &e.kind {
+            if views[e.proc.index()].union_with(value) {
+                last_view_change = e.time + 1;
+            }
+        }
+    }
+    // Condition 2: non-live processors have taken their last step.
+    let mut last_nonlive_step = 0u64;
+    for e in trace.events() {
+        if !is_live(e.proc) {
+            last_nonlive_step = last_nonlive_step.max(e.time + 1);
+        }
+    }
+    // Condition 3: every register's last writer is live (or None) from some
+    // time on. Replay writes; track the latest time at which a register's
+    // last writer was non-live.
+    let mut gst3 = 0u64;
+    let mut last_writer: Vec<Option<ProcId>> = vec![None; m];
+    for e in trace.events() {
+        if let EventKind::Write { global, .. } = &e.kind {
+            last_writer[global.index()] = Some(e.proc);
+        }
+        if last_writer.iter().any(|w| w.is_some_and(|p| !is_live(p))) {
+            gst3 = e.time + 1;
+        }
+    }
+    let gst = last_view_change.max(last_nonlive_step).max(gst3);
+
+    // Lemma 4.4 on the post-GST suffix: a live reader with stable view V2
+    // reads only from writers whose stable view is contained in V2.
+    let mut reads_checked = 0usize;
+    for (reader, writer, time) in trace.reads_from() {
+        if time < gst {
+            continue;
+        }
+        reads_checked += 1;
+        assert!(
+            is_live(writer),
+            "post-GST read from non-live {writer} at t={time} (GST={gst})"
+        );
+        let v1 = &stable_views[&writer.index()];
+        let v2 = &stable_views[&reader.index()];
+        assert!(
+            v1.is_subset(v2),
+            "Lemma 4.4 violated at t={time}: {reader} (view {v2}) read from {writer} (view {v1})"
+        );
+    }
+
+    Ok(GstReport { gst, total_steps, stable_views, graph, lemma_4_4_reads_checked: reads_checked })
+}
+
+/// Executable instances of Lemmas 4.5–4.7 on the periodic part of a lasso
+/// execution.
+///
+/// Let `A` be the live processors holding the *source* stable view. After
+/// GST, Lemma 4.4 confines their reads to `A` (any value they read carries a
+/// stable view contained in the source, and the source is minimal), so:
+///
+/// * **Lemma 4.5**: at every instant, the registers last written by `Ā`
+///   number at most `|A|`;
+/// * **Lemma 4.7** (via 4.6): if `Ā` contains a live processor, some member
+///   of `Ā` reads from `A` during the periodic part.
+///
+/// Returns `(instants_checked, cross_reads_observed)`.
+///
+/// # Errors
+///
+/// Propagates analysis errors from the underlying lasso run.
+///
+/// # Panics
+///
+/// Panics if a lemma instance fails (paper falsified, or — far more likely —
+/// an implementation bug).
+pub fn check_section4_lemmas(
+    inputs: &[u32],
+    m: usize,
+    wirings: Vec<Wiring>,
+    schedule: &LassoSchedule,
+    max_cycles: usize,
+    observe_cycles: usize,
+) -> Result<(usize, usize), MemoryError> {
+    assert_eq!(inputs.len(), wirings.len(), "one wiring per processor required");
+    let n = inputs.len();
+    let procs: Vec<WriteScanProcess<u32>> =
+        inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+    let memory = SharedMemory::new(m, View::new(), wirings)?;
+    let mut exec = Executor::new(procs, memory)?;
+
+    // Drive to periodicity (without trace, for speed).
+    let mut sched = schedule.clone();
+    for _ in 0..schedule.prefix_len() {
+        let p = sched.next(&exec.live_procs()).expect("lasso never stops");
+        exec.step_proc(p)?;
+    }
+    type Key = (Vec<View<u32>>, Vec<(WriteScanProcess<u32>, Option<Action<View<u32>, ()>>)>);
+    let state_key = |exec: &Executor<WriteScanProcess<u32>>| -> Key {
+        (
+            exec.memory().contents().to_vec(),
+            (0..n)
+                .map(|i| {
+                    (exec.process(ProcId(i)).clone(), exec.pending_action(ProcId(i)).cloned())
+                })
+                .collect(),
+        )
+    };
+    let mut seen: HashMap<Key, usize> = HashMap::new();
+    seen.insert(state_key(&exec), 0);
+    let mut periodic = false;
+    for cycle in 1..=max_cycles {
+        for _ in 0..schedule.cycle_len() {
+            let p = sched.next(&exec.live_procs()).expect("lasso never stops");
+            exec.step_proc(p)?;
+        }
+        let key = state_key(&exec);
+        if seen.contains_key(&key) {
+            periodic = true;
+            break;
+        }
+        seen.insert(key, cycle);
+    }
+    if !periodic {
+        return Err(MemoryError::StepBudgetExhausted {
+            budget: max_cycles * schedule.cycle_len(),
+        });
+    }
+
+    // A = live processors holding the source stable view.
+    let live = schedule.live_procs();
+    let stable_views: HashMap<usize, View<u32>> = live
+        .iter()
+        .map(|&p| (p.index(), exec.process(p).view().clone()))
+        .collect();
+    let graph = StableViewGraph::from_views(stable_views.values().cloned());
+    let source = graph.sources()[0].clone();
+    let in_a = |p: ProcId| stable_views.get(&p.index()) == Some(&source);
+
+    // Observe the periodic part with a trace.
+    exec.record_trace(true);
+    let mut instants = 0usize;
+    let mut cross_reads = 0usize;
+    for _ in 0..observe_cycles {
+        for _ in 0..schedule.cycle_len() {
+            let p = sched.next(&exec.live_procs()).expect("lasso never stops");
+            exec.step_proc(p)?;
+            instants += 1;
+            // Lemma 4.5 instance: registers last written by Ā number ≤ |A|.
+            let a_size = live.iter().filter(|&&p| in_a(p)).count();
+            let by_complement = exec
+                .memory()
+                .registers_last_written_by(|w| !in_a(w))
+                .len();
+            assert!(
+                by_complement <= a_size,
+                "Lemma 4.5 violated: {by_complement} registers last written by Ā > |A| = {a_size}"
+            );
+        }
+    }
+    // Lemma 4.7 instance: if Ā has a live member, some member of Ā read
+    // from A during the observed periodic part.
+    let complement_live: Vec<ProcId> =
+        live.iter().copied().filter(|&p| !in_a(p)).collect();
+    if !complement_live.is_empty() {
+        let trace = exec.trace().expect("trace enabled");
+        for (reader, writer, _) in trace.reads_from() {
+            if !in_a(reader) && in_a(writer) && live.contains(&reader) {
+                cross_reads += 1;
+            }
+        }
+        assert!(
+            cross_reads > 0,
+            "Lemma 4.7 violated: no member of Ā ever read from A in {observe_cycles} cycles"
+        );
+    }
+    Ok((instants, cross_reads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure2::{core_schedule, core_wirings};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn figure2_gst_exists_and_lemma_4_4_holds() {
+        let report =
+            analyze_gst(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100).unwrap();
+        assert!(report.gst < report.total_steps);
+        assert!(report.lemma_4_4_reads_checked > 0);
+        assert!(report.graph.has_unique_source());
+        // Figure 2's stable views.
+        assert_eq!(report.stable_views.len(), 3);
+        assert_eq!(report.stable_views[&0], View::singleton(1));
+    }
+
+    #[test]
+    fn random_lassos_satisfy_the_gst_conditions() {
+        for n in 2..=5usize {
+            for trial in 0..25u64 {
+                let mut rng =
+                    rand_chacha::ChaCha8Rng::seed_from_u64((n as u64) << 40 | trial);
+                let wirings: Vec<Wiring> =
+                    (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+                let inputs: Vec<u32> = (1..=n as u32).collect();
+                let mut cycle: Vec<ProcId> = (0..n).map(ProcId).collect();
+                for _ in 0..rng.gen_range(3..25) {
+                    cycle.push(ProcId(rng.gen_range(0..n)));
+                }
+                let prefix: Vec<ProcId> = (0..rng.gen_range(0..10))
+                    .map(|_| ProcId(rng.gen_range(0..n)))
+                    .collect();
+                let sched = LassoSchedule::new(prefix, cycle);
+                let report = analyze_gst(&inputs, n, wirings, &sched, 100_000)
+                    .unwrap_or_else(|e| panic!("n={n} trial={trial}: {e}"));
+                assert!(report.graph.has_unique_source(), "n={n} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn section4_lemmas_hold_on_figure2() {
+        let (instants, cross) = check_section4_lemmas(
+            &[1, 2, 3],
+            3,
+            core_wirings(),
+            &core_schedule(),
+            100,
+            4,
+        )
+        .unwrap();
+        assert!(instants > 0);
+        // Figure 2: A = {p1} (source view {1}); p2 and p3 are live members
+        // of Ā and keep reading {1}-registers written by p1.
+        assert!(cross > 0);
+    }
+
+    #[test]
+    fn section4_lemmas_hold_on_random_lassos() {
+        for n in 2..=5usize {
+            for trial in 0..20u64 {
+                let mut rng =
+                    rand_chacha::ChaCha8Rng::seed_from_u64((n as u64) << 48 | trial);
+                let wirings: Vec<Wiring> =
+                    (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+                let inputs: Vec<u32> = (1..=n as u32).collect();
+                let mut cycle: Vec<ProcId> = (0..n).map(ProcId).collect();
+                for _ in 0..rng.gen_range(3..20) {
+                    cycle.push(ProcId(rng.gen_range(0..n)));
+                }
+                let sched = LassoSchedule::new(vec![], cycle);
+                check_section4_lemmas(&inputs, n, wirings, &sched, 100_000, 3)
+                    .unwrap_or_else(|e| panic!("n={n} trial={trial}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn nonlive_processor_pushes_gst_past_its_last_step_when_covered() {
+        // p2 acts only in the prefix (writing register 0 with identity
+        // wiring); the live processors overwrite it during the cycle, so the
+        // GST must be at least past p2's last step.
+        let n = 3;
+        let prefix = vec![ProcId(2); 4];
+        let cycle: Vec<ProcId> =
+            [0, 0, 0, 0, 1, 1, 1, 1].iter().map(|&i| ProcId(i)).collect();
+        let sched = LassoSchedule::new(prefix.clone(), cycle);
+        let report = analyze_gst(
+            &[1, 2, 3],
+            n,
+            vec![Wiring::identity(n); n],
+            &sched,
+            10_000,
+        )
+        .unwrap();
+        assert!(report.gst >= prefix.len() as u64);
+        assert!(!report.stable_views.contains_key(&2));
+    }
+}

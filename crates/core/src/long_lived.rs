@@ -1,0 +1,267 @@
+//! The long-lived snapshot of Section 7.
+//!
+//! "Processors use the algorithm of Figure 3, keeping their local state
+//! between invocations, and, upon a new invocation, simply reset their level
+//! to 0 and add their new input to their view." The result is non-blocking
+//! and obstruction-free (each invocation in isolation is the wait-free
+//! one-shot algorithm).
+//!
+//! Guarantees (Section 7): outputs only contain inputs of participating
+//! processors; each processor's output contains all inputs it has used so
+//! far; every two outputs are related by containment.
+
+use fa_memory::{Action, Process, StepInput};
+
+use crate::snapshot::{EngineStep, SnapRegister, SnapshotEngine};
+use crate::View;
+
+/// A process that invokes the long-lived snapshot once per queued input,
+/// outputting the resulting view after each invocation, then halting.
+///
+/// All invocations run over the same `N` registers with the engine's local
+/// state carried across invocations, exactly as prescribed in Section 7.
+///
+/// ```
+/// use fa_core::{LongLivedSnapshotProcess, SnapRegister, View};
+/// use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+///
+/// let n = 2;
+/// let procs = vec![
+///     LongLivedSnapshotProcess::new(vec![1u32, 10], n),
+///     LongLivedSnapshotProcess::new(vec![2, 20], n),
+/// ];
+/// let memory =
+///     SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
+/// let mut exec = Executor::new(procs, memory).unwrap();
+/// exec.run_round_robin(1_000_000).unwrap();
+/// // Two outputs per processor; each output contains all inputs used so far,
+/// // and every two outputs (across processors and invocations) are
+/// // containment-related.
+/// let all: Vec<&View<u32>> = (0..n)
+///     .flat_map(|i| exec.outputs(ProcId(i)).iter())
+///     .collect();
+/// for a in &all {
+///     for b in &all {
+///         assert!(a.comparable(b));
+///     }
+/// }
+/// assert!(exec.outputs(ProcId(0))[1].contains(&10));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LongLivedSnapshotProcess<V: Ord> {
+    engine: SnapshotEngine<V>,
+    /// Inputs for invocations not yet started (front = next).
+    queued: Vec<V>,
+    /// Index of the next queued input to consume.
+    next_input: usize,
+    /// Set between emitting an invocation's output and deciding whether to
+    /// start the next invocation or halt.
+    awaiting_continuation: bool,
+    /// All inputs used so far (for assertions by analyses).
+    used_inputs: View<V>,
+    /// Set when all invocations have completed and the final output was
+    /// emitted.
+    finished: bool,
+}
+
+impl<V: Ord + Clone> LongLivedSnapshotProcess<V> {
+    /// Creates a process that performs one long-lived snapshot invocation per
+    /// element of `inputs`, in order, over `n` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or `n == 0`.
+    #[must_use]
+    pub fn new(inputs: Vec<V>, n: usize) -> Self {
+        assert!(!inputs.is_empty(), "at least one invocation input required");
+        let first = inputs[0].clone();
+        LongLivedSnapshotProcess {
+            engine: SnapshotEngine::new(first.clone(), n),
+            queued: inputs,
+            next_input: 1,
+            awaiting_continuation: false,
+            used_inputs: View::singleton(first),
+            finished: false,
+        }
+    }
+
+    /// The inputs used by invocations started so far.
+    #[must_use]
+    pub fn used_inputs(&self) -> &View<V> {
+        &self.used_inputs
+    }
+
+    /// The engine's current view (analysis only).
+    #[must_use]
+    pub fn view(&self) -> &View<V> {
+        self.engine.view()
+    }
+
+    /// Number of invocations that have not yet started.
+    #[must_use]
+    pub fn invocations_remaining(&self) -> usize {
+        self.queued.len() - self.next_input
+    }
+}
+
+impl<V: Ord + Clone> Process for LongLivedSnapshotProcess<V> {
+    type Value = SnapRegister<V>;
+    type Output = View<V>;
+
+    fn step(&mut self, input: StepInput<SnapRegister<V>>) -> Action<SnapRegister<V>, View<V>> {
+        if self.finished {
+            return Action::Halt;
+        }
+        if self.awaiting_continuation {
+            // The previous step emitted an invocation's output; now either
+            // start the next invocation or halt.
+            debug_assert!(matches!(input, StepInput::OutputRecorded));
+            self.awaiting_continuation = false;
+            if self.next_input < self.queued.len() {
+                let next = self.queued[self.next_input].clone();
+                self.next_input += 1;
+                self.used_inputs.insert(next.clone());
+                self.engine.resume_with(next);
+                // The resumed engine immediately wants to write its view.
+                match self.engine.step(StepInput::Start) {
+                    EngineStep::Access(Action::Write { local, value }) => {
+                        return Action::Write { local, value };
+                    }
+                    _ => unreachable!("resumed engine must write first"),
+                }
+            }
+            self.finished = true;
+            return Action::Halt;
+        }
+        match self.engine.step(input) {
+            EngineStep::Access(Action::Read { local }) => Action::Read { local },
+            EngineStep::Access(Action::Write { local, value }) => {
+                Action::Write { local, value }
+            }
+            EngineStep::Access(_) => unreachable!("the engine only issues memory accesses"),
+            EngineStep::Done(view) => {
+                // Emit the output now; decide continuation on the next step
+                // (outputs are steps of their own in the model).
+                self.awaiting_continuation = true;
+                Action::Output(view)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+    use rand::SeedableRng;
+
+    fn run(
+        inputs: Vec<Vec<u32>>,
+        seed: u64,
+        wirings: Option<Vec<Wiring>>,
+    ) -> Executor<LongLivedSnapshotProcess<u32>> {
+        let n = inputs.len();
+        let procs: Vec<LongLivedSnapshotProcess<u32>> =
+            inputs.into_iter().map(|is| LongLivedSnapshotProcess::new(is, n)).collect();
+        let wirings = wirings.unwrap_or_else(|| vec![Wiring::identity(n); n]);
+        let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(seed), 10_000_000)
+            .unwrap();
+        exec
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one invocation")]
+    fn empty_inputs_panics() {
+        let _ = LongLivedSnapshotProcess::<u32>::new(vec![], 2);
+    }
+
+    #[test]
+    fn one_output_per_invocation() {
+        let exec = run(vec![vec![1, 10, 100], vec![2, 20]], 3, None);
+        assert_eq!(exec.outputs(ProcId(0)).len(), 3);
+        assert_eq!(exec.outputs(ProcId(1)).len(), 2);
+    }
+
+    #[test]
+    fn outputs_contain_all_inputs_used_so_far() {
+        for seed in 0..10 {
+            let exec = run(vec![vec![1, 10], vec![2, 20]], seed, None);
+            let o0 = exec.outputs(ProcId(0));
+            assert!(o0[0].contains(&1));
+            assert!(o0[1].contains(&1) && o0[1].contains(&10));
+            let o1 = exec.outputs(ProcId(1));
+            assert!(o1[0].contains(&2));
+            assert!(o1[1].contains(&2) && o1[1].contains(&20));
+        }
+    }
+
+    #[test]
+    fn all_outputs_pairwise_comparable() {
+        for seed in 0..10 {
+            let exec = run(
+                vec![vec![1, 10], vec![2, 20], vec![3, 30]],
+                seed,
+                Some(vec![
+                    Wiring::identity(3),
+                    Wiring::cyclic_shift(3, 1),
+                    Wiring::cyclic_shift(3, 2),
+                ]),
+            );
+            let all: Vec<View<u32>> = (0..3)
+                .flat_map(|i| exec.outputs(ProcId(i)).iter().cloned())
+                .collect();
+            for a in &all {
+                for b in &all {
+                    assert!(a.comparable(b), "seed {seed}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_processor_outputs_grow() {
+        for seed in 0..5 {
+            let exec = run(vec![vec![1, 10, 100], vec![2, 20, 200]], seed, None);
+            for p in 0..2 {
+                let outs = exec.outputs(ProcId(p));
+                for w in outs.windows(2) {
+                    assert!(
+                        w[0].is_subset(&w[1]),
+                        "a later output must contain an earlier one"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_only_contain_used_inputs() {
+        let exec = run(vec![vec![1, 10], vec![2, 20]], 0, None);
+        let legal: View<u32> = [1, 10, 2, 20].into_iter().collect();
+        for p in 0..2 {
+            for o in exec.outputs(ProcId(p)) {
+                assert!(o.is_subset(&legal));
+            }
+        }
+    }
+
+    #[test]
+    fn solo_invocations_are_wait_free() {
+        // Obstruction-free progress: run p0 solo through all invocations.
+        let n = 2;
+        let procs = vec![
+            LongLivedSnapshotProcess::new(vec![1u32, 10], n),
+            LongLivedSnapshotProcess::new(vec![2], n),
+        ];
+        let memory =
+            SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        let outcome = exec.run_solo(ProcId(0), 1_000_000).unwrap();
+        assert!(exec.is_halted(ProcId(0)));
+        assert!(!outcome.all_halted);
+        assert_eq!(exec.outputs(ProcId(0)).len(), 2);
+        assert_eq!(exec.outputs(ProcId(0))[1], [1u32, 10].into_iter().collect());
+    }
+}

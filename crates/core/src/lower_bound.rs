@@ -1,0 +1,203 @@
+//! The covering lower bound of Section 2.1: with `N−1` registers, no
+//! read-write wait-free coordination is possible in the fully-anonymous
+//! model.
+//!
+//! The argument is a covering construction. Pick a processor `p` and let
+//! `Q` be the other `N−1` processors. Wire `Q` so that their first writes
+//! target `N−1` *distinct* registers and stop each of them just before that
+//! write ("poised"). Let `p` run solo until it outputs. Then release the
+//! poised writes of `Q`: every register is overwritten and **no information
+//! written by `p` remains in the system**. To `Q`, the execution is
+//! indistinguishable from one where `p` had a different input (and took no
+//! steps they could observe); to `p`, from one where `Q` had different
+//! inputs. Hence no coordination between `p` and `Q`.
+//!
+//! This module executes the construction against the snapshot algorithm (any
+//! algorithm whose processes write their input-dependent state would do) and
+//! checks both the erasure and the indistinguishability claims.
+
+use fa_memory::{Executor, MemoryError, ProcId, SharedMemory, Wiring};
+
+use crate::{SnapRegister, SnapshotProcess, View};
+
+/// The outcome of the covering construction.
+#[derive(Clone, Debug)]
+pub struct CoveringReport {
+    /// Number of processors `N`.
+    pub n: usize,
+    /// Number of registers (`N − 1`).
+    pub registers: usize,
+    /// The solo processor's input.
+    pub solo_input: u32,
+    /// The solo processor's output (its view) — computed without ever being
+    /// observed by `Q`.
+    pub solo_output: View<u32>,
+    /// Register contents after `Q`'s covering writes.
+    pub memory_after: Vec<View<u32>>,
+    /// `true` iff no register mentions the solo processor's input after the
+    /// covering writes — `p`'s information was erased.
+    pub erased: bool,
+    /// `true` iff rerunning the construction with a different solo input
+    /// leaves `Q`'s processes and the memory in identical states —
+    /// indistinguishability for `Q`.
+    pub indistinguishable_to_q: bool,
+}
+
+/// State of one run of the construction, for comparison across solo inputs.
+struct RunState {
+    solo_output: View<u32>,
+    memory_after: Vec<View<u32>>,
+    q_states: Vec<SnapshotProcess<u32>>,
+}
+
+fn run_once(n: usize, solo_input: u32) -> Result<RunState, MemoryError> {
+    let m = n - 1;
+    // Inputs: solo processor is p0; Q are p1..p(n-1) with inputs 100+i.
+    let mut procs: Vec<SnapshotProcess<u32>> = Vec::with_capacity(n);
+    procs.push(SnapshotProcess::new(solo_input, m));
+    for i in 1..n {
+        procs.push(SnapshotProcess::new(100 + i as u32, m));
+    }
+    // Wirings: q_i's first write (local register 0) targets global i−1, so
+    // the N−1 poised writes cover all N−1 registers. p0's wiring is
+    // irrelevant; identity.
+    let mut wirings = vec![Wiring::identity(m)];
+    for i in 1..n {
+        wirings.push(Wiring::cyclic_shift(m, i - 1));
+    }
+    let memory = SharedMemory::new(m, SnapRegister::default(), wirings)?;
+    let mut exec = Executor::new(procs, memory)?;
+
+    // Every process's first poised action is its first write: Q already
+    // covers all registers without taking a single step. Run p0 solo until
+    // it outputs and halts.
+    let outcome = exec.run_solo(ProcId(0), 10_000_000)?;
+    debug_assert!(exec.is_halted(ProcId(0)), "solo snapshot is wait-free");
+    debug_assert!(!outcome.all_halted);
+    let solo_output =
+        exec.first_output(ProcId(0)).expect("solo run must output").clone();
+
+    // Release the covering writes: one step each.
+    for i in 1..n {
+        exec.step_proc(ProcId(i))?;
+    }
+
+    let memory_after: Vec<View<u32>> =
+        exec.memory().contents().iter().map(|r| r.view.clone()).collect();
+    let q_states: Vec<SnapshotProcess<u32>> =
+        (1..n).map(|i| exec.process(ProcId(i)).clone()).collect();
+    Ok(RunState { solo_output, memory_after, q_states })
+}
+
+/// Executes the Section 2.1 construction for a system of `n ≥ 2` processors
+/// over `n − 1` registers and reports erasure and indistinguishability.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn covering_demo(n: usize) -> Result<CoveringReport, MemoryError> {
+    assert!(n >= 2, "the construction needs at least two processors");
+    let solo_input = 7u32;
+    let alt_input = 8u32;
+    let base = run_once(n, solo_input)?;
+    let alt = run_once(n, alt_input)?;
+
+    let erased = base
+        .memory_after
+        .iter()
+        .all(|reg| !reg.contains(&solo_input));
+    // Q cannot distinguish the two executions: identical memory and states.
+    let indistinguishable_to_q =
+        base.memory_after == alt.memory_after && base.q_states == alt.q_states;
+
+    Ok(CoveringReport {
+        n,
+        registers: n - 1,
+        solo_input,
+        solo_output: base.solo_output,
+        memory_after: base.memory_after,
+        erased,
+        indistinguishable_to_q,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn information_is_erased_for_small_systems() {
+        for n in 2..=6 {
+            let report = covering_demo(n).unwrap();
+            assert_eq!(report.registers, n - 1);
+            assert!(report.erased, "n={n}: p's writes must be fully overwritten");
+        }
+    }
+
+    #[test]
+    fn q_cannot_distinguish_solo_inputs() {
+        for n in 2..=6 {
+            let report = covering_demo(n).unwrap();
+            assert!(
+                report.indistinguishable_to_q,
+                "n={n}: Q must see identical states for different solo inputs"
+            );
+        }
+    }
+
+    #[test]
+    fn solo_output_contains_only_own_input() {
+        let report = covering_demo(4).unwrap();
+        assert_eq!(report.solo_output, View::singleton(report.solo_input));
+    }
+
+    #[test]
+    fn memory_after_covering_contains_only_q_inputs() {
+        let n = 5;
+        let report = covering_demo(n).unwrap();
+        for reg in &report.memory_after {
+            assert_eq!(reg.len(), 1, "each covering write is a first write");
+            let val = *reg.iter().next().unwrap();
+            assert!((101..100 + n as u32 + 1).contains(&val));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two processors")]
+    fn rejects_trivial_system() {
+        let _ = covering_demo(1);
+    }
+
+    #[test]
+    fn with_n_registers_coverage_fails() {
+        // Control: with N registers (the paper's algorithm configuration),
+        // N−1 poised writes cannot cover all registers — at least one
+        // register keeps p's information. This is why N registers suffice.
+        let n = 4;
+        let m = n; // full register count
+        let mut procs: Vec<SnapshotProcess<u32>> = vec![SnapshotProcess::new(7, m)];
+        for i in 1..n {
+            procs.push(SnapshotProcess::new(100 + i as u32, m));
+        }
+        let mut wirings = vec![Wiring::identity(m)];
+        for i in 1..n {
+            wirings.push(Wiring::cyclic_shift(m, i - 1));
+        }
+        let memory = SharedMemory::new(m, SnapRegister::default(), wirings).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_solo(ProcId(0), 10_000_000).unwrap();
+        for i in 1..n {
+            exec.step_proc(ProcId(i)).unwrap();
+        }
+        let survives = exec
+            .memory()
+            .contents()
+            .iter()
+            .any(|r| r.view.contains(&7));
+        assert!(survives, "with N registers p's information must survive the covering");
+    }
+}

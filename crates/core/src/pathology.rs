@@ -1,0 +1,132 @@
+//! Generalized covering pathologies: Figure 2's execution for *any* number
+//! of registers.
+//!
+//! Section 4.1: "adding one more register would not help prevent this type
+//! of execution; it would merely add three more overwriting steps to
+//! complete the repeating cycle. Similarly, no additional number of
+//! registers would prevent this type of infinite execution."
+//!
+//! [`generalized_wirings`] and [`generalized_schedule`] build the `m`-register
+//! version of the construction for three core processors: `p1` (input 1)
+//! first floods all registers with `{1}`; then, register by register, `p2`
+//! writes `{1,2}`, `p3` overwrites with `{1,3}`, and `p1` erases back to
+//! `{1}` — so `p2` and `p3` hold incomparable views forever, whatever `m`
+//! is. For `m = 3` this is exactly Figure 2.
+
+use fa_memory::{LassoSchedule, MemoryError, ProcId, Wiring};
+
+use crate::stable_view::{analyze_lasso, StableViewReport};
+
+/// The wirings of the generalized construction over `m` registers: `p1`
+/// shifts by one (so its first `m−1` writes land on registers `2..m`,
+/// leaving register 1 for the chase), `p2` and `p3` share the identity.
+///
+/// # Panics
+///
+/// Panics if `m < 3`.
+#[must_use]
+pub fn generalized_wirings(m: usize) -> Vec<Wiring> {
+    assert!(m >= 3, "the construction needs at least three registers");
+    vec![Wiring::cyclic_shift(m, 1), Wiring::identity(m), Wiring::identity(m)]
+}
+
+/// The lasso schedule of the generalized construction: the prefix floods the
+/// registers and establishes views `{1}`, `{1,2}`, `{1,3}`; the cycle chases
+/// through all `m` registers, one `(p2, p3, p1)` row triple per register.
+///
+/// One write–scan iteration of a processor is `m + 1` atomic steps (one
+/// write, `m` reads).
+///
+/// # Panics
+///
+/// Panics if `m < 3`.
+#[must_use]
+pub fn generalized_schedule(m: usize) -> LassoSchedule {
+    assert!(m >= 3, "the construction needs at least three registers");
+    let iteration = |p: usize| std::iter::repeat(ProcId(p)).take(m + 1);
+    // Prefix: p1 performs m−1 iterations (flooding registers 2..=m with
+    // {1}), then p2 writes register 1, p3 overwrites it, p1 erases it.
+    let mut prefix: Vec<ProcId> = Vec::new();
+    for _ in 0..m - 1 {
+        prefix.extend(iteration(0));
+    }
+    prefix.extend(iteration(1));
+    prefix.extend(iteration(2));
+    prefix.extend(iteration(0));
+    // Cycle: for each register in p2/p3's shared order, the row triple.
+    let cycle: Vec<ProcId> = (0..m)
+        .flat_map(|_| {
+            iteration(1).chain(iteration(2)).chain(iteration(0)).collect::<Vec<_>>()
+        })
+        .collect();
+    LassoSchedule::new(prefix, cycle)
+}
+
+/// Runs the generalized construction to periodicity and returns its exact
+/// stable-view report. For every `m ≥ 3` the stable views are `{1}`,
+/// `{1,2}`, `{1,3}` — the incomparable pair persists regardless of the
+/// register count, and the stable-view graph has the unique source `{1}`.
+///
+/// # Errors
+///
+/// Propagates analysis errors (`max_cycles` too small).
+///
+/// # Panics
+///
+/// Panics if `m < 3`.
+pub fn generalized_report(m: usize, max_cycles: usize) -> Result<StableViewReport<u32>, MemoryError> {
+    analyze_lasso(
+        &[1, 2, 3],
+        m,
+        generalized_wirings(m),
+        &generalized_schedule(m),
+        max_cycles,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::View;
+
+    fn v(ids: &[u32]) -> View<u32> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn m3_matches_figure2() {
+        let report = generalized_report(3, 200).unwrap();
+        assert_eq!(report.graph.vertices(), &[v(&[1]), v(&[1, 2]), v(&[1, 3])]);
+        assert_eq!(report.graph.sources(), vec![&v(&[1])]);
+    }
+
+    #[test]
+    fn pattern_persists_for_all_register_counts() {
+        for m in 3..=8usize {
+            let report = generalized_report(m, 500)
+                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+            let vs = report.graph.vertices();
+            assert_eq!(vs, &[v(&[1]), v(&[1, 2]), v(&[1, 3])], "m={m}");
+            assert!(report.graph.has_unique_source(), "m={m}");
+            let v2 = &report.stable_views[&1];
+            let v3 = &report.stable_views[&2];
+            assert!(!v2.comparable(v3), "m={m}: incomparability must persist");
+        }
+    }
+
+    #[test]
+    fn cycle_length_grows_with_registers() {
+        // "one more register merely adds three more overwriting steps":
+        // the cycle gains one (p2, p3, p1) row triple per extra register.
+        let rows = |m: usize| generalized_schedule(m).cycle_len() / (m + 1);
+        for m in 3..=8usize {
+            assert_eq!(rows(m), 3 * m, "m={m}: three rows per register");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three registers")]
+    fn rejects_tiny_register_counts() {
+        let _ = generalized_wirings(2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Adaptive renaming with `M(M+1)/2` names (Section 6, Figure 4).
+//!
+//! The algorithm is Bar-Noy & Dolev's snapshot-to-name rule: obtain a
+//! snapshot `S` of participating (group) inputs, let `z = |S|` and let `r` be
+//! the rank of the processor's own input in `S` (1-based, ascending); take
+//! the name `z(z−1)/2 + r`. Name 1 is reserved for the snapshot of size 1,
+//! names 2–3 for size 2, names 4–6 for size 3, and so on; with `M`
+//! participating groups all names fall in `1..=M(M+1)/2`.
+//!
+//! The subtle point the paper proves (Section 6): this stays correct with a
+//! *group* solution to the snapshot task, where two processors of the same
+//! group may hold incomparable snapshots. Incomparable snapshots can only
+//! come from the same group `g`, and any other group's snapshot is either a
+//! superset of their union or a subset of their intersection — so the
+//! "reserved" size range only ever collides within `g`, which group
+//! solvability allows. The algorithm is adaptive: it never needs to know `N`.
+
+use fa_memory::{Action, Process, StepInput};
+
+use crate::snapshot::{EngineStep, SnapRegister, SnapshotEngine};
+use crate::View;
+
+/// Converts a snapshot view and an own-input rank into a Bar-Noy–Dolev name.
+///
+/// Exposed for tests and analyses.
+///
+/// ```
+/// use fa_core::{RenamingProcess, View};
+/// let snap: View<u32> = [5, 9].into_iter().collect();
+/// // |S| = 2, rank of 9 is 2: name = 1·2/2 + 2 = 3.
+/// assert_eq!(RenamingProcess::name_for(&snap, &9).unwrap(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RenamingProcess<V: Ord> {
+    input: V,
+    engine: SnapshotEngine<V>,
+    output_emitted: bool,
+}
+
+impl<V: Ord + Clone> RenamingProcess<V> {
+    /// Creates the renaming process with this processor's (group) input for
+    /// a system of `n` processors and registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(input: V, n: usize) -> Self {
+        RenamingProcess {
+            engine: SnapshotEngine::new(input.clone(), n),
+            input,
+            output_emitted: false,
+        }
+    }
+
+    /// The Bar-Noy–Dolev name for holding snapshot `snap` with own input
+    /// `input`: `z(z−1)/2 + r` where `z = |snap|` and `r` is the 1-based rank
+    /// of `input` in `snap`. Returns `None` if `input ∉ snap` (which a
+    /// correct snapshot never produces).
+    #[must_use]
+    pub fn name_for(snap: &View<V>, input: &V) -> Option<usize> {
+        let z = snap.len();
+        let r = snap.rank_of(input)?;
+        Some(z * (z - 1) / 2 + r)
+    }
+
+    /// The processor's current view (analysis only).
+    #[must_use]
+    pub fn view(&self) -> &View<V> {
+        self.engine.view()
+    }
+}
+
+impl<V: Ord + Clone> Process for RenamingProcess<V> {
+    type Value = SnapRegister<V>;
+    /// The chosen name.
+    type Output = usize;
+
+    fn step(&mut self, input: StepInput<SnapRegister<V>>) -> Action<SnapRegister<V>, usize> {
+        if self.output_emitted {
+            return Action::Halt;
+        }
+        match self.engine.step(input) {
+            EngineStep::Access(Action::Read { local }) => Action::Read { local },
+            EngineStep::Access(Action::Write { local, value }) => {
+                Action::Write { local, value }
+            }
+            EngineStep::Access(_) => unreachable!("the engine only issues memory accesses"),
+            EngineStep::Done(snap) => {
+                self.output_emitted = true;
+                let name = Self::name_for(&snap, &self.input)
+                    .expect("a snapshot always contains its taker's input");
+                Action::Output(name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn run_renaming(inputs: &[u32], seed: u64, random_wirings: bool) -> Vec<usize> {
+        let n = inputs.len();
+        let procs: Vec<RenamingProcess<u32>> =
+            inputs.iter().map(|&x| RenamingProcess::new(x, n)).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let wirings: Vec<Wiring> = if random_wirings {
+            (0..n).map(|_| Wiring::random(n, &mut rng)).collect()
+        } else {
+            vec![Wiring::identity(n); n]
+        };
+        let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_random(rng, 10_000_000).unwrap();
+        (0..n).map(|i| *exec.first_output(ProcId(i)).unwrap()).collect()
+    }
+
+    #[test]
+    fn name_rule_matches_paper_examples() {
+        // Snapshot of size 1 -> name 1.
+        let s1: View<u32> = [4].into_iter().collect();
+        assert_eq!(RenamingProcess::name_for(&s1, &4), Some(1));
+        // Size 2 -> names 2 and 3.
+        let s2: View<u32> = [4, 7].into_iter().collect();
+        assert_eq!(RenamingProcess::name_for(&s2, &4), Some(2));
+        assert_eq!(RenamingProcess::name_for(&s2, &7), Some(3));
+        // Size 3 -> names 4, 5, 6.
+        let s3: View<u32> = [1, 4, 7].into_iter().collect();
+        assert_eq!(RenamingProcess::name_for(&s3, &1), Some(4));
+        assert_eq!(RenamingProcess::name_for(&s3, &4), Some(5));
+        assert_eq!(RenamingProcess::name_for(&s3, &7), Some(6));
+        // Input absent: None.
+        assert_eq!(RenamingProcess::name_for(&s3, &99), None);
+    }
+
+    #[test]
+    fn distinct_groups_get_distinct_names_in_range() {
+        for seed in 0..20 {
+            let inputs = [3u32, 1, 2];
+            let names = run_renaming(&inputs, seed, true);
+            let m = inputs.len(); // all groups distinct
+            let bound = m * (m + 1) / 2;
+            let mut seen = std::collections::BTreeSet::new();
+            for &name in &names {
+                assert!(name >= 1 && name <= bound, "seed {seed}: name {name} out of range");
+                assert!(seen.insert(name), "seed {seed}: duplicate name {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_group_may_share_name_but_not_across_groups() {
+        // Inputs: groups {7, 7, 9}. The two 7-processors may share a name;
+        // the 9-processor must never collide with either.
+        for seed in 0..20 {
+            let names = run_renaming(&[7, 7, 9], seed, true);
+            assert_ne!(names[0], names[2], "seed {seed}: cross-group collision");
+            assert_ne!(names[1], names[2], "seed {seed}: cross-group collision");
+            // Range: M = 2 groups participate, but the *adaptive* bound is in
+            // terms of participating groups: M(M+1)/2 = 3.
+            for &n in &names {
+                assert!(n >= 1 && n <= 3, "seed {seed}: name {n} outside group bound");
+            }
+        }
+    }
+
+    #[test]
+    fn names_group_solve_renaming_task() {
+        use fa_tasks::{check_group_solution, AdaptiveRenaming, GroupAssignment, GroupId};
+        for seed in 0..10 {
+            let inputs = [2u32, 2, 5, 1];
+            let names = run_renaming(&inputs, seed, true);
+            // Map raw inputs to group ids by value.
+            let mut ids: BTreeMap<u32, usize> = BTreeMap::new();
+            for &i in &inputs {
+                let next = ids.len();
+                ids.entry(i).or_insert(next);
+            }
+            let groups = GroupAssignment::new(
+                inputs.iter().map(|i| GroupId(ids[i])).collect(),
+            );
+            let outputs: Vec<Option<usize>> = names.into_iter().map(Some).collect();
+            check_group_solution(&AdaptiveRenaming::quadratic(), &groups, &outputs)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn solo_processor_takes_name_one() {
+        let n = 3;
+        let procs: Vec<RenamingProcess<u32>> =
+            [5u32, 6, 7].iter().map(|&x| RenamingProcess::new(x, n)).collect();
+        let memory =
+            SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_solo(ProcId(1), 1_000_000).unwrap();
+        // Adaptive: alone, its snapshot is {6}, size 1, rank 1 -> name 1.
+        assert_eq!(exec.first_output(ProcId(1)), Some(&1));
+    }
+}

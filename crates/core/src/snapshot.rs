@@ -1,0 +1,644 @@
+//! The wait-free snapshot algorithm of Section 5 (Figure 3).
+//!
+//! Each processor keeps a *view* (initially the singleton of its input) and a
+//! *level* (initially 0) and repeats a write–scan loop over the `N` shared
+//! registers:
+//!
+//! 1. **write** — write `(view, level)` to the next register in a fair
+//!    rotation (each register once before any register twice);
+//! 2. **scan** — read all `N` registers one by one. If every register held
+//!    exactly the processor's own view, set `level` to one plus the minimum
+//!    level read; otherwise reset `level` to 0. Then add everything read to
+//!    the view.
+//!
+//! A processor terminates and outputs its view as a snapshot upon reaching
+//! level `N`. (The paper's footnote 4 notes level `N−1` suffices; the
+//! termination level is configurable here to support that ablation.)
+//!
+//! The level mechanism is what defeats the pathological executions of
+//! Section 4.1: to keep two incomparable views alive forever, the "churning"
+//! processors can never complete a scan reading their own view everywhere, so
+//! they keep writing level 0, and any processor reading from them can never
+//! raise its own level past 1.
+
+use fa_memory::{Action, LocalRegId, Process, StepInput};
+use serde::{Deserialize, Serialize};
+
+use crate::View;
+
+/// Register contents for the snapshot algorithm: a view plus the writer's
+/// level at the time of the write (Figure 3, line 4).
+///
+/// The default value (empty view, level 0) is the registers' initial
+/// contents.
+#[derive(
+    Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SnapRegister<V: Ord> {
+    /// The view written.
+    pub view: View<V>,
+    /// The writer's level at the time of the write.
+    pub level: usize,
+}
+
+impl<V: Ord> SnapRegister<V> {
+    /// Creates register contents from a view and level.
+    #[must_use]
+    pub fn new(view: View<V>, level: usize) -> Self {
+        SnapRegister { view, level }
+    }
+}
+
+/// What the engine wants next: a memory access, or the snapshot result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineStep<V: Ord> {
+    /// Issue this shared-memory access.
+    Access(Action<SnapRegister<V>, ()>),
+    /// The engine reached its termination level; the view is the snapshot.
+    Done(View<V>),
+}
+
+/// The reusable core of the snapshot algorithm: the write–scan–level loop of
+/// Figure 3, driven like a [`Process`] but returning [`EngineStep::Done`]
+/// instead of halting, so that wrappers can decide what happens at
+/// termination (output and halt; rename; re-invoke long-lived; feed
+/// consensus).
+///
+/// Values are the generic `V`; registers hold [`SnapRegister<V>`].
+#[derive(Clone, Debug)]
+pub struct SnapshotEngine<V: Ord> {
+    /// Number of registers (= number of processors `N` in the paper).
+    m: usize,
+    /// Level at which the engine declares its view a snapshot.
+    terminate_level: usize,
+    view: View<V>,
+    level: usize,
+    /// Next local register in the fair write rotation.
+    write_idx: usize,
+    phase: EnginePhase<V>,
+    /// Completed scans (for step-complexity metrics).
+    scans: usize,
+}
+
+// Equality and hashing ignore the `scans` instrumentation counter: two
+// engines are "the same state" iff they behave identically from here on,
+// which is what model checking and periodicity detection require.
+impl<V: Ord> PartialEq for SnapshotEngine<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m
+            && self.terminate_level == other.terminate_level
+            && self.view == other.view
+            && self.level == other.level
+            && self.write_idx == other.write_idx
+            && self.phase == other.phase
+    }
+}
+
+impl<V: Ord> Eq for SnapshotEngine<V> {}
+
+impl<V: Ord + std::hash::Hash> std::hash::Hash for SnapshotEngine<V> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.m.hash(state);
+        self.terminate_level.hash(state);
+        self.view.hash(state);
+        self.level.hash(state);
+        self.write_idx.hash(state);
+        self.phase.hash(state);
+    }
+}
+
+/// Where the engine is in its write–scan loop.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum EnginePhase<V: Ord> {
+    Write,
+    AwaitWrote,
+    Scanning { next: usize, all_match: bool, min_level: usize, pending: View<V> },
+    Done,
+}
+
+impl<V: Ord + Clone> SnapshotEngine<V> {
+    /// Creates an engine for a system of `m` registers (the paper's `N`),
+    /// with initial view `{input}`, level 0, terminating at level `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(input: V, m: usize) -> Self {
+        Self::with_terminate_level(input, m, m)
+    }
+
+    /// Like [`new`](SnapshotEngine::new) but terminating at a custom level —
+    /// the ablation knob. Level `m` is the paper's algorithm; level `m-1` is
+    /// footnote 4's optimization; level 1 approximates a double collect
+    /// (known inadequate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `terminate_level == 0`.
+    #[must_use]
+    pub fn with_terminate_level(input: V, m: usize, terminate_level: usize) -> Self {
+        assert!(m > 0, "the model requires at least one register");
+        assert!(terminate_level > 0, "termination at level 0 would be immediate");
+        SnapshotEngine {
+            m,
+            terminate_level,
+            view: View::singleton(input),
+            level: 0,
+            write_idx: 0,
+            phase: EnginePhase::Write,
+            scans: 0,
+        }
+    }
+
+    /// The engine's current view.
+    #[must_use]
+    pub fn view(&self) -> &View<V> {
+        &self.view
+    }
+
+    /// The engine's current level.
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Completed scans so far.
+    #[must_use]
+    pub fn scans_completed(&self) -> usize {
+        self.scans
+    }
+
+    /// Whether the engine has terminated (and not been resumed).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, EnginePhase::Done)
+    }
+
+    /// If the engine is mid-scan, the number of register reads *consumed* so
+    /// far in the current scan (local registers `0..k` have been read).
+    /// `None` outside the scanning phase.
+    ///
+    /// This is the position information Definition 5.1 needs: a scanning
+    /// processor that "has not yet read any register in `R_W`" cannot evade
+    /// reading `W` before its next write.
+    #[must_use]
+    pub fn scan_reads_consumed(&self) -> Option<usize> {
+        match &self.phase {
+            EnginePhase::Scanning { next, .. } => Some(next - 1),
+            _ => None,
+        }
+    }
+
+    /// Resumes a terminated engine for a new long-lived invocation
+    /// (Section 7): add `input` to the view, reset the level to 0, and
+    /// continue the write–scan loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not done.
+    pub fn resume_with(&mut self, input: V) {
+        assert!(self.is_done(), "resume_with requires a terminated engine");
+        self.view.insert(input);
+        self.level = 0;
+        self.phase = EnginePhase::Write;
+    }
+
+    /// Advances the loop: consumes the result of the previous access and
+    /// returns the next access, or [`EngineStep::Done`] with the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a terminated engine (wrap-around is the caller's
+    /// job) or with a [`StepInput`] inconsistent with the previous action.
+    pub fn step(&mut self, input: StepInput<SnapRegister<V>>) -> EngineStep<V> {
+        match std::mem::replace(&mut self.phase, EnginePhase::Done) {
+            EnginePhase::Write => {
+                // Nothing to consume (Start, or resumption after Done).
+                let value = SnapRegister::new(self.view.clone(), self.level);
+                let local = LocalRegId(self.write_idx);
+                self.write_idx = (self.write_idx + 1) % self.m;
+                self.phase = EnginePhase::AwaitWrote;
+                EngineStep::Access(Action::Write { local, value })
+            }
+            EnginePhase::AwaitWrote => {
+                assert!(
+                    matches!(input, StepInput::Wrote),
+                    "engine expected write completion"
+                );
+                // Begin the scan with the read of local register 0.
+                self.phase = EnginePhase::Scanning {
+                    next: 1,
+                    all_match: true,
+                    min_level: usize::MAX,
+                    pending: View::new(),
+                };
+                EngineStep::Access(Action::Read { local: LocalRegId(0) })
+            }
+            EnginePhase::Scanning { next, mut all_match, mut min_level, mut pending } => {
+                let StepInput::ReadValue(reg) = input else {
+                    panic!("engine expected a read value during scan");
+                };
+                if reg.view == self.view {
+                    min_level = min_level.min(reg.level);
+                } else {
+                    all_match = false;
+                }
+                pending.union_with(&reg.view);
+
+                if next < self.m {
+                    self.phase = EnginePhase::Scanning {
+                        next: next + 1,
+                        all_match,
+                        min_level,
+                        pending,
+                    };
+                    return EngineStep::Access(Action::Read { local: LocalRegId(next) });
+                }
+
+                // Scan complete: update level, then view (Figure 3,
+                // lines 20–24 — the level test is against the view *before*
+                // absorbing this scan's values).
+                self.scans += 1;
+                self.level = if all_match { min_level.saturating_add(1) } else { 0 };
+                self.view.union_with(&pending);
+                if self.level >= self.terminate_level {
+                    self.phase = EnginePhase::Done;
+                    return EngineStep::Done(self.view.clone());
+                }
+                let value = SnapRegister::new(self.view.clone(), self.level);
+                let local = LocalRegId(self.write_idx);
+                self.write_idx = (self.write_idx + 1) % self.m;
+                self.phase = EnginePhase::AwaitWrote;
+                EngineStep::Access(Action::Write { local, value })
+            }
+            EnginePhase::Done => panic!("step called on a terminated engine"),
+        }
+    }
+}
+
+/// The one-shot snapshot process: runs the [`SnapshotEngine`] and, at
+/// termination, outputs its view once and halts.
+///
+/// All processors run this same program (processor anonymity); they differ
+/// only in their input.
+///
+/// ```
+/// use fa_core::{SnapshotProcess, View};
+/// use fa_memory::{Executor, SharedMemory, Wiring, ProcId};
+/// use fa_core::SnapRegister;
+///
+/// let n = 3;
+/// let procs: Vec<SnapshotProcess<u32>> =
+///     (0..n).map(|i| SnapshotProcess::new(10 + i as u32, n)).collect();
+/// let wirings = vec![
+///     Wiring::identity(n),
+///     Wiring::cyclic_shift(n, 1),
+///     Wiring::cyclic_shift(n, 2),
+/// ];
+/// let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
+/// let mut exec = Executor::new(procs, memory).unwrap();
+/// exec.run_round_robin(100_000).unwrap();
+/// let views: Vec<&View<u32>> =
+///     (0..n).map(|i| exec.first_output(ProcId(i)).unwrap()).collect();
+/// // Snapshot task: every pair of outputs is containment-related and
+/// // contains the outputter's own input.
+/// for (i, v) in views.iter().enumerate() {
+///     assert!(v.contains(&(10 + i as u32)));
+///     for w in &views {
+///         assert!(v.comparable(w));
+///     }
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SnapshotProcess<V: Ord> {
+    engine: SnapshotEngine<V>,
+    /// Set once the output action has been emitted; next step halts.
+    output_emitted: bool,
+}
+
+impl<V: Ord + Clone> SnapshotProcess<V> {
+    /// Creates the process for a system of `n` processors (and `n`
+    /// registers), with this processor's input value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(input: V, n: usize) -> Self {
+        SnapshotProcess { engine: SnapshotEngine::new(input, n), output_emitted: false }
+    }
+
+    /// Like [`new`](SnapshotProcess::new) with a custom termination level
+    /// (ablation; see [`SnapshotEngine::with_terminate_level`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `terminate_level == 0`.
+    #[must_use]
+    pub fn with_terminate_level(input: V, n: usize, terminate_level: usize) -> Self {
+        SnapshotProcess {
+            engine: SnapshotEngine::with_terminate_level(input, n, terminate_level),
+            output_emitted: false,
+        }
+    }
+
+    /// The processor's current view (analysis only).
+    #[must_use]
+    pub fn view(&self) -> &View<V> {
+        self.engine.view()
+    }
+
+    /// The processor's current level (analysis only).
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.engine.level()
+    }
+
+    /// Completed scans (step-complexity metric).
+    #[must_use]
+    pub fn scans_completed(&self) -> usize {
+        self.engine.scans_completed()
+    }
+
+    /// Mid-scan read progress (see
+    /// [`SnapshotEngine::scan_reads_consumed`]). Analysis only.
+    #[must_use]
+    pub fn scan_reads_consumed(&self) -> Option<usize> {
+        self.engine.scan_reads_consumed()
+    }
+}
+
+impl<V: Ord + Clone> Process for SnapshotProcess<V> {
+    type Value = SnapRegister<V>;
+    type Output = View<V>;
+
+    fn step(&mut self, input: StepInput<SnapRegister<V>>) -> Action<SnapRegister<V>, View<V>> {
+        if self.output_emitted {
+            return Action::Halt;
+        }
+        match self.engine.step(input) {
+            EngineStep::Access(Action::Read { local }) => Action::Read { local },
+            EngineStep::Access(Action::Write { local, value }) => {
+                Action::Write { local, value }
+            }
+            EngineStep::Access(Action::Output(())) | EngineStep::Access(Action::Halt) => {
+                unreachable!("the engine only issues memory accesses")
+            }
+            EngineStep::Done(view) => {
+                self.output_emitted = true;
+                Action::Output(view)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+    use rand::SeedableRng;
+
+    fn run_snapshot(
+        inputs: &[u32],
+        wirings: Vec<Wiring>,
+        seed: u64,
+    ) -> Vec<View<u32>> {
+        let n = inputs.len();
+        let procs: Vec<SnapshotProcess<u32>> =
+            inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
+        let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(seed), 5_000_000)
+            .unwrap();
+        (0..n).map(|i| exec.first_output(ProcId(i)).unwrap().clone()).collect()
+    }
+
+    #[test]
+    fn engine_first_action_is_write_of_initial_view() {
+        let mut e = SnapshotEngine::new(7u32, 3);
+        match e.step(StepInput::Start) {
+            EngineStep::Access(Action::Write { local, value }) => {
+                assert_eq!(local.0, 0);
+                assert_eq!(value.view, View::singleton(7));
+                assert_eq!(value.level, 0);
+            }
+            other => panic!("expected write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_write_rotation_is_fair() {
+        let mut e = SnapshotEngine::new(7u32, 3);
+        let mut writes = Vec::new();
+        // Drive the engine feeding back empty reads (nobody else writes).
+        let mut input = StepInput::Start;
+        for _ in 0..40 {
+            match e.step(input) {
+                EngineStep::Access(Action::Write { local, .. }) => {
+                    writes.push(local.0);
+                    input = StepInput::Wrote;
+                }
+                EngineStep::Access(Action::Read { .. }) => {
+                    // Solo run: it reads back its own writes eventually, but
+                    // registers it hasn't written yet return default.
+                    input = StepInput::ReadValue(SnapRegister::default());
+                }
+                EngineStep::Done(_) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Each register written once before any is written twice.
+        assert!(writes.len() >= 3);
+        assert_eq!(&writes[..3], &[0, 1, 2]);
+        if writes.len() >= 6 {
+            assert_eq!(&writes[3..6], &[0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn solo_engine_levels_up_and_terminates() {
+        // Feed the engine its own view back (as a true solo run would after
+        // it has written all registers): the level must increase by one per
+        // scan and terminate at m.
+        let m = 4;
+        let mut e = SnapshotEngine::new(1u32, m);
+        let mut input = StepInput::Start;
+        let mut last_level = 0;
+        for _ in 0..1000 {
+            match e.step(input) {
+                EngineStep::Access(Action::Write { .. }) => input = StepInput::Wrote,
+                EngineStep::Access(Action::Read { .. }) => {
+                    input = StepInput::ReadValue(SnapRegister::new(
+                        View::singleton(1),
+                        last_level,
+                    ));
+                }
+                EngineStep::Done(view) => {
+                    assert_eq!(view, View::singleton(1));
+                    assert_eq!(e.level(), m);
+                    return;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            last_level = e.level();
+        }
+        panic!("engine did not terminate");
+    }
+
+    #[test]
+    fn mismatching_read_resets_level() {
+        let m = 2;
+        let mut e = SnapshotEngine::new(1u32, m);
+        // write
+        let _ = e.step(StepInput::Start);
+        // read 0: own view, level 5.
+        let _ = e.step(StepInput::Wrote);
+        let _ = e.step(StepInput::ReadValue(SnapRegister::new(View::singleton(1), 5)));
+        // read 1: different view -> reset and absorb.
+        let out = e.step(StepInput::ReadValue(SnapRegister::new(View::singleton(9), 3)));
+        assert_eq!(e.level(), 0);
+        assert_eq!(e.view(), &View::from_iter([1, 9]));
+        // Next action is the write of the enlarged view.
+        match out {
+            EngineStep::Access(Action::Write { value, .. }) => {
+                assert_eq!(value.view, View::from_iter([1, 9]));
+                assert_eq!(value.level, 0);
+            }
+            other => panic!("expected write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn level_update_uses_view_before_union() {
+        // Register holds a *superset* of our view: that is not "our own
+        // view", so the level must reset even though our view ⊆ register.
+        let m = 2;
+        let mut e = SnapshotEngine::new(1u32, m);
+        let _ = e.step(StepInput::Start);
+        let _ = e.step(StepInput::Wrote);
+        let superset = SnapRegister::new(View::from_iter([1, 2]), 9);
+        let _ = e.step(StepInput::ReadValue(superset.clone()));
+        let _ = e.step(StepInput::ReadValue(superset));
+        assert_eq!(e.level(), 0, "superset reads must reset the level");
+        assert_eq!(e.view(), &View::from_iter([1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated engine")]
+    fn stepping_done_engine_panics() {
+        let mut e = SnapshotEngine::with_terminate_level(1u32, 1, 1);
+        let mut input = StepInput::Start;
+        loop {
+            match e.step(input) {
+                EngineStep::Access(Action::Write { .. }) => input = StepInput::Wrote,
+                EngineStep::Access(Action::Read { .. }) => {
+                    input = StepInput::ReadValue(SnapRegister::new(View::singleton(1), 0));
+                }
+                EngineStep::Done(_) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let _ = e.step(StepInput::Start);
+    }
+
+    #[test]
+    fn resume_with_resets_level_and_adds_input() {
+        let mut e = SnapshotEngine::with_terminate_level(1u32, 1, 1);
+        let mut input = StepInput::Start;
+        loop {
+            match e.step(input) {
+                EngineStep::Access(Action::Write { .. }) => input = StepInput::Wrote,
+                EngineStep::Access(Action::Read { .. }) => {
+                    input = StepInput::ReadValue(SnapRegister::new(View::singleton(1), 0));
+                }
+                EngineStep::Done(_) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        e.resume_with(2);
+        assert_eq!(e.level(), 0);
+        assert!(e.view().contains(&2));
+        assert!(!e.is_done());
+        // Resumed engine immediately wants to write its new view.
+        match e.step(StepInput::Start) {
+            EngineStep::Access(Action::Write { value, .. }) => {
+                assert_eq!(value.view, View::from_iter([1, 2]));
+            }
+            other => panic!("expected write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_procs_round_robin_solves_snapshot() {
+        let views = run_snapshot(&[10, 20], vec![Wiring::identity(2); 2], 0);
+        for (i, v) in views.iter().enumerate() {
+            assert!(v.contains(&[10, 20][i]));
+        }
+        assert!(views[0].comparable(&views[1]));
+    }
+
+    #[test]
+    fn snapshot_under_adversarial_wirings_and_many_seeds() {
+        for seed in 0..30 {
+            let wirings = vec![
+                Wiring::identity(3),
+                Wiring::cyclic_shift(3, 1),
+                Wiring::cyclic_shift(3, 2),
+            ];
+            let views = run_snapshot(&[1, 2, 3], wirings, seed);
+            for (i, v) in views.iter().enumerate() {
+                assert!(v.contains(&(i as u32 + 1)), "seed {seed}: missing self");
+                for w in &views {
+                    assert!(v.comparable(w), "seed {seed}: incomparable outputs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_with_duplicate_inputs_group_setting() {
+        // Two processors share input 5 (same group). Outputs must still be
+        // comparable *in this algorithm* (it guarantees more than group
+        // solvability requires).
+        for seed in 0..10 {
+            let views = run_snapshot(&[5, 5, 3], vec![Wiring::identity(3); 3], seed);
+            for v in &views {
+                for w in &views {
+                    assert!(v.comparable(w));
+                }
+            }
+            assert!(views[0].contains(&5) && views[1].contains(&5) && views[2].contains(&3));
+        }
+    }
+
+    #[test]
+    fn process_outputs_once_then_halts() {
+        let n = 2;
+        let procs: Vec<SnapshotProcess<u32>> =
+            vec![SnapshotProcess::new(1, n), SnapshotProcess::new(2, n)];
+        let memory = SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n])
+            .unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_round_robin(100_000).unwrap();
+        for i in 0..n {
+            assert_eq!(exec.outputs(ProcId(i)).len(), 1, "exactly one output");
+            assert!(exec.is_halted(ProcId(i)));
+        }
+    }
+
+    #[test]
+    fn larger_system_terminates_wait_free() {
+        let n = 6;
+        let inputs: Vec<u32> = (0..n as u32).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+        let views = run_snapshot(&inputs, wirings, 7);
+        for (i, v) in views.iter().enumerate() {
+            assert!(v.contains(&(i as u32)));
+            for w in &views {
+                assert!(v.comparable(w));
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The eventual pattern: stable views and their single-source DAG
+//! (Section 4).
+//!
+//! In an infinite execution of the write–scan loop, views are monotone, so
+//! there is a *global stabilization time* (GST, Definition 4.1) after which
+//! no view changes. The views of *live* processors (those taking infinitely
+//! many steps) after GST are the *stable views* (Definition 4.2), and
+//! Theorem 4.8 states they form a directed acyclic graph (edges = strict
+//! containment) with a **unique source**.
+//!
+//! Infinite executions are represented finitely as *lasso schedules*
+//! (`prefix · cycle^ω`, [`LassoSchedule`]). Because processes are
+//! deterministic and views live in a finite lattice (subsets of the inputs),
+//! iterating the cycle must eventually repeat a global state; from that point
+//! the execution is exactly periodic, so "after GST" is decidable:
+//! [`analyze_lasso`] iterates cycles until the global state at a cycle
+//! boundary repeats, then reads off the stable views.
+//!
+//! [`analyze_random`] is the heuristic companion for random (fair) schedules,
+//! which converge almost surely to everyone knowing everything — useful as a
+//! control in experiments.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fa_memory::{
+    Action, Executor, LassoSchedule, MemoryError, ProcId, RandomScheduler, Scheduler,
+    SharedMemory, Wiring,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{View, WriteScanProcess};
+
+/// The stable-view graph (Definition 4.3): vertices are the distinct stable
+/// views; there is an edge `V1 → V2` iff `V1 ⊂ V2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StableViewGraph<V: Ord> {
+    vertices: Vec<View<V>>,
+    /// Edges as (from, to) indices into `vertices`.
+    edges: Vec<(usize, usize)>,
+}
+
+impl<V: Ord + Clone> StableViewGraph<V> {
+    /// Builds the graph from an iterator of stable views (duplicates are
+    /// merged).
+    pub fn from_views<I: IntoIterator<Item = View<V>>>(views: I) -> Self {
+        let mut vertices: Vec<View<V>> = Vec::new();
+        for v in views {
+            if !vertices.contains(&v) {
+                vertices.push(v);
+            }
+        }
+        vertices.sort();
+        let mut edges = Vec::new();
+        for (i, a) in vertices.iter().enumerate() {
+            for (j, b) in vertices.iter().enumerate() {
+                if i != j && a.is_strict_subset(b) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        StableViewGraph { vertices, edges }
+    }
+
+    /// The distinct stable views (the graph's vertices), in `Ord` order.
+    #[must_use]
+    pub fn vertices(&self) -> &[View<V>] {
+        &self.vertices
+    }
+
+    /// The edges, as index pairs into [`vertices`](StableViewGraph::vertices).
+    #[must_use]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// The sources: vertices with no incoming edge, i.e. views that are not
+    /// strict supersets of any other stable view (the minimal elements).
+    #[must_use]
+    pub fn sources(&self) -> Vec<&View<V>> {
+        (0..self.vertices.len())
+            .filter(|&j| self.edges.iter().all(|&(_, to)| to != j))
+            .map(|j| &self.vertices[j])
+            .collect()
+    }
+
+    /// Whether the graph has exactly one source — Theorem 4.8's conclusion.
+    #[must_use]
+    pub fn has_unique_source(&self) -> bool {
+        self.sources().len() == 1 && !self.vertices.is_empty()
+    }
+
+    /// Verifies acyclicity explicitly (it holds by irreflexivity and
+    /// transitivity of `⊂`, but experiments re-check rather than trust).
+    #[must_use]
+    pub fn is_dag(&self) -> bool {
+        // Kahn's algorithm: repeatedly remove sources.
+        let n = self.vertices.len();
+        let mut indeg = vec![0usize; n];
+        for &(_, to) in &self.edges {
+            indeg[to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut removed = 0;
+        while let Some(u) = queue.pop() {
+            removed += 1;
+            for &(from, to) in &self.edges {
+                if from == u {
+                    indeg[to] -= 1;
+                    if indeg[to] == 0 {
+                        queue.push(to);
+                    }
+                }
+            }
+        }
+        removed == n
+    }
+}
+
+/// The result of an exact lasso analysis.
+#[derive(Clone, Debug)]
+pub struct StableViewReport<V: Ord> {
+    /// The stable view of each *live* processor (keys are processor ids).
+    pub stable_views: BTreeMap<usize, View<V>>,
+    /// The stable-view graph.
+    pub graph: StableViewGraph<V>,
+    /// Cycle iterations executed before the global state first repeated.
+    pub cycles_until_periodic: usize,
+    /// Period of the repetition, in cycle iterations.
+    pub period: usize,
+}
+
+/// Exactly analyzes the infinite execution `prefix · cycle^ω` of the
+/// write–scan loop (Figure 1) with the given inputs and wirings over `m`
+/// registers.
+///
+/// Iterates the cycle until the global state at a cycle boundary repeats
+/// (guaranteed: deterministic processes, finite state space), then returns
+/// the stable views of the live processors (those appearing in the cycle)
+/// and their graph.
+///
+/// # Errors
+///
+/// * Executor errors on malformed configurations.
+/// * [`MemoryError::StepBudgetExhausted`] if no repetition is found within
+///   `max_cycles` cycle iterations (raise the bound).
+///
+/// # Panics
+///
+/// Panics if `inputs` and `wirings` lengths differ.
+pub fn analyze_lasso(
+    inputs: &[u32],
+    m: usize,
+    wirings: Vec<Wiring>,
+    schedule: &LassoSchedule,
+    max_cycles: usize,
+) -> Result<StableViewReport<u32>, MemoryError> {
+    assert_eq!(inputs.len(), wirings.len(), "one wiring per processor required");
+    let n = inputs.len();
+    let procs: Vec<WriteScanProcess<u32>> =
+        inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+    let memory = SharedMemory::new(m, View::new(), wirings)?;
+    let mut exec = Executor::new(procs, memory)?;
+
+    let mut sched = schedule.clone();
+    // Consume the prefix.
+    for _ in 0..schedule.prefix_len() {
+        let p = sched.next(&exec.live_procs()).expect("lasso never stops");
+        exec.step_proc(p)?;
+    }
+
+    // Iterate cycles, fingerprinting the global state at each boundary.
+    type StateKey = (Vec<View<u32>>, Vec<(WriteScanProcess<u32>, Option<Action<View<u32>, ()>>)>);
+    let global_state = |exec: &Executor<WriteScanProcess<u32>>| -> StateKey {
+        let mem = exec.memory().contents().to_vec();
+        let procs = (0..n)
+            .map(|i| {
+                (exec.process(ProcId(i)).clone(), exec.pending_action(ProcId(i)).cloned())
+            })
+            .collect();
+        (mem, procs)
+    };
+
+    let mut seen: HashMap<StateKey, usize> = HashMap::new();
+    seen.insert(global_state(&exec), 0);
+    for cycle in 1..=max_cycles {
+        for _ in 0..schedule.cycle_len() {
+            let p = sched.next(&exec.live_procs()).expect("lasso never stops");
+            exec.step_proc(p)?;
+        }
+        let key = global_state(&exec);
+        if let Some(&first) = seen.get(&key) {
+            // Periodic from `first`: every live processor's view is stable.
+            let live = schedule.live_procs();
+            let stable_views: BTreeMap<usize, View<u32>> = live
+                .iter()
+                .map(|&p| (p.index(), exec.process(p).view().clone()))
+                .collect();
+            let graph = StableViewGraph::from_views(stable_views.values().cloned());
+            return Ok(StableViewReport {
+                stable_views,
+                graph,
+                cycles_until_periodic: first,
+                period: cycle - first,
+            });
+        }
+        seen.insert(key, cycle);
+    }
+    Err(MemoryError::StepBudgetExhausted { budget: max_cycles * schedule.cycle_len() })
+}
+
+/// Heuristically analyzes a *random* fair schedule: runs until no view has
+/// changed for `quiet_window` consecutive steps (or `budget` runs out) and
+/// reports the views at that point as (approximately) stable.
+///
+/// Under a fair random schedule every processor is live, and views converge
+/// almost surely to the full input set — so the expected graph is a single
+/// vertex. This serves as the experimental control for
+/// [`analyze_lasso`]'s adversarial executions.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn analyze_random(
+    inputs: &[u32],
+    m: usize,
+    wirings: Vec<Wiring>,
+    seed: u64,
+    quiet_window: usize,
+    budget: usize,
+) -> Result<StableViewReport<u32>, MemoryError> {
+    assert_eq!(inputs.len(), wirings.len(), "one wiring per processor required");
+    let n = inputs.len();
+    let procs: Vec<WriteScanProcess<u32>> =
+        inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+    let memory = SharedMemory::new(m, View::new(), wirings)?;
+    let mut exec = Executor::new(procs, memory)?;
+    let mut sched = RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed));
+
+    let mut views: Vec<View<u32>> =
+        (0..n).map(|i| exec.process(ProcId(i)).view().clone()).collect();
+    let mut quiet = 0usize;
+    let mut steps = 0usize;
+    while steps < budget && quiet < quiet_window {
+        let p = sched.next(&exec.live_procs()).expect("write-scan never halts");
+        exec.step_proc(p)?;
+        steps += 1;
+        let v = exec.process(p).view();
+        if v != &views[p.index()] {
+            views[p.index()] = v.clone();
+            quiet = 0;
+        } else {
+            quiet += 1;
+        }
+    }
+    let stable_views: BTreeMap<usize, View<u32>> =
+        (0..n).map(|i| (i, views[i].clone())).collect();
+    let graph = StableViewGraph::from_views(stable_views.values().cloned());
+    Ok(StableViewReport { stable_views, graph, cycles_until_periodic: steps, period: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> View<u32> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn graph_from_figure2_views() {
+        let g = StableViewGraph::from_views(vec![
+            v(&[1]),
+            v(&[1, 2]),
+            v(&[1, 3]),
+            v(&[1, 2]), // duplicate merges
+        ]);
+        assert_eq!(g.vertices().len(), 3);
+        assert_eq!(g.edges().len(), 2);
+        assert!(g.is_dag());
+        assert!(g.has_unique_source());
+        assert_eq!(g.sources(), vec![&v(&[1])]);
+    }
+
+    #[test]
+    fn graph_single_vertex() {
+        let g = StableViewGraph::from_views(vec![v(&[1, 2, 3])]);
+        assert!(g.has_unique_source());
+        assert!(g.edges().is_empty());
+        assert!(g.is_dag());
+    }
+
+    #[test]
+    fn graph_with_two_minimal_views_has_two_sources() {
+        // Not realizable as stable views (Theorem 4.8) but the graph type
+        // itself must report it faithfully.
+        let g = StableViewGraph::from_views(vec![v(&[1]), v(&[2])]);
+        assert_eq!(g.sources().len(), 2);
+        assert!(!g.has_unique_source());
+        assert!(g.is_dag());
+    }
+
+    #[test]
+    fn chain_graph_edges_are_transitive_closure() {
+        let g = StableViewGraph::from_views(vec![v(&[1]), v(&[1, 2]), v(&[1, 2, 3])]);
+        // {1}->{1,2}, {1}->{1,2,3}, {1,2}->{1,2,3}.
+        assert_eq!(g.edges().len(), 3);
+        assert!(g.has_unique_source());
+    }
+
+    #[test]
+    fn empty_graph_has_no_source() {
+        let g = StableViewGraph::from_views(Vec::<View<u32>>::new());
+        assert!(!g.has_unique_source());
+        assert!(g.sources().is_empty());
+        assert!(g.is_dag());
+    }
+
+    #[test]
+    fn iteration_granular_round_robin_stabilizes_with_unique_source() {
+        // Iteration-granular round-robin with identity wirings: each
+        // processor overwrites its predecessor's freshest register before
+        // anyone reads it, so views stabilize *without* converging:
+        // p0 = {1,3}, p1 = {2,3}, p2 = {3}. Theorem 4.8 still holds — the
+        // unique source is {3}.
+        let n = 3;
+        let sched = LassoSchedule::new(
+            vec![],
+            (0..n).flat_map(|p| std::iter::repeat(ProcId(p)).take(4)).collect(),
+        );
+        let report = analyze_lasso(
+            &[1, 2, 3],
+            n,
+            vec![Wiring::identity(n); n],
+            &sched,
+            1000,
+        )
+        .unwrap();
+        assert_eq!(report.graph.vertices().len(), 3);
+        assert!(report.graph.vertices().contains(&v(&[1, 3])));
+        assert!(report.graph.vertices().contains(&v(&[2, 3])));
+        assert!(report.graph.vertices().contains(&v(&[3])));
+        assert!(report.graph.has_unique_source());
+        assert_eq!(report.graph.sources(), vec![&v(&[3])]);
+        assert!(report.period >= 1);
+    }
+
+    #[test]
+    fn non_live_processor_view_is_excluded() {
+        // p2 takes steps only in the prefix: its view is not stable.
+        let n = 3;
+        let prefix = vec![ProcId(2); 4];
+        let cycle: Vec<ProcId> =
+            [0, 0, 0, 0, 1, 1, 1, 1].iter().map(|&i| ProcId(i)).collect();
+        let sched = LassoSchedule::new(prefix, cycle);
+        let report =
+            analyze_lasso(&[1, 2, 3], n, vec![Wiring::identity(n); n], &sched, 1000).unwrap();
+        assert!(!report.stable_views.contains_key(&2));
+        assert_eq!(report.stable_views.len(), 2);
+        // Theorem 4.8 holds for whatever the stable views are.
+        assert!(report.graph.has_unique_source());
+        assert!(report.graph.is_dag());
+    }
+
+    #[test]
+    fn random_analysis_converges_to_full_view() {
+        let n = 4;
+        let report = analyze_random(
+            &[1, 2, 3, 4],
+            n,
+            vec![Wiring::identity(n); n],
+            9,
+            2_000,
+            2_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.graph.vertices().len(), 1);
+        assert_eq!(report.graph.vertices()[0], v(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn lasso_budget_exhaustion_reported() {
+        // A cycle that can't stabilize within 0 cycles: max_cycles = 0.
+        let n = 2;
+        let sched = LassoSchedule::new(vec![], vec![ProcId(0), ProcId(1)]);
+        let err = analyze_lasso(&[1, 2], n, vec![Wiring::identity(n); n], &sched, 0)
+            .unwrap_err();
+        assert!(matches!(err, MemoryError::StepBudgetExhausted { .. }));
+    }
+}

@@ -1,0 +1,306 @@
+//! Views: the sets of known input values at the heart of every algorithm in
+//! the paper.
+//!
+//! A processor's *view* is "the set of inputs it knows about" (Section 4).
+//! Views only ever grow, and the central structural question of the paper —
+//! the eventual pattern — is about the containment order on views.
+
+use core::fmt;
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of input values ordered by `V`'s `Ord`; grows monotonically as the
+/// owning processor learns values.
+///
+/// ```
+/// use fa_core::View;
+///
+/// let mut v = View::singleton(1);
+/// v.insert(3);
+/// assert!(v.contains(&1));
+/// assert_eq!(v.len(), 2);
+///
+/// let w = View::from_iter([1, 2, 3]);
+/// assert!(v.is_subset(&w));
+/// assert!(v.is_strict_subset(&w));
+/// assert!(!w.is_subset(&v));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct View<V: Ord> {
+    values: BTreeSet<V>,
+}
+
+impl<V: Ord> View<V> {
+    /// The empty view — the "known default value" initially held by every
+    /// register.
+    #[must_use]
+    pub fn new() -> Self {
+        View { values: BTreeSet::new() }
+    }
+
+    /// The view containing exactly one value — a processor's initial view of
+    /// its own input.
+    #[must_use]
+    pub fn singleton(value: V) -> Self {
+        let mut values = BTreeSet::new();
+        values.insert(value);
+        View { values }
+    }
+
+    /// Number of values in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether `value` is in the view.
+    #[must_use]
+    pub fn contains(&self, value: &V) -> bool {
+        self.values.contains(value)
+    }
+
+    /// Adds a value; returns whether it was new.
+    pub fn insert(&mut self, value: V) -> bool {
+        self.values.insert(value)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &View<V>) -> bool {
+        self.values.is_subset(&other.values)
+    }
+
+    /// Whether `self ⊂ other` (strict).
+    #[must_use]
+    pub fn is_strict_subset(&self, other: &View<V>) -> bool {
+        self.values.len() < other.values.len() && self.values.is_subset(&other.values)
+    }
+
+    /// Whether `self ⊆ other` or `other ⊆ self` — the snapshot-task
+    /// containment condition (Definition 3.2).
+    #[must_use]
+    pub fn comparable(&self, other: &View<V>) -> bool {
+        self.is_subset(other) || other.is_subset(self)
+    }
+
+    /// Iterates over the values in ascending order.
+    pub fn iter(&self) -> std::collections::btree_set::Iter<'_, V> {
+        self.values.iter()
+    }
+
+    /// The underlying ordered set.
+    #[must_use]
+    pub fn as_set(&self) -> &BTreeSet<V> {
+        &self.values
+    }
+
+    /// Consumes the view and returns the underlying set.
+    #[must_use]
+    pub fn into_set(self) -> BTreeSet<V> {
+        self.values
+    }
+
+    /// The 1-based rank of `value` in the view's ascending order, if present.
+    ///
+    /// Used by the Bar-Noy–Dolev renaming rule (Section 6): a processor ranks
+    /// itself within its own snapshot.
+    ///
+    /// ```
+    /// use fa_core::View;
+    /// let v = View::from_iter([10, 20, 30]);
+    /// assert_eq!(v.rank_of(&20), Some(2));
+    /// assert_eq!(v.rank_of(&99), None);
+    /// ```
+    #[must_use]
+    pub fn rank_of(&self, value: &V) -> Option<usize> {
+        if !self.values.contains(value) {
+            return None;
+        }
+        Some(self.values.range(..=value).count())
+    }
+}
+
+impl<V: Ord + Clone> View<V> {
+    /// Unions `other` into `self` ("adds all the values it read to its
+    /// view"). Returns whether `self` changed.
+    pub fn union_with(&mut self, other: &View<V>) -> bool {
+        let before = self.values.len();
+        self.values.extend(other.values.iter().cloned());
+        self.values.len() != before
+    }
+
+    /// The union of two views, as a new view.
+    #[must_use]
+    pub fn union(&self, other: &View<V>) -> View<V> {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// The intersection of two views, as a new view.
+    #[must_use]
+    pub fn intersection(&self, other: &View<V>) -> View<V> {
+        View { values: self.values.intersection(&other.values).cloned().collect() }
+    }
+}
+
+impl<V: Ord> FromIterator<V> for View<V> {
+    fn from_iter<T: IntoIterator<Item = V>>(iter: T) -> Self {
+        View { values: iter.into_iter().collect() }
+    }
+}
+
+impl<V: Ord> Extend<V> for View<V> {
+    fn extend<T: IntoIterator<Item = V>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+impl<V: Ord> IntoIterator for View<V> {
+    type Item = V;
+    type IntoIter = std::collections::btree_set::IntoIter<V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.into_iter()
+    }
+}
+
+impl<'a, V: Ord> IntoIterator for &'a View<V> {
+    type Item = &'a V;
+    type IntoIter = std::collections::btree_set::Iter<'a, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+impl<V: Ord + fmt::Debug> fmt::Display for View<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let e: View<u32> = View::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let s = View::singleton(5);
+        assert!(s.contains(&5));
+        assert_eq!(s.len(), 1);
+        assert!(e.is_subset(&s));
+        assert!(e.is_strict_subset(&s));
+    }
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut v = View::new();
+        assert!(v.insert(1));
+        assert!(!v.insert(1));
+    }
+
+    #[test]
+    fn union_with_reports_change() {
+        let mut v = View::from_iter([1, 2]);
+        assert!(!v.union_with(&View::singleton(1)));
+        assert!(v.union_with(&View::singleton(3)));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn strict_subset_excludes_equal() {
+        let a = View::from_iter([1, 2]);
+        let b = View::from_iter([1, 2]);
+        assert!(a.is_subset(&b));
+        assert!(!a.is_strict_subset(&b));
+    }
+
+    #[test]
+    fn comparable_detects_incomparability() {
+        let a = View::from_iter([1, 2]);
+        let b = View::from_iter([1, 3]);
+        assert!(!a.comparable(&b));
+        let c = View::from_iter([1, 2, 3]);
+        assert!(a.comparable(&c));
+        assert!(c.comparable(&a));
+    }
+
+    #[test]
+    fn rank_is_one_based_ascending() {
+        let v = View::from_iter([7, 3, 9]);
+        assert_eq!(v.rank_of(&3), Some(1));
+        assert_eq!(v.rank_of(&7), Some(2));
+        assert_eq!(v.rank_of(&9), Some(3));
+        assert_eq!(v.rank_of(&4), None);
+    }
+
+    #[test]
+    fn display_format() {
+        let v = View::from_iter([2, 1]);
+        assert_eq!(v.to_string(), "{1,2}");
+        let e: View<u32> = View::new();
+        assert_eq!(e.to_string(), "{}");
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = View::from_iter([1, 2, 3]);
+        let b = View::from_iter([2, 3, 4]);
+        assert_eq!(a.intersection(&b), View::from_iter([2, 3]));
+        assert_eq!(a.union(&b), View::from_iter([1, 2, 3, 4]));
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_commutative_and_monotone(
+            xs in proptest::collection::btree_set(0u32..50, 0..10),
+            ys in proptest::collection::btree_set(0u32..50, 0..10),
+        ) {
+            let a: View<u32> = xs.iter().cloned().collect();
+            let b: View<u32> = ys.iter().cloned().collect();
+            prop_assert_eq!(a.union(&b), b.union(&a));
+            prop_assert!(a.is_subset(&a.union(&b)));
+            prop_assert!(b.is_subset(&a.union(&b)));
+        }
+
+        #[test]
+        fn rank_of_is_bijective_on_members(
+            xs in proptest::collection::btree_set(0u32..100, 1..12),
+        ) {
+            let v: View<u32> = xs.iter().cloned().collect();
+            let mut ranks: Vec<usize> = xs.iter().map(|x| v.rank_of(x).unwrap()).collect();
+            ranks.sort_unstable();
+            let expect: Vec<usize> = (1..=xs.len()).collect();
+            prop_assert_eq!(ranks, expect);
+        }
+
+        #[test]
+        fn comparability_matches_subset_defs(
+            xs in proptest::collection::btree_set(0u32..10, 0..6),
+            ys in proptest::collection::btree_set(0u32..10, 0..6),
+        ) {
+            let a: View<u32> = xs.iter().cloned().collect();
+            let b: View<u32> = ys.iter().cloned().collect();
+            prop_assert_eq!(a.comparable(&b), xs.is_subset(&ys) || ys.is_subset(&xs));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The write–scan loop of Section 4 (Figure 1): the warm-up algorithm whose
+//! infinite executions define the *eventual pattern*.
+//!
+//! Each processor gets an input, initializes its view to that singleton, and
+//! forever alternates between (a) writing its view to the next register in a
+//! fair rotation and (b) reading all registers one by one, absorbing their
+//! contents into its view. It never terminates — the object of study is what
+//! the views look like *eventually* (the stable-view DAG, Theorem 4.8).
+
+use fa_memory::{Action, LocalRegId, Process, StepInput};
+
+use crate::View;
+
+/// The never-terminating write–scan process of Figure 1.
+///
+/// Registers hold plain views. Unlike the snapshot algorithm there are no
+/// levels — this is exactly the loop whose stable views the paper analyses.
+///
+/// ```
+/// use fa_core::{View, WriteScanProcess};
+/// use fa_memory::{Executor, SharedMemory, Wiring, ProcId};
+///
+/// let m = 3;
+/// let procs: Vec<WriteScanProcess<u32>> =
+///     (0..3u32).map(|i| WriteScanProcess::new(i, m)).collect();
+/// let memory = SharedMemory::new(m, View::new(), vec![Wiring::identity(m); 3]).unwrap();
+/// let mut exec = Executor::new(procs, memory).unwrap();
+/// // Views only ever grow as processors read each other's writes.
+/// exec.run(fa_memory::RoundRobin::new(), 600).unwrap();
+/// for i in 0..3u32 {
+///     assert!(exec.process(ProcId(i as usize)).view().contains(&i));
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct WriteScanProcess<V: Ord> {
+    /// Number of registers `M`.
+    m: usize,
+    view: View<V>,
+    /// Next local register in the fair write rotation.
+    write_idx: usize,
+    phase: Phase<V>,
+    scans: usize,
+}
+
+// Equality and hashing deliberately ignore the `scans` instrumentation
+// counter: two processes are "the same state" iff they behave identically
+// from here on, which is what periodicity detection and model checking need.
+impl<V: Ord> PartialEq for WriteScanProcess<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m
+            && self.view == other.view
+            && self.write_idx == other.write_idx
+            && self.phase == other.phase
+    }
+}
+
+impl<V: Ord> Eq for WriteScanProcess<V> {}
+
+impl<V: Ord + std::hash::Hash> std::hash::Hash for WriteScanProcess<V> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.m.hash(state);
+        self.view.hash(state);
+        self.write_idx.hash(state);
+        self.phase.hash(state);
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Phase<V: Ord> {
+    Write,
+    AwaitWrote,
+    Scanning { next: usize, pending: View<V> },
+}
+
+impl<V: Ord + Clone> WriteScanProcess<V> {
+    /// Creates the process with the given input for a memory of `m`
+    /// registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(input: V, m: usize) -> Self {
+        assert!(m > 0, "the model requires at least one register");
+        WriteScanProcess {
+            m,
+            view: View::singleton(input),
+            write_idx: 0,
+            phase: Phase::Write,
+            scans: 0,
+        }
+    }
+
+    /// The processor's current view.
+    #[must_use]
+    pub fn view(&self) -> &View<V> {
+        &self.view
+    }
+
+    /// Completed scans so far.
+    #[must_use]
+    pub fn scans_completed(&self) -> usize {
+        self.scans
+    }
+
+    /// Whether the processor is at the top of its loop (poised to write),
+    /// i.e. between complete write–scan iterations.
+    #[must_use]
+    pub fn at_loop_head(&self) -> bool {
+        matches!(self.phase, Phase::Write)
+    }
+}
+
+impl<V: Ord + Clone> Process for WriteScanProcess<V> {
+    type Value = View<V>;
+    /// The loop never outputs; the analysis inspects views directly.
+    type Output = ();
+
+    fn step(&mut self, input: StepInput<View<V>>) -> Action<View<V>, ()> {
+        match std::mem::replace(&mut self.phase, Phase::Write) {
+            Phase::Write => {
+                let local = LocalRegId(self.write_idx);
+                self.write_idx = (self.write_idx + 1) % self.m;
+                self.phase = Phase::AwaitWrote;
+                Action::Write { local, value: self.view.clone() }
+            }
+            Phase::AwaitWrote => {
+                debug_assert!(matches!(input, StepInput::Wrote));
+                self.phase = Phase::Scanning { next: 1, pending: View::new() };
+                Action::Read { local: LocalRegId(0) }
+            }
+            Phase::Scanning { next, mut pending } => {
+                let StepInput::ReadValue(v) = input else {
+                    panic!("write-scan expected a read value during scan");
+                };
+                pending.union_with(&v);
+                if next < self.m {
+                    self.phase = Phase::Scanning { next: next + 1, pending };
+                    Action::Read { local: LocalRegId(next) }
+                } else {
+                    self.scans += 1;
+                    self.view.union_with(&pending);
+                    let local = LocalRegId(self.write_idx);
+                    self.write_idx = (self.write_idx + 1) % self.m;
+                    self.phase = Phase::AwaitWrote;
+                    Action::Write { local, value: self.view.clone() }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_memory::{Executor, ProcId, RoundRobin, SharedMemory, Wiring};
+    use rand::SeedableRng;
+
+    fn system(
+        inputs: &[u32],
+        m: usize,
+        wirings: Vec<Wiring>,
+    ) -> Executor<WriteScanProcess<u32>> {
+        let procs: Vec<WriteScanProcess<u32>> =
+            inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+        let memory = SharedMemory::new(m, View::new(), wirings).unwrap();
+        Executor::new(procs, memory).unwrap()
+    }
+
+    #[test]
+    fn first_action_writes_initial_view() {
+        let mut p = WriteScanProcess::new(9u32, 2);
+        match p.step(StepInput::Start) {
+            Action::Write { local, value } => {
+                assert_eq!(local.0, 0);
+                assert_eq!(value, View::singleton(9));
+            }
+            other => panic!("expected write, got {other:?}"),
+        }
+        assert!(!p.at_loop_head());
+    }
+
+    #[test]
+    fn views_grow_monotonically() {
+        let mut exec = system(&[1, 2, 3], 3, vec![Wiring::identity(3); 3]);
+        let mut prev: Vec<View<u32>> =
+            (0..3).map(|i| exec.process(ProcId(i)).view().clone()).collect();
+        for _ in 0..200 {
+            exec.run(RoundRobin::new(), 1).unwrap();
+            for i in 0..3 {
+                let cur = exec.process(ProcId(i)).view();
+                assert!(prev[i].is_subset(cur), "views never shrink");
+                prev[i] = cur.clone();
+            }
+        }
+    }
+
+    #[test]
+    fn step_granular_round_robin_is_itself_a_covering_pattern() {
+        // A notable consequence of the model: under a *step-granular*
+        // round-robin schedule with identity wirings, all processors write
+        // the same register back to back, so the last processor in the
+        // rotation erases everyone else forever. Views stabilize without
+        // converging — yet Theorem 4.8's unique source still holds.
+        let mut exec = system(&[1, 2, 3, 4], 4, vec![Wiring::identity(4); 4]);
+        exec.run(RoundRobin::new(), 2_000).unwrap();
+        let views: Vec<View<u32>> =
+            (0..4).map(|i| exec.process(ProcId(i)).view().clone()).collect();
+        // p3 (last in rotation) learns nothing beyond its own input.
+        assert_eq!(views[3], View::singleton(4));
+        // Everyone else learns exactly {self, 4}.
+        for i in 0..3 {
+            let expect: View<u32> = [i as u32 + 1, 4].into_iter().collect();
+            assert_eq!(views[i], expect);
+        }
+        // Stability: a further 2000 steps change nothing.
+        let before = views.clone();
+        exec.run(RoundRobin::new(), 2_000).unwrap();
+        for i in 0..4 {
+            assert_eq!(exec.process(ProcId(i)).view(), &before[i]);
+        }
+        let graph = crate::stable_view::StableViewGraph::from_views(views);
+        assert!(graph.is_dag());
+        assert!(graph.has_unique_source());
+    }
+
+    #[test]
+    fn random_schedules_converge_with_random_wirings() {
+        for seed in 0..10 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let wirings: Vec<Wiring> = (0..3).map(|_| Wiring::random(3, &mut rng)).collect();
+            let mut exec = system(&[1, 2, 3], 3, wirings);
+            exec.run(fa_memory::RandomScheduler::new(rng), 5_000).unwrap();
+            let all: View<u32> = [1, 2, 3].into_iter().collect();
+            for i in 0..3 {
+                assert_eq!(exec.process(ProcId(i)).view(), &all, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_head_marks_iteration_boundaries() {
+        let mut exec = system(&[1, 2], 2, vec![Wiring::identity(2); 2]);
+        // One full iteration of p0 = 1 write + 2 reads = 3 steps; after the
+        // final read the process immediately poises the next write, so it is
+        // never "at loop head" once started — check scans instead.
+        for _ in 0..3 {
+            exec.step_proc(ProcId(0)).unwrap();
+        }
+        assert_eq!(exec.process(ProcId(0)).scans_completed(), 1);
+    }
+
+    #[test]
+    fn never_outputs_never_halts() {
+        let mut exec = system(&[1, 2], 2, vec![Wiring::identity(2); 2]);
+        exec.run(RoundRobin::new(), 500).unwrap();
+        for i in 0..2 {
+            assert!(exec.outputs(ProcId(i)).is_empty());
+            assert!(!exec.is_halted(ProcId(i)));
+        }
+    }
+
+    #[test]
+    fn register_count_independent_of_proc_count() {
+        // 2 processors, 5 registers: the loop must still be well-formed, and
+        // a random schedule converges to the full view.
+        let mut exec = system(&[7, 8], 5, vec![Wiring::identity(5); 2]);
+        let rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        exec.run(fa_memory::RandomScheduler::new(rng), 5_000).unwrap();
+        let all: View<u32> = [7, 8].into_iter().collect();
+        for i in 0..2 {
+            assert_eq!(exec.process(ProcId(i)).view(), &all);
+        }
+    }
+}

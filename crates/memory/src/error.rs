@@ -1,0 +1,166 @@
+//! Error types for the memory substrate.
+
+use core::fmt;
+
+use crate::{LocalRegId, ProcId, RegId};
+
+/// Errors raised by the shared-memory substrate and the executor.
+///
+/// All variants indicate misuse of the API (bad configuration or indices),
+/// never a failure of the simulated system itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemoryError {
+    /// A wiring was constructed from a vector that is not a permutation.
+    NotAPermutation {
+        /// The offending mapping.
+        mapping: Vec<usize>,
+    },
+    /// The number of wirings differs from the number of processes.
+    WiringCountMismatch {
+        /// Number of processes supplied.
+        processes: usize,
+        /// Number of wirings supplied.
+        wirings: usize,
+    },
+    /// A wiring's domain size differs from the number of registers.
+    WiringSizeMismatch {
+        /// Processor whose wiring is wrong.
+        proc: ProcId,
+        /// The wiring's domain size.
+        wiring_len: usize,
+        /// The memory's register count.
+        registers: usize,
+    },
+    /// A memory was requested with zero registers (the model requires `M > 0`).
+    ZeroRegisters,
+    /// A system was requested with fewer than two processors (the model
+    /// requires `N > 1`).
+    TooFewProcessors {
+        /// Number of processors requested.
+        processes: usize,
+    },
+    /// A processor index was out of range.
+    ProcOutOfRange {
+        /// The offending processor.
+        proc: ProcId,
+        /// Number of processors in the system.
+        processes: usize,
+    },
+    /// A local register index was out of range for the memory.
+    LocalRegOutOfRange {
+        /// The offending local register index.
+        local: LocalRegId,
+        /// Number of registers in the memory.
+        registers: usize,
+    },
+    /// A global register index was out of range for the memory.
+    RegOutOfRange {
+        /// The offending global register index.
+        reg: RegId,
+        /// Number of registers in the memory.
+        registers: usize,
+    },
+    /// A single-writer register was written by a processor that does not own
+    /// it (used by SWMR baselines).
+    NotOwner {
+        /// The writing processor.
+        proc: ProcId,
+        /// The register it attempted to write.
+        reg: RegId,
+        /// The register's owner.
+        owner: ProcId,
+    },
+    /// The scheduler selected a processor that has already halted.
+    ScheduledHalted {
+        /// The halted processor the scheduler picked.
+        proc: ProcId,
+    },
+    /// The run exceeded its step budget before reaching the requested
+    /// condition.
+    StepBudgetExhausted {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+    /// The scheduler had no processor to run but some are still live.
+    SchedulerStuck,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::NotAPermutation { mapping } => {
+                write!(f, "mapping {mapping:?} is not a permutation of 0..{}", mapping.len())
+            }
+            MemoryError::WiringCountMismatch { processes, wirings } => write!(
+                f,
+                "{processes} processes supplied but {wirings} wirings"
+            ),
+            MemoryError::WiringSizeMismatch { proc, wiring_len, registers } => write!(
+                f,
+                "wiring for {proc} has domain size {wiring_len} but memory has {registers} registers"
+            ),
+            MemoryError::ZeroRegisters => write!(f, "the model requires at least one register"),
+            MemoryError::TooFewProcessors { processes } => {
+                write!(f, "the model requires at least two processors, got {processes}")
+            }
+            MemoryError::ProcOutOfRange { proc, processes } => {
+                write!(f, "{proc} out of range for a system of {processes} processors")
+            }
+            MemoryError::LocalRegOutOfRange { local, registers } => {
+                write!(f, "{local} out of range for a memory of {registers} registers")
+            }
+            MemoryError::RegOutOfRange { reg, registers } => {
+                write!(f, "{reg} out of range for a memory of {registers} registers")
+            }
+            MemoryError::NotOwner { proc, reg, owner } => {
+                write!(f, "{proc} wrote single-writer register {reg} owned by {owner}")
+            }
+            MemoryError::ScheduledHalted { proc } => {
+                write!(f, "scheduler selected halted processor {proc}")
+            }
+            MemoryError::StepBudgetExhausted { budget } => {
+                write!(f, "step budget of {budget} exhausted before completion")
+            }
+            MemoryError::SchedulerStuck => {
+                write!(f, "scheduler returned no processor while some are still live")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<MemoryError> = vec![
+            MemoryError::NotAPermutation { mapping: vec![0, 0] },
+            MemoryError::WiringCountMismatch { processes: 2, wirings: 3 },
+            MemoryError::ZeroRegisters,
+            MemoryError::TooFewProcessors { processes: 1 },
+            MemoryError::ProcOutOfRange { proc: ProcId(5), processes: 2 },
+            MemoryError::LocalRegOutOfRange { local: LocalRegId(9), registers: 3 },
+            MemoryError::RegOutOfRange { reg: RegId(9), registers: 3 },
+            MemoryError::NotOwner { proc: ProcId(0), reg: RegId(1), owner: ProcId(1) },
+            MemoryError::ScheduledHalted { proc: ProcId(0) },
+            MemoryError::StepBudgetExhausted { budget: 10 },
+            MemoryError::SchedulerStuck,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            // Error messages follow the std convention: lowercase, no period.
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(MemoryError::ZeroRegisters);
+    }
+}

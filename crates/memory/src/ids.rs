@@ -1,0 +1,154 @@
+//! Newtype identifiers for processors and registers.
+//!
+//! Keeping *global* register names ([`RegId`]) and *local* register names
+//! ([`LocalRegId`]) as distinct types statically prevents the central bug of
+//! anonymous-memory code: using a processor-local index where a ground-truth
+//! index is required, or vice versa. A [`Wiring`](crate::Wiring) is the only
+//! way to convert between them.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth processor identifier in the range `0..n`.
+///
+/// Per the paper's model (Section 2), processors *have* unique identifiers,
+/// but those identifiers "do not appear in their programs": algorithm code
+/// (implementations of [`Process`](crate::Process)) never receives a
+/// `ProcId`. The executor, traces, and analysis code use it freely.
+///
+/// ```
+/// use fa_memory::ProcId;
+/// let p = ProcId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProcId(pub usize);
+
+impl ProcId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(value: usize) -> Self {
+        ProcId(value)
+    }
+}
+
+/// Ground-truth (global) register identifier in the range `0..m`.
+///
+/// Only the executor and analysis code see global register names; an
+/// algorithm addresses memory exclusively through [`LocalRegId`]s which the
+/// processor's private [`Wiring`](crate::Wiring) translates.
+///
+/// ```
+/// use fa_memory::RegId;
+/// assert_eq!(RegId(0).to_string(), "r0");
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RegId(pub usize);
+
+impl RegId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<usize> for RegId {
+    fn from(value: usize) -> Self {
+        RegId(value)
+    }
+}
+
+/// Processor-local register identifier in the range `0..m`.
+///
+/// This is the *only* register name an algorithm may use. The executor maps
+/// it to a [`RegId`] through the processor's private wiring: a read or write
+/// of local register `i` by processor `p` accesses global register
+/// `σ_p[i]`.
+///
+/// ```
+/// use fa_memory::LocalRegId;
+/// assert_eq!(LocalRegId(2).to_string(), "l2");
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LocalRegId(pub usize);
+
+impl LocalRegId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LocalRegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl From<usize> for LocalRegId {
+    fn from(value: usize) -> Self {
+        LocalRegId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(0).to_string(), "p0");
+        assert_eq!(RegId(5).to_string(), "r5");
+        assert_eq!(LocalRegId(7).to_string(), "l7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcId(1) < ProcId(2));
+        assert!(RegId(0) < RegId(1));
+        assert!(LocalRegId(3) > LocalRegId(1));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ProcId::from(4), ProcId(4));
+        assert_eq!(RegId::from(4).index(), 4);
+        assert_eq!(LocalRegId::from(4).index(), 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = ProcId(9);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProcId = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,97 @@
+//! # fa-memory: the fully-anonymous shared-memory substrate
+//!
+//! This crate implements the execution model of Losa & Gafni,
+//! *"Understanding Read-Write Wait-Free Coverings in the Fully-Anonymous
+//! Shared-Memory Model"* (PODC 2024), which itself follows Raynal & Taubenfeld.
+//!
+//! The model consists of `N > 1` asynchronous processors communicating through
+//! `M > 0` multi-writer multi-reader (MWMR) atomic registers. Two kinds of
+//! anonymity are in force:
+//!
+//! * **Processor anonymity** — every processor runs exactly the same program;
+//!   a processor's identifier never appears in its code. In this crate that
+//!   means algorithm implementations (the [`Process`] trait) never see a
+//!   [`ProcId`]; ground-truth identifiers exist only inside the executor, the
+//!   trace, and analysis code.
+//! * **Memory anonymity** — each processor `p` addresses the registers through
+//!   a private permutation `σ_p` fixed at initialization and unknown to every
+//!   processor. An instruction by `p` touching *local* register `i` actually
+//!   touches the *global* register `σ_p[i]`. The permutation is a [`Wiring`],
+//!   and only the executor applies it.
+//!
+//! ## Architecture
+//!
+//! * [`Wiring`] — a validated permutation of `0..m` with composition,
+//!   inversion, and enumeration (the model checker explores all wirings).
+//! * [`SharedMemory`] — the ground-truth register array plus one wiring per
+//!   processor; tracks the last writer of every register so analyses can
+//!   compute the paper's *reads-from* relation (Section 4).
+//! * [`Process`] — a deterministic Mealy machine: the executor feeds the
+//!   result of the previous shared-memory access ([`StepInput`]) and receives
+//!   the next access ([`Action`]). One shared-memory access per step, exactly
+//!   as in the paper's model; local computation is folded in between accesses
+//!   the way PlusCal folds statements between labels.
+//! * [`Executor`] — drives a set of processes against a [`SharedMemory`]
+//!   under a pluggable [`Scheduler`], producing a [`Trace`].
+//! * [`schedule`] — round-robin, seeded-random, solo, scripted, and lasso
+//!   (ultimately-periodic) schedules; the latter make reasoning about
+//!   *infinite* executions exact (Section 4's stable views).
+//! * [`threaded`] — a real-concurrency runtime that runs the same `Process`
+//!   machines on OS threads against lock-protected (hence atomic) registers.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fa_memory::{Executor, SharedMemory, Wiring, Process, Action, StepInput};
+//!
+//! /// A processor that writes its input to local register 0 and halts.
+//! #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+//! struct WriteOnce { input: u32, wrote: bool }
+//!
+//! impl Process for WriteOnce {
+//!     type Value = u32;
+//!     type Output = ();
+//!     fn step(&mut self, _input: StepInput<u32>) -> Action<u32, ()> {
+//!         if self.wrote { return Action::Halt; }
+//!         self.wrote = true;
+//!         Action::write(0, self.input)
+//!     }
+//! }
+//!
+//! let procs = vec![WriteOnce { input: 7, wrote: false },
+//!                  WriteOnce { input: 9, wrote: false }];
+//! let wirings = vec![Wiring::identity(2), Wiring::from_perm(vec![1, 0]).unwrap()];
+//! let memory = SharedMemory::new(2, 0u32, wirings).unwrap();
+//! let mut exec = Executor::new(procs, memory).unwrap();
+//! exec.run_round_robin(100).unwrap();
+//! // Processor 0 wrote global register 0; processor 1 wrote global register 1.
+//! assert_eq!(*exec.memory().read_global(fa_memory::RegId(0)), 7);
+//! assert_eq!(*exec.memory().read_global(fa_memory::RegId(1)), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod executor;
+mod ids;
+mod memory;
+mod process;
+pub mod replay;
+pub mod schedule;
+mod trace;
+pub mod threaded;
+mod wiring;
+
+pub use error::MemoryError;
+pub use executor::{Executor, RunOutcome, StepOutcome};
+pub use ids::{LocalRegId, ProcId, RegId};
+pub use memory::SharedMemory;
+pub use process::{Action, Process, StepInput};
+pub use schedule::{
+    BoundedDelayScheduler, CrashingScheduler, LassoSchedule, RandomScheduler, RoundRobin,
+    Scheduler, ScriptedSchedule, SoloScheduler,
+};
+pub use trace::{Event, EventKind, Trace};
+pub use wiring::Wiring;

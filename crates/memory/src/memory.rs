@@ -1,0 +1,427 @@
+//! The ground-truth shared-memory state: `M` MWMR atomic registers plus the
+//! private wiring of each processor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LocalRegId, MemoryError, ProcId, RegId, Wiring};
+
+/// The shared memory of a fully-anonymous system: `M` multi-writer
+/// multi-reader atomic registers, each processor wired to them through a
+/// private permutation.
+///
+/// `SharedMemory` is the *ground truth* that only the executor and analysis
+/// code may inspect. Algorithms access it exclusively through local register
+/// names which [`read`](SharedMemory::read) and
+/// [`write`](SharedMemory::write) translate via the acting processor's
+/// [`Wiring`].
+///
+/// Besides register contents the memory tracks, per register, the identity of
+/// its *last writer* — the information needed to compute the paper's
+/// *reads-from* relation (Section 2: "processor `p` reads from processor `q`
+/// at time `t` if ... the register was last written by `q`") on which the
+/// whole stable-view analysis of Section 4 rests.
+///
+/// ```
+/// use fa_memory::{SharedMemory, Wiring, ProcId, LocalRegId, RegId};
+///
+/// let wirings = vec![Wiring::identity(2), Wiring::from_perm(vec![1, 0]).unwrap()];
+/// let mut mem = SharedMemory::new(2, 0u32, wirings).unwrap();
+/// // Processor 1 writes its local register 0, which is global register 1.
+/// mem.write(ProcId(1), LocalRegId(0), 42).unwrap();
+/// assert_eq!(*mem.read_global(RegId(1)), 42);
+/// assert_eq!(mem.last_writer(RegId(1)), Some(ProcId(1)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SharedMemory<V> {
+    registers: Vec<V>,
+    wirings: Vec<Wiring>,
+    last_writer: Vec<Option<ProcId>>,
+    /// Total number of writes ever applied, per register. Monotone; used by
+    /// atomicity analyses to identify distinct register versions.
+    versions: Vec<u64>,
+    /// Optional single-writer ownership map (for SWMR baselines). When
+    /// `Some`, a write by a non-owner is rejected.
+    owners: Option<Vec<ProcId>>,
+}
+
+impl<V: Clone> SharedMemory<V> {
+    /// Creates a memory of `m` registers, all initialized to `init` (the
+    /// model's "known default value"), with the given per-processor wirings.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemoryError::ZeroRegisters`] if `m == 0`.
+    /// * [`MemoryError::WiringSizeMismatch`] if some wiring's domain is not `m`.
+    pub fn new(m: usize, init: V, wirings: Vec<Wiring>) -> Result<Self, MemoryError> {
+        if m == 0 {
+            return Err(MemoryError::ZeroRegisters);
+        }
+        for (i, w) in wirings.iter().enumerate() {
+            if w.len() != m {
+                return Err(MemoryError::WiringSizeMismatch {
+                    proc: ProcId(i),
+                    wiring_len: w.len(),
+                    registers: m,
+                });
+            }
+        }
+        Ok(SharedMemory {
+            registers: vec![init; m],
+            last_writer: vec![None; m],
+            versions: vec![0; m],
+            wirings,
+            owners: None,
+        })
+    }
+
+    /// Creates a memory in the *named-memory* (processor-anonymous only)
+    /// model: every one of the `n` processors has the identity wiring, so all
+    /// processors agree on register names. This is the model of the
+    /// Guerraoui–Ruppert baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::ZeroRegisters`] if `m == 0`.
+    pub fn named(m: usize, n: usize, init: V) -> Result<Self, MemoryError> {
+        Self::new(m, init, vec![Wiring::identity(m); n])
+    }
+
+    /// Declares the memory single-writer: register `i` may only be written by
+    /// `owners[i]`. Used by the non-anonymous Afek-style baseline; a
+    /// fully-anonymous algorithm cannot rely on this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::WiringCountMismatch`] if `owners.len()` differs
+    /// from the register count.
+    pub fn set_owners(&mut self, owners: Vec<ProcId>) -> Result<(), MemoryError> {
+        if owners.len() != self.registers.len() {
+            return Err(MemoryError::WiringCountMismatch {
+                processes: owners.len(),
+                wirings: self.registers.len(),
+            });
+        }
+        self.owners = Some(owners);
+        Ok(())
+    }
+
+    /// Number of registers `M`.
+    #[must_use]
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Number of processors this memory is wired for.
+    #[must_use]
+    pub fn proc_count(&self) -> usize {
+        self.wirings.len()
+    }
+
+    /// The wiring of processor `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn wiring(&self, p: ProcId) -> &Wiring {
+        &self.wirings[p.0]
+    }
+
+    /// Resolves a processor-local register name to the ground-truth register
+    /// it denotes: `σ_p[local]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `p` or `local` is out of range.
+    pub fn resolve(&self, p: ProcId, local: LocalRegId) -> Result<RegId, MemoryError> {
+        let w = self.wirings.get(p.0).ok_or(MemoryError::ProcOutOfRange {
+            proc: p,
+            processes: self.wirings.len(),
+        })?;
+        if local.0 >= w.len() {
+            return Err(MemoryError::LocalRegOutOfRange {
+                local,
+                registers: self.registers.len(),
+            });
+        }
+        Ok(w.global(local))
+    }
+
+    /// Atomically reads local register `local` on behalf of processor `p`.
+    ///
+    /// Returns the value read, the global register actually accessed, and
+    /// the register's last writer (the processor `p` *reads from*, in the
+    /// paper's terminology), if any write has occurred.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `p` or `local` is out of range.
+    pub fn read(
+        &self,
+        p: ProcId,
+        local: LocalRegId,
+    ) -> Result<(V, RegId, Option<ProcId>), MemoryError> {
+        let global = self.resolve(p, local)?;
+        Ok((self.registers[global.0].clone(), global, self.last_writer[global.0]))
+    }
+
+    /// Atomically writes `value` to local register `local` on behalf of
+    /// processor `p`. Returns the global register written and the value that
+    /// was overwritten.
+    ///
+    /// # Errors
+    ///
+    /// * An index error if `p` or `local` is out of range.
+    /// * [`MemoryError::NotOwner`] if the memory is in single-writer mode and
+    ///   `p` does not own the register.
+    pub fn write(
+        &mut self,
+        p: ProcId,
+        local: LocalRegId,
+        value: V,
+    ) -> Result<(RegId, V), MemoryError> {
+        let global = self.resolve(p, local)?;
+        if let Some(owners) = &self.owners {
+            let owner = owners[global.0];
+            if owner != p {
+                return Err(MemoryError::NotOwner { proc: p, reg: global, owner });
+            }
+        }
+        let old = std::mem::replace(&mut self.registers[global.0], value);
+        self.last_writer[global.0] = Some(p);
+        self.versions[global.0] += 1;
+        Ok((global, old))
+    }
+
+    /// Reads a register by its ground-truth name. Analysis-only: a simulated
+    /// processor can never do this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn read_global(&self, r: RegId) -> &V {
+        &self.registers[r.0]
+    }
+
+    /// The last writer of register `r` (ground-truth name), if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn last_writer(&self, r: RegId) -> Option<ProcId> {
+        self.last_writer[r.0]
+    }
+
+    /// Number of writes ever applied to register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn version(&self, r: RegId) -> u64 {
+        self.versions[r.0]
+    }
+
+    /// All register contents in ground-truth order. Analysis-only.
+    #[must_use]
+    pub fn contents(&self) -> &[V] {
+        &self.registers
+    }
+
+    /// The set of ground-truth registers whose last writer is in `procs`.
+    ///
+    /// This is the quantity `R_t^Ā` of the paper's Lemma 4.5/4.6: "the set of
+    /// registers last written by" a set of processors.
+    #[must_use]
+    pub fn registers_last_written_by<F: Fn(ProcId) -> bool>(&self, procs: F) -> Vec<RegId> {
+        self.last_writer
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| match w {
+                Some(p) if procs(*p) => Some(RegId(i)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem3() -> SharedMemory<u32> {
+        SharedMemory::new(
+            3,
+            0,
+            vec![
+                Wiring::identity(3),
+                Wiring::cyclic_shift(3, 1),
+                Wiring::cyclic_shift(3, 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_registers() {
+        assert_eq!(
+            SharedMemory::<u32>::new(0, 0, vec![]).unwrap_err(),
+            MemoryError::ZeroRegisters
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_wiring() {
+        let err = SharedMemory::new(3, 0u32, vec![Wiring::identity(2)]).unwrap_err();
+        assert!(matches!(err, MemoryError::WiringSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn initial_contents_are_default_and_unwritten() {
+        let mem = mem3();
+        for i in 0..3 {
+            assert_eq!(*mem.read_global(RegId(i)), 0);
+            assert_eq!(mem.last_writer(RegId(i)), None);
+            assert_eq!(mem.version(RegId(i)), 0);
+        }
+    }
+
+    #[test]
+    fn wiring_translates_accesses() {
+        let mut mem = mem3();
+        // p1 has cyclic shift 1: local 0 -> global 1.
+        mem.write(ProcId(1), LocalRegId(0), 10).unwrap();
+        assert_eq!(*mem.read_global(RegId(1)), 10);
+        // p2 has cyclic shift 2: local 2 -> global (2+2)%3 = 1.
+        let (v, global, from) = mem.read(ProcId(2), LocalRegId(2)).unwrap();
+        assert_eq!(v, 10);
+        assert_eq!(global, RegId(1));
+        assert_eq!(from, Some(ProcId(1)));
+    }
+
+    #[test]
+    fn write_returns_overwritten_value() {
+        let mut mem = mem3();
+        mem.write(ProcId(0), LocalRegId(0), 5).unwrap();
+        let (r, old) = mem.write(ProcId(0), LocalRegId(0), 6).unwrap();
+        assert_eq!(r, RegId(0));
+        assert_eq!(old, 5);
+        assert_eq!(mem.version(RegId(0)), 2);
+    }
+
+    #[test]
+    fn named_memory_uses_identity_everywhere() {
+        let mem = SharedMemory::named(4, 3, 0u32).unwrap();
+        for p in 0..3 {
+            for r in 0..4 {
+                assert_eq!(mem.resolve(ProcId(p), LocalRegId(r)).unwrap(), RegId(r));
+            }
+        }
+    }
+
+    #[test]
+    fn swmr_rejects_non_owner() {
+        let mut mem = SharedMemory::named(2, 2, 0u32).unwrap();
+        mem.set_owners(vec![ProcId(0), ProcId(1)]).unwrap();
+        assert!(mem.write(ProcId(0), LocalRegId(0), 1).is_ok());
+        let err = mem.write(ProcId(0), LocalRegId(1), 1).unwrap_err();
+        assert!(matches!(err, MemoryError::NotOwner { .. }));
+    }
+
+    #[test]
+    fn out_of_range_indices_error() {
+        let mem = mem3();
+        assert!(matches!(
+            mem.read(ProcId(9), LocalRegId(0)),
+            Err(MemoryError::ProcOutOfRange { .. })
+        ));
+        assert!(matches!(
+            mem.read(ProcId(0), LocalRegId(9)),
+            Err(MemoryError::LocalRegOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn registers_last_written_by_filters() {
+        let mut mem = mem3();
+        mem.write(ProcId(0), LocalRegId(0), 1).unwrap();
+        mem.write(ProcId(1), LocalRegId(0), 2).unwrap(); // global 1
+        let by0 = mem.registers_last_written_by(|p| p == ProcId(0));
+        assert_eq!(by0, vec![RegId(0)]);
+        let by_any = mem.registers_last_written_by(|_| true);
+        assert_eq!(by_any, vec![RegId(0), RegId(1)]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random operation sequences maintain the bookkeeping invariants:
+        /// version counts equal the number of writes applied to the
+        /// register, last_writer reflects the final writer, and reads never
+        /// mutate anything.
+        #[test]
+        fn bookkeeping_invariants(
+            ops in proptest::collection::vec((0usize..3, 0usize..4, any::<bool>(), 0u32..100), 0..60),
+        ) {
+            let m = 4;
+            let wirings = vec![
+                Wiring::identity(m),
+                Wiring::cyclic_shift(m, 1),
+                Wiring::cyclic_shift(m, 3),
+            ];
+            let mut mem = SharedMemory::new(m, 0u32, wirings).unwrap();
+            let mut writes_per_reg = vec![0u64; m];
+            let mut last_writer: Vec<Option<ProcId>> = vec![None; m];
+            let mut contents = vec![0u32; m];
+            for (p, local, is_write, val) in ops {
+                let p = ProcId(p);
+                let local = LocalRegId(local);
+                let global = mem.resolve(p, local).unwrap();
+                if is_write {
+                    let (g, old) = mem.write(p, local, val).unwrap();
+                    prop_assert_eq!(g, global);
+                    prop_assert_eq!(old, contents[global.0]);
+                    contents[global.0] = val;
+                    writes_per_reg[global.0] += 1;
+                    last_writer[global.0] = Some(p);
+                } else {
+                    let (v, g, from) = mem.read(p, local).unwrap();
+                    prop_assert_eq!(v, contents[global.0]);
+                    prop_assert_eq!(g, global);
+                    prop_assert_eq!(from, last_writer[global.0]);
+                }
+            }
+            for r in 0..m {
+                prop_assert_eq!(mem.version(RegId(r)), writes_per_reg[r]);
+                prop_assert_eq!(mem.last_writer(RegId(r)), last_writer[r]);
+                prop_assert_eq!(*mem.read_global(RegId(r)), contents[r]);
+            }
+        }
+
+        /// `registers_last_written_by` partitions consistently: every
+        /// register is counted by exactly one of a predicate and its
+        /// complement (unwritten registers by neither).
+        #[test]
+        fn last_written_partition(
+            ops in proptest::collection::vec((0usize..2, 0usize..3, 1u32..50), 0..40),
+        ) {
+            let m = 3;
+            let mut mem = SharedMemory::named(m, 2, 0u32).unwrap();
+            for (p, local, val) in ops {
+                mem.write(ProcId(p), LocalRegId(local), val).unwrap();
+            }
+            let by_p0 = mem.registers_last_written_by(|p| p == ProcId(0)).len();
+            let by_p1 = mem.registers_last_written_by(|p| p == ProcId(1)).len();
+            let by_any = mem.registers_last_written_by(|_| true).len();
+            prop_assert_eq!(by_p0 + by_p1, by_any);
+            prop_assert!(by_any <= m);
+        }
+    }
+}
+

@@ -1,0 +1,194 @@
+//! The step-machine process model.
+//!
+//! A processor in the paper is a deterministic sequential program whose
+//! interaction with the world is a sequence of atomic single-register reads
+//! and writes, followed (possibly) by writing a write-once output. We model a
+//! processor as a Mealy machine: the executor delivers the result of the
+//! previous shared-memory access as a [`StepInput`] and receives the next
+//! access as an [`Action`]. Local computation happens inside
+//! [`Process::step`], mirroring how PlusCal executes everything between two
+//! labels atomically.
+//!
+//! Crucially for anonymity, a `Process` never sees a
+//! [`ProcId`](crate::ProcId) or a [`RegId`](crate::RegId): all register
+//! addressing is via [`LocalRegId`](crate::LocalRegId), which the executor
+//! translates through the processor's private wiring. Processor anonymity is
+//! then a *property of construction*: a system is processor-anonymous iff all
+//! processes start from the same state modulo their inputs, which the
+//! algorithms in `fa-core` guarantee by building every processor from the
+//! same `new(input, n)` constructor.
+
+use crate::LocalRegId;
+
+/// The next shared-memory access (or decision) a process wants to perform.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Action<V, O> {
+    /// Atomically read local register `local`; the value arrives in the next
+    /// [`StepInput::ReadValue`].
+    Read {
+        /// The local register to read.
+        local: LocalRegId,
+    },
+    /// Atomically write `value` to local register `local`.
+    Write {
+        /// The local register to write.
+        local: LocalRegId,
+        /// The value to write.
+        value: V,
+    },
+    /// Produce an output. For one-shot tasks this is the write-once output of
+    /// the model; long-lived objects may output repeatedly (each output is
+    /// recorded by the executor). The process keeps running until it returns
+    /// [`Action::Halt`].
+    Output(O),
+    /// Terminate; the scheduler will never run this process again.
+    Halt,
+}
+
+impl<V, O> Action<V, O> {
+    /// Convenience constructor for a read of local register `local`.
+    #[must_use]
+    pub fn read(local: usize) -> Self {
+        Action::Read { local: LocalRegId(local) }
+    }
+
+    /// Convenience constructor for a write of `value` to local register
+    /// `local`.
+    #[must_use]
+    pub fn write(local: usize, value: V) -> Self {
+        Action::Write { local: LocalRegId(local), value }
+    }
+
+    /// Whether this action is a shared-memory access (read or write), as
+    /// opposed to an output or halt.
+    #[must_use]
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self, Action::Read { .. } | Action::Write { .. })
+    }
+
+    /// Whether this action is [`Action::Halt`].
+    #[must_use]
+    pub fn is_halt(&self) -> bool {
+        matches!(self, Action::Halt)
+    }
+
+    /// The local register this action touches, if it is a memory access.
+    #[must_use]
+    pub fn local_register(&self) -> Option<LocalRegId> {
+        match self {
+            Action::Read { local } | Action::Write { local, .. } => Some(*local),
+            _ => None,
+        }
+    }
+}
+
+/// What the executor feeds a process at the start of a step: the result of
+/// the process's previous action.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StepInput<V> {
+    /// First activation; there is no previous action.
+    Start,
+    /// The previous action was a read and returned this value.
+    ReadValue(V),
+    /// The previous action was a write; it completed.
+    Wrote,
+    /// The previous action was an output; it was recorded.
+    OutputRecorded,
+}
+
+/// A deterministic process (the paper's "program" run by every processor).
+///
+/// # Contract
+///
+/// * The first call to [`step`](Process::step) receives [`StepInput::Start`].
+/// * If `step` returns [`Action::Read`], the next call receives
+///   [`StepInput::ReadValue`] carrying the value read.
+/// * If it returns [`Action::Write`], the next call receives
+///   [`StepInput::Wrote`]; for [`Action::Output`],
+///   [`StepInput::OutputRecorded`].
+/// * After returning [`Action::Halt`], `step` is never called again.
+/// * `step` must be deterministic: the same state and input always produce
+///   the same action (required for model checking and for the paper's model,
+///   where the only nondeterminism is the scheduler and the wiring).
+///
+/// Implementations used with the model checker should also derive `Clone`,
+/// `PartialEq`, `Eq` and `Hash` so global states can be deduplicated.
+pub trait Process {
+    /// The type of values stored in registers.
+    type Value;
+    /// The type of outputs the process may produce.
+    type Output;
+
+    /// Consumes the result of the previous action and returns the next one.
+    fn step(&mut self, input: StepInput<Self::Value>) -> Action<Self::Value, Self::Output>;
+}
+
+// Box<P> forwards the process implementation, allowing heterogeneous
+// collections of processes behind one value type.
+impl<P: Process + ?Sized> Process for Box<P> {
+    type Value = P::Value;
+    type Output = P::Output;
+
+    fn step(&mut self, input: StepInput<Self::Value>) -> Action<Self::Value, Self::Output> {
+        (**self).step(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_helpers() {
+        let a: Action<u32, ()> = Action::read(3);
+        assert!(a.is_memory_access());
+        assert!(!a.is_halt());
+        assert_eq!(a.local_register(), Some(LocalRegId(3)));
+
+        let w: Action<u32, ()> = Action::write(1, 9);
+        assert_eq!(w.local_register(), Some(LocalRegId(1)));
+        assert!(w.is_memory_access());
+
+        let h: Action<u32, ()> = Action::Halt;
+        assert!(h.is_halt());
+        assert_eq!(h.local_register(), None);
+        assert!(!h.is_memory_access());
+
+        let o: Action<u32, u32> = Action::Output(5);
+        assert!(!o.is_memory_access());
+        assert_eq!(o.local_register(), None);
+    }
+
+    #[derive(Clone)]
+    struct Counter(u32);
+    impl Process for Counter {
+        type Value = u32;
+        type Output = u32;
+        fn step(&mut self, _input: StepInput<u32>) -> Action<u32, u32> {
+            self.0 += 1;
+            if self.0 > 2 {
+                Action::Halt
+            } else {
+                Action::Output(self.0)
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_process_forwards() {
+        let mut b: Box<Counter> = Box::new(Counter(0));
+        assert_eq!(b.step(StepInput::Start), Action::Output(1));
+        assert_eq!(b.step(StepInput::OutputRecorded), Action::Output(2));
+        assert_eq!(b.step(StepInput::OutputRecorded), Action::Halt);
+    }
+
+    #[test]
+    fn dyn_process_objects_work() {
+        // The trait must stay object-safe: heterogeneous systems are built
+        // from Box<dyn Process<...>>.
+        let mut procs: Vec<Box<dyn Process<Value = u32, Output = u32>>> =
+            vec![Box::new(Counter(0)), Box::new(Counter(1))];
+        assert_eq!(procs[0].step(StepInput::Start), Action::Output(1));
+        assert_eq!(procs[1].step(StepInput::Start), Action::Output(2));
+    }
+}

@@ -1,0 +1,159 @@
+//! Trace replay: turn a recorded [`Trace`] back into a schedule.
+//!
+//! Deterministic processes + the schedule fully determine an execution, so a
+//! trace can be re-run exactly by replaying its processor sequence against a
+//! fresh copy of the same system. This is how counterexamples found under
+//! random schedules are turned into reproducible regression artifacts (and
+//! how serialized traces from one machine are validated on another).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Event, ProcId, ScriptedSchedule, Trace};
+
+/// Extracts the processor sequence of a trace as a [`ScriptedSchedule`].
+///
+/// Replaying it against an identically-configured
+/// [`Executor`](crate::Executor) reproduces the execution step for step.
+///
+/// ```
+/// use fa_memory::{replay, Executor, SharedMemory, Wiring, ProcId};
+/// use fa_memory::{Action, Process, StepInput};
+///
+/// #[derive(Clone)]
+/// struct W(u32, bool);
+/// impl Process for W {
+///     type Value = u32;
+///     type Output = u32;
+///     fn step(&mut self, _i: StepInput<u32>) -> Action<u32, u32> {
+///         if self.1 { Action::Halt } else { self.1 = true; Action::write(0, self.0) }
+///     }
+/// }
+///
+/// let make = || {
+///     let memory = SharedMemory::named(1, 2, 0u32).unwrap();
+///     Executor::new(vec![W(1, false), W(2, false)], memory).unwrap()
+/// };
+/// let mut exec = make();
+/// exec.record_trace(true);
+/// exec.run_random(rand::thread_rng(), 100).unwrap();
+/// let schedule = replay::schedule_of(exec.trace().unwrap());
+///
+/// let mut exec2 = make();
+/// exec2.record_trace(true);
+/// exec2.run(schedule, 100).unwrap();
+/// assert_eq!(exec.trace(), exec2.trace()); // bit-identical executions
+/// ```
+#[must_use]
+pub fn schedule_of<V, O>(trace: &Trace<V, O>) -> ScriptedSchedule {
+    ScriptedSchedule::new(trace.events().iter().map(|e| e.proc).collect())
+}
+
+/// A serializable replay artifact: the processor sequence of an execution
+/// plus a label, suitable for committing as a regression fixture.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayScript {
+    /// Free-form description (what system configuration to rebuild).
+    pub label: String,
+    /// The processor step sequence.
+    pub steps: Vec<ProcId>,
+}
+
+impl ReplayScript {
+    /// Builds a replay script from a trace.
+    #[must_use]
+    pub fn from_trace<V, O>(label: impl Into<String>, trace: &Trace<V, O>) -> Self {
+        ReplayScript {
+            label: label.into(),
+            steps: trace.events().iter().map(Event::proc_of).collect(),
+        }
+    }
+
+    /// The script as a scheduler.
+    #[must_use]
+    pub fn to_schedule(&self) -> ScriptedSchedule {
+        ScriptedSchedule::new(self.steps.clone())
+    }
+}
+
+impl<V, O> Event<V, O> {
+    /// The processor that took this step (helper for replay extraction).
+    #[must_use]
+    pub fn proc_of(&self) -> ProcId {
+        self.proc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, Executor, Process, SharedMemory, StepInput};
+    use rand::SeedableRng;
+
+    #[derive(Clone)]
+    struct PingPong {
+        rounds: u32,
+    }
+    impl Process for PingPong {
+        type Value = u32;
+        type Output = u32;
+        fn step(&mut self, i: StepInput<u32>) -> Action<u32, u32> {
+            match i {
+                StepInput::Start | StepInput::Wrote => {
+                    if self.rounds == 0 {
+                        Action::Halt
+                    } else {
+                        Action::read(0)
+                    }
+                }
+                StepInput::ReadValue(v) => {
+                    self.rounds -= 1;
+                    Action::write(0, v + 1)
+                }
+                StepInput::OutputRecorded => Action::Halt,
+            }
+        }
+    }
+
+    fn make() -> Executor<PingPong> {
+        let memory = SharedMemory::named(1, 2, 0u32).unwrap();
+        Executor::new(vec![PingPong { rounds: 5 }, PingPong { rounds: 5 }], memory).unwrap()
+    }
+
+    #[test]
+    fn replay_reproduces_random_execution_exactly() {
+        let mut exec = make();
+        exec.record_trace(true);
+        exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(3), 1000).unwrap();
+        let original = exec.trace().unwrap().clone();
+
+        let mut exec2 = make();
+        exec2.record_trace(true);
+        exec2.run(schedule_of(&original), 1000).unwrap();
+        assert_eq!(&original, exec2.trace().unwrap());
+        assert_eq!(exec.memory().contents(), exec2.memory().contents());
+    }
+
+    #[test]
+    fn replay_script_serde_round_trip() {
+        let mut exec = make();
+        exec.record_trace(true);
+        exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(9), 1000).unwrap();
+        let script = ReplayScript::from_trace("ping-pong n=2", exec.trace().unwrap());
+        let json = serde_json::to_string(&script).unwrap();
+        let back: ReplayScript = serde_json::from_str(&json).unwrap();
+        assert_eq!(script, back);
+
+        let mut exec2 = make();
+        exec2.record_trace(true);
+        exec2.run(back.to_schedule(), 1000).unwrap();
+        assert_eq!(exec.trace(), exec2.trace());
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_schedule() {
+        let trace: Trace<u32, u32> = Trace::new();
+        let mut sched = schedule_of(&trace);
+        use crate::Scheduler;
+        assert_eq!(sched.next(&[ProcId(0)]), None);
+    }
+}

@@ -1,0 +1,550 @@
+//! Schedulers: the asynchronous adversary.
+//!
+//! In the paper's model, processors take steps asynchronously — the order of
+//! steps is chosen by an adversary. A [`Scheduler`] encapsulates one
+//! adversary strategy. The executor asks the scheduler which live (non-halted)
+//! processor takes the next step.
+//!
+//! Strategies provided:
+//!
+//! * [`RoundRobin`] — a fair canonical schedule (every live processor steps
+//!   infinitely often).
+//! * [`RandomScheduler`] — a seeded uniformly random adversary; fair with
+//!   probability 1.
+//! * [`SoloScheduler`] — runs a single processor solo (the obstruction-free
+//!   termination scenario of Section 7 and the lower bound of Section 2.1).
+//! * [`ScriptedSchedule`] — replays an explicit finite sequence of processor
+//!   ids (used to reconstruct Figure 2 step by step).
+//! * [`LassoSchedule`] — an ultimately-periodic schedule `prefix · cycleω`,
+//!   the finite representation of an *infinite* execution used by the
+//!   stable-view analysis of Section 4.
+//! * [`BoundedDelayScheduler`] — a `k`-bounded-delay (partial-synchrony)
+//!   adversary: random, but no live processor starves longer than `k` steps.
+//! * [`CrashingScheduler`] — failure injection: permanently stops chosen
+//!   processors after a given number of their steps.
+
+use rand::Rng;
+
+use crate::ProcId;
+
+/// An adversary strategy choosing which live processor steps next.
+///
+/// The executor passes the list of currently live (non-halted) processors in
+/// increasing id order. Returning `None` ends the run (the adversary stops
+/// scheduling; remaining processors simply take no more steps, which the
+/// model permits).
+pub trait Scheduler {
+    /// Chooses the next processor to step among `live`, or `None` to stop.
+    fn next(&mut self, live: &[ProcId]) -> Option<ProcId>;
+}
+
+// Allow passing `&mut S` where a scheduler is expected.
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn next(&mut self, live: &[ProcId]) -> Option<ProcId> {
+        (**self).next(live)
+    }
+}
+
+/// Fair cyclic schedule: repeatedly steps each live processor in increasing
+/// id order, skipping halted ones.
+///
+/// ```
+/// use fa_memory::{ProcId, schedule::{RoundRobin, Scheduler}};
+/// let mut rr = RoundRobin::new();
+/// let live = vec![ProcId(0), ProcId(2), ProcId(5)];
+/// assert_eq!(rr.next(&live), Some(ProcId(0)));
+/// assert_eq!(rr.next(&live), Some(ProcId(2)));
+/// assert_eq!(rr.next(&live), Some(ProcId(5)));
+/// assert_eq!(rr.next(&live), Some(ProcId(0)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    /// Id of the last processor stepped, if any.
+    last: Option<ProcId>,
+}
+
+impl RoundRobin {
+    /// Creates a fresh round-robin scheduler starting from the lowest id.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, live: &[ProcId]) -> Option<ProcId> {
+        if live.is_empty() {
+            return None;
+        }
+        let chosen = match self.last {
+            None => live[0],
+            Some(last) => *live.iter().find(|p| **p > last).unwrap_or(&live[0]),
+        };
+        self.last = Some(chosen);
+        Some(chosen)
+    }
+}
+
+/// Uniformly random adversary driven by a caller-provided RNG. Seed the RNG
+/// for reproducibility.
+///
+/// ```
+/// use fa_memory::{ProcId, schedule::{RandomScheduler, Scheduler}};
+/// use rand::SeedableRng;
+/// let rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut sched = RandomScheduler::new(rng);
+/// let live = vec![ProcId(0), ProcId(1)];
+/// let p = sched.next(&live).unwrap();
+/// assert!(live.contains(&p));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomScheduler<R> {
+    rng: R,
+}
+
+impl<R: Rng> RandomScheduler<R> {
+    /// Creates a random scheduler from an RNG.
+    pub fn new(rng: R) -> Self {
+        RandomScheduler { rng }
+    }
+
+    /// Consumes the scheduler and returns the RNG.
+    pub fn into_inner(self) -> R {
+        self.rng
+    }
+}
+
+impl<R: Rng> Scheduler for RandomScheduler<R> {
+    fn next(&mut self, live: &[ProcId]) -> Option<ProcId> {
+        if live.is_empty() {
+            return None;
+        }
+        let idx = self.rng.gen_range(0..live.len());
+        Some(live[idx])
+    }
+}
+
+/// Runs one distinguished processor solo until it halts; never schedules
+/// anyone else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SoloScheduler {
+    proc: ProcId,
+}
+
+impl SoloScheduler {
+    /// Creates a solo scheduler for `proc`.
+    #[must_use]
+    pub fn new(proc: ProcId) -> Self {
+        SoloScheduler { proc }
+    }
+}
+
+impl Scheduler for SoloScheduler {
+    fn next(&mut self, live: &[ProcId]) -> Option<ProcId> {
+        live.contains(&self.proc).then_some(self.proc)
+    }
+}
+
+/// Replays an explicit finite sequence of processor ids, then stops.
+///
+/// By default, scheduling a halted processor is passed through to the
+/// executor (which reports it as an error — scripted schedules are precision
+/// tools and a stale script is a bug). Use
+/// [`skip_halted`](ScriptedSchedule::skip_halted) to silently drop entries
+/// for halted processors instead.
+#[derive(Clone, Debug)]
+pub struct ScriptedSchedule {
+    script: Vec<ProcId>,
+    pos: usize,
+    skip_halted: bool,
+}
+
+impl ScriptedSchedule {
+    /// Creates a schedule replaying `script` front to back.
+    #[must_use]
+    pub fn new(script: Vec<ProcId>) -> Self {
+        ScriptedSchedule { script, pos: 0, skip_halted: false }
+    }
+
+    /// Creates a schedule from raw indices.
+    #[must_use]
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        Self::new(indices.into_iter().map(ProcId).collect())
+    }
+
+    /// Silently skips script entries whose processor has already halted.
+    #[must_use]
+    pub fn skip_halted(mut self) -> Self {
+        self.skip_halted = true;
+        self
+    }
+
+    /// Number of script entries not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.script.len().saturating_sub(self.pos)
+    }
+}
+
+impl Scheduler for ScriptedSchedule {
+    fn next(&mut self, live: &[ProcId]) -> Option<ProcId> {
+        while self.pos < self.script.len() {
+            let p = self.script[self.pos];
+            self.pos += 1;
+            if !self.skip_halted || live.contains(&p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+/// An ultimately-periodic schedule `prefix · cycle^ω` — the finite
+/// representation of an infinite execution.
+///
+/// The stable-view analysis (Section 4) is about what holds *forever* in an
+/// infinite execution. With a lasso schedule and deterministic processes, the
+/// global state sequence is eventually periodic, so "forever" becomes
+/// decidable: iterate the cycle until the global state repeats.
+///
+/// Processors occurring in `cycle` are exactly the *live* processors of the
+/// represented infinite execution.
+#[derive(Clone, Debug)]
+pub struct LassoSchedule {
+    prefix: Vec<ProcId>,
+    cycle: Vec<ProcId>,
+    pos: usize,
+}
+
+impl LassoSchedule {
+    /// Creates a lasso schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is empty (an infinite execution needs infinitely
+    /// many steps).
+    #[must_use]
+    pub fn new(prefix: Vec<ProcId>, cycle: Vec<ProcId>) -> Self {
+        assert!(!cycle.is_empty(), "lasso cycle must be nonempty");
+        LassoSchedule { prefix, cycle, pos: 0 }
+    }
+
+    /// The processors that take infinitely many steps under this schedule.
+    #[must_use]
+    pub fn live_procs(&self) -> Vec<ProcId> {
+        let mut live: Vec<ProcId> = self.cycle.clone();
+        live.sort_unstable();
+        live.dedup();
+        live
+    }
+
+    /// Length of the prefix.
+    #[must_use]
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Length of the repeating cycle.
+    #[must_use]
+    pub fn cycle_len(&self) -> usize {
+        self.cycle.len()
+    }
+
+    /// Whether the schedule position is exactly at a cycle boundary (the
+    /// prefix is consumed and a whole number of cycles has been emitted).
+    #[must_use]
+    pub fn at_cycle_boundary(&self) -> bool {
+        self.pos >= self.prefix.len()
+            && (self.pos - self.prefix.len()) % self.cycle.len() == 0
+    }
+}
+
+impl Scheduler for LassoSchedule {
+    fn next(&mut self, _live: &[ProcId]) -> Option<ProcId> {
+        let p = if self.pos < self.prefix.len() {
+            self.prefix[self.pos]
+        } else {
+            self.cycle[(self.pos - self.prefix.len()) % self.cycle.len()]
+        };
+        self.pos += 1;
+        Some(p)
+    }
+}
+
+/// A `k`-bounded-delay adversary: chooses randomly, but no live processor
+/// is ever left unscheduled for more than `k` consecutive steps. This is the
+/// classic partial-synchrony adversary class, sitting between the fully
+/// asynchronous random adversary and lock-step round-robin.
+#[derive(Clone, Debug)]
+pub struct BoundedDelayScheduler<R> {
+    rng: R,
+    bound: usize,
+    /// Steps since each processor was last scheduled (grows without bound
+    /// for halted processors, which is harmless).
+    waiting: Vec<usize>,
+}
+
+impl<R: Rng> BoundedDelayScheduler<R> {
+    /// Creates a bounded-delay scheduler for up to `n` processors with delay
+    /// bound `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(rng: R, n: usize, k: usize) -> Self {
+        assert!(k >= 1, "the delay bound must be at least 1");
+        BoundedDelayScheduler { rng, bound: k, waiting: vec![0; n] }
+    }
+}
+
+impl<R: Rng> Scheduler for BoundedDelayScheduler<R> {
+    fn next(&mut self, live: &[ProcId]) -> Option<ProcId> {
+        if live.is_empty() {
+            return None;
+        }
+        // A processor at the bound must run; otherwise pick randomly.
+        let forced = live.iter().find(|p| self.waiting[p.0] + 1 >= self.bound);
+        let chosen = match forced {
+            Some(p) => *p,
+            None => live[self.rng.gen_range(0..live.len())],
+        };
+        for p in live {
+            self.waiting[p.0] += 1;
+        }
+        self.waiting[chosen.0] = 0;
+        Some(chosen)
+    }
+}
+
+/// A crash-injecting adversary: wraps another scheduler and permanently
+/// stops chosen processors after they have taken a given number of steps.
+///
+/// A crashed processor simply takes no more steps — indistinguishable, in
+/// the asynchronous model, from an arbitrarily slow one. Wait-free
+/// algorithms must let the survivors terminate regardless; this scheduler is
+/// the failure-injection harness for exactly that property.
+#[derive(Clone, Debug)]
+pub struct CrashingScheduler<S> {
+    inner: S,
+    /// `crash_after[p]` = number of steps after which processor `p` crashes
+    /// (`None` = never crashes).
+    crash_after: Vec<Option<usize>>,
+    steps_taken: Vec<usize>,
+}
+
+impl<S: Scheduler> CrashingScheduler<S> {
+    /// Wraps `inner` for a system of `n` processors with no crashes
+    /// scheduled.
+    pub fn new(inner: S, n: usize) -> Self {
+        CrashingScheduler { inner, crash_after: vec![None; n], steps_taken: vec![0; n] }
+    }
+
+    /// Schedules processor `p` to crash after taking `steps` steps
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn crash_after(mut self, p: ProcId, steps: usize) -> Self {
+        self.crash_after[p.0] = Some(steps);
+        self
+    }
+
+    /// The processors currently crashed.
+    #[must_use]
+    pub fn crashed(&self) -> Vec<ProcId> {
+        (0..self.crash_after.len())
+            .filter(|&i| self.crash_after[i].is_some_and(|c| self.steps_taken[i] >= c))
+            .map(ProcId)
+            .collect()
+    }
+}
+
+impl<S: Scheduler> Scheduler for CrashingScheduler<S> {
+    fn next(&mut self, live: &[ProcId]) -> Option<ProcId> {
+        let alive: Vec<ProcId> = live
+            .iter()
+            .copied()
+            .filter(|p| {
+                !self.crash_after[p.0].is_some_and(|c| self.steps_taken[p.0] >= c)
+            })
+            .collect();
+        let chosen = self.inner.next(&alive)?;
+        self.steps_taken[chosen.0] += 1;
+        Some(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_skips_halted() {
+        let mut rr = RoundRobin::new();
+        let live = vec![ProcId(0), ProcId(1), ProcId(2)];
+        assert_eq!(rr.next(&live), Some(ProcId(0)));
+        assert_eq!(rr.next(&live), Some(ProcId(1)));
+        // p2 halts: wrap around past it.
+        let live = vec![ProcId(0), ProcId(1)];
+        assert_eq!(rr.next(&live), Some(ProcId(0)));
+        assert_eq!(rr.next(&live), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn round_robin_empty_stops() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.next(&[]), None);
+    }
+
+    #[test]
+    fn random_is_deterministic_under_seed() {
+        let live = vec![ProcId(0), ProcId(1), ProcId(2)];
+        let seq = |seed: u64| {
+            let mut s = RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+            (0..50).map(|_| s.next(&live).unwrap().0).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+    }
+
+    #[test]
+    fn random_covers_all_procs() {
+        let live = vec![ProcId(0), ProcId(1), ProcId(2)];
+        let mut s = RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(0));
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.next(&live).unwrap().0] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn solo_only_schedules_target() {
+        let mut s = SoloScheduler::new(ProcId(1));
+        assert_eq!(s.next(&[ProcId(0), ProcId(1)]), Some(ProcId(1)));
+        assert_eq!(s.next(&[ProcId(0)]), None);
+    }
+
+    #[test]
+    fn scripted_replays_then_stops() {
+        let mut s = ScriptedSchedule::from_indices([0, 1, 0]);
+        let live = vec![ProcId(0), ProcId(1)];
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.next(&live), Some(ProcId(0)));
+        assert_eq!(s.next(&live), Some(ProcId(1)));
+        assert_eq!(s.next(&live), Some(ProcId(0)));
+        assert_eq!(s.next(&live), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn scripted_skip_halted_drops_dead_entries() {
+        let mut s = ScriptedSchedule::from_indices([0, 1, 0]).skip_halted();
+        let live = vec![ProcId(0)];
+        assert_eq!(s.next(&live), Some(ProcId(0)));
+        assert_eq!(s.next(&live), Some(ProcId(0))); // the `1` entry is skipped
+        assert_eq!(s.next(&live), None);
+    }
+
+    #[test]
+    fn lasso_repeats_cycle() {
+        let mut s = LassoSchedule::new(vec![ProcId(9)], vec![ProcId(0), ProcId(1)]);
+        let live = vec![ProcId(0), ProcId(1), ProcId(9)];
+        assert!(!s.at_cycle_boundary());
+        assert_eq!(s.next(&live), Some(ProcId(9)));
+        assert!(s.at_cycle_boundary());
+        assert_eq!(s.next(&live), Some(ProcId(0)));
+        assert!(!s.at_cycle_boundary());
+        assert_eq!(s.next(&live), Some(ProcId(1)));
+        assert!(s.at_cycle_boundary());
+        assert_eq!(s.next(&live), Some(ProcId(0)));
+        assert_eq!(s.live_procs(), vec![ProcId(0), ProcId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle must be nonempty")]
+    fn lasso_rejects_empty_cycle() {
+        let _ = LassoSchedule::new(vec![], vec![]);
+    }
+
+    #[test]
+    fn bounded_delay_respects_the_bound() {
+        let rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let n = 4;
+        let k = 6;
+        let mut sched = BoundedDelayScheduler::new(rng, n, k);
+        let live: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let mut since = vec![0usize; n];
+        for _ in 0..2000 {
+            let p = sched.next(&live).unwrap();
+            for s in &mut since {
+                *s += 1;
+            }
+            since[p.0] = 0;
+            assert!(since.iter().all(|&s| s < k), "delay bound violated");
+        }
+    }
+
+    #[test]
+    fn bounded_delay_with_k1_degenerates_reasonably() {
+        // k = 1 forces the first live processor every time (everyone is
+        // always "at the bound").
+        let rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut sched = BoundedDelayScheduler::new(rng, 2, 1);
+        let live = vec![ProcId(0), ProcId(1)];
+        for _ in 0..5 {
+            assert_eq!(sched.next(&live), Some(ProcId(0)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delay bound")]
+    fn bounded_delay_rejects_zero_bound() {
+        let rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let _ = BoundedDelayScheduler::new(rng, 2, 0);
+    }
+
+    #[test]
+    fn crashing_scheduler_stops_the_victim() {
+        let mut sched = CrashingScheduler::new(RoundRobin::new(), 2).crash_after(ProcId(1), 2);
+        let live = vec![ProcId(0), ProcId(1)];
+        let mut counts = [0usize; 2];
+        for _ in 0..20 {
+            let p = sched.next(&live).unwrap();
+            counts[p.0] += 1;
+        }
+        assert_eq!(counts[1], 2, "victim takes exactly its pre-crash steps");
+        assert_eq!(counts[0], 18);
+        assert_eq!(sched.crashed(), vec![ProcId(1)]);
+    }
+
+    #[test]
+    fn crash_at_zero_means_never_started() {
+        let mut sched = CrashingScheduler::new(RoundRobin::new(), 2).crash_after(ProcId(0), 0);
+        let live = vec![ProcId(0), ProcId(1)];
+        for _ in 0..5 {
+            assert_eq!(sched.next(&live), Some(ProcId(1)));
+        }
+    }
+
+    #[test]
+    fn all_crashed_stops_scheduling() {
+        let mut sched = CrashingScheduler::new(RoundRobin::new(), 2)
+            .crash_after(ProcId(0), 0)
+            .crash_after(ProcId(1), 0);
+        assert_eq!(sched.next(&[ProcId(0), ProcId(1)]), None);
+    }
+
+    #[test]
+    fn mut_ref_is_scheduler() {
+        fn run<S: Scheduler>(mut s: S) -> Option<ProcId> {
+            s.next(&[ProcId(0)])
+        }
+        let mut rr = RoundRobin::new();
+        assert_eq!(run(&mut rr), Some(ProcId(0)));
+        // `rr` retains its state after being used by reference.
+        assert_eq!(rr.next(&[ProcId(0), ProcId(1)]), Some(ProcId(1)));
+    }
+}

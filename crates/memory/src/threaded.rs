@@ -1,0 +1,241 @@
+//! Real-concurrency runtime: the same [`Process`] machines on OS threads.
+//!
+//! The deterministic [`Executor`](crate::Executor) is the reference semantics
+//! (reproducible, model-checkable). This module runs the *identical* process
+//! code with true parallelism: each register is a lock-protected cell (lock
+//! acquisition makes every read and write an atomic, linearizable operation,
+//! which is exactly the MWMR atomic-register model), and each processor is an
+//! OS thread applying its private wiring.
+//!
+//! The OS scheduler plays the adversary, so runs are nondeterministic — this
+//! runtime exists to demonstrate the algorithms on real atomics and to feed
+//! the `threaded` benchmark (experiment E12), not to prove anything.
+//!
+//! ```
+//! use fa_memory::{threaded, Process, Action, StepInput, Wiring};
+//!
+//! #[derive(Clone)]
+//! struct PutGet { input: u32, state: u8 }
+//! impl Process for PutGet {
+//!     type Value = u32;
+//!     type Output = u32;
+//!     fn step(&mut self, i: StepInput<u32>) -> Action<u32, u32> {
+//!         match (self.state, i) {
+//!             (0, _) => { self.state = 1; Action::write(0, self.input) }
+//!             (1, _) => { self.state = 2; Action::read(0) }
+//!             (2, StepInput::ReadValue(v)) => { self.state = 3; Action::Output(v) }
+//!             _ => Action::Halt,
+//!         }
+//!     }
+//! }
+//!
+//! let procs = vec![PutGet { input: 1, state: 0 }, PutGet { input: 2, state: 0 }];
+//! let wirings = vec![Wiring::identity(1); 2];
+//! let report = threaded::run_threaded(procs, wirings, 1, 0u32, 1_000).unwrap();
+//! assert!(report.all_halted);
+//! // Each processor outputs whichever write landed last before its read.
+//! assert!(report.outputs.iter().all(|os| os.len() == 1));
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{Action, MemoryError, Process, StepInput, Wiring};
+
+/// Result of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedReport<V, O> {
+    /// All outputs produced by each processor, indexed by processor id.
+    pub outputs: Vec<Vec<O>>,
+    /// Steps taken by each processor.
+    pub steps: Vec<usize>,
+    /// Whether every processor halted within its step budget.
+    pub all_halted: bool,
+    /// Final register contents in ground-truth order.
+    pub final_contents: Vec<V>,
+}
+
+/// Runs `procs` on OS threads against `m` lock-protected registers
+/// initialized to `init`, each processor addressing memory through its
+/// wiring. Each processor executes at most `max_steps` steps; exceeding the
+/// budget stops that processor without halting it.
+///
+/// # Errors
+///
+/// * [`MemoryError::TooFewProcessors`] if fewer than two processes are given.
+/// * [`MemoryError::ZeroRegisters`] if `m == 0`.
+/// * [`MemoryError::WiringCountMismatch`] /
+///   [`MemoryError::WiringSizeMismatch`] on inconsistent wirings.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a bug in the process implementation).
+pub fn run_threaded<P>(
+    procs: Vec<P>,
+    wirings: Vec<Wiring>,
+    m: usize,
+    init: P::Value,
+    max_steps: usize,
+) -> Result<ThreadedReport<P::Value, P::Output>, MemoryError>
+where
+    P: Process + Send + 'static,
+    P::Value: Clone + Send + Sync + 'static,
+    P::Output: Send + 'static,
+{
+    if procs.len() < 2 {
+        return Err(MemoryError::TooFewProcessors { processes: procs.len() });
+    }
+    if m == 0 {
+        return Err(MemoryError::ZeroRegisters);
+    }
+    if wirings.len() != procs.len() {
+        return Err(MemoryError::WiringCountMismatch {
+            processes: procs.len(),
+            wirings: wirings.len(),
+        });
+    }
+    for (i, w) in wirings.iter().enumerate() {
+        if w.len() != m {
+            return Err(MemoryError::WiringSizeMismatch {
+                proc: crate::ProcId(i),
+                wiring_len: w.len(),
+                registers: m,
+            });
+        }
+    }
+
+    let registers: Arc<Vec<Mutex<P::Value>>> =
+        Arc::new((0..m).map(|_| Mutex::new(init.clone())).collect());
+
+    let handles: Vec<_> = procs
+        .into_iter()
+        .zip(wirings)
+        .map(|(mut proc, wiring)| {
+            let registers = Arc::clone(&registers);
+            std::thread::spawn(move || {
+                let mut outputs = Vec::new();
+                let mut steps = 0usize;
+                let mut input = StepInput::Start;
+                let mut halted = false;
+                while steps < max_steps {
+                    let action = proc.step(input);
+                    steps += 1;
+                    input = match action {
+                        Action::Read { local } => {
+                            let global = wiring.global(local);
+                            let value = registers[global.0].lock().clone();
+                            StepInput::ReadValue(value)
+                        }
+                        Action::Write { local, value } => {
+                            let global = wiring.global(local);
+                            *registers[global.0].lock() = value;
+                            StepInput::Wrote
+                        }
+                        Action::Output(o) => {
+                            outputs.push(o);
+                            StepInput::OutputRecorded
+                        }
+                        Action::Halt => {
+                            halted = true;
+                            break;
+                        }
+                    };
+                }
+                (outputs, steps, halted)
+            })
+        })
+        .collect();
+
+    let mut outputs = Vec::new();
+    let mut steps = Vec::new();
+    let mut all_halted = true;
+    for h in handles {
+        let (os, s, halted) = h.join().expect("worker thread panicked");
+        outputs.push(os);
+        steps.push(s);
+        all_halted &= halted;
+    }
+
+    let final_contents = registers.iter().map(|r| r.lock().clone()).collect();
+    Ok(ThreadedReport { outputs, steps, all_halted, final_contents })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct WriteHalt {
+        input: u32,
+        wrote: bool,
+    }
+    impl Process for WriteHalt {
+        type Value = u32;
+        type Output = u32;
+        fn step(&mut self, _i: StepInput<u32>) -> Action<u32, u32> {
+            if self.wrote {
+                Action::Halt
+            } else {
+                self.wrote = true;
+                Action::write(0, self.input)
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let one = vec![WriteHalt { input: 1, wrote: false }];
+        assert!(run_threaded(one, vec![Wiring::identity(1)], 1, 0, 10).is_err());
+
+        let two = || {
+            vec![
+                WriteHalt { input: 1, wrote: false },
+                WriteHalt { input: 2, wrote: false },
+            ]
+        };
+        assert!(matches!(
+            run_threaded(two(), vec![Wiring::identity(1); 2], 0, 0, 10),
+            Err(MemoryError::ZeroRegisters)
+        ));
+        assert!(matches!(
+            run_threaded(two(), vec![Wiring::identity(1)], 1, 0, 10),
+            Err(MemoryError::WiringCountMismatch { .. })
+        ));
+        assert!(matches!(
+            run_threaded(two(), vec![Wiring::identity(1), Wiring::identity(2)], 1, 0, 10),
+            Err(MemoryError::WiringSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_writers_both_complete() {
+        let procs = vec![
+            WriteHalt { input: 1, wrote: false },
+            WriteHalt { input: 2, wrote: false },
+        ];
+        let wirings = vec![Wiring::identity(2), Wiring::from_perm(vec![1, 0]).unwrap()];
+        let report = run_threaded(procs, wirings, 2, 0u32, 100).unwrap();
+        assert!(report.all_halted);
+        // Disjoint ground-truth targets: no overwrite possible.
+        assert_eq!(report.final_contents, vec![1, 2]);
+    }
+
+    #[test]
+    fn step_budget_prevents_runaway() {
+        #[derive(Clone)]
+        struct Spinner;
+        impl Process for Spinner {
+            type Value = u32;
+            type Output = u32;
+            fn step(&mut self, _i: StepInput<u32>) -> Action<u32, u32> {
+                Action::read(0)
+            }
+        }
+        let report =
+            run_threaded(vec![Spinner, Spinner], vec![Wiring::identity(1); 2], 1, 0, 50)
+                .unwrap();
+        assert!(!report.all_halted);
+        assert_eq!(report.steps, vec![50, 50]);
+    }
+}

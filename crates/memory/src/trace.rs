@@ -1,0 +1,347 @@
+//! Execution traces: a faithful record of every step of an execution.
+//!
+//! Traces serve three purposes: reconstructing the paper's Figure 2 table,
+//! computing the *reads-from* relation used by the stable-view analysis
+//! (Section 4), and checking path properties such as "the returned snapshot
+//! never equalled the memory contents" (the non-atomicity witness of
+//! Section 8).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LocalRegId, ProcId, RegId};
+
+/// What happened in a single step.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind<V, O> {
+    /// An atomic register read.
+    Read {
+        /// Local register name used by the reader.
+        local: LocalRegId,
+        /// Ground-truth register accessed.
+        global: RegId,
+        /// Value read.
+        value: V,
+        /// The register's last writer at the time of the read — the processor
+        /// the reader *reads from* (paper, Section 2). `None` if the register
+        /// still held its initial value.
+        read_from: Option<ProcId>,
+    },
+    /// An atomic register write.
+    Write {
+        /// Local register name used by the writer.
+        local: LocalRegId,
+        /// Ground-truth register accessed.
+        global: RegId,
+        /// Value written.
+        value: V,
+        /// Value that was overwritten.
+        overwrote: V,
+        /// The previous writer whose value was overwritten, if any.
+        overwrote_writer: Option<ProcId>,
+    },
+    /// The processor recorded an output.
+    Output(O),
+    /// The processor halted.
+    Halt,
+}
+
+/// One step of an execution: who did what, at which global time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event<V, O> {
+    /// Global time of the step (0-based position in the execution).
+    pub time: u64,
+    /// The processor that took the step.
+    pub proc: ProcId,
+    /// What the step did.
+    pub kind: EventKind<V, O>,
+}
+
+impl<V: fmt::Debug, O: fmt::Debug> fmt::Display for Event<V, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{:<4} {}: ", self.time, self.proc)?;
+        match &self.kind {
+            EventKind::Read { local, global, value, read_from } => {
+                write!(f, "read  {local}→{global} = {value:?}")?;
+                match read_from {
+                    Some(q) => write!(f, " (from {q})"),
+                    None => write!(f, " (initial)"),
+                }
+            }
+            EventKind::Write { local, global, value, .. } => {
+                write!(f, "write {local}→{global} := {value:?}")
+            }
+            EventKind::Output(o) => write!(f, "output {o:?}"),
+            EventKind::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// A sequence of [`Event`]s, with query helpers for analyses.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace<V, O> {
+    events: Vec<Event<V, O>>,
+}
+
+impl<V, O> Default for Trace<V, O> {
+    fn default() -> Self {
+        Trace { events: Vec::new() }
+    }
+}
+
+impl<V, O> Trace<V, O> {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event<V, O>) {
+        self.events.push(event);
+    }
+
+    /// All events in order.
+    #[must_use]
+    pub fn events(&self) -> &[Event<V, O>] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events of one processor.
+    pub fn of_proc(&self, p: ProcId) -> impl Iterator<Item = &Event<V, O>> {
+        self.events.iter().filter(move |e| e.proc == p)
+    }
+
+    /// The *reads-from* pairs `(reader, writer, time)`: every read step in
+    /// which `reader` read a register last written by `writer`.
+    ///
+    /// This is the relation underlying Lemma 4.4: if a processor with stable
+    /// view `V2` reads from a processor with view `V1`, then `V1 ⊆ V2`.
+    pub fn reads_from(&self) -> impl Iterator<Item = (ProcId, ProcId, u64)> + '_ {
+        self.events.iter().filter_map(|e| match &e.kind {
+            EventKind::Read { read_from: Some(w), .. } => Some((e.proc, *w, e.time)),
+            _ => None,
+        })
+    }
+
+    /// Steps taken by each processor, indexed by processor id (length `n`).
+    #[must_use]
+    pub fn step_counts(&self, n: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n];
+        for e in &self.events {
+            if e.proc.0 < n {
+                counts[e.proc.0] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The outputs recorded in the trace, in order, as `(proc, output)`.
+    pub fn outputs(&self) -> impl Iterator<Item = (ProcId, &O)> {
+        self.events.iter().filter_map(|e| match &e.kind {
+            EventKind::Output(o) => Some((e.proc, o)),
+            _ => None,
+        })
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Counts *lost writes*: writes that were overwritten before any
+    /// processor read the register. A lost write transferred no information
+    /// — the quantitative face of the paper's covering phenomenon ("it is
+    /// hard to avoid processors overwriting each other's writes").
+    ///
+    /// Returns `(lost, total_writes)`.
+    #[must_use]
+    pub fn lost_writes(&self, m: usize) -> (usize, usize) {
+        // For each register, walk its event subsequence: a write followed
+        // (in register-local order) by another write with no intervening
+        // read is lost. The final write of a register is *not* counted as
+        // lost (nothing overwrote it).
+        let mut last_write_unread: Vec<bool> = vec![false; m];
+        let mut lost = 0usize;
+        let mut total = 0usize;
+        for e in &self.events {
+            match &e.kind {
+                EventKind::Write { global, .. } => {
+                    total += 1;
+                    if last_write_unread[global.index()] {
+                        lost += 1;
+                    }
+                    last_write_unread[global.index()] = true;
+                }
+                EventKind::Read { global, .. } => {
+                    last_write_unread[global.index()] = false;
+                }
+                _ => {}
+            }
+        }
+        (lost, total)
+    }
+}
+
+impl<V, O> FromIterator<Event<V, O>> for Trace<V, O> {
+    fn from_iter<T: IntoIterator<Item = Event<V, O>>>(iter: T) -> Self {
+        Trace { events: iter.into_iter().collect() }
+    }
+}
+
+impl<V, O> Extend<Event<V, O>> for Trace<V, O> {
+    fn extend<T: IntoIterator<Item = Event<V, O>>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl<'a, V, O> IntoIterator for &'a Trace<V, O> {
+    type Item = &'a Event<V, O>;
+    type IntoIter = std::slice::Iter<'a, Event<V, O>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_ev(time: u64, p: usize, from: Option<usize>) -> Event<u32, u32> {
+        Event {
+            time,
+            proc: ProcId(p),
+            kind: EventKind::Read {
+                local: LocalRegId(0),
+                global: RegId(0),
+                value: 1,
+                read_from: from.map(ProcId),
+            },
+        }
+    }
+
+    #[test]
+    fn reads_from_extracts_pairs() {
+        let trace: Trace<u32, u32> = vec![
+            read_ev(0, 1, None),
+            read_ev(1, 1, Some(2)),
+            Event { time: 2, proc: ProcId(2), kind: EventKind::Output(7) },
+            read_ev(3, 0, Some(1)),
+        ]
+        .into_iter()
+        .collect();
+        let pairs: Vec<_> = trace.reads_from().collect();
+        assert_eq!(pairs, vec![(ProcId(1), ProcId(2), 1), (ProcId(0), ProcId(1), 3)]);
+    }
+
+    #[test]
+    fn step_counts_per_proc() {
+        let trace: Trace<u32, u32> =
+            vec![read_ev(0, 0, None), read_ev(1, 0, None), read_ev(2, 2, None)]
+                .into_iter()
+                .collect();
+        assert_eq!(trace.step_counts(3), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn outputs_extracted_in_order() {
+        let trace: Trace<u32, u32> = vec![
+            Event { time: 0, proc: ProcId(1), kind: EventKind::Output(5) },
+            Event { time: 1, proc: ProcId(0), kind: EventKind::Output(3) },
+        ]
+        .into_iter()
+        .collect();
+        let outs: Vec<_> = trace.outputs().map(|(p, o)| (p, *o)).collect();
+        assert_eq!(outs, vec![(ProcId(1), 5), (ProcId(0), 3)]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = read_ev(3, 1, Some(0));
+        let s = e.to_string();
+        assert!(s.contains("p1"), "{s}");
+        assert!(s.contains("read"), "{s}");
+        assert!(s.contains("from p0"), "{s}");
+
+        let h: Event<u32, u32> = Event { time: 0, proc: ProcId(0), kind: EventKind::Halt };
+        assert!(h.to_string().contains("halt"));
+    }
+
+    #[test]
+    fn of_proc_filters() {
+        let trace: Trace<u32, u32> =
+            vec![read_ev(0, 0, None), read_ev(1, 1, None), read_ev(2, 0, None)]
+                .into_iter()
+                .collect();
+        assert_eq!(trace.of_proc(ProcId(0)).count(), 2);
+        assert_eq!(trace.of_proc(ProcId(1)).count(), 1);
+        assert_eq!(trace.of_proc(ProcId(5)).count(), 0);
+    }
+
+    #[test]
+    fn lost_writes_counts_unread_overwrites() {
+        let w = |time: u64, p: usize, reg: usize| Event::<u32, u32> {
+            time,
+            proc: ProcId(p),
+            kind: EventKind::Write {
+                local: LocalRegId(0),
+                global: RegId(reg),
+                value: 1,
+                overwrote: 0,
+                overwrote_writer: None,
+            },
+        };
+        let r = |time: u64, p: usize, reg: usize| Event::<u32, u32> {
+            time,
+            proc: ProcId(p),
+            kind: EventKind::Read {
+                local: LocalRegId(0),
+                global: RegId(reg),
+                value: 1,
+                read_from: None,
+            },
+        };
+        // r0: write, write (lost), read, write (not lost: read before? the
+        // read cleared it), write (lost).
+        let trace: Trace<u32, u32> = vec![
+            w(0, 0, 0),
+            w(1, 1, 0), // overwrites an unread write: 1 lost
+            r(2, 0, 0),
+            w(3, 0, 0),
+            w(4, 1, 0), // overwrites an unread write: 2 lost
+            w(5, 0, 1), // other register, final: not lost
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(trace.lost_writes(2), (2, 5));
+    }
+
+    #[test]
+    fn lost_writes_empty_trace() {
+        let trace: Trace<u32, u32> = Trace::new();
+        assert_eq!(trace.lost_writes(3), (0, 0));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut trace: Trace<u32, u32> = vec![read_ev(0, 0, None)].into_iter().collect();
+        assert!(!trace.is_empty());
+        trace.clear();
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Register wirings: the private permutations of the fully-anonymous model.
+//!
+//! For each processor `p` there is a permutation `σ_p` of the register
+//! indices, fixed arbitrarily at initialization and unknown to every
+//! processor, such that an instruction by `p` on *local* register `i`
+//! accesses *global* register `σ_p[i]` (paper, Section 2). A [`Wiring`] is
+//! such a permutation, validated at construction.
+
+use core::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{LocalRegId, MemoryError, RegId};
+
+/// A validated permutation of `0..m` mapping a processor's local register
+/// names to ground-truth register names.
+///
+/// ```
+/// use fa_memory::{Wiring, LocalRegId, RegId};
+///
+/// let w = Wiring::from_perm(vec![2, 0, 1]).unwrap();
+/// assert_eq!(w.global(LocalRegId(0)), RegId(2));
+/// assert_eq!(w.local(RegId(2)), LocalRegId(0));
+/// assert_eq!(w.len(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Wiring {
+    /// `forward[local] == global`.
+    forward: Vec<usize>,
+    /// `inverse[global] == local`.
+    inverse: Vec<usize>,
+}
+
+impl Wiring {
+    /// The identity wiring on `m` registers: local names coincide with
+    /// global names. A system in which *every* processor has the identity
+    /// wiring is exactly the processor-anonymous (named-memory) model used by
+    /// the Guerraoui–Ruppert baseline.
+    ///
+    /// ```
+    /// use fa_memory::{Wiring, LocalRegId, RegId};
+    /// let w = Wiring::identity(4);
+    /// assert_eq!(w.global(LocalRegId(3)), RegId(3));
+    /// ```
+    #[must_use]
+    pub fn identity(m: usize) -> Self {
+        let forward: Vec<usize> = (0..m).collect();
+        Wiring { inverse: forward.clone(), forward }
+    }
+
+    /// Builds a wiring from an explicit permutation vector where
+    /// `perm[local] == global`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::NotAPermutation`] if `perm` is not a
+    /// permutation of `0..perm.len()`.
+    pub fn from_perm(perm: Vec<usize>) -> Result<Self, MemoryError> {
+        let m = perm.len();
+        let mut seen = vec![false; m];
+        for &g in &perm {
+            if g >= m || seen[g] {
+                return Err(MemoryError::NotAPermutation { mapping: perm });
+            }
+            seen[g] = true;
+        }
+        let mut inverse = vec![0usize; m];
+        for (local, &global) in perm.iter().enumerate() {
+            inverse[global] = local;
+        }
+        Ok(Wiring { forward: perm, inverse })
+    }
+
+    /// Samples a uniformly random wiring on `m` registers.
+    ///
+    /// ```
+    /// use fa_memory::Wiring;
+    /// use rand::SeedableRng;
+    /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    /// let w = Wiring::random(5, &mut rng);
+    /// assert_eq!(w.len(), 5);
+    /// ```
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(m: usize, rng: &mut R) -> Self {
+        let mut forward: Vec<usize> = (0..m).collect();
+        forward.shuffle(rng);
+        Self::from_perm(forward).expect("shuffled identity is a permutation")
+    }
+
+    /// A cyclic-shift wiring: local `i` maps to global `(i + shift) mod m`.
+    ///
+    /// Cyclic shifts are the canonical adversarial wirings in covering
+    /// arguments (each processor's "first register" is a different global
+    /// register), used by the lower-bound construction of Section 2.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn cyclic_shift(m: usize, shift: usize) -> Self {
+        assert!(m > 0, "cyclic_shift requires at least one register");
+        let forward: Vec<usize> = (0..m).map(|i| (i + shift) % m).collect();
+        Self::from_perm(forward).expect("cyclic shift is a permutation")
+    }
+
+    /// Number of registers in the wiring's domain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the wiring has an empty domain. (Never true for wirings used
+    /// in a valid system, since the model requires `M > 0`.)
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The global register accessed when this processor names local
+    /// register `local`, i.e. `σ_p[local]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    #[must_use]
+    pub fn global(&self, local: LocalRegId) -> RegId {
+        RegId(self.forward[local.0])
+    }
+
+    /// The local name under which this processor sees global register
+    /// `global`, i.e. `σ_p⁻¹[global]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` is out of range.
+    #[must_use]
+    pub fn local(&self, global: RegId) -> LocalRegId {
+        LocalRegId(self.inverse[global.0])
+    }
+
+    /// The inverse wiring.
+    ///
+    /// ```
+    /// use fa_memory::{Wiring, LocalRegId, RegId};
+    /// let w = Wiring::from_perm(vec![1, 2, 0]).unwrap();
+    /// let inv = w.inverse();
+    /// assert_eq!(inv.global(LocalRegId(1)), RegId(0));
+    /// ```
+    #[must_use]
+    pub fn inverse(&self) -> Wiring {
+        Wiring { forward: self.inverse.clone(), inverse: self.forward.clone() }
+    }
+
+    /// Composition `self ∘ other`: first apply `other`, then `self`.
+    ///
+    /// Useful for symmetry reduction in the model checker: relabeling the
+    /// global registers by a permutation `π` turns each wiring `σ` into
+    /// `π ∘ σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two wirings have different domain sizes.
+    #[must_use]
+    pub fn compose(&self, other: &Wiring) -> Wiring {
+        assert_eq!(self.len(), other.len(), "composed wirings must have equal domains");
+        let forward: Vec<usize> = (0..self.len()).map(|i| self.forward[other.forward[i]]).collect();
+        Self::from_perm(forward).expect("composition of permutations is a permutation")
+    }
+
+    /// The permutation as a slice: `perm[local] == global`.
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// Enumerates all `m!` wirings on `m` registers in lexicographic order.
+    ///
+    /// Used by the model checker to quantify over every possible wiring of a
+    /// processor. Beware of factorial growth; intended for `m ≤ 6`.
+    ///
+    /// ```
+    /// use fa_memory::Wiring;
+    /// assert_eq!(Wiring::enumerate(3).count(), 6);
+    /// assert_eq!(Wiring::enumerate(1).count(), 1);
+    /// ```
+    pub fn enumerate(m: usize) -> impl Iterator<Item = Wiring> {
+        Permutations::new(m).map(|p| Wiring::from_perm(p).expect("enumerated permutation"))
+    }
+}
+
+impl fmt::Display for Wiring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ[")?;
+        for (i, g) in self.forward.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{g}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Iterator over all permutations of `0..m` in lexicographic order.
+#[derive(Debug)]
+struct Permutations {
+    next: Option<Vec<usize>>,
+}
+
+impl Permutations {
+    fn new(m: usize) -> Self {
+        Permutations { next: Some((0..m).collect()) }
+    }
+}
+
+impl Iterator for Permutations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.take()?;
+        // Compute the lexicographic successor of `current`.
+        let mut succ = current.clone();
+        let n = succ.len();
+        // Find the longest non-increasing suffix.
+        let mut i = n;
+        while i >= 2 && succ[i - 2] >= succ[i - 1] {
+            i -= 1;
+        }
+        if i >= 2 {
+            let pivot = i - 2;
+            // Find rightmost element greater than the pivot.
+            let mut j = n - 1;
+            while succ[j] <= succ[pivot] {
+                j -= 1;
+            }
+            succ.swap(pivot, j);
+            succ[pivot + 1..].reverse();
+            self.next = Some(succ);
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_maps_to_self() {
+        let w = Wiring::identity(5);
+        for i in 0..5 {
+            assert_eq!(w.global(LocalRegId(i)), RegId(i));
+            assert_eq!(w.local(RegId(i)), LocalRegId(i));
+        }
+    }
+
+    #[test]
+    fn from_perm_rejects_duplicates() {
+        assert!(matches!(
+            Wiring::from_perm(vec![0, 0, 1]),
+            Err(MemoryError::NotAPermutation { .. })
+        ));
+    }
+
+    #[test]
+    fn from_perm_rejects_out_of_range() {
+        assert!(matches!(
+            Wiring::from_perm(vec![0, 3, 1]),
+            Err(MemoryError::NotAPermutation { .. })
+        ));
+    }
+
+    #[test]
+    fn from_perm_accepts_empty() {
+        let w = Wiring::from_perm(vec![]).unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cyclic_shift_wraps() {
+        let w = Wiring::cyclic_shift(3, 1);
+        assert_eq!(w.global(LocalRegId(0)), RegId(1));
+        assert_eq!(w.global(LocalRegId(2)), RegId(0));
+    }
+
+    #[test]
+    fn cyclic_shift_zero_is_identity() {
+        assert_eq!(Wiring::cyclic_shift(4, 0), Wiring::identity(4));
+        assert_eq!(Wiring::cyclic_shift(4, 4), Wiring::identity(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn cyclic_shift_zero_registers_panics() {
+        let _ = Wiring::cyclic_shift(0, 1);
+    }
+
+    #[test]
+    fn enumerate_counts_factorial() {
+        assert_eq!(Wiring::enumerate(0).count(), 1);
+        assert_eq!(Wiring::enumerate(1).count(), 1);
+        assert_eq!(Wiring::enumerate(2).count(), 2);
+        assert_eq!(Wiring::enumerate(3).count(), 6);
+        assert_eq!(Wiring::enumerate(4).count(), 24);
+    }
+
+    #[test]
+    fn enumerate_is_lexicographic_and_distinct() {
+        let all: Vec<Vec<usize>> =
+            Wiring::enumerate(4).map(|w| w.as_slice().to_vec()).collect();
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(all, sorted, "enumeration must be sorted and duplicate-free");
+    }
+
+    #[test]
+    fn display_shows_mapping() {
+        let w = Wiring::from_perm(vec![2, 0, 1]).unwrap();
+        assert_eq!(w.to_string(), "σ[2 0 1]");
+    }
+
+    #[test]
+    fn compose_with_inverse_is_identity() {
+        let w = Wiring::from_perm(vec![2, 0, 1]).unwrap();
+        assert_eq!(w.compose(&w.inverse()), Wiring::identity(3));
+        assert_eq!(w.inverse().compose(&w), Wiring::identity(3));
+    }
+
+    proptest! {
+        #[test]
+        fn random_wiring_is_valid(seed in any::<u64>(), m in 1usize..12) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let w = Wiring::random(m, &mut rng);
+            // Round-trips hold for every index.
+            for i in 0..m {
+                prop_assert_eq!(w.local(w.global(LocalRegId(i))), LocalRegId(i));
+                prop_assert_eq!(w.global(w.local(RegId(i))), RegId(i));
+            }
+        }
+
+        #[test]
+        fn inverse_involution(seed in any::<u64>(), m in 1usize..10) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let w = Wiring::random(m, &mut rng);
+            prop_assert_eq!(w.inverse().inverse(), w);
+        }
+
+        #[test]
+        fn compose_associative(seed in any::<u64>(), m in 1usize..8) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let a = Wiring::random(m, &mut rng);
+            let b = Wiring::random(m, &mut rng);
+            let c = Wiring::random(m, &mut rng);
+            prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+        }
+    }
+}

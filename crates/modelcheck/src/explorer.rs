@@ -1,0 +1,437 @@
+//! Breadth-first exhaustive exploration of a fixed system.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+use fa_memory::{Action, ProcId, Process, StepInput, Wiring};
+
+/// A global state of the model: register contents, process states, each
+/// process's poised action, and the outputs produced so far.
+///
+/// Wirings are *not* part of the state — they are fixed per exploration; the
+/// outer loop quantifies over them (see [`crate::wirings`]).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct McState<P: Process>
+where
+    P: Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    /// Register contents in ground-truth order.
+    pub memory: Vec<P::Value>,
+    /// Process states.
+    pub procs: Vec<P>,
+    /// Poised action of each process; `None` once halted.
+    pub pending: Vec<Option<Action<P::Value, P::Output>>>,
+    /// Outputs produced so far, per process, in order.
+    pub outputs: Vec<Vec<P::Output>>,
+}
+
+impl<P> McState<P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    /// Builds the initial state: every process poised on its first action,
+    /// all registers holding `init`.
+    pub fn initial(mut procs: Vec<P>, m: usize, init: P::Value) -> Self {
+        let pending: Vec<Option<Action<P::Value, P::Output>>> =
+            procs.iter_mut().map(|p| Some(p.step(StepInput::Start))).collect();
+        let n = procs.len();
+        McState { memory: vec![init; m], procs, pending, outputs: vec![Vec::new(); n] }
+    }
+
+    /// Whether every process has halted.
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.pending.iter().all(Option::is_none)
+    }
+
+    /// The live (non-halted) processes.
+    #[must_use]
+    pub fn live(&self) -> Vec<ProcId> {
+        (0..self.procs.len()).filter(|&i| self.pending[i].is_some()).map(ProcId).collect()
+    }
+
+    /// First output of each process (the one-shot task reading).
+    #[must_use]
+    pub fn first_outputs(&self) -> Vec<Option<P::Output>> {
+        self.outputs.iter().map(|os| os.first().cloned()).collect()
+    }
+
+    /// The successor state reached by letting process `p` take its poised
+    /// step, or `None` if `p` has halted.
+    #[must_use]
+    pub fn step(&self, p: ProcId, wirings: &[Wiring]) -> Option<Self> {
+        let action = self.pending[p.0].as_ref()?;
+        let mut next = self.clone();
+        match action {
+            Action::Read { local } => {
+                let g = wirings[p.0].global(*local);
+                let value = next.memory[g.0].clone();
+                next.pending[p.0] = Some(next.procs[p.0].step(StepInput::ReadValue(value)));
+            }
+            Action::Write { local, value } => {
+                let g = wirings[p.0].global(*local);
+                next.memory[g.0] = value.clone();
+                next.pending[p.0] = Some(next.procs[p.0].step(StepInput::Wrote));
+            }
+            Action::Output(o) => {
+                next.outputs[p.0].push(o.clone());
+                next.pending[p.0] =
+                    Some(next.procs[p.0].step(StepInput::OutputRecorded));
+            }
+            Action::Halt => {
+                next.pending[p.0] = None;
+            }
+        }
+        Some(next)
+    }
+}
+
+/// A property violation: the offending state and a schedule reaching it from
+/// the initial state.
+#[derive(Clone, Debug)]
+pub struct Violation<P: Process>
+where
+    P: Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    /// Why the property failed.
+    pub message: String,
+    /// The violating state.
+    pub state: McState<P>,
+    /// The schedule (sequence of processor steps) reaching it.
+    pub schedule: Vec<ProcId>,
+}
+
+/// Result of an exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreReport<P: Process>
+where
+    P: Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    /// Distinct states visited.
+    pub states: usize,
+    /// States in which every process had halted.
+    pub terminal_states: usize,
+    /// `true` iff the whole reachable space was explored (no cap hit).
+    pub complete: bool,
+    /// The first violation found, if any.
+    pub violation: Option<Violation<P>>,
+}
+
+/// Breadth-first explorer of one system (fixed processes, wirings, initial
+/// register value).
+#[derive(Debug)]
+pub struct Explorer<P: Process>
+where
+    P: Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    wirings: Vec<Wiring>,
+    initial: McState<P>,
+    max_states: usize,
+    max_depth: Option<usize>,
+    coarse_scans: bool,
+}
+
+impl<P> Explorer<P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    /// Creates an explorer for `procs` over `m` registers initialized to
+    /// `init`, with the given wirings and a state-count cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of wirings differs from the number of processes
+    /// or some wiring's domain is not `m`.
+    pub fn new(procs: Vec<P>, m: usize, init: P::Value, wirings: Vec<Wiring>) -> Self {
+        assert_eq!(procs.len(), wirings.len(), "one wiring per process required");
+        for w in &wirings {
+            assert_eq!(w.len(), m, "wiring domain must match the register count");
+        }
+        Explorer {
+            wirings,
+            initial: McState::initial(procs, m, init),
+            max_states: 1_000_000,
+            max_depth: None,
+            coarse_scans: false,
+        }
+    }
+
+    /// Explores at PlusCal *label* granularity: a maximal run of consecutive
+    /// reads by one processor (a scan) is a single atomic step, as in the
+    /// paper's TLC spec ("the sequence of steps between any two labels is
+    /// executed atomically", Figure 3). Writes and outputs remain single
+    /// steps. Coarser grain, exponentially smaller state space — this is
+    /// the configuration under which TLC exhausted the 3-processor system.
+    #[must_use]
+    pub fn with_coarse_scans(mut self) -> Self {
+        self.coarse_scans = true;
+        self
+    }
+
+    /// Caps the number of distinct states to visit (default one million).
+    #[must_use]
+    pub fn with_max_states(mut self, cap: usize) -> Self {
+        self.max_states = cap;
+        self
+    }
+
+    /// Caps the exploration depth (steps from the initial state). Needed for
+    /// systems with unbounded state spaces, e.g. consensus timestamps.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Explores breadth-first, checking `invariant` on every visited state
+    /// (including the initial one). `invariant` returns `Err(message)` to
+    /// report a violation, which aborts the search with a counterexample
+    /// schedule.
+    pub fn run<F>(&self, mut invariant: F) -> ExploreReport<P>
+    where
+        F: FnMut(&McState<P>) -> Result<(), String>,
+    {
+        // Arena of visited states with parent links for counterexamples.
+        // The dedup index maps a state hash to the arena slots carrying that
+        // hash; membership is confirmed by exact comparison against the
+        // arena, so exploration stays exact without storing states twice.
+        fn hash_state<S: Hash>(s: &S) -> u64 {
+            use std::hash::Hasher;
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        }
+        let mut arena: Vec<(McState<P>, Option<(usize, ProcId)>, usize)> = Vec::new();
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut terminal = 0usize;
+        let mut complete = true;
+
+        let make_violation = |arena: &Vec<(McState<P>, Option<(usize, ProcId)>, usize)>,
+                              at: usize,
+                              message: String| {
+            let mut schedule = Vec::new();
+            let mut cur = at;
+            while let Some((parent, p)) = arena[cur].1 {
+                schedule.push(p);
+                cur = parent;
+            }
+            schedule.reverse();
+            Violation { message, state: arena[at].0.clone(), schedule }
+        };
+
+        arena.push((self.initial.clone(), None, 0));
+        index.entry(hash_state(&self.initial)).or_default().push(0);
+        queue.push_back(0);
+        if let Err(message) = invariant(&self.initial) {
+            return ExploreReport {
+                states: 1,
+                terminal_states: usize::from(self.initial.all_halted()),
+                complete: true,
+                violation: Some(make_violation(&arena, 0, message)),
+            };
+        }
+
+        while let Some(cur) = queue.pop_front() {
+            let (state, _, depth) = arena[cur].clone();
+            if state.all_halted() {
+                terminal += 1;
+                continue;
+            }
+            if let Some(maxd) = self.max_depth {
+                if depth >= maxd {
+                    complete = false;
+                    continue;
+                }
+            }
+            for p in state.live() {
+                let next = if self.coarse_scans {
+                    step_block(&state, p, &self.wirings)
+                } else {
+                    state.step(p, &self.wirings).expect("live process steps")
+                };
+                let h = hash_state(&next);
+                let slot = index.entry(h).or_default();
+                if slot.iter().any(|&i| arena[i].0 == next) {
+                    continue;
+                }
+                if arena.len() >= self.max_states {
+                    complete = false;
+                    continue;
+                }
+                let id = arena.len();
+                slot.push(id);
+                arena.push((next, Some((cur, p)), depth + 1));
+                if let Err(message) = invariant(&arena[id].0) {
+                    return ExploreReport {
+                        states: arena.len(),
+                        terminal_states: terminal,
+                        complete: false,
+                        violation: Some(make_violation(&arena, id, message)),
+                    };
+                }
+                queue.push_back(id);
+            }
+        }
+
+        ExploreReport {
+            states: arena.len(),
+            terminal_states: terminal,
+            complete,
+            violation: None,
+        }
+    }
+}
+
+/// Executes one PlusCal-label-granularity block of processor `p`: a single
+/// write or output, or a complete scan (maximal run of consecutive reads).
+fn step_block<P>(state: &McState<P>, p: ProcId, wirings: &[Wiring]) -> McState<P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    let was_read = matches!(state.pending[p.0], Some(Action::Read { .. }));
+    let mut next = state.step(p, wirings).expect("live process steps");
+    if was_read {
+        while matches!(next.pending[p.0], Some(Action::Read { .. })) {
+            next = next.step(p, wirings).expect("scan continues");
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writes its input to local register 0, then halts.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct OneWrite {
+        input: u8,
+        wrote: bool,
+    }
+    impl Process for OneWrite {
+        type Value = u8;
+        type Output = u8;
+        fn step(&mut self, _i: StepInput<u8>) -> Action<u8, u8> {
+            if self.wrote {
+                Action::Halt
+            } else {
+                self.wrote = true;
+                Action::write(0, self.input)
+            }
+        }
+    }
+
+    #[test]
+    fn explores_all_interleavings_of_two_writers() {
+        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
+        let explorer =
+            Explorer::new(procs, 1, 0u8, vec![Wiring::identity(1), Wiring::identity(1)]);
+        let report = explorer.run(|_| Ok(()));
+        assert!(report.complete);
+        assert!(report.violation.is_none());
+        // States: both orders of two writes + halts collapse by dedup; the
+        // space is tiny but must include the two distinct final memories.
+        assert!(report.states >= 5, "states = {}", report.states);
+        assert!(report.terminal_states >= 2);
+    }
+
+    #[test]
+    fn invariant_violation_returns_schedule() {
+        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
+        let explorer =
+            Explorer::new(procs, 1, 0u8, vec![Wiring::identity(1), Wiring::identity(1)]);
+        // "Register never holds 2" is violated as soon as p1 writes.
+        let report = explorer.run(|s| {
+            if s.memory[0] == 2 {
+                Err("register holds 2".to_string())
+            } else {
+                Ok(())
+            }
+        });
+        let v = report.violation.expect("violation must be found");
+        assert_eq!(v.state.memory[0], 2);
+        // The counterexample schedule must replay to the violating state.
+        assert!(!v.schedule.is_empty());
+        assert_eq!(*v.schedule.last().unwrap(), ProcId(1));
+    }
+
+    #[test]
+    fn state_cap_marks_incomplete() {
+        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
+        let explorer = Explorer::new(
+            procs,
+            1,
+            0u8,
+            vec![Wiring::identity(1), Wiring::identity(1)],
+        )
+        .with_max_states(2);
+        let report = explorer.run(|_| Ok(()));
+        assert!(!report.complete);
+    }
+
+    #[test]
+    fn depth_cap_marks_incomplete() {
+        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
+        let explorer = Explorer::new(
+            procs,
+            1,
+            0u8,
+            vec![Wiring::identity(1), Wiring::identity(1)],
+        )
+        .with_max_depth(1);
+        let report = explorer.run(|_| Ok(()));
+        assert!(!report.complete);
+    }
+
+    #[test]
+    fn coarse_scans_shrink_the_state_space() {
+        use fa_core::SnapshotProcess;
+        let procs: Vec<SnapshotProcess<u8>> =
+            vec![SnapshotProcess::new(1, 2), SnapshotProcess::new(2, 2)];
+        let wirings = vec![Wiring::identity(2), Wiring::identity(2)];
+        let fine = Explorer::new(procs.clone(), 2, Default::default(), wirings.clone())
+            .run(|_| Ok(()));
+        let coarse = Explorer::new(procs, 2, Default::default(), wirings)
+            .with_coarse_scans()
+            .run(|_| Ok(()));
+        assert!(fine.complete && coarse.complete);
+        assert!(coarse.states < fine.states, "coarse {} !< fine {}", coarse.states, fine.states);
+        assert!(coarse.violation.is_none() && fine.violation.is_none());
+    }
+
+    #[test]
+    fn counterexample_schedule_replays() {
+        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
+        let wirings = vec![Wiring::identity(1), Wiring::identity(1)];
+        let explorer = Explorer::new(procs.clone(), 1, 0u8, wirings.clone());
+        let report = explorer.run(|s| {
+            if s.all_halted() && s.memory[0] == 1 {
+                Err("final memory is 1".into())
+            } else {
+                Ok(())
+            }
+        });
+        let v = report.violation.expect("some interleaving ends with 1");
+        // Replay the schedule from the initial state.
+        let mut state = McState::initial(procs, 1, 0u8);
+        for &p in &v.schedule {
+            state = state.step(p, &wirings).expect("schedule is valid");
+        }
+        assert_eq!(state, v.state);
+    }
+}

@@ -1,0 +1,161 @@
+//! Statistical model checking: random walks over the exact transition
+//! system, for scopes beyond exhaustive reach (n = 4 and up).
+//!
+//! A random walk samples one schedule uniformly (step by step) from the same
+//! state graph the exhaustive [`Explorer`](crate::Explorer) searches, and
+//! checks the invariant on every visited state. Violations come with the
+//! full schedule, replayable like any counterexample. Unlike the seeded
+//! [`Executor`](fa_memory::Executor) runs, walks operate on [`McState`], so
+//! they compose with the same invariants used in exhaustive checks.
+
+use fa_memory::{ProcId, Process, Wiring};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hash::Hash;
+
+use crate::explorer::McState;
+
+/// Result of a random-walk campaign.
+#[derive(Clone, Debug)]
+pub struct WalkReport {
+    /// Walks performed.
+    pub walks: usize,
+    /// Total states visited (with repetition).
+    pub states_visited: usize,
+    /// Walks that ended with every process halted.
+    pub completed_walks: usize,
+    /// The first violation found, with its schedule, if any.
+    pub violation: Option<(String, Vec<ProcId>)>,
+}
+
+/// Performs `walks` random walks of at most `max_steps` each over the system
+/// `(make_procs(), m, init, wirings)`, checking `invariant` at every state.
+/// Stops at the first violation.
+pub fn random_walks<P, F, G>(
+    make_procs: G,
+    m: usize,
+    init: P::Value,
+    wirings: &[Wiring],
+    walks: usize,
+    max_steps: usize,
+    seed: u64,
+    mut invariant: F,
+) -> WalkReport
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+    F: FnMut(&McState<P>) -> Result<(), String>,
+    G: Fn() -> Vec<P>,
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut report = WalkReport {
+        walks: 0,
+        states_visited: 0,
+        completed_walks: 0,
+        violation: None,
+    };
+    for _ in 0..walks {
+        report.walks += 1;
+        let mut state = McState::initial(make_procs(), m, init.clone());
+        let mut schedule = Vec::new();
+        if let Err(msg) = invariant(&state) {
+            report.violation = Some((msg, schedule));
+            return report;
+        }
+        for _ in 0..max_steps {
+            let live = state.live();
+            if live.is_empty() {
+                report.completed_walks += 1;
+                break;
+            }
+            let p = live[rng.gen_range(0..live.len())];
+            state = state.step(p, wirings).expect("live process steps");
+            schedule.push(p);
+            report.states_visited += 1;
+            if let Err(msg) = invariant(&state) {
+                report.violation = Some((msg, schedule));
+                return report;
+            }
+        }
+        if state.live().is_empty() {
+            // Walk may have completed exactly at max_steps.
+            report.completed_walks =
+                report.completed_walks.max(report.completed_walks);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_core::SnapshotProcess;
+
+    #[test]
+    fn snapshot_invariant_survives_walks_at_n4() {
+        let n = 4;
+        let wirings: Vec<Wiring> = (0..n).map(|i| Wiring::cyclic_shift(n, i)).collect();
+        let inputs: Vec<u32> = (0..n as u32).collect();
+        let report = random_walks(
+            || {
+                inputs
+                    .iter()
+                    .map(|&x| SnapshotProcess::new(x, n))
+                    .collect::<Vec<_>>()
+            },
+            n,
+            Default::default(),
+            &wirings,
+            150,
+            20_000,
+            42,
+            |state| {
+                let outs = state.first_outputs();
+                for (i, a) in outs.iter().enumerate() {
+                    let Some(a) = a else { continue };
+                    if !a.contains(&(i as u32)) {
+                        return Err(format!("p{i} output misses own input"));
+                    }
+                    for b in outs.iter().flatten() {
+                        if !a.comparable(b) {
+                            return Err("incomparable outputs".into());
+                        }
+                    }
+                }
+                Ok(())
+            },
+        );
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert_eq!(report.walks, 150);
+        assert!(report.completed_walks > 0, "some walks must finish within budget");
+        assert!(report.states_visited > 10_000);
+    }
+
+    #[test]
+    fn violations_are_reported_with_schedules() {
+        // An intentionally false invariant trips immediately after a step.
+        let n = 2;
+        let wirings = vec![Wiring::identity(n); n];
+        let report = random_walks(
+            || (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect::<Vec<_>>(),
+            n,
+            Default::default(),
+            &wirings,
+            1,
+            100,
+            7,
+            |state| {
+                if state.memory.iter().any(|r| !r.view.is_empty()) {
+                    Err("a register was written".into())
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        let (msg, schedule) = report.violation.expect("must trip on the first write");
+        assert!(msg.contains("written"));
+        assert!(!schedule.is_empty());
+    }
+}

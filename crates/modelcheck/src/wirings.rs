@@ -1,0 +1,106 @@
+//! Enumeration of wiring combinations with symmetry reduction.
+//!
+//! Full anonymity quantifies over every assignment of permutations to
+//! processors — `(M!)^N` combinations. Globally relabeling the registers by
+//! a permutation `π` maps executions bijectively (register initial values
+//! are uniform, and relabeling turns each wiring `σ` into `π ∘ σ`), so two
+//! combinations related by a global relabeling have the same behaviours.
+//! Normalizing with `π = σ₀⁻¹` fixes processor 0 to the identity wiring and
+//! cuts the space to `(M!)^(N−1)`.
+
+use fa_memory::Wiring;
+
+/// Iterates over all wiring combinations for `n` processors and `m`
+/// registers, modulo global register relabeling: processor 0 always has the
+/// identity wiring.
+///
+/// ```
+/// use fa_modelcheck::wirings::combinations_mod_relabeling;
+/// // 3 processors, 2 registers: 2!^2 = 4 combinations after fixing p0.
+/// assert_eq!(combinations_mod_relabeling(3, 2).count(), 4);
+/// ```
+pub fn combinations_mod_relabeling(
+    n: usize,
+    m: usize,
+) -> impl Iterator<Item = Vec<Wiring>> {
+    assert!(n >= 1, "at least one processor required");
+    // Mixed-radix counter over the (n-1) free wirings.
+    let all: Vec<Wiring> = Wiring::enumerate(m).collect();
+    let k = all.len();
+    let free = n - 1;
+    let mut counter = vec![0usize; free];
+    let mut done = false;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        let mut combo = Vec::with_capacity(n);
+        combo.push(Wiring::identity(m));
+        for &c in &counter {
+            combo.push(all[c].clone());
+        }
+        // Advance.
+        let mut i = 0;
+        loop {
+            if i == free {
+                done = true;
+                break;
+            }
+            counter[i] += 1;
+            if counter[i] < k {
+                break;
+            }
+            counter[i] = 0;
+            i += 1;
+        }
+        Some(combo)
+    })
+}
+
+/// The number of combinations [`combinations_mod_relabeling`] yields:
+/// `(m!)^(n-1)`.
+#[must_use]
+pub fn combination_count(n: usize, m: usize) -> usize {
+    let fact: usize = (1..=m).product();
+    fact.pow(u32::try_from(n.saturating_sub(1)).expect("small exponent"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        for (n, m) in [(2, 2), (2, 3), (3, 2), (3, 3), (4, 2)] {
+            assert_eq!(
+                combinations_mod_relabeling(n, m).count(),
+                combination_count(n, m),
+                "n={n} m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_wiring_is_identity() {
+        for combo in combinations_mod_relabeling(3, 3) {
+            assert_eq!(combo[0], Wiring::identity(3));
+            assert_eq!(combo.len(), 3);
+        }
+    }
+
+    #[test]
+    fn combinations_are_distinct() {
+        let combos: Vec<Vec<Wiring>> = combinations_mod_relabeling(3, 3).collect();
+        let mut dedup = combos.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(combos.len(), dedup.len());
+    }
+
+    #[test]
+    fn single_processor_yields_identity_only() {
+        let combos: Vec<Vec<Wiring>> = combinations_mod_relabeling(1, 4).collect();
+        assert_eq!(combos.len(), 1);
+        assert_eq!(combos[0], vec![Wiring::identity(4)]);
+    }
+}

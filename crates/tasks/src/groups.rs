@@ -1,0 +1,411 @@
+//! Group assignments and the group-solvability checker (Definition 3.4).
+
+use std::collections::BTreeMap;
+
+use crate::{GroupId, OutputAssignment, Task, TaskViolation};
+
+/// Assigns every processor of a system to a group: `group_of[p]` is the
+/// group identifier processor `p` received as input (Section 3.2.1).
+///
+/// ```
+/// use fa_tasks::{GroupAssignment, GroupId};
+/// let ga = GroupAssignment::new(vec![GroupId(0), GroupId(1), GroupId(1)]);
+/// assert_eq!(ga.proc_count(), 3);
+/// assert_eq!(ga.members(GroupId(1)), vec![1, 2]);
+/// assert_eq!(ga.group_count(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupAssignment {
+    group_of: Vec<GroupId>,
+}
+
+impl GroupAssignment {
+    /// Creates a group assignment from the input of each processor.
+    #[must_use]
+    pub fn new(group_of: Vec<GroupId>) -> Self {
+        GroupAssignment { group_of }
+    }
+
+    /// The assignment in which every processor is its own group — the
+    /// classic non-anonymous reading, where group solvability degenerates to
+    /// ordinary solvability.
+    #[must_use]
+    pub fn singletons(n: usize) -> Self {
+        GroupAssignment { group_of: (0..n).map(GroupId).collect() }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn proc_count(&self) -> usize {
+        self.group_of.len()
+    }
+
+    /// Number of distinct groups that appear in the assignment.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        let mut groups: Vec<GroupId> = self.group_of.clone();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len()
+    }
+
+    /// The group of processor `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn group_of(&self, p: usize) -> GroupId {
+        self.group_of[p]
+    }
+
+    /// The processors belonging to group `g`, in increasing order.
+    #[must_use]
+    pub fn members(&self, g: GroupId) -> Vec<usize> {
+        (0..self.group_of.len()).filter(|&p| self.group_of[p] == g).collect()
+    }
+
+    /// The inputs as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[GroupId] {
+        &self.group_of
+    }
+}
+
+/// Iterator over all *output samples* of an execution (Definition 3.4): each
+/// sample maps every participating group to the output of one of its members
+/// that produced an output.
+///
+/// Constructed by [`check_group_solution`]'s machinery; also usable directly
+/// for custom analyses.
+#[derive(Clone, Debug)]
+pub struct SampleIter<'a, O> {
+    /// For each participating group: (group, members' (proc, output) pairs).
+    choices: Vec<(GroupId, Vec<(usize, &'a O)>)>,
+    /// Current index into each group's member list; `None` when exhausted.
+    cursor: Option<Vec<usize>>,
+}
+
+impl<'a, O> SampleIter<'a, O> {
+    /// Builds the sample space for `outputs` under `groups`. `outputs[p]` is
+    /// the output of processor `p`, or `None` if `p` did not participate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs.len() != groups.proc_count()`.
+    #[must_use]
+    pub fn new(groups: &GroupAssignment, outputs: &'a [Option<O>]) -> Self {
+        assert_eq!(
+            outputs.len(),
+            groups.proc_count(),
+            "one output slot per processor required"
+        );
+        let mut by_group: BTreeMap<GroupId, Vec<(usize, &'a O)>> = BTreeMap::new();
+        for (p, out) in outputs.iter().enumerate() {
+            if let Some(o) = out {
+                by_group.entry(groups.group_of(p)).or_default().push((p, o));
+            }
+        }
+        let choices: Vec<_> = by_group.into_iter().collect();
+        let cursor = Some(vec![0; choices.len()]);
+        SampleIter { choices, cursor }
+    }
+
+    /// The number of distinct samples (the product of group sizes).
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.choices.iter().map(|(_, ms)| ms.len()).product()
+    }
+}
+
+impl<'a, O: Clone> Iterator for SampleIter<'a, O> {
+    type Item = (OutputAssignment<O>, BTreeMap<GroupId, usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let cursor = self.cursor.as_mut()?;
+        let mut assignment = OutputAssignment::new();
+        let mut reps = BTreeMap::new();
+        for ((g, members), &idx) in self.choices.iter().zip(cursor.iter()) {
+            let (proc, out) = members[idx];
+            assignment.insert(*g, (*out).clone());
+            reps.insert(*g, proc);
+        }
+        // Advance the mixed-radix counter.
+        let mut advanced = false;
+        for (i, (_, members)) in self.choices.iter().enumerate().rev() {
+            cursor[i] += 1;
+            if cursor[i] < members.len() {
+                advanced = true;
+                break;
+            }
+            cursor[i] = 0;
+        }
+        if !advanced {
+            self.cursor = None;
+        }
+        Some((assignment, reps))
+    }
+}
+
+/// A violated output sample: which representatives were picked and why the
+/// induced assignment fails the task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupViolation {
+    /// The representative processor picked for each participating group.
+    pub representatives: BTreeMap<GroupId, usize>,
+    /// The task violation of the induced output assignment.
+    pub violation: TaskViolation,
+}
+
+impl core::fmt::Display for GroupViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "sample {:?} violates task: {}", self.representatives, self.violation)
+    }
+}
+
+impl std::error::Error for GroupViolation {}
+
+/// Checks that `outputs` group-solve `task` under `groups` by enumerating
+/// *every* output sample (Definition 3.4). Returns the number of samples
+/// checked.
+///
+/// `outputs[p]` is the (first) output of processor `p`, or `None` if `p` did
+/// not participate. All participating processors must have terminated with an
+/// output — the definition only constrains executions "in which all
+/// participating processors terminate".
+///
+/// The sample space is the product of group sizes; exhaustive checking is
+/// meant for test-scale systems. Use [`check_group_solution_sampled`] for
+/// larger systems.
+///
+/// # Errors
+///
+/// Returns the first violated sample found.
+///
+/// # Panics
+///
+/// Panics if `outputs.len() != groups.proc_count()`.
+pub fn check_group_solution<T: Task>(
+    task: &T,
+    groups: &GroupAssignment,
+    outputs: &[Option<T::Output>],
+) -> Result<usize, GroupViolation>
+where
+    T::Output: Clone,
+{
+    let mut checked = 0usize;
+    for (assignment, reps) in SampleIter::new(groups, outputs) {
+        // Zero participants: the definition quantifies over participating
+        // executions, so there is nothing to check.
+        if assignment.is_empty() {
+            continue;
+        }
+        if let Err(violation) = task.check(&assignment) {
+            return Err(GroupViolation { representatives: reps, violation });
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Like [`check_group_solution`] but checks at most `max_samples` samples,
+/// chosen uniformly at random (with replacement) when the sample space is
+/// larger. Sound for *finding* violations, not for proving absence.
+///
+/// # Errors
+///
+/// Returns the first violated sample found.
+///
+/// # Panics
+///
+/// Panics if `outputs.len() != groups.proc_count()`.
+pub fn check_group_solution_sampled<T: Task, R: rand::Rng>(
+    task: &T,
+    groups: &GroupAssignment,
+    outputs: &[Option<T::Output>],
+    max_samples: usize,
+    rng: &mut R,
+) -> Result<usize, GroupViolation>
+where
+    T::Output: Clone,
+{
+    let iter = SampleIter::new(groups, outputs);
+    if iter.sample_count() <= max_samples {
+        return check_group_solution(task, groups, outputs);
+    }
+    let choices = iter.choices;
+    let mut checked = 0usize;
+    for _ in 0..max_samples {
+        let mut assignment = OutputAssignment::new();
+        let mut reps = BTreeMap::new();
+        for (g, members) in &choices {
+            let (proc, out) = members[rng.gen_range(0..members.len())];
+            assignment.insert(*g, out.clone());
+            reps.insert(*g, proc);
+        }
+        if let Err(violation) = task.check(&assignment) {
+            return Err(GroupViolation { representatives: reps, violation });
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Consensus, Snapshot};
+    use std::collections::BTreeSet;
+
+    fn gset(ids: &[usize]) -> BTreeSet<GroupId> {
+        ids.iter().map(|&i| GroupId(i)).collect()
+    }
+
+    #[test]
+    fn singleton_assignment() {
+        let ga = GroupAssignment::singletons(3);
+        assert_eq!(ga.group_count(), 3);
+        assert_eq!(ga.members(GroupId(2)), vec![2]);
+        assert_eq!(ga.as_slice(), &[GroupId(0), GroupId(1), GroupId(2)]);
+    }
+
+    #[test]
+    fn sample_count_is_product_of_group_sizes() {
+        let ga = GroupAssignment::new(vec![GroupId(0), GroupId(0), GroupId(1), GroupId(1)]);
+        let outputs = vec![Some(1u32), Some(2), Some(3), Some(4)];
+        let iter = SampleIter::new(&ga, &outputs);
+        assert_eq!(iter.sample_count(), 4);
+        assert_eq!(iter.count(), 4);
+    }
+
+    #[test]
+    fn samples_skip_non_participants() {
+        let ga = GroupAssignment::new(vec![GroupId(0), GroupId(0), GroupId(1)]);
+        let outputs = vec![Some(1u32), None, None];
+        let iter = SampleIter::new(&ga, &outputs);
+        let samples: Vec<_> = iter.collect();
+        assert_eq!(samples.len(), 1);
+        // Only group 0 participates, represented by processor 0.
+        let (assignment, reps) = &samples[0];
+        assert_eq!(assignment.len(), 1);
+        assert_eq!(assignment[&GroupId(0)], 1);
+        assert_eq!(reps[&GroupId(0)], 0);
+    }
+
+    #[test]
+    fn paper_example_group_snapshot_is_legal() {
+        // Section 3.2: groups A={p0}, B={p1,p2}, C={p3}; outputs
+        // {A,B,C}, {A,B}, {B,C}, {A,B,C}. Legal despite p1, p2 incomparable.
+        let ga = GroupAssignment::new(vec![GroupId(0), GroupId(1), GroupId(1), GroupId(2)]);
+        let outputs = vec![
+            Some(gset(&[0, 1, 2])),
+            Some(gset(&[0, 1])),
+            Some(gset(&[1, 2])),
+            Some(gset(&[0, 1, 2])),
+        ];
+        let checked = check_group_solution(&Snapshot, &ga, &outputs).unwrap();
+        assert_eq!(checked, 2); // one choice for A and C; two for B
+    }
+
+    #[test]
+    fn group_violation_is_detected_and_attributed() {
+        // Two groups, one member each, incomparable snapshot outputs: every
+        // sample (there is exactly one) is violated.
+        let ga = GroupAssignment::new(vec![GroupId(0), GroupId(1)]);
+        let outputs = vec![Some(gset(&[0])), Some(gset(&[1]))];
+        let err = check_group_solution(&Snapshot, &ga, &outputs).unwrap_err();
+        assert!(matches!(err.violation, TaskViolation::NotContainmentRelated { .. }));
+        assert_eq!(err.representatives[&GroupId(0)], 0);
+        assert_eq!(err.representatives[&GroupId(1)], 1);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn same_group_may_disagree_in_consensus() {
+        // Both processors are in group 0; they output different group ids,
+        // but each sample contains only one of them, so each sample is a
+        // constant function. Validity still requires the value to be a
+        // participating group.
+        let ga = GroupAssignment::new(vec![GroupId(0), GroupId(0)]);
+        let outputs = vec![Some(GroupId(0)), Some(GroupId(0))];
+        assert!(check_group_solution(&Consensus, &ga, &outputs).is_ok());
+
+        // If one member outputs a non-participating group, the sample picking
+        // it is invalid.
+        let outputs = vec![Some(GroupId(0)), Some(GroupId(1))];
+        let err = check_group_solution(&Consensus, &ga, &outputs).unwrap_err();
+        assert!(matches!(err.violation, TaskViolation::NonParticipant { .. }));
+    }
+
+    #[test]
+    fn cross_group_disagreement_is_caught() {
+        let ga = GroupAssignment::new(vec![GroupId(0), GroupId(1)]);
+        let outputs = vec![Some(GroupId(0)), Some(GroupId(1))];
+        let err = check_group_solution(&Consensus, &ga, &outputs).unwrap_err();
+        assert!(matches!(err.violation, TaskViolation::Disagreement { .. }));
+    }
+
+    #[test]
+    fn sampled_checker_agrees_on_small_spaces() {
+        let ga = GroupAssignment::new(vec![GroupId(0), GroupId(1), GroupId(1), GroupId(2)]);
+        let outputs = vec![
+            Some(gset(&[0, 1, 2])),
+            Some(gset(&[0, 1])),
+            Some(gset(&[1, 2])),
+            Some(gset(&[0, 1, 2])),
+        ];
+        let mut rng = rand::thread_rng();
+        assert!(
+            check_group_solution_sampled(&Snapshot, &ga, &outputs, 100, &mut rng).is_ok()
+        );
+    }
+
+    #[test]
+    fn sampled_checker_finds_gross_violations() {
+        // 8 processors in 2 groups of 4; every member of group 1 outputs a
+        // set missing itself — any sample is violated, so even one random
+        // sample suffices.
+        let ga = GroupAssignment::new(
+            (0..8).map(|p| GroupId(p / 4)).collect::<Vec<_>>(),
+        );
+        let outputs: Vec<Option<BTreeSet<GroupId>>> = (0..8)
+            .map(|p| {
+                if p < 4 {
+                    Some(gset(&[0, 1]))
+                } else {
+                    Some(gset(&[0])) // group 1 member missing itself
+                }
+            })
+            .collect();
+        let mut rng = rand::thread_rng();
+        let err = check_group_solution_sampled(&Snapshot, &ga, &outputs, 4, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err.violation, TaskViolation::MissingSelf { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per processor")]
+    fn mismatched_output_len_panics() {
+        let ga = GroupAssignment::singletons(3);
+        let outputs = vec![Some(GroupId(0))];
+        let _ = check_group_solution(&Consensus, &ga, &outputs);
+    }
+
+    #[test]
+    fn empty_participation_is_vacuously_valid() {
+        // No participant → no samples → vacuously group-solved (the empty
+        // sample space has no counterexample).
+        let ga = GroupAssignment::singletons(2);
+        let outputs: Vec<Option<GroupId>> = vec![None, None];
+        // There is exactly one "sample": the empty assignment? No — with no
+        // participating group, the iterator yields a single empty assignment,
+        // which Consensus rejects as Empty. The definition quantifies over
+        // participating executions, so we treat zero participants as valid by
+        // checking the count.
+        let iter = SampleIter::new(&ga, &outputs);
+        assert_eq!(iter.sample_count(), 1); // empty product
+        let samples: Vec<_> = iter.collect();
+        assert_eq!(samples.len(), 1);
+        assert!(samples[0].0.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! # fa-tasks: tasks and group solvability
+//!
+//! Distributed *tasks* are the building blocks the paper studies (Section 3).
+//! A task is specified by a set of outputs and a set of valid *output
+//! assignments* — partial functions from (task-level) identifiers to outputs.
+//!
+//! In processor-anonymous models, processors cannot receive unique
+//! identifiers, so the usual notion of solving a task does not apply. The
+//! paper adopts **group solvability** (Gafni 2004, Definition 3.4): interpret
+//! the task's identifiers as *group* identifiers, give every processor its
+//! group id as input, and require that for *every* way of picking one
+//! representative processor per participating group, the induced mapping from
+//! groups to outputs is a valid output assignment of the task.
+//!
+//! This crate provides:
+//!
+//! * the [`Task`] trait and concrete specifications — [`Consensus`],
+//!   [`Snapshot`], [`AdaptiveRenaming`], [`SetConsensus`],
+//!   [`WeakSymmetryBreaking`], [`ImmediateSnapshot`];
+//! * [`GroupAssignment`] and the group-solvability checker
+//!   [`check_group_solution`], which enumerates output samples per
+//!   Definition 3.4 (with an exhaustive and a sampled mode).
+//!
+//! ```
+//! use fa_tasks::{check_group_solution, GroupAssignment, GroupId, Snapshot};
+//! use std::collections::BTreeSet;
+//!
+//! // The paper's Section 3.2 example: 4 processors, groups A={1}, B={2,3},
+//! // C={4}; outputs {A,B,C}, {A,B}, {B,C}, {A,B,C}. This is a legal *group*
+//! // solution even though the two members of B return incomparable sets.
+//! let set = |ids: &[usize]| ids.iter().map(|&g| GroupId(g)).collect::<BTreeSet<_>>();
+//! let groups = GroupAssignment::new(vec![GroupId(0), GroupId(1), GroupId(1), GroupId(2)]);
+//! let outputs = vec![
+//!     Some(set(&[0, 1, 2])),
+//!     Some(set(&[0, 1])),
+//!     Some(set(&[1, 2])),
+//!     Some(set(&[0, 1, 2])),
+//! ];
+//! assert!(check_group_solution(&Snapshot, &groups, &outputs).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod groups;
+pub mod long_lived;
+mod task;
+pub mod tasks;
+
+pub use groups::{
+    check_group_solution, check_group_solution_sampled, GroupAssignment, GroupViolation,
+    SampleIter,
+};
+pub use long_lived::{check_long_lived_group_snapshot, Invocation};
+pub use task::{GroupId, OutputAssignment, Task, TaskViolation};
+pub use tasks::{
+    AdaptiveRenaming, Consensus, Election, ImmediateSnapshot, SetConsensus, Snapshot,
+    WeakSymmetryBreaking,
+};

@@ -1,0 +1,142 @@
+//! Group solvability for long-lived snapshot histories — the definitional
+//! extension the paper sketches as future work (Section 7):
+//!
+//! > "in the same vein as for tasks, we could define group solvability of
+//! > long-lived problems by interpreting inputs as groups and considering
+//! > that each invocation by the same processor is done by a different
+//! > logical processor."
+//!
+//! [`check_long_lived_group_snapshot`] implements exactly that reading: each
+//! invocation becomes a *logical processor* whose group is the input value
+//! it supplied; outputs are translated from input values to group
+//! identifiers; and the history group-solves the long-lived snapshot when
+//! every output sample (one representative invocation per participating
+//! group, Definition 3.4) is a valid snapshot assignment.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{check_group_solution, GroupAssignment, GroupId, GroupViolation, Snapshot};
+
+/// One completed invocation of the long-lived snapshot: the input value it
+/// supplied and the set of input values it returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invocation<V> {
+    /// The input value of this invocation.
+    pub input: V,
+    /// The returned view, as a set of input values.
+    pub output: BTreeSet<V>,
+}
+
+impl<V> Invocation<V> {
+    /// Creates an invocation record.
+    pub fn new(input: V, output: BTreeSet<V>) -> Self {
+        Invocation { input, output }
+    }
+}
+
+/// Checks a long-lived snapshot history under the future-work group
+/// reading: invocations are logical processors, grouped by input value.
+/// Returns the number of output samples checked.
+///
+/// # Errors
+///
+/// Returns the first violated output sample (including the case of an
+/// output mentioning a value no invocation used as input — a
+/// non-participant).
+///
+/// # Panics
+///
+/// Panics if `invocations` is empty.
+pub fn check_long_lived_group_snapshot<V: Ord + Clone + core::fmt::Debug>(
+    invocations: &[Invocation<V>],
+) -> Result<usize, GroupViolation> {
+    assert!(!invocations.is_empty(), "at least one invocation required");
+    // Dense group ids per distinct input value.
+    let mut ids: BTreeMap<&V, usize> = BTreeMap::new();
+    for inv in invocations {
+        let next = ids.len();
+        ids.entry(&inv.input).or_insert(next);
+    }
+    let groups = GroupAssignment::new(
+        invocations.iter().map(|inv| GroupId(ids[&inv.input])).collect(),
+    );
+    let outputs: Vec<Option<BTreeSet<GroupId>>> = invocations
+        .iter()
+        .map(|inv| {
+            Some(
+                inv.output
+                    .iter()
+                    .map(|v| ids.get(v).map_or(GroupId(usize::MAX), |&g| GroupId(g)))
+                    .collect(),
+            )
+        })
+        .collect();
+    check_group_solution(&Snapshot, &groups, &outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vals: &[u32]) -> BTreeSet<u32> {
+        vals.iter().copied().collect()
+    }
+
+    #[test]
+    fn nested_history_group_solves() {
+        // Two processors, two invocations each; all outputs nested.
+        let history = vec![
+            Invocation::new(1u32, set(&[1])),
+            Invocation::new(2, set(&[1, 2])),
+            Invocation::new(10, set(&[1, 2, 10])),
+            Invocation::new(20, set(&[1, 2, 10, 20])),
+        ];
+        assert!(check_long_lived_group_snapshot(&history).is_ok());
+    }
+
+    #[test]
+    fn same_group_invocations_may_be_incomparable() {
+        // Two invocations with the same input value (same group) returning
+        // incomparable sets: legal, exactly as for one-shot group snapshots.
+        let history = vec![
+            Invocation::new(1u32, set(&[1, 2])),
+            Invocation::new(1, set(&[1, 3])),
+            Invocation::new(2, set(&[1, 2, 3])),
+            Invocation::new(3, set(&[1, 2, 3])),
+        ];
+        assert!(check_long_lived_group_snapshot(&history).is_ok());
+    }
+
+    #[test]
+    fn cross_group_incomparability_is_rejected() {
+        let history = vec![
+            Invocation::new(1u32, set(&[1, 2])),
+            Invocation::new(2, set(&[2])),
+            Invocation::new(3, set(&[2, 3])),
+        ];
+        let err = check_long_lived_group_snapshot(&history).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn missing_own_group_is_rejected() {
+        let history = vec![
+            Invocation::new(1u32, set(&[2])),
+            Invocation::new(2, set(&[2])),
+        ];
+        assert!(check_long_lived_group_snapshot(&history).is_err());
+    }
+
+    #[test]
+    fn unknown_value_in_output_is_rejected() {
+        // Output mentions 99, which no invocation used as input.
+        let history = vec![Invocation::new(1u32, set(&[1, 99]))];
+        assert!(check_long_lived_group_snapshot(&history).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one invocation")]
+    fn empty_history_panics() {
+        let _ = check_long_lived_group_snapshot::<u32>(&[]);
+    }
+}

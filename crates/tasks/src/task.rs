@@ -1,0 +1,205 @@
+//! The task formalism: identifiers, output assignments, and the [`Task`]
+//! trait.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A task-level identifier (Section 3.2.1).
+///
+/// In the classic (non-anonymous) reading this is a processor identifier; in
+/// the group reading it identifies the *group* of all processors that
+/// received this value as input. The paper indexes groups `1..N_T`; we index
+/// from 0.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct GroupId(pub usize);
+
+impl GroupId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<usize> for GroupId {
+    fn from(value: usize) -> Self {
+        GroupId(value)
+    }
+}
+
+/// A partial function from task identifiers to outputs: the object a task
+/// judges (Section 3.1).
+///
+/// Identifiers absent from the map did not participate.
+pub type OutputAssignment<O> = BTreeMap<GroupId, O>;
+
+/// Why an output assignment violates a task specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TaskViolation {
+    /// Two participants that must agree returned different outputs.
+    Disagreement {
+        /// First disagreeing identifier.
+        a: GroupId,
+        /// Second disagreeing identifier.
+        b: GroupId,
+    },
+    /// An output refers to an identifier that did not participate.
+    NonParticipant {
+        /// The identifier whose output is invalid.
+        of: GroupId,
+        /// The non-participating identifier that appears in the output.
+        referenced: GroupId,
+    },
+    /// A snapshot output does not contain the participant's own identifier.
+    MissingSelf {
+        /// The offending identifier.
+        of: GroupId,
+    },
+    /// Two set outputs are not related by containment.
+    NotContainmentRelated {
+        /// First identifier.
+        a: GroupId,
+        /// Second identifier.
+        b: GroupId,
+    },
+    /// An immediate-snapshot output misses immediacy: `b ∈ o[a]` but
+    /// `o[b] ⊄ o[a]`.
+    NotImmediate {
+        /// The identifier whose output contains `b`.
+        a: GroupId,
+        /// The contained identifier whose own output is not a subset.
+        b: GroupId,
+    },
+    /// Two participants chose the same name in a renaming task.
+    NameCollision {
+        /// First identifier.
+        a: GroupId,
+        /// Second identifier.
+        b: GroupId,
+        /// The shared name.
+        name: usize,
+    },
+    /// A renaming output is outside the permitted namespace.
+    NameOutOfRange {
+        /// The offending identifier.
+        of: GroupId,
+        /// The chosen name.
+        name: usize,
+        /// The permitted upper bound (inclusive) for this participation level.
+        bound: usize,
+    },
+    /// More than `k` distinct values were decided in `k`-set consensus.
+    TooManyValues {
+        /// Number of distinct decided values.
+        decided: usize,
+        /// The permitted maximum.
+        k: usize,
+    },
+    /// Weak symmetry breaking failed: all participants output the same bit
+    /// in a full participation execution.
+    SymmetryUnbroken,
+    /// The assignment is empty but the task requires at least one output.
+    Empty,
+}
+
+impl fmt::Display for TaskViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskViolation::Disagreement { a, b } => {
+                write!(f, "{a} and {b} decided different values")
+            }
+            TaskViolation::NonParticipant { of, referenced } => {
+                write!(f, "output of {of} references non-participant {referenced}")
+            }
+            TaskViolation::MissingSelf { of } => {
+                write!(f, "snapshot of {of} does not contain itself")
+            }
+            TaskViolation::NotContainmentRelated { a, b } => {
+                write!(f, "outputs of {a} and {b} are not related by containment")
+            }
+            TaskViolation::NotImmediate { a, b } => {
+                write!(f, "immediacy violated: {b} in view of {a} but not a subset")
+            }
+            TaskViolation::NameCollision { a, b, name } => {
+                write!(f, "{a} and {b} both took name {name}")
+            }
+            TaskViolation::NameOutOfRange { of, name, bound } => {
+                write!(f, "{of} took name {name} outside 1..={bound}")
+            }
+            TaskViolation::TooManyValues { decided, k } => {
+                write!(f, "{decided} distinct values decided in {k}-set consensus")
+            }
+            TaskViolation::SymmetryUnbroken => {
+                write!(f, "all participants output the same bit under full participation")
+            }
+            TaskViolation::Empty => write!(f, "empty output assignment"),
+        }
+    }
+}
+
+impl std::error::Error for TaskViolation {}
+
+/// A task specification: a predicate on [`OutputAssignment`]s (Section 3.1).
+///
+/// The same specification serves both readings. Classic solvability checks
+/// the assignment mapping each *processor* to its output; group solvability
+/// ([`check_group_solution`](crate::check_group_solution)) checks every
+/// assignment obtained by sampling one representative output per *group*
+/// (Definition 3.4).
+pub trait Task {
+    /// The output type of the task.
+    type Output;
+
+    /// Checks whether `assignment` is a valid output assignment.
+    ///
+    /// The keys of `assignment` are exactly the participating identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    fn check(&self, assignment: &OutputAssignment<Self::Output>) -> Result<(), TaskViolation>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_id_display() {
+        assert_eq!(GroupId(3).to_string(), "g3");
+        assert_eq!(GroupId::from(2).index(), 2);
+    }
+
+    #[test]
+    fn violations_display_nonempty() {
+        let vs = vec![
+            TaskViolation::Disagreement { a: GroupId(0), b: GroupId(1) },
+            TaskViolation::NonParticipant { of: GroupId(0), referenced: GroupId(1) },
+            TaskViolation::MissingSelf { of: GroupId(0) },
+            TaskViolation::NotContainmentRelated { a: GroupId(0), b: GroupId(1) },
+            TaskViolation::NotImmediate { a: GroupId(0), b: GroupId(1) },
+            TaskViolation::NameCollision { a: GroupId(0), b: GroupId(1), name: 2 },
+            TaskViolation::NameOutOfRange { of: GroupId(0), name: 9, bound: 3 },
+            TaskViolation::TooManyValues { decided: 3, k: 2 },
+            TaskViolation::SymmetryUnbroken,
+            TaskViolation::Empty,
+        ];
+        for v in vs {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every experiment's output into results/ (see EXPERIMENTS.md).
+set -uo pipefail
+cd "$(dirname "$0")"
+bins="figure2 eventual_pattern check_snapshot wait_freedom check_not_atomic renaming_bound consensus_of lower_bound group_semantics level_dynamics anonymity_cost covering_rate"
+for b in $bins; do
+  echo "== running $b =="
+  cargo run --release -q -p fa-bench --bin "$b" > "results/$b.txt" 2>&1
+  echo "   exit=$? -> results/$b.txt"
+done
+cargo run --release -q -p fa-bench --bin sweep > results/sweep.json 2>/dev/null
+echo "done"

@@ -1,0 +1,33 @@
+//! Meta-crate for the fully-anonymous shared-memory reproduction of Losa &
+//! Gafni, *"Understanding Read-Write Wait-Free Coverings in the
+//! Fully-Anonymous Shared-Memory Model"* (PODC 2024).
+//!
+//! Re-exports the public API of every sub-crate so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`memory`] — the execution model (anonymous registers, wirings,
+//!   schedulers, executor, traces, threaded runtime);
+//! * [`tasks`] — task specifications and the group-solvability checker;
+//! * [`core`] — the paper's algorithms (write–scan, snapshot, renaming,
+//!   consensus, stable-view analysis, lower bound);
+//! * [`baselines`] — stronger-model comparison algorithms;
+//! * [`modelcheck`] — the explicit-state model checker (TLC substitute).
+//!
+//! ```
+//! use fa_repro::core::runner::{run_snapshot_random, SnapshotRunConfig};
+//!
+//! let cfg = SnapshotRunConfig::new(vec![10, 20, 30]).with_seed(7);
+//! let result = run_snapshot_random(&cfg).unwrap();
+//! for view in &result.views {
+//!     assert!(result.views.iter().all(|w| view.comparable(w)));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fa_baselines as baselines;
+pub use fa_core as core;
+pub use fa_memory as memory;
+pub use fa_modelcheck as modelcheck;
+pub use fa_tasks as tasks;

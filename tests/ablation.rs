@@ -1,0 +1,57 @@
+//! Ablation of the termination-level mechanism (Figure 3's key design
+//! choice). Level n is the paper's rule; footnote 4 says n−1 suffices;
+//! level 1 approximates a double collect.
+
+use fa_core::runner::{run_snapshot_random, SnapshotRunConfig, WiringMode};
+use fa_modelcheck::checks::check_snapshot_task_at_level;
+
+#[test]
+fn levels_n_and_n_minus_1_pass_exhaustively_at_n2() {
+    // n = 2: level 2 (paper) and level 1 (= n−1, footnote 4).
+    for level in [2usize, 1] {
+        let report = check_snapshot_task_at_level(&[1, 2], level, 2_000_000).unwrap();
+        assert!(report.violation.is_none(), "level {level}: {:?}", report.violation);
+        assert!(report.complete);
+    }
+}
+
+#[test]
+fn lower_levels_terminate_faster() {
+    // The safety margin costs steps: higher termination level, more steps.
+    let n = 5;
+    let mut means = Vec::new();
+    for level in [1usize, n - 1, n] {
+        let mut total = 0usize;
+        let runs = 15;
+        for seed in 0..runs {
+            let cfg = SnapshotRunConfig::new((0..n as u32).collect())
+                .with_seed(seed)
+                .with_wiring(WiringMode::Random)
+                .with_terminate_level(level);
+            total += run_snapshot_random(&cfg).unwrap().total_steps;
+        }
+        means.push(total / runs as usize);
+    }
+    assert!(
+        means[0] < means[1] && means[1] < means[2],
+        "expected monotone step cost in the termination level, got {means:?}"
+    );
+}
+
+#[test]
+fn level_n_outputs_remain_comparable_under_stress() {
+    // The paper's level guarantees pairwise comparability even under
+    // adversarial cyclic wirings; stress across seeds.
+    let n = 6;
+    for seed in 0..10u64 {
+        let cfg = SnapshotRunConfig::new((0..n as u32).collect())
+            .with_seed(seed)
+            .with_wiring(WiringMode::CyclicShifts);
+        let res = run_snapshot_random(&cfg).unwrap();
+        for a in &res.views {
+            for b in &res.views {
+                assert!(a.comparable(b), "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Integration (E9 correctness side): the baselines behave as their models
+//! predict — and the naive double collect is refuted in the anonymous model.
+
+use fa_baselines::weak_counter::{anonymous_memory_violation, named_memory_demo};
+use fa_bench::{anonymous_snapshot_steps, double_collect_steps, swmr_steps};
+
+#[test]
+fn weak_counter_needs_named_memory() {
+    for m in 2..10 {
+        assert!(named_memory_demo(m).unwrap().strictly_increasing, "m={m}");
+        assert!(!anonymous_memory_violation(m).unwrap().strictly_increasing, "m={m}");
+    }
+}
+
+#[test]
+fn step_cost_ordering_swmr_cheapest() {
+    // Expected shape (E9): the non-anonymous SWMR baseline needs far fewer
+    // steps than the fully-anonymous algorithm — identities are what make
+    // snapshots cheap. Compare means across seeds.
+    let n = 5;
+    let mut swmr_total = 0usize;
+    let mut anon_total = 0usize;
+    let runs = 10;
+    for seed in 0..runs {
+        swmr_total += swmr_steps(n, seed, 100_000_000).unwrap().expect("terminates");
+        anon_total +=
+            anonymous_snapshot_steps(n, seed, 100_000_000).unwrap().expect("terminates");
+    }
+    assert!(
+        anon_total > 2 * swmr_total,
+        "anonymity must cost steps: anon={anon_total} swmr={swmr_total}"
+    );
+}
+
+#[test]
+fn double_collect_is_cheap_when_it_terminates() {
+    let n = 4;
+    let mut wins = 0;
+    for seed in 0..10 {
+        if let (Some(dc), Some(anon)) = (
+            double_collect_steps(n, seed, 5_000_000).unwrap(),
+            anonymous_snapshot_steps(n, seed, 100_000_000).unwrap(),
+        ) {
+            if dc < anon {
+                wins += 1;
+            }
+        }
+    }
+    assert!(wins >= 5, "double collect should usually be cheaper (wins={wins})");
+}

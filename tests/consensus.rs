@@ -1,0 +1,65 @@
+//! Integration (E7): obstruction-free consensus end to end.
+
+use fa_core::runner::{run_consensus_random, WiringMode};
+
+#[test]
+fn agreement_validity_termination_with_solo_tail() {
+    for n in 2..=5usize {
+        for seed in 0..8u64 {
+            let inputs: Vec<u32> = (0..n as u32).map(|i| (i + 1) * 11).collect();
+            let res = run_consensus_random(
+                &inputs,
+                seed,
+                &WiringMode::Random,
+                30_000 * n,
+                50_000_000,
+            )
+            .unwrap();
+            assert!(res.all_decided, "n={n} seed={seed}");
+            let d = res.decisions[0].unwrap();
+            assert!(
+                res.decisions.iter().all(|x| x.unwrap() == d),
+                "n={n} seed={seed}: disagreement {:?}",
+                res.decisions
+            );
+            assert!(inputs.contains(&d), "n={n} seed={seed}: invalid value {d}");
+        }
+    }
+}
+
+#[test]
+fn identical_inputs_decide_that_input() {
+    let res =
+        run_consensus_random(&[42, 42, 42], 1, &WiringMode::Random, 50_000, 50_000_000)
+            .unwrap();
+    assert!(res.all_decided);
+    assert!(res.decisions.iter().all(|d| d.unwrap() == 42));
+}
+
+#[test]
+fn covered_competitor_regression() {
+    // Regression for the unseen-value subtlety (found by the model
+    // checker): p0 writes its pair once; p1 overwrites it before anyone
+    // reads and then runs alone. Under the naive Chandra rule p1 would
+    // decide its own value at timestamp 0 while p0 — whose pair was erased —
+    // later drives value 1 to a two-lead and decides differently. With the
+    // unseen-values-count-as-timestamp-0 rule, both decide the same value.
+    use fa_core::{ConsensusProcess, SnapRegister};
+    use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+
+    let n = 2;
+    let procs = vec![ConsensusProcess::new(1u32, n), ConsensusProcess::new(2, n)];
+    let memory =
+        SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
+    let mut exec = Executor::new(procs, memory).unwrap();
+    // p0 performs exactly its first write (announcing (0,1) into r0) plus
+    // one read; p1 then overwrites r0 before reading it and runs solo.
+    exec.step_proc(ProcId(0)).unwrap();
+    exec.step_proc(ProcId(0)).unwrap();
+    exec.run_solo(ProcId(1), 10_000_000).unwrap();
+    let d1 = *exec.first_output(ProcId(1)).expect("p1 decides solo");
+    // Now p0 finishes.
+    exec.run_solo(ProcId(0), 10_000_000).unwrap();
+    let d0 = *exec.first_output(ProcId(0)).expect("p0 decides");
+    assert_eq!(d0, d1, "agreement must survive the covered competitor");
+}

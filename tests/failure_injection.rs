@@ -1,0 +1,124 @@
+//! Failure injection: crashed processors are just slow processors in the
+//! asynchronous model, and the paper's algorithms must cope per their
+//! progress guarantees — wait-freedom (snapshot, renaming) survives any
+//! number of crashes; obstruction-freedom (consensus) benefits from them.
+
+use fa_core::{ConsensusProcess, RenamingProcess, SnapRegister, SnapshotProcess};
+use fa_memory::{
+    CrashingScheduler, Executor, ProcId, RandomScheduler, SharedMemory, Wiring,
+};
+use rand::SeedableRng;
+
+fn wirings(n: usize, seed: u64) -> Vec<Wiring> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| Wiring::random(n, &mut rng)).collect()
+}
+
+#[test]
+fn snapshot_survivors_terminate_despite_crashes() {
+    for seed in 0..8u64 {
+        let n = 5;
+        let procs: Vec<SnapshotProcess<u32>> =
+            (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+        let memory = SharedMemory::new(n, SnapRegister::default(), wirings(n, seed)).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        // p1 crashes after 3 steps (possibly mid-scan, covering a register);
+        // p3 never gets to run at all.
+        let sched = CrashingScheduler::new(
+            RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed)),
+            n,
+        )
+        .crash_after(ProcId(1), 3)
+        .crash_after(ProcId(3), 0);
+        exec.run(sched, 50_000_000).unwrap();
+        // All non-crashed processors terminated with valid snapshots.
+        for p in [0usize, 2, 4] {
+            let out = exec
+                .first_output(ProcId(p))
+                .unwrap_or_else(|| panic!("seed {seed}: survivor p{p} must terminate"));
+            assert!(out.contains(&(p as u32)));
+        }
+        // Outputs of survivors remain pairwise comparable.
+        let outs: Vec<_> =
+            [0usize, 2, 4].iter().map(|&p| exec.first_output(ProcId(p)).unwrap()).collect();
+        for a in &outs {
+            for b in &outs {
+                assert!(a.comparable(b), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn crashed_writer_covering_a_register_does_not_block_renaming() {
+    for seed in 0..8u64 {
+        let n = 4;
+        let procs: Vec<RenamingProcess<u32>> =
+            (0..n as u32).map(|x| RenamingProcess::new(x, n)).collect();
+        let memory = SharedMemory::new(n, SnapRegister::default(), wirings(n, seed + 50)).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        // Crash p0 right after its first write (a poised covering write
+        // that never gets "cleaned up").
+        let sched = CrashingScheduler::new(
+            RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed)),
+            n,
+        )
+        .crash_after(ProcId(0), 1);
+        exec.run(sched, 50_000_000).unwrap();
+        let mut names = Vec::new();
+        for p in 1..n {
+            let name = *exec
+                .first_output(ProcId(p))
+                .unwrap_or_else(|| panic!("seed {seed}: survivor p{p} must rename"));
+            names.push(name);
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n - 1, "seed {seed}: survivors take distinct names");
+        // Adaptive bound counts *participants*: the crashed p0 may have
+        // participated (it wrote), so names fit M(M+1)/2 with M = n.
+        let bound = n * (n + 1) / 2;
+        assert!(names.iter().all(|&x| (1..=bound).contains(&x)), "seed {seed}");
+    }
+}
+
+#[test]
+fn consensus_decides_when_rivals_crash() {
+    // Obstruction-freedom turned on its head: crashes *help* termination by
+    // removing contention. All but p2 crash early; p2 must decide.
+    let n = 4;
+    let procs: Vec<ConsensusProcess<u32>> =
+        (0..n as u32).map(|x| ConsensusProcess::new(10 + x, n)).collect();
+    let memory = SharedMemory::new(n, SnapRegister::default(), wirings(n, 7)).unwrap();
+    let mut exec = Executor::new(procs, memory).unwrap();
+    let sched = CrashingScheduler::new(
+        RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(3)),
+        n,
+    )
+    .crash_after(ProcId(0), 5)
+    .crash_after(ProcId(1), 9)
+    .crash_after(ProcId(3), 2);
+    exec.run(sched, 50_000_000).unwrap();
+    let d = exec.first_output(ProcId(2)).copied().expect("solo survivor decides");
+    assert!((10..14).contains(&d), "decision is a proposed value");
+}
+
+#[test]
+fn wiring_mode_is_exercised_under_crashes_too() {
+    // Cyclic-shift wirings (the covering adversary) plus crashes.
+    let n = 4;
+    let procs: Vec<SnapshotProcess<u32>> =
+        (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+    let wirings: Vec<Wiring> = (0..n).map(|i| Wiring::cyclic_shift(n, i)).collect();
+    let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
+    let mut exec = Executor::new(procs, memory).unwrap();
+    let sched = CrashingScheduler::new(
+        RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(11)),
+        n,
+    )
+    .crash_after(ProcId(3), 2);
+    exec.run(sched, 50_000_000).unwrap();
+    for p in 0..3 {
+        assert!(exec.first_output(ProcId(p)).is_some(), "survivor p{p} terminates");
+    }
+}

@@ -1,0 +1,29 @@
+//! Integration (E1): the Figure 2 execution reproduced end to end.
+
+use fa_core::figure2::{expected_rows, run_figure2, run_figure2_extended};
+use fa_core::View;
+
+#[test]
+fn all_thirteen_rows_reproduce() {
+    let observed = run_figure2().unwrap();
+    let expected = expected_rows();
+    for (o, e) in observed.iter().zip(&expected) {
+        assert_eq!(o.registers, e.registers, "row {}", e.row);
+        assert_eq!(o.views, e.views, "row {}", e.row);
+    }
+}
+
+#[test]
+fn extension_scales_with_cycles() {
+    for cycles in [1usize, 5, 50] {
+        let report = run_figure2_extended(cycles).unwrap();
+        let v12: View<u32> = [1, 2].into_iter().collect();
+        let v13: View<u32> = [1, 3].into_iter().collect();
+        for r in &report.shadow_p_reads {
+            assert_eq!(r, &v12, "cycles={cycles}");
+        }
+        for r in &report.shadow_p_prime_reads {
+            assert_eq!(r, &v13, "cycles={cycles}");
+        }
+    }
+}

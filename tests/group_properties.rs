@@ -1,0 +1,82 @@
+//! Property-based tests for the group-solvability machinery (Definition 3.4).
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use fa_tasks::{
+    check_group_solution, Consensus, GroupAssignment, GroupId, SampleIter, Snapshot, Task,
+};
+
+proptest! {
+    /// With singleton groups, group solvability coincides with plain task
+    /// validity of the unique sample.
+    #[test]
+    fn singleton_groups_reduce_to_plain_checking(
+        decisions in proptest::collection::vec(0usize..4, 2..5),
+    ) {
+        let n = decisions.len();
+        let groups = GroupAssignment::singletons(n);
+        let outputs: Vec<Option<GroupId>> =
+            decisions.iter().map(|&d| Some(GroupId(d % n))).collect();
+        let direct: fa_tasks::OutputAssignment<GroupId> = (0..n)
+            .map(|i| (GroupId(i), GroupId(decisions[i] % n)))
+            .collect();
+        let group_result = check_group_solution(&Consensus, &groups, &outputs).is_ok();
+        let direct_result = Consensus.check(&direct).is_ok();
+        prop_assert_eq!(group_result, direct_result);
+    }
+
+    /// The sample count equals the product of participating group sizes.
+    #[test]
+    fn sample_count_formula(assignment in proptest::collection::vec(0usize..3, 1..8)) {
+        let groups = GroupAssignment::new(assignment.iter().map(|&g| GroupId(g)).collect());
+        let outputs: Vec<Option<usize>> = (0..assignment.len()).map(|i| Some(i)).collect();
+        let iter = SampleIter::new(&groups, &outputs);
+        let expected: usize = {
+            let mut sizes = std::collections::BTreeMap::new();
+            for g in &assignment {
+                *sizes.entry(g).or_insert(0usize) += 1;
+            }
+            sizes.values().product()
+        };
+        prop_assert_eq!(iter.sample_count(), expected);
+        prop_assert_eq!(iter.count(), expected);
+    }
+
+    /// A chain of nested snapshot outputs is always a valid group solution,
+    /// whatever the group structure.
+    #[test]
+    fn nested_chains_always_group_solve_snapshot(
+        group_of in proptest::collection::vec(0usize..3, 2..7),
+        perm_seed in any::<u64>(),
+    ) {
+        let _n = group_of.len();
+        // Build the distinct participating groups and a nested chain over
+        // them: processor outputs are prefixes of the sorted group list.
+        let mut distinct: Vec<usize> = group_of.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        // Assign each processor a chain position (any position whose prefix
+        // includes its own group).
+        let mut rng_state = perm_seed;
+        let mut next = move || {
+            // Tiny xorshift for deterministic pseudo-choices.
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        let outputs: Vec<Option<BTreeSet<GroupId>>> = group_of
+            .iter()
+            .map(|&g| {
+                let my_pos = distinct.iter().position(|&d| d == g).unwrap();
+                // Any prefix length that includes my group.
+                let extra = (next() as usize) % (distinct.len() - my_pos);
+                let len = my_pos + 1 + extra;
+                Some(distinct[..len].iter().map(|&d| GroupId(d)).collect())
+            })
+            .collect();
+        let groups = GroupAssignment::new(group_of.iter().map(|&g| GroupId(g)).collect());
+        prop_assert!(check_group_solution(&Snapshot, &groups, &outputs).is_ok());
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration (E10): group-solvability semantics from Section 3.2.
+
+use std::collections::BTreeSet;
+
+use fa_tasks::{
+    check_group_solution, AdaptiveRenaming, Consensus, GroupAssignment, GroupId,
+    SampleIter, Snapshot,
+};
+
+fn gset(ids: &[usize]) -> BTreeSet<GroupId> {
+    ids.iter().map(|&g| GroupId(g)).collect()
+}
+
+#[test]
+fn papers_example_is_a_legal_group_snapshot() {
+    let groups = GroupAssignment::new(vec![GroupId(0), GroupId(1), GroupId(1), GroupId(2)]);
+    let outputs = vec![
+        Some(gset(&[0, 1, 2])),
+        Some(gset(&[0, 1])),
+        Some(gset(&[1, 2])),
+        Some(gset(&[0, 1, 2])),
+    ];
+    let checked = check_group_solution(&Snapshot, &groups, &outputs).unwrap();
+    assert_eq!(checked, 2, "one sample per member of group B");
+}
+
+#[test]
+fn incomparability_across_groups_is_rejected() {
+    let groups = GroupAssignment::new(vec![GroupId(0), GroupId(1)]);
+    let outputs = vec![Some(gset(&[0])), Some(gset(&[1]))];
+    assert!(check_group_solution(&Snapshot, &groups, &outputs).is_err());
+}
+
+#[test]
+fn group_consensus_requires_agreement_only_across_samples() {
+    // Members of one group disagreeing is fine as long as each sample (one
+    // representative per group) is constant and valid.
+    let groups = GroupAssignment::new(vec![GroupId(0), GroupId(0), GroupId(1)]);
+    // Group 0's members decide differently; but every sample mixes one of
+    // them with group 1's decision.
+    let outputs = vec![Some(GroupId(1)), Some(GroupId(1)), Some(GroupId(1))];
+    assert!(check_group_solution(&Consensus, &groups, &outputs).is_ok());
+
+    let outputs = vec![Some(GroupId(0)), Some(GroupId(1)), Some(GroupId(1))];
+    // Sample picking p0 gives {g0 -> g0, g1 -> g1}: disagreement.
+    assert!(check_group_solution(&Consensus, &groups, &outputs).is_err());
+}
+
+#[test]
+fn renaming_same_group_may_share_names() {
+    let groups = GroupAssignment::new(vec![GroupId(0), GroupId(0), GroupId(1)]);
+    // Both members of group 0 take name 1; group 1 takes 2. Every sample has
+    // distinct names.
+    let outputs = vec![Some(1usize), Some(1), Some(2)];
+    assert!(check_group_solution(&AdaptiveRenaming::quadratic(), &groups, &outputs).is_ok());
+
+    // Cross-group sharing is rejected.
+    let outputs = vec![Some(1usize), Some(3), Some(1)];
+    assert!(check_group_solution(&AdaptiveRenaming::quadratic(), &groups, &outputs).is_err());
+}
+
+#[test]
+fn sample_space_size_is_product_of_group_sizes() {
+    let groups = GroupAssignment::new(vec![
+        GroupId(0),
+        GroupId(0),
+        GroupId(0),
+        GroupId(1),
+        GroupId(1),
+        GroupId(2),
+    ]);
+    let outputs: Vec<Option<usize>> = (0..6).map(|i| Some(i + 1)).collect();
+    let iter = SampleIter::new(&groups, &outputs);
+    assert_eq!(iter.sample_count(), 3 * 2);
+    assert_eq!(iter.count(), 6);
+}
+
+#[test]
+fn partial_participation_checks_only_participants() {
+    let groups = GroupAssignment::new(vec![GroupId(0), GroupId(1), GroupId(2)]);
+    // Only groups 0 and 2 participate; their outputs reference only
+    // participating groups.
+    let outputs = vec![Some(gset(&[0])), None, Some(gset(&[0, 2]))];
+    assert!(check_group_solution(&Snapshot, &groups, &outputs).is_ok());
+
+    // Referencing the absent group 1 is a violation.
+    let outputs = vec![Some(gset(&[0, 1])), None, Some(gset(&[0, 1, 2]))];
+    assert!(check_group_solution(&Snapshot, &groups, &outputs).is_err());
+}

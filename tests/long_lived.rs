@@ -1,0 +1,96 @@
+//! Integration (E11): the long-lived snapshot of Section 7.
+
+use fa_core::{LongLivedSnapshotProcess, SnapRegister, View};
+use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+use rand::SeedableRng;
+
+fn run(
+    inputs: Vec<Vec<u32>>,
+    seed: u64,
+) -> Executor<LongLivedSnapshotProcess<u32>> {
+    let n = inputs.len();
+    let procs: Vec<LongLivedSnapshotProcess<u32>> =
+        inputs.into_iter().map(|is| LongLivedSnapshotProcess::new(is, n)).collect();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xabcd);
+    let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+    let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
+    let mut exec = Executor::new(procs, memory).unwrap();
+    exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(seed), 50_000_000).unwrap();
+    exec
+}
+
+#[test]
+fn section7_guarantees_hold_across_seeds() {
+    for seed in 0..10u64 {
+        let exec = run(vec![vec![1, 10, 100], vec![2, 20], vec![3, 30, 300]], seed);
+        let legal: View<u32> = [1, 10, 100, 2, 20, 3, 30, 300].into_iter().collect();
+        let mut all: Vec<View<u32>> = Vec::new();
+        for p in 0..3 {
+            let outs = exec.outputs(ProcId(p));
+            // One output per invocation.
+            assert_eq!(outs.len(), [3, 2, 3][p]);
+            // Outputs only contain inputs of participating processors.
+            for o in outs {
+                assert!(o.is_subset(&legal), "seed {seed}");
+            }
+            // Each output contains all inputs the processor used so far.
+            let own_inputs: Vec<u32> = match p {
+                0 => vec![1, 10, 100],
+                1 => vec![2, 20],
+                _ => vec![3, 30, 300],
+            };
+            for (k, o) in outs.iter().enumerate() {
+                for used in &own_inputs[..=k] {
+                    assert!(o.contains(used), "seed {seed} p{p} invocation {k}");
+                }
+            }
+            all.extend(outs.iter().cloned());
+        }
+        // Every two outputs, across processors and invocations, comparable.
+        for a in &all {
+            for b in &all {
+                assert!(a.comparable(b), "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn long_lived_is_obstruction_free() {
+    let n = 3;
+    let procs = vec![
+        LongLivedSnapshotProcess::new(vec![1u32, 10, 100, 1000], n),
+        LongLivedSnapshotProcess::new(vec![2], n),
+        LongLivedSnapshotProcess::new(vec![3], n),
+    ];
+    let memory =
+        SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
+    let mut exec = Executor::new(procs, memory).unwrap();
+    // p0 solo completes all four invocations.
+    exec.run_solo(ProcId(0), 10_000_000).unwrap();
+    assert!(exec.is_halted(ProcId(0)));
+    assert_eq!(exec.outputs(ProcId(0)).len(), 4);
+}
+
+#[test]
+fn histories_satisfy_future_work_group_definition() {
+    // The paper's future-work reading (Section 7): each invocation is a
+    // logical processor grouped by its input value. Our long-lived snapshot
+    // histories satisfy it.
+    use fa_tasks::{check_long_lived_group_snapshot, Invocation};
+    for seed in 0..8u64 {
+        let exec = run(vec![vec![1, 10], vec![2, 20], vec![3, 30]], seed);
+        let mut history = Vec::new();
+        for p in 0..3 {
+            let inputs = [[1u32, 10], [2, 20], [3, 30]][p];
+            for (k, out) in exec.outputs(ProcId(p)).iter().enumerate() {
+                history.push(Invocation::new(
+                    inputs[k],
+                    out.iter().copied().collect(),
+                ));
+            }
+        }
+        check_long_lived_group_snapshot(&history)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Integration (E8): the Section 2.1 covering construction.
+
+use fa_core::lower_bound::covering_demo;
+
+#[test]
+fn covering_erases_solo_information_for_all_small_n() {
+    for n in 2..=8 {
+        let report = covering_demo(n).unwrap();
+        assert_eq!(report.registers, n - 1);
+        assert!(report.erased, "n={n}");
+        assert!(report.indistinguishable_to_q, "n={n}");
+        // The solo processor nevertheless terminated with a legal-looking
+        // output — it simply cannot have coordinated with anyone.
+        assert!(report.solo_output.contains(&report.solo_input));
+    }
+}

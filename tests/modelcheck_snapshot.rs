@@ -1,0 +1,184 @@
+//! Integration (E3): native replay of the paper's TLC checks at small scope.
+//! The heavier 3-processor sweep lives in the `check_snapshot` binary.
+
+use fa_memory::Wiring;
+use fa_modelcheck::checks::{
+    check_consensus_safety, check_renaming, check_snapshot_task,
+    check_snapshot_wait_freedom,
+};
+
+#[test]
+fn snapshot_task_exhaustive_n2() {
+    let report = check_snapshot_task(&[1, 2], 2_000_000).unwrap();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.complete);
+    assert_eq!(report.combos, 2);
+}
+
+#[test]
+fn snapshot_task_exhaustive_n2_same_group() {
+    let report = check_snapshot_task(&[9, 9], 2_000_000).unwrap();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.complete);
+}
+
+#[test]
+fn renaming_exhaustive_n2() {
+    let report = check_renaming(&[1, 2], 2_000_000).unwrap();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.complete);
+}
+
+#[test]
+fn consensus_safety_bounded_n2() {
+    let report = check_consensus_safety(&[1, 2], 500_000, 150).unwrap();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}
+
+#[test]
+fn wait_freedom_certificate_n2_all_wirings() {
+    for combo in fa_modelcheck::wirings::combinations_mod_relabeling(2, 2) {
+        let report =
+            check_snapshot_wait_freedom(&[1, 2], combo.clone(), 1_000_000, 200).unwrap();
+        assert!(report.violation.is_none(), "combo {combo:?}: {:?}", report.violation);
+        assert!(report.complete);
+    }
+}
+
+#[test]
+fn snapshot_task_one_adversarial_combo_n3_bounded_fine_grain() {
+    // One fixed 3-processor wiring combo at per-read granularity. The full
+    // fine-grained space exceeds laptop-scale exhaustion, so this run is
+    // bounded: no violation within the explored prefix. The *complete*
+    // 3-processor sweep runs at the paper's own TLC granularity (whole
+    // scans atomic) — see `snapshot_task_coarse_n3_one_combo` and the
+    // check_snapshot binary.
+    use fa_core::SnapshotProcess;
+    use fa_modelcheck::Explorer;
+
+    let inputs = [1u32, 2, 3];
+    let wirings = vec![
+        Wiring::from_perm(vec![1, 2, 0]).unwrap(),
+        Wiring::identity(3),
+        Wiring::identity(3),
+    ];
+    let procs: Vec<SnapshotProcess<u32>> =
+        inputs.iter().map(|&x| SnapshotProcess::new(x, 3)).collect();
+    // Debug builds explore ~20× slower; scale the bounded budget so plain
+    // `cargo test` stays snappy while `--release` covers more.
+    let budget = if cfg!(debug_assertions) { 40_000 } else { 300_000 };
+    let explorer = Explorer::new(procs, 3, Default::default(), wirings)
+        .with_max_states(budget);
+    let report = explorer.run(|state| {
+        let outputs = state.first_outputs();
+        for (i, o) in outputs.iter().enumerate() {
+            let Some(v) = o else { continue };
+            if !v.contains(&inputs[i]) {
+                return Err(format!("p{i} output misses own input"));
+            }
+            for w in outputs.iter().flatten() {
+                if !v.comparable(w) {
+                    return Err("incomparable outputs".to_string());
+                }
+            }
+        }
+        Ok(())
+    });
+    assert!(report.violation.is_none(), "{:?}", report.violation.map(|v| v.message));
+    assert!(report.states >= budget, "expected to fill the bounded budget");
+}
+
+#[test]
+fn snapshot_task_coarse_n3_one_combo_bounded() {
+    // The paper's TLC granularity (scan blocks atomic): one combo, bounded
+    // at 1.5M states (the full space needs server-scale state storage like
+    // the authors' TLC run; no violation anywhere in the explored space).
+    use fa_core::SnapshotProcess;
+    use fa_modelcheck::Explorer;
+
+    let inputs = [1u32, 2, 3];
+    let wirings = vec![
+        Wiring::from_perm(vec![1, 2, 0]).unwrap(),
+        Wiring::identity(3),
+        Wiring::identity(3),
+    ];
+    let procs: Vec<SnapshotProcess<u32>> =
+        inputs.iter().map(|&x| SnapshotProcess::new(x, 3)).collect();
+    let coarse_budget = if cfg!(debug_assertions) { 60_000 } else { 1_500_000 };
+    let explorer = Explorer::new(procs, 3, Default::default(), wirings)
+        .with_coarse_scans()
+        .with_max_states(coarse_budget);
+    let report = explorer.run(|state| {
+        let outputs = state.first_outputs();
+        for (i, o) in outputs.iter().enumerate() {
+            let Some(v) = o else { continue };
+            if !v.contains(&inputs[i]) {
+                return Err(format!("p{i} output misses own input"));
+            }
+            for w in outputs.iter().flatten() {
+                if !v.comparable(w) {
+                    return Err("incomparable outputs".to_string());
+                }
+            }
+        }
+        Ok(())
+    });
+    assert!(report.violation.is_none(), "{:?}", report.violation.map(|v| v.message));
+    assert!(report.states >= coarse_budget, "expected to fill the bounded budget");
+}
+
+#[test]
+fn snapshot_algorithm_does_not_solve_immediate_snapshot() {
+    // Section 9: immediate snapshot is not group-solvable under processor
+    // anonymity (Gafni 2004), hence not in the fully-anonymous model. As a
+    // concrete data point, the paper's snapshot algorithm violates the
+    // *immediacy* condition (`b ∈ o[a]` implies `o[b] ⊆ o[a]`) in a
+    // reachable execution, constructed deterministically below:
+    // p0 outputs {1,2}; later p1 (whose group is in p0's output) absorbs
+    // p2's 3 and outputs {1,2,3} ⊄ {1,2}. The outputs still form a valid
+    // *group snapshot* (a chain) — immediacy is the extra condition that
+    // fails.
+    use fa_core::{SnapshotProcess, View};
+    use fa_memory::{Executor, ProcId, SharedMemory};
+    use fa_tasks::{GroupId, ImmediateSnapshot, Snapshot, Task};
+    use std::collections::BTreeMap;
+
+    let n = 3;
+    let wirings = vec![
+        Wiring::cyclic_shift(3, 1), // p0 writes r1, r2, r0, …
+        Wiring::identity(3),        // p1 writes r0, r1, r2, …
+        Wiring::identity(3),
+    ];
+    let procs: Vec<SnapshotProcess<u32>> =
+        [1u32, 2, 3].iter().map(|&x| SnapshotProcess::new(x, n)).collect();
+    let memory = SharedMemory::new(n, Default::default(), wirings).unwrap();
+    let mut exec = Executor::new(procs, memory).unwrap();
+
+    // p1 announces {2} into r0; p0 then runs solo: its first write targets
+    // r1, so it reads {2} before ever covering r0, and terminates with
+    // output exactly {1,2}.
+    exec.step_proc(ProcId(1)).unwrap();
+    exec.run_solo(ProcId(0), 1_000_000).unwrap();
+    assert_eq!(
+        exec.first_output(ProcId(0)),
+        Some(&[1u32, 2].into_iter().collect::<View<u32>>())
+    );
+    // p2 runs solo (absorbing {1,2}, adding 3), then p1 finishes.
+    exec.run_solo(ProcId(2), 1_000_000).unwrap();
+    exec.run_solo(ProcId(1), 1_000_000).unwrap();
+    let outputs: Vec<View<u32>> =
+        (0..n).map(|i| exec.first_output(ProcId(i)).unwrap().clone()).collect();
+
+    let assignment: BTreeMap<GroupId, std::collections::BTreeSet<GroupId>> = outputs
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            (GroupId(i), o.iter().map(|&v| GroupId(v as usize - 1)).collect())
+        })
+        .collect();
+    // A valid snapshot-task solution…
+    Snapshot.check(&assignment).expect("the outputs form a chain");
+    // …that is not an immediate snapshot.
+    let err = ImmediateSnapshot.check(&assignment).unwrap_err();
+    assert!(err.to_string().contains("immediacy"), "{err}");
+}

@@ -1,0 +1,12 @@
+//! Integration (E5): the snapshot-task solution is not an atomic memory
+//! snapshot — witness search and replay.
+
+use fa_modelcheck::atomicity::{find_non_atomic_snapshot, verify_witness};
+
+#[test]
+fn three_processor_non_atomicity_witness_exists_and_replays() {
+    let inputs = [1u32, 2, 3];
+    let w = find_non_atomic_snapshot(&inputs, 5_000_000).expect("witness exists");
+    assert!(verify_witness(&inputs, &w));
+    assert!(!w.memory_sets_seen.contains(&w.output));
+}

@@ -1,0 +1,117 @@
+//! Randomized path invariants: properties the model checker proves
+//! exhaustively at small scope, re-checked here on random walks at larger
+//! scope (n up to 6), at every step of the execution.
+
+use fa_core::{SnapRegister, SnapshotProcess, View};
+use fa_memory::{
+    Executor, ProcId, RandomScheduler, Scheduler, SharedMemory, Wiring,
+};
+use rand::SeedableRng;
+
+fn snapshot_exec(n: usize, seed: u64) -> Executor<SnapshotProcess<u32>> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xfeed);
+    let procs: Vec<SnapshotProcess<u32>> =
+        (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+    let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+    let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
+    Executor::new(procs, memory).unwrap()
+}
+
+#[test]
+fn outputs_comparable_at_every_step_of_random_walks() {
+    for n in 2..=6usize {
+        for seed in 0..6u64 {
+            let mut exec = snapshot_exec(n, seed);
+            let mut sched =
+                RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+            let mut outputs: Vec<Option<View<u32>>> = vec![None; n];
+            for _ in 0..10_000_000usize {
+                if exec.all_halted() {
+                    break;
+                }
+                let live = exec.live_procs();
+                let p = sched.next(&live).unwrap();
+                exec.step_proc(p).unwrap();
+                if outputs[p.0].is_none() {
+                    outputs[p.0] = exec.first_output(p).cloned();
+                    // New output: must be comparable with all previous ones
+                    // and contain the writer's input.
+                    if let Some(v) = &outputs[p.0] {
+                        assert!(v.contains(&(p.0 as u32)), "n={n} seed={seed}");
+                        for o in outputs.iter().flatten() {
+                            assert!(v.comparable(o), "n={n} seed={seed}");
+                        }
+                    }
+                }
+            }
+            assert!(exec.all_halted(), "n={n} seed={seed}: wait-freedom");
+        }
+    }
+}
+
+#[test]
+fn views_and_levels_evolve_legally_along_paths() {
+    // Views never shrink; level jumps are only +1-from-min or reset-to-0;
+    // a processor's level never exceeds n.
+    for seed in 0..5u64 {
+        let n = 4;
+        let mut exec = snapshot_exec(n, seed);
+        let mut sched = RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+        let mut last: Vec<(View<u32>, usize)> = (0..n)
+            .map(|i| {
+                let p = exec.process(ProcId(i));
+                (p.view().clone(), p.level())
+            })
+            .collect();
+        for _ in 0..5_000_000usize {
+            if exec.all_halted() {
+                break;
+            }
+            let live = exec.live_procs();
+            let p = sched.next(&live).unwrap();
+            exec.step_proc(p).unwrap();
+            let proc = exec.process(p);
+            let (old_view, old_level) = &last[p.0];
+            assert!(old_view.is_subset(proc.view()), "seed {seed}: view shrank");
+            assert!(proc.level() <= n, "seed {seed}: level above n");
+            // Legal level moves: unchanged, reset to 0, or any rise (the
+            // min-read+1 rule can jump by more than 1 when reading higher
+            // levels).
+            let l = proc.level();
+            assert!(
+                l == *old_level || l == 0 || l > *old_level,
+                "seed {seed}: level moved {old_level} -> {l} illegally"
+            );
+            last[p.0] = (proc.view().clone(), l);
+        }
+    }
+}
+
+#[test]
+fn executor_is_deterministic_under_a_seed() {
+    // Same configuration + same seed => bit-identical traces.
+    let run = |seed: u64| {
+        let mut exec = snapshot_exec(4, seed);
+        exec.record_trace(true);
+        exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(seed), 10_000_000)
+            .unwrap();
+        exec.trace().unwrap().clone()
+    };
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11), run(12), "different seeds should diverge");
+}
+
+#[test]
+fn replayed_counterexample_schedules_are_reproducible() {
+    // Record a random run, replay its schedule, compare everything.
+    let mut exec = snapshot_exec(3, 77);
+    exec.record_trace(true);
+    exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(77), 10_000_000).unwrap();
+    let trace = exec.trace().unwrap().clone();
+
+    let mut exec2 = snapshot_exec(3, 77);
+    exec2.record_trace(true);
+    exec2.run(fa_memory::replay::schedule_of(&trace), 10_000_000).unwrap();
+    assert_eq!(&trace, exec2.trace().unwrap());
+    assert_eq!(exec.first_outputs(), exec2.first_outputs());
+}

@@ -1,0 +1,131 @@
+//! Integration (E6): adaptive renaming end to end.
+
+use std::collections::BTreeSet;
+
+use fa_core::runner::{run_renaming_random, WiringMode};
+
+#[test]
+fn names_respect_group_bound_across_scenarios() {
+    for n in 2..=6usize {
+        for seed in 0..6u64 {
+            let inputs: Vec<u32> = (0..n as u32).collect();
+            let names =
+                run_renaming_random(&inputs, seed, &WiringMode::Random, 100_000_000).unwrap();
+            let bound = n * (n + 1) / 2;
+            let distinct: BTreeSet<usize> = names.iter().copied().collect();
+            assert_eq!(distinct.len(), n, "n={n} seed={seed}: collision");
+            assert!(names.iter().all(|&x| (1..=bound).contains(&x)), "n={n} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn adaptivity_bound_depends_on_groups_not_n() {
+    // 6 processors but only 2 distinct inputs: names must fit 2·3/2 = 3.
+    for seed in 0..8u64 {
+        let inputs = vec![7u32, 7, 7, 9, 9, 9];
+        let names =
+            run_renaming_random(&inputs, seed, &WiringMode::Random, 100_000_000).unwrap();
+        for (i, &a) in names.iter().enumerate() {
+            assert!((1..=3).contains(&a), "seed={seed}: name {a} exceeds group bound");
+            for (j, &b) in names.iter().enumerate() {
+                if inputs[i] != inputs[j] {
+                    assert_ne!(a, b, "seed={seed}: cross-group collision");
+                }
+            }
+        }
+    }
+}
+
+mod name_rule_properties {
+    //! The Section 6 subtlety as executable lemmas: Bar-Noy–Dolev names
+    //! derived from *group* snapshots never collide across groups, because
+    //! (a) snapshots of different sizes get disjoint name ranges and
+    //! (b) equal-size snapshots from different groups must be equal, where
+    //! different inputs get different ranks.
+
+    use fa_core::{RenamingProcess, View};
+    use proptest::prelude::*;
+
+    /// Builds a legal family of group-snapshot outputs: a nested chain of
+    /// sets over the participating groups, where each participant's set is a
+    /// chain element containing its own group.
+    fn chain_outputs(
+        group_of: &[usize],
+        positions: &[usize],
+    ) -> Option<Vec<(usize, View<u32>)>> {
+        let mut distinct: Vec<usize> = group_of.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut out = Vec::new();
+        for (i, &g) in group_of.iter().enumerate() {
+            let my_pos = distinct.iter().position(|&d| d == g)?;
+            let len = (my_pos + 1 + positions[i] % (distinct.len() - my_pos)).min(distinct.len());
+            let set: View<u32> = distinct[..len].iter().map(|&d| d as u32).collect();
+            out.push((g, set));
+        }
+        Some(out)
+    }
+
+    proptest! {
+        #[test]
+        fn names_from_chain_snapshots_never_collide_across_groups(
+            group_of in proptest::collection::vec(0usize..4, 2..8),
+            positions in proptest::collection::vec(0usize..4, 8),
+        ) {
+            let outputs = chain_outputs(&group_of, &positions).unwrap();
+            let names: Vec<(usize, usize)> = outputs
+                .iter()
+                .map(|(g, set)| {
+                    (*g, RenamingProcess::name_for(set, &(*g as u32)).unwrap())
+                })
+                .collect();
+            for (i, (ga, na)) in names.iter().enumerate() {
+                for (gb, nb) in &names[i + 1..] {
+                    if ga != gb {
+                        prop_assert_ne!(na, nb, "cross-group name collision");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn incomparable_same_group_snapshots_reserve_disjoint_ranges(
+            shared in proptest::collection::btree_set(0u32..6, 1..4),
+            a_extra in 10u32..13,
+            b_extra in 20u32..23,
+        ) {
+            // Two same-group snapshots S∪{a}, S∪{b} are incomparable; any
+            // other group's snapshot is either ⊆ S (smaller) or ⊇ S∪{a,b}
+            // (larger). Name ranges: sizes |S|+1 vs ≤|S| or ≥|S|+2 — the
+            // "reserved" size |S|+1 belongs to the group alone, so no
+            // cross-group collision is possible.
+            let s: View<u32> = shared.iter().copied().collect();
+            let mut sa = s.clone();
+            sa.insert(a_extra);
+            let mut sb = s.clone();
+            sb.insert(b_extra);
+            prop_assert!(!sa.comparable(&sb));
+            let z = sa.len();
+            // All names from size-z snapshots live in ((z-1)z/2, z(z+1)/2].
+            let lo = (z - 1) * z / 2;
+            let hi = z * (z + 1) / 2;
+            for set in [&sa, &sb] {
+                for v in set.iter() {
+                    let name = RenamingProcess::name_for(set, v).unwrap();
+                    prop_assert!(name > lo && name <= hi);
+                }
+            }
+            // A smaller other-group snapshot (⊆ S) gets names ≤ lo.
+            if !s.is_empty() {
+                let name = RenamingProcess::name_for(&s, s.iter().next().unwrap()).unwrap();
+                prop_assert!(name <= lo);
+            }
+            // A larger one (⊇ S ∪ {a,b}) gets names > hi.
+            let mut big = sa.clone();
+            big.union_with(&sb);
+            let name = RenamingProcess::name_for(&big, big.iter().next().unwrap()).unwrap();
+            prop_assert!(name > hi);
+        }
+    }
+}

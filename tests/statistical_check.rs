@@ -1,0 +1,75 @@
+//! Statistical model checking at scopes beyond exhaustive reach: random
+//! walks over the exact transition system for n = 4 and 5.
+
+use fa_modelcheck::simulate::random_walks;
+use fa_core::SnapshotProcess;
+use fa_memory::Wiring;
+use rand::SeedableRng;
+
+#[test]
+fn snapshot_walks_hold_at_n5_with_random_wirings() {
+    let n = 5;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1234);
+    let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+    let inputs: Vec<u32> = (0..n as u32).collect();
+    let report = random_walks(
+        || inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect::<Vec<_>>(),
+        n,
+        Default::default(),
+        &wirings,
+        if cfg!(debug_assertions) { 15 } else { 60 },
+        60_000,
+        99,
+        |state| {
+            let outs = state.first_outputs();
+            for (i, a) in outs.iter().enumerate() {
+                let Some(a) = a else { continue };
+                if !a.contains(&(i as u32)) {
+                    return Err(format!("p{i} output misses own input"));
+                }
+                for b in outs.iter().flatten() {
+                    if !a.comparable(b) {
+                        return Err("incomparable outputs".into());
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.completed_walks > 0);
+}
+
+#[test]
+fn renaming_walks_hold_at_n4() {
+    use fa_core::RenamingProcess;
+    let n = 4;
+    let wirings: Vec<Wiring> = (0..n).map(|i| Wiring::cyclic_shift(n, i)).collect();
+    let inputs: Vec<u32> = (0..n as u32).collect();
+    let bound = n * (n + 1) / 2;
+    let report = random_walks(
+        || inputs.iter().map(|&x| RenamingProcess::new(x, n)).collect::<Vec<_>>(),
+        n,
+        Default::default(),
+        &wirings,
+        if cfg!(debug_assertions) { 20 } else { 80 },
+        60_000,
+        5,
+        |state| {
+            let outs = state.first_outputs();
+            for (i, a) in outs.iter().enumerate() {
+                let Some(&a) = a.as_ref() else { continue };
+                if a == 0 || a > bound {
+                    return Err(format!("name {a} out of range"));
+                }
+                for (j, b) in outs.iter().enumerate() {
+                    if i != j && Some(&a) == b.as_ref() {
+                        return Err(format!("name collision on {a}"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}

@@ -1,0 +1,50 @@
+//! Integration (E12): the algorithms on OS threads and lock-protected
+//! (atomic) registers.
+
+use fa_core::{RenamingProcess, SnapRegister, SnapshotProcess, View};
+use fa_memory::threaded::run_threaded;
+use fa_memory::Wiring;
+use rand::SeedableRng;
+
+#[test]
+fn threaded_snapshot_solves_the_task() {
+    for seed in 0..5u64 {
+        let n = 4;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let procs: Vec<SnapshotProcess<u32>> =
+            (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+        let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+        let report =
+            run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000).unwrap();
+        assert!(report.all_halted, "seed {seed}: wait-free even on real threads");
+        let views: Vec<&View<u32>> =
+            report.outputs.iter().map(|os| &os[0]).collect();
+        for (i, v) in views.iter().enumerate() {
+            assert!(v.contains(&(i as u32)), "seed {seed}");
+            for w in &views {
+                assert!(v.comparable(w), "seed {seed}: {v} vs {w}");
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_renaming_names_are_valid() {
+    for seed in 0..5u64 {
+        let n = 4;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed + 100);
+        let procs: Vec<RenamingProcess<u32>> =
+            (0..n as u32).map(|x| RenamingProcess::new(x, n)).collect();
+        let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+        let report =
+            run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000).unwrap();
+        assert!(report.all_halted);
+        let names: Vec<usize> = report.outputs.iter().map(|os| os[0]).collect();
+        let bound = n * (n + 1) / 2;
+        let mut seen = std::collections::BTreeSet::new();
+        for name in names {
+            assert!((1..=bound).contains(&name), "seed {seed}");
+            assert!(seen.insert(name), "seed {seed}: distinct inputs share a name");
+        }
+    }
+}
