@@ -32,7 +32,10 @@ pub struct DoubleCollectProcess<V: Ord> {
 enum Phase<V: Ord> {
     Write,
     AwaitWrote,
-    Scanning { next: usize, collected: Vec<View<V>> },
+    Scanning {
+        next: usize,
+        collected: Vec<View<V>>,
+    },
     Done,
 }
 
@@ -75,21 +78,37 @@ impl<V: Ord + Clone> Process for DoubleCollectProcess<V> {
                 let local = LocalRegId(self.write_idx);
                 self.write_idx = (self.write_idx + 1) % self.m;
                 self.phase = Phase::AwaitWrote;
-                Action::Write { local, value: self.view.clone() }
+                Action::Write {
+                    local,
+                    value: self.view.clone(),
+                }
             }
             Phase::AwaitWrote => {
                 debug_assert!(matches!(input, StepInput::Wrote));
-                self.phase = Phase::Scanning { next: 1, collected: Vec::with_capacity(self.m) };
-                Action::Read { local: LocalRegId(0) }
+                self.phase = Phase::Scanning {
+                    next: 1,
+                    collected: Vec::with_capacity(self.m),
+                };
+                Action::Read {
+                    local: LocalRegId(0),
+                }
             }
-            Phase::Scanning { next, mut collected } => {
+            Phase::Scanning {
+                next,
+                mut collected,
+            } => {
                 let StepInput::ReadValue(v) = input else {
                     panic!("double collect expected a read value during scan");
                 };
                 collected.push(v);
                 if next < self.m {
-                    self.phase = Phase::Scanning { next: next + 1, collected };
-                    return Action::Read { local: LocalRegId(next) };
+                    self.phase = Phase::Scanning {
+                        next: next + 1,
+                        collected,
+                    };
+                    return Action::Read {
+                        local: LocalRegId(next),
+                    };
                 }
                 // Scan complete: absorb, then compare with the previous scan.
                 for reg in &collected {
@@ -105,7 +124,10 @@ impl<V: Ord + Clone> Process for DoubleCollectProcess<V> {
                 let local = LocalRegId(self.write_idx);
                 self.write_idx = (self.write_idx + 1) % self.m;
                 self.phase = Phase::AwaitWrote;
-                Action::Write { local, value: self.view.clone() }
+                Action::Write {
+                    local,
+                    value: self.view.clone(),
+                }
             }
             Phase::Done => Action::Halt,
         }
@@ -125,9 +147,11 @@ mod tests {
     #[test]
     fn terminates_under_round_robin_two_procs() {
         let n = 2;
-        let procs = vec![DoubleCollectProcess::new(1u32, n), DoubleCollectProcess::new(2, n)];
-        let memory =
-            SharedMemory::new(n, View::new(), vec![Wiring::identity(n); n]).unwrap();
+        let procs = vec![
+            DoubleCollectProcess::new(1u32, n),
+            DoubleCollectProcess::new(2, n),
+        ];
+        let memory = SharedMemory::new(n, View::new(), vec![Wiring::identity(n); n]).unwrap();
         let mut exec = Executor::new(procs, memory).unwrap();
         exec.run_round_robin(100_000).unwrap();
         for i in 0..n {
@@ -138,10 +162,10 @@ mod tests {
     #[test]
     fn solo_run_outputs_own_input() {
         let n = 3;
-        let procs: Vec<DoubleCollectProcess<u32>> =
-            (0..n).map(|i| DoubleCollectProcess::new(i as u32 + 1, n)).collect();
-        let memory =
-            SharedMemory::new(n, View::new(), vec![Wiring::identity(n); n]).unwrap();
+        let procs: Vec<DoubleCollectProcess<u32>> = (0..n)
+            .map(|i| DoubleCollectProcess::new(i as u32 + 1, n))
+            .collect();
+        let memory = SharedMemory::new(n, View::new(), vec![Wiring::identity(n); n]).unwrap();
         let mut exec = Executor::new(procs, memory).unwrap();
         exec.run_solo(ProcId(0), 100_000).unwrap();
         assert_eq!(exec.first_output(ProcId(0)), Some(&v(&[1])));
@@ -155,18 +179,22 @@ mod tests {
         // it (next test).
         for seed in 0..10 {
             let n = 3;
-            let procs: Vec<DoubleCollectProcess<u32>> =
-                (0..n).map(|i| DoubleCollectProcess::new(i as u32 + 1, n)).collect();
+            let procs: Vec<DoubleCollectProcess<u32>> = (0..n)
+                .map(|i| DoubleCollectProcess::new(i as u32 + 1, n))
+                .collect();
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
             let memory = SharedMemory::new(n, View::new(), wirings).unwrap();
             let mut exec = Executor::new(procs, memory).unwrap();
-            let outcome = exec.run(fa_memory::RandomScheduler::new(rng), 1_000_000).unwrap();
+            let outcome = exec
+                .run(fa_memory::RandomScheduler::new(rng), 1_000_000)
+                .unwrap();
             if !outcome.all_halted {
                 continue; // double collect may livelock; that's fine here
             }
-            let views: Vec<View<u32>> =
-                (0..n).map(|i| exec.first_output(ProcId(i)).unwrap().clone()).collect();
+            let views: Vec<View<u32>> = (0..n)
+                .map(|i| exec.first_output(ProcId(i)).unwrap().clone())
+                .collect();
             for a in &views {
                 for b in &views {
                     assert!(a.comparable(b), "seed {seed}");

@@ -17,9 +17,7 @@ use fa_memory::{Action, LocalRegId, Process, StepInput};
 use serde::{Deserialize, Serialize};
 
 /// Contents of a single-writer register: unwritten, or the owner's value.
-#[derive(
-    Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SwmrRegister<V> {
     /// The value written by the owner, if any.
     pub value: Option<V>,
@@ -42,7 +40,10 @@ pub struct SwmrSnapshotProcess<V: Ord> {
 enum Phase<V> {
     WriteOwn,
     AwaitWrote,
-    Scanning { next: usize, collected: Vec<SwmrRegister<V>> },
+    Scanning {
+        next: usize,
+        collected: Vec<SwmrRegister<V>>,
+    },
     Done,
 }
 
@@ -81,36 +82,55 @@ impl<V: Ord + Clone> Process for SwmrSnapshotProcess<V> {
                 self.phase = Phase::AwaitWrote;
                 Action::Write {
                     local: LocalRegId(self.me),
-                    value: SwmrRegister { value: Some(self.input.clone()) },
+                    value: SwmrRegister {
+                        value: Some(self.input.clone()),
+                    },
                 }
             }
             Phase::AwaitWrote => {
                 debug_assert!(matches!(input, StepInput::Wrote));
-                self.phase = Phase::Scanning { next: 1, collected: Vec::with_capacity(self.m) };
-                Action::Read { local: LocalRegId(0) }
+                self.phase = Phase::Scanning {
+                    next: 1,
+                    collected: Vec::with_capacity(self.m),
+                };
+                Action::Read {
+                    local: LocalRegId(0),
+                }
             }
-            Phase::Scanning { next, mut collected } => {
+            Phase::Scanning {
+                next,
+                mut collected,
+            } => {
                 let StepInput::ReadValue(v) = input else {
                     panic!("swmr snapshot expected a read value during scan");
                 };
                 collected.push(v);
                 if next < self.m {
-                    self.phase = Phase::Scanning { next: next + 1, collected };
-                    return Action::Read { local: LocalRegId(next) };
+                    self.phase = Phase::Scanning {
+                        next: next + 1,
+                        collected,
+                    };
+                    return Action::Read {
+                        local: LocalRegId(next),
+                    };
                 }
                 let stable = self.prev_collect.as_ref() == Some(&collected);
                 if stable {
                     self.output_emitted = true;
                     self.phase = Phase::Done;
-                    let view: View<V> =
-                        collected.into_iter().filter_map(|r| r.value).collect();
+                    let view: View<V> = collected.into_iter().filter_map(|r| r.value).collect();
                     return Action::Output(view);
                 }
                 self.prev_collect = Some(collected);
                 // Start the next collect immediately (no re-write needed:
                 // the own register is write-once).
-                self.phase = Phase::Scanning { next: 1, collected: Vec::with_capacity(self.m) };
-                Action::Read { local: LocalRegId(0) }
+                self.phase = Phase::Scanning {
+                    next: 1,
+                    collected: Vec::with_capacity(self.m),
+                };
+                Action::Read {
+                    local: LocalRegId(0),
+                }
             }
             Phase::Done => Action::Halt,
         }
@@ -124,8 +144,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn system(n: usize) -> Executor<SwmrSnapshotProcess<u32>> {
-        let procs: Vec<SwmrSnapshotProcess<u32>> =
-            (0..n).map(|i| SwmrSnapshotProcess::new(i, 10 + i as u32, n)).collect();
+        let procs: Vec<SwmrSnapshotProcess<u32>> = (0..n)
+            .map(|i| SwmrSnapshotProcess::new(i, 10 + i as u32, n))
+            .collect();
         let mut memory = SharedMemory::named(n, n, SwmrRegister::default()).unwrap();
         memory.set_owners((0..n).map(ProcId).collect()).unwrap();
         Executor::new(procs, memory).unwrap()
@@ -138,10 +159,14 @@ mod tests {
             let mut exec = system(n);
             exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(seed), 1_000_000)
                 .unwrap();
-            let views: Vec<View<u32>> =
-                (0..n).map(|i| exec.first_output(ProcId(i)).unwrap().clone()).collect();
+            let views: Vec<View<u32>> = (0..n)
+                .map(|i| exec.first_output(ProcId(i)).unwrap().clone())
+                .collect();
             for (i, a) in views.iter().enumerate() {
-                assert!(a.contains(&(10 + i as u32)), "seed {seed}: own value present");
+                assert!(
+                    a.contains(&(10 + i as u32)),
+                    "seed {seed}: own value present"
+                );
                 for b in &views {
                     assert!(a.comparable(b), "seed {seed}: outputs comparable");
                 }
@@ -160,8 +185,10 @@ mod tests {
     fn single_writer_protection_is_active() {
         // A buggy "anonymous" process writing register 0 regardless of
         // identity trips the memory's owner check.
-        let procs: Vec<SwmrSnapshotProcess<u32>> =
-            vec![SwmrSnapshotProcess::new(0, 1, 2), SwmrSnapshotProcess::new(0, 2, 2)];
+        let procs: Vec<SwmrSnapshotProcess<u32>> = vec![
+            SwmrSnapshotProcess::new(0, 1, 2),
+            SwmrSnapshotProcess::new(0, 2, 2),
+        ];
         let mut memory = SharedMemory::named(2, 2, SwmrRegister::default()).unwrap();
         memory.set_owners(vec![ProcId(0), ProcId(1)]).unwrap();
         let mut exec = Executor::new(procs, memory).unwrap();
@@ -182,14 +209,11 @@ mod tests {
         // The algorithm itself never writes a register it does not own; the
         // owner map is belt and braces.
         let n = 3;
-        let procs: Vec<SwmrSnapshotProcess<u32>> =
-            (0..n).map(|i| SwmrSnapshotProcess::new(i, i as u32, n)).collect();
-        let memory = SharedMemory::new(
-            n,
-            SwmrRegister::default(),
-            vec![Wiring::identity(n); n],
-        )
-        .unwrap();
+        let procs: Vec<SwmrSnapshotProcess<u32>> = (0..n)
+            .map(|i| SwmrSnapshotProcess::new(i, i as u32, n))
+            .collect();
+        let memory =
+            SharedMemory::new(n, SwmrRegister::default(), vec![Wiring::identity(n); n]).unwrap();
         let mut exec = Executor::new(procs, memory).unwrap();
         exec.run_round_robin(1_000_000).unwrap();
         for i in 0..n {

@@ -18,8 +18,7 @@
 //! completed one.
 
 use fa_memory::{
-    Action, Executor, LocalRegId, MemoryError, ProcId, Process, SharedMemory, StepInput,
-    Wiring,
+    Action, Executor, LocalRegId, MemoryError, ProcId, Process, SharedMemory, StepInput, Wiring,
 };
 
 /// A processor performing `count` weak-counter `get` operations on an array
@@ -39,9 +38,13 @@ pub struct WeakCounterProcess {
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 enum Phase {
     /// Walking the array: next local position to examine.
-    Walk { pos: usize },
+    Walk {
+        pos: usize,
+    },
     /// Found an unset register at `pos`; the set-write is in flight.
-    Claiming { pos: usize },
+    Claiming {
+        pos: usize,
+    },
     /// The output action for position `pos` is in flight.
     Outputting,
     Done,
@@ -57,7 +60,11 @@ impl WeakCounterProcess {
     pub fn new(m: usize, count: usize) -> Self {
         assert!(m > 0, "the model requires at least one register");
         assert!(count > 0, "at least one get required");
-        WeakCounterProcess { m, remaining: count, phase: Phase::Walk { pos: 0 } }
+        WeakCounterProcess {
+            m,
+            remaining: count,
+            phase: Phase::Walk { pos: 0 },
+        }
     }
 }
 
@@ -76,19 +83,26 @@ impl Process for WeakCounterProcess {
                         // counter is exhausted.)
                         assert!(pos + 1 < self.m, "weak counter exhausted");
                         self.phase = Phase::Walk { pos: pos + 1 };
-                        Action::Read { local: LocalRegId(pos + 1) }
+                        Action::Read {
+                            local: LocalRegId(pos + 1),
+                        }
                     }
                     StepInput::ReadValue(false) => {
                         // First unset register found: claim it.
                         self.phase = Phase::Claiming { pos };
-                        Action::Write { local: LocalRegId(pos), value: true }
+                        Action::Write {
+                            local: LocalRegId(pos),
+                            value: true,
+                        }
                     }
                     StepInput::Start | StepInput::OutputRecorded => {
                         // Begin (or begin the next get): read position 0...
                         // or continue from `pos` — a fresh get restarts the
                         // walk from 0 per the construction.
                         self.phase = Phase::Walk { pos };
-                        Action::Read { local: LocalRegId(pos) }
+                        Action::Read {
+                            local: LocalRegId(pos),
+                        }
                     }
                     StepInput::Wrote => unreachable!("walk expects read results"),
                 }
@@ -107,7 +121,9 @@ impl Process for WeakCounterProcess {
                 } else {
                     // Next get restarts the walk from position 0.
                     self.phase = Phase::Walk { pos: 0 };
-                    Action::Read { local: LocalRegId(0) }
+                    Action::Read {
+                        local: LocalRegId(0),
+                    }
                 }
             }
             Phase::Done => Action::Halt,
@@ -139,10 +155,12 @@ pub fn named_memory_demo(m: usize) -> Result<WeakCounterReport, MemoryError> {
     let mut exec = Executor::new(procs, memory)?;
     exec.run_solo(ProcId(0), 10_000)?; // g1 completes
     exec.run_solo(ProcId(1), 10_000)?; // then g2 runs
-    let positions: Vec<Vec<usize>> =
-        (0..2).map(|i| exec.outputs(ProcId(i)).to_vec()).collect();
+    let positions: Vec<Vec<usize>> = (0..2).map(|i| exec.outputs(ProcId(i)).to_vec()).collect();
     let strictly_increasing = positions[1][0] > positions[0][0];
-    Ok(WeakCounterReport { positions, strictly_increasing })
+    Ok(WeakCounterReport {
+        positions,
+        strictly_increasing,
+    })
 }
 
 /// Runs the same two sequential `get`s on *anonymous* memory with cyclically
@@ -170,10 +188,12 @@ pub fn anonymous_memory_violation(m: usize) -> Result<WeakCounterReport, MemoryE
     // ground-truth register 0, still unset — p0 claims it and also returns
     // position 0. Two sequential gets, identical "timestamps".
     exec.run_solo(ProcId(0), 10_000)?;
-    let positions: Vec<Vec<usize>> =
-        (0..2).map(|i| exec.outputs(ProcId(i)).to_vec()).collect();
+    let positions: Vec<Vec<usize>> = (0..2).map(|i| exec.outputs(ProcId(i)).to_vec()).collect();
     let strictly_increasing = positions[0][0] > positions[1][0];
-    Ok(WeakCounterReport { positions, strictly_increasing })
+    Ok(WeakCounterReport {
+        positions,
+        strictly_increasing,
+    })
 }
 
 #[cfg(test)]

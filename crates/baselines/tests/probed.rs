@@ -1,0 +1,85 @@
+//! Probe-layer coverage for all three baselines: the same `fa-obs` telemetry
+//! the paper's algorithms report is available for the Guerraoui–Ruppert weak
+//! counter, the SWMR snapshot, and the double-collect heuristic.
+
+use fa_baselines::{DoubleCollectProcess, SwmrRegister, SwmrSnapshotProcess, WeakCounterProcess};
+use fa_core::View;
+use fa_memory::{Executor, ProcId, RandomScheduler, SharedMemory, Wiring};
+use fa_obs::RunMetrics;
+use rand::SeedableRng;
+
+#[test]
+fn double_collect_metrics_count_all_ops() {
+    let n = 3;
+    let procs: Vec<DoubleCollectProcess<u32>> = (0..n)
+        .map(|i| DoubleCollectProcess::new(i as u32 + 1, n))
+        .collect();
+    let memory = SharedMemory::new(n, View::new(), vec![Wiring::identity(n); n]).unwrap();
+    let mut exec = Executor::with_probe(procs, memory, RunMetrics::new()).unwrap();
+    exec.run_round_robin(100_000).unwrap();
+    assert!(exec.all_halted());
+
+    let total_steps = exec.total_steps() as u64;
+    let m = exec.into_probe();
+    assert_eq!(m.total_steps, total_steps);
+    assert_eq!(m.per_proc.len(), n);
+    // A double collect needs at least two scans of n registers each.
+    assert!(m.per_proc.iter().all(|p| p.reads >= 2 * n as u64));
+    assert_eq!(m.total_outputs(), n as u64);
+    assert_eq!(m.steps_to_output.count(), n as u64);
+    // Identical deterministic processes under round-robin: identical work.
+    assert!(m.per_proc.iter().all(|p| p.reads == m.per_proc[0].reads));
+}
+
+#[test]
+fn swmr_metrics_single_writer_per_register() {
+    let n = 4;
+    let procs: Vec<SwmrSnapshotProcess<u32>> = (0..n)
+        .map(|i| SwmrSnapshotProcess::new(i, i as u32, n))
+        .collect();
+    let mut memory = SharedMemory::named(n, n, SwmrRegister::default()).unwrap();
+    memory.set_owners((0..n).map(ProcId).collect()).unwrap();
+    let mut exec = Executor::with_probe(procs, memory, RunMetrics::new()).unwrap();
+    exec.run(
+        RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(7)),
+        1_000_000,
+    )
+    .unwrap();
+    assert!(exec.all_halted());
+
+    let m = exec.into_probe();
+    assert_eq!(m.total_outputs(), n as u64);
+    assert!(
+        m.total_writes() >= n as u64,
+        "each processor writes its own register"
+    );
+    // SWMR: at most n processors can be poised to write (one per owned
+    // register), and someone always is until the run winds down.
+    assert!(m.peak_covering >= 1 && m.peak_covering <= n);
+}
+
+#[test]
+fn weak_counter_solo_runs_leave_no_covering() {
+    // The weak-counter demo runs are solo (sequential), so the probe must
+    // never see more than one processor poised to write at once.
+    let m_regs = 4;
+    let procs = vec![
+        WeakCounterProcess::new(m_regs, 1),
+        WeakCounterProcess::new(m_regs, 1),
+    ];
+    let memory = SharedMemory::named(m_regs, 2, false).unwrap();
+    let mut exec = Executor::with_probe(procs, memory, RunMetrics::new()).unwrap();
+    exec.run_solo(ProcId(0), 10_000).unwrap();
+    exec.run_solo(ProcId(1), 10_000).unwrap();
+
+    let m = exec.into_probe();
+    assert_eq!(m.total_outputs(), 2);
+    assert!(
+        m.peak_covering <= 1,
+        "sequential gets cannot assemble a covering"
+    );
+    assert!(m.per_proc[0].first_output_at < m.per_proc[1].first_output_at);
+    // The second walker reads the first walker's claimed register before
+    // claiming its own, so it does strictly more work.
+    assert!(m.per_proc[1].reads >= m.per_proc[0].reads);
+}

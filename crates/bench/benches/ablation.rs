@@ -11,20 +11,16 @@ fn bench_levels(c: &mut Criterion) {
     group.sample_size(10);
     for n in [4usize, 6] {
         for (label, level) in [("level_n", n), ("level_n_minus_1", n - 1), ("level_1", 1)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &(n, level),
-                |b, &(n, level)| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed = seed.wrapping_add(1);
-                        let cfg = SnapshotRunConfig::new((0..n as u32).collect())
-                            .with_seed(seed)
-                            .with_terminate_level(level);
-                        run_snapshot_random(&cfg).expect("terminates")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &(n, level), |b, &(n, level)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let cfg = SnapshotRunConfig::new((0..n as u32).collect())
+                        .with_seed(seed)
+                        .with_terminate_level(level);
+                    run_snapshot_random(&cfg).expect("terminates")
+                });
+            });
         }
     }
     group.finish();

@@ -24,7 +24,9 @@ fn bench_compare(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
-                swmr_steps(n, seed, 100_000_000).expect("run").expect("terminates")
+                swmr_steps(n, seed, 100_000_000)
+                    .expect("run")
+                    .expect("terminates")
             });
         });
         group.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, &n| {

@@ -14,12 +14,9 @@ fn bench_solo(c: &mut Criterion) {
             b.iter(|| {
                 let procs: Vec<ConsensusProcess<u32>> =
                     (0..n as u32).map(|x| ConsensusProcess::new(x, n)).collect();
-                let memory = SharedMemory::new(
-                    n,
-                    SnapRegister::default(),
-                    vec![Wiring::identity(n); n],
-                )
-                .expect("memory");
+                let memory =
+                    SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n])
+                        .expect("memory");
                 let mut exec = Executor::new(procs, memory).expect("executor");
                 exec.run_solo(ProcId(0), 100_000_000).expect("solo decides");
                 assert!(exec.is_halted(ProcId(0)));

@@ -21,8 +21,7 @@ fn bench_long_lived(c: &mut Criterion) {
                     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
                     let procs: Vec<LongLivedSnapshotProcess<u32>> = (0..n as u32)
                         .map(|p| {
-                            let inputs: Vec<u32> =
-                                (0..k as u32).map(|i| p * 1000 + i).collect();
+                            let inputs: Vec<u32> = (0..k as u32).map(|i| p * 1000 + i).collect();
                             LongLivedSnapshotProcess::new(inputs, n)
                         })
                         .collect();

@@ -18,11 +18,9 @@ fn bench_threaded_snapshot(c: &mut Criterion) {
                 let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
                 let procs: Vec<SnapshotProcess<u32>> =
                     (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
-                let wirings: Vec<Wiring> =
-                    (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
-                let report =
-                    run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000)
-                        .expect("threaded run");
+                let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+                let report = run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000)
+                    .expect("threaded run");
                 assert!(report.all_halted, "threaded snapshot must terminate");
                 report
             });

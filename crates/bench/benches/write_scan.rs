@@ -23,7 +23,9 @@ fn converge<S: Scheduler>(n: usize, seed: u64, mut sched: S) -> usize {
     const CAP: usize = 1_000_000;
     let mut steps = 0usize;
     while (0..n).any(|i| exec.process(ProcId(i)).view() != &full) {
-        let p = sched.next(&exec.live_procs()).expect("write-scan never halts");
+        let p = sched
+            .next(&exec.live_procs())
+            .expect("write-scan never halts");
         exec.step_proc(p).expect("step");
         steps += 1;
         if steps >= CAP {
@@ -57,11 +59,7 @@ fn bench_convergence(c: &mut Criterion) {
                 converge(
                     n,
                     seed,
-                    BoundedDelayScheduler::new(
-                        rand_chacha::ChaCha8Rng::seed_from_u64(seed),
-                        n,
-                        4,
-                    ),
+                    BoundedDelayScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed), n, 4),
                 )
             });
         });

@@ -36,7 +36,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "named (identity)", "anonymous (random)", "cyclic shifts", "anon/named"],
+        &[
+            "n",
+            "named (identity)",
+            "anonymous (random)",
+            "cyclic shifts",
+            "anon/named",
+        ],
         &rows,
     );
     println!("\nThe same wait-free algorithm runs in all three wirings (computability");

@@ -20,7 +20,10 @@ fn main() {
             println!("witness found (announcement reading):");
             println!(
                 "  wirings:  {:?}",
-                w.wirings.iter().map(ToString::to_string).collect::<Vec<_>>()
+                w.wirings
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
             );
             println!("  schedule: {:?} ({} steps)", w.schedule, w.schedule.len());
             println!(
@@ -29,7 +32,10 @@ fn main() {
             );
             println!(
                 "  input sets the memory did contain: {:?}",
-                w.memory_sets_seen.iter().map(ToString::to_string).collect::<Vec<_>>()
+                w.memory_sets_seen
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
             );
             let ok = verify_witness(&inputs, &w);
             println!("  witness replays and verifies: {ok}");

@@ -3,10 +3,10 @@
 //! and wirings for 2 processors, and for 3 processors up to a state cap.
 
 use fa_bench::print_table;
+use fa_memory::Wiring;
 use fa_modelcheck::checks::{
     check_snapshot_task, check_snapshot_task_coarse, check_snapshot_wait_freedom,
 };
-use fa_memory::Wiring;
 
 fn main() {
     println!("== E3: model-checking the snapshot task (Figure 3) ==\n");
@@ -24,7 +24,10 @@ fn main() {
         assert!(report.violation.is_none(), "{:?}", report.violation);
     }
 
-    print_table(&["inputs", "wiring combos", "states", "complete", "violation"], &rows);
+    print_table(
+        &["inputs", "wiring combos", "states", "complete", "violation"],
+        &rows,
+    );
 
     // 3 processors at the paper's TLC granularity (whole scans atomic,
     // Figure 3's caption): sweep over all 36 wiring combinations, bounded

@@ -30,7 +30,10 @@ fn main() {
             let d0 = res.decisions[0].expect("decided");
             let all_same = res.decisions.iter().all(|d| d.unwrap() == d0);
             assert!(all_same, "agreement violated at n={n} seed={seed}");
-            assert!(inputs.contains(&d0), "validity violated at n={n} seed={seed}");
+            assert!(
+                inputs.contains(&d0),
+                "validity violated at n={n} seed={seed}"
+            );
             agreed += usize::from(all_same);
             // Did the random phase alone decide?
             if res.total_steps < 60_000 * n {
@@ -44,18 +47,27 @@ fn main() {
             decided_in_contention.to_string(),
         ]);
     }
-    print_table(&["n", "trials", "agreement+validity", "decided before solo tail"], &rows);
+    print_table(
+        &[
+            "n",
+            "trials",
+            "agreement+validity",
+            "decided before solo tail",
+        ],
+        &rows,
+    );
 
     // Part 2: obstruction-freedom — solo runner decides in few rounds.
     println!("\nsolo termination (obstruction-freedom):");
     let mut rows = Vec::new();
     for n in 2..=6usize {
         let inputs: Vec<u32> = (0..n as u32).collect();
-        let procs: Vec<ConsensusProcess<u32>> =
-            inputs.iter().map(|&x| ConsensusProcess::new(x, n)).collect();
-        let memory =
-            SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n])
-                .expect("memory");
+        let procs: Vec<ConsensusProcess<u32>> = inputs
+            .iter()
+            .map(|&x| ConsensusProcess::new(x, n))
+            .collect();
+        let memory = SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n])
+            .expect("memory");
         let mut exec = Executor::new(procs, memory).expect("executor");
         exec.run_solo(ProcId(0), 50_000_000).expect("solo run");
         assert!(exec.is_halted(ProcId(0)));

@@ -29,8 +29,10 @@ fn main() {
     for n in 2..=8usize {
         let mut acc = Vec::new();
         for (label, make) in [
-            ("identity", (|n: usize, _s: u64| vec![Wiring::identity(n); n])
-                as fn(usize, u64) -> Vec<Wiring>),
+            (
+                "identity",
+                (|n: usize, _s: u64| vec![Wiring::identity(n); n]) as fn(usize, u64) -> Vec<Wiring>,
+            ),
             ("random", |n, s| {
                 let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(s ^ 0x5712_a8ee);
                 (0..n).map(|_| Wiring::random(n, &mut rng)).collect()
@@ -51,7 +53,14 @@ fn main() {
             format!("{:.1}%", acc[1].1 * 100.0),
         ]);
     }
-    print_table(&["n", "lost writes (identity)", "lost writes (random wirings)"], &rows);
+    print_table(
+        &[
+            "n",
+            "lost writes (identity)",
+            "lost writes (random wirings)",
+        ],
+        &rows,
+    );
     println!("\nA substantial fraction of all writes transfers no information —");
     println!("the covering phenomenon the paper's level mechanism must defeat.");
 }

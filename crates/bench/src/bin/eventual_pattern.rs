@@ -30,7 +30,11 @@ fn main() {
     println!(
         "figure-2 lasso: {} stable views, sources {:?}, dag={}, unique_source={}\n",
         fig2.graph.vertices().len(),
-        fig2.graph.sources().iter().map(ToString::to_string).collect::<Vec<_>>(),
+        fig2.graph
+            .sources()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>(),
         fig2.graph.is_dag(),
         fig2.graph.has_unique_source()
     );
@@ -49,8 +53,8 @@ fn main() {
             let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut r)).collect();
             let inputs: Vec<u32> = (0..n as u32).map(|i| i + 1).collect();
             let sched = random_lasso(n, &mut r);
-            let report = analyze_lasso(&inputs, n, wirings, &sched, 50_000)
-                .expect("lasso stabilizes");
+            let report =
+                analyze_lasso(&inputs, n, wirings, &sched, 50_000).expect("lasso stabilizes");
             assert!(report.graph.is_dag());
             if report.graph.has_unique_source() {
                 unique += 1;
@@ -71,15 +75,28 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "lassos", "unique source", "nontrivial graphs", "max distinct views"],
+        &[
+            "n",
+            "lassos",
+            "unique source",
+            "nontrivial graphs",
+            "max distinct views",
+        ],
         &rows,
     );
     println!("\nTheorem 4.8 held in every trial: {all_ok}");
     assert!(all_ok);
 
     // Control: random fair schedules converge to a single full view.
-    let control = analyze_random(&[1, 2, 3, 4], 4, vec![Wiring::identity(4); 4], 7, 2_000, 5_000_000)
-        .expect("random analysis runs");
+    let control = analyze_random(
+        &[1, 2, 3, 4],
+        4,
+        vec![Wiring::identity(4); 4],
+        7,
+        2_000,
+        5_000_000,
+    )
+    .expect("random analysis runs");
     println!(
         "\ncontrol (fair random schedule): {} stable view(s) — convergence to the full set",
         control.graph.vertices().len()

@@ -24,12 +24,26 @@ fn main() {
                 o.views[0].to_string(),
                 o.views[1].to_string(),
                 o.views[2].to_string(),
-                if ok { "✓".to_string() } else { "MISMATCH".to_string() },
+                if ok {
+                    "✓".to_string()
+                } else {
+                    "MISMATCH".to_string()
+                },
             ]
         })
         .collect();
     print_table(
-        &["row", "action", "r1", "r2", "r3", "view[p1]", "view[p2]", "view[p3]", "matches paper"],
+        &[
+            "row",
+            "action",
+            "r1",
+            "r2",
+            "r3",
+            "view[p1]",
+            "view[p2]",
+            "view[p3]",
+            "matches paper",
+        ],
         &rows,
     );
     let all_match = observed
@@ -41,11 +55,19 @@ fn main() {
 
     println!("\n== E1 (extension): shadows p and p' over 30 cycles ==\n");
     let ext = run_figure2_extended(30).expect("extension runs");
-    println!("final views: p1={} p2={} p3={} p={} p'={}",
-        ext.final_views[0], ext.final_views[1], ext.final_views[2],
-        ext.final_views[3], ext.final_views[4]);
+    println!(
+        "final views: p1={} p2={} p3={} p={} p'={}",
+        ext.final_views[0],
+        ext.final_views[1],
+        ext.final_views[2],
+        ext.final_views[3],
+        ext.final_views[4]
+    );
     let p_ok = ext.shadow_p_reads.iter().all(|v| v.to_string() == "{1,2}");
-    let pp_ok = ext.shadow_p_prime_reads.iter().all(|v| v.to_string() == "{1,3}");
+    let pp_ok = ext
+        .shadow_p_prime_reads
+        .iter()
+        .all(|v| v.to_string() == "{1,3}");
     println!(
         "shadow p performed {} reads, all equal to {{1,2}}: {p_ok}",
         ext.shadow_p_reads.len()
@@ -54,6 +76,12 @@ fn main() {
         "shadow p' performed {} reads, all equal to {{1,3}}: {pp_ok}",
         ext.shadow_p_prime_reads.len()
     );
-    println!("stable views: {:?}", ext.stable_views.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "stable views: {:?}",
+        ext.stable_views
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
     assert!(p_ok && pp_ok);
 }

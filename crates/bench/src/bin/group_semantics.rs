@@ -5,9 +5,7 @@
 use std::collections::BTreeSet;
 
 use fa_bench::print_table;
-use fa_tasks::{
-    check_group_solution, GroupAssignment, GroupId, SampleIter, Snapshot, Task,
-};
+use fa_tasks::{check_group_solution, GroupAssignment, GroupId, SampleIter, Snapshot, Task};
 
 fn gset(ids: &[usize]) -> BTreeSet<GroupId> {
     ids.iter().map(|&g| GroupId(g)).collect()

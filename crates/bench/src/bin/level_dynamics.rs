@@ -28,7 +28,10 @@ fn main() {
             format!("{:.0}", steps_total as f64 / runs as f64),
         ]);
     }
-    print_table(&["n", "runs", "mean level resets / run", "mean steps"], &rows);
+    print_table(
+        &["n", "runs", "mean level resets / run", "mean steps"],
+        &rows,
+    );
 
     println!("\nsample trajectory (n = 4, seed 3): time:level(view-size) per processor\n");
     let t = snapshot_trajectories(&[1, 2, 3, 4], &WiringMode::Random, 3, 100_000_000)

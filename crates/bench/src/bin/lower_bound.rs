@@ -20,7 +20,13 @@ fn main() {
         assert!(report.erased && report.indistinguishable_to_q);
     }
     print_table(
-        &["N", "registers", "solo output", "p's info erased", "Q indistinguishable"],
+        &[
+            "N",
+            "registers",
+            "solo output",
+            "p's info erased",
+            "Q indistinguishable",
+        ],
         &rows,
     );
     println!("\nAfter the covering writes, no register mentions the solo processor's");

@@ -47,7 +47,14 @@ fn main() {
         }
     }
     print_table(
-        &["n procs", "max groups M", "trials", "max name seen", "bound M(M+1)/2", "all valid"],
+        &[
+            "n procs",
+            "max groups M",
+            "trials",
+            "max name seen",
+            "bound M(M+1)/2",
+            "all valid",
+        ],
         &rows,
     );
     println!("\nNames never exceed M(M+1)/2 and never collide across groups;");

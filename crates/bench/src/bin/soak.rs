@@ -5,14 +5,16 @@
 
 use std::time::{Duration, Instant};
 
-use fa_core::runner::{
-    run_consensus_random, run_renaming_random, run_snapshot_random, SnapshotRunConfig,
-    WiringMode,
-};
 use fa_bench::group_inputs;
+use fa_core::runner::{
+    run_consensus_random, run_renaming_random, run_snapshot_random, SnapshotRunConfig, WiringMode,
+};
 
 fn main() {
-    let minutes: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let minutes: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let deadline = Instant::now() + Duration::from_secs(minutes * 60);
     let mut runs = 0u64;
     let mut seed = 0u64;
@@ -27,7 +29,10 @@ fn main() {
         for (i, v) in res.views.iter().enumerate() {
             assert!(v.contains(&inputs[i]), "seed {seed}: missing self");
             for w in &res.views {
-                assert!(v.comparable(w), "seed {seed}: incomparable snapshot outputs");
+                assert!(
+                    v.comparable(w),
+                    "seed {seed}: incomparable snapshot outputs"
+                );
             }
         }
         // Renaming.
@@ -36,7 +41,10 @@ fn main() {
         let groups: std::collections::BTreeSet<u32> = inputs.iter().copied().collect();
         let bound = groups.len() * (groups.len() + 1) / 2;
         for (i, &a) in names.iter().enumerate() {
-            assert!((1..=bound).contains(&a), "seed {seed}: name {a} out of range");
+            assert!(
+                (1..=bound).contains(&a),
+                "seed {seed}: name {a} out of range"
+            );
             for (j, &b) in names.iter().enumerate() {
                 assert!(
                     i == j || inputs[i] == inputs[j] || a != b,
@@ -49,7 +57,10 @@ fn main() {
             .expect("consensus run");
         assert!(res.all_decided, "seed {seed}: solo tail must decide");
         let d = res.decisions[0].unwrap();
-        assert!(res.decisions.iter().all(|x| x.unwrap() == d), "seed {seed}: disagreement");
+        assert!(
+            res.decisions.iter().all(|x| x.unwrap() == d),
+            "seed {seed}: disagreement"
+        );
         assert!(inputs.contains(&d), "seed {seed}: invalid decision");
         runs += 1;
         if runs % 50 == 0 {

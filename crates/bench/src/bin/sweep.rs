@@ -56,8 +56,7 @@ fn main() {
                 let inputs = group_inputs(n, 3.min(n), (n as u64) << 8 | t);
                 let names = run_renaming_random(&inputs, t, &WiringMode::Random, 100_000_000)
                     .expect("terminates");
-                let groups: std::collections::BTreeSet<u32> =
-                    inputs.iter().copied().collect();
+                let groups: std::collections::BTreeSet<u32> = inputs.iter().copied().collect();
                 max_groups = max_groups.max(groups.len());
                 max_name = max_name.max(names.into_iter().max().unwrap_or(0));
             }
@@ -78,7 +77,10 @@ fn main() {
             agreements += 1;
         }
     }
-    doc.insert("e7_consensus_agreement".into(), json!({"trials": trials, "agreed": agreements}));
+    doc.insert(
+        "e7_consensus_agreement".into(),
+        json!({"trials": trials, "agreed": agreements}),
+    );
 
     // E8: covering lower bound.
     let e8: Vec<_> = (2..=8usize)
@@ -89,5 +91,8 @@ fn main() {
         .collect();
     doc.insert("e8_lower_bound".into(), json!(e8));
 
-    println!("{}", serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("json"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("json")
+    );
 }

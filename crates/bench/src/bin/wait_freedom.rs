@@ -17,7 +17,10 @@ fn main() {
             format!("{:.1}", stats.mean / (n * n) as f64),
         ]);
     }
-    print_table(&["n", "runs", "mean steps", "min", "max", "mean / n²"], &rows);
+    print_table(
+        &["n", "runs", "mean steps", "min", "max", "mean / n²"],
+        &rows,
+    );
     println!("\nEvery run terminated: the algorithm is wait-free in practice;");
     println!("growth tracks n² · scans (each scan is n+1 accesses, levels go to n).");
 }

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs_report;
+
 use fa_core::runner::{run_snapshot_random, SnapshotRunConfig};
 use fa_core::{SnapRegister, View};
 use fa_memory::{Executor, MemoryError, ProcId, SharedMemory, Wiring};
@@ -15,12 +17,14 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// Prints a markdown table: a header row and aligned value rows.
+/// Renders a markdown table: a header row, a separator, and value rows with
+/// every column padded to its widest cell.
 ///
 /// # Panics
 ///
 /// Panics if a row's length differs from the header's.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+#[must_use]
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         assert_eq!(row.len(), headers.len(), "ragged table row");
@@ -36,12 +40,26 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .collect();
         format!("| {} |", padded.join(" | "))
     };
-    println!("{}", fmt_row(headers.iter().map(|s| (*s).to_string()).collect()));
+    let mut out = String::new();
+    out.push_str(&fmt_row(headers.iter().map(|s| (*s).to_string()).collect()));
+    out.push('\n');
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    println!("{}", fmt_row(sep));
+    out.push_str(&fmt_row(sep));
+    out.push('\n');
     for row in rows {
-        println!("{}", fmt_row(row.clone()));
+        out.push_str(&fmt_row(row.clone()));
+        out.push('\n');
     }
+    out
+}
+
+/// Prints a markdown table (see [`format_table`]).
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(headers, rows));
 }
 
 /// Summary statistics over a sample of per-run step counts.
@@ -82,7 +100,10 @@ impl StepStats {
 /// # Errors
 ///
 /// Propagates runner errors.
-pub fn snapshot_step_stats(n: usize, seeds: std::ops::Range<u64>) -> Result<StepStats, MemoryError> {
+pub fn snapshot_step_stats(
+    n: usize,
+    seeds: std::ops::Range<u64>,
+) -> Result<StepStats, MemoryError> {
     let mut sample = Vec::new();
     for seed in seeds {
         let cfg = SnapshotRunConfig::new((0..n as u32).collect()).with_seed(seed);
@@ -104,14 +125,17 @@ pub fn double_collect_steps(
     budget: usize,
 ) -> Result<Option<usize>, MemoryError> {
     use fa_baselines::DoubleCollectProcess;
-    let procs: Vec<DoubleCollectProcess<u32>> =
-        (0..n).map(|i| DoubleCollectProcess::new(i as u32, n)).collect();
+    let procs: Vec<DoubleCollectProcess<u32>> = (0..n)
+        .map(|i| DoubleCollectProcess::new(i as u32, n))
+        .collect();
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x57a8_1e55_0000_0000);
     let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
     let memory = SharedMemory::new(n, View::new(), wirings)?;
     let mut exec = Executor::new(procs, memory)?;
-    let outcome =
-        exec.run(fa_memory::RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)), budget)?;
+    let outcome = exec.run(
+        fa_memory::RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)),
+        budget,
+    )?;
     Ok(outcome.all_halted.then(|| exec.total_steps()))
 }
 
@@ -122,13 +146,16 @@ pub fn double_collect_steps(
 /// Propagates executor errors.
 pub fn swmr_steps(n: usize, seed: u64, budget: usize) -> Result<Option<usize>, MemoryError> {
     use fa_baselines::{SwmrRegister, SwmrSnapshotProcess};
-    let procs: Vec<SwmrSnapshotProcess<u32>> =
-        (0..n).map(|i| SwmrSnapshotProcess::new(i, i as u32, n)).collect();
+    let procs: Vec<SwmrSnapshotProcess<u32>> = (0..n)
+        .map(|i| SwmrSnapshotProcess::new(i, i as u32, n))
+        .collect();
     let mut memory = SharedMemory::named(n, n, SwmrRegister::default())?;
     memory.set_owners((0..n).map(ProcId).collect())?;
     let mut exec = Executor::new(procs, memory)?;
-    let outcome =
-        exec.run(fa_memory::RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)), budget)?;
+    let outcome = exec.run(
+        fa_memory::RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)),
+        budget,
+    )?;
     Ok(outcome.all_halted.then(|| exec.total_steps()))
 }
 
@@ -150,8 +177,10 @@ pub fn anonymous_snapshot_steps(
     let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
     let memory = SharedMemory::new(n, SnapRegister::default(), wirings)?;
     let mut exec = Executor::new(procs, memory)?;
-    let outcome =
-        exec.run(fa_memory::RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)), budget)?;
+    let outcome = exec.run(
+        fa_memory::RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)),
+        budget,
+    )?;
     Ok(outcome.all_halted.then(|| exec.total_steps()))
 }
 
@@ -204,7 +233,9 @@ mod tests {
     #[test]
     fn baselines_terminate_on_small_systems() {
         assert!(swmr_steps(3, 1, 1_000_000).unwrap().is_some());
-        assert!(anonymous_snapshot_steps(3, 1, 10_000_000).unwrap().is_some());
+        assert!(anonymous_snapshot_steps(3, 1, 10_000_000)
+            .unwrap()
+            .is_some());
         // Double collect usually terminates under random schedules.
         let _ = double_collect_steps(3, 1, 1_000_000).unwrap();
     }
@@ -219,9 +250,44 @@ mod tests {
     }
 
     #[test]
+    fn table_columns_align_to_widest_cell() {
+        let s = format_table(
+            &["a", "metric"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "header, separator, two rows");
+        // Every line is padded to the same width and pipe-delimited.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines
+            .iter()
+            .all(|l| l.starts_with("| ") && l.ends_with(" |")));
+        // Pipes line up column-for-column across all rows.
+        let pipe_positions = |l: &str| -> Vec<usize> {
+            l.char_indices()
+                .filter(|(_, c)| *c == '|')
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert!(lines
+            .iter()
+            .all(|l| pipe_positions(l) == pipe_positions(lines[0])));
+        // Cells pad to the widest entry of their column ("333" and "metric").
+        assert_eq!(lines[0], "| a   | metric |");
+        assert_eq!(lines[2], "| 1   | 2      |");
+        assert_eq!(lines[3], "| 333 | 4      |");
+    }
+
+    #[test]
     #[should_panic(expected = "ragged table row")]
     fn table_printer_rejects_ragged() {
         print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn table_formatter_rejects_ragged() {
+        let _ = format_table(&["a", "b"], &[vec!["1".into()]]);
     }
 }
 
@@ -271,8 +337,8 @@ pub fn render_timeline<V: std::fmt::Debug, O: std::fmt::Debug>(
 #[cfg(test)]
 mod timeline_tests {
     use super::*;
-    use fa_memory::{Executor, SharedMemory, Wiring};
     use fa_memory::{Action, Process, StepInput};
+    use fa_memory::{Executor, SharedMemory, Wiring};
 
     #[derive(Clone)]
     struct Tiny(bool);

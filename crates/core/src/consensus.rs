@@ -143,7 +143,7 @@ impl<V: Ord + Clone> ConsensusProcess<V> {
         // own stamped input).
         let mut best: Option<(u64, &V)> = None; // leader: max ts, min value on tie
         let mut second_ts: Option<u64> = None; // max ts among non-leader values
-        // First pass: find the leader.
+                                               // First pass: find the leader.
         for (ts, v) in view.iter() {
             best = Some(match best {
                 None => (*ts, v),
@@ -212,7 +212,8 @@ impl<V: Ord + Clone> Process for ConsensusProcess<V> {
                     // Re-invoke the long-lived snapshot with the new pair;
                     // the resumed engine immediately writes, which is this
                     // step's action.
-                    self.engine.resume_with((self.timestamp, self.preference.clone()));
+                    self.engine
+                        .resume_with((self.timestamp, self.preference.clone()));
                     engine_input = StepInput::Start;
                 }
             }
@@ -231,8 +232,10 @@ mod tests {
         random_wirings_seed: Option<u64>,
     ) -> Executor<ConsensusProcess<u32>> {
         let n = inputs.len();
-        let procs: Vec<ConsensusProcess<u32>> =
-            inputs.iter().map(|&x| ConsensusProcess::new(x, n)).collect();
+        let procs: Vec<ConsensusProcess<u32>> = inputs
+            .iter()
+            .map(|&x| ConsensusProcess::new(x, n))
+            .collect();
         let wirings = match random_wirings_seed {
             Some(seed) => {
                 let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
@@ -260,14 +263,23 @@ mod tests {
             // Random schedules decide with probability 1; use a generous
             // budget and accept rare non-termination by skipping.
             let rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed.wrapping_mul(77).wrapping_add(1));
-            let outcome = exec.run(fa_memory::RandomScheduler::new(rng), 10_000_000).unwrap();
+            let outcome = exec
+                .run(fa_memory::RandomScheduler::new(rng), 10_000_000)
+                .unwrap();
             if !outcome.all_halted {
                 continue; // obstruction-free: perpetual contention is legal
             }
-            let decisions: Vec<u32> =
-                (0..3).map(|i| *exec.first_output(ProcId(i)).unwrap()).collect();
-            assert!(decisions.windows(2).all(|w| w[0] == w[1]), "seed {seed}: disagreement");
-            assert!(inputs.contains(&decisions[0]), "seed {seed}: invalid decision");
+            let decisions: Vec<u32> = (0..3)
+                .map(|i| *exec.first_output(ProcId(i)).unwrap())
+                .collect();
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: disagreement"
+            );
+            assert!(
+                inputs.contains(&decisions[0]),
+                "seed {seed}: invalid decision"
+            );
         }
     }
 
@@ -279,7 +291,11 @@ mod tests {
         exec.run_solo(ProcId(0), 1_000_000).unwrap();
         assert_eq!(exec.first_output(ProcId(0)), Some(&10));
         exec.run_solo(ProcId(1), 1_000_000).unwrap();
-        assert_eq!(exec.first_output(ProcId(1)), Some(&10), "agreement violated");
+        assert_eq!(
+            exec.first_output(ProcId(1)),
+            Some(&10),
+            "agreement violated"
+        );
     }
 
     #[test]
@@ -326,7 +342,9 @@ mod tests {
     fn decisions_are_output_exactly_once() {
         let mut exec = consensus_exec(&[1, 2], None);
         let rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
-        let outcome = exec.run(fa_memory::RandomScheduler::new(rng), 10_000_000).unwrap();
+        let outcome = exec
+            .run(fa_memory::RandomScheduler::new(rng), 10_000_000)
+            .unwrap();
         if outcome.all_halted {
             for i in 0..2 {
                 assert_eq!(exec.outputs(ProcId(i)).len(), 1);
@@ -341,12 +359,15 @@ mod tests {
             let inputs = [4u32, 1, 3, 2];
             let mut exec = consensus_exec(&inputs, Some(seed + 100));
             let rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            let outcome = exec.run(fa_memory::RandomScheduler::new(rng), 20_000_000).unwrap();
+            let outcome = exec
+                .run(fa_memory::RandomScheduler::new(rng), 20_000_000)
+                .unwrap();
             if !outcome.all_halted {
                 continue;
             }
-            let decisions: Vec<u32> =
-                (0..n).map(|i| *exec.first_output(ProcId(i)).unwrap()).collect();
+            let decisions: Vec<u32> = (0..n)
+                .map(|i| *exec.first_output(ProcId(i)).unwrap())
+                .collect();
             assert!(decisions.windows(2).all(|w| w[0] == w[1]), "seed {seed}");
             assert!(inputs.contains(&decisions[0]), "seed {seed}");
         }

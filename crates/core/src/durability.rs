@@ -120,7 +120,9 @@ where
             break;
         }
         let live = exec.live_procs();
-        let Some(p) = scheduler.next(&live) else { break };
+        let Some(p) = scheduler.next(&live) else {
+            break;
+        };
         exec.step_proc(p)?;
         if !outputs_seen[p.0] {
             if let Some(w) = exec.first_output(p).cloned() {
@@ -168,9 +170,11 @@ mod tests {
                 let mut e = exec(n, seed);
                 let sched =
                     RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xd));
-                let checked =
-                    check_lemma_5_3_along_run(&mut e, sched, 50_000_000).unwrap();
-                assert_eq!(checked, n, "n={n} seed={seed}: every processor outputs once");
+                let checked = check_lemma_5_3_along_run(&mut e, sched, 50_000_000).unwrap();
+                assert_eq!(
+                    checked, n,
+                    "n={n} seed={seed}: every processor outputs once"
+                );
             }
         }
     }

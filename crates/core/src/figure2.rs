@@ -18,9 +18,7 @@
 //! registers `0, 1, 2`; processors `p1, p2, p3` are `ProcId(0..=2)`; shadows
 //! `p, p'` are `ProcId(3)`, `ProcId(4)`.
 
-use fa_memory::{
-    Action, Executor, LassoSchedule, MemoryError, ProcId, SharedMemory, Wiring,
-};
+use fa_memory::{Action, Executor, LassoSchedule, MemoryError, ProcId, SharedMemory, Wiring};
 
 use crate::{View, WriteScanProcess};
 
@@ -43,20 +41,69 @@ fn v(ids: &[u32]) -> View<u32> {
 
 /// The paper's table: expected post-states of rows 1–13.
 #[must_use]
+#[allow(clippy::type_complexity)]
 pub fn expected_rows() -> Vec<Figure2Row> {
     let rows: [(&'static str, [&[u32]; 3], [&[u32]; 3]); 13] = [
-        ("p1 writes twice and ends with a scan", [&[], &[1], &[1]], [&[1], &[2], &[3]]),
-        ("p2 writes then scans", [&[2], &[1], &[1]], [&[1], &[1, 2], &[3]]),
-        ("p3 overwrites p2 then scans", [&[3], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
-        ("p1 overwrites p3 then scans", [&[1], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
-        ("p2 writes then scans", [&[1], &[1, 2], &[1]], [&[1], &[1, 2], &[1, 3]]),
-        ("p3 overwrites p2 then scans", [&[1], &[1, 3], &[1]], [&[1], &[1, 2], &[1, 3]]),
-        ("p1 overwrites p3 then scans", [&[1], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
-        ("p2 writes then scans", [&[1], &[1], &[1, 2]], [&[1], &[1, 2], &[1, 3]]),
-        ("p3 overwrites p2 then scans", [&[1], &[1], &[1, 3]], [&[1], &[1, 2], &[1, 3]]),
-        ("p1 overwrites p3 then scans", [&[1], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
-        ("p2 writes then scans", [&[1, 2], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
-        ("p3 overwrites p2 then scans", [&[1, 3], &[1], &[1]], [&[1], &[1, 2], &[1, 3]]),
+        (
+            "p1 writes twice and ends with a scan",
+            [&[], &[1], &[1]],
+            [&[1], &[2], &[3]],
+        ),
+        (
+            "p2 writes then scans",
+            [&[2], &[1], &[1]],
+            [&[1], &[1, 2], &[3]],
+        ),
+        (
+            "p3 overwrites p2 then scans",
+            [&[3], &[1], &[1]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+        (
+            "p1 overwrites p3 then scans",
+            [&[1], &[1], &[1]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+        (
+            "p2 writes then scans",
+            [&[1], &[1, 2], &[1]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+        (
+            "p3 overwrites p2 then scans",
+            [&[1], &[1, 3], &[1]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+        (
+            "p1 overwrites p3 then scans",
+            [&[1], &[1], &[1]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+        (
+            "p2 writes then scans",
+            [&[1], &[1], &[1, 2]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+        (
+            "p3 overwrites p2 then scans",
+            [&[1], &[1], &[1, 3]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+        (
+            "p1 overwrites p3 then scans",
+            [&[1], &[1], &[1]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+        (
+            "p2 writes then scans",
+            [&[1, 2], &[1], &[1]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
+        (
+            "p3 overwrites p2 then scans",
+            [&[1, 3], &[1], &[1]],
+            [&[1], &[1, 2], &[1, 3]],
+        ),
         (
             "p1 overwrites p3 then scans (same as 4)",
             [&[1], &[1], &[1]],
@@ -106,8 +153,10 @@ pub fn core_schedule() -> LassoSchedule {
 }
 
 fn core_executor() -> Result<Executor<WriteScanProcess<u32>>, MemoryError> {
-    let procs: Vec<WriteScanProcess<u32>> =
-        [1u32, 2, 3].iter().map(|&x| WriteScanProcess::new(x, 3)).collect();
+    let procs: Vec<WriteScanProcess<u32>> = [1u32, 2, 3]
+        .iter()
+        .map(|&x| WriteScanProcess::new(x, 3))
+        .collect();
     let memory = SharedMemory::new(3, View::new(), core_wirings())?;
     Executor::new(procs, memory)
 }
@@ -195,8 +244,10 @@ pub fn run_figure2_extended(cycles: usize) -> Result<ExtendedReport, MemoryError
     let mut wirings = core_wirings();
     wirings.push(shadow_wiring.clone()); // p
     wirings.push(shadow_wiring); // p'
-    let procs: Vec<WriteScanProcess<u32>> =
-        [1u32, 2, 3, 1, 1].iter().map(|&x| WriteScanProcess::new(x, 3)).collect();
+    let procs: Vec<WriteScanProcess<u32>> = [1u32, 2, 3, 1, 1]
+        .iter()
+        .map(|&x| WriteScanProcess::new(x, 3))
+        .collect();
     let memory = SharedMemory::new(3, View::new(), wirings)?;
     let mut exec = Executor::new(procs, memory)?;
 
@@ -217,9 +268,7 @@ pub fn run_figure2_extended(cycles: usize) -> Result<ExtendedReport, MemoryError
         let writer = ProcId(writer);
         // The writer's poised action is its write; note the target.
         let target = match exec.pending_action(writer) {
-            Some(Action::Write { local, .. }) => {
-                exec.memory().wiring(writer).global(*local)
-            }
+            Some(Action::Write { local, .. }) => exec.memory().wiring(writer).global(*local),
             other => panic!("writer must be poised to write, found {other:?}"),
         };
         exec.step_proc(writer)?; // the write
@@ -272,12 +321,18 @@ pub fn run_figure2_extended(cycles: usize) -> Result<ExtendedReport, MemoryError
         }
     }
 
-    let final_views: Vec<View<u32>> =
-        (0..5).map(|i| exec.process(ProcId(i)).view().clone()).collect();
+    let final_views: Vec<View<u32>> = (0..5)
+        .map(|i| exec.process(ProcId(i)).view().clone())
+        .collect();
     let mut stable_views: Vec<View<u32>> = final_views.clone();
     stable_views.sort();
     stable_views.dedup();
-    Ok(ExtendedReport { final_views, shadow_p_reads, shadow_p_prime_reads, stable_views })
+    Ok(ExtendedReport {
+        final_views,
+        shadow_p_reads,
+        shadow_p_prime_reads,
+        stable_views,
+    })
 }
 
 #[cfg(test)]
@@ -305,8 +360,7 @@ mod tests {
 
     #[test]
     fn lasso_analysis_finds_single_source_dag() {
-        let report = analyze_lasso(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100)
-            .unwrap();
+        let report = analyze_lasso(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100).unwrap();
         // Stable views are exactly the paper's: {1}, {1,2}, {1,3}.
         let vs = report.graph.vertices();
         assert_eq!(vs.len(), 3);
@@ -322,13 +376,15 @@ mod tests {
 
     #[test]
     fn incomparable_views_persist_forever() {
-        let report = analyze_lasso(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100)
-            .unwrap();
+        let report = analyze_lasso(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100).unwrap();
         let v2 = &report.stable_views[&1];
         let v3 = &report.stable_views[&2];
         assert_eq!(v2, &v(&[1, 2]));
         assert_eq!(v3, &v(&[1, 3]));
-        assert!(!v2.comparable(v3), "the whole point: incomparable stable views");
+        assert!(
+            !v2.comparable(v3),
+            "the whole point: incomparable stable views"
+        );
     }
 
     #[test]
@@ -350,8 +406,16 @@ mod tests {
         assert_eq!(report.final_views[0], v(&[1]));
         assert_eq!(report.final_views[1], v(&[1, 2]));
         assert_eq!(report.final_views[2], v(&[1, 3]));
-        assert_eq!(report.final_views[3], v(&[1, 2]), "shadow p stabilizes at {{1,2}}");
-        assert_eq!(report.final_views[4], v(&[1, 3]), "shadow p' stabilizes at {{1,3}}");
+        assert_eq!(
+            report.final_views[3],
+            v(&[1, 2]),
+            "shadow p stabilizes at {{1,2}}"
+        );
+        assert_eq!(
+            report.final_views[4],
+            v(&[1, 3]),
+            "shadow p' stabilizes at {{1,3}}"
+        );
         let graph = StableViewGraph::from_views(report.stable_views.clone());
         assert!(graph.has_unique_source());
         assert_eq!(graph.sources(), vec![&v(&[1])]);
@@ -384,7 +448,10 @@ mod tests {
         let report = analyze_lasso(&[1, 2, 3], 4, wirings, &sched, 200).unwrap();
         let v2 = &report.stable_views[&1];
         let v3 = &report.stable_views[&2];
-        assert!(!v2.comparable(v3), "incomparable views persist with 4 registers");
+        assert!(
+            !v2.comparable(v3),
+            "incomparable views persist with 4 registers"
+        );
         assert!(report.graph.has_unique_source());
     }
 }

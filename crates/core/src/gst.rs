@@ -66,10 +66,16 @@ pub fn analyze_gst(
     schedule: &LassoSchedule,
     max_cycles: usize,
 ) -> Result<GstReport, MemoryError> {
-    assert_eq!(inputs.len(), wirings.len(), "one wiring per processor required");
+    assert_eq!(
+        inputs.len(),
+        wirings.len(),
+        "one wiring per processor required"
+    );
     let n = inputs.len();
-    let procs: Vec<WriteScanProcess<u32>> =
-        inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+    let procs: Vec<WriteScanProcess<u32>> = inputs
+        .iter()
+        .map(|&x| WriteScanProcess::new(x, m))
+        .collect();
     let memory = SharedMemory::new(m, View::new(), wirings)?;
     let mut exec = Executor::new(procs, memory)?;
     exec.record_trace(true);
@@ -82,13 +88,19 @@ pub fn analyze_gst(
 
     // Iterate cycles until the cycle-boundary state repeats (as in
     // `stable_view::analyze_lasso`, but keeping the full trace).
-    type Key = (Vec<View<u32>>, Vec<(WriteScanProcess<u32>, Option<Action<View<u32>, ()>>)>);
+    type Key = (
+        Vec<View<u32>>,
+        Vec<(WriteScanProcess<u32>, Option<Action<View<u32>, ()>>)>,
+    );
     let state_key = |exec: &Executor<WriteScanProcess<u32>>| -> Key {
         (
             exec.memory().contents().to_vec(),
             (0..n)
                 .map(|i| {
-                    (exec.process(ProcId(i)).clone(), exec.pending_action(ProcId(i)).cloned())
+                    (
+                        exec.process(ProcId(i)).clone(),
+                        exec.pending_action(ProcId(i)).cloned(),
+                    )
                 })
                 .collect(),
         )
@@ -126,8 +138,7 @@ pub fn analyze_gst(
 
     // Condition 1: views stable. A view changes only on reads that enlarge
     // it; replay views along the trace and find the last change.
-    let mut views: Vec<View<u32>> =
-        inputs.iter().map(|&x| View::singleton(x)).collect();
+    let mut views: Vec<View<u32>> = inputs.iter().map(|&x| View::singleton(x)).collect();
     let mut last_view_change = 0u64;
     for e in trace.events() {
         if let EventKind::Read { value, .. } = &e.kind {
@@ -178,7 +189,13 @@ pub fn analyze_gst(
         );
     }
 
-    Ok(GstReport { gst, total_steps, stable_views, graph, lemma_4_4_reads_checked: reads_checked })
+    Ok(GstReport {
+        gst,
+        total_steps,
+        stable_views,
+        graph,
+        lemma_4_4_reads_checked: reads_checked,
+    })
 }
 
 /// Executable instances of Lemmas 4.5–4.7 on the periodic part of a lasso
@@ -211,10 +228,16 @@ pub fn check_section4_lemmas(
     max_cycles: usize,
     observe_cycles: usize,
 ) -> Result<(usize, usize), MemoryError> {
-    assert_eq!(inputs.len(), wirings.len(), "one wiring per processor required");
+    assert_eq!(
+        inputs.len(),
+        wirings.len(),
+        "one wiring per processor required"
+    );
     let n = inputs.len();
-    let procs: Vec<WriteScanProcess<u32>> =
-        inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+    let procs: Vec<WriteScanProcess<u32>> = inputs
+        .iter()
+        .map(|&x| WriteScanProcess::new(x, m))
+        .collect();
     let memory = SharedMemory::new(m, View::new(), wirings)?;
     let mut exec = Executor::new(procs, memory)?;
 
@@ -224,13 +247,19 @@ pub fn check_section4_lemmas(
         let p = sched.next(&exec.live_procs()).expect("lasso never stops");
         exec.step_proc(p)?;
     }
-    type Key = (Vec<View<u32>>, Vec<(WriteScanProcess<u32>, Option<Action<View<u32>, ()>>)>);
+    type Key = (
+        Vec<View<u32>>,
+        Vec<(WriteScanProcess<u32>, Option<Action<View<u32>, ()>>)>,
+    );
     let state_key = |exec: &Executor<WriteScanProcess<u32>>| -> Key {
         (
             exec.memory().contents().to_vec(),
             (0..n)
                 .map(|i| {
-                    (exec.process(ProcId(i)).clone(), exec.pending_action(ProcId(i)).cloned())
+                    (
+                        exec.process(ProcId(i)).clone(),
+                        exec.pending_action(ProcId(i)).cloned(),
+                    )
                 })
                 .collect(),
         )
@@ -277,10 +306,7 @@ pub fn check_section4_lemmas(
             instants += 1;
             // Lemma 4.5 instance: registers last written by Ā number ≤ |A|.
             let a_size = live.iter().filter(|&&p| in_a(p)).count();
-            let by_complement = exec
-                .memory()
-                .registers_last_written_by(|w| !in_a(w))
-                .len();
+            let by_complement = exec.memory().registers_last_written_by(|w| !in_a(w)).len();
             assert!(
                 by_complement <= a_size,
                 "Lemma 4.5 violated: {by_complement} registers last written by Ā > |A| = {a_size}"
@@ -289,8 +315,7 @@ pub fn check_section4_lemmas(
     }
     // Lemma 4.7 instance: if Ā has a live member, some member of Ā read
     // from A during the observed periodic part.
-    let complement_live: Vec<ProcId> =
-        live.iter().copied().filter(|&p| !in_a(p)).collect();
+    let complement_live: Vec<ProcId> = live.iter().copied().filter(|&p| !in_a(p)).collect();
     if !complement_live.is_empty() {
         let trace = exec.trace().expect("trace enabled");
         for (reader, writer, _) in trace.reads_from() {
@@ -314,8 +339,7 @@ mod tests {
 
     #[test]
     fn figure2_gst_exists_and_lemma_4_4_holds() {
-        let report =
-            analyze_gst(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100).unwrap();
+        let report = analyze_gst(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100).unwrap();
         assert!(report.gst < report.total_steps);
         assert!(report.lemma_4_4_reads_checked > 0);
         assert!(report.graph.has_unique_source());
@@ -328,10 +352,8 @@ mod tests {
     fn random_lassos_satisfy_the_gst_conditions() {
         for n in 2..=5usize {
             for trial in 0..25u64 {
-                let mut rng =
-                    rand_chacha::ChaCha8Rng::seed_from_u64((n as u64) << 40 | trial);
-                let wirings: Vec<Wiring> =
-                    (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64((n as u64) << 40 | trial);
+                let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
                 let inputs: Vec<u32> = (1..=n as u32).collect();
                 let mut cycle: Vec<ProcId> = (0..n).map(ProcId).collect();
                 for _ in 0..rng.gen_range(3..25) {
@@ -350,15 +372,8 @@ mod tests {
 
     #[test]
     fn section4_lemmas_hold_on_figure2() {
-        let (instants, cross) = check_section4_lemmas(
-            &[1, 2, 3],
-            3,
-            core_wirings(),
-            &core_schedule(),
-            100,
-            4,
-        )
-        .unwrap();
+        let (instants, cross) =
+            check_section4_lemmas(&[1, 2, 3], 3, core_wirings(), &core_schedule(), 100, 4).unwrap();
         assert!(instants > 0);
         // Figure 2: A = {p1} (source view {1}); p2 and p3 are live members
         // of Ā and keep reading {1}-registers written by p1.
@@ -369,10 +384,8 @@ mod tests {
     fn section4_lemmas_hold_on_random_lassos() {
         for n in 2..=5usize {
             for trial in 0..20u64 {
-                let mut rng =
-                    rand_chacha::ChaCha8Rng::seed_from_u64((n as u64) << 48 | trial);
-                let wirings: Vec<Wiring> =
-                    (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64((n as u64) << 48 | trial);
+                let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
                 let inputs: Vec<u32> = (1..=n as u32).collect();
                 let mut cycle: Vec<ProcId> = (0..n).map(ProcId).collect();
                 for _ in 0..rng.gen_range(3..20) {
@@ -392,17 +405,13 @@ mod tests {
         // GST must be at least past p2's last step.
         let n = 3;
         let prefix = vec![ProcId(2); 4];
-        let cycle: Vec<ProcId> =
-            [0, 0, 0, 0, 1, 1, 1, 1].iter().map(|&i| ProcId(i)).collect();
+        let cycle: Vec<ProcId> = [0, 0, 0, 0, 1, 1, 1, 1]
+            .iter()
+            .map(|&i| ProcId(i))
+            .collect();
         let sched = LassoSchedule::new(prefix.clone(), cycle);
-        let report = analyze_gst(
-            &[1, 2, 3],
-            n,
-            vec![Wiring::identity(n); n],
-            &sched,
-            10_000,
-        )
-        .unwrap();
+        let report =
+            analyze_gst(&[1, 2, 3], n, vec![Wiring::identity(n); n], &sched, 10_000).unwrap();
         assert!(report.gst >= prefix.len() as u64);
         assert!(!report.stable_views.contains_key(&2));
     }

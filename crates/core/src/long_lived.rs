@@ -135,9 +135,7 @@ impl<V: Ord + Clone> Process for LongLivedSnapshotProcess<V> {
         }
         match self.engine.step(input) {
             EngineStep::Access(Action::Read { local }) => Action::Read { local },
-            EngineStep::Access(Action::Write { local, value }) => {
-                Action::Write { local, value }
-            }
+            EngineStep::Access(Action::Write { local, value }) => Action::Write { local, value },
             EngineStep::Access(_) => unreachable!("the engine only issues memory accesses"),
             EngineStep::Done(view) => {
                 // Emit the output now; decide continuation on the next step
@@ -161,8 +159,10 @@ mod tests {
         wirings: Option<Vec<Wiring>>,
     ) -> Executor<LongLivedSnapshotProcess<u32>> {
         let n = inputs.len();
-        let procs: Vec<LongLivedSnapshotProcess<u32>> =
-            inputs.into_iter().map(|is| LongLivedSnapshotProcess::new(is, n)).collect();
+        let procs: Vec<LongLivedSnapshotProcess<u32>> = inputs
+            .into_iter()
+            .map(|is| LongLivedSnapshotProcess::new(is, n))
+            .collect();
         let wirings = wirings.unwrap_or_else(|| vec![Wiring::identity(n); n]);
         let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
         let mut exec = Executor::new(procs, memory).unwrap();

@@ -74,19 +74,29 @@ fn run_once(n: usize, solo_input: u32) -> Result<RunState, MemoryError> {
     let outcome = exec.run_solo(ProcId(0), 10_000_000)?;
     debug_assert!(exec.is_halted(ProcId(0)), "solo snapshot is wait-free");
     debug_assert!(!outcome.all_halted);
-    let solo_output =
-        exec.first_output(ProcId(0)).expect("solo run must output").clone();
+    let solo_output = exec
+        .first_output(ProcId(0))
+        .expect("solo run must output")
+        .clone();
 
     // Release the covering writes: one step each.
     for i in 1..n {
         exec.step_proc(ProcId(i))?;
     }
 
-    let memory_after: Vec<View<u32>> =
-        exec.memory().contents().iter().map(|r| r.view.clone()).collect();
+    let memory_after: Vec<View<u32>> = exec
+        .memory()
+        .contents()
+        .iter()
+        .map(|r| r.view.clone())
+        .collect();
     let q_states: Vec<SnapshotProcess<u32>> =
         (1..n).map(|i| exec.process(ProcId(i)).clone()).collect();
-    Ok(RunState { solo_output, memory_after, q_states })
+    Ok(RunState {
+        solo_output,
+        memory_after,
+        q_states,
+    })
 }
 
 /// Executes the Section 2.1 construction for a system of `n ≥ 2` processors
@@ -193,11 +203,10 @@ mod tests {
         for i in 1..n {
             exec.step_proc(ProcId(i)).unwrap();
         }
-        let survives = exec
-            .memory()
-            .contents()
-            .iter()
-            .any(|r| r.view.contains(&7));
-        assert!(survives, "with N registers p's information must survive the covering");
+        let survives = exec.memory().contents().iter().any(|r| r.view.contains(&7));
+        assert!(
+            survives,
+            "with N registers p's information must survive the covering"
+        );
     }
 }

@@ -27,7 +27,11 @@ use crate::stable_view::{analyze_lasso, StableViewReport};
 #[must_use]
 pub fn generalized_wirings(m: usize) -> Vec<Wiring> {
     assert!(m >= 3, "the construction needs at least three registers");
-    vec![Wiring::cyclic_shift(m, 1), Wiring::identity(m), Wiring::identity(m)]
+    vec![
+        Wiring::cyclic_shift(m, 1),
+        Wiring::identity(m),
+        Wiring::identity(m),
+    ]
 }
 
 /// The lasso schedule of the generalized construction: the prefix floods the
@@ -56,7 +60,10 @@ pub fn generalized_schedule(m: usize) -> LassoSchedule {
     // Cycle: for each register in p2/p3's shared order, the row triple.
     let cycle: Vec<ProcId> = (0..m)
         .flat_map(|_| {
-            iteration(1).chain(iteration(2)).chain(iteration(0)).collect::<Vec<_>>()
+            iteration(1)
+                .chain(iteration(2))
+                .chain(iteration(0))
+                .collect::<Vec<_>>()
         })
         .collect();
     LassoSchedule::new(prefix, cycle)
@@ -74,7 +81,10 @@ pub fn generalized_schedule(m: usize) -> LassoSchedule {
 /// # Panics
 ///
 /// Panics if `m < 3`.
-pub fn generalized_report(m: usize, max_cycles: usize) -> Result<StableViewReport<u32>, MemoryError> {
+pub fn generalized_report(
+    m: usize,
+    max_cycles: usize,
+) -> Result<StableViewReport<u32>, MemoryError> {
     analyze_lasso(
         &[1, 2, 3],
         m,
@@ -103,8 +113,7 @@ mod tests {
     #[test]
     fn pattern_persists_for_all_register_counts() {
         for m in 3..=8usize {
-            let report = generalized_report(m, 500)
-                .unwrap_or_else(|e| panic!("m={m}: {e}"));
+            let report = generalized_report(m, 500).unwrap_or_else(|e| panic!("m={m}: {e}"));
             let vs = report.graph.vertices();
             assert_eq!(vs, &[v(&[1]), v(&[1, 2]), v(&[1, 3])], "m={m}");
             assert!(report.graph.has_unique_source(), "m={m}");

@@ -82,9 +82,7 @@ impl<V: Ord + Clone> Process for RenamingProcess<V> {
         }
         match self.engine.step(input) {
             EngineStep::Access(Action::Read { local }) => Action::Read { local },
-            EngineStep::Access(Action::Write { local, value }) => {
-                Action::Write { local, value }
-            }
+            EngineStep::Access(Action::Write { local, value }) => Action::Write { local, value },
             EngineStep::Access(_) => unreachable!("the engine only issues memory accesses"),
             EngineStep::Done(snap) => {
                 self.output_emitted = true;
@@ -116,7 +114,9 @@ mod tests {
         let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
         let mut exec = Executor::new(procs, memory).unwrap();
         exec.run_random(rng, 10_000_000).unwrap();
-        (0..n).map(|i| *exec.first_output(ProcId(i)).unwrap()).collect()
+        (0..n)
+            .map(|i| *exec.first_output(ProcId(i)).unwrap())
+            .collect()
     }
 
     #[test]
@@ -146,7 +146,10 @@ mod tests {
             let bound = m * (m + 1) / 2;
             let mut seen = std::collections::BTreeSet::new();
             for &name in &names {
-                assert!(name >= 1 && name <= bound, "seed {seed}: name {name} out of range");
+                assert!(
+                    name >= 1 && name <= bound,
+                    "seed {seed}: name {name} out of range"
+                );
                 assert!(seen.insert(name), "seed {seed}: duplicate name {name}");
             }
         }
@@ -163,7 +166,10 @@ mod tests {
             // Range: M = 2 groups participate, but the *adaptive* bound is in
             // terms of participating groups: M(M+1)/2 = 3.
             for &n in &names {
-                assert!(n >= 1 && n <= 3, "seed {seed}: name {n} outside group bound");
+                assert!(
+                    (1..=3).contains(&n),
+                    "seed {seed}: name {n} outside group bound"
+                );
             }
         }
     }
@@ -180,9 +186,7 @@ mod tests {
                 let next = ids.len();
                 ids.entry(i).or_insert(next);
             }
-            let groups = GroupAssignment::new(
-                inputs.iter().map(|i| GroupId(ids[i])).collect(),
-            );
+            let groups = GroupAssignment::new(inputs.iter().map(|i| GroupId(ids[i])).collect());
             let outputs: Vec<Option<usize>> = names.into_iter().map(Some).collect();
             check_group_solution(&AdaptiveRenaming::quadratic(), &groups, &outputs)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -192,8 +196,10 @@ mod tests {
     #[test]
     fn solo_processor_takes_name_one() {
         let n = 3;
-        let procs: Vec<RenamingProcess<u32>> =
-            [5u32, 6, 7].iter().map(|&x| RenamingProcess::new(x, n)).collect();
+        let procs: Vec<RenamingProcess<u32>> = [5u32, 6, 7]
+            .iter()
+            .map(|&x| RenamingProcess::new(x, n))
+            .collect();
         let memory =
             SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
         let mut exec = Executor::new(procs, memory).unwrap();

@@ -4,16 +4,13 @@
 //! memory, schedule, budget) behind small config structs so examples, tests
 //! and benches don't repeat it. Everything is seeded and deterministic.
 
-use fa_memory::{
-    Executor, MemoryError, ProcId, RandomScheduler, SharedMemory, Wiring,
-};
+use fa_memory::{Executor, MemoryError, ProcId, RandomScheduler, SharedMemory, Wiring};
+use fa_obs::{NoProbe, Probe};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{
-    ConsensusProcess, RenamingProcess, SnapRegister, SnapshotProcess, View,
-};
+use crate::{ConsensusProcess, RenamingProcess, SnapRegister, SnapshotProcess, View};
 
 /// How register wirings are chosen for a run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -120,6 +117,18 @@ pub(crate) fn make_wirings(mode: &WiringMode, n: usize, m: usize, seed: u64) -> 
 /// Propagates executor errors; notably
 /// [`MemoryError::StepBudgetExhausted`] if the budget is too small.
 pub fn run_snapshot_random(cfg: &SnapshotRunConfig) -> Result<SnapshotRunResult, MemoryError> {
+    run_snapshot_probed(cfg, NoProbe).map(|(res, NoProbe)| res)
+}
+
+/// [`run_snapshot_random`] streaming the run into `probe` (see [`fa_obs`]).
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn run_snapshot_probed<Pr: Probe>(
+    cfg: &SnapshotRunConfig,
+    probe: Pr,
+) -> Result<(SnapshotRunResult, Pr), MemoryError> {
     let n = cfg.inputs.len();
     let level = cfg.terminate_level.unwrap_or(n);
     let procs: Vec<SnapshotProcess<u32>> = cfg
@@ -129,15 +138,20 @@ pub fn run_snapshot_random(cfg: &SnapshotRunConfig) -> Result<SnapshotRunResult,
         .collect();
     let wirings = make_wirings(&cfg.wiring, n, n, cfg.seed);
     let memory = SharedMemory::new(n, SnapRegister::default(), wirings)?;
-    let mut exec = Executor::new(procs, memory)?;
+    let mut exec = Executor::with_probe(procs, memory, probe)?;
     exec.run_random(ChaCha8Rng::seed_from_u64(cfg.seed), cfg.budget)?;
-    Ok(SnapshotRunResult {
+    let result = SnapshotRunResult {
         views: (0..n)
-            .map(|i| exec.first_output(ProcId(i)).expect("halted with output").clone())
+            .map(|i| {
+                exec.first_output(ProcId(i))
+                    .expect("halted with output")
+                    .clone()
+            })
             .collect(),
         total_steps: exec.total_steps(),
         steps_per_proc: (0..n).map(|i| exec.steps_taken(ProcId(i))).collect(),
-    })
+    };
+    Ok((result, exec.into_probe()))
 }
 
 /// Runs adaptive renaming (Figure 4) under a seeded random schedule; returns
@@ -152,14 +166,32 @@ pub fn run_renaming_random(
     wiring: &WiringMode,
     budget: usize,
 ) -> Result<Vec<usize>, MemoryError> {
+    run_renaming_probed(inputs, seed, wiring, budget, NoProbe).map(|(names, NoProbe)| names)
+}
+
+/// [`run_renaming_random`] streaming the run into `probe` (see [`fa_obs`]).
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn run_renaming_probed<Pr: Probe>(
+    inputs: &[u32],
+    seed: u64,
+    wiring: &WiringMode,
+    budget: usize,
+    probe: Pr,
+) -> Result<(Vec<usize>, Pr), MemoryError> {
     let n = inputs.len();
     let procs: Vec<RenamingProcess<u32>> =
         inputs.iter().map(|&x| RenamingProcess::new(x, n)).collect();
     let wirings = make_wirings(wiring, n, n, seed);
     let memory = SharedMemory::new(n, SnapRegister::default(), wirings)?;
-    let mut exec = Executor::new(procs, memory)?;
+    let mut exec = Executor::with_probe(procs, memory, probe)?;
     exec.run_random(ChaCha8Rng::seed_from_u64(seed), budget)?;
-    Ok((0..n).map(|i| *exec.first_output(ProcId(i)).expect("halted with output")).collect())
+    let names = (0..n)
+        .map(|i| *exec.first_output(ProcId(i)).expect("halted with output"))
+        .collect();
+    Ok((names, exec.into_probe()))
 }
 
 /// Outcome of a consensus run (consensus is only obstruction-free, so a run
@@ -192,13 +224,35 @@ pub fn run_consensus_random(
     budget: usize,
     boost_solo_tail: usize,
 ) -> Result<ConsensusRunResult, MemoryError> {
+    run_consensus_probed(inputs, seed, wiring, budget, boost_solo_tail, NoProbe)
+        .map(|(res, NoProbe)| res)
+}
+
+/// [`run_consensus_random`] streaming the run into `probe` (see [`fa_obs`]).
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn run_consensus_probed<Pr: Probe>(
+    inputs: &[u32],
+    seed: u64,
+    wiring: &WiringMode,
+    budget: usize,
+    boost_solo_tail: usize,
+    probe: Pr,
+) -> Result<(ConsensusRunResult, Pr), MemoryError> {
     let n = inputs.len();
-    let procs: Vec<ConsensusProcess<u32>> =
-        inputs.iter().map(|&x| ConsensusProcess::new(x, n)).collect();
+    let procs: Vec<ConsensusProcess<u32>> = inputs
+        .iter()
+        .map(|&x| ConsensusProcess::new(x, n))
+        .collect();
     let wirings = make_wirings(wiring, n, n, seed);
     let memory = SharedMemory::new(n, SnapRegister::default(), wirings)?;
-    let mut exec = Executor::new(procs, memory)?;
-    exec.run(RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)), budget)?;
+    let mut exec = Executor::with_probe(procs, memory, probe)?;
+    exec.run(
+        RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed)),
+        budget,
+    )?;
     if boost_solo_tail > 0 {
         for i in 0..n {
             if !exec.is_halted(ProcId(i)) {
@@ -206,13 +260,15 @@ pub fn run_consensus_random(
             }
         }
     }
-    let decisions: Vec<Option<u32>> =
-        (0..n).map(|i| exec.first_output(ProcId(i)).copied()).collect();
-    Ok(ConsensusRunResult {
+    let decisions: Vec<Option<u32>> = (0..n)
+        .map(|i| exec.first_output(ProcId(i)).copied())
+        .collect();
+    let result = ConsensusRunResult {
         all_decided: decisions.iter().all(Option::is_some),
         decisions,
         total_steps: exec.total_steps(),
-    })
+    };
+    Ok((result, exec.into_probe()))
 }
 
 /// Samples a random group assignment of `n` processors into at most
@@ -221,7 +277,9 @@ pub fn run_consensus_random(
 #[must_use]
 pub fn random_group_inputs(n: usize, max_groups: usize, seed: u64) -> Vec<u32> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..max_groups) as u32).collect()
+    (0..n)
+        .map(|_| rng.gen_range(0..max_groups) as u32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -230,7 +288,11 @@ mod tests {
 
     #[test]
     fn snapshot_runner_solves_task_across_modes() {
-        for wiring in [WiringMode::Identity, WiringMode::Random, WiringMode::CyclicShifts] {
+        for wiring in [
+            WiringMode::Identity,
+            WiringMode::Random,
+            WiringMode::CyclicShifts,
+        ] {
             let cfg = SnapshotRunConfig::new(vec![1, 2, 3, 4])
                 .with_seed(11)
                 .with_wiring(wiring.clone());
@@ -258,8 +320,7 @@ mod tests {
 
     #[test]
     fn renaming_runner_produces_valid_names() {
-        let names =
-            run_renaming_random(&[9, 4, 6], 3, &WiringMode::Random, 10_000_000).unwrap();
+        let names = run_renaming_random(&[9, 4, 6], 3, &WiringMode::Random, 10_000_000).unwrap();
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -270,17 +331,15 @@ mod tests {
     #[test]
     fn consensus_runner_with_solo_tail_always_decides() {
         for seed in 0..5 {
-            let res = run_consensus_random(
-                &[5, 8, 2],
-                seed,
-                &WiringMode::Random,
-                200_000,
-                5_000_000,
-            )
-            .unwrap();
+            let res =
+                run_consensus_random(&[5, 8, 2], seed, &WiringMode::Random, 200_000, 5_000_000)
+                    .unwrap();
             assert!(res.all_decided, "seed {seed}");
             let d0 = res.decisions[0].unwrap();
-            assert!(res.decisions.iter().all(|d| d.unwrap() == d0), "seed {seed}");
+            assert!(
+                res.decisions.iter().all(|d| d.unwrap() == d0),
+                "seed {seed}"
+            );
             assert!([5, 8, 2].contains(&d0), "seed {seed}");
         }
     }

@@ -31,9 +31,7 @@ use crate::View;
 ///
 /// The default value (empty view, level 0) is the registers' initial
 /// contents.
-#[derive(
-    Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SnapRegister<V: Ord> {
     /// The view written.
     pub view: View<V>,
@@ -112,7 +110,12 @@ impl<V: Ord + std::hash::Hash> std::hash::Hash for SnapshotEngine<V> {
 enum EnginePhase<V: Ord> {
     Write,
     AwaitWrote,
-    Scanning { next: usize, all_match: bool, min_level: usize, pending: View<V> },
+    Scanning {
+        next: usize,
+        all_match: bool,
+        min_level: usize,
+        pending: View<V>,
+    },
     Done,
 }
 
@@ -139,7 +142,10 @@ impl<V: Ord + Clone> SnapshotEngine<V> {
     #[must_use]
     pub fn with_terminate_level(input: V, m: usize, terminate_level: usize) -> Self {
         assert!(m > 0, "the model requires at least one register");
-        assert!(terminate_level > 0, "termination at level 0 would be immediate");
+        assert!(
+            terminate_level > 0,
+            "termination at level 0 would be immediate"
+        );
         SnapshotEngine {
             m,
             terminate_level,
@@ -233,9 +239,16 @@ impl<V: Ord + Clone> SnapshotEngine<V> {
                     min_level: usize::MAX,
                     pending: View::new(),
                 };
-                EngineStep::Access(Action::Read { local: LocalRegId(0) })
+                EngineStep::Access(Action::Read {
+                    local: LocalRegId(0),
+                })
             }
-            EnginePhase::Scanning { next, mut all_match, mut min_level, mut pending } => {
+            EnginePhase::Scanning {
+                next,
+                mut all_match,
+                mut min_level,
+                mut pending,
+            } => {
                 let StepInput::ReadValue(reg) = input else {
                     panic!("engine expected a read value during scan");
                 };
@@ -253,14 +266,20 @@ impl<V: Ord + Clone> SnapshotEngine<V> {
                         min_level,
                         pending,
                     };
-                    return EngineStep::Access(Action::Read { local: LocalRegId(next) });
+                    return EngineStep::Access(Action::Read {
+                        local: LocalRegId(next),
+                    });
                 }
 
                 // Scan complete: update level, then view (Figure 3,
                 // lines 20–24 — the level test is against the view *before*
                 // absorbing this scan's values).
                 self.scans += 1;
-                self.level = if all_match { min_level.saturating_add(1) } else { 0 };
+                self.level = if all_match {
+                    min_level.saturating_add(1)
+                } else {
+                    0
+                };
                 self.view.union_with(&pending);
                 if self.level >= self.terminate_level {
                     self.phase = EnginePhase::Done;
@@ -326,7 +345,10 @@ impl<V: Ord + Clone> SnapshotProcess<V> {
     /// Panics if `n == 0`.
     #[must_use]
     pub fn new(input: V, n: usize) -> Self {
-        SnapshotProcess { engine: SnapshotEngine::new(input, n), output_emitted: false }
+        SnapshotProcess {
+            engine: SnapshotEngine::new(input, n),
+            output_emitted: false,
+        }
     }
 
     /// Like [`new`](SnapshotProcess::new) with a custom termination level
@@ -379,9 +401,7 @@ impl<V: Ord + Clone> Process for SnapshotProcess<V> {
         }
         match self.engine.step(input) {
             EngineStep::Access(Action::Read { local }) => Action::Read { local },
-            EngineStep::Access(Action::Write { local, value }) => {
-                Action::Write { local, value }
-            }
+            EngineStep::Access(Action::Write { local, value }) => Action::Write { local, value },
             EngineStep::Access(Action::Output(())) | EngineStep::Access(Action::Halt) => {
                 unreachable!("the engine only issues memory accesses")
             }
@@ -399,11 +419,7 @@ mod tests {
     use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
     use rand::SeedableRng;
 
-    fn run_snapshot(
-        inputs: &[u32],
-        wirings: Vec<Wiring>,
-        seed: u64,
-    ) -> Vec<View<u32>> {
+    fn run_snapshot(inputs: &[u32], wirings: Vec<Wiring>, seed: u64) -> Vec<View<u32>> {
         let n = inputs.len();
         let procs: Vec<SnapshotProcess<u32>> =
             inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
@@ -411,7 +427,9 @@ mod tests {
         let mut exec = Executor::new(procs, memory).unwrap();
         exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(seed), 5_000_000)
             .unwrap();
-        (0..n).map(|i| exec.first_output(ProcId(i)).unwrap().clone()).collect()
+        (0..n)
+            .map(|i| exec.first_output(ProcId(i)).unwrap().clone())
+            .collect()
     }
 
     #[test]
@@ -469,10 +487,7 @@ mod tests {
             match e.step(input) {
                 EngineStep::Access(Action::Write { .. }) => input = StepInput::Wrote,
                 EngineStep::Access(Action::Read { .. }) => {
-                    input = StepInput::ReadValue(SnapRegister::new(
-                        View::singleton(1),
-                        last_level,
-                    ));
+                    input = StepInput::ReadValue(SnapRegister::new(View::singleton(1), last_level));
                 }
                 EngineStep::Done(view) => {
                     assert_eq!(view, View::singleton(1));
@@ -494,9 +509,15 @@ mod tests {
         let _ = e.step(StepInput::Start);
         // read 0: own view, level 5.
         let _ = e.step(StepInput::Wrote);
-        let _ = e.step(StepInput::ReadValue(SnapRegister::new(View::singleton(1), 5)));
+        let _ = e.step(StepInput::ReadValue(SnapRegister::new(
+            View::singleton(1),
+            5,
+        )));
         // read 1: different view -> reset and absorb.
-        let out = e.step(StepInput::ReadValue(SnapRegister::new(View::singleton(9), 3)));
+        let out = e.step(StepInput::ReadValue(SnapRegister::new(
+            View::singleton(9),
+            3,
+        )));
         assert_eq!(e.level(), 0);
         assert_eq!(e.view(), &View::from_iter([1, 9]));
         // Next action is the write of the enlarged view.
@@ -617,8 +638,8 @@ mod tests {
         let n = 2;
         let procs: Vec<SnapshotProcess<u32>> =
             vec![SnapshotProcess::new(1, n), SnapshotProcess::new(2, n)];
-        let memory = SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n])
-            .unwrap();
+        let memory =
+            SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
         let mut exec = Executor::new(procs, memory).unwrap();
         exec.run_round_robin(100_000).unwrap();
         for i in 0..n {

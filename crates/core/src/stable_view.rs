@@ -23,8 +23,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use fa_memory::{
-    Action, Executor, LassoSchedule, MemoryError, ProcId, RandomScheduler, Scheduler,
-    SharedMemory, Wiring,
+    Action, Executor, LassoSchedule, MemoryError, ProcId, RandomScheduler, Scheduler, SharedMemory,
+    Wiring,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -155,10 +155,16 @@ pub fn analyze_lasso(
     schedule: &LassoSchedule,
     max_cycles: usize,
 ) -> Result<StableViewReport<u32>, MemoryError> {
-    assert_eq!(inputs.len(), wirings.len(), "one wiring per processor required");
+    assert_eq!(
+        inputs.len(),
+        wirings.len(),
+        "one wiring per processor required"
+    );
     let n = inputs.len();
-    let procs: Vec<WriteScanProcess<u32>> =
-        inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+    let procs: Vec<WriteScanProcess<u32>> = inputs
+        .iter()
+        .map(|&x| WriteScanProcess::new(x, m))
+        .collect();
     let memory = SharedMemory::new(m, View::new(), wirings)?;
     let mut exec = Executor::new(procs, memory)?;
 
@@ -170,12 +176,18 @@ pub fn analyze_lasso(
     }
 
     // Iterate cycles, fingerprinting the global state at each boundary.
-    type StateKey = (Vec<View<u32>>, Vec<(WriteScanProcess<u32>, Option<Action<View<u32>, ()>>)>);
+    type StateKey = (
+        Vec<View<u32>>,
+        Vec<(WriteScanProcess<u32>, Option<Action<View<u32>, ()>>)>,
+    );
     let global_state = |exec: &Executor<WriteScanProcess<u32>>| -> StateKey {
         let mem = exec.memory().contents().to_vec();
         let procs = (0..n)
             .map(|i| {
-                (exec.process(ProcId(i)).clone(), exec.pending_action(ProcId(i)).cloned())
+                (
+                    exec.process(ProcId(i)).clone(),
+                    exec.pending_action(ProcId(i)).cloned(),
+                )
             })
             .collect();
         (mem, procs)
@@ -206,7 +218,9 @@ pub fn analyze_lasso(
         }
         seen.insert(key, cycle);
     }
-    Err(MemoryError::StepBudgetExhausted { budget: max_cycles * schedule.cycle_len() })
+    Err(MemoryError::StepBudgetExhausted {
+        budget: max_cycles * schedule.cycle_len(),
+    })
 }
 
 /// Heuristically analyzes a *random* fair schedule: runs until no view has
@@ -229,20 +243,29 @@ pub fn analyze_random(
     quiet_window: usize,
     budget: usize,
 ) -> Result<StableViewReport<u32>, MemoryError> {
-    assert_eq!(inputs.len(), wirings.len(), "one wiring per processor required");
+    assert_eq!(
+        inputs.len(),
+        wirings.len(),
+        "one wiring per processor required"
+    );
     let n = inputs.len();
-    let procs: Vec<WriteScanProcess<u32>> =
-        inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+    let procs: Vec<WriteScanProcess<u32>> = inputs
+        .iter()
+        .map(|&x| WriteScanProcess::new(x, m))
+        .collect();
     let memory = SharedMemory::new(m, View::new(), wirings)?;
     let mut exec = Executor::new(procs, memory)?;
     let mut sched = RandomScheduler::new(ChaCha8Rng::seed_from_u64(seed));
 
-    let mut views: Vec<View<u32>> =
-        (0..n).map(|i| exec.process(ProcId(i)).view().clone()).collect();
+    let mut views: Vec<View<u32>> = (0..n)
+        .map(|i| exec.process(ProcId(i)).view().clone())
+        .collect();
     let mut quiet = 0usize;
     let mut steps = 0usize;
     while steps < budget && quiet < quiet_window {
-        let p = sched.next(&exec.live_procs()).expect("write-scan never halts");
+        let p = sched
+            .next(&exec.live_procs())
+            .expect("write-scan never halts");
         exec.step_proc(p)?;
         steps += 1;
         let v = exec.process(p).view();
@@ -253,10 +276,14 @@ pub fn analyze_random(
             quiet += 1;
         }
     }
-    let stable_views: BTreeMap<usize, View<u32>> =
-        (0..n).map(|i| (i, views[i].clone())).collect();
+    let stable_views: BTreeMap<usize, View<u32>> = (0..n).map(|i| (i, views[i].clone())).collect();
     let graph = StableViewGraph::from_views(stable_views.values().cloned());
-    Ok(StableViewReport { stable_views, graph, cycles_until_periodic: steps, period: 0 })
+    Ok(StableViewReport {
+        stable_views,
+        graph,
+        cycles_until_periodic: steps,
+        period: 0,
+    })
 }
 
 #[cfg(test)]
@@ -326,16 +353,12 @@ mod tests {
         let n = 3;
         let sched = LassoSchedule::new(
             vec![],
-            (0..n).flat_map(|p| std::iter::repeat(ProcId(p)).take(4)).collect(),
+            (0..n)
+                .flat_map(|p| std::iter::repeat(ProcId(p)).take(4))
+                .collect(),
         );
-        let report = analyze_lasso(
-            &[1, 2, 3],
-            n,
-            vec![Wiring::identity(n); n],
-            &sched,
-            1000,
-        )
-        .unwrap();
+        let report =
+            analyze_lasso(&[1, 2, 3], n, vec![Wiring::identity(n); n], &sched, 1000).unwrap();
         assert_eq!(report.graph.vertices().len(), 3);
         assert!(report.graph.vertices().contains(&v(&[1, 3])));
         assert!(report.graph.vertices().contains(&v(&[2, 3])));
@@ -350,8 +373,10 @@ mod tests {
         // p2 takes steps only in the prefix: its view is not stable.
         let n = 3;
         let prefix = vec![ProcId(2); 4];
-        let cycle: Vec<ProcId> =
-            [0, 0, 0, 0, 1, 1, 1, 1].iter().map(|&i| ProcId(i)).collect();
+        let cycle: Vec<ProcId> = [0, 0, 0, 0, 1, 1, 1, 1]
+            .iter()
+            .map(|&i| ProcId(i))
+            .collect();
         let sched = LassoSchedule::new(prefix, cycle);
         let report =
             analyze_lasso(&[1, 2, 3], n, vec![Wiring::identity(n); n], &sched, 1000).unwrap();
@@ -383,8 +408,7 @@ mod tests {
         // A cycle that can't stabilize within 0 cycles: max_cycles = 0.
         let n = 2;
         let sched = LassoSchedule::new(vec![], vec![ProcId(0), ProcId(1)]);
-        let err = analyze_lasso(&[1, 2], n, vec![Wiring::identity(n); n], &sched, 0)
-            .unwrap_err();
+        let err = analyze_lasso(&[1, 2], n, vec![Wiring::identity(n); n], &sched, 0).unwrap_err();
         assert!(matches!(err, MemoryError::StepBudgetExhausted { .. }));
     }
 }

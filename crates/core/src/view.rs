@@ -36,7 +36,9 @@ impl<V: Ord> View<V> {
     /// register.
     #[must_use]
     pub fn new() -> Self {
-        View { values: BTreeSet::new() }
+        View {
+            values: BTreeSet::new(),
+        }
     }
 
     /// The view containing exactly one value — a processor's initial view of
@@ -147,13 +149,17 @@ impl<V: Ord + Clone> View<V> {
     /// The intersection of two views, as a new view.
     #[must_use]
     pub fn intersection(&self, other: &View<V>) -> View<V> {
-        View { values: self.values.intersection(&other.values).cloned().collect() }
+        View {
+            values: self.values.intersection(&other.values).cloned().collect(),
+        }
     }
 }
 
 impl<V: Ord> FromIterator<V> for View<V> {
     fn from_iter<T: IntoIterator<Item = V>>(iter: T) -> Self {
-        View { values: iter.into_iter().collect() }
+        View {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

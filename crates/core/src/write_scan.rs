@@ -122,12 +122,20 @@ impl<V: Ord + Clone> Process for WriteScanProcess<V> {
                 let local = LocalRegId(self.write_idx);
                 self.write_idx = (self.write_idx + 1) % self.m;
                 self.phase = Phase::AwaitWrote;
-                Action::Write { local, value: self.view.clone() }
+                Action::Write {
+                    local,
+                    value: self.view.clone(),
+                }
             }
             Phase::AwaitWrote => {
                 debug_assert!(matches!(input, StepInput::Wrote));
-                self.phase = Phase::Scanning { next: 1, pending: View::new() };
-                Action::Read { local: LocalRegId(0) }
+                self.phase = Phase::Scanning {
+                    next: 1,
+                    pending: View::new(),
+                };
+                Action::Read {
+                    local: LocalRegId(0),
+                }
             }
             Phase::Scanning { next, mut pending } => {
                 let StepInput::ReadValue(v) = input else {
@@ -135,15 +143,23 @@ impl<V: Ord + Clone> Process for WriteScanProcess<V> {
                 };
                 pending.union_with(&v);
                 if next < self.m {
-                    self.phase = Phase::Scanning { next: next + 1, pending };
-                    Action::Read { local: LocalRegId(next) }
+                    self.phase = Phase::Scanning {
+                        next: next + 1,
+                        pending,
+                    };
+                    Action::Read {
+                        local: LocalRegId(next),
+                    }
                 } else {
                     self.scans += 1;
                     self.view.union_with(&pending);
                     let local = LocalRegId(self.write_idx);
                     self.write_idx = (self.write_idx + 1) % self.m;
                     self.phase = Phase::AwaitWrote;
-                    Action::Write { local, value: self.view.clone() }
+                    Action::Write {
+                        local,
+                        value: self.view.clone(),
+                    }
                 }
             }
         }
@@ -156,13 +172,11 @@ mod tests {
     use fa_memory::{Executor, ProcId, RoundRobin, SharedMemory, Wiring};
     use rand::SeedableRng;
 
-    fn system(
-        inputs: &[u32],
-        m: usize,
-        wirings: Vec<Wiring>,
-    ) -> Executor<WriteScanProcess<u32>> {
-        let procs: Vec<WriteScanProcess<u32>> =
-            inputs.iter().map(|&x| WriteScanProcess::new(x, m)).collect();
+    fn system(inputs: &[u32], m: usize, wirings: Vec<Wiring>) -> Executor<WriteScanProcess<u32>> {
+        let procs: Vec<WriteScanProcess<u32>> = inputs
+            .iter()
+            .map(|&x| WriteScanProcess::new(x, m))
+            .collect();
         let memory = SharedMemory::new(m, View::new(), wirings).unwrap();
         Executor::new(procs, memory).unwrap()
     }
@@ -183,14 +197,15 @@ mod tests {
     #[test]
     fn views_grow_monotonically() {
         let mut exec = system(&[1, 2, 3], 3, vec![Wiring::identity(3); 3]);
-        let mut prev: Vec<View<u32>> =
-            (0..3).map(|i| exec.process(ProcId(i)).view().clone()).collect();
+        let mut prev: Vec<View<u32>> = (0..3)
+            .map(|i| exec.process(ProcId(i)).view().clone())
+            .collect();
         for _ in 0..200 {
             exec.run(RoundRobin::new(), 1).unwrap();
-            for i in 0..3 {
+            for (i, prev_view) in prev.iter_mut().enumerate() {
                 let cur = exec.process(ProcId(i)).view();
-                assert!(prev[i].is_subset(cur), "views never shrink");
-                prev[i] = cur.clone();
+                assert!(prev_view.is_subset(cur), "views never shrink");
+                *prev_view = cur.clone();
             }
         }
     }
@@ -204,20 +219,21 @@ mod tests {
         // converging — yet Theorem 4.8's unique source still holds.
         let mut exec = system(&[1, 2, 3, 4], 4, vec![Wiring::identity(4); 4]);
         exec.run(RoundRobin::new(), 2_000).unwrap();
-        let views: Vec<View<u32>> =
-            (0..4).map(|i| exec.process(ProcId(i)).view().clone()).collect();
+        let views: Vec<View<u32>> = (0..4)
+            .map(|i| exec.process(ProcId(i)).view().clone())
+            .collect();
         // p3 (last in rotation) learns nothing beyond its own input.
         assert_eq!(views[3], View::singleton(4));
         // Everyone else learns exactly {self, 4}.
-        for i in 0..3 {
+        for (i, view) in views.iter().enumerate().take(3) {
             let expect: View<u32> = [i as u32 + 1, 4].into_iter().collect();
-            assert_eq!(views[i], expect);
+            assert_eq!(view, &expect);
         }
         // Stability: a further 2000 steps change nothing.
         let before = views.clone();
         exec.run(RoundRobin::new(), 2_000).unwrap();
-        for i in 0..4 {
-            assert_eq!(exec.process(ProcId(i)).view(), &before[i]);
+        for (i, b) in before.iter().enumerate() {
+            assert_eq!(exec.process(ProcId(i)).view(), b);
         }
         let graph = crate::stable_view::StableViewGraph::from_views(views);
         assert!(graph.is_dag());
@@ -230,7 +246,8 @@ mod tests {
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let wirings: Vec<Wiring> = (0..3).map(|_| Wiring::random(3, &mut rng)).collect();
             let mut exec = system(&[1, 2, 3], 3, wirings);
-            exec.run(fa_memory::RandomScheduler::new(rng), 5_000).unwrap();
+            exec.run(fa_memory::RandomScheduler::new(rng), 5_000)
+                .unwrap();
             let all: View<u32> = [1, 2, 3].into_iter().collect();
             for i in 0..3 {
                 assert_eq!(exec.process(ProcId(i)).view(), &all, "seed {seed}");
@@ -266,7 +283,8 @@ mod tests {
         // a random schedule converges to the full view.
         let mut exec = system(&[7, 8], 5, vec![Wiring::identity(5); 2]);
         let rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
-        exec.run(fa_memory::RandomScheduler::new(rng), 5_000).unwrap();
+        exec.run(fa_memory::RandomScheduler::new(rng), 5_000)
+            .unwrap();
         let all: View<u32> = [7, 8].into_iter().collect();
         for i in 0..2 {
             assert_eq!(exec.process(ProcId(i)).view(), &all);

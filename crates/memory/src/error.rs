@@ -138,14 +138,32 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let errs: Vec<MemoryError> = vec![
-            MemoryError::NotAPermutation { mapping: vec![0, 0] },
-            MemoryError::WiringCountMismatch { processes: 2, wirings: 3 },
+            MemoryError::NotAPermutation {
+                mapping: vec![0, 0],
+            },
+            MemoryError::WiringCountMismatch {
+                processes: 2,
+                wirings: 3,
+            },
             MemoryError::ZeroRegisters,
             MemoryError::TooFewProcessors { processes: 1 },
-            MemoryError::ProcOutOfRange { proc: ProcId(5), processes: 2 },
-            MemoryError::LocalRegOutOfRange { local: LocalRegId(9), registers: 3 },
-            MemoryError::RegOutOfRange { reg: RegId(9), registers: 3 },
-            MemoryError::NotOwner { proc: ProcId(0), reg: RegId(1), owner: ProcId(1) },
+            MemoryError::ProcOutOfRange {
+                proc: ProcId(5),
+                processes: 2,
+            },
+            MemoryError::LocalRegOutOfRange {
+                local: LocalRegId(9),
+                registers: 3,
+            },
+            MemoryError::RegOutOfRange {
+                reg: RegId(9),
+                registers: 3,
+            },
+            MemoryError::NotOwner {
+                proc: ProcId(0),
+                reg: RegId(1),
+                owner: ProcId(1),
+            },
             MemoryError::ScheduledHalted { proc: ProcId(0) },
             MemoryError::StepBudgetExhausted { budget: 10 },
             MemoryError::SchedulerStuck,

@@ -5,6 +5,7 @@ use crate::schedule::{RandomScheduler, RoundRobin, Scheduler, SoloScheduler};
 use crate::{
     Action, Event, EventKind, MemoryError, ProcId, Process, SharedMemory, StepInput, Trace,
 };
+use fa_obs::{NoProbe, Probe};
 
 /// What a single executed step did, from the executor's perspective.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,7 +66,7 @@ pub struct RunOutcome {
 /// assert!(exec.first_output(fa_memory::ProcId(0)).is_some());
 /// ```
 #[derive(Clone, Debug)]
-pub struct Executor<P: Process> {
+pub struct Executor<P: Process, Pr: Probe = NoProbe> {
     procs: Vec<P>,
     /// The action each processor is poised to take. `None` once halted.
     pending: Vec<Option<Action<P::Value, P::Output>>>,
@@ -76,6 +77,12 @@ pub struct Executor<P: Process> {
     memory: SharedMemory<P::Value>,
     time: u64,
     trace: Option<Trace<P::Value, P::Output>>,
+    /// Observer of the run's event stream. With the default [`NoProbe`]
+    /// every hook call is compile-time dead code.
+    probe: Pr,
+    /// Processors currently poised to write, maintained incrementally so the
+    /// per-step covering-size hook is O(1).
+    poised_writers: usize,
 }
 
 impl<P> Executor<P>
@@ -96,8 +103,34 @@ where
     /// * [`MemoryError::WiringCountMismatch`] if the memory is wired for a
     ///   different number of processors.
     pub fn new(procs: Vec<P>, memory: SharedMemory<P::Value>) -> Result<Self, MemoryError> {
+        Self::with_probe(procs, memory, NoProbe)
+    }
+}
+
+impl<P, Pr> Executor<P, Pr>
+where
+    P: Process,
+    P::Value: Clone,
+    P::Output: Clone,
+    Pr: Probe,
+{
+    /// Creates an executor whose run will be observed by `probe`.
+    ///
+    /// Identical to [`Executor::new`] otherwise; retrieve the probe with
+    /// [`probe`](Executor::probe) / [`into_probe`](Executor::into_probe).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::new`].
+    pub fn with_probe(
+        procs: Vec<P>,
+        memory: SharedMemory<P::Value>,
+        probe: Pr,
+    ) -> Result<Self, MemoryError> {
         if procs.len() < 2 {
-            return Err(MemoryError::TooFewProcessors { processes: procs.len() });
+            return Err(MemoryError::TooFewProcessors {
+                processes: procs.len(),
+            });
         }
         if memory.proc_count() != procs.len() {
             return Err(MemoryError::WiringCountMismatch {
@@ -115,11 +148,36 @@ where
             memory,
             time: 0,
             trace: None,
+            probe,
+            poised_writers: 0,
         };
         for p in &mut exec.procs {
-            exec.pending.push(Some(p.step(StepInput::Start)));
+            let action = p.step(StepInput::Start);
+            if matches!(action, Action::Write { .. }) {
+                exec.poised_writers += 1;
+            }
+            exec.pending.push(Some(action));
         }
         Ok(exec)
+    }
+
+    /// The probe observing this run.
+    #[must_use]
+    pub fn probe(&self) -> &Pr {
+        &self.probe
+    }
+
+    /// Mutable access to the probe (e.g. to record algorithm-level resets
+    /// the executor itself cannot see).
+    pub fn probe_mut(&mut self) -> &mut Pr {
+        &mut self.probe
+    }
+
+    /// Consumes the executor, returning the probe with everything it
+    /// aggregated.
+    #[must_use]
+    pub fn into_probe(self) -> Pr {
+        self.probe
     }
 
     /// Enables (or disables) trace recording. Disabled by default because
@@ -205,7 +263,10 @@ where
     /// The live (non-halted) processors in increasing id order.
     #[must_use]
     pub fn live_procs(&self) -> Vec<ProcId> {
-        (0..self.procs.len()).filter(|&i| self.pending[i].is_some()).map(ProcId).collect()
+        (0..self.procs.len())
+            .filter(|&i| self.pending[i].is_some())
+            .map(ProcId)
+            .collect()
     }
 
     /// All outputs recorded by `p`, in order.
@@ -256,7 +317,19 @@ where
     pub fn time(&self) -> u64 {
         self.time
     }
+}
 
+/// Stepping requires `Debug` value/output types so an enabled probe can
+/// render them into its event stream; with [`NoProbe`] the rendering is
+/// compile-time dead code, but the bound keeps one `step_proc` body for
+/// both cases.
+impl<P, Pr> Executor<P, Pr>
+where
+    P: Process,
+    P::Value: Clone + std::fmt::Debug,
+    P::Output: Clone + std::fmt::Debug,
+    Pr: Probe,
+{
     /// Executes exactly one atomic step of processor `p`.
     ///
     /// # Errors
@@ -265,49 +338,116 @@ where
     /// * Index errors if the process requested an out-of-range register.
     pub fn step_proc(&mut self, p: ProcId) -> Result<StepOutcome, MemoryError> {
         if p.0 >= self.procs.len() {
-            return Err(MemoryError::ProcOutOfRange { proc: p, processes: self.procs.len() });
+            return Err(MemoryError::ProcOutOfRange {
+                proc: p,
+                processes: self.procs.len(),
+            });
         }
-        let action = self.pending[p.0].take().ok_or(MemoryError::ScheduledHalted { proc: p })?;
+        let action = self.pending[p.0]
+            .take()
+            .ok_or(MemoryError::ScheduledHalted { proc: p })?;
+        if matches!(action, Action::Write { .. }) {
+            self.poised_writers -= 1;
+        }
         self.participated[p.0] = true;
         self.steps_taken[p.0] += 1;
         let time = self.time;
         self.time += 1;
+        // Probe events are stamped with the post-step time (1-based step
+        // index), so the last event's time equals the run's total steps.
+        let probe_time = self.time;
 
         let (outcome, next_input, event_kind) = match action {
             Action::Read { local } => {
                 let (value, global, read_from) = self.memory.read(p, local)?;
+                if Pr::ENABLED {
+                    self.probe.on_read(&fa_obs::ReadEvent {
+                        proc_id: p.0,
+                        local: local.0,
+                        global: global.0,
+                        time: probe_time,
+                        read_from: read_from.map(|w| w.0),
+                        value: Pr::WANTS_VALUES.then(|| format!("{value:?}")),
+                    });
+                }
                 (
                     StepOutcome::MemoryAccess,
                     Some(StepInput::ReadValue(value.clone())),
-                    Some(EventKind::Read { local, global, value, read_from }),
+                    Some(EventKind::Read {
+                        local,
+                        global,
+                        value,
+                        read_from,
+                    }),
                 )
             }
             Action::Write { local, value } => {
-                let overwrote_writer =
-                    self.memory.last_writer(self.memory.resolve(p, local)?);
+                let overwrote_writer = self.memory.last_writer(self.memory.resolve(p, local)?);
                 let (global, overwrote) = self.memory.write(p, local, value.clone())?;
+                if Pr::ENABLED {
+                    self.probe.on_write(&fa_obs::WriteEvent {
+                        proc_id: p.0,
+                        local: local.0,
+                        global: global.0,
+                        time: probe_time,
+                        overwrote_writer: overwrote_writer.map(|w| w.0),
+                        value: Pr::WANTS_VALUES.then(|| format!("{value:?}")),
+                    });
+                }
                 (
                     StepOutcome::MemoryAccess,
                     Some(StepInput::Wrote),
-                    Some(EventKind::Write { local, global, value, overwrote, overwrote_writer }),
+                    Some(EventKind::Write {
+                        local,
+                        global,
+                        value,
+                        overwrote,
+                        overwrote_writer,
+                    }),
                 )
             }
             Action::Output(o) => {
                 self.outputs[p.0].push(o.clone());
+                if Pr::ENABLED {
+                    self.probe.on_output(&fa_obs::OutputEvent {
+                        proc_id: p.0,
+                        time: probe_time,
+                        value: Pr::WANTS_VALUES.then(|| format!("{o:?}")),
+                    });
+                }
                 (
                     StepOutcome::Output,
                     Some(StepInput::OutputRecorded),
                     Some(EventKind::Output(o)),
                 )
             }
-            Action::Halt => (StepOutcome::Halted, None, Some(EventKind::Halt)),
+            Action::Halt => {
+                if Pr::ENABLED {
+                    self.probe.on_halt(p.0, probe_time);
+                }
+                (StepOutcome::Halted, None, Some(EventKind::Halt))
+            }
         };
 
         if let (Some(trace), Some(kind)) = (self.trace.as_mut(), event_kind) {
-            trace.push(Event { time, proc: p, kind });
+            trace.push(Event {
+                time,
+                proc: p,
+                kind,
+            });
         }
         if let Some(input) = next_input {
-            self.pending[p.0] = Some(self.procs[p.0].step(input));
+            let next = self.procs[p.0].step(input);
+            if matches!(next, Action::Write { .. }) {
+                self.poised_writers += 1;
+            }
+            self.pending[p.0] = Some(next);
+        }
+        if Pr::ENABLED {
+            self.probe.on_step(&fa_obs::StepEvent {
+                time: probe_time,
+                poised: self.poised_writers,
+            });
         }
         Ok(outcome)
     }
@@ -327,16 +467,25 @@ where
         let mut steps = 0usize;
         while steps < budget {
             if self.all_halted() {
-                return Ok(RunOutcome { steps, all_halted: true });
+                return Ok(RunOutcome {
+                    steps,
+                    all_halted: true,
+                });
             }
             let live = self.live_procs();
             let Some(p) = scheduler.next(&live) else {
-                return Ok(RunOutcome { steps, all_halted: self.all_halted() });
+                return Ok(RunOutcome {
+                    steps,
+                    all_halted: self.all_halted(),
+                });
             };
             self.step_proc(p)?;
             steps += 1;
         }
-        Ok(RunOutcome { steps, all_halted: self.all_halted() })
+        Ok(RunOutcome {
+            steps,
+            all_halted: self.all_halted(),
+        })
     }
 
     /// Runs under `scheduler` until `stop` returns true, every processor
@@ -360,11 +509,17 @@ where
         let mut steps = 0usize;
         while steps < budget {
             if self.all_halted() {
-                return Ok(RunOutcome { steps, all_halted: true });
+                return Ok(RunOutcome {
+                    steps,
+                    all_halted: true,
+                });
             }
             let live = self.live_procs();
             let Some(p) = scheduler.next(&live) else {
-                return Ok(RunOutcome { steps, all_halted: self.all_halted() });
+                return Ok(RunOutcome {
+                    steps,
+                    all_halted: self.all_halted(),
+                });
             };
             self.step_proc(p)?;
             steps += 1;
@@ -372,7 +527,10 @@ where
                 break;
             }
         }
-        Ok(RunOutcome { steps, all_halted: self.all_halted() })
+        Ok(RunOutcome {
+            steps,
+            all_halted: self.all_halted(),
+        })
     }
 
     /// Runs to completion under a fair round-robin schedule.
@@ -432,9 +590,7 @@ where
             .filter_map(|i| {
                 let p = ProcId(i);
                 match self.pending[i].as_ref()? {
-                    Action::Write { local, .. } => {
-                        Some((p, self.memory.wiring(p).global(*local)))
-                    }
+                    Action::Write { local, .. } => Some((p, self.memory.wiring(p).global(*local))),
                     _ => None,
                 }
             })
@@ -486,7 +642,13 @@ mod tests {
     }
 
     fn fillers(n: usize, m: usize) -> Vec<Filler> {
-        (0..n).map(|i| Filler { input: i as u32 + 1, m, next: 0 }).collect()
+        (0..n)
+            .map(|i| Filler {
+                input: i as u32 + 1,
+                m,
+                next: 0,
+            })
+            .collect()
     }
 
     #[test]
@@ -521,7 +683,10 @@ mod tests {
         let memory = SharedMemory::named(2, 2, 0u32).unwrap();
         let mut exec = Executor::new(fillers(2, 2), memory).unwrap();
         let err = exec.run_round_robin(1).unwrap_err();
-        assert!(matches!(err, MemoryError::StepBudgetExhausted { budget: 1 }));
+        assert!(matches!(
+            err,
+            MemoryError::StepBudgetExhausted { budget: 1 }
+        ));
     }
 
     #[test]
@@ -533,7 +698,10 @@ mod tests {
         assert_eq!(exec.step_proc(ProcId(0)).unwrap(), StepOutcome::Halted);
         assert!(exec.is_halted(ProcId(0)));
         let err = exec.step_proc(ProcId(0)).unwrap_err();
-        assert!(matches!(err, MemoryError::ScheduledHalted { proc: ProcId(0) }));
+        assert!(matches!(
+            err,
+            MemoryError::ScheduledHalted { proc: ProcId(0) }
+        ));
     }
 
     #[test]

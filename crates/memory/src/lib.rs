@@ -80,8 +80,8 @@ mod memory;
 mod process;
 pub mod replay;
 pub mod schedule;
-mod trace;
 pub mod threaded;
+mod trace;
 mod wiring;
 
 pub use error::MemoryError;

@@ -162,7 +162,11 @@ impl<V: Clone> SharedMemory<V> {
         local: LocalRegId,
     ) -> Result<(V, RegId, Option<ProcId>), MemoryError> {
         let global = self.resolve(p, local)?;
-        Ok((self.registers[global.0].clone(), global, self.last_writer[global.0]))
+        Ok((
+            self.registers[global.0].clone(),
+            global,
+            self.last_writer[global.0],
+        ))
     }
 
     /// Atomically writes `value` to local register `local` on behalf of
@@ -184,7 +188,11 @@ impl<V: Clone> SharedMemory<V> {
         if let Some(owners) = &self.owners {
             let owner = owners[global.0];
             if owner != p {
-                return Err(MemoryError::NotOwner { proc: p, reg: global, owner });
+                return Err(MemoryError::NotOwner {
+                    proc: p,
+                    reg: global,
+                    owner,
+                });
             }
         }
         let old = std::mem::replace(&mut self.registers[global.0], value);
@@ -424,4 +432,3 @@ mod prop_tests {
         }
     }
 }
-

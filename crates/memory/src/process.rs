@@ -49,14 +49,19 @@ impl<V, O> Action<V, O> {
     /// Convenience constructor for a read of local register `local`.
     #[must_use]
     pub fn read(local: usize) -> Self {
-        Action::Read { local: LocalRegId(local) }
+        Action::Read {
+            local: LocalRegId(local),
+        }
     }
 
     /// Convenience constructor for a write of `value` to local register
     /// `local`.
     #[must_use]
     pub fn write(local: usize, value: V) -> Self {
-        Action::Write { local: LocalRegId(local), value }
+        Action::Write {
+            local: LocalRegId(local),
+            value,
+        }
     }
 
     /// Whether this action is a shared-memory access (read or write), as

@@ -123,7 +123,8 @@ mod tests {
     fn replay_reproduces_random_execution_exactly() {
         let mut exec = make();
         exec.record_trace(true);
-        exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(3), 1000).unwrap();
+        exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(3), 1000)
+            .unwrap();
         let original = exec.trace().unwrap().clone();
 
         let mut exec2 = make();
@@ -137,7 +138,8 @@ mod tests {
     fn replay_script_serde_round_trip() {
         let mut exec = make();
         exec.record_trace(true);
-        exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(9), 1000).unwrap();
+        exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(9), 1000)
+            .unwrap();
         let script = ReplayScript::from_trace("ping-pong n=2", exec.trace().unwrap());
         let json = serde_json::to_string(&script).unwrap();
         let back: ReplayScript = serde_json::from_str(&json).unwrap();

@@ -163,7 +163,11 @@ impl ScriptedSchedule {
     /// Creates a schedule replaying `script` front to back.
     #[must_use]
     pub fn new(script: Vec<ProcId>) -> Self {
-        ScriptedSchedule { script, pos: 0, skip_halted: false }
+        ScriptedSchedule {
+            script,
+            pos: 0,
+            skip_halted: false,
+        }
     }
 
     /// Creates a schedule from raw indices.
@@ -226,7 +230,11 @@ impl LassoSchedule {
     #[must_use]
     pub fn new(prefix: Vec<ProcId>, cycle: Vec<ProcId>) -> Self {
         assert!(!cycle.is_empty(), "lasso cycle must be nonempty");
-        LassoSchedule { prefix, cycle, pos: 0 }
+        LassoSchedule {
+            prefix,
+            cycle,
+            pos: 0,
+        }
     }
 
     /// The processors that take infinitely many steps under this schedule.
@@ -254,8 +262,7 @@ impl LassoSchedule {
     /// prefix is consumed and a whole number of cycles has been emitted).
     #[must_use]
     pub fn at_cycle_boundary(&self) -> bool {
-        self.pos >= self.prefix.len()
-            && (self.pos - self.prefix.len()) % self.cycle.len() == 0
+        self.pos >= self.prefix.len() && (self.pos - self.prefix.len()) % self.cycle.len() == 0
     }
 }
 
@@ -293,7 +300,11 @@ impl<R: Rng> BoundedDelayScheduler<R> {
     /// Panics if `k == 0`.
     pub fn new(rng: R, n: usize, k: usize) -> Self {
         assert!(k >= 1, "the delay bound must be at least 1");
-        BoundedDelayScheduler { rng, bound: k, waiting: vec![0; n] }
+        BoundedDelayScheduler {
+            rng,
+            bound: k,
+            waiting: vec![0; n],
+        }
     }
 }
 
@@ -336,7 +347,11 @@ impl<S: Scheduler> CrashingScheduler<S> {
     /// Wraps `inner` for a system of `n` processors with no crashes
     /// scheduled.
     pub fn new(inner: S, n: usize) -> Self {
-        CrashingScheduler { inner, crash_after: vec![None; n], steps_taken: vec![0; n] }
+        CrashingScheduler {
+            inner,
+            crash_after: vec![None; n],
+            steps_taken: vec![0; n],
+        }
     }
 
     /// Schedules processor `p` to crash after taking `steps` steps
@@ -366,9 +381,7 @@ impl<S: Scheduler> Scheduler for CrashingScheduler<S> {
         let alive: Vec<ProcId> = live
             .iter()
             .copied()
-            .filter(|p| {
-                !self.crash_after[p.0].is_some_and(|c| self.steps_taken[p.0] >= c)
-            })
+            .filter(|p| !self.crash_after[p.0].is_some_and(|c| self.steps_taken[p.0] >= c))
             .collect();
         let chosen = self.inner.next(&alive)?;
         self.steps_taken[chosen.0] += 1;
@@ -404,7 +417,9 @@ mod tests {
         let live = vec![ProcId(0), ProcId(1), ProcId(2)];
         let seq = |seed: u64| {
             let mut s = RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed));
-            (0..50).map(|_| s.next(&live).unwrap().0).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| s.next(&live).unwrap().0)
+                .collect::<Vec<_>>()
         };
         assert_eq!(seq(7), seq(7));
     }

@@ -38,7 +38,9 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use fa_obs::{NoProbe, OpKind, OutputEvent, Probe, ReadEvent, TimingEvent, WriteEvent};
 use parking_lot::Mutex;
 
 use crate::{Action, MemoryError, Process, StepInput, Wiring};
@@ -80,11 +82,56 @@ pub fn run_threaded<P>(
 ) -> Result<ThreadedReport<P::Value, P::Output>, MemoryError>
 where
     P: Process + Send + 'static,
-    P::Value: Clone + Send + Sync + 'static,
-    P::Output: Send + 'static,
+    P::Value: Clone + Send + Sync + std::fmt::Debug + 'static,
+    P::Output: Send + std::fmt::Debug + 'static,
 {
+    run_threaded_probed(procs, wirings, m, init, max_steps, |_| NoProbe)
+        .map(|(report, _probes)| report)
+}
+
+/// [`run_threaded`] with per-thread observation: `make_probe(i)` builds the
+/// probe for processor `i`, which lives on that processor's thread and is
+/// returned (in processor order) alongside the report.
+///
+/// Each thread stamps events with its *local* step count as the time — there
+/// is no global clock in a threaded run — and additionally reports per-op
+/// wall-clock timing through [`Probe::on_timing`]: `ns` covers the whole
+/// operation (lock acquisition plus the register access for reads/writes)
+/// and `lock_wait_ns` isolates time spent acquiring the register lock. Fold
+/// per-thread `RunMetrics` probes together with
+/// [`RunMetrics::merge`](fa_obs::RunMetrics::merge) for whole-run aggregates.
+///
+/// `read_from` / `overwrote_writer` attribution is absent (`None`): the
+/// lock-cell registers do not track writer identity.
+///
+/// # Errors
+///
+/// Same conditions as [`run_threaded`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a bug in the process implementation).
+#[allow(clippy::type_complexity)]
+pub fn run_threaded_probed<P, Pr, F>(
+    procs: Vec<P>,
+    wirings: Vec<Wiring>,
+    m: usize,
+    init: P::Value,
+    max_steps: usize,
+    make_probe: F,
+) -> Result<(ThreadedReport<P::Value, P::Output>, Vec<Pr>), MemoryError>
+where
+    P: Process + Send + 'static,
+    P::Value: Clone + Send + Sync + std::fmt::Debug + 'static,
+    P::Output: Send + std::fmt::Debug + 'static,
+    Pr: Probe + Send + 'static,
+    F: FnMut(usize) -> Pr,
+{
+    let mut make_probe = make_probe;
     if procs.len() < 2 {
-        return Err(MemoryError::TooFewProcessors { processes: procs.len() });
+        return Err(MemoryError::TooFewProcessors {
+            processes: procs.len(),
+        });
     }
     if m == 0 {
         return Err(MemoryError::ZeroRegisters);
@@ -111,8 +158,10 @@ where
     let handles: Vec<_> = procs
         .into_iter()
         .zip(wirings)
-        .map(|(mut proc, wiring)| {
+        .enumerate()
+        .map(|(proc_id, (mut proc, wiring))| {
             let registers = Arc::clone(&registers);
+            let mut probe = make_probe(proc_id);
             std::thread::spawn(move || {
                 let mut outputs = Vec::new();
                 let mut steps = 0usize;
@@ -121,44 +170,116 @@ where
                 while steps < max_steps {
                     let action = proc.step(input);
                     steps += 1;
+                    let time = steps as u64;
                     input = match action {
                         Action::Read { local } => {
                             let global = wiring.global(local);
-                            let value = registers[global.0].lock().clone();
+                            let value;
+                            if Pr::ENABLED {
+                                let op_start = Instant::now();
+                                let guard = registers[global.0].lock();
+                                let lock_wait_ns = elapsed_ns(op_start);
+                                value = guard.clone();
+                                drop(guard);
+                                probe.on_read(&ReadEvent {
+                                    proc_id,
+                                    local: local.0,
+                                    global: global.0,
+                                    time,
+                                    read_from: None,
+                                    value: Pr::WANTS_VALUES.then(|| format!("{value:?}")),
+                                });
+                                probe.on_timing(&TimingEvent {
+                                    proc_id,
+                                    op: OpKind::Read,
+                                    ns: elapsed_ns(op_start),
+                                    lock_wait_ns,
+                                });
+                            } else {
+                                value = registers[global.0].lock().clone();
+                            }
                             StepInput::ReadValue(value)
                         }
                         Action::Write { local, value } => {
                             let global = wiring.global(local);
-                            *registers[global.0].lock() = value;
+                            if Pr::ENABLED {
+                                let rendered = Pr::WANTS_VALUES.then(|| format!("{value:?}"));
+                                let op_start = Instant::now();
+                                let mut guard = registers[global.0].lock();
+                                let lock_wait_ns = elapsed_ns(op_start);
+                                *guard = value;
+                                drop(guard);
+                                probe.on_write(&WriteEvent {
+                                    proc_id,
+                                    local: local.0,
+                                    global: global.0,
+                                    time,
+                                    overwrote_writer: None,
+                                    value: rendered,
+                                });
+                                probe.on_timing(&TimingEvent {
+                                    proc_id,
+                                    op: OpKind::Write,
+                                    ns: elapsed_ns(op_start),
+                                    lock_wait_ns,
+                                });
+                            } else {
+                                *registers[global.0].lock() = value;
+                            }
                             StepInput::Wrote
                         }
                         Action::Output(o) => {
+                            if Pr::ENABLED {
+                                probe.on_output(&OutputEvent {
+                                    proc_id,
+                                    time,
+                                    value: Pr::WANTS_VALUES.then(|| format!("{o:?}")),
+                                });
+                            }
                             outputs.push(o);
                             StepInput::OutputRecorded
                         }
                         Action::Halt => {
+                            if Pr::ENABLED {
+                                probe.on_halt(proc_id, time);
+                            }
                             halted = true;
                             break;
                         }
                     };
                 }
-                (outputs, steps, halted)
+                (outputs, steps, halted, probe)
             })
         })
         .collect();
 
     let mut outputs = Vec::new();
     let mut steps = Vec::new();
+    let mut probes = Vec::new();
     let mut all_halted = true;
     for h in handles {
-        let (os, s, halted) = h.join().expect("worker thread panicked");
+        let (os, s, halted, probe) = h.join().expect("worker thread panicked");
         outputs.push(os);
         steps.push(s);
+        probes.push(probe);
         all_halted &= halted;
     }
 
     let final_contents = registers.iter().map(|r| r.lock().clone()).collect();
-    Ok(ThreadedReport { outputs, steps, all_halted, final_contents })
+    Ok((
+        ThreadedReport {
+            outputs,
+            steps,
+            all_halted,
+            final_contents,
+        },
+        probes,
+    ))
+}
+
+/// Nanoseconds since `start`, saturated into `u64` (584 years of headroom).
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -185,13 +306,22 @@ mod tests {
 
     #[test]
     fn rejects_bad_configs() {
-        let one = vec![WriteHalt { input: 1, wrote: false }];
+        let one = vec![WriteHalt {
+            input: 1,
+            wrote: false,
+        }];
         assert!(run_threaded(one, vec![Wiring::identity(1)], 1, 0, 10).is_err());
 
         let two = || {
             vec![
-                WriteHalt { input: 1, wrote: false },
-                WriteHalt { input: 2, wrote: false },
+                WriteHalt {
+                    input: 1,
+                    wrote: false,
+                },
+                WriteHalt {
+                    input: 2,
+                    wrote: false,
+                },
             ]
         };
         assert!(matches!(
@@ -203,7 +333,13 @@ mod tests {
             Err(MemoryError::WiringCountMismatch { .. })
         ));
         assert!(matches!(
-            run_threaded(two(), vec![Wiring::identity(1), Wiring::identity(2)], 1, 0, 10),
+            run_threaded(
+                two(),
+                vec![Wiring::identity(1), Wiring::identity(2)],
+                1,
+                0,
+                10
+            ),
             Err(MemoryError::WiringSizeMismatch { .. })
         ));
     }
@@ -211,14 +347,52 @@ mod tests {
     #[test]
     fn parallel_writers_both_complete() {
         let procs = vec![
-            WriteHalt { input: 1, wrote: false },
-            WriteHalt { input: 2, wrote: false },
+            WriteHalt {
+                input: 1,
+                wrote: false,
+            },
+            WriteHalt {
+                input: 2,
+                wrote: false,
+            },
         ];
         let wirings = vec![Wiring::identity(2), Wiring::from_perm(vec![1, 0]).unwrap()];
         let report = run_threaded(procs, wirings, 2, 0u32, 100).unwrap();
         assert!(report.all_halted);
         // Disjoint ground-truth targets: no overwrite possible.
         assert_eq!(report.final_contents, vec![1, 2]);
+    }
+
+    #[test]
+    fn probed_run_counts_every_operation() {
+        use fa_obs::RunMetrics;
+
+        let procs = vec![
+            WriteHalt {
+                input: 1,
+                wrote: false,
+            },
+            WriteHalt {
+                input: 2,
+                wrote: false,
+            },
+        ];
+        let wirings = vec![Wiring::identity(2), Wiring::from_perm(vec![1, 0]).unwrap()];
+        let (report, probes) =
+            run_threaded_probed(procs, wirings, 2, 0u32, 100, |_| RunMetrics::new()).unwrap();
+        assert!(report.all_halted);
+
+        let mut total = RunMetrics::new();
+        for p in &probes {
+            total.merge(p);
+        }
+        // Each WriteHalt performs exactly one write then halts.
+        assert_eq!(total.total_writes(), 2);
+        assert_eq!(total.per_proc[0].writes, 1);
+        assert_eq!(total.per_proc[1].writes, 1);
+        // One timing sample per memory operation.
+        assert_eq!(total.op_ns.count(), 2);
+        assert_eq!(total.lock_wait_ns.count(), 2);
     }
 
     #[test]
@@ -232,9 +406,14 @@ mod tests {
                 Action::read(0)
             }
         }
-        let report =
-            run_threaded(vec![Spinner, Spinner], vec![Wiring::identity(1); 2], 1, 0, 50)
-                .unwrap();
+        let report = run_threaded(
+            vec![Spinner, Spinner],
+            vec![Wiring::identity(1); 2],
+            1,
+            0,
+            50,
+        )
+        .unwrap();
         assert!(!report.all_halted);
         assert_eq!(report.steps, vec![50, 50]);
     }

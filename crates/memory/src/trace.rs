@@ -62,14 +62,24 @@ impl<V: fmt::Debug, O: fmt::Debug> fmt::Display for Event<V, O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t{:<4} {}: ", self.time, self.proc)?;
         match &self.kind {
-            EventKind::Read { local, global, value, read_from } => {
+            EventKind::Read {
+                local,
+                global,
+                value,
+                read_from,
+            } => {
                 write!(f, "read  {local}→{global} = {value:?}")?;
                 match read_from {
                     Some(q) => write!(f, " (from {q})"),
                     None => write!(f, " (initial)"),
                 }
             }
-            EventKind::Write { local, global, value, .. } => {
+            EventKind::Write {
+                local,
+                global,
+                value,
+                ..
+            } => {
                 write!(f, "write {local}→{global} := {value:?}")
             }
             EventKind::Output(o) => write!(f, "output {o:?}"),
@@ -132,7 +142,9 @@ impl<V, O> Trace<V, O> {
     /// view `V2` reads from a processor with view `V1`, then `V1 ⊆ V2`.
     pub fn reads_from(&self) -> impl Iterator<Item = (ProcId, ProcId, u64)> + '_ {
         self.events.iter().filter_map(|e| match &e.kind {
-            EventKind::Read { read_from: Some(w), .. } => Some((e.proc, *w, e.time)),
+            EventKind::Read {
+                read_from: Some(w), ..
+            } => Some((e.proc, *w, e.time)),
             _ => None,
         })
     }
@@ -198,7 +210,9 @@ impl<V, O> Trace<V, O> {
 
 impl<V, O> FromIterator<Event<V, O>> for Trace<V, O> {
     fn from_iter<T: IntoIterator<Item = Event<V, O>>>(iter: T) -> Self {
-        Trace { events: iter.into_iter().collect() }
+        Trace {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -239,29 +253,47 @@ mod tests {
         let trace: Trace<u32, u32> = vec![
             read_ev(0, 1, None),
             read_ev(1, 1, Some(2)),
-            Event { time: 2, proc: ProcId(2), kind: EventKind::Output(7) },
+            Event {
+                time: 2,
+                proc: ProcId(2),
+                kind: EventKind::Output(7),
+            },
             read_ev(3, 0, Some(1)),
         ]
         .into_iter()
         .collect();
         let pairs: Vec<_> = trace.reads_from().collect();
-        assert_eq!(pairs, vec![(ProcId(1), ProcId(2), 1), (ProcId(0), ProcId(1), 3)]);
+        assert_eq!(
+            pairs,
+            vec![(ProcId(1), ProcId(2), 1), (ProcId(0), ProcId(1), 3)]
+        );
     }
 
     #[test]
     fn step_counts_per_proc() {
-        let trace: Trace<u32, u32> =
-            vec![read_ev(0, 0, None), read_ev(1, 0, None), read_ev(2, 2, None)]
-                .into_iter()
-                .collect();
+        let trace: Trace<u32, u32> = vec![
+            read_ev(0, 0, None),
+            read_ev(1, 0, None),
+            read_ev(2, 2, None),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(trace.step_counts(3), vec![2, 0, 1]);
     }
 
     #[test]
     fn outputs_extracted_in_order() {
         let trace: Trace<u32, u32> = vec![
-            Event { time: 0, proc: ProcId(1), kind: EventKind::Output(5) },
-            Event { time: 1, proc: ProcId(0), kind: EventKind::Output(3) },
+            Event {
+                time: 0,
+                proc: ProcId(1),
+                kind: EventKind::Output(5),
+            },
+            Event {
+                time: 1,
+                proc: ProcId(0),
+                kind: EventKind::Output(3),
+            },
         ]
         .into_iter()
         .collect();
@@ -277,16 +309,23 @@ mod tests {
         assert!(s.contains("read"), "{s}");
         assert!(s.contains("from p0"), "{s}");
 
-        let h: Event<u32, u32> = Event { time: 0, proc: ProcId(0), kind: EventKind::Halt };
+        let h: Event<u32, u32> = Event {
+            time: 0,
+            proc: ProcId(0),
+            kind: EventKind::Halt,
+        };
         assert!(h.to_string().contains("halt"));
     }
 
     #[test]
     fn of_proc_filters() {
-        let trace: Trace<u32, u32> =
-            vec![read_ev(0, 0, None), read_ev(1, 1, None), read_ev(2, 0, None)]
-                .into_iter()
-                .collect();
+        let trace: Trace<u32, u32> = vec![
+            read_ev(0, 0, None),
+            read_ev(1, 1, None),
+            read_ev(2, 0, None),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(trace.of_proc(ProcId(0)).count(), 2);
         assert_eq!(trace.of_proc(ProcId(1)).count(), 1);
         assert_eq!(trace.of_proc(ProcId(5)).count(), 0);

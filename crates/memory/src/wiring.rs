@@ -47,7 +47,10 @@ impl Wiring {
     #[must_use]
     pub fn identity(m: usize) -> Self {
         let forward: Vec<usize> = (0..m).collect();
-        Wiring { inverse: forward.clone(), forward }
+        Wiring {
+            inverse: forward.clone(),
+            forward,
+        }
     }
 
     /// Builds a wiring from an explicit permutation vector where
@@ -70,7 +73,10 @@ impl Wiring {
         for (local, &global) in perm.iter().enumerate() {
             inverse[global] = local;
         }
-        Ok(Wiring { forward: perm, inverse })
+        Ok(Wiring {
+            forward: perm,
+            inverse,
+        })
     }
 
     /// Samples a uniformly random wiring on `m` registers.
@@ -150,7 +156,10 @@ impl Wiring {
     /// ```
     #[must_use]
     pub fn inverse(&self) -> Wiring {
-        Wiring { forward: self.inverse.clone(), inverse: self.forward.clone() }
+        Wiring {
+            forward: self.inverse.clone(),
+            inverse: self.forward.clone(),
+        }
     }
 
     /// Composition `self ∘ other`: first apply `other`, then `self`.
@@ -164,8 +173,14 @@ impl Wiring {
     /// Panics if the two wirings have different domain sizes.
     #[must_use]
     pub fn compose(&self, other: &Wiring) -> Wiring {
-        assert_eq!(self.len(), other.len(), "composed wirings must have equal domains");
-        let forward: Vec<usize> = (0..self.len()).map(|i| self.forward[other.forward[i]]).collect();
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composed wirings must have equal domains"
+        );
+        let forward: Vec<usize> = (0..self.len())
+            .map(|i| self.forward[other.forward[i]])
+            .collect();
         Self::from_perm(forward).expect("composition of permutations is a permutation")
     }
 
@@ -211,7 +226,9 @@ struct Permutations {
 
 impl Permutations {
     fn new(m: usize) -> Self {
-        Permutations { next: Some((0..m).collect()) }
+        Permutations {
+            next: Some((0..m).collect()),
+        }
     }
 }
 
@@ -310,8 +327,9 @@ mod tests {
 
     #[test]
     fn enumerate_is_lexicographic_and_distinct() {
-        let all: Vec<Vec<usize>> =
-            Wiring::enumerate(4).map(|w| w.as_slice().to_vec()).collect();
+        let all: Vec<Vec<usize>> = Wiring::enumerate(4)
+            .map(|w| w.as_slice().to_vec())
+            .collect();
         let mut sorted = all.clone();
         sorted.sort();
         sorted.dedup();

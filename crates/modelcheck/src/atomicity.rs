@@ -87,7 +87,10 @@ fn candidate_outputs(inputs: &[u32]) -> Vec<View<u32>> {
     let n = distinct.len();
     let mut cands: Vec<View<u32>> = (1..(1usize << n) - 1)
         .map(|mask| {
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| distinct[i]).collect()
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| distinct[i])
+                .collect()
         })
         .collect();
     cands.sort_by_key(View::len);
@@ -130,7 +133,8 @@ pub fn find_non_atomic_snapshot_in(
     max_states: usize,
 ) -> Option<NonAtomicWitness> {
     for w in candidate_outputs(inputs) {
-        if let Some(found) = search_candidate(inputs, wirings, &w, max_states, Reading::Announcement)
+        if let Some(found) =
+            search_candidate(inputs, wirings, &w, max_states, Reading::Announcement)
         {
             return Some(found);
         }
@@ -165,7 +169,10 @@ pub fn construct_witness(inputs: &[u32]) -> NonAtomicWitness {
     }
     let wirings = vec![Wiring::identity(n); n];
     let mut state = McState::initial(
-        inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect::<Vec<_>>(),
+        inputs
+            .iter()
+            .map(|&x| SnapshotProcess::new(x, n))
+            .collect::<Vec<_>>(),
         n,
         SnapRegister::default(),
     );
@@ -173,14 +180,16 @@ pub fn construct_witness(inputs: &[u32]) -> NonAtomicWitness {
     let mut sets: Vec<View<u32>> = vec![View::new()];
     let mut announced = View::new();
     let record_step = |state: &mut McState<SnapshotProcess<u32>>,
-                           p: ProcId,
-                           schedule: &mut Vec<ProcId>,
-                           announced: &mut View<u32>,
-                           sets: &mut Vec<View<u32>>| {
+                       p: ProcId,
+                       schedule: &mut Vec<ProcId>,
+                       announced: &mut View<u32>,
+                       sets: &mut Vec<View<u32>>| {
         if let Some(fa_memory::Action::Write { value, .. }) = state.pending[p.0].as_ref() {
             announced.union_with(&value.view);
         }
-        *state = state.step(p, &wirings).expect("construction steps are valid");
+        *state = state
+            .step(p, &wirings)
+            .expect("construction steps are valid");
         schedule.push(p);
         if !sets.contains(announced) {
             sets.push(announced.clone());
@@ -189,7 +198,13 @@ pub fn construct_witness(inputs: &[u32]) -> NonAtomicWitness {
 
     // Step 1: p1 (input outside the output {inputs[0]}) announces its input
     // by performing its first write, into ground-truth register 0.
-    record_step(&mut state, ProcId(1), &mut schedule, &mut announced, &mut sets);
+    record_step(
+        &mut state,
+        ProcId(1),
+        &mut schedule,
+        &mut announced,
+        &mut sets,
+    );
     // Step 2..: p0 runs solo. Its first write covers register 0, erasing
     // p1's value before anyone read it; p0 then fills the remaining
     // registers with {inputs[0]}, climbs to level n, and outputs.
@@ -200,7 +215,9 @@ pub fn construct_witness(inputs: &[u32]) -> NonAtomicWitness {
         }
         record_step(&mut state, p0, &mut schedule, &mut announced, &mut sets);
     }
-    let output = state.first_outputs()[0].clone().expect("solo snapshot terminates");
+    let output = state.first_outputs()[0]
+        .clone()
+        .expect("solo snapshot terminates");
     let witness = NonAtomicWitness {
         wirings,
         schedule,
@@ -238,8 +255,7 @@ pub fn find_momentary_witness_in(
     max_states: usize,
 ) -> Option<NonAtomicWitness> {
     for w in candidate_outputs(inputs) {
-        if let Some(found) = search_candidate(inputs, wirings, &w, max_states, Reading::Momentary)
-        {
+        if let Some(found) = search_candidate(inputs, wirings, &w, max_states, Reading::Momentary) {
             return Some(found);
         }
     }
@@ -312,9 +328,7 @@ fn search_candidate(
             // Track announcements: a write adds its view to the announced set.
             let mut next_announced = announced.clone();
             if reading == Reading::Announcement {
-                if let Some(fa_memory::Action::Write { value, .. }) =
-                    state.pending[p.0].as_ref()
-                {
+                if let Some(fa_memory::Action::Write { value, .. }) = state.pending[p.0].as_ref() {
                     next_announced.union_with(&value.view);
                 }
             }
@@ -338,13 +352,11 @@ fn search_candidate(
             // witnesses of the hopping-value shape have that form, and the
             // restriction keeps the space tractable.
             let viable = match reading {
-                Reading::Announcement => (0..n).any(|i| {
-                    next.outputs[i].is_empty() && next.procs[i].view().is_subset(target)
-                }),
+                Reading::Announcement => (0..n)
+                    .any(|i| next.outputs[i].is_empty() && next.procs[i].view().is_subset(target)),
                 Reading::Momentary => {
                     (0..n).any(|i| {
-                        next.outputs[i].is_empty()
-                            && next.procs[i].view().is_subset(target)
+                        next.outputs[i].is_empty() && next.procs[i].view().is_subset(target)
                     }) && (0..n).all(|i| {
                         outside[i]
                             || !next.outputs[i].is_empty()
@@ -471,7 +483,9 @@ mod tests {
         assert!(witness.output.contains(&inputs[witness.proc.0]));
         // The announced chain went {} → {2} → {1,2} → …: never {1}.
         assert_eq!(witness.output, View::singleton(1));
-        assert!(witness.memory_sets_seen.contains(&[1u32, 2].into_iter().collect()));
+        assert!(witness
+            .memory_sets_seen
+            .contains(&[1u32, 2].into_iter().collect()));
     }
 
     #[test]
@@ -488,8 +502,7 @@ mod tests {
         // The BFS search (announcement reading) independently finds a
         // witness for two processors within a modest budget.
         let inputs = [1u32, 2];
-        let witness =
-            find_non_atomic_snapshot(&inputs, 400_000).expect("searchable at n=2");
+        let witness = find_non_atomic_snapshot(&inputs, 400_000).expect("searchable at n=2");
         assert!(verify_witness(&inputs, &witness));
     }
 

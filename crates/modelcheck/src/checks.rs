@@ -4,9 +4,7 @@ use std::collections::BTreeMap;
 
 use fa_core::{ConsensusProcess, RenamingProcess, SnapshotProcess, View};
 use fa_memory::Wiring;
-use fa_tasks::{
-    check_group_solution, AdaptiveRenaming, GroupAssignment, GroupId, Snapshot, Task,
-};
+use fa_tasks::{check_group_solution, AdaptiveRenaming, GroupAssignment, GroupId, Snapshot, Task};
 
 use crate::explorer::{Explorer, McState};
 use crate::wirings::combinations_mod_relabeling;
@@ -72,8 +70,12 @@ pub fn check_snapshot_task(
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    let mut report =
-        TaskCheckReport { combos: 0, total_states: 0, complete: true, violation: None };
+    let mut report = TaskCheckReport {
+        combos: 0,
+        total_states: 0,
+        complete: true,
+        violation: None,
+    };
 
     for combo in combinations_mod_relabeling(n, n) {
         report.combos += 1;
@@ -83,9 +85,7 @@ pub fn check_snapshot_task(
             .with_max_states(max_states_per_combo);
         let inputs_owned = inputs.to_vec();
         let groups = groups.clone();
-        let result = explorer.run(move |state| {
-            snapshot_invariant(state, &inputs_owned, &groups)
-        });
+        let result = explorer.run(move |state| snapshot_invariant(state, &inputs_owned, &groups));
         report.total_states += result.states;
         report.complete &= result.complete;
         if let Some(v) = result.violation {
@@ -119,8 +119,12 @@ pub fn check_snapshot_task_coarse(
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    let mut report =
-        TaskCheckReport { combos: 0, total_states: 0, complete: true, violation: None };
+    let mut report = TaskCheckReport {
+        combos: 0,
+        total_states: 0,
+        complete: true,
+        violation: None,
+    };
     for combo in combinations_mod_relabeling(n, n) {
         report.combos += 1;
         let procs: Vec<SnapshotProcess<u32>> =
@@ -130,9 +134,7 @@ pub fn check_snapshot_task_coarse(
             .with_max_states(max_states_per_combo);
         let inputs_owned = inputs.to_vec();
         let groups = groups.clone();
-        let result = explorer.run(move |state| {
-            snapshot_invariant(state, &inputs_owned, &groups)
-        });
+        let result = explorer.run(move |state| snapshot_invariant(state, &inputs_owned, &groups));
         report.total_states += result.states;
         report.complete &= result.complete;
         if let Some(v) = result.violation {
@@ -199,8 +201,12 @@ pub fn check_renaming(
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    let mut report =
-        TaskCheckReport { combos: 0, total_states: 0, complete: true, violation: None };
+    let mut report = TaskCheckReport {
+        combos: 0,
+        total_states: 0,
+        complete: true,
+        violation: None,
+    };
 
     for combo in combinations_mod_relabeling(n, n) {
         report.combos += 1;
@@ -264,13 +270,19 @@ pub fn check_consensus_safety(
 ) -> Result<TaskCheckReport, String> {
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
-    let mut report =
-        TaskCheckReport { combos: 0, total_states: 0, complete: true, violation: None };
+    let mut report = TaskCheckReport {
+        combos: 0,
+        total_states: 0,
+        complete: true,
+        violation: None,
+    };
 
     for combo in combinations_mod_relabeling(n, n) {
         report.combos += 1;
-        let procs: Vec<ConsensusProcess<u32>> =
-            inputs.iter().map(|&x| ConsensusProcess::new(x, n)).collect();
+        let procs: Vec<ConsensusProcess<u32>> = inputs
+            .iter()
+            .map(|&x| ConsensusProcess::new(x, n))
+            .collect();
         let explorer = Explorer::new(procs, n, Default::default(), combo.clone())
             .with_max_states(max_states_per_combo)
             .with_max_depth(max_depth);
@@ -338,8 +350,8 @@ pub fn check_snapshot_wait_freedom(
     assert_eq!(n, wirings.len(), "one wiring per processor required");
     let procs: Vec<SnapshotProcess<u32>> =
         inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
-    let explorer = Explorer::new(procs, n, Default::default(), wirings.clone())
-        .with_max_states(max_states);
+    let explorer =
+        Explorer::new(procs, n, Default::default(), wirings.clone()).with_max_states(max_states);
     let result = explorer.run(move |state| {
         for p in state.live() {
             let mut cur = state.clone();
@@ -365,7 +377,9 @@ pub fn check_snapshot_wait_freedom(
         combos: 1,
         total_states: result.states,
         complete: result.complete,
-        violation: result.violation.map(|v| format!("{} (schedule {:?})", v.message, v.schedule)),
+        violation: result
+            .violation
+            .map(|v| format!("{} (schedule {:?})", v.message, v.schedule)),
     })
 }
 
@@ -389,8 +403,12 @@ pub fn check_snapshot_task_at_level(
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    let mut report =
-        TaskCheckReport { combos: 0, total_states: 0, complete: true, violation: None };
+    let mut report = TaskCheckReport {
+        combos: 0,
+        total_states: 0,
+        complete: true,
+        violation: None,
+    };
     for combo in combinations_mod_relabeling(n, n) {
         report.combos += 1;
         let procs: Vec<SnapshotProcess<u32>> = inputs
@@ -401,9 +419,8 @@ pub fn check_snapshot_task_at_level(
             .with_max_states(max_states_per_combo);
         let inputs_owned = inputs.to_vec();
         let groups = groups.clone();
-        let result = explorer.run(move |state| {
-            snapshot_invariant_generic(state, &inputs_owned, &groups)
-        });
+        let result =
+            explorer.run(move |state| snapshot_invariant_generic(state, &inputs_owned, &groups));
         report.total_states += result.states;
         report.complete &= result.complete;
         if let Some(v) = result.violation {
@@ -498,8 +515,7 @@ mod tests {
         let wirings = vec![Wiring::identity(2), Wiring::from_perm(vec![1, 0]).unwrap()];
         let n = 2;
         let budget = 8 * n * (n + 2) + 16;
-        let report =
-            check_snapshot_wait_freedom(&[1, 2], wirings, 500_000, budget).unwrap();
+        let report = check_snapshot_wait_freedom(&[1, 2], wirings, 500_000, budget).unwrap();
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert!(report.complete);
     }

@@ -36,10 +36,17 @@ where
     /// Builds the initial state: every process poised on its first action,
     /// all registers holding `init`.
     pub fn initial(mut procs: Vec<P>, m: usize, init: P::Value) -> Self {
-        let pending: Vec<Option<Action<P::Value, P::Output>>> =
-            procs.iter_mut().map(|p| Some(p.step(StepInput::Start))).collect();
+        let pending: Vec<Option<Action<P::Value, P::Output>>> = procs
+            .iter_mut()
+            .map(|p| Some(p.step(StepInput::Start)))
+            .collect();
         let n = procs.len();
-        McState { memory: vec![init; m], procs, pending, outputs: vec![Vec::new(); n] }
+        McState {
+            memory: vec![init; m],
+            procs,
+            pending,
+            outputs: vec![Vec::new(); n],
+        }
     }
 
     /// Whether every process has halted.
@@ -51,7 +58,10 @@ where
     /// The live (non-halted) processes.
     #[must_use]
     pub fn live(&self) -> Vec<ProcId> {
-        (0..self.procs.len()).filter(|&i| self.pending[i].is_some()).map(ProcId).collect()
+        (0..self.procs.len())
+            .filter(|&i| self.pending[i].is_some())
+            .map(ProcId)
+            .collect()
     }
 
     /// First output of each process (the one-shot task reading).
@@ -79,8 +89,7 @@ where
             }
             Action::Output(o) => {
                 next.outputs[p.0].push(o.clone());
-                next.pending[p.0] =
-                    Some(next.procs[p.0].step(StepInput::OutputRecorded));
+                next.pending[p.0] = Some(next.procs[p.0].step(StepInput::OutputRecorded));
             }
             Action::Halt => {
                 next.pending[p.0] = None;
@@ -155,7 +164,11 @@ where
     /// Panics if the number of wirings differs from the number of processes
     /// or some wiring's domain is not `m`.
     pub fn new(procs: Vec<P>, m: usize, init: P::Value, wirings: Vec<Wiring>) -> Self {
-        assert_eq!(procs.len(), wirings.len(), "one wiring per process required");
+        assert_eq!(
+            procs.len(),
+            wirings.len(),
+            "one wiring per process required"
+        );
         for w in &wirings {
             assert_eq!(w.len(), m, "wiring domain must match the register count");
         }
@@ -199,6 +212,7 @@ where
     /// (including the initial one). `invariant` returns `Err(message)` to
     /// report a violation, which aborts the search with a counterexample
     /// schedule.
+    #[allow(clippy::type_complexity)]
     pub fn run<F>(&self, mut invariant: F) -> ExploreReport<P>
     where
         F: FnMut(&McState<P>) -> Result<(), String>,
@@ -229,7 +243,11 @@ where
                 cur = parent;
             }
             schedule.reverse();
-            Violation { message, state: arena[at].0.clone(), schedule }
+            Violation {
+                message,
+                state: arena[at].0.clone(),
+                schedule,
+            }
         };
 
         arena.push((self.initial.clone(), None, 0));
@@ -338,9 +356,22 @@ mod tests {
 
     #[test]
     fn explores_all_interleavings_of_two_writers() {
-        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
-        let explorer =
-            Explorer::new(procs, 1, 0u8, vec![Wiring::identity(1), Wiring::identity(1)]);
+        let procs = vec![
+            OneWrite {
+                input: 1,
+                wrote: false,
+            },
+            OneWrite {
+                input: 2,
+                wrote: false,
+            },
+        ];
+        let explorer = Explorer::new(
+            procs,
+            1,
+            0u8,
+            vec![Wiring::identity(1), Wiring::identity(1)],
+        );
         let report = explorer.run(|_| Ok(()));
         assert!(report.complete);
         assert!(report.violation.is_none());
@@ -352,9 +383,22 @@ mod tests {
 
     #[test]
     fn invariant_violation_returns_schedule() {
-        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
-        let explorer =
-            Explorer::new(procs, 1, 0u8, vec![Wiring::identity(1), Wiring::identity(1)]);
+        let procs = vec![
+            OneWrite {
+                input: 1,
+                wrote: false,
+            },
+            OneWrite {
+                input: 2,
+                wrote: false,
+            },
+        ];
+        let explorer = Explorer::new(
+            procs,
+            1,
+            0u8,
+            vec![Wiring::identity(1), Wiring::identity(1)],
+        );
         // "Register never holds 2" is violated as soon as p1 writes.
         let report = explorer.run(|s| {
             if s.memory[0] == 2 {
@@ -372,7 +416,16 @@ mod tests {
 
     #[test]
     fn state_cap_marks_incomplete() {
-        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
+        let procs = vec![
+            OneWrite {
+                input: 1,
+                wrote: false,
+            },
+            OneWrite {
+                input: 2,
+                wrote: false,
+            },
+        ];
         let explorer = Explorer::new(
             procs,
             1,
@@ -386,7 +439,16 @@ mod tests {
 
     #[test]
     fn depth_cap_marks_incomplete() {
-        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
+        let procs = vec![
+            OneWrite {
+                input: 1,
+                wrote: false,
+            },
+            OneWrite {
+                input: 2,
+                wrote: false,
+            },
+        ];
         let explorer = Explorer::new(
             procs,
             1,
@@ -404,19 +466,33 @@ mod tests {
         let procs: Vec<SnapshotProcess<u8>> =
             vec![SnapshotProcess::new(1, 2), SnapshotProcess::new(2, 2)];
         let wirings = vec![Wiring::identity(2), Wiring::identity(2)];
-        let fine = Explorer::new(procs.clone(), 2, Default::default(), wirings.clone())
-            .run(|_| Ok(()));
+        let fine =
+            Explorer::new(procs.clone(), 2, Default::default(), wirings.clone()).run(|_| Ok(()));
         let coarse = Explorer::new(procs, 2, Default::default(), wirings)
             .with_coarse_scans()
             .run(|_| Ok(()));
         assert!(fine.complete && coarse.complete);
-        assert!(coarse.states < fine.states, "coarse {} !< fine {}", coarse.states, fine.states);
+        assert!(
+            coarse.states < fine.states,
+            "coarse {} !< fine {}",
+            coarse.states,
+            fine.states
+        );
         assert!(coarse.violation.is_none() && fine.violation.is_none());
     }
 
     #[test]
     fn counterexample_schedule_replays() {
-        let procs = vec![OneWrite { input: 1, wrote: false }, OneWrite { input: 2, wrote: false }];
+        let procs = vec![
+            OneWrite {
+                input: 1,
+                wrote: false,
+            },
+            OneWrite {
+                input: 2,
+                wrote: false,
+            },
+        ];
         let wirings = vec![Wiring::identity(1), Wiring::identity(1)];
         let explorer = Explorer::new(procs.clone(), 1, 0u8, wirings.clone());
         let report = explorer.run(|s| {

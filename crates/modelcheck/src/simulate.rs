@@ -32,6 +32,7 @@ pub struct WalkReport {
 /// Performs `walks` random walks of at most `max_steps` each over the system
 /// `(make_procs(), m, init, wirings)`, checking `invariant` at every state.
 /// Stops at the first violation.
+#[allow(clippy::too_many_arguments)]
 pub fn random_walks<P, F, G>(
     make_procs: G,
     m: usize,
@@ -81,8 +82,7 @@ where
         }
         if state.live().is_empty() {
             // Walk may have completed exactly at max_steps.
-            report.completed_walks =
-                report.completed_walks.max(report.completed_walks);
+            report.completed_walks = report.completed_walks.max(report.completed_walks);
         }
     }
     report
@@ -129,7 +129,10 @@ mod tests {
         );
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert_eq!(report.walks, 150);
-        assert!(report.completed_walks > 0, "some walks must finish within budget");
+        assert!(
+            report.completed_walks > 0,
+            "some walks must finish within budget"
+        );
         assert!(report.states_visited > 10_000);
     }
 
@@ -139,7 +142,11 @@ mod tests {
         let n = 2;
         let wirings = vec![Wiring::identity(n); n];
         let report = random_walks(
-            || (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect::<Vec<_>>(),
+            || {
+                (0..n as u32)
+                    .map(|x| SnapshotProcess::new(x, n))
+                    .collect::<Vec<_>>()
+            },
             n,
             Default::default(),
             &wirings,

@@ -19,10 +19,7 @@ use fa_memory::Wiring;
 /// // 3 processors, 2 registers: 2!^2 = 4 combinations after fixing p0.
 /// assert_eq!(combinations_mod_relabeling(3, 2).count(), 4);
 /// ```
-pub fn combinations_mod_relabeling(
-    n: usize,
-    m: usize,
-) -> impl Iterator<Item = Vec<Wiring>> {
+pub fn combinations_mod_relabeling(n: usize, m: usize) -> impl Iterator<Item = Vec<Wiring>> {
     assert!(n >= 1, "at least one processor required");
     // Mixed-radix counter over the (n-1) free wirings.
     let all: Vec<Wiring> = Wiring::enumerate(m).collect();

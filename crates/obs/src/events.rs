@@ -1,0 +1,170 @@
+//! Structured probe events.
+//!
+//! Processors and registers are identified by `usize` indices (the runtime's
+//! `ProcId(p)` / `RegId(r)` values unwrapped) so this crate has no dependency
+//! on the runtime. Register values travel as their `Debug` rendering in
+//! `Option<String>`; they are only materialized when the active probe opts
+//! in via [`Probe::WANTS_VALUES`](crate::Probe::WANTS_VALUES), keeping the
+//! metrics-only path free of formatting cost.
+
+use serde::{Deserialize, Serialize};
+
+/// The four operation kinds a processor can take in one step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    Read,
+    Write,
+    Output,
+    Halt,
+}
+
+/// A processor read one of its registers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReadEvent {
+    /// Index of the acting processor.
+    pub proc_id: usize,
+    /// Register index through the processor's private wiring.
+    pub local: usize,
+    /// Physical register index.
+    pub global: usize,
+    /// Logical time (steps taken so far, including this one).
+    pub time: u64,
+    /// Processor that last wrote the register, if any.
+    pub read_from: Option<usize>,
+    /// Debug rendering of the value read, when the probe wants values.
+    pub value: Option<String>,
+}
+
+/// A processor wrote one of its registers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WriteEvent {
+    /// Index of the acting processor.
+    pub proc_id: usize,
+    /// Register index through the processor's private wiring.
+    pub local: usize,
+    /// Physical register index.
+    pub global: usize,
+    /// Logical time (steps taken so far, including this one).
+    pub time: u64,
+    /// Previous writer of the register, if any — `Some(p)` means this write
+    /// obliterated processor `p`'s value, the covering-argument primitive.
+    pub overwrote_writer: Option<usize>,
+    /// Debug rendering of the value written, when the probe wants values.
+    pub value: Option<String>,
+}
+
+/// A processor produced its output.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OutputEvent {
+    /// Index of the acting processor.
+    pub proc_id: usize,
+    /// Logical time (steps taken so far, including this one).
+    pub time: u64,
+    /// Debug rendering of the output, when the probe wants values.
+    pub value: Option<String>,
+}
+
+/// An algorithm-level restart: a process abandoned its progress and returned
+/// to the lowest level (e.g. a snapshot process observing interference).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResetEvent {
+    /// Index of the resetting processor.
+    pub proc_id: usize,
+    /// Logical time at which the reset was observed.
+    pub time: u64,
+    /// Level the process held before dropping back to 0.
+    pub from_level: u64,
+}
+
+/// Per-step covering telemetry, emitted after each executor step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StepEvent {
+    /// Logical time (steps taken so far).
+    pub time: u64,
+    /// Processors currently poised to write (pending `Write` action): the
+    /// size of the covering the adversary holds at this instant.
+    pub poised: usize,
+}
+
+/// Wall-clock timing for one operation, emitted by the threaded runtime.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimingEvent {
+    /// Index of the acting processor.
+    pub proc_id: usize,
+    /// Which operation was timed.
+    pub op: OpKind,
+    /// Total wall-clock nanoseconds for the operation, including lock wait.
+    pub ns: u64,
+    /// Nanoseconds spent waiting to acquire the register lock.
+    pub lock_wait_ns: u64,
+}
+
+/// Any probe event, as written to a JSONL stream (externally tagged).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ProbeEvent {
+    Read(ReadEvent),
+    Write(WriteEvent),
+    Output(OutputEvent),
+    Halt {
+        /// Index of the halting processor.
+        proc_id: usize,
+        /// Logical time of the halt step.
+        time: u64,
+    },
+    Reset(ResetEvent),
+    Step(StepEvent),
+    Timing(TimingEvent),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            ProbeEvent::Read(ReadEvent {
+                proc_id: 0,
+                local: 1,
+                global: 2,
+                time: 3,
+                read_from: Some(4),
+                value: Some("View { .. }".to_string()),
+            }),
+            ProbeEvent::Write(WriteEvent {
+                proc_id: 1,
+                local: 0,
+                global: 0,
+                time: 4,
+                overwrote_writer: None,
+                value: None,
+            }),
+            ProbeEvent::Output(OutputEvent {
+                proc_id: 2,
+                time: 9,
+                value: None,
+            }),
+            ProbeEvent::Halt {
+                proc_id: 2,
+                time: 10,
+            },
+            ProbeEvent::Reset(ResetEvent {
+                proc_id: 0,
+                time: 7,
+                from_level: 3,
+            }),
+            ProbeEvent::Step(StepEvent { time: 5, poised: 2 }),
+            ProbeEvent::Timing(TimingEvent {
+                proc_id: 1,
+                op: OpKind::Write,
+                ns: 120,
+                lock_wait_ns: 30,
+            }),
+        ];
+        for ev in events {
+            let text = serde_json::to_string(&ev).unwrap();
+            let back: ProbeEvent = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Streaming sink: one JSON object per event, one event per line.
+
+use crate::events::{
+    OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, TimingEvent, WriteEvent,
+};
+use crate::probe::Probe;
+use std::io::Write;
+
+/// Writes every probe event to `w` as JSONL (externally-tagged
+/// [`ProbeEvent`] objects, newline-delimited).
+///
+/// Wants values: read/write/output events carry the `Debug` rendering of
+/// the value involved. Write errors panic — a telemetry stream that silently
+/// drops events would be worse than a loud failure in this experimental
+/// harness.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    events_written: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer. Consider a `BufWriter` for file targets.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            events_written: 0,
+        }
+    }
+
+    /// Number of events written so far.
+    #[must_use]
+    pub fn events_written(&self) -> u64 {
+        self.events_written
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        self.writer.flush().expect("jsonl sink flush failed");
+        self.writer
+    }
+
+    fn emit(&mut self, event: &ProbeEvent) {
+        let line = serde_json::to_string(event).expect("probe event serialization cannot fail");
+        writeln!(self.writer, "{line}").expect("jsonl sink write failed");
+        self.events_written += 1;
+    }
+}
+
+impl<W: Write> Probe for JsonlSink<W> {
+    const WANTS_VALUES: bool = true;
+
+    fn on_read(&mut self, event: &ReadEvent) {
+        self.emit(&ProbeEvent::Read(event.clone()));
+    }
+
+    fn on_write(&mut self, event: &WriteEvent) {
+        self.emit(&ProbeEvent::Write(event.clone()));
+    }
+
+    fn on_output(&mut self, event: &OutputEvent) {
+        self.emit(&ProbeEvent::Output(event.clone()));
+    }
+
+    fn on_halt(&mut self, proc_id: usize, time: u64) {
+        self.emit(&ProbeEvent::Halt { proc_id, time });
+    }
+
+    fn on_reset(&mut self, event: &ResetEvent) {
+        self.emit(&ProbeEvent::Reset(event.clone()));
+    }
+
+    fn on_step(&mut self, event: &StepEvent) {
+        self.emit(&ProbeEvent::Step(event.clone()));
+    }
+
+    fn on_timing(&mut self, event: &TimingEvent) {
+        self.emit(&ProbeEvent::Timing(event.clone()));
+    }
+}
+
+/// Parses a JSONL stream produced by [`JsonlSink`] back into events.
+///
+/// Blank lines are skipped; malformed lines return an error naming the line
+/// number (1-based).
+pub fn parse_jsonl(text: &str) -> Result<Vec<ProbeEvent>, serde::Error> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            serde_json::from_str(line)
+                .map_err(|e| serde::Error::custom(format!("line {}: {e}", i + 1)))
+        })
+        .collect()
+}
+
+/// Replays parsed events into any probe — the bridge from a recorded stream
+/// back to an aggregate such as [`crate::RunMetrics`].
+pub fn replay_events<P: Probe>(events: &[ProbeEvent], probe: &mut P) {
+    for ev in events {
+        match ev {
+            ProbeEvent::Read(e) => probe.on_read(e),
+            ProbeEvent::Write(e) => probe.on_write(e),
+            ProbeEvent::Output(e) => probe.on_output(e),
+            ProbeEvent::Halt { proc_id, time } => probe.on_halt(*proc_id, *time),
+            ProbeEvent::Reset(e) => probe.on_reset(e),
+            ProbeEvent::Step(e) => probe.on_step(e),
+            ProbeEvent::Timing(e) => probe.on_timing(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RunMetrics;
+
+    fn sample_events(sink: &mut impl Probe) {
+        sink.on_read(&ReadEvent {
+            proc_id: 0,
+            local: 1,
+            global: 2,
+            time: 1,
+            read_from: None,
+            value: Some("7".to_string()),
+        });
+        sink.on_write(&WriteEvent {
+            proc_id: 1,
+            local: 0,
+            global: 0,
+            time: 2,
+            overwrote_writer: Some(0),
+            value: Some("9".to_string()),
+        });
+        sink.on_step(&StepEvent { time: 2, poised: 1 });
+        sink.on_output(&OutputEvent {
+            proc_id: 1,
+            time: 3,
+            value: Some("out".to_string()),
+        });
+        sink.on_halt(1, 4);
+    }
+
+    #[test]
+    fn stream_parses_back_to_identical_events() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sample_events(&mut sink);
+        assert_eq!(sink.events_written(), 5);
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 5);
+
+        let events = parse_jsonl(&text).unwrap();
+        assert_eq!(events.len(), 5);
+        assert!(matches!(events[0], ProbeEvent::Read(_)));
+        assert!(matches!(
+            events[4],
+            ProbeEvent::Halt {
+                proc_id: 1,
+                time: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn replayed_stream_rebuilds_metrics() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let mut live = RunMetrics::new();
+        sample_events(&mut sink);
+        sample_events(&mut live);
+
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let mut replayed = RunMetrics::new();
+        replay_events(&parse_jsonl(&text).unwrap(), &mut replayed);
+        assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn malformed_lines_name_their_position() {
+        let err = parse_jsonl("{\"Halt\":{\"proc_id\":0,\"time\":1}}\nnot json\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Unified probe layer for the fully-anonymous shared-memory runtimes.
+//!
+//! A [`Probe`] receives structured events as a run executes: one hook per
+//! operation kind (read, write, output, halt), a per-step hook carrying the
+//! current covering size (processors poised to write), an algorithm-level
+//! reset hook (a snapshot process dropping back to level 0), and a
+//! wall-clock timing hook used by the threaded runtime.
+//!
+//! Probes compose:
+//!
+//! * [`NoProbe`] — the default; `ENABLED = false`, so instrumented runtimes
+//!   compile the hook calls away entirely (zero cost when unused);
+//! * [`RunMetrics`] — in-memory aggregation: per-processor counters,
+//!   steps-to-terminate, reset counts, peak covering size, log-bucketed
+//!   histograms;
+//! * [`JsonlSink`] — streams every event as one JSON object per line;
+//! * [`Tee`] — fans events out to two probes at once.
+//!
+//! Events identify processors and registers by plain `usize` indices rather
+//! than the runtime's typed ids: this crate sits *below* the runtime crates
+//! so that both the lock-step executor and the threaded runtime can depend
+//! on it.
+
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod jsonl;
+pub mod metrics;
+pub mod probe;
+
+pub use events::{
+    OpKind, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, TimingEvent, WriteEvent,
+};
+pub use jsonl::{parse_jsonl, replay_events, JsonlSink};
+pub use metrics::{Histogram, ProcMetrics, RunMetrics};
+pub use probe::{NoProbe, Probe, Tee};

@@ -31,7 +31,9 @@ impl GroupAssignment {
     /// ordinary solvability.
     #[must_use]
     pub fn singletons(n: usize) -> Self {
-        GroupAssignment { group_of: (0..n).map(GroupId).collect() }
+        GroupAssignment {
+            group_of: (0..n).map(GroupId).collect(),
+        }
     }
 
     /// Number of processors.
@@ -62,7 +64,9 @@ impl GroupAssignment {
     /// The processors belonging to group `g`, in increasing order.
     #[must_use]
     pub fn members(&self, g: GroupId) -> Vec<usize> {
-        (0..self.group_of.len()).filter(|&p| self.group_of[p] == g).collect()
+        (0..self.group_of.len())
+            .filter(|&p| self.group_of[p] == g)
+            .collect()
     }
 
     /// The inputs as a slice.
@@ -159,7 +163,11 @@ pub struct GroupViolation {
 
 impl core::fmt::Display for GroupViolation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "sample {:?} violates task: {}", self.representatives, self.violation)
+        write!(
+            f,
+            "sample {:?} violates task: {}",
+            self.representatives, self.violation
+        )
     }
 }
 
@@ -201,7 +209,10 @@ where
             continue;
         }
         if let Err(violation) = task.check(&assignment) {
-            return Err(GroupViolation { representatives: reps, violation });
+            return Err(GroupViolation {
+                representatives: reps,
+                violation,
+            });
         }
         checked += 1;
     }
@@ -244,7 +255,10 @@ where
             reps.insert(*g, proc);
         }
         if let Err(violation) = task.check(&assignment) {
-            return Err(GroupViolation { representatives: reps, violation });
+            return Err(GroupViolation {
+                representatives: reps,
+                violation,
+            });
         }
         checked += 1;
     }
@@ -314,7 +328,10 @@ mod tests {
         let ga = GroupAssignment::new(vec![GroupId(0), GroupId(1)]);
         let outputs = vec![Some(gset(&[0])), Some(gset(&[1]))];
         let err = check_group_solution(&Snapshot, &ga, &outputs).unwrap_err();
-        assert!(matches!(err.violation, TaskViolation::NotContainmentRelated { .. }));
+        assert!(matches!(
+            err.violation,
+            TaskViolation::NotContainmentRelated { .. }
+        ));
         assert_eq!(err.representatives[&GroupId(0)], 0);
         assert_eq!(err.representatives[&GroupId(1)], 1);
         assert!(!err.to_string().is_empty());
@@ -334,7 +351,10 @@ mod tests {
         // it is invalid.
         let outputs = vec![Some(GroupId(0)), Some(GroupId(1))];
         let err = check_group_solution(&Consensus, &ga, &outputs).unwrap_err();
-        assert!(matches!(err.violation, TaskViolation::NonParticipant { .. }));
+        assert!(matches!(
+            err.violation,
+            TaskViolation::NonParticipant { .. }
+        ));
     }
 
     #[test]
@@ -355,9 +375,7 @@ mod tests {
             Some(gset(&[0, 1, 2])),
         ];
         let mut rng = rand::thread_rng();
-        assert!(
-            check_group_solution_sampled(&Snapshot, &ga, &outputs, 100, &mut rng).is_ok()
-        );
+        assert!(check_group_solution_sampled(&Snapshot, &ga, &outputs, 100, &mut rng).is_ok());
     }
 
     #[test]
@@ -365,9 +383,7 @@ mod tests {
         // 8 processors in 2 groups of 4; every member of group 1 outputs a
         // set missing itself — any sample is violated, so even one random
         // sample suffices.
-        let ga = GroupAssignment::new(
-            (0..8).map(|p| GroupId(p / 4)).collect::<Vec<_>>(),
-        );
+        let ga = GroupAssignment::new((0..8).map(|p| GroupId(p / 4)).collect::<Vec<_>>());
         let outputs: Vec<Option<BTreeSet<GroupId>>> = (0..8)
             .map(|p| {
                 if p < 4 {
@@ -378,8 +394,7 @@ mod tests {
             })
             .collect();
         let mut rng = rand::thread_rng();
-        let err = check_group_solution_sampled(&Snapshot, &ga, &outputs, 4, &mut rng)
-            .unwrap_err();
+        let err = check_group_solution_sampled(&Snapshot, &ga, &outputs, 4, &mut rng).unwrap_err();
         assert!(matches!(err.violation, TaskViolation::MissingSelf { .. }));
     }
 

@@ -49,8 +49,7 @@ mod task;
 pub mod tasks;
 
 pub use groups::{
-    check_group_solution, check_group_solution_sampled, GroupAssignment, GroupViolation,
-    SampleIter,
+    check_group_solution, check_group_solution_sampled, GroupAssignment, GroupViolation, SampleIter,
 };
 pub use long_lived::{check_long_lived_group_snapshot, Invocation};
 pub use task::{GroupId, OutputAssignment, Task, TaskViolation};

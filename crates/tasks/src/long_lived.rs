@@ -58,7 +58,10 @@ pub fn check_long_lived_group_snapshot<V: Ord + Clone + core::fmt::Debug>(
         ids.entry(&inv.input).or_insert(next);
     }
     let groups = GroupAssignment::new(
-        invocations.iter().map(|inv| GroupId(ids[&inv.input])).collect(),
+        invocations
+            .iter()
+            .map(|inv| GroupId(ids[&inv.input]))
+            .collect(),
     );
     let outputs: Vec<Option<BTreeSet<GroupId>>> = invocations
         .iter()

@@ -141,7 +141,10 @@ impl fmt::Display for TaskViolation {
                 write!(f, "{decided} distinct values decided in {k}-set consensus")
             }
             TaskViolation::SymmetryUnbroken => {
-                write!(f, "all participants output the same bit under full participation")
+                write!(
+                    f,
+                    "all participants output the same bit under full participation"
+                )
             }
             TaskViolation::Empty => write!(f, "empty output assignment"),
         }
@@ -187,13 +190,33 @@ mod tests {
     #[test]
     fn violations_display_nonempty() {
         let vs = vec![
-            TaskViolation::Disagreement { a: GroupId(0), b: GroupId(1) },
-            TaskViolation::NonParticipant { of: GroupId(0), referenced: GroupId(1) },
+            TaskViolation::Disagreement {
+                a: GroupId(0),
+                b: GroupId(1),
+            },
+            TaskViolation::NonParticipant {
+                of: GroupId(0),
+                referenced: GroupId(1),
+            },
             TaskViolation::MissingSelf { of: GroupId(0) },
-            TaskViolation::NotContainmentRelated { a: GroupId(0), b: GroupId(1) },
-            TaskViolation::NotImmediate { a: GroupId(0), b: GroupId(1) },
-            TaskViolation::NameCollision { a: GroupId(0), b: GroupId(1), name: 2 },
-            TaskViolation::NameOutOfRange { of: GroupId(0), name: 9, bound: 3 },
+            TaskViolation::NotContainmentRelated {
+                a: GroupId(0),
+                b: GroupId(1),
+            },
+            TaskViolation::NotImmediate {
+                a: GroupId(0),
+                b: GroupId(1),
+            },
+            TaskViolation::NameCollision {
+                a: GroupId(0),
+                b: GroupId(1),
+                name: 2,
+            },
+            TaskViolation::NameOutOfRange {
+                of: GroupId(0),
+                name: 9,
+                bound: 3,
+            },
             TaskViolation::TooManyValues { decided: 3, k: 2 },
             TaskViolation::SymmetryUnbroken,
             TaskViolation::Empty,

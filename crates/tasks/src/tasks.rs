@@ -33,11 +33,17 @@ impl Task for Consensus {
         };
         for (id, val) in iter.clone() {
             if val != first_val {
-                return Err(TaskViolation::Disagreement { a: *first_id, b: *id });
+                return Err(TaskViolation::Disagreement {
+                    a: *first_id,
+                    b: *id,
+                });
             }
         }
         if !assignment.contains_key(first_val) {
-            return Err(TaskViolation::NonParticipant { of: *first_id, referenced: *first_val });
+            return Err(TaskViolation::NonParticipant {
+                of: *first_id,
+                referenced: *first_val,
+            });
         }
         Ok(())
     }
@@ -121,7 +127,9 @@ impl AdaptiveRenaming {
     /// ```
     #[must_use]
     pub fn quadratic() -> Self {
-        AdaptiveRenaming { bound: |n| n * (n + 1) / 2 }
+        AdaptiveRenaming {
+            bound: |n| n * (n + 1) / 2,
+        }
     }
 
     /// The namespace bound for `n` participants.
@@ -149,10 +157,18 @@ impl Task for AdaptiveRenaming {
         let mut seen: Vec<(usize, GroupId)> = Vec::with_capacity(n);
         for (id, &name) in assignment {
             if name == 0 || name > bound {
-                return Err(TaskViolation::NameOutOfRange { of: *id, name, bound });
+                return Err(TaskViolation::NameOutOfRange {
+                    of: *id,
+                    name,
+                    bound,
+                });
             }
             if let Some((_, other)) = seen.iter().find(|(m, _)| *m == name) {
-                return Err(TaskViolation::NameCollision { a: *other, b: *id, name });
+                return Err(TaskViolation::NameCollision {
+                    a: *other,
+                    b: *id,
+                    name,
+                });
             }
             seen.push((name, *id));
         }
@@ -197,12 +213,18 @@ impl Task for SetConsensus {
         let mut decided: HashSet<GroupId> = HashSet::new();
         for (id, val) in assignment {
             if !assignment.contains_key(val) {
-                return Err(TaskViolation::NonParticipant { of: *id, referenced: *val });
+                return Err(TaskViolation::NonParticipant {
+                    of: *id,
+                    referenced: *val,
+                });
             }
             decided.insert(*val);
         }
         if decided.len() > self.k {
-            return Err(TaskViolation::TooManyValues { decided: decided.len(), k: self.k });
+            return Err(TaskViolation::TooManyValues {
+                decided: decided.len(),
+                k: self.k,
+            });
         }
         Ok(())
     }
@@ -313,7 +335,10 @@ mod tests {
     }
 
     fn assignment<O: Clone>(entries: &[(usize, O)]) -> OutputAssignment<O> {
-        entries.iter().map(|(i, o)| (GroupId(*i), o.clone())).collect()
+        entries
+            .iter()
+            .map(|(i, o)| (GroupId(*i), o.clone()))
+            .collect()
     }
 
     // ---- consensus ----
@@ -327,13 +352,19 @@ mod tests {
     #[test]
     fn consensus_rejects_disagreement() {
         let a = assignment(&[(0, GroupId(0)), (1, GroupId(1))]);
-        assert!(matches!(Consensus.check(&a), Err(TaskViolation::Disagreement { .. })));
+        assert!(matches!(
+            Consensus.check(&a),
+            Err(TaskViolation::Disagreement { .. })
+        ));
     }
 
     #[test]
     fn consensus_rejects_non_participant_value() {
         let a = assignment(&[(0, GroupId(5)), (1, GroupId(5))]);
-        assert!(matches!(Consensus.check(&a), Err(TaskViolation::NonParticipant { .. })));
+        assert!(matches!(
+            Consensus.check(&a),
+            Err(TaskViolation::NonParticipant { .. })
+        ));
     }
 
     #[test]
@@ -359,7 +390,10 @@ mod tests {
     #[test]
     fn snapshot_rejects_missing_self() {
         let a = assignment(&[(0, gset(&[1])), (1, gset(&[0, 1]))]);
-        assert_eq!(Snapshot.check(&a), Err(TaskViolation::MissingSelf { of: GroupId(0) }));
+        assert_eq!(
+            Snapshot.check(&a),
+            Err(TaskViolation::MissingSelf { of: GroupId(0) })
+        );
     }
 
     #[test]
@@ -374,7 +408,10 @@ mod tests {
     #[test]
     fn snapshot_rejects_non_participant_member() {
         let a = assignment(&[(0, gset(&[0, 7]))]);
-        assert!(matches!(Snapshot.check(&a), Err(TaskViolation::NonParticipant { .. })));
+        assert!(matches!(
+            Snapshot.check(&a),
+            Err(TaskViolation::NonParticipant { .. })
+        ));
     }
 
     #[test]
@@ -397,21 +434,30 @@ mod tests {
     fn renaming_rejects_collision() {
         let t = AdaptiveRenaming::quadratic();
         let a = assignment(&[(0, 2usize), (1, 2)]);
-        assert!(matches!(t.check(&a), Err(TaskViolation::NameCollision { name: 2, .. })));
+        assert!(matches!(
+            t.check(&a),
+            Err(TaskViolation::NameCollision { name: 2, .. })
+        ));
     }
 
     #[test]
     fn renaming_rejects_out_of_range() {
         let t = AdaptiveRenaming::quadratic();
         let a = assignment(&[(0, 7usize), (1, 1)]); // bound for 2 is 3
-        assert!(matches!(t.check(&a), Err(TaskViolation::NameOutOfRange { .. })));
+        assert!(matches!(
+            t.check(&a),
+            Err(TaskViolation::NameOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn renaming_rejects_zero_name() {
         let t = AdaptiveRenaming::quadratic();
         let a = assignment(&[(0, 0usize)]);
-        assert!(matches!(t.check(&a), Err(TaskViolation::NameOutOfRange { .. })));
+        assert!(matches!(
+            t.check(&a),
+            Err(TaskViolation::NameOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -437,9 +483,11 @@ mod tests {
         let t = SetConsensus::new(2);
         let ok = assignment(&[(0, GroupId(0)), (1, GroupId(1)), (2, GroupId(0))]);
         assert!(t.check(&ok).is_ok());
-        let bad =
-            assignment(&[(0, GroupId(0)), (1, GroupId(1)), (2, GroupId(2))]);
-        assert!(matches!(t.check(&bad), Err(TaskViolation::TooManyValues { decided: 3, k: 2 })));
+        let bad = assignment(&[(0, GroupId(0)), (1, GroupId(1)), (2, GroupId(2))]);
+        assert!(matches!(
+            t.check(&bad),
+            Err(TaskViolation::TooManyValues { decided: 3, k: 2 })
+        ));
     }
 
     #[test]
@@ -504,7 +552,10 @@ mod tests {
         ]);
         assert_eq!(
             ImmediateSnapshot.check(&a),
-            Err(TaskViolation::NotImmediate { a: GroupId(0), b: GroupId(1) })
+            Err(TaskViolation::NotImmediate {
+                a: GroupId(0),
+                b: GroupId(1)
+            })
         );
     }
 
@@ -524,7 +575,10 @@ mod tests {
         assert_eq!(Snapshot.name(), "snapshot");
         assert_eq!(AdaptiveRenaming::quadratic().name(), "adaptive renaming");
         assert_eq!(SetConsensus::new(1).name(), "set consensus");
-        assert_eq!(WeakSymmetryBreaking { n: 2 }.name(), "weak symmetry breaking");
+        assert_eq!(
+            WeakSymmetryBreaking { n: 2 }.name(),
+            "weak symmetry breaking"
+        );
         assert_eq!(ImmediateSnapshot.name(), "immediate snapshot");
         assert_eq!(Election.name(), "election");
     }

@@ -29,13 +29,19 @@ fn main() {
             50_000_000,          // quiescent tail: obstruction-freedom kicks in
         )
         .expect("run completes");
-        assert!(res.all_decided, "trial {trial}: quiescence forces a decision");
+        assert!(
+            res.all_decided,
+            "trial {trial}: quiescence forces a decision"
+        );
         let mark = res.decisions[0].expect("decided");
         assert!(
             res.decisions.iter().all(|d| d.unwrap() == mark),
             "trial {trial}: cells disagree — organism-level inconsistency!"
         );
-        assert!(senses.contains(&mark), "trial {trial}: decided an unsensed state");
+        assert!(
+            senses.contains(&mark),
+            "trial {trial}: decided an unsensed state"
+        );
         decided_runs += 1;
         println!("trial {trial}: all {agents} agents settled on mark {mark}");
     }

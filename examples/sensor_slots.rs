@@ -28,7 +28,10 @@ fn main() {
     println!("{} revisions participate → slots must fit 1..={bound}", m);
 
     for (i, &slot) in slots.iter().enumerate() {
-        assert!((1..=bound).contains(&slot), "slot out of the adaptive range");
+        assert!(
+            (1..=bound).contains(&slot),
+            "slot out of the adaptive range"
+        );
         for (j, &other) in slots.iter().enumerate() {
             if revisions[i] != revisions[j] {
                 assert_ne!(slot, other, "sensors of different revisions collided");

@@ -28,12 +28,14 @@ fn main() {
         .expect("the lasso stabilizes");
     println!(
         "stable views: {:?}",
-        report.graph.vertices().iter().map(ToString::to_string).collect::<Vec<_>>()
+        report
+            .graph
+            .vertices()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
-    println!(
-        "edges (strict containment): {:?}",
-        report.graph.edges()
-    );
+    println!("edges (strict containment): {:?}", report.graph.edges());
     println!("is a DAG: {}", report.graph.is_dag());
     println!(
         "unique source: {} (the source is {})",

@@ -1,0 +1,7 @@
+//! Root-package alias for the fa-bench `obs_report` experiment, so that
+//! `cargo run --bin obs_report` works from the workspace root (whose default
+//! package is `fa-repro`). See [`fa_bench::obs_report`].
+
+fn main() {
+    fa_bench::obs_report::run_report();
+}

@@ -10,7 +10,11 @@ fn levels_n_and_n_minus_1_pass_exhaustively_at_n2() {
     // n = 2: level 2 (paper) and level 1 (= n−1, footnote 4).
     for level in [2usize, 1] {
         let report = check_snapshot_task_at_level(&[1, 2], level, 2_000_000).unwrap();
-        assert!(report.violation.is_none(), "level {level}: {:?}", report.violation);
+        assert!(
+            report.violation.is_none(),
+            "level {level}: {:?}",
+            report.violation
+        );
         assert!(report.complete);
     }
 }

@@ -8,7 +8,10 @@ use fa_bench::{anonymous_snapshot_steps, double_collect_steps, swmr_steps};
 fn weak_counter_needs_named_memory() {
     for m in 2..10 {
         assert!(named_memory_demo(m).unwrap().strictly_increasing, "m={m}");
-        assert!(!anonymous_memory_violation(m).unwrap().strictly_increasing, "m={m}");
+        assert!(
+            !anonymous_memory_violation(m).unwrap().strictly_increasing,
+            "m={m}"
+        );
     }
 }
 
@@ -22,9 +25,12 @@ fn step_cost_ordering_swmr_cheapest() {
     let mut anon_total = 0usize;
     let runs = 10;
     for seed in 0..runs {
-        swmr_total += swmr_steps(n, seed, 100_000_000).unwrap().expect("terminates");
-        anon_total +=
-            anonymous_snapshot_steps(n, seed, 100_000_000).unwrap().expect("terminates");
+        swmr_total += swmr_steps(n, seed, 100_000_000)
+            .unwrap()
+            .expect("terminates");
+        anon_total += anonymous_snapshot_steps(n, seed, 100_000_000)
+            .unwrap()
+            .expect("terminates");
     }
     assert!(
         anon_total > 2 * swmr_total,
@@ -46,5 +52,8 @@ fn double_collect_is_cheap_when_it_terminates() {
             }
         }
     }
-    assert!(wins >= 5, "double collect should usually be cheaper (wins={wins})");
+    assert!(
+        wins >= 5,
+        "double collect should usually be cheaper (wins={wins})"
+    );
 }

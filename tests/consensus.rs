@@ -7,14 +7,9 @@ fn agreement_validity_termination_with_solo_tail() {
     for n in 2..=5usize {
         for seed in 0..8u64 {
             let inputs: Vec<u32> = (0..n as u32).map(|i| (i + 1) * 11).collect();
-            let res = run_consensus_random(
-                &inputs,
-                seed,
-                &WiringMode::Random,
-                30_000 * n,
-                50_000_000,
-            )
-            .unwrap();
+            let res =
+                run_consensus_random(&inputs, seed, &WiringMode::Random, 30_000 * n, 50_000_000)
+                    .unwrap();
             assert!(res.all_decided, "n={n} seed={seed}");
             let d = res.decisions[0].unwrap();
             assert!(
@@ -30,8 +25,7 @@ fn agreement_validity_termination_with_solo_tail() {
 #[test]
 fn identical_inputs_decide_that_input() {
     let res =
-        run_consensus_random(&[42, 42, 42], 1, &WiringMode::Random, 50_000, 50_000_000)
-            .unwrap();
+        run_consensus_random(&[42, 42, 42], 1, &WiringMode::Random, 50_000, 50_000_000).unwrap();
     assert!(res.all_decided);
     assert!(res.decisions.iter().all(|d| d.unwrap() == 42));
 }

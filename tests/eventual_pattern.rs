@@ -10,16 +10,16 @@ fn theorem_4_8_randomized_sweep() {
     for n in 2..=5usize {
         for trial in 0..60u64 {
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64((n as u64) << 32 | trial);
-            let wirings: Vec<Wiring> =
-                (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+            let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
             let inputs: Vec<u32> = (1..=n as u32).collect();
             // Random lasso: every processor live.
             let mut cycle: Vec<ProcId> = (0..n).map(ProcId).collect();
             for _ in 0..rng.gen_range(4..30) {
                 cycle.push(ProcId(rng.gen_range(0..n)));
             }
-            let prefix: Vec<ProcId> =
-                (0..rng.gen_range(0..12)).map(|_| ProcId(rng.gen_range(0..n))).collect();
+            let prefix: Vec<ProcId> = (0..rng.gen_range(0..12))
+                .map(|_| ProcId(rng.gen_range(0..n)))
+                .collect();
             let sched = LassoSchedule::new(prefix, cycle);
             let report = analyze_lasso(&inputs, n, wirings, &sched, 100_000)
                 .unwrap_or_else(|e| panic!("n={n} trial={trial}: {e}"));
@@ -42,15 +42,13 @@ fn partial_liveness_still_single_source() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(trial);
         let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
         // p3 only acts in the prefix; p0..p2 are live.
-        let prefix: Vec<ProcId> =
-            (0..rng.gen_range(1..10)).map(|_| ProcId(3)).collect();
+        let prefix: Vec<ProcId> = (0..rng.gen_range(1..10)).map(|_| ProcId(3)).collect();
         let mut cycle: Vec<ProcId> = (0..3).map(ProcId).collect();
         for _ in 0..rng.gen_range(3..20) {
             cycle.push(ProcId(rng.gen_range(0..3)));
         }
         let sched = LassoSchedule::new(prefix, cycle);
-        let report =
-            analyze_lasso(&[1, 2, 3, 4], n, wirings, &sched, 100_000).unwrap();
+        let report = analyze_lasso(&[1, 2, 3, 4], n, wirings, &sched, 100_000).unwrap();
         assert!(!report.stable_views.contains_key(&3));
         assert!(report.graph.has_unique_source(), "trial {trial}");
     }

@@ -4,9 +4,7 @@
 //! number of crashes; obstruction-freedom (consensus) benefits from them.
 
 use fa_core::{ConsensusProcess, RenamingProcess, SnapRegister, SnapshotProcess};
-use fa_memory::{
-    CrashingScheduler, Executor, ProcId, RandomScheduler, SharedMemory, Wiring,
-};
+use fa_memory::{CrashingScheduler, Executor, ProcId, RandomScheduler, SharedMemory, Wiring};
 use rand::SeedableRng;
 
 fn wirings(n: usize, seed: u64) -> Vec<Wiring> {
@@ -39,8 +37,10 @@ fn snapshot_survivors_terminate_despite_crashes() {
             assert!(out.contains(&(p as u32)));
         }
         // Outputs of survivors remain pairwise comparable.
-        let outs: Vec<_> =
-            [0usize, 2, 4].iter().map(|&p| exec.first_output(ProcId(p)).unwrap()).collect();
+        let outs: Vec<_> = [0usize, 2, 4]
+            .iter()
+            .map(|&p| exec.first_output(ProcId(p)).unwrap())
+            .collect();
         for a in &outs {
             for b in &outs {
                 assert!(a.comparable(b), "seed {seed}");
@@ -74,11 +74,18 @@ fn crashed_writer_covering_a_register_does_not_block_renaming() {
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), n - 1, "seed {seed}: survivors take distinct names");
+        assert_eq!(
+            names.len(),
+            n - 1,
+            "seed {seed}: survivors take distinct names"
+        );
         // Adaptive bound counts *participants*: the crashed p0 may have
         // participated (it wrote), so names fit M(M+1)/2 with M = n.
         let bound = n * (n + 1) / 2;
-        assert!(names.iter().all(|&x| (1..=bound).contains(&x)), "seed {seed}");
+        assert!(
+            names.iter().all(|&x| (1..=bound).contains(&x)),
+            "seed {seed}"
+        );
     }
 }
 
@@ -87,8 +94,9 @@ fn consensus_decides_when_rivals_crash() {
     // Obstruction-freedom turned on its head: crashes *help* termination by
     // removing contention. All but p2 crash early; p2 must decide.
     let n = 4;
-    let procs: Vec<ConsensusProcess<u32>> =
-        (0..n as u32).map(|x| ConsensusProcess::new(10 + x, n)).collect();
+    let procs: Vec<ConsensusProcess<u32>> = (0..n as u32)
+        .map(|x| ConsensusProcess::new(10 + x, n))
+        .collect();
     let memory = SharedMemory::new(n, SnapRegister::default(), wirings(n, 7)).unwrap();
     let mut exec = Executor::new(procs, memory).unwrap();
     let sched = CrashingScheduler::new(
@@ -99,7 +107,10 @@ fn consensus_decides_when_rivals_crash() {
     .crash_after(ProcId(1), 9)
     .crash_after(ProcId(3), 2);
     exec.run(sched, 50_000_000).unwrap();
-    let d = exec.first_output(ProcId(2)).copied().expect("solo survivor decides");
+    let d = exec
+        .first_output(ProcId(2))
+        .copied()
+        .expect("solo survivor decides");
     assert!((10..14).contains(&d), "decision is a proposed value");
 }
 
@@ -119,6 +130,9 @@ fn wiring_mode_is_exercised_under_crashes_too() {
     .crash_after(ProcId(3), 2);
     exec.run(sched, 50_000_000).unwrap();
     for p in 0..3 {
-        assert!(exec.first_output(ProcId(p)).is_some(), "survivor p{p} terminates");
+        assert!(
+            exec.first_output(ProcId(p)).is_some(),
+            "survivor p{p} terminates"
+        );
     }
 }

@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn sample_count_formula(assignment in proptest::collection::vec(0usize..3, 1..8)) {
         let groups = GroupAssignment::new(assignment.iter().map(|&g| GroupId(g)).collect());
-        let outputs: Vec<Option<usize>> = (0..assignment.len()).map(|i| Some(i)).collect();
+        let outputs: Vec<Option<usize>> = (0..assignment.len()).map(Some).collect();
         let iter = SampleIter::new(&groups, &outputs);
         let expected: usize = {
             let mut sizes = std::collections::BTreeMap::new();

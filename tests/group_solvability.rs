@@ -3,8 +3,8 @@
 use std::collections::BTreeSet;
 
 use fa_tasks::{
-    check_group_solution, AdaptiveRenaming, Consensus, GroupAssignment, GroupId,
-    SampleIter, Snapshot,
+    check_group_solution, AdaptiveRenaming, Consensus, GroupAssignment, GroupId, SampleIter,
+    Snapshot,
 };
 
 fn gset(ids: &[usize]) -> BTreeSet<GroupId> {

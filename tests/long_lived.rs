@@ -4,18 +4,18 @@ use fa_core::{LongLivedSnapshotProcess, SnapRegister, View};
 use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
 use rand::SeedableRng;
 
-fn run(
-    inputs: Vec<Vec<u32>>,
-    seed: u64,
-) -> Executor<LongLivedSnapshotProcess<u32>> {
+fn run(inputs: Vec<Vec<u32>>, seed: u64) -> Executor<LongLivedSnapshotProcess<u32>> {
     let n = inputs.len();
-    let procs: Vec<LongLivedSnapshotProcess<u32>> =
-        inputs.into_iter().map(|is| LongLivedSnapshotProcess::new(is, n)).collect();
+    let procs: Vec<LongLivedSnapshotProcess<u32>> = inputs
+        .into_iter()
+        .map(|is| LongLivedSnapshotProcess::new(is, n))
+        .collect();
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xabcd);
     let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
     let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
     let mut exec = Executor::new(procs, memory).unwrap();
-    exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(seed), 50_000_000).unwrap();
+    exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(seed), 50_000_000)
+        .unwrap();
     exec
 }
 
@@ -84,13 +84,9 @@ fn histories_satisfy_future_work_group_definition() {
         for p in 0..3 {
             let inputs = [[1u32, 10], [2, 20], [3, 30]][p];
             for (k, out) in exec.outputs(ProcId(p)).iter().enumerate() {
-                history.push(Invocation::new(
-                    inputs[k],
-                    out.iter().copied().collect(),
-                ));
+                history.push(Invocation::new(inputs[k], out.iter().copied().collect()));
             }
         }
-        check_long_lived_group_snapshot(&history)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_long_lived_group_snapshot(&history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }

@@ -3,8 +3,7 @@
 
 use fa_memory::Wiring;
 use fa_modelcheck::checks::{
-    check_consensus_safety, check_renaming, check_snapshot_task,
-    check_snapshot_wait_freedom,
+    check_consensus_safety, check_renaming, check_snapshot_task, check_snapshot_wait_freedom,
 };
 
 #[test]
@@ -38,9 +37,12 @@ fn consensus_safety_bounded_n2() {
 #[test]
 fn wait_freedom_certificate_n2_all_wirings() {
     for combo in fa_modelcheck::wirings::combinations_mod_relabeling(2, 2) {
-        let report =
-            check_snapshot_wait_freedom(&[1, 2], combo.clone(), 1_000_000, 200).unwrap();
-        assert!(report.violation.is_none(), "combo {combo:?}: {:?}", report.violation);
+        let report = check_snapshot_wait_freedom(&[1, 2], combo.clone(), 1_000_000, 200).unwrap();
+        assert!(
+            report.violation.is_none(),
+            "combo {combo:?}: {:?}",
+            report.violation
+        );
         assert!(report.complete);
     }
 }
@@ -66,9 +68,12 @@ fn snapshot_task_one_adversarial_combo_n3_bounded_fine_grain() {
         inputs.iter().map(|&x| SnapshotProcess::new(x, 3)).collect();
     // Debug builds explore ~20× slower; scale the bounded budget so plain
     // `cargo test` stays snappy while `--release` covers more.
-    let budget = if cfg!(debug_assertions) { 40_000 } else { 300_000 };
-    let explorer = Explorer::new(procs, 3, Default::default(), wirings)
-        .with_max_states(budget);
+    let budget = if cfg!(debug_assertions) {
+        40_000
+    } else {
+        300_000
+    };
+    let explorer = Explorer::new(procs, 3, Default::default(), wirings).with_max_states(budget);
     let report = explorer.run(|state| {
         let outputs = state.first_outputs();
         for (i, o) in outputs.iter().enumerate() {
@@ -84,8 +89,15 @@ fn snapshot_task_one_adversarial_combo_n3_bounded_fine_grain() {
         }
         Ok(())
     });
-    assert!(report.violation.is_none(), "{:?}", report.violation.map(|v| v.message));
-    assert!(report.states >= budget, "expected to fill the bounded budget");
+    assert!(
+        report.violation.is_none(),
+        "{:?}",
+        report.violation.map(|v| v.message)
+    );
+    assert!(
+        report.states >= budget,
+        "expected to fill the bounded budget"
+    );
 }
 
 #[test]
@@ -104,7 +116,11 @@ fn snapshot_task_coarse_n3_one_combo_bounded() {
     ];
     let procs: Vec<SnapshotProcess<u32>> =
         inputs.iter().map(|&x| SnapshotProcess::new(x, 3)).collect();
-    let coarse_budget = if cfg!(debug_assertions) { 60_000 } else { 1_500_000 };
+    let coarse_budget = if cfg!(debug_assertions) {
+        60_000
+    } else {
+        1_500_000
+    };
     let explorer = Explorer::new(procs, 3, Default::default(), wirings)
         .with_coarse_scans()
         .with_max_states(coarse_budget);
@@ -123,8 +139,15 @@ fn snapshot_task_coarse_n3_one_combo_bounded() {
         }
         Ok(())
     });
-    assert!(report.violation.is_none(), "{:?}", report.violation.map(|v| v.message));
-    assert!(report.states >= coarse_budget, "expected to fill the bounded budget");
+    assert!(
+        report.violation.is_none(),
+        "{:?}",
+        report.violation.map(|v| v.message)
+    );
+    assert!(
+        report.states >= coarse_budget,
+        "expected to fill the bounded budget"
+    );
 }
 
 #[test]
@@ -149,8 +172,10 @@ fn snapshot_algorithm_does_not_solve_immediate_snapshot() {
         Wiring::identity(3),        // p1 writes r0, r1, r2, …
         Wiring::identity(3),
     ];
-    let procs: Vec<SnapshotProcess<u32>> =
-        [1u32, 2, 3].iter().map(|&x| SnapshotProcess::new(x, n)).collect();
+    let procs: Vec<SnapshotProcess<u32>> = [1u32, 2, 3]
+        .iter()
+        .map(|&x| SnapshotProcess::new(x, n))
+        .collect();
     let memory = SharedMemory::new(n, Default::default(), wirings).unwrap();
     let mut exec = Executor::new(procs, memory).unwrap();
 
@@ -166,18 +191,24 @@ fn snapshot_algorithm_does_not_solve_immediate_snapshot() {
     // p2 runs solo (absorbing {1,2}, adding 3), then p1 finishes.
     exec.run_solo(ProcId(2), 1_000_000).unwrap();
     exec.run_solo(ProcId(1), 1_000_000).unwrap();
-    let outputs: Vec<View<u32>> =
-        (0..n).map(|i| exec.first_output(ProcId(i)).unwrap().clone()).collect();
+    let outputs: Vec<View<u32>> = (0..n)
+        .map(|i| exec.first_output(ProcId(i)).unwrap().clone())
+        .collect();
 
     let assignment: BTreeMap<GroupId, std::collections::BTreeSet<GroupId>> = outputs
         .iter()
         .enumerate()
         .map(|(i, o)| {
-            (GroupId(i), o.iter().map(|&v| GroupId(v as usize - 1)).collect())
+            (
+                GroupId(i),
+                o.iter().map(|&v| GroupId(v as usize - 1)).collect(),
+            )
         })
         .collect();
     // A valid snapshot-task solution…
-    Snapshot.check(&assignment).expect("the outputs form a chain");
+    Snapshot
+        .check(&assignment)
+        .expect("the outputs form a chain");
     // …that is not an immediate snapshot.
     let err = ImmediateSnapshot.check(&assignment).unwrap_err();
     assert!(err.to_string().contains("immediacy"), "{err}");

@@ -3,9 +3,7 @@
 //! scope (n up to 6), at every step of the execution.
 
 use fa_core::{SnapRegister, SnapshotProcess, View};
-use fa_memory::{
-    Executor, ProcId, RandomScheduler, Scheduler, SharedMemory, Wiring,
-};
+use fa_memory::{Executor, ProcId, RandomScheduler, Scheduler, SharedMemory, Wiring};
 use rand::SeedableRng;
 
 fn snapshot_exec(n: usize, seed: u64) -> Executor<SnapshotProcess<u32>> {
@@ -22,8 +20,7 @@ fn outputs_comparable_at_every_step_of_random_walks() {
     for n in 2..=6usize {
         for seed in 0..6u64 {
             let mut exec = snapshot_exec(n, seed);
-            let mut sched =
-                RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+            let mut sched = RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed));
             let mut outputs: Vec<Option<View<u32>>> = vec![None; n];
             for _ in 0..10_000_000usize {
                 if exec.all_halted() {
@@ -106,12 +103,15 @@ fn replayed_counterexample_schedules_are_reproducible() {
     // Record a random run, replay its schedule, compare everything.
     let mut exec = snapshot_exec(3, 77);
     exec.record_trace(true);
-    exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(77), 10_000_000).unwrap();
+    exec.run_random(rand_chacha::ChaCha8Rng::seed_from_u64(77), 10_000_000)
+        .unwrap();
     let trace = exec.trace().unwrap().clone();
 
     let mut exec2 = snapshot_exec(3, 77);
     exec2.record_trace(true);
-    exec2.run(fa_memory::replay::schedule_of(&trace), 10_000_000).unwrap();
+    exec2
+        .run(fa_memory::replay::schedule_of(&trace), 10_000_000)
+        .unwrap();
     assert_eq!(&trace, exec2.trace().unwrap());
     assert_eq!(exec.first_outputs(), exec2.first_outputs());
 }

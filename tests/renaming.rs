@@ -14,7 +14,10 @@ fn names_respect_group_bound_across_scenarios() {
             let bound = n * (n + 1) / 2;
             let distinct: BTreeSet<usize> = names.iter().copied().collect();
             assert_eq!(distinct.len(), n, "n={n} seed={seed}: collision");
-            assert!(names.iter().all(|&x| (1..=bound).contains(&x)), "n={n} seed={seed}");
+            assert!(
+                names.iter().all(|&x| (1..=bound).contains(&x)),
+                "n={n} seed={seed}"
+            );
         }
     }
 }
@@ -24,10 +27,12 @@ fn adaptivity_bound_depends_on_groups_not_n() {
     // 6 processors but only 2 distinct inputs: names must fit 2·3/2 = 3.
     for seed in 0..8u64 {
         let inputs = vec![7u32, 7, 7, 9, 9, 9];
-        let names =
-            run_renaming_random(&inputs, seed, &WiringMode::Random, 100_000_000).unwrap();
+        let names = run_renaming_random(&inputs, seed, &WiringMode::Random, 100_000_000).unwrap();
         for (i, &a) in names.iter().enumerate() {
-            assert!((1..=3).contains(&a), "seed={seed}: name {a} exceeds group bound");
+            assert!(
+                (1..=3).contains(&a),
+                "seed={seed}: name {a} exceeds group bound"
+            );
             for (j, &b) in names.iter().enumerate() {
                 if inputs[i] != inputs[j] {
                     assert_ne!(a, b, "seed={seed}: cross-group collision");
@@ -50,10 +55,7 @@ mod name_rule_properties {
     /// Builds a legal family of group-snapshot outputs: a nested chain of
     /// sets over the participating groups, where each participant's set is a
     /// chain element containing its own group.
-    fn chain_outputs(
-        group_of: &[usize],
-        positions: &[usize],
-    ) -> Option<Vec<(usize, View<u32>)>> {
+    fn chain_outputs(group_of: &[usize], positions: &[usize]) -> Option<Vec<(usize, View<u32>)>> {
         let mut distinct: Vec<usize> = group_of.to_vec();
         distinct.sort_unstable();
         distinct.dedup();

@@ -9,7 +9,10 @@ use fa_tasks::{check_group_solution, GroupAssignment, GroupId, Snapshot};
 fn to_group_outputs(
     inputs: &[u32],
     views: &[fa_core::View<u32>],
-) -> (GroupAssignment, Vec<Option<std::collections::BTreeSet<GroupId>>>) {
+) -> (
+    GroupAssignment,
+    Vec<Option<std::collections::BTreeSet<GroupId>>>,
+) {
     let mut ids: BTreeMap<u32, usize> = BTreeMap::new();
     for &i in inputs {
         let next = ids.len();
@@ -34,9 +37,8 @@ fn snapshot_group_solves_across_sizes_and_wirings() {
                     .with_wiring(wiring.clone());
                 let res = run_snapshot_random(&cfg).unwrap();
                 let (groups, outputs) = to_group_outputs(&inputs, &res.views);
-                check_group_solution(&Snapshot, &groups, &outputs).unwrap_or_else(|e| {
-                    panic!("n={n} seed={seed} {wiring:?}: {e}")
-                });
+                check_group_solution(&Snapshot, &groups, &outputs)
+                    .unwrap_or_else(|e| panic!("n={n} seed={seed} {wiring:?}: {e}"));
             }
         }
     }

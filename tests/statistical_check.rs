@@ -1,9 +1,9 @@
 //! Statistical model checking at scopes beyond exhaustive reach: random
 //! walks over the exact transition system for n = 4 and 5.
 
-use fa_modelcheck::simulate::random_walks;
 use fa_core::SnapshotProcess;
 use fa_memory::Wiring;
+use fa_modelcheck::simulate::random_walks;
 use rand::SeedableRng;
 
 #[test]
@@ -13,7 +13,12 @@ fn snapshot_walks_hold_at_n5_with_random_wirings() {
     let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
     let inputs: Vec<u32> = (0..n as u32).collect();
     let report = random_walks(
-        || inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect::<Vec<_>>(),
+        || {
+            inputs
+                .iter()
+                .map(|&x| SnapshotProcess::new(x, n))
+                .collect::<Vec<_>>()
+        },
         n,
         Default::default(),
         &wirings,
@@ -48,7 +53,12 @@ fn renaming_walks_hold_at_n4() {
     let inputs: Vec<u32> = (0..n as u32).collect();
     let bound = n * (n + 1) / 2;
     let report = random_walks(
-        || inputs.iter().map(|&x| RenamingProcess::new(x, n)).collect::<Vec<_>>(),
+        || {
+            inputs
+                .iter()
+                .map(|&x| RenamingProcess::new(x, n))
+                .collect::<Vec<_>>()
+        },
         n,
         Default::default(),
         &wirings,

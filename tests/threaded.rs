@@ -14,11 +14,12 @@ fn threaded_snapshot_solves_the_task() {
         let procs: Vec<SnapshotProcess<u32>> =
             (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
         let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
-        let report =
-            run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000).unwrap();
-        assert!(report.all_halted, "seed {seed}: wait-free even on real threads");
-        let views: Vec<&View<u32>> =
-            report.outputs.iter().map(|os| &os[0]).collect();
+        let report = run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000).unwrap();
+        assert!(
+            report.all_halted,
+            "seed {seed}: wait-free even on real threads"
+        );
+        let views: Vec<&View<u32>> = report.outputs.iter().map(|os| &os[0]).collect();
         for (i, v) in views.iter().enumerate() {
             assert!(v.contains(&(i as u32)), "seed {seed}");
             for w in &views {
@@ -36,15 +37,17 @@ fn threaded_renaming_names_are_valid() {
         let procs: Vec<RenamingProcess<u32>> =
             (0..n as u32).map(|x| RenamingProcess::new(x, n)).collect();
         let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
-        let report =
-            run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000).unwrap();
+        let report = run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000).unwrap();
         assert!(report.all_halted);
         let names: Vec<usize> = report.outputs.iter().map(|os| os[0]).collect();
         let bound = n * (n + 1) / 2;
         let mut seen = std::collections::BTreeSet::new();
         for name in names {
             assert!((1..=bound).contains(&name), "seed {seed}");
-            assert!(seen.insert(name), "seed {seed}: distinct inputs share a name");
+            assert!(
+                seen.insert(name),
+                "seed {seed}: distinct inputs share a name"
+            );
         }
     }
 }

@@ -1,0 +1,245 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock bench harness exposing the API surface this
+//! workspace's `benches/` use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_with_input`,
+//! `bench_function`, [`BenchmarkId`], [`black_box`], and [`Bencher::iter`].
+//! No statistics beyond mean/min/max per sample, no plots, no baselines —
+//! it calibrates an iteration count per benchmark, times `sample_size`
+//! samples, and prints one summary line each.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, preventing dead-code elimination of
+/// benchmarked results.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name provides the prefix).
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration statistics.
+    ///
+    /// Calibrates an iteration count so one sample takes roughly a few
+    /// milliseconds, then times `sample_size` samples of that many
+    /// iterations each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find how many iterations fill ~2ms (at least 1).
+        let calib_start = Instant::now();
+        black_box(f());
+        let first = calib_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let iters_per_sample = (target.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut means = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            means.push(elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        let n = means.len().max(1) as f64;
+        self.mean_ns = means.iter().sum::<f64>() / n;
+        self.min_ns = means.iter().copied().fold(f64::INFINITY, f64::min);
+        self.max_ns = means.iter().copied().fold(0.0, f64::max);
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(full_id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        mean_ns: 0.0,
+        min_ns: 0.0,
+        max_ns: 0.0,
+    };
+    f(&mut b);
+    println!(
+        "{full_id:<50} time: [{} {} {}]",
+        human_time(b.min_ns),
+        human_time(b.mean_ns),
+        human_time(b.max_ns),
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (results already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 20, |b| f(b));
+        self
+    }
+}
+
+/// Defines a function running each benchmark target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            ran = true;
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("algo", 8).id, "algo/8");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group!(group_smoke, target);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        group_smoke();
+    }
+}

@@ -1,0 +1,417 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] test macro
+//! with `arg in strategy` bindings, integer-range / `any::<T>()` / tuple
+//! strategies, `collection::{vec, btree_set}`, and the `prop_assert*`
+//! macros. Each test runs a fixed number of deterministically-seeded random
+//! cases (seeded per test case index, so failures are reproducible run to
+//! run). Shrinking is not implemented: a failing case reports its inputs via
+//! `Debug` instead of minimizing them.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases each `proptest!` test executes.
+pub const DEFAULT_CASES: u64 = 96;
+
+/// A generator of random values for one test-case binding.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a "whole domain" strategy, used via [`any`].
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the full domain of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+/// The `any::<T>()` strategy: any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Collection strategies: `vec` and `btree_set`.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification: a fixed length or a half-open/inclusive range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut StdRng) -> usize {
+            if self.min >= self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, size)`: vectors with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of elements drawn from `element`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `btree_set(element, size)`: sets with *target* cardinality drawn from
+    /// `size`. As in upstream proptest, duplicate draws may leave the set
+    /// smaller than the target when the element domain is narrow.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts so narrow domains terminate.
+            for _ in 0..target.saturating_mul(8).saturating_add(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::{SeedableRng, StdRng};
+    use std::fmt;
+
+    /// A rejected or failed test case, carrying its assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic RNG for one case: seeded from the test name and the
+    /// case index, so reruns explore identical inputs.
+    #[must_use]
+    pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported form (the only one this workspace uses):
+/// `proptest! { #[test] fn name(arg in strategy, ...) { body } ... }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code)]
+            fn $name() {
+                for case in 0..$crate::DEFAULT_CASES {
+                    let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),*),
+                        $(&$arg),*
+                    );
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest case {case} of {total} failed: {e}\n  inputs: {inputs}",
+                            total = $crate::DEFAULT_CASES,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", args)`: fail the
+/// current case (with its inputs reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($a), stringify!($b), a, b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                        stringify!($a), stringify!($b), format!($($fmt)+), a, b),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($a), stringify!($b), a),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: `{} != {}`: {}\n  both: {:?}",
+                        stringify!($a), stringify!($b), format!($($fmt)+), a),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0usize..10, y in 1u32..=5) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=5).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_in_range(v in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn fixed_size_vec(v in crate::collection::vec(0usize..4, 8)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+
+        #[test]
+        fn btree_set_bounds(s in crate::collection::btree_set(0u32..50, 0..10)) {
+            prop_assert!(s.len() < 10);
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(t in (0usize..3, 0usize..4, any::<bool>(), 0u32..100)) {
+            prop_assert!(t.0 < 3 && t.1 < 4 && t.3 < 100);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::test_runner::case_rng;
+        use rand::RngCore;
+        let a: Vec<u64> = (0..4).map(|c| case_rng("t", c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| case_rng("t", c).next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(case_rng("t", 0).next_u64(), case_rng("u", 0).next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            fn inner(x in 0usize..10) {
+                prop_assert!(x < 1, "x too big");
+            }
+        }
+        inner();
+    }
+}

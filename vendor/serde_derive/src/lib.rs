@@ -1,0 +1,558 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde`'s JSON-value data model without `syn`/`quote`: the input
+//! `TokenStream` is walked directly (attributes are single `#`+group token
+//! pairs, bodies are single `Group` tokens, so only `<`/`>` nesting needs
+//! explicit depth tracking) and the impl is emitted as a source string.
+//!
+//! Encoding conventions match upstream serde's JSON representation:
+//! named-field structs → objects, newtype structs → the inner value, tuple
+//! structs → arrays, unit structs → null, enums externally tagged
+//! (`"Variant"` for unit variants, `{"Variant": ...}` otherwise).
+//!
+//! Unsupported (not used anywhere in this workspace): `#[serde(...)]`
+//! attributes, union types, where-clauses referencing associated types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed generic parameter.
+enum Param {
+    /// `'a` — carried through verbatim.
+    Lifetime(String),
+    /// `T` or `T: Bounds` — serde bound appended in the impl.
+    Type { name: String, bounds: String },
+    /// `const N: usize` — declaration for the impl, name for the type.
+    Const { decl: String, name: String },
+}
+
+/// Fields of a struct or of one enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields, by count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    params: Vec<Param>,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.body {
+        Body::Struct(fields) => serialize_struct_body(fields),
+        Body::Enum(variants) => serialize_enum_body(&input.name, variants),
+    };
+    let (impl_generics, ty_generics) = generics_strings(&input.params, "::serde::Serialize");
+    let code = format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n",
+        name = input.name,
+    );
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.body {
+        Body::Struct(fields) => deserialize_struct_body(&input.name, fields),
+        Body::Enum(variants) => deserialize_enum_body(&input.name, variants),
+    };
+    let (impl_generics, ty_generics) = generics_strings(&input.params, "::serde::Deserialize");
+    let code = format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n",
+        name = input.name,
+    );
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+
+    let params = if is_punct(tokens.get(i), '<') {
+        parse_generics(&tokens, &mut i)
+    } else {
+        Vec::new()
+    };
+
+    // Skip an optional where-clause (none exist in this workspace, but be safe).
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        while i < tokens.len()
+            && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+        {
+            if is_punct(tokens.get(i), ';') {
+                break;
+            }
+            i += 1;
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        }),
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found `{other:?}`"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+
+    Input { name, params, body }
+}
+
+fn is_punct(t: Option<&TokenTree>, ch: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        if is_punct(tokens.get(*i), '#')
+            && matches!(tokens.get(*i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 2;
+            continue;
+        }
+        if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            *i += 1;
+            if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+/// Parses `<...>` starting at the `<`; leaves `i` just past the matching `>`.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<Param> {
+    *i += 1; // consume `<`
+    let mut depth = 1usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut raw_params: Vec<Vec<TokenTree>> = Vec::new();
+    while *i < tokens.len() {
+        let t = &tokens[*i];
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                raw_params.push(std::mem::take(&mut current));
+                *i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t.clone());
+        *i += 1;
+    }
+    if !current.is_empty() {
+        raw_params.push(current);
+    }
+
+    raw_params
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            if matches!(&p[0], TokenTree::Punct(pt) if pt.as_char() == '\'') {
+                Param::Lifetime(tokens_to_string(&p))
+            } else if matches!(&p[0], TokenTree::Ident(id) if id.to_string() == "const") {
+                let name = match &p[1] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("serde_derive: expected const param name, found `{other}`"),
+                };
+                Param::Const {
+                    decl: tokens_to_string(&p),
+                    name,
+                }
+            } else {
+                let name = match &p[0] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("serde_derive: expected type param, found `{other}`"),
+                };
+                let bounds = if p.len() > 2 && is_punct(p.get(1), ':') {
+                    tokens_to_string(&p[2..])
+                } else {
+                    String::new()
+                };
+                Param::Type { name, bounds }
+            }
+        })
+        .collect()
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Field names from a `{ ... }` struct body, in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        }
+        i += 1;
+        // Skip `:` and the type, up to the next top-level comma. Groups are
+        // atomic tokens, so only angle-bracket depth needs tracking.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `(...)` tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma: `(A, B,)` has two fields, not three.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant`, then the separating comma.
+        while i < tokens.len() && !is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `(impl_generics, ty_generics)`: `<V: Ord + BOUND>` / `<V>`, or two empty
+/// strings when the type is not generic.
+fn generics_strings(params: &[Param], bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_parts = Vec::new();
+    let mut ty_parts = Vec::new();
+    for p in params {
+        match p {
+            Param::Lifetime(lt) => {
+                impl_parts.push(lt.clone());
+                ty_parts.push(lt.clone());
+            }
+            Param::Type { name, bounds } => {
+                if bounds.is_empty() {
+                    impl_parts.push(format!("{name}: {bound}"));
+                } else {
+                    impl_parts.push(format!("{name}: {bounds} + {bound}"));
+                }
+                ty_parts.push(name.clone());
+            }
+            Param::Const { decl, name } => {
+                impl_parts.push(decl.clone());
+                ty_parts.push(name.clone());
+            }
+        }
+    }
+    (
+        format!("<{}>", impl_parts.join(", ")),
+        format!("<{}>", ty_parts.join(", ")),
+    )
+}
+
+fn serialize_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        // Newtype structs serialize transparently as the inner value.
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Fields::Named(names) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in names {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+    }
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "if v.is_null() {{ ::core::result::Result::Ok({name}) }} else {{ \
+             ::core::result::Result::Err(::serde::Error::custom(\"expected null for {name}\")) }}"
+        ),
+        Fields::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if a.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}\")); }}\n\
+                 ::core::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let mut s = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in names {
+                // Missing members read as null so `Option` fields default to
+                // `None`, matching upstream's treatment of omitted optionals.
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(obj.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{\n\
+                       let mut m = ::serde::Map::new();\n\
+                       m.insert(\"{vn}\".to_string(), {inner});\n\
+                       ::serde::Value::Object(m)\n\
+                     }}\n",
+                    binds = binds.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let mut inserts = String::new();
+                for f in fields {
+                    inserts.push_str(&format!(
+                        "inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {fields} }} => {{\n\
+                       let mut inner = ::serde::Map::new();\n\
+                       {inserts}\
+                       let mut m = ::serde::Map::new();\n\
+                       m.insert(\"{vn}\".to_string(), ::serde::Value::Object(inner));\n\
+                       ::serde::Value::Object(m)\n\
+                     }}\n",
+                    fields = fields.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                ));
+                // A unit variant may also appear tagged as `{"Variant": null}`.
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            Fields::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                       let a = inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                       if a.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                       ::core::result::Result::Ok({name}::{vn}({elems}))\n\
+                     }}\n",
+                    elems = elems.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(obj.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                       let obj = inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                       ::core::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+           ::serde::Value::String(s) => match s.as_str() {{\n\
+             {unit_arms}\
+             other => ::core::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant {{other}}\"))),\n\
+           }},\n\
+           ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+             let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+             match tag.as_str() {{\n\
+               {tagged_arms}\
+               other => ::core::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant {{other}}\"))),\n\
+             }}\n\
+           }},\n\
+           _ => ::core::result::Result::Err(::serde::Error::custom(\"expected string or single-key object for {name}\")),\n\
+         }}"
+    )
+}
