@@ -1,19 +1,71 @@
 //! E3 — Native replay of the paper's TLC check: the snapshot algorithm of
 //! Figure 3 solves the snapshot task, exhaustively over all interleavings
 //! and wirings for 2 processors, and for 3 processors up to a state cap.
+//!
+//! Flags:
+//! * `--jobs N` — sweep worker threads (default: available parallelism);
+//!   the reports are identical for any `N`, only wall-clock changes.
+//! * `--smoke` — print only the deterministic report lines (no timing) for
+//!   a reduced 2-proc fine + 3-proc coarse sweep; CI diffs this output
+//!   across `--jobs` values to catch nondeterministic violation selection.
+//! * `--n4` — additionally run the 4-processor coarse-scan sweep (E18):
+//!   all 13824 wiring combinations, bounded per combination.
 
-use fa_bench::print_table;
+use std::fs;
+use std::io::Write as _;
+
+use fa_bench::{check_config_from_cli, cli_flag, print_table, sweep_summary};
 use fa_memory::Wiring;
 use fa_modelcheck::checks::{
-    check_snapshot_task, check_snapshot_task_coarse, check_snapshot_wait_freedom,
+    check_snapshot_task_coarse_with, check_snapshot_task_with, check_snapshot_wait_freedom,
+    TaskCheckReport,
 };
+use fa_obs::{JsonlSink, Probe, SweepEvent};
+
+fn report_line(r: &TaskCheckReport) -> String {
+    format!(
+        "combos={}/{} states={} complete={} violation={}",
+        r.combos,
+        r.total_combos,
+        r.total_states,
+        r.complete,
+        r.violation.clone().unwrap_or_else(|| "none".into())
+    )
+}
+
+/// The deterministic smoke check: report lines only, byte-identical across
+/// `--jobs` values.
+fn smoke(config: &fa_modelcheck::CheckConfig) {
+    let fine = check_snapshot_task_with(&[1, 2], 500_000, config).expect("check runs");
+    println!("smoke fine n=2: {}", report_line(&fine.report));
+    let coarse = check_snapshot_task_coarse_with(&[1, 2, 3], 50_000, config).expect("check runs");
+    println!("smoke coarse n=3: {}", report_line(&coarse.report));
+    assert!(
+        fine.report.violation.is_none(),
+        "{:?}",
+        fine.report.violation
+    );
+    assert!(
+        coarse.report.violation.is_none(),
+        "{:?}",
+        coarse.report.violation
+    );
+}
 
 fn main() {
+    let config = check_config_from_cli();
+    if cli_flag("--smoke") {
+        smoke(&config);
+        return;
+    }
+
     println!("== E3: model-checking the snapshot task (Figure 3) ==\n");
+    let mut telemetry: Vec<SweepEvent> = Vec::new();
     let mut rows = Vec::new();
 
     for inputs in [vec![1u32, 2], vec![5, 5]] {
-        let report = check_snapshot_task(&inputs, 2_000_000).expect("check runs");
+        let outcome = check_snapshot_task_with(&inputs, 2_000_000, &config).expect("check runs");
+        let report = &outcome.report;
         rows.push(vec![
             format!("{inputs:?}"),
             report.combos.to_string(),
@@ -22,6 +74,7 @@ fn main() {
             report.violation.clone().unwrap_or_else(|| "none".into()),
         ]);
         assert!(report.violation.is_none(), "{:?}", report.violation);
+        telemetry.push(outcome.telemetry);
     }
 
     print_table(
@@ -35,30 +88,45 @@ fn main() {
     // the authors' TLC run had).
     println!("\n== 3 processors, label granularity (the TLC configuration) ==\n");
     let inputs = vec![1u32, 2, 3];
-    let report = check_snapshot_task_coarse(&inputs, 400_000).expect("check runs");
-    println!(
-        "inputs {:?}: combos={} states={} complete={} violation={}",
-        inputs,
-        report.combos,
-        report.total_states,
-        report.complete,
-        report.violation.clone().unwrap_or_else(|| "none".into())
+    let outcome = check_snapshot_task_coarse_with(&inputs, 400_000, &config).expect("check runs");
+    println!("inputs {:?}: {}", inputs, report_line(&outcome.report));
+    println!("{}", sweep_summary(&outcome.telemetry));
+    assert!(
+        outcome.report.violation.is_none(),
+        "{:?}",
+        outcome.report.violation
     );
-    assert!(report.violation.is_none(), "{:?}", report.violation);
+    telemetry.push(outcome.telemetry);
 
     // 3 processors at per-read granularity: bounded; no violation in the
     // explored prefix.
     println!("\n== 3 processors, per-read granularity (bounded) ==\n");
-    let report = check_snapshot_task(&inputs, 250_000).expect("check runs");
-    println!(
-        "inputs {:?}: combos={} states={} complete={} violation={}",
-        inputs,
-        report.combos,
-        report.total_states,
-        report.complete,
-        report.violation.clone().unwrap_or_else(|| "none".into())
+    let outcome = check_snapshot_task_with(&inputs, 250_000, &config).expect("check runs");
+    println!("inputs {:?}: {}", inputs, report_line(&outcome.report));
+    println!("{}", sweep_summary(&outcome.telemetry));
+    assert!(
+        outcome.report.violation.is_none(),
+        "{:?}",
+        outcome.report.violation
     );
-    assert!(report.violation.is_none(), "{:?}", report.violation);
+    telemetry.push(outcome.telemetry);
+
+    if cli_flag("--n4") {
+        // E18: the 4-processor coarse-scan sweep, opened up by the parallel
+        // sweep engine: (4!)^3 = 13824 wiring combinations, bounded per
+        // combination.
+        println!("\n== E18: 4 processors, label granularity, all 13824 combos (bounded) ==\n");
+        let inputs = vec![1u32, 2, 3, 4];
+        let outcome = check_snapshot_task_coarse_with(&inputs, 2_000, &config).expect("check runs");
+        println!("inputs {:?}: {}", inputs, report_line(&outcome.report));
+        println!("{}", sweep_summary(&outcome.telemetry));
+        assert!(
+            outcome.report.violation.is_none(),
+            "{:?}",
+            outcome.report.violation
+        );
+        telemetry.push(outcome.telemetry);
+    }
 
     println!("\n== wait-freedom certificate (solo termination from every reachable state) ==\n");
     let wirings = vec![Wiring::identity(2), Wiring::from_perm(vec![1, 0]).unwrap()];
@@ -70,4 +138,18 @@ fn main() {
         wf.violation.clone().unwrap_or_else(|| "none".into())
     );
     assert!(wf.violation.is_none());
+
+    // Persist the sweep telemetry through the probe layer.
+    let mut sink = JsonlSink::new(Vec::new());
+    for ev in &telemetry {
+        sink.on_sweep(ev);
+    }
+    fs::create_dir_all("results").expect("create results dir");
+    let mut f =
+        fs::File::create("results/check_snapshot_telemetry.jsonl").expect("create telemetry file");
+    f.write_all(&sink.into_inner()).expect("write telemetry");
+    println!(
+        "\nwrote results/check_snapshot_telemetry.jsonl ({} sweeps)",
+        telemetry.len()
+    );
 }

@@ -2,10 +2,11 @@
 //! termination holds whenever contention subsides (solo tail), and solo runs
 //! decide in a constant number of snapshot rounds.
 
-use fa_bench::print_table;
+use fa_bench::{check_config_from_cli, print_table, sweep_summary};
 use fa_core::runner::{run_consensus_random, WiringMode};
 use fa_core::{ConsensusProcess, SnapRegister};
 use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
+use fa_modelcheck::checks::check_consensus_safety_with;
 
 fn main() {
     println!("== E7: obstruction-free consensus (Figure 5) ==\n");
@@ -82,4 +83,22 @@ fn main() {
     print_table(&["n", "decision", "snapshot rounds", "steps"], &rows);
     println!("\nA solo processor decides its own value within a constant number of");
     println!("long-lived-snapshot rounds (its timestamp leads by 2 after ~1 re-invocation).");
+
+    // Part 3: exhaustive safety check (agreement + validity) over every
+    // interleaving and wiring combination, bounded in depth because the
+    // timestamp space is unbounded. Honors --jobs.
+    println!("\n== exhaustive safety model check, bounded depth (n=2) ==\n");
+    let config = check_config_from_cli();
+    let outcome = check_consensus_safety_with(&[1, 2], 600_000, 200, &config).expect("check runs");
+    let report = &outcome.report;
+    println!(
+        "combos={}/{} states={} depth-bounded-complete={} violation={}",
+        report.combos,
+        report.total_combos,
+        report.total_states,
+        report.complete,
+        report.violation.clone().unwrap_or_else(|| "none".into())
+    );
+    println!("{}", sweep_summary(&outcome.telemetry));
+    assert!(report.violation.is_none(), "{:?}", report.violation);
 }

@@ -4,8 +4,9 @@
 
 use std::collections::BTreeSet;
 
-use fa_bench::{group_inputs, print_table};
+use fa_bench::{check_config_from_cli, group_inputs, print_table, sweep_summary};
 use fa_core::runner::{run_renaming_random, WiringMode};
+use fa_modelcheck::checks::check_renaming_with;
 
 fn main() {
     println!("== E6: adaptive renaming with M(M+1)/2 names ==\n");
@@ -59,4 +60,22 @@ fn main() {
     );
     println!("\nNames never exceed M(M+1)/2 and never collide across groups;");
     println!("processors of the same group may share a name (allowed by group solvability).");
+
+    // Exhaustive complement to the random trials above: model-check the
+    // renaming algorithm over every interleaving and wiring combination
+    // (mod relabeling) at small scope, honoring --jobs.
+    println!("\n== exhaustive model check over all wirings (n=2) ==\n");
+    let config = check_config_from_cli();
+    let outcome = check_renaming_with(&[1, 2], 500_000, &config).expect("check runs");
+    let report = &outcome.report;
+    println!(
+        "combos={}/{} states={} complete={} violation={}",
+        report.combos,
+        report.total_combos,
+        report.total_states,
+        report.complete,
+        report.violation.clone().unwrap_or_else(|| "none".into())
+    );
+    println!("{}", sweep_summary(&outcome.telemetry));
+    assert!(report.violation.is_none(), "{:?}", report.violation);
 }

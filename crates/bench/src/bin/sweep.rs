@@ -4,11 +4,12 @@
 //!
 //! Usage: `cargo run --release -p fa-bench --bin sweep > results.json`
 
-use fa_bench::{group_inputs, snapshot_step_stats};
+use fa_bench::{check_config_from_cli, group_inputs, snapshot_step_stats};
 use fa_core::figure2::{expected_rows, run_figure2};
 use fa_core::lower_bound::covering_demo;
 use fa_core::pathology::generalized_report;
 use fa_core::runner::{run_consensus_random, run_renaming_random, WiringMode};
+use fa_modelcheck::checks::check_snapshot_task_with;
 use serde_json::json;
 
 fn main() {
@@ -37,6 +38,27 @@ fn main() {
         })
         .collect();
     doc.insert("e2_generalized_pathology".into(), json!(e2));
+
+    // E3: parallel wiring-sweep model check of the snapshot task (honors
+    // --jobs); the report fields are deterministic, the telemetry is not.
+    let config = check_config_from_cli();
+    let e3 = check_snapshot_task_with(&[1, 2], 500_000, &config).expect("check runs");
+    let t = &e3.telemetry;
+    doc.insert(
+        "e3_snapshot_model_check".into(),
+        json!({
+            "jobs": t.jobs,
+            "combos_attempted": t.combos_attempted,
+            "combos_total": t.combos_total,
+            "states": t.states,
+            "peak_combo_states": t.peak_combo_states,
+            "complete": e3.report.complete,
+            "violation": e3.report.violation,
+            "elapsed_ns": t.elapsed_ns,
+            "combos_per_sec": t.combos_per_sec(),
+            "states_per_sec": t.states_per_sec(),
+        }),
+    );
 
     // E4: snapshot step stats.
     let e4: Vec<_> = (2..=10usize)

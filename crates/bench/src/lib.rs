@@ -13,9 +13,81 @@ pub mod obs_report;
 use fa_core::runner::{run_snapshot_random, SnapshotRunConfig};
 use fa_core::{SnapRegister, View};
 use fa_memory::{Executor, MemoryError, ProcId, SharedMemory, Wiring};
+use fa_modelcheck::checks::CheckConfig;
+use fa_obs::SweepEvent;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Extracts the value of a `--name value` or `--name=value` argument.
+fn arg_value<I: Iterator<Item = String>>(mut args: I, name: &str) -> Option<String> {
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(name) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// The value of a `--name value` / `--name=value` process argument.
+#[must_use]
+pub fn cli_value(name: &str) -> Option<String> {
+    arg_value(std::env::args().skip(1), name)
+}
+
+/// Whether a bare `--name` flag is present in the process arguments.
+#[must_use]
+pub fn cli_flag(name: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == name)
+}
+
+/// The sweep worker count requested via `--jobs N` (`None` when absent:
+/// the sweep decides, defaulting to available parallelism).
+///
+/// # Panics
+///
+/// Panics with a usage message if the value is not a positive integer.
+#[must_use]
+pub fn cli_jobs() -> Option<usize> {
+    cli_value("--jobs").map(|v| {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&j| j >= 1)
+            .unwrap_or_else(|| panic!("--jobs wants a positive integer, got {v:?}"))
+    })
+}
+
+/// A model-check [`CheckConfig`] honoring the `--jobs` flag.
+#[must_use]
+pub fn check_config_from_cli() -> CheckConfig {
+    match cli_jobs() {
+        Some(j) => CheckConfig::default().with_jobs(j),
+        None => CheckConfig::default(),
+    }
+}
+
+/// One-line human rendering of sweep telemetry, for experiment binaries.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn sweep_summary(t: &SweepEvent) -> String {
+    format!(
+        "[{}] jobs={} combos={}/{} states={} peak_combo_states={} elapsed={:.2}s ({:.1} combos/s, {:.0} states/s)",
+        t.check,
+        t.jobs,
+        t.combos_attempted,
+        t.combos_total,
+        t.states,
+        t.peak_combo_states,
+        t.elapsed_ns as f64 / 1e9,
+        t.combos_per_sec(),
+        t.states_per_sec(),
+    )
+}
 
 /// Renders a markdown table: a header row, a separator, and value rows with
 /// every column padded to its widest cell.
@@ -288,6 +360,48 @@ mod tests {
     #[should_panic(expected = "ragged table row")]
     fn table_formatter_rejects_ragged() {
         let _ = format_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter()
+            .map(|s| (*s).to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn arg_value_accepts_both_spellings() {
+        assert_eq!(
+            arg_value(args(&["--jobs", "4"]), "--jobs"),
+            Some("4".into())
+        );
+        assert_eq!(arg_value(args(&["--jobs=2"]), "--jobs"), Some("2".into()));
+        assert_eq!(
+            arg_value(args(&["--smoke", "--jobs", "8"]), "--jobs"),
+            Some("8".into())
+        );
+        assert_eq!(arg_value(args(&["--smoke"]), "--jobs"), None);
+        // `--jobsx 1` must not match `--jobs`.
+        assert_eq!(arg_value(args(&["--jobsx", "1"]), "--jobs"), None);
+    }
+
+    #[test]
+    fn sweep_summary_mentions_the_key_numbers() {
+        let s = sweep_summary(&SweepEvent {
+            check: "snapshot_task".into(),
+            jobs: 4,
+            combos_attempted: 25,
+            combos_total: 36,
+            states: 1234,
+            peak_combo_states: 99,
+            per_combo_states: vec![],
+            elapsed_ns: 500_000_000,
+        });
+        assert!(s.contains("[snapshot_task]"));
+        assert!(s.contains("jobs=4"));
+        assert!(s.contains("combos=25/36"));
+        assert!(s.contains("states=1234"));
+        assert!(s.contains("peak_combo_states=99"));
     }
 }
 

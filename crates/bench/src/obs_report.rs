@@ -18,7 +18,10 @@ use fa_core::metrics::snapshot_trajectories_probed;
 use fa_core::runner::{run_consensus_probed, run_renaming_probed, WiringMode};
 use fa_core::View;
 use fa_memory::{Executor, RandomScheduler, SharedMemory, Wiring};
-use fa_obs::RunMetrics;
+use fa_modelcheck::checks::{
+    check_renaming_with, check_snapshot_task_coarse_with, check_snapshot_task_with, CheckConfig,
+};
+use fa_obs::{JsonlSink, Probe as _, RunMetrics, SweepEvent};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -133,13 +136,37 @@ fn cell_json(c: &Cell) -> Value {
     Value::Object(obj)
 }
 
-/// Runs the workload matrix, writes `results/obs_report.json`, and prints
-/// the markdown summary.
+/// Runs the small model-check sweeps whose telemetry the report records:
+/// the 2-processor fine-grain snapshot and renaming sweeps and the
+/// 3-processor coarse-scan snapshot sweep, all exhaustive.
+fn sweep_cells(jobs: Option<usize>) -> Vec<SweepEvent> {
+    let config = match jobs {
+        Some(j) => CheckConfig::default().with_jobs(j),
+        None => CheckConfig::default(),
+    };
+    let snapshot = check_snapshot_task_with(&[1, 2], 500_000, &config).expect("snapshot sweep");
+    let renaming = check_renaming_with(&[1, 2], 500_000, &config).expect("renaming sweep");
+    let coarse =
+        check_snapshot_task_coarse_with(&[1, 2, 3], 400_000, &config).expect("coarse sweep");
+    for outcome in [&snapshot, &renaming, &coarse] {
+        assert!(
+            outcome.report.violation.is_none(),
+            "{:?}",
+            outcome.report.violation
+        );
+    }
+    vec![snapshot.telemetry, renaming.telemetry, coarse.telemetry]
+}
+
+/// Runs the workload matrix plus the model-check sweeps, writes
+/// `results/obs_report.json` and `results/obs_sweeps.jsonl`, and prints the
+/// markdown summary. `jobs` sets the sweep worker count (`None` = available
+/// parallelism); it changes only the telemetry, never the verdicts.
 ///
 /// # Panics
 ///
 /// Panics if a run fails or the report cannot be written.
-pub fn run_report() {
+pub fn run_report(jobs: Option<usize>) {
     let mut cells: Vec<Cell> = Vec::new();
     for n in SIZES {
         for (name, mode) in wiring_modes() {
@@ -152,9 +179,16 @@ pub fn run_report() {
         }
     }
 
+    // Model-check sweep telemetry, streamed through the probe layer.
+    let sweeps = sweep_cells(jobs);
+    let mut sink = JsonlSink::new(Vec::new());
+    for ev in &sweeps {
+        sink.on_sweep(ev);
+    }
+
     // JSON artifact.
     let mut root = Map::new();
-    root.insert("schema_version".into(), 1u64.to_value());
+    root.insert("schema_version".into(), 2u64.to_value());
     root.insert("experiment".into(), Value::String("obs_report".into()));
     root.insert(
         "config".into(),
@@ -168,10 +202,15 @@ pub fn run_report() {
         "cells".into(),
         Value::Array(cells.iter().map(cell_json).collect()),
     );
+    root.insert(
+        "sweeps".into(),
+        Value::Array(sweeps.iter().map(serde_json::to_value).collect()),
+    );
     let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize report");
     fs::create_dir_all("results").expect("create results dir");
     let mut f = fs::File::create("results/obs_report.json").expect("create report");
     writeln!(f, "{json}").expect("write report");
+    fs::write("results/obs_sweeps.jsonl", sink.into_inner()).expect("write sweep stream");
 
     // Markdown summary: aggregate each (algorithm, wiring, n) group.
     println!("== unified probe report: counters, coverings, resets ==\n");
@@ -224,7 +263,41 @@ pub fn run_report() {
         ],
         &rows,
     );
-    println!("\nwrote results/obs_report.json ({} cells)", cells.len());
+    // Sweep telemetry table.
+    println!("\n== model-check sweep telemetry ==\n");
+    #[allow(clippy::cast_precision_loss)]
+    let sweep_rows: Vec<Vec<String>> = sweeps
+        .iter()
+        .map(|s| {
+            vec![
+                s.check.clone(),
+                s.jobs.to_string(),
+                format!("{}/{}", s.combos_attempted, s.combos_total),
+                s.states.to_string(),
+                s.peak_combo_states.to_string(),
+                format!("{:.2}", s.elapsed_ns as f64 / 1e9),
+                format!("{:.0}", s.states_per_sec()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "check",
+            "jobs",
+            "combos",
+            "states",
+            "peak combo states",
+            "elapsed s",
+            "states/s",
+        ],
+        &sweep_rows,
+    );
+
+    println!(
+        "\nwrote results/obs_report.json ({} cells, {} sweeps) and results/obs_sweeps.jsonl",
+        cells.len(),
+        sweeps.len()
+    );
     println!("peak covering = max processors simultaneously poised to write (Section 2);");
     println!("resets = snapshot levels falling to 0 after covered writes surfaced.");
 }

@@ -38,6 +38,7 @@
 //! inputs announced by then, so a witness's announced set strictly contains
 //! `W` forever after — the finite schedule is a complete certificate.
 //!
+use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 
@@ -125,11 +126,12 @@ pub fn find_non_atomic_snapshot(inputs: &[u32], max_states: usize) -> Option<Non
 const OUTSIDE_BUDGET_ANNOUNCED: usize = 8;
 const OUTSIDE_BUDGET_MOMENTARY: usize = 40;
 
-/// Like [`find_non_atomic_snapshot`] but for one explicit wiring combination.
+/// Like [`find_non_atomic_snapshot`] but for one explicit wiring combination
+/// (owned or `Arc`-shared wirings).
 #[must_use]
-pub fn find_non_atomic_snapshot_in(
+pub fn find_non_atomic_snapshot_in<W: Borrow<Wiring>>(
     inputs: &[u32],
-    wirings: &[Wiring],
+    wirings: &[W],
     max_states: usize,
 ) -> Option<NonAtomicWitness> {
     for w in candidate_outputs(inputs) {
@@ -184,7 +186,7 @@ pub fn construct_witness(inputs: &[u32]) -> NonAtomicWitness {
                        schedule: &mut Vec<ProcId>,
                        announced: &mut View<u32>,
                        sets: &mut Vec<View<u32>>| {
-        if let Some(fa_memory::Action::Write { value, .. }) = state.pending[p.0].as_ref() {
+        if let Some(fa_memory::Action::Write { value, .. }) = state.pending[p.0].as_deref() {
             announced.union_with(&value.view);
         }
         *state = state
@@ -249,9 +251,9 @@ pub fn find_momentary_witness(inputs: &[u32], max_states: usize) -> Option<NonAt
 
 /// [`find_momentary_witness`] for one explicit wiring combination.
 #[must_use]
-pub fn find_momentary_witness_in(
+pub fn find_momentary_witness_in<W: Borrow<Wiring>>(
     inputs: &[u32],
-    wirings: &[Wiring],
+    wirings: &[W],
     max_states: usize,
 ) -> Option<NonAtomicWitness> {
     for w in candidate_outputs(inputs) {
@@ -274,9 +276,9 @@ enum Reading {
 /// BFS for an execution in which the tracked memory quantity (per
 /// `reading`) never equals `target`, reaching a state where some processor
 /// has output `target`.
-fn search_candidate(
+fn search_candidate<W: Borrow<Wiring>>(
     inputs: &[u32],
-    wirings: &[Wiring],
+    wirings: &[W],
     target: &View<u32>,
     max_states: usize,
     reading: Reading,
@@ -328,7 +330,8 @@ fn search_candidate(
             // Track announcements: a write adds its view to the announced set.
             let mut next_announced = announced.clone();
             if reading == Reading::Announcement {
-                if let Some(fa_memory::Action::Write { value, .. }) = state.pending[p.0].as_ref() {
+                if let Some(fa_memory::Action::Write { value, .. }) = state.pending[p.0].as_deref()
+                {
                     next_announced.union_with(&value.view);
                 }
             }
@@ -404,7 +407,7 @@ fn search_candidate(
                 record(tracked(&replay, &replay_announced), &mut sets);
                 for &q in &schedule {
                     if let Some(fa_memory::Action::Write { value, .. }) =
-                        replay.pending[q.0].as_ref()
+                        replay.pending[q.0].as_deref()
                     {
                         replay_announced.union_with(&value.view);
                     }
@@ -412,7 +415,7 @@ fn search_candidate(
                     record(tracked(&replay, &replay_announced), &mut sets);
                 }
                 return Some(NonAtomicWitness {
-                    wirings: wirings.to_vec(),
+                    wirings: wirings.iter().map(|w| w.borrow().clone()).collect(),
                     schedule,
                     proc: ProcId(i),
                     output: target.clone(),
@@ -440,7 +443,7 @@ pub fn verify_witness(inputs: &[u32], witness: &NonAtomicWitness) -> bool {
         return false;
     }
     for &p in &witness.schedule {
-        if let Some(fa_memory::Action::Write { value, .. }) = state.pending[p.0].as_ref() {
+        if let Some(fa_memory::Action::Write { value, .. }) = state.pending[p.0].as_deref() {
             announced.union_with(&value.view);
         }
         match state.step(p, &witness.wirings) {

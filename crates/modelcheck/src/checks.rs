@@ -1,26 +1,221 @@
 //! Ready-made model-checking harnesses for the paper's algorithms.
+//!
+//! Every harness sweeps all wiring combinations (mod relabeling). Combos are
+//! fully independent, so the sweep fans them out across a scoped worker pool
+//! (see [`CheckConfig::jobs`]). Determinism is preserved regardless of the
+//! worker count:
+//!
+//! * combos are addressed by index ([`crate::wirings::ComboTable`]) and
+//!   claimed from a shared atomic counter;
+//! * when a worker finds a violation it lowers a shared *best* (lowest
+//!   violating combo index) with `fetch_min`; workers poll it and abandon
+//!   combos above it;
+//! * a combo below the final best index is never skipped nor aborted, so it
+//!   is always fully explored — the assembled report covers exactly combos
+//!   `0..=best` (or all of them), the same set a serial sweep explores, and
+//!   per-combo BFS is itself deterministic.
+//!
+//! Reports are therefore identical for `jobs = 1` and `jobs = N`; the only
+//! thread-count-dependent data (wall-clock, worker count) lives in the
+//! [`SweepEvent`] telemetry, not in the report.
 
 use std::collections::BTreeMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use fa_core::{ConsensusProcess, RenamingProcess, SnapshotProcess, View};
-use fa_memory::Wiring;
+use fa_memory::{Process, Wiring};
+use fa_obs::SweepEvent;
 use fa_tasks::{check_group_solution, AdaptiveRenaming, GroupAssignment, GroupId, Snapshot, Task};
 
 use crate::explorer::{Explorer, McState};
-use crate::wirings::combinations_mod_relabeling;
+use crate::wirings::ComboTable;
+
+/// Sweep execution knobs, threaded through the `check_*_with` harnesses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Worker threads for the combo sweep. `None` (the default) uses the
+    /// machine's available parallelism; `Some(1)` forces a serial sweep.
+    pub jobs: Option<usize>,
+}
+
+impl CheckConfig {
+    /// A serial sweep (`jobs = 1`).
+    #[must_use]
+    pub fn serial() -> Self {
+        CheckConfig { jobs: Some(1) }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    fn worker_count(&self) -> usize {
+        self.jobs
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+}
 
 /// Aggregate result of checking one property over all wiring combinations.
-#[derive(Clone, Debug)]
+///
+/// Deterministic for a given check and inputs: independent of the worker
+/// count and of wall-clock (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaskCheckReport {
-    /// Wiring combinations explored (after symmetry reduction).
+    /// Wiring combinations explored. Equal to [`total_combos`] when the
+    /// sweep ran to the end; smaller when it stopped at the first violating
+    /// combination.
+    ///
+    /// [`total_combos`]: TaskCheckReport::total_combos
     pub combos: usize,
-    /// Total distinct states across all combinations.
+    /// Wiring combinations in the full sweep (after symmetry reduction).
+    pub total_combos: usize,
+    /// Total distinct states across the explored combinations.
     pub total_states: usize,
-    /// `true` iff every combination's reachable space was fully explored.
+    /// `true` iff every combination's reachable space was fully explored —
+    /// in particular `false` whenever a violation stopped the sweep with
+    /// combinations still unexplored.
     pub complete: bool,
-    /// Description of the first violation found, if any (includes the wiring
-    /// combination and a counterexample schedule).
+    /// Description of the lowest-combo-index violation found, if any
+    /// (includes the wiring combination and a counterexample schedule).
     pub violation: Option<String>,
+}
+
+/// A sweep's deterministic report plus its telemetry.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// The deterministic verdict.
+    pub report: TaskCheckReport,
+    /// Throughput/shape telemetry, for the `fa-obs` probe layer
+    /// (`Probe::on_sweep`). Carries wall-clock and the worker count, so it
+    /// is *not* comparable across `jobs` values — the report is.
+    pub telemetry: SweepEvent,
+}
+
+/// Per-combination result handed back by a sweep worker.
+struct ComboOutcome {
+    states: usize,
+    complete: bool,
+    violation: Option<String>,
+}
+
+/// Fans the per-combo explorations of one harness across `config` workers
+/// and assembles the deterministic report (module docs).
+fn run_sweep<P, MkE, F>(
+    check: &'static str,
+    n: usize,
+    config: &CheckConfig,
+    make_explorer: MkE,
+    invariant: F,
+    violation_prefix: &str,
+) -> CheckOutcome
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+    MkE: Fn(Vec<Arc<Wiring>>) -> Explorer<P> + Sync,
+    F: Fn(&McState<P>) -> Result<(), String> + Sync,
+{
+    let table = ComboTable::new(n, n);
+    let total = table.len();
+    let jobs = config.worker_count().min(total.max(1));
+    let start = Instant::now();
+
+    let next = AtomicUsize::new(0);
+    // Lowest combo index with a violation found so far (MAX = none yet).
+    let best = AtomicUsize::new(usize::MAX);
+    let slots: Vec<OnceLock<ComboOutcome>> = (0..total).map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                // A violation at a lower index makes this combo irrelevant.
+                if i > best.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let combo = table.combo(i);
+                let stop = || i > best.load(Ordering::Relaxed);
+                let result = make_explorer(combo.clone()).run_until(&invariant, stop);
+                let violation = result.violation.map(|v| {
+                    format!(
+                        "{violation_prefix}wirings {:?}: {} (schedule {:?})",
+                        combo.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                        v.message,
+                        v.schedule
+                    )
+                });
+                if violation.is_some() {
+                    best.fetch_min(i, Ordering::Relaxed);
+                }
+                let _ = slots[i].set(ComboOutcome {
+                    states: result.states,
+                    complete: result.complete,
+                    violation,
+                });
+            });
+        }
+    });
+
+    // Assemble from combos 0..=best only: those are exactly the combos a
+    // serial sweep explores, and each is guaranteed fully explored (a combo
+    // is skipped/aborted only when its index exceeds the best at some
+    // moment, and best never rises).
+    let first_violation = best.load(Ordering::Relaxed);
+    let attempted = if first_violation < total {
+        first_violation + 1
+    } else {
+        total
+    };
+    let mut per_combo_states = Vec::with_capacity(attempted);
+    let mut total_states = 0usize;
+    let mut all_complete = true;
+    let mut violation = None;
+    for (i, slot) in slots.iter().enumerate().take(attempted) {
+        let outcome = slot
+            .get()
+            .expect("combos up to the first violation are always explored");
+        per_combo_states.push(outcome.states);
+        total_states += outcome.states;
+        all_complete &= outcome.complete;
+        if i == first_violation {
+            violation.clone_from(&outcome.violation);
+        }
+    }
+    let complete = violation.is_none() && attempted == total && all_complete;
+
+    CheckOutcome {
+        report: TaskCheckReport {
+            combos: attempted,
+            total_combos: total,
+            total_states,
+            complete,
+            violation,
+        },
+        telemetry: SweepEvent {
+            check: check.to_string(),
+            jobs,
+            combos_attempted: attempted,
+            combos_total: total,
+            states: total_states,
+            peak_combo_states: per_combo_states.iter().copied().max().unwrap_or(0),
+            per_combo_states,
+            elapsed_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        },
+    }
 }
 
 /// Maps raw `u32` inputs to dense [`GroupId`]s (equal inputs = same group).
@@ -67,38 +262,40 @@ pub fn check_snapshot_task(
     inputs: &[u32],
     max_states_per_combo: usize,
 ) -> Result<TaskCheckReport, String> {
+    check_snapshot_task_with(inputs, max_states_per_combo, &CheckConfig::default())
+        .map(|o| o.report)
+}
+
+/// [`check_snapshot_task`] with explicit sweep configuration, returning
+/// telemetry alongside the report.
+///
+/// # Errors
+///
+/// Reserved for harness misuse (violations are reported in the report).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() < 2`.
+pub fn check_snapshot_task_with(
+    inputs: &[u32],
+    max_states_per_combo: usize,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, String> {
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    let mut report = TaskCheckReport {
-        combos: 0,
-        total_states: 0,
-        complete: true,
-        violation: None,
-    };
-
-    for combo in combinations_mod_relabeling(n, n) {
-        report.combos += 1;
-        let procs: Vec<SnapshotProcess<u32>> =
-            inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
-        let explorer = Explorer::new(procs, n, Default::default(), combo.clone())
-            .with_max_states(max_states_per_combo);
-        let inputs_owned = inputs.to_vec();
-        let groups = groups.clone();
-        let result = explorer.run(move |state| snapshot_invariant(state, &inputs_owned, &groups));
-        report.total_states += result.states;
-        report.complete &= result.complete;
-        if let Some(v) = result.violation {
-            report.violation = Some(format!(
-                "wirings {:?}: {} (schedule {:?})",
-                combo.iter().map(ToString::to_string).collect::<Vec<_>>(),
-                v.message,
-                v.schedule
-            ));
-            return Ok(report);
-        }
-    }
-    Ok(report)
+    Ok(run_sweep(
+        "snapshot_task",
+        n,
+        config,
+        |combo| {
+            let procs: Vec<SnapshotProcess<u32>> =
+                inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
+            Explorer::new(procs, n, Default::default(), combo).with_max_states(max_states_per_combo)
+        },
+        |state| snapshot_invariant(state, inputs, &groups),
+        "",
+    ))
 }
 
 /// Like [`check_snapshot_task`] but at PlusCal *label* granularity (whole
@@ -116,38 +313,42 @@ pub fn check_snapshot_task_coarse(
     inputs: &[u32],
     max_states_per_combo: usize,
 ) -> Result<TaskCheckReport, String> {
+    check_snapshot_task_coarse_with(inputs, max_states_per_combo, &CheckConfig::default())
+        .map(|o| o.report)
+}
+
+/// [`check_snapshot_task_coarse`] with explicit sweep configuration,
+/// returning telemetry alongside the report.
+///
+/// # Errors
+///
+/// Reserved for harness misuse (violations are reported in the report).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() < 2`.
+pub fn check_snapshot_task_coarse_with(
+    inputs: &[u32],
+    max_states_per_combo: usize,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, String> {
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    let mut report = TaskCheckReport {
-        combos: 0,
-        total_states: 0,
-        complete: true,
-        violation: None,
-    };
-    for combo in combinations_mod_relabeling(n, n) {
-        report.combos += 1;
-        let procs: Vec<SnapshotProcess<u32>> =
-            inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
-        let explorer = Explorer::new(procs, n, Default::default(), combo.clone())
-            .with_coarse_scans()
-            .with_max_states(max_states_per_combo);
-        let inputs_owned = inputs.to_vec();
-        let groups = groups.clone();
-        let result = explorer.run(move |state| snapshot_invariant(state, &inputs_owned, &groups));
-        report.total_states += result.states;
-        report.complete &= result.complete;
-        if let Some(v) = result.violation {
-            report.violation = Some(format!(
-                "wirings {:?}: {} (schedule {:?})",
-                combo.iter().map(ToString::to_string).collect::<Vec<_>>(),
-                v.message,
-                v.schedule
-            ));
-            return Ok(report);
-        }
-    }
-    Ok(report)
+    Ok(run_sweep(
+        "snapshot_task_coarse",
+        n,
+        config,
+        |combo| {
+            let procs: Vec<SnapshotProcess<u32>> =
+                inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
+            Explorer::new(procs, n, Default::default(), combo)
+                .with_coarse_scans()
+                .with_max_states(max_states_per_combo)
+        },
+        |state| snapshot_invariant(state, inputs, &groups),
+        "",
+    ))
 }
 
 fn snapshot_invariant(
@@ -198,31 +399,43 @@ pub fn check_renaming(
     inputs: &[u32],
     max_states_per_combo: usize,
 ) -> Result<TaskCheckReport, String> {
+    check_renaming_with(inputs, max_states_per_combo, &CheckConfig::default()).map(|o| o.report)
+}
+
+/// [`check_renaming`] with explicit sweep configuration, returning telemetry
+/// alongside the report.
+///
+/// # Errors
+///
+/// Reserved for harness misuse (violations are reported in the report).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() < 2`.
+pub fn check_renaming_with(
+    inputs: &[u32],
+    max_states_per_combo: usize,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, String> {
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    let mut report = TaskCheckReport {
-        combos: 0,
-        total_states: 0,
-        complete: true,
-        violation: None,
-    };
-
-    for combo in combinations_mod_relabeling(n, n) {
-        report.combos += 1;
-        let procs: Vec<RenamingProcess<u32>> =
-            inputs.iter().map(|&x| RenamingProcess::new(x, n)).collect();
-        let explorer = Explorer::new(procs, n, Default::default(), combo.clone())
-            .with_max_states(max_states_per_combo);
-        let groups = groups.clone();
-        let inputs_owned = inputs.to_vec();
-        let result = explorer.run(move |state| {
+    Ok(run_sweep(
+        "renaming",
+        n,
+        config,
+        |combo| {
+            let procs: Vec<RenamingProcess<u32>> =
+                inputs.iter().map(|&x| RenamingProcess::new(x, n)).collect();
+            Explorer::new(procs, n, Default::default(), combo).with_max_states(max_states_per_combo)
+        },
+        |state| {
             let outputs = state.first_outputs();
             // Partial check: names of different groups never collide.
             for i in 0..outputs.len() {
                 for j in (i + 1)..outputs.len() {
                     if let (Some(a), Some(b)) = (&outputs[i], &outputs[j]) {
-                        if a == b && inputs_owned[i] != inputs_owned[j] {
+                        if a == b && inputs[i] != inputs[j] {
                             return Err(format!(
                                 "cross-group name collision: p{i} and p{j} took {a}"
                             ));
@@ -235,20 +448,9 @@ pub fn check_renaming(
                     .map_err(|e| format!("terminal renaming violation: {e}"))?;
             }
             Ok(())
-        });
-        report.total_states += result.states;
-        report.complete &= result.complete;
-        if let Some(v) = result.violation {
-            report.violation = Some(format!(
-                "wirings {:?}: {} (schedule {:?})",
-                combo.iter().map(ToString::to_string).collect::<Vec<_>>(),
-                v.message,
-                v.schedule
-            ));
-            return Ok(report);
-        }
-    }
-    Ok(report)
+        },
+        "",
+    ))
 }
 
 /// Bounded-depth check of consensus safety (agreement + validity) for the
@@ -268,26 +470,47 @@ pub fn check_consensus_safety(
     max_states_per_combo: usize,
     max_depth: usize,
 ) -> Result<TaskCheckReport, String> {
+    check_consensus_safety_with(
+        inputs,
+        max_states_per_combo,
+        max_depth,
+        &CheckConfig::default(),
+    )
+    .map(|o| o.report)
+}
+
+/// [`check_consensus_safety`] with explicit sweep configuration, returning
+/// telemetry alongside the report.
+///
+/// # Errors
+///
+/// Reserved for harness misuse (violations are reported in the report).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() < 2`.
+pub fn check_consensus_safety_with(
+    inputs: &[u32],
+    max_states_per_combo: usize,
+    max_depth: usize,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, String> {
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
-    let mut report = TaskCheckReport {
-        combos: 0,
-        total_states: 0,
-        complete: true,
-        violation: None,
-    };
-
-    for combo in combinations_mod_relabeling(n, n) {
-        report.combos += 1;
-        let procs: Vec<ConsensusProcess<u32>> = inputs
-            .iter()
-            .map(|&x| ConsensusProcess::new(x, n))
-            .collect();
-        let explorer = Explorer::new(procs, n, Default::default(), combo.clone())
-            .with_max_states(max_states_per_combo)
-            .with_max_depth(max_depth);
-        let inputs_owned = inputs.to_vec();
-        let result = explorer.run(move |state| {
+    Ok(run_sweep(
+        "consensus_safety",
+        n,
+        config,
+        |combo| {
+            let procs: Vec<ConsensusProcess<u32>> = inputs
+                .iter()
+                .map(|&x| ConsensusProcess::new(x, n))
+                .collect();
+            Explorer::new(procs, n, Default::default(), combo)
+                .with_max_states(max_states_per_combo)
+                .with_max_depth(max_depth)
+        },
+        |state| {
             let outputs = state.first_outputs();
             let decided: Vec<(usize, u32)> = outputs
                 .iter()
@@ -295,7 +518,7 @@ pub fn check_consensus_safety(
                 .filter_map(|(i, o)| o.map(|d| (i, d)))
                 .collect();
             for (i, d) in &decided {
-                if !inputs_owned.contains(d) {
+                if !inputs.contains(d) {
                     return Err(format!("p{i} decided non-input value {d}"));
                 }
             }
@@ -308,21 +531,9 @@ pub fn check_consensus_safety(
                 }
             }
             Ok(())
-        });
-        report.total_states += result.states;
-        // Depth-bounded: completeness only up to the bound.
-        report.complete &= result.complete;
-        if let Some(v) = result.violation {
-            report.violation = Some(format!(
-                "wirings {:?}: {} (schedule {:?})",
-                combo.iter().map(ToString::to_string).collect::<Vec<_>>(),
-                v.message,
-                v.schedule
-            ));
-            return Ok(report);
-        }
-    }
-    Ok(report)
+        },
+        "",
+    ))
 }
 
 /// The wait-freedom certificate: from **every** reachable state, every live
@@ -330,7 +541,8 @@ pub fn check_consensus_safety(
 /// This is the "wait-free" half of the paper's TLC claim for Figure 3.
 ///
 /// Exhaustive over interleavings for the given wirings; quantifying over
-/// wirings is the caller's loop (it is expensive).
+/// wirings is the caller's loop (it is expensive). Wirings may be owned
+/// (`Vec<Wiring>`) or shared (`Vec<Arc<Wiring>>`, e.g. a decoded combo).
 ///
 /// # Errors
 ///
@@ -339,15 +551,16 @@ pub fn check_consensus_safety(
 /// # Panics
 ///
 /// Panics if `inputs.len() != wirings.len()` or `inputs.len() < 2`.
-pub fn check_snapshot_wait_freedom(
+pub fn check_snapshot_wait_freedom<W: Into<Arc<Wiring>>>(
     inputs: &[u32],
-    wirings: Vec<Wiring>,
+    wirings: Vec<W>,
     max_states: usize,
     solo_budget: usize,
 ) -> Result<TaskCheckReport, String> {
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     assert_eq!(n, wirings.len(), "one wiring per processor required");
+    let wirings: Vec<Arc<Wiring>> = wirings.into_iter().map(Into::into).collect();
     let procs: Vec<SnapshotProcess<u32>> =
         inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
     let explorer =
@@ -375,6 +588,7 @@ pub fn check_snapshot_wait_freedom(
     });
     Ok(TaskCheckReport {
         combos: 1,
+        total_combos: 1,
         total_states: result.states,
         complete: result.complete,
         violation: result
@@ -400,40 +614,49 @@ pub fn check_snapshot_task_at_level(
     terminate_level: usize,
     max_states_per_combo: usize,
 ) -> Result<TaskCheckReport, String> {
+    check_snapshot_task_at_level_with(
+        inputs,
+        terminate_level,
+        max_states_per_combo,
+        &CheckConfig::default(),
+    )
+    .map(|o| o.report)
+}
+
+/// [`check_snapshot_task_at_level`] with explicit sweep configuration,
+/// returning telemetry alongside the report.
+///
+/// # Errors
+///
+/// Reserved for harness misuse (violations are reported in the report).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() < 2` or `terminate_level == 0`.
+pub fn check_snapshot_task_at_level_with(
+    inputs: &[u32],
+    terminate_level: usize,
+    max_states_per_combo: usize,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, String> {
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    let mut report = TaskCheckReport {
-        combos: 0,
-        total_states: 0,
-        complete: true,
-        violation: None,
-    };
-    for combo in combinations_mod_relabeling(n, n) {
-        report.combos += 1;
-        let procs: Vec<SnapshotProcess<u32>> = inputs
-            .iter()
-            .map(|&x| SnapshotProcess::with_terminate_level(x, n, terminate_level))
-            .collect();
-        let explorer = Explorer::new(procs, n, Default::default(), combo.clone())
-            .with_max_states(max_states_per_combo);
-        let inputs_owned = inputs.to_vec();
-        let groups = groups.clone();
-        let result =
-            explorer.run(move |state| snapshot_invariant_generic(state, &inputs_owned, &groups));
-        report.total_states += result.states;
-        report.complete &= result.complete;
-        if let Some(v) = result.violation {
-            report.violation = Some(format!(
-                "level {terminate_level}, wirings {:?}: {} (schedule {:?})",
-                combo.iter().map(ToString::to_string).collect::<Vec<_>>(),
-                v.message,
-                v.schedule
-            ));
-            return Ok(report);
-        }
-    }
-    Ok(report)
+    let prefix = format!("level {terminate_level}, ");
+    Ok(run_sweep(
+        "snapshot_task_at_level",
+        n,
+        config,
+        |combo| {
+            let procs: Vec<SnapshotProcess<u32>> = inputs
+                .iter()
+                .map(|&x| SnapshotProcess::with_terminate_level(x, n, terminate_level))
+                .collect();
+            Explorer::new(procs, n, Default::default(), combo).with_max_states(max_states_per_combo)
+        },
+        |state| snapshot_invariant_generic(state, inputs, &groups),
+        &prefix,
+    ))
 }
 
 fn snapshot_invariant_generic(
@@ -477,6 +700,7 @@ pub fn snapshot_task_name() -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fa_memory::{Action, StepInput};
 
     #[test]
     fn two_processor_snapshot_is_exhaustively_correct() {
@@ -484,6 +708,7 @@ mod tests {
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert!(report.complete);
         assert_eq!(report.combos, 2); // 2!^(2-1)
+        assert_eq!(report.total_combos, 2);
         assert!(report.total_states > 100);
     }
 
@@ -532,5 +757,111 @@ mod tests {
         // For n = 2 the footnote-4 level is n-1 = 1. The paper says this
         // suffices (with a harder proof). The checker verifies it for n=2.
         assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn snapshot_sweep_is_deterministic_across_jobs() {
+        let serial = check_snapshot_task_with(&[1, 2], 500_000, &CheckConfig::serial()).unwrap();
+        let parallel =
+            check_snapshot_task_with(&[1, 2], 500_000, &CheckConfig::default().with_jobs(2))
+                .unwrap();
+        assert_eq!(serial.report, parallel.report);
+        // The deterministic slice of the telemetry matches too.
+        assert_eq!(
+            serial.telemetry.per_combo_states,
+            parallel.telemetry.per_combo_states
+        );
+        assert_eq!(serial.telemetry.check, "snapshot_task");
+        assert_eq!(serial.telemetry.combos_total, 2);
+    }
+
+    /// Writes its input to local register 0, then halts. A sweep over its
+    /// wirings has a violation exactly when a chosen wiring routes the
+    /// watched value to a watched register — which combos violate is a pure
+    /// function of the combo index, ideal for driver determinism tests.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct WriteOnce {
+        input: u8,
+        wrote: bool,
+    }
+    impl Process for WriteOnce {
+        type Value = u8;
+        type Output = u8;
+        fn step(&mut self, _i: StepInput<u8>) -> Action<u8, u8> {
+            if self.wrote {
+                Action::Halt
+            } else {
+                self.wrote = true;
+                Action::write(0, self.input)
+            }
+        }
+    }
+
+    fn write_once_sweep(jobs: usize) -> CheckOutcome {
+        run_sweep(
+            "write_once",
+            3,
+            &CheckConfig::default().with_jobs(jobs),
+            |combo| {
+                let procs = vec![
+                    WriteOnce {
+                        input: 1,
+                        wrote: false,
+                    },
+                    WriteOnce {
+                        input: 2,
+                        wrote: false,
+                    },
+                    WriteOnce {
+                        input: 3,
+                        wrote: false,
+                    },
+                ];
+                Explorer::new(procs, 3, 0u8, combo)
+            },
+            // Violated iff p2's wiring maps local 0 to global 2 (value 3 is
+            // only ever written by p2): perm indices 4 and 5 of S_3, i.e.
+            // combo indices 24..36. Lowest violating index: 24.
+            |state: &McState<WriteOnce>| {
+                if *state.memory[2] == 3 {
+                    Err("register 2 holds 3".to_string())
+                } else {
+                    Ok(())
+                }
+            },
+            "",
+        )
+    }
+
+    #[test]
+    fn sweep_stops_at_first_violation_and_reports_attempted_combos() {
+        let outcome = write_once_sweep(1);
+        let report = &outcome.report;
+        assert_eq!(report.total_combos, 36); // 3!^2
+        assert_eq!(report.combos, 25, "stops at combo 24 (25th attempted)");
+        assert!(
+            !report.complete,
+            "an aborted sweep must not claim completeness"
+        );
+        assert!(report.violation.is_some());
+        assert_eq!(outcome.telemetry.combos_attempted, 25);
+        assert_eq!(outcome.telemetry.combos_total, 36);
+        assert_eq!(outcome.telemetry.per_combo_states.len(), 25);
+    }
+
+    #[test]
+    fn parallel_sweep_selects_lowest_violating_combo() {
+        let serial = write_once_sweep(1);
+        for jobs in [2, 4, 8] {
+            let parallel = write_once_sweep(jobs);
+            assert_eq!(
+                parallel.report, serial.report,
+                "jobs={jobs} must reproduce the serial report"
+            );
+            assert_eq!(
+                parallel.telemetry.per_combo_states,
+                serial.telemetry.per_combo_states
+            );
+        }
     }
 }

@@ -1,15 +1,31 @@
 //! Breadth-first exhaustive exploration of a fixed system.
 
+use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
+use std::sync::Arc;
 
 use fa_memory::{Action, ProcId, Process, StepInput, Wiring};
+
+/// A process's poised-action slot: `None` once the process has halted.
+pub type PendingAction<P> = Option<Arc<Action<<P as Process>::Value, <P as Process>::Output>>>;
+
+/// BFS arena entry: the state, its parent link (arena index plus the process
+/// scheduled to reach it), and its depth.
+type ArenaEntry<P> = (McState<P>, Option<(usize, ProcId)>, usize);
 
 /// A global state of the model: register contents, process states, each
 /// process's poised action, and the outputs produced so far.
 ///
 /// Wirings are *not* part of the state — they are fixed per exploration; the
 /// outer loop quantifies over them (see [`crate::wirings`]).
+///
+/// Every slot is individually reference-counted: stepping a state
+/// shallow-clones the slot vectors (pointer copies) and deep-clones only the
+/// one register/process/output slot the step mutates. Successor states in a
+/// BFS arena therefore share almost all of their structure with their
+/// parents, which is what makes large sweeps affordable. `Arc`'s `Hash`/`Eq`
+/// delegate to the pointee, so state interning semantics are unchanged.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct McState<P: Process>
 where
@@ -18,13 +34,13 @@ where
     P::Output: Clone + Eq + Hash + std::fmt::Debug,
 {
     /// Register contents in ground-truth order.
-    pub memory: Vec<P::Value>,
+    pub memory: Vec<Arc<P::Value>>,
     /// Process states.
-    pub procs: Vec<P>,
+    pub procs: Vec<Arc<P>>,
     /// Poised action of each process; `None` once halted.
-    pub pending: Vec<Option<Action<P::Value, P::Output>>>,
+    pub pending: Vec<PendingAction<P>>,
     /// Outputs produced so far, per process, in order.
-    pub outputs: Vec<Vec<P::Output>>,
+    pub outputs: Vec<Arc<Vec<P::Output>>>,
 }
 
 impl<P> McState<P>
@@ -36,16 +52,20 @@ where
     /// Builds the initial state: every process poised on its first action,
     /// all registers holding `init`.
     pub fn initial(mut procs: Vec<P>, m: usize, init: P::Value) -> Self {
-        let pending: Vec<Option<Action<P::Value, P::Output>>> = procs
+        let pending: Vec<PendingAction<P>> = procs
             .iter_mut()
-            .map(|p| Some(p.step(StepInput::Start)))
+            .map(|p| Some(Arc::new(p.step(StepInput::Start))))
             .collect();
         let n = procs.len();
+        // All registers (and all empty output logs) deliberately share one
+        // allocation each; steps copy-on-write the slot they mutate.
+        let init = Arc::new(init);
+        let no_outputs: Arc<Vec<P::Output>> = Arc::new(Vec::new());
         McState {
             memory: vec![init; m],
-            procs,
+            procs: procs.into_iter().map(Arc::new).collect(),
             pending,
-            outputs: vec![Vec::new(); n],
+            outputs: vec![no_outputs; n],
         }
     }
 
@@ -72,24 +92,35 @@ where
 
     /// The successor state reached by letting process `p` take its poised
     /// step, or `None` if `p` has halted.
+    ///
+    /// Accepts any slice of wiring handles (`&[Wiring]` or `&[Arc<Wiring>]`),
+    /// so callers holding shared combos need not clone permutations.
     #[must_use]
-    pub fn step(&self, p: ProcId, wirings: &[Wiring]) -> Option<Self> {
-        let action = self.pending[p.0].as_ref()?;
+    pub fn step<W: Borrow<Wiring>>(&self, p: ProcId, wirings: &[W]) -> Option<Self> {
+        let action = self.pending[p.0].clone()?;
         let mut next = self.clone();
-        match action {
+        match &*action {
             Action::Read { local } => {
-                let g = wirings[p.0].global(*local);
-                let value = next.memory[g.0].clone();
-                next.pending[p.0] = Some(next.procs[p.0].step(StepInput::ReadValue(value)));
+                let g = wirings[p.0].borrow().global(*local);
+                let value = (*next.memory[g.0]).clone();
+                let mut proc = (*next.procs[p.0]).clone();
+                next.pending[p.0] = Some(Arc::new(proc.step(StepInput::ReadValue(value))));
+                next.procs[p.0] = Arc::new(proc);
             }
             Action::Write { local, value } => {
-                let g = wirings[p.0].global(*local);
-                next.memory[g.0] = value.clone();
-                next.pending[p.0] = Some(next.procs[p.0].step(StepInput::Wrote));
+                let g = wirings[p.0].borrow().global(*local);
+                next.memory[g.0] = Arc::new(value.clone());
+                let mut proc = (*next.procs[p.0]).clone();
+                next.pending[p.0] = Some(Arc::new(proc.step(StepInput::Wrote)));
+                next.procs[p.0] = Arc::new(proc);
             }
             Action::Output(o) => {
-                next.outputs[p.0].push(o.clone());
-                next.pending[p.0] = Some(next.procs[p.0].step(StepInput::OutputRecorded));
+                let mut outs = (*next.outputs[p.0]).clone();
+                outs.push(o.clone());
+                next.outputs[p.0] = Arc::new(outs);
+                let mut proc = (*next.procs[p.0]).clone();
+                next.pending[p.0] = Some(Arc::new(proc.step(StepInput::OutputRecorded)));
+                next.procs[p.0] = Arc::new(proc);
             }
             Action::Halt => {
                 next.pending[p.0] = None;
@@ -97,6 +128,33 @@ where
         }
         Some(next)
     }
+}
+
+/// Executes one PlusCal-label-granularity block of processor `p`: a single
+/// write or output, or a complete scan (maximal run of consecutive reads).
+///
+/// Public so counterexample schedules found under
+/// [`Explorer::with_coarse_scans`] can be replayed at the same granularity
+/// they were produced at.
+///
+/// # Panics
+///
+/// Panics if `p` has halted in `state`.
+pub fn step_block<P, W>(state: &McState<P>, p: ProcId, wirings: &[W]) -> McState<P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+    W: Borrow<Wiring>,
+{
+    let was_read = matches!(state.pending[p.0].as_deref(), Some(Action::Read { .. }));
+    let mut next = state.step(p, wirings).expect("live process steps");
+    if was_read {
+        while matches!(next.pending[p.0].as_deref(), Some(Action::Read { .. })) {
+            next = next.step(p, wirings).expect("scan continues");
+        }
+    }
+    next
 }
 
 /// A property violation: the offending state and a schedule reaching it from
@@ -128,7 +186,8 @@ where
     pub states: usize,
     /// States in which every process had halted.
     pub terminal_states: usize,
-    /// `true` iff the whole reachable space was explored (no cap hit).
+    /// `true` iff the whole reachable space was explored (no cap hit, no
+    /// external abort).
     pub complete: bool,
     /// The first violation found, if any.
     pub violation: Option<Violation<P>>,
@@ -143,12 +202,17 @@ where
     P::Value: Clone + Eq + Hash + std::fmt::Debug,
     P::Output: Clone + Eq + Hash + std::fmt::Debug,
 {
-    wirings: Vec<Wiring>,
+    wirings: Vec<Arc<Wiring>>,
     initial: McState<P>,
     max_states: usize,
     max_depth: Option<usize>,
     coarse_scans: bool,
 }
+
+/// How many state expansions pass between polls of the external stop signal
+/// in [`Explorer::run_until`]: frequent enough to abort promptly, rare
+/// enough to keep the check off the hot path.
+const STOP_POLL_INTERVAL: usize = 1024;
 
 impl<P> Explorer<P>
 where
@@ -157,13 +221,20 @@ where
     P::Output: Clone + Eq + Hash + std::fmt::Debug,
 {
     /// Creates an explorer for `procs` over `m` registers initialized to
-    /// `init`, with the given wirings and a state-count cap.
+    /// `init`, with the given wirings and a state-count cap. Wirings may be
+    /// owned (`Vec<Wiring>`) or shared (`Vec<Arc<Wiring>>`).
     ///
     /// # Panics
     ///
     /// Panics if the number of wirings differs from the number of processes
     /// or some wiring's domain is not `m`.
-    pub fn new(procs: Vec<P>, m: usize, init: P::Value, wirings: Vec<Wiring>) -> Self {
+    pub fn new<W: Into<Arc<Wiring>>>(
+        procs: Vec<P>,
+        m: usize,
+        init: P::Value,
+        wirings: Vec<W>,
+    ) -> Self {
+        let wirings: Vec<Arc<Wiring>> = wirings.into_iter().map(Into::into).collect();
         assert_eq!(
             procs.len(),
             wirings.len(),
@@ -212,10 +283,26 @@ where
     /// (including the initial one). `invariant` returns `Err(message)` to
     /// report a violation, which aborts the search with a counterexample
     /// schedule.
-    #[allow(clippy::type_complexity)]
-    pub fn run<F>(&self, mut invariant: F) -> ExploreReport<P>
+    ///
+    /// The invariant is a shared (`Fn`) closure, so one instance can serve
+    /// every worker of a parallel sweep by reference.
+    pub fn run<F>(&self, invariant: F) -> ExploreReport<P>
     where
-        F: FnMut(&McState<P>) -> Result<(), String>,
+        F: Fn(&McState<P>) -> Result<(), String>,
+    {
+        self.run_until(invariant, || false)
+    }
+
+    /// Like [`Explorer::run`], but polls `stop` periodically (every
+    /// [`STOP_POLL_INTERVAL`] expansions); when it returns `true` the
+    /// exploration aborts with `complete: false` and no violation. Parallel
+    /// sweeps use this to cancel workers made redundant by an
+    /// earlier-indexed violation.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_until<F, S>(&self, invariant: F, stop: S) -> ExploreReport<P>
+    where
+        F: Fn(&McState<P>) -> Result<(), String>,
+        S: Fn() -> bool,
     {
         // Arena of visited states with parent links for counterexamples.
         // The dedup index maps a state hash to the arena slots carrying that
@@ -227,15 +314,14 @@ where
             s.hash(&mut h);
             h.finish()
         }
-        let mut arena: Vec<(McState<P>, Option<(usize, ProcId)>, usize)> = Vec::new();
+        let mut arena: Vec<ArenaEntry<P>> = Vec::new();
         let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut terminal = 0usize;
         let mut complete = true;
+        let mut since_poll = 0usize;
 
-        let make_violation = |arena: &Vec<(McState<P>, Option<(usize, ProcId)>, usize)>,
-                              at: usize,
-                              message: String| {
+        let make_violation = |arena: &[ArenaEntry<P>], at: usize, message: String| {
             let mut schedule = Vec::new();
             let mut cur = at;
             while let Some((parent, p)) = arena[cur].1 {
@@ -263,6 +349,7 @@ where
         }
 
         while let Some(cur) = queue.pop_front() {
+            // Cheap clone: McState slots are Arc-shared with the arena copy.
             let (state, _, depth) = arena[cur].clone();
             if state.all_halted() {
                 terminal += 1;
@@ -275,6 +362,18 @@ where
                 }
             }
             for p in state.live() {
+                since_poll += 1;
+                if since_poll >= STOP_POLL_INTERVAL {
+                    since_poll = 0;
+                    if stop() {
+                        return ExploreReport {
+                            states: arena.len(),
+                            terminal_states: terminal,
+                            complete: false,
+                            violation: None,
+                        };
+                    }
+                }
                 let next = if self.coarse_scans {
                     step_block(&state, p, &self.wirings)
                 } else {
@@ -311,24 +410,6 @@ where
             violation: None,
         }
     }
-}
-
-/// Executes one PlusCal-label-granularity block of processor `p`: a single
-/// write or output, or a complete scan (maximal run of consecutive reads).
-fn step_block<P>(state: &McState<P>, p: ProcId, wirings: &[Wiring]) -> McState<P>
-where
-    P: Process + Clone + Eq + Hash + std::fmt::Debug,
-    P::Value: Clone + Eq + Hash + std::fmt::Debug,
-    P::Output: Clone + Eq + Hash + std::fmt::Debug,
-{
-    let was_read = matches!(state.pending[p.0], Some(Action::Read { .. }));
-    let mut next = state.step(p, wirings).expect("live process steps");
-    if was_read {
-        while matches!(next.pending[p.0], Some(Action::Read { .. })) {
-            next = next.step(p, wirings).expect("scan continues");
-        }
-    }
-    next
 }
 
 #[cfg(test)]
@@ -401,14 +482,14 @@ mod tests {
         );
         // "Register never holds 2" is violated as soon as p1 writes.
         let report = explorer.run(|s| {
-            if s.memory[0] == 2 {
+            if *s.memory[0] == 2 {
                 Err("register holds 2".to_string())
             } else {
                 Ok(())
             }
         });
         let v = report.violation.expect("violation must be found");
-        assert_eq!(v.state.memory[0], 2);
+        assert_eq!(*v.state.memory[0], 2);
         // The counterexample schedule must replay to the violating state.
         assert!(!v.schedule.is_empty());
         assert_eq!(*v.schedule.last().unwrap(), ProcId(1));
@@ -461,6 +542,23 @@ mod tests {
     }
 
     #[test]
+    fn immediate_stop_aborts_incomplete() {
+        use fa_core::SnapshotProcess;
+        // A space large enough to cross the poll interval.
+        let procs: Vec<SnapshotProcess<u8>> =
+            vec![SnapshotProcess::new(1, 2), SnapshotProcess::new(2, 2)];
+        let wirings = vec![Wiring::identity(2), Wiring::identity(2)];
+        let full =
+            Explorer::new(procs.clone(), 2, Default::default(), wirings.clone()).run(|_| Ok(()));
+        assert!(full.complete);
+        let aborted =
+            Explorer::new(procs, 2, Default::default(), wirings).run_until(|_| Ok(()), || true);
+        assert!(!aborted.complete);
+        assert!(aborted.violation.is_none());
+        assert!(aborted.states < full.states, "abort must cut the search");
+    }
+
+    #[test]
     fn coarse_scans_shrink_the_state_space() {
         use fa_core::SnapshotProcess;
         let procs: Vec<SnapshotProcess<u8>> =
@@ -496,7 +594,7 @@ mod tests {
         let wirings = vec![Wiring::identity(1), Wiring::identity(1)];
         let explorer = Explorer::new(procs.clone(), 1, 0u8, wirings.clone());
         let report = explorer.run(|s| {
-            if s.all_halted() && s.memory[0] == 1 {
+            if s.all_halted() && *s.memory[0] == 1 {
                 Err("final memory is 1".into())
             } else {
                 Ok(())
@@ -509,5 +607,96 @@ mod tests {
             state = state.step(p, &wirings).expect("schedule is valid");
         }
         assert_eq!(state, v.state);
+    }
+
+    #[test]
+    fn coarse_counterexample_replays_via_step_block() {
+        use fa_core::SnapshotProcess;
+        // A violation schedule produced under coarse (label-granularity)
+        // exploration is a sequence of *blocks*; replaying it step-by-step
+        // would diverge, replaying it block-by-block must land exactly on
+        // the violating state.
+        let procs: Vec<SnapshotProcess<u8>> =
+            vec![SnapshotProcess::new(1, 2), SnapshotProcess::new(2, 2)];
+        let wirings = vec![Wiring::identity(2), Wiring::cyclic_shift(2, 1)];
+        let explorer = Explorer::new(procs.clone(), 2, Default::default(), wirings.clone())
+            .with_coarse_scans();
+        // "No process ever outputs" fails once the first snapshot returns.
+        let report = explorer.run(|s| {
+            if s.first_outputs().iter().any(Option::is_some) {
+                Err("a snapshot was output".into())
+            } else {
+                Ok(())
+            }
+        });
+        let v = report
+            .violation
+            .expect("snapshots terminate, so some output");
+        assert!(!v.schedule.is_empty());
+        let mut state = McState::initial(procs, 2, Default::default());
+        for &p in &v.schedule {
+            state = step_block(&state, p, &wirings);
+        }
+        assert_eq!(state, v.state, "block replay must reach the violation");
+        assert!(state.first_outputs().iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn shared_invariant_can_be_passed_by_reference() {
+        // One `Fn` closure instance must be reusable across explorer runs —
+        // the shape the parallel sweep relies on.
+        let invariant = |s: &McState<OneWrite>| {
+            if *s.memory[0] == 99 {
+                Err("impossible".into())
+            } else {
+                Ok(())
+            }
+        };
+        for _ in 0..2 {
+            let procs = vec![
+                OneWrite {
+                    input: 1,
+                    wrote: false,
+                },
+                OneWrite {
+                    input: 2,
+                    wrote: false,
+                },
+            ];
+            let explorer = Explorer::new(
+                procs,
+                1,
+                0u8,
+                vec![Wiring::identity(1), Wiring::identity(1)],
+            );
+            let report = explorer.run(&invariant);
+            assert!(report.complete);
+            assert!(report.violation.is_none());
+        }
+    }
+
+    #[test]
+    fn step_shares_untouched_slots() {
+        let procs = vec![
+            OneWrite {
+                input: 1,
+                wrote: false,
+            },
+            OneWrite {
+                input: 2,
+                wrote: false,
+            },
+        ];
+        let wirings = vec![Wiring::identity(1), Wiring::identity(1)];
+        let s0 = McState::initial(procs, 1, 0u8);
+        let s1 = s0.step(ProcId(0), &wirings).unwrap();
+        // p1's slots are untouched: the successor shares them with s0.
+        assert!(Arc::ptr_eq(&s0.procs[1], &s1.procs[1]));
+        assert!(Arc::ptr_eq(&s0.outputs[1], &s1.outputs[1]));
+        // p0's process advanced: its slot was copied-on-write.
+        assert!(!Arc::ptr_eq(&s0.procs[0], &s1.procs[0]));
+        // The written register was replaced, not mutated in place.
+        assert_eq!(*s0.memory[0], 0);
+        assert_eq!(*s1.memory[0], 1);
     }
 }

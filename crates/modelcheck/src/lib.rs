@@ -42,4 +42,5 @@ mod explorer;
 pub mod simulate;
 pub mod wirings;
 
-pub use explorer::{ExploreReport, Explorer, McState, Violation};
+pub use checks::{CheckConfig, CheckOutcome, TaskCheckReport};
+pub use explorer::{step_block, ExploreReport, Explorer, McState, Violation};

@@ -7,59 +7,114 @@
 //! combinations related by a global relabeling have the same behaviours.
 //! Normalizing with `π = σ₀⁻¹` fixes processor 0 to the identity wiring and
 //! cuts the space to `(M!)^(N−1)`.
+//!
+//! Combinations are addressed by a dense index (mixed-radix over the `N−1`
+//! free wirings) through [`ComboTable`], so a parallel sweep can hand out
+//! combination *indices* and decode them locally. The decoded combination
+//! shares the underlying [`Wiring`] values via `Arc` — building a combo is
+//! `N` reference-count bumps, not `N` permutation clones.
+
+use std::sync::Arc;
 
 use fa_memory::Wiring;
 
+/// The `m!` wirings on `m` registers, shared once, with mixed-radix decoding
+/// of combination indices. Cheap to clone (the table itself is shared).
+///
+/// Index order matches [`combinations_mod_relabeling`]: index 0 is the
+/// all-identity combination, and the wiring of processor 1 varies fastest.
+#[derive(Clone, Debug)]
+pub struct ComboTable {
+    /// All `m!` wirings on `m` registers, in lexicographic order (the first
+    /// is the identity).
+    wirings: Arc<[Arc<Wiring>]>,
+    n: usize,
+    total: usize,
+}
+
+impl ComboTable {
+    /// Builds the table for `n` processors over `m` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the combination count `(m!)^(n-1)` overflows
+    /// `usize` (such a sweep could never be enumerated anyway).
+    #[must_use]
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n >= 1, "at least one processor required");
+        let wirings: Arc<[Arc<Wiring>]> = Wiring::enumerate(m).map(Arc::new).collect();
+        let total = combination_count(n, m)
+            .and_then(|c| usize::try_from(c).ok())
+            .expect("wiring combination count overflows usize; sweep is not enumerable");
+        ComboTable { wirings, n, total }
+    }
+
+    /// Number of combinations (after symmetry reduction): `(m!)^(n-1)`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the table is empty. Never true: every `(n, m)` admits at
+    /// least the all-identity combination.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Decodes combination `index` into one shared wiring per processor.
+    /// Processor 0 always gets the identity wiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn combo(&self, index: usize) -> Vec<Arc<Wiring>> {
+        assert!(
+            index < self.total,
+            "combo index {index} out of range (total {})",
+            self.total
+        );
+        let k = self.wirings.len();
+        let mut combo = Vec::with_capacity(self.n);
+        // Lexicographic enumeration starts at the identity permutation.
+        combo.push(self.wirings[0].clone());
+        let mut rest = index;
+        for _ in 1..self.n {
+            combo.push(self.wirings[rest % k].clone());
+            rest /= k;
+        }
+        combo
+    }
+}
+
 /// Iterates over all wiring combinations for `n` processors and `m`
 /// registers, modulo global register relabeling: processor 0 always has the
-/// identity wiring.
+/// identity wiring. Wirings are shared via `Arc`; cloning one out of the
+/// iterator costs reference-count bumps only.
 ///
 /// ```
 /// use fa_modelcheck::wirings::combinations_mod_relabeling;
 /// // 3 processors, 2 registers: 2!^2 = 4 combinations after fixing p0.
 /// assert_eq!(combinations_mod_relabeling(3, 2).count(), 4);
 /// ```
-pub fn combinations_mod_relabeling(n: usize, m: usize) -> impl Iterator<Item = Vec<Wiring>> {
-    assert!(n >= 1, "at least one processor required");
-    // Mixed-radix counter over the (n-1) free wirings.
-    let all: Vec<Wiring> = Wiring::enumerate(m).collect();
-    let k = all.len();
-    let free = n - 1;
-    let mut counter = vec![0usize; free];
-    let mut done = false;
-    std::iter::from_fn(move || {
-        if done {
-            return None;
-        }
-        let mut combo = Vec::with_capacity(n);
-        combo.push(Wiring::identity(m));
-        for &c in &counter {
-            combo.push(all[c].clone());
-        }
-        // Advance.
-        let mut i = 0;
-        loop {
-            if i == free {
-                done = true;
-                break;
-            }
-            counter[i] += 1;
-            if counter[i] < k {
-                break;
-            }
-            counter[i] = 0;
-            i += 1;
-        }
-        Some(combo)
-    })
+pub fn combinations_mod_relabeling(n: usize, m: usize) -> impl Iterator<Item = Vec<Arc<Wiring>>> {
+    let table = ComboTable::new(n, m);
+    (0..table.len()).map(move |i| table.combo(i))
 }
 
 /// The number of combinations [`combinations_mod_relabeling`] yields:
-/// `(m!)^(n-1)`.
+/// `(m!)^(n-1)`, or `None` if the count overflows `u128` (the previous
+/// `usize` arithmetic wrapped silently in release builds for modest
+/// `(n, m)`, e.g. `(5, 21)`).
 #[must_use]
-pub fn combination_count(n: usize, m: usize) -> usize {
-    let fact: usize = (1..=m).product();
-    fact.pow(u32::try_from(n.saturating_sub(1)).expect("small exponent"))
+pub fn combination_count(n: usize, m: usize) -> Option<u128> {
+    let mut fact: u128 = 1;
+    for i in 1..=m {
+        fact = fact.checked_mul(i as u128)?;
+    }
+    let exp = u32::try_from(n.saturating_sub(1)).ok()?;
+    fact.checked_pow(exp)
 }
 
 #[cfg(test)]
@@ -70,8 +125,8 @@ mod tests {
     fn counts_match_formula() {
         for (n, m) in [(2, 2), (2, 3), (3, 2), (3, 3), (4, 2)] {
             assert_eq!(
-                combinations_mod_relabeling(n, m).count(),
-                combination_count(n, m),
+                combinations_mod_relabeling(n, m).count() as u128,
+                combination_count(n, m).unwrap(),
                 "n={n} m={m}"
             );
         }
@@ -80,14 +135,16 @@ mod tests {
     #[test]
     fn first_wiring_is_identity() {
         for combo in combinations_mod_relabeling(3, 3) {
-            assert_eq!(combo[0], Wiring::identity(3));
+            assert_eq!(*combo[0], Wiring::identity(3));
             assert_eq!(combo.len(), 3);
         }
     }
 
     #[test]
     fn combinations_are_distinct() {
-        let combos: Vec<Vec<Wiring>> = combinations_mod_relabeling(3, 3).collect();
+        let combos: Vec<Vec<Wiring>> = combinations_mod_relabeling(3, 3)
+            .map(|c| c.iter().map(|w| (**w).clone()).collect())
+            .collect();
         let mut dedup = combos.clone();
         dedup.sort();
         dedup.dedup();
@@ -96,8 +153,52 @@ mod tests {
 
     #[test]
     fn single_processor_yields_identity_only() {
-        let combos: Vec<Vec<Wiring>> = combinations_mod_relabeling(1, 4).collect();
+        let combos: Vec<Vec<Arc<Wiring>>> = combinations_mod_relabeling(1, 4).collect();
         assert_eq!(combos.len(), 1);
-        assert_eq!(combos[0], vec![Wiring::identity(4)]);
+        assert_eq!(*combos[0][0], Wiring::identity(4));
+    }
+
+    #[test]
+    fn table_indexing_matches_iterator_order() {
+        let table = ComboTable::new(3, 3);
+        for (i, combo) in combinations_mod_relabeling(3, 3).enumerate() {
+            assert_eq!(table.combo(i), combo, "index {i}");
+        }
+        assert_eq!(table.len(), 36);
+    }
+
+    #[test]
+    fn combo_shares_wirings_not_clones() {
+        let table = ComboTable::new(3, 3);
+        let a = table.combo(0);
+        let b = table.combo(0);
+        // Same underlying allocation: the decode clones Arcs, not Wirings.
+        assert!(Arc::ptr_eq(&a[1], &b[1]));
+    }
+
+    #[test]
+    fn combination_count_checks_overflow() {
+        // The old `usize` implementation wrapped here in release builds:
+        // 21! > 2^64, so (n=2, m=21) overflowed u64-sized usize.
+        assert_eq!(
+            combination_count(2, 21),
+            Some(51_090_942_171_709_440_000u128)
+        );
+        // u128 boundary on the factorial: 34! fits, 35! does not.
+        assert!(combination_count(2, 34).is_some());
+        assert_eq!(combination_count(2, 35), None);
+        // u128 boundary on the power: 2!^(n-1) = 2^(n-1).
+        assert!(combination_count(128, 2).is_some());
+        assert_eq!(combination_count(130, 2), None);
+        // Degenerate cases stay exact.
+        assert_eq!(combination_count(1, 5), Some(1));
+        assert_eq!(combination_count(4, 1), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn combo_index_out_of_range_panics() {
+        let table = ComboTable::new(2, 2);
+        let _ = table.combo(2);
     }
 }

@@ -99,6 +99,56 @@ pub struct TimingEvent {
     pub lock_wait_ns: u64,
 }
 
+/// Telemetry for one wiring-sweep model check: a `check_*` harness explored
+/// `combos_attempted` of `combos_total` wiring combinations (fewer when a
+/// violation aborts the sweep early), visiting `states` states in total.
+///
+/// Everything except `elapsed_ns` and `jobs` is deterministic for a given
+/// check; wall-clock-derived rates live in accessors so recorded streams
+/// stay comparable across thread counts.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepEvent {
+    /// Name of the check harness (e.g. `"snapshot_task"`).
+    pub check: String,
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+    /// Wiring combinations explored (≤ `combos_total`; the sweep stops at
+    /// the first violating combination).
+    pub combos_attempted: usize,
+    /// Wiring combinations in the full sweep, after symmetry reduction.
+    pub combos_total: usize,
+    /// Distinct states visited, summed over the attempted combinations.
+    pub states: usize,
+    /// Largest per-combination state arena (peak memory proxy).
+    pub peak_combo_states: usize,
+    /// States visited per attempted combination, in combination-index order.
+    pub per_combo_states: Vec<usize>,
+    /// Wall-clock duration of the whole sweep.
+    pub elapsed_ns: u64,
+}
+
+impl SweepEvent {
+    /// Combinations explored per wall-clock second.
+    #[must_use]
+    pub fn combos_per_sec(&self) -> f64 {
+        rate(self.combos_attempted, self.elapsed_ns)
+    }
+
+    /// States visited per wall-clock second.
+    #[must_use]
+    pub fn states_per_sec(&self) -> f64 {
+        rate(self.states, self.elapsed_ns)
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn rate(count: usize, elapsed_ns: u64) -> f64 {
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    count as f64 / (elapsed_ns as f64 / 1e9)
+}
+
 /// Any probe event, as written to a JSONL stream (externally tagged).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ProbeEvent {
@@ -114,6 +164,7 @@ pub enum ProbeEvent {
     Reset(ResetEvent),
     Step(StepEvent),
     Timing(TimingEvent),
+    Sweep(SweepEvent),
 }
 
 #[cfg(test)]
@@ -160,11 +211,42 @@ mod tests {
                 ns: 120,
                 lock_wait_ns: 30,
             }),
+            ProbeEvent::Sweep(SweepEvent {
+                check: "snapshot_task".to_string(),
+                jobs: 4,
+                combos_attempted: 25,
+                combos_total: 36,
+                states: 1000,
+                peak_combo_states: 80,
+                per_combo_states: vec![40; 25],
+                elapsed_ns: 2_000_000_000,
+            }),
         ];
         for ev in events {
             let text = serde_json::to_string(&ev).unwrap();
             let back: ProbeEvent = serde_json::from_str(&text).unwrap();
             assert_eq!(back, ev);
         }
+    }
+
+    #[test]
+    fn sweep_rates_derive_from_elapsed() {
+        let ev = SweepEvent {
+            check: "snapshot_task".to_string(),
+            jobs: 1,
+            combos_attempted: 36,
+            combos_total: 36,
+            states: 9_000,
+            peak_combo_states: 400,
+            per_combo_states: vec![250; 36],
+            elapsed_ns: 2_000_000_000,
+        };
+        assert!((ev.combos_per_sec() - 18.0).abs() < 1e-9);
+        assert!((ev.states_per_sec() - 4_500.0).abs() < 1e-9);
+        let zero = SweepEvent {
+            elapsed_ns: 0,
+            ..ev
+        };
+        assert_eq!(zero.combos_per_sec(), 0.0);
     }
 }

@@ -1,7 +1,7 @@
 //! Streaming sink: one JSON object per event, one event per line.
 
 use crate::events::{
-    OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, TimingEvent, WriteEvent,
+    OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent, TimingEvent, WriteEvent,
 };
 use crate::probe::Probe;
 use std::io::Write;
@@ -77,6 +77,10 @@ impl<W: Write> Probe for JsonlSink<W> {
     fn on_timing(&mut self, event: &TimingEvent) {
         self.emit(&ProbeEvent::Timing(event.clone()));
     }
+
+    fn on_sweep(&mut self, event: &SweepEvent) {
+        self.emit(&ProbeEvent::Sweep(event.clone()));
+    }
 }
 
 /// Parses a JSONL stream produced by [`JsonlSink`] back into events.
@@ -106,6 +110,7 @@ pub fn replay_events<P: Probe>(events: &[ProbeEvent], probe: &mut P) {
             ProbeEvent::Reset(e) => probe.on_reset(e),
             ProbeEvent::Step(e) => probe.on_step(e),
             ProbeEvent::Timing(e) => probe.on_timing(e),
+            ProbeEvent::Sweep(e) => probe.on_sweep(e),
         }
     }
 }

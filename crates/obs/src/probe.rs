@@ -1,6 +1,8 @@
 //! The [`Probe`] trait and structural probes ([`NoProbe`], [`Tee`]).
 
-use crate::events::{OutputEvent, ReadEvent, ResetEvent, StepEvent, TimingEvent, WriteEvent};
+use crate::events::{
+    OutputEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent, TimingEvent, WriteEvent,
+};
 
 /// Observer of a run's event stream.
 ///
@@ -49,6 +51,11 @@ pub trait Probe {
 
     /// Wall-clock timing for one operation (threaded runtime only).
     fn on_timing(&mut self, event: &TimingEvent) {
+        let _ = event;
+    }
+
+    /// A wiring-sweep model check completed (model checker only).
+    fn on_sweep(&mut self, event: &SweepEvent) {
         let _ = event;
     }
 }
@@ -103,6 +110,11 @@ impl<A: Probe, B: Probe> Probe for Tee<A, B> {
         self.0.on_timing(event);
         self.1.on_timing(event);
     }
+
+    fn on_sweep(&mut self, event: &SweepEvent) {
+        self.0.on_sweep(event);
+        self.1.on_sweep(event);
+    }
 }
 
 /// Mutable references forward, so a runtime can borrow a caller-owned probe.
@@ -136,6 +148,10 @@ impl<P: Probe> Probe for &mut P {
 
     fn on_timing(&mut self, event: &TimingEvent) {
         (**self).on_timing(event);
+    }
+
+    fn on_sweep(&mut self, event: &SweepEvent) {
+        (**self).on_sweep(event);
     }
 }
 

@@ -5,7 +5,6 @@
 //! Run with: `cargo run --release --example explore_interleavings`
 
 use fa_repro::core::SnapshotProcess;
-use fa_repro::memory::Wiring;
 use fa_repro::modelcheck::wirings::combinations_mod_relabeling;
 use fa_repro::modelcheck::Explorer;
 
@@ -17,7 +16,7 @@ fn main() {
     for combo in combinations_mod_relabeling(n, n) {
         let procs: Vec<SnapshotProcess<u32>> =
             inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
-        let labels: Vec<String> = combo.iter().map(Wiring::to_string).collect();
+        let labels: Vec<String> = combo.iter().map(|w| w.to_string()).collect();
         let explorer = Explorer::new(procs, n, Default::default(), combo);
         let report = explorer.run(|state| {
             // Invariant: any two outputs produced so far are comparable.

@@ -3,5 +3,5 @@
 //! package is `fa-repro`). See [`fa_bench::obs_report`].
 
 fn main() {
-    fa_bench::obs_report::run_report();
+    fa_bench::obs_report::run_report(fa_bench::cli_jobs());
 }

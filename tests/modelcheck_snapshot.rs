@@ -3,8 +3,10 @@
 
 use fa_memory::Wiring;
 use fa_modelcheck::checks::{
-    check_consensus_safety, check_renaming, check_snapshot_task, check_snapshot_wait_freedom,
+    check_consensus_safety, check_renaming, check_snapshot_task, check_snapshot_task_with,
+    check_snapshot_wait_freedom,
 };
+use fa_modelcheck::CheckConfig;
 
 #[test]
 fn snapshot_task_exhaustive_n2() {
@@ -19,6 +21,23 @@ fn snapshot_task_exhaustive_n2_same_group() {
     let report = check_snapshot_task(&[9, 9], 2_000_000).unwrap();
     assert!(report.violation.is_none(), "{:?}", report.violation);
     assert!(report.complete);
+}
+
+#[test]
+fn snapshot_task_report_is_identical_across_job_counts() {
+    // The parallel sweep must be observationally serial: the deterministic
+    // report (combos attempted, states, completeness, selected violation)
+    // may not depend on the worker count.
+    let serial = check_snapshot_task_with(&[1, 2], 2_000_000, &CheckConfig::serial())
+        .unwrap()
+        .report;
+    for jobs in [2, 3, 8] {
+        let parallel =
+            check_snapshot_task_with(&[1, 2], 2_000_000, &CheckConfig::default().with_jobs(jobs))
+                .unwrap()
+                .report;
+        assert_eq!(serial, parallel, "report diverged at jobs={jobs}");
+    }
 }
 
 #[test]
