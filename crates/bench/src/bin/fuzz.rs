@@ -1,0 +1,215 @@
+//! Schedule-fuzzing campaigns (E19): PCT adversary + invariant oracles +
+//! shrinking replayable counterexamples.
+//!
+//! ```text
+//! fuzz [--cases N] [--budget N] [--depth D] [--seed S] [--jobs J]
+//!      [--ns 3,4,5,6] [--smoke] [--inject-bug] [--out report.json]
+//!      [--events events.jsonl]
+//! fuzz --replay artifact.json
+//! fuzz --write-corpus corpus/
+//! ```
+//!
+//! Exit status: `0` for a clean campaign (or, with `--inject-bug`, a
+//! campaign that *caught* the injected bug and produced a shrunk replayable
+//! artifact of at most 200 steps); `1` otherwise. `--replay` exits `0` iff
+//! the artifact's recorded outcome reproduces.
+
+use std::io::Write as _;
+
+use fa_bench::{cli_flag, cli_jobs, cli_value, print_table};
+use fa_fuzz::case::InjectedBug;
+use fa_fuzz::{CampaignConfig, CampaignReport, CaseGen, ReproArtifact};
+use fa_obs::{JsonlSink, NoProbe};
+
+fn parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match cli_value(name) {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} wants a number, got {v:?}")),
+        None => default,
+    }
+}
+
+fn parse_ns() -> Vec<usize> {
+    match cli_value("--ns") {
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--ns wants comma-separated sizes, got {v:?}"))
+            })
+            .collect(),
+        None => vec![3, 4, 5, 6],
+    }
+}
+
+fn replay(path: &str) -> i32 {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read artifact {path}: {e}"));
+    let artifact = ReproArtifact::from_json(&json)
+        .unwrap_or_else(|e| panic!("cannot parse artifact {path}: {e}"));
+    let result = artifact.replay();
+    println!(
+        "replayed {} ({} scripted steps, {} executed)",
+        artifact.label,
+        artifact.script.steps.len(),
+        result.steps
+    );
+    match &result.violation {
+        Some(v) => println!("violation: {v}"),
+        None => println!("no violation; end pattern {:?}", result.pattern),
+    }
+    if artifact.replay_confirms() {
+        println!("artifact outcome CONFIRMED");
+        0
+    } else {
+        println!("artifact outcome DID NOT reproduce");
+        1
+    }
+}
+
+fn write_corpus(dir: &str) -> i32 {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+    for (name, artifact) in [
+        (
+            "fig2_pathological.json",
+            fa_fuzz::corpus::figure2_artifact(),
+        ),
+        (
+            "e13_unseen_competitor.json",
+            fa_fuzz::corpus::e13_artifact(),
+        ),
+    ] {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, artifact.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    0
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn print_report(report: &CampaignReport) {
+    let rows: Vec<Vec<String>> = report
+        .per_algo
+        .iter()
+        .filter(|(_, t)| t.cases > 0)
+        .map(|(kind, t)| {
+            vec![
+                kind.name().to_string(),
+                t.cases.to_string(),
+                t.violations.to_string(),
+                t.total_steps.to_string(),
+                t.distinct_patterns.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["algo", "cases", "violations", "steps", "patterns"], &rows);
+    let secs = report.elapsed_ns as f64 / 1e9;
+    println!(
+        "{} cases, {} steps, {} violations, {} distinct patterns in {secs:.2}s ({:.0} cases/s)",
+        report.cases,
+        report.total_steps,
+        report.violations.len(),
+        report.distinct_patterns,
+        report.cases as f64 / secs.max(1e-9),
+    );
+}
+
+fn main() {
+    if let Some(path) = cli_value("--replay") {
+        std::process::exit(replay(&path));
+    }
+    if let Some(dir) = cli_value("--write-corpus") {
+        std::process::exit(write_corpus(&dir));
+    }
+
+    let smoke = cli_flag("--smoke");
+    let inject = cli_flag("--inject-bug");
+    let cases = parse("--cases", if smoke { 300 } else { 10_000 });
+    let budget = parse("--budget", 600);
+    let seed = parse("--seed", 0xf0cc_5eed_u64);
+    let ns = parse_ns();
+
+    let mut gen = CaseGen::standard(ns, budget);
+    if let Some(d) = cli_value("--depth") {
+        let d: usize = d
+            .parse()
+            .unwrap_or_else(|_| panic!("--depth wants a number, got {d:?}"));
+        gen.depths = vec![d];
+    }
+    if inject {
+        // Fuzz only the algorithm carrying the injected bug, so the campaign
+        // measures the driver's catch rate rather than diluting it.
+        gen.inject = Some(InjectedBug::ConsensusNaiveRule);
+        gen.algos = vec![fa_fuzz::AlgoKind::Consensus];
+        gen.ns = vec![2, 3];
+    }
+
+    let config = CampaignConfig {
+        campaign: if inject {
+            "inject-naive-consensus".to_string()
+        } else {
+            "fuzz".to_string()
+        },
+        cases,
+        seed,
+        jobs: cli_jobs(),
+        gen,
+    };
+    let report = match cli_value("--events") {
+        Some(path) => {
+            let file =
+                std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+            let report = fa_fuzz::run_campaign(&config, &mut sink);
+            sink.into_inner().flush().expect("flush events");
+            report
+        }
+        None => fa_fuzz::run_campaign(&config, &mut NoProbe),
+    };
+    print_report(&report);
+
+    if let Some(path) = cli_value("--out") {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("report written to {path}");
+    }
+
+    if inject {
+        // Success = the campaign caught the bug and shrank it to a short,
+        // replayable artifact.
+        let Some(artifact) = &report.first_repro else {
+            eprintln!("FAIL: injected bug was not caught");
+            std::process::exit(1);
+        };
+        println!(
+            "injected bug caught: case {} shrunk to {} steps ({})",
+            report.violations[0],
+            artifact.script.steps.len(),
+            artifact.violation.as_deref().unwrap_or("?"),
+        );
+        if let Some(path) = cli_value("--artifact") {
+            std::fs::write(&path, artifact.to_json() + "\n")
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("artifact written to {path}");
+        }
+        let ok = artifact.script.steps.len() <= 200 && artifact.replay_confirms();
+        if !ok {
+            eprintln!("FAIL: artifact too long or did not reproduce on replay");
+        }
+        std::process::exit(i32::from(!ok));
+    }
+
+    if report.violations.is_empty() {
+        std::process::exit(0);
+    }
+    if let (Some(artifact), Some(path)) = (&report.first_repro, cli_value("--artifact")) {
+        std::fs::write(&path, artifact.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("violation artifact written to {path}");
+    }
+    eprintln!("FAIL: {} violating cases", report.violations.len());
+    std::process::exit(1);
+}

@@ -71,6 +71,12 @@ pub struct ConsensusProcess<V: Ord> {
     timestamp: u64,
     /// Output emitted; next step halts.
     output_emitted: bool,
+    /// Chandra's original SWMR decision rule: measure the lead only against
+    /// values actually *seen* in the snapshot, so a sole-value snapshot
+    /// decides immediately. Unsound under full anonymity (covering writes
+    /// can erase the competitor — the E13 counterexample); kept as an
+    /// injected-bug ablation for the fuzz driver and the model checker.
+    naive_unseen_rule: bool,
     /// Completed snapshot rounds (for metrics).
     rounds: usize,
 }
@@ -83,6 +89,7 @@ impl<V: Ord> PartialEq for ConsensusProcess<V> {
             && self.preference == other.preference
             && self.timestamp == other.timestamp
             && self.output_emitted == other.output_emitted
+            && self.naive_unseen_rule == other.naive_unseen_rule
     }
 }
 
@@ -94,6 +101,7 @@ impl<V: Ord + std::hash::Hash> std::hash::Hash for ConsensusProcess<V> {
         self.preference.hash(state);
         self.timestamp.hash(state);
         self.output_emitted.hash(state);
+        self.naive_unseen_rule.hash(state);
     }
 }
 
@@ -110,8 +118,24 @@ impl<V: Ord + Clone> ConsensusProcess<V> {
             preference: input,
             timestamp: 0,
             output_emitted: false,
+            naive_unseen_rule: false,
             rounds: 0,
         }
+    }
+
+    /// Creates the process with Chandra's *naive* decision rule, which
+    /// ignores unseen competitors. This is deliberately unsound in the
+    /// fully-anonymous model: it is the injected bug the fuzz driver must
+    /// catch (disagreement via the covered-competitor schedule of E13).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_naive_unseen_rule(input: V, n: usize) -> Self {
+        let mut p = Self::new(input, n);
+        p.naive_unseen_rule = true;
+        p
     }
 
     /// The current preference (analysis only).
@@ -168,8 +192,16 @@ impl<V: Ord + Clone> ConsensusProcess<V> {
         // competitor's pair from every register before anyone reads it (our
         // model checker exhibits a 2-processor disagreement if a sole-value
         // snapshot decides at timestamp 0). Hence the lead is measured
-        // against max(best other seen, 0).
-        let leads_by_two = leader_ts >= second_ts.unwrap_or(0).saturating_add(2);
+        // against max(best other seen, 0). The naive rule skips the unseen
+        // clause, so a sole-value snapshot decides at once.
+        let leads_by_two = if self.naive_unseen_rule {
+            match second_ts {
+                None => true, // sole value visible: the unsafe instant decision
+                Some(s) => leader_ts >= s.saturating_add(2),
+            }
+        } else {
+            leader_ts >= second_ts.unwrap_or(0).saturating_add(2)
+        };
         if leads_by_two {
             return Some(leader.clone());
         }
@@ -350,6 +382,46 @@ mod tests {
                 assert_eq!(exec.outputs(ProcId(i)).len(), 1);
             }
         }
+    }
+
+    #[test]
+    fn naive_rule_disagrees_on_the_covered_competitor_schedule() {
+        // The E13 schedule: p0 writes its pair into r0 (two steps), p1
+        // overwrites it and runs solo — with the naive rule its sole-value
+        // snapshot decides 2 instantly — then p0 runs solo and, having never
+        // seen a competitor ahead of it, pushes its own 1 to a decision.
+        let n = 2;
+        let procs = vec![
+            ConsensusProcess::with_naive_unseen_rule(1u32, n),
+            ConsensusProcess::with_naive_unseen_rule(2u32, n),
+        ];
+        let memory =
+            SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.step_proc(ProcId(0)).unwrap();
+        exec.step_proc(ProcId(0)).unwrap();
+        exec.run_solo(ProcId(1), 1_000_000).unwrap();
+        exec.run_solo(ProcId(0), 1_000_000).unwrap();
+        let d0 = *exec.first_output(ProcId(0)).unwrap();
+        let d1 = *exec.first_output(ProcId(1)).unwrap();
+        assert_ne!(d0, d1, "the naive rule must disagree here — it is the bug");
+        // Sanity: the shipped rule agrees on the very same schedule.
+        let procs = vec![
+            ConsensusProcess::new(1u32, n),
+            ConsensusProcess::new(2u32, n),
+        ];
+        let memory =
+            SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.step_proc(ProcId(0)).unwrap();
+        exec.step_proc(ProcId(0)).unwrap();
+        exec.run_solo(ProcId(1), 1_000_000).unwrap();
+        exec.run_solo(ProcId(0), 1_000_000).unwrap();
+        assert_eq!(
+            exec.first_output(ProcId(0)),
+            exec.first_output(ProcId(1)),
+            "the unseen-competitor rule restores agreement"
+        );
     }
 
     #[test]

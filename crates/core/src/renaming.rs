@@ -69,6 +69,14 @@ impl<V: Ord + Clone> RenamingProcess<V> {
     pub fn view(&self) -> &View<V> {
         self.engine.view()
     }
+
+    /// The (group) input this processor proposed (analysis only — the
+    /// uniqueness and name-bound oracles need it to pair each emitted name
+    /// with its group).
+    #[must_use]
+    pub fn input(&self) -> &V {
+        &self.input
+    }
 }
 
 impl<V: Ord + Clone> Process for RenamingProcess<V> {

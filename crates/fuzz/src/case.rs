@@ -1,0 +1,238 @@
+//! Fuzz case description and seeded case generation.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use fa_memory::Wiring;
+
+/// Which algorithm family a case exercises, with its injected-bug knobs.
+///
+/// The knobs exist so the fuzz driver can prove it *would* catch a bug:
+/// campaigns over the unmodified algorithms must be clean, campaigns with a
+/// knob flipped must find and shrink a counterexample.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algo {
+    /// Wait-free snapshot. `terminate_level: Some(l)` lowers the termination
+    /// threshold from the register count to `l` (the paper's ablation knob).
+    Snapshot {
+        /// Injected termination level; `None` = the shipped algorithm.
+        terminate_level: Option<usize>,
+    },
+    /// Adaptive renaming on top of the snapshot.
+    Renaming,
+    /// Obstruction-free consensus. `naive_unseen_rule: true` injects
+    /// Chandra's SWMR decision rule, unsound under anonymity (E13).
+    Consensus {
+        /// Injected naive decision rule; `false` = the shipped algorithm.
+        naive_unseen_rule: bool,
+    },
+}
+
+impl Algo {
+    /// The family, without knobs.
+    #[must_use]
+    pub fn kind(&self) -> AlgoKind {
+        match self {
+            Algo::Snapshot { .. } => AlgoKind::Snapshot,
+            Algo::Renaming => AlgoKind::Renaming,
+            Algo::Consensus { .. } => AlgoKind::Consensus,
+        }
+    }
+
+    /// Whether an injected-bug knob is active.
+    #[must_use]
+    pub fn has_injected_bug(&self) -> bool {
+        match self {
+            Algo::Snapshot { terminate_level } => terminate_level.is_some(),
+            Algo::Renaming => false,
+            Algo::Consensus { naive_unseen_rule } => *naive_unseen_rule,
+        }
+    }
+}
+
+/// Algorithm family without configuration — campaign bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AlgoKind {
+    /// Wait-free snapshot.
+    Snapshot,
+    /// Adaptive renaming.
+    Renaming,
+    /// Obstruction-free consensus.
+    Consensus,
+}
+
+impl AlgoKind {
+    /// Stable lower-case name for reports and telemetry.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::Snapshot => "snapshot",
+            AlgoKind::Renaming => "renaming",
+            AlgoKind::Consensus => "consensus",
+        }
+    }
+}
+
+/// One generated fuzz case: everything needed to rebuild the system and the
+/// adversary deterministically.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FuzzCase {
+    /// Human-readable provenance (campaign + index, or corpus name).
+    pub label: String,
+    /// Algorithm under test, with injected-bug knobs.
+    pub algo: Algo,
+    /// Per-processor inputs; `inputs.len()` is the processor count.
+    /// Duplicates model the paper's group setting.
+    pub inputs: Vec<u32>,
+    /// Register count (always equal to the processor count for the shipped
+    /// algorithms; kept explicit so corpus artifacts are self-describing).
+    pub registers: usize,
+    /// Private wiring permutation per processor.
+    pub wirings: Vec<Vec<usize>>,
+    /// Crash point per processor (`Some(k)` = crash after `k` of its own
+    /// steps); all `None` in shrunk artifacts, where the schedule itself
+    /// encodes every absence.
+    pub crash_after: Vec<Option<usize>>,
+    /// Seed for the adversary (PCT priorities + change points, or the
+    /// uniform random scheduler when `pct_depth == 0`).
+    pub schedule_seed: u64,
+    /// Number of PCT priority-change points (0 = uniform random adversary).
+    pub pct_depth: usize,
+    /// PCT change-point horizon: change points are sampled in
+    /// `[1, pct_horizon)`.
+    pub pct_horizon: usize,
+    /// Maximum executor steps for this case.
+    pub budget: usize,
+}
+
+impl FuzzCase {
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Rebuilds the wirings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stored wiring is not a permutation (corrupt artifact).
+    #[must_use]
+    pub fn wirings(&self) -> Vec<Wiring> {
+        self.wirings
+            .iter()
+            .map(|w| Wiring::from_perm(w.clone()).expect("case wirings are permutations"))
+            .collect()
+    }
+}
+
+/// Seeded case generator: `case(seed, index)` is a pure function, so a
+/// campaign is reproducible from `(generator config, campaign seed)` and any
+/// single case can be regenerated from its index alone.
+#[derive(Clone, Debug)]
+pub struct CaseGen {
+    /// System sizes to draw from (processors = registers).
+    pub ns: Vec<usize>,
+    /// PCT depths to draw from; include 0 for a uniform-random share.
+    pub depths: Vec<usize>,
+    /// Algorithm families, cycled by case index.
+    pub algos: Vec<AlgoKind>,
+    /// Whether to inject crashes (each processor crashes with probability
+    /// 1/4 at a small step count).
+    pub with_crashes: bool,
+    /// Step budget per case.
+    pub budget: usize,
+    /// Injected bug applied to every generated case (`None` = fuzz the
+    /// shipped algorithms).
+    pub inject: Option<InjectedBug>,
+}
+
+/// An algorithm bug injected into every case of a campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// Lower the snapshot termination level to the given value.
+    SnapshotTerminateLevel(usize),
+    /// Use the naive (unseen-competitor-blind) consensus decision rule.
+    ConsensusNaiveRule,
+}
+
+impl CaseGen {
+    /// The generator used by clean verification campaigns: all three
+    /// algorithms, crashes on, PCT depths {0..=3}.
+    #[must_use]
+    pub fn standard(ns: Vec<usize>, budget: usize) -> Self {
+        CaseGen {
+            ns,
+            depths: vec![0, 1, 2, 3],
+            algos: vec![AlgoKind::Snapshot, AlgoKind::Renaming, AlgoKind::Consensus],
+            with_crashes: true,
+            budget,
+            inject: None,
+        }
+    }
+
+    /// Generates case `index` of the campaign with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns`, `depths`, or `algos` is empty.
+    #[must_use]
+    pub fn case(&self, campaign_seed: u64, index: usize) -> FuzzCase {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            campaign_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let n = self.ns[rng.gen_range(0..self.ns.len())];
+        let kind = self.algos[index % self.algos.len()];
+        let algo = match (kind, self.inject) {
+            (AlgoKind::Snapshot, Some(InjectedBug::SnapshotTerminateLevel(l))) => Algo::Snapshot {
+                terminate_level: Some(l),
+            },
+            (AlgoKind::Snapshot, _) => Algo::Snapshot {
+                terminate_level: None,
+            },
+            (AlgoKind::Renaming, _) => Algo::Renaming,
+            (AlgoKind::Consensus, Some(InjectedBug::ConsensusNaiveRule)) => Algo::Consensus {
+                naive_unseen_rule: true,
+            },
+            (AlgoKind::Consensus, _) => Algo::Consensus {
+                naive_unseen_rule: false,
+            },
+        };
+        // Inputs 1..=n; with probability ~1/3 collapse some into groups
+        // (duplicates), the setting where the paper's tasks are subtle.
+        let mut inputs: Vec<u32> = (1..=n as u32).collect();
+        if rng.gen_range(0..3) == 0 {
+            for i in 0..n {
+                if rng.gen_range(0..2) == 0 {
+                    inputs[i] = inputs[rng.gen_range(0..n)];
+                }
+            }
+        }
+        let wirings: Vec<Vec<usize>> = (0..n)
+            .map(|_| Wiring::random(n, &mut rng).as_slice().to_vec())
+            .collect();
+        let crash_after: Vec<Option<usize>> = (0..n)
+            .map(|_| {
+                (self.with_crashes && rng.gen_range(0..4) == 0).then(|| rng.gen_range(0..12 * n))
+            })
+            .collect();
+        let pct_depth = self.depths[rng.gen_range(0..self.depths.len())];
+        // Horizon ≈ plausible run lengths: long enough for change points to
+        // land anywhere interesting, short enough that early preemptions
+        // (where covering bugs hide) stay likely.
+        let pct_horizon = [16 * n, 48 * n, 96 * n][rng.gen_range(0..3)];
+        FuzzCase {
+            label: format!("case-{index}"),
+            algo,
+            inputs,
+            registers: n,
+            wirings,
+            crash_after,
+            schedule_seed: rng.next_u64(),
+            pct_depth,
+            pct_horizon,
+            budget: self.budget,
+        }
+    }
+}

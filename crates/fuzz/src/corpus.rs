@@ -1,0 +1,151 @@
+//! The seed corpus: committed regression artifacts for schedules the paper
+//! singles out as adversarial.
+//!
+//! Two artifacts ship with the repository (under `corpus/`):
+//!
+//! * **Figure 2** — the pathological lasso schedule of Section 4.1, replayed
+//!   against the *snapshot* algorithm (the level mechanism the pathology
+//!   motivates). A clean fixture: no oracle fires, and the pinned end state
+//!   documents how the level mechanism defuses the schedule — `p1` soundly
+//!   terminates with `{1}` once every register holds `{1}`, after which the
+//!   `p2`/`p3` chase resolves into comparable views.
+//! * **E13 unseen competitor** — the covered-competitor consensus schedule
+//!   with the naive (SWMR-style) decision rule injected: `p1` decides off a
+//!   sole-value snapshot while covered `p0` later decides its own value. A
+//!   violation fixture: replay must reproduce `consensus.agreement`.
+//!
+//! Both builders are pure functions of nothing, so the committed JSON can be
+//! regenerated at any time and a test pins `file == builder`.
+
+use fa_core::{ConsensusProcess, SnapRegister};
+use fa_memory::{Executor, ProcId, Scheduler, SharedMemory, Wiring};
+
+use crate::case::{Algo, FuzzCase};
+use crate::repro::ReproArtifact;
+
+fn identity_wirings(n: usize) -> Vec<Vec<usize>> {
+    (0..n).map(|_| (0..n).collect()).collect()
+}
+
+/// The Figure 2 pathological schedule as a clean snapshot fixture.
+///
+/// Rebuilds the paper's 3-processor system (inputs `1,2,3`, `p1` wired
+/// `local i ↦ global (i+1) mod 3`, `p2`/`p3` identity) and flattens the
+/// rows 1–4 prefix plus three rows 5–13 cycles of the lasso into a scripted
+/// schedule. The expected end-state pattern is pinned by a deterministic
+/// replay at build time: against the write–scan loop this schedule traps
+/// `p2`/`p3` in incomparable views forever, while the level-based snapshot
+/// defuses it (`p1` terminates soundly and the chase resolves), so the
+/// fixture both exercises the adversarial schedule and pins the defusal.
+///
+/// # Panics
+///
+/// Panics if the replay reports a violation — that would mean a shipped
+/// oracle rejects the paper's own execution.
+#[must_use]
+pub fn figure2_artifact() -> ReproArtifact {
+    let wirings: Vec<Vec<usize>> = fa_core::figure2::core_wirings()
+        .iter()
+        .map(|w| w.as_slice().to_vec())
+        .collect();
+    // Flatten prefix + 3 cycles of the lasso (the cycle state has period 1,
+    // so three repetitions overshoot comfortably).
+    let mut lasso = fa_core::figure2::core_schedule();
+    let live: Vec<ProcId> = (0..3).map(ProcId).collect();
+    let steps: Vec<ProcId> = (0..20 + 3 * 36)
+        .map(|_| lasso.next(&live).expect("lasso schedules forever"))
+        .collect();
+    let case = FuzzCase {
+        label: "corpus-fig2-pathological".to_string(),
+        algo: Algo::Snapshot {
+            terminate_level: None,
+        },
+        inputs: vec![1, 2, 3],
+        registers: 3,
+        wirings,
+        crash_after: vec![None; 3],
+        schedule_seed: 0,
+        pct_depth: 0,
+        pct_horizon: 2,
+        budget: steps.len(),
+    };
+    let result = crate::driver::replay_case(&case, &steps);
+    assert!(
+        result.violation.is_none(),
+        "the Figure 2 schedule must not trip any oracle: {:?}",
+        result.violation
+    );
+    ReproArtifact::fixture("corpus-fig2-pathological", case, &steps, result.pattern)
+}
+
+/// The E13 unseen-competitor consensus schedule with the naive decision
+/// rule injected, as a violation fixture.
+///
+/// Two processors, identity wirings. `p0` steps twice (write + first scan
+/// read — leaving it covered, poised mid-scan), then `p1` runs solo: under
+/// the naive rule its snapshot shows only its own value, so it decides
+/// instantly. Then `p0` resumes and decides its *own* value — disagreement,
+/// caught by the `consensus.agreement` oracle on replay.
+///
+/// # Panics
+///
+/// Panics if the construction no longer disagrees (i.e. someone "fixed" the
+/// injected bug) — the committed corpus would then be stale.
+#[must_use]
+pub fn e13_artifact() -> ReproArtifact {
+    let n = 2;
+    let procs: Vec<ConsensusProcess<u32>> = vec![
+        ConsensusProcess::with_naive_unseen_rule(1, n),
+        ConsensusProcess::with_naive_unseen_rule(2, n),
+    ];
+    let memory = SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n])
+        .expect("identity wirings are well-formed");
+    let mut exec = Executor::new(procs, memory).expect("two processors");
+    exec.record_trace(true);
+    // p0 writes and starts scanning, then stalls covered.
+    exec.step_proc(ProcId(0)).expect("p0 live");
+    exec.step_proc(ProcId(0)).expect("p0 live");
+    // p1 runs alone: naive rule decides off the sole-value snapshot.
+    exec.run_solo(ProcId(1), 200).expect("solo run");
+    // p0 resumes and decides its own value.
+    exec.run_solo(ProcId(0), 200).expect("solo run");
+    let d0 = exec.first_output(ProcId(0)).copied();
+    let d1 = exec.first_output(ProcId(1)).copied();
+    assert!(
+        d0.is_some() && d1.is_some() && d0 != d1,
+        "the naive rule must disagree on this schedule (got {d0:?} vs {d1:?})"
+    );
+    let steps: Vec<ProcId> = exec
+        .trace()
+        .expect("trace recorded")
+        .events()
+        .iter()
+        .map(|e| e.proc)
+        .collect();
+
+    let case = FuzzCase {
+        label: "corpus-e13-unseen-competitor".to_string(),
+        algo: Algo::Consensus {
+            naive_unseen_rule: true,
+        },
+        inputs: vec![1, 2],
+        registers: n,
+        wirings: identity_wirings(n),
+        crash_after: vec![None; n],
+        schedule_seed: 0,
+        pct_depth: 0,
+        pct_horizon: 2,
+        budget: steps.len(),
+    };
+    let artifact = ReproArtifact::new(
+        "corpus-e13-unseen-competitor",
+        case,
+        &steps,
+        Some("consensus.agreement".to_string()),
+    );
+    assert!(
+        artifact.replay_confirms(),
+        "E13 replay must reproduce the agreement violation"
+    );
+    artifact
+}

@@ -1,0 +1,345 @@
+//! Per-step invariant oracles.
+//!
+//! Each oracle watches one executor run and checks, after every step, the
+//! safety properties the paper guarantees for that algorithm. They lift the
+//! assertions previously duplicated across the integration tests into
+//! reusable checkers shared by the fuzz driver, the corpus replays, and the
+//! tests themselves.
+
+use fa_core::{ConsensusProcess, RenamingProcess, SnapshotProcess, View};
+use fa_memory::{Executor, ProcId, Process};
+use fa_obs::Probe;
+
+/// A failed oracle check: which invariant, at which executor step, and a
+/// human-readable account of the offending state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated invariant (e.g. `"snapshot.comparability"`).
+    pub invariant: String,
+    /// Executor step count when the violation was detected (1-based: the
+    /// step that exposed it).
+    pub step: usize,
+    /// What went wrong, with the offending values.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] step {}: {}",
+            self.invariant, self.step, self.message
+        )
+    }
+}
+
+fn violation(invariant: &str, step: usize, message: String) -> Violation {
+    Violation {
+        invariant: invariant.to_string(),
+        step,
+        message,
+    }
+}
+
+/// A per-step invariant checker over one executor run.
+///
+/// `check_step` is called after every successful `step_proc(p)`;
+/// `check_end` once when the run stops (budget exhausted, all halted, or
+/// the scheduler gave up). Oracles keep whatever history they need between
+/// calls — they are cheap by design (O(n) per step) so 10k-case campaigns
+/// stay fast.
+pub trait Oracle<P: Process> {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks the invariants after processor `p` stepped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    fn check_step<Pr: Probe>(&mut self, exec: &Executor<P, Pr>, p: ProcId)
+        -> Result<(), Violation>;
+
+    /// Checks end-of-run invariants (default: nothing extra).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    fn check_end<Pr: Probe>(&mut self, exec: &Executor<P, Pr>) -> Result<(), Violation> {
+        let _ = exec;
+        Ok(())
+    }
+}
+
+/// Oracle for the wait-free snapshot task (Figure 3).
+///
+/// Checks, per step, for the stepping processor:
+/// * **view monotonicity** — a processor's view never shrinks;
+/// * **level legality** — the level never exceeds the register count and
+///   only changes when a scan completes (Figure 3 recomputes it as
+///   `min_level + 1` or resets it to 0 exactly once per completed scan).
+///   Note the level is *not* monotone between resets: with group inputs
+///   every register matches the shared view, so the `min + 1` rule can
+///   legally lower a level (e.g. `3 -> 2`) when later scans read
+///   lower-leveled registers — a subtlety this fuzzer caught in an earlier,
+///   stricter version of this very invariant;
+///
+/// and for each newly emitted output:
+/// * **self-inclusion** — the output contains the processor's own input;
+/// * **comparability** — outputs are totally ordered by containment.
+#[derive(Clone, Debug)]
+pub struct SnapshotOracle {
+    inputs: Vec<u32>,
+    registers: usize,
+    last_views: Vec<View<u32>>,
+    last_levels: Vec<usize>,
+    last_scans: Vec<usize>,
+    outputs_seen: Vec<Option<View<u32>>>,
+}
+
+impl SnapshotOracle {
+    /// Creates the oracle for a system with the given inputs over
+    /// `registers` registers.
+    #[must_use]
+    pub fn new(inputs: &[u32], registers: usize) -> Self {
+        SnapshotOracle {
+            inputs: inputs.to_vec(),
+            registers,
+            last_views: inputs.iter().map(|&i| View::singleton(i)).collect(),
+            last_levels: vec![0; inputs.len()],
+            last_scans: vec![0; inputs.len()],
+            outputs_seen: vec![None; inputs.len()],
+        }
+    }
+}
+
+impl Oracle<SnapshotProcess<u32>> for SnapshotOracle {
+    fn name(&self) -> &'static str {
+        "snapshot"
+    }
+
+    fn check_step<Pr: Probe>(
+        &mut self,
+        exec: &Executor<SnapshotProcess<u32>, Pr>,
+        p: ProcId,
+    ) -> Result<(), Violation> {
+        let step = exec.total_steps();
+        let proc = exec.process(p);
+        let view = proc.view();
+        let level = proc.level();
+
+        if !self.last_views[p.0].is_subset(view) {
+            return Err(violation(
+                "snapshot.view_monotonicity",
+                step,
+                format!(
+                    "p{} view shrank: {:?} -> {:?}",
+                    p.0, self.last_views[p.0], view
+                ),
+            ));
+        }
+        let old_level = self.last_levels[p.0];
+        if level > self.registers {
+            return Err(violation(
+                "snapshot.level_bound",
+                step,
+                format!(
+                    "p{} level {level} exceeds register count {}",
+                    p.0, self.registers
+                ),
+            ));
+        }
+        let scans = proc.scans_completed();
+        if level != old_level && scans == self.last_scans[p.0] {
+            return Err(violation(
+                "snapshot.level_change_without_scan",
+                step,
+                format!(
+                    "p{} level moved {old_level} -> {level} without completing a scan",
+                    p.0
+                ),
+            ));
+        }
+        self.last_views[p.0] = view.clone();
+        self.last_levels[p.0] = level;
+        self.last_scans[p.0] = scans;
+
+        if self.outputs_seen[p.0].is_none() {
+            if let Some(out) = exec.first_output(p) {
+                if !out.contains(&self.inputs[p.0]) {
+                    return Err(violation(
+                        "snapshot.self_inclusion",
+                        step,
+                        format!(
+                            "p{} output {:?} misses its own input {}",
+                            p.0, out, self.inputs[p.0]
+                        ),
+                    ));
+                }
+                for (q, other) in self.outputs_seen.iter().enumerate() {
+                    if let Some(other) = other {
+                        if !out.comparable(other) {
+                            return Err(violation(
+                                "snapshot.comparability",
+                                step,
+                                format!(
+                                    "incomparable outputs: p{} {:?} vs p{} {:?}",
+                                    p.0, out, q, other
+                                ),
+                            ));
+                        }
+                    }
+                }
+                self.outputs_seen[p.0] = Some(out.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Oracle for adaptive renaming (Bar-Noy–Dolev names from snapshot views).
+///
+/// Checks each emitted name for:
+/// * **positivity and the adaptive bound** — names lie in
+///   `1..=M(M+1)/2` where `M` is the number of distinct groups among
+///   processors that have participated (taken at least one step);
+/// * **cross-group uniqueness** — processors with different inputs never
+///   share a name (same-group processors may, by design).
+#[derive(Clone, Debug)]
+pub struct RenamingOracle {
+    inputs: Vec<u32>,
+    names_seen: Vec<Option<usize>>,
+}
+
+impl RenamingOracle {
+    /// Creates the oracle for a system with the given group inputs.
+    #[must_use]
+    pub fn new(inputs: &[u32]) -> Self {
+        RenamingOracle {
+            inputs: inputs.to_vec(),
+            names_seen: vec![None; inputs.len()],
+        }
+    }
+}
+
+impl Oracle<RenamingProcess<u32>> for RenamingOracle {
+    fn name(&self) -> &'static str {
+        "renaming"
+    }
+
+    fn check_step<Pr: Probe>(
+        &mut self,
+        exec: &Executor<RenamingProcess<u32>, Pr>,
+        p: ProcId,
+    ) -> Result<(), Violation> {
+        let step = exec.total_steps();
+        if self.names_seen[p.0].is_some() {
+            return Ok(());
+        }
+        let Some(&name) = exec.first_output(p) else {
+            return Ok(());
+        };
+        // Adaptive bound: count distinct groups among participants only.
+        let participants: std::collections::BTreeSet<u32> = self
+            .inputs
+            .iter()
+            .enumerate()
+            .filter(|(q, _)| exec.participated(ProcId(*q)))
+            .map(|(_, &g)| g)
+            .collect();
+        let m = participants.len();
+        let bound = m * (m + 1) / 2;
+        if name == 0 || name > bound {
+            return Err(violation(
+                "renaming.name_bound",
+                step,
+                format!(
+                    "p{} took name {name} outside 1..={bound} ({m} participating groups)",
+                    p.0
+                ),
+            ));
+        }
+        for (q, other) in self.names_seen.iter().enumerate() {
+            if *other == Some(name) && self.inputs[q] != self.inputs[p.0] {
+                return Err(violation(
+                    "renaming.uniqueness",
+                    step,
+                    format!(
+                        "name {name} taken by both p{} (group {}) and p{q} (group {})",
+                        p.0, self.inputs[p.0], self.inputs[q]
+                    ),
+                ));
+            }
+        }
+        self.names_seen[p.0] = Some(name);
+        Ok(())
+    }
+}
+
+/// Oracle for obstruction-free consensus (Figure 5).
+///
+/// Checks each decision for:
+/// * **validity** — the decided value was proposed by someone;
+/// * **agreement** — all decisions are equal.
+///
+/// Termination is *not* checked: the algorithm is obstruction-free, so
+/// budget-bounded runs may legitimately end undecided.
+#[derive(Clone, Debug)]
+pub struct ConsensusOracle {
+    inputs: Vec<u32>,
+    decisions_seen: Vec<Option<u32>>,
+}
+
+impl ConsensusOracle {
+    /// Creates the oracle for a system proposing the given inputs.
+    #[must_use]
+    pub fn new(inputs: &[u32]) -> Self {
+        ConsensusOracle {
+            inputs: inputs.to_vec(),
+            decisions_seen: vec![None; inputs.len()],
+        }
+    }
+}
+
+impl Oracle<ConsensusProcess<u32>> for ConsensusOracle {
+    fn name(&self) -> &'static str {
+        "consensus"
+    }
+
+    fn check_step<Pr: Probe>(
+        &mut self,
+        exec: &Executor<ConsensusProcess<u32>, Pr>,
+        p: ProcId,
+    ) -> Result<(), Violation> {
+        let step = exec.total_steps();
+        if self.decisions_seen[p.0].is_some() {
+            return Ok(());
+        }
+        let Some(&decision) = exec.first_output(p) else {
+            return Ok(());
+        };
+        if !self.inputs.contains(&decision) {
+            return Err(violation(
+                "consensus.validity",
+                step,
+                format!(
+                    "p{} decided {decision}, which nobody proposed {:?}",
+                    p.0, self.inputs
+                ),
+            ));
+        }
+        for (q, other) in self.decisions_seen.iter().enumerate() {
+            if let Some(other) = other {
+                if *other != decision {
+                    return Err(violation(
+                        "consensus.agreement",
+                        step,
+                        format!("p{} decided {decision} but p{q} decided {other}", p.0),
+                    ));
+                }
+            }
+        }
+        self.decisions_seen[p.0] = Some(decision);
+        Ok(())
+    }
+}

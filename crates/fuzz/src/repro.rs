@@ -1,0 +1,120 @@
+//! Replayable counterexample artifacts.
+//!
+//! A [`ReproArtifact`] is everything needed to reproduce a violation on any
+//! machine: the full [`FuzzCase`] (algorithm, inputs, wirings) plus the
+//! minimal [`ReplayScript`]. Artifacts serialize to JSON and are committed
+//! under `corpus/` as regression fixtures or uploaded from CI when a fuzz
+//! campaign fails.
+
+use serde::{Deserialize, Serialize};
+
+use fa_memory::{ProcId, ReplayScript};
+
+use crate::case::FuzzCase;
+use crate::driver::{replay_case, CaseResult};
+
+/// Artifact format version, bumped on incompatible schema changes.
+pub const REPRO_VERSION: u32 = 1;
+
+/// A self-contained, replayable counterexample (or regression fixture).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReproArtifact {
+    /// Artifact format version ([`REPRO_VERSION`]).
+    pub version: u32,
+    /// Human-readable provenance (campaign + case index, or corpus name).
+    pub label: String,
+    /// The complete case: algorithm knobs, inputs, wirings. The crash set
+    /// is ignored on replay — the script already encodes every absence.
+    pub case: FuzzCase,
+    /// The (usually shrunk) schedule to replay.
+    pub script: ReplayScript,
+    /// Rendered violation this artifact reproduces; `None` for clean
+    /// corpus fixtures that pin an interesting-but-correct end state.
+    pub violation: Option<String>,
+    /// Expected end-state pattern, for clean fixtures (`None` when the
+    /// artifact documents a violation instead).
+    pub expected_pattern: Option<Vec<Vec<u32>>>,
+}
+
+impl ReproArtifact {
+    /// Packages a case and a schedule as a violation artifact.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        case: FuzzCase,
+        schedule: &[ProcId],
+        violation: Option<String>,
+    ) -> Self {
+        let label = label.into();
+        ReproArtifact {
+            version: REPRO_VERSION,
+            script: ReplayScript {
+                label: label.clone(),
+                steps: schedule.to_vec(),
+            },
+            label,
+            case,
+            violation,
+            expected_pattern: None,
+        }
+    }
+
+    /// Packages a case, schedule, and expected end state as a clean
+    /// regression fixture.
+    #[must_use]
+    pub fn fixture(
+        label: impl Into<String>,
+        case: FuzzCase,
+        schedule: &[ProcId],
+        expected_pattern: Vec<Vec<u32>>,
+    ) -> Self {
+        let mut artifact = Self::new(label, case, schedule, None);
+        artifact.expected_pattern = Some(expected_pattern);
+        artifact
+    }
+
+    /// Replays the artifact's script against a fresh copy of its system.
+    ///
+    /// Deterministic: processes are pure step machines, so the same script
+    /// always produces the same [`CaseResult`].
+    #[must_use]
+    pub fn replay(&self) -> CaseResult {
+        replay_case(&self.case, &self.script.steps)
+    }
+
+    /// Whether a replay reproduces what the artifact claims: the recorded
+    /// violation's invariant for counterexamples, the expected end-state
+    /// pattern for clean fixtures.
+    #[must_use]
+    pub fn replay_confirms(&self) -> bool {
+        let result = self.replay();
+        match (&self.violation, &self.expected_pattern) {
+            (Some(expected), _) => result
+                .violation
+                .as_ref()
+                .is_some_and(|v| expected.contains(&v.invariant)),
+            (None, Some(pattern)) => result.violation.is_none() && result.pattern == *pattern,
+            (None, None) => result.violation.is_none(),
+        }
+    }
+
+    /// Serializes to pretty-printed JSON (the committed/uploaded format).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for artifacts built by this crate (all fields are
+    /// plain data).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifacts serialize")
+    }
+
+    /// Parses an artifact from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying decode error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}

@@ -89,9 +89,10 @@ pub use executor::{Executor, RunOutcome, StepOutcome};
 pub use ids::{LocalRegId, ProcId, RegId};
 pub use memory::SharedMemory;
 pub use process::{Action, Process, StepInput};
+pub use replay::ReplayScript;
 pub use schedule::{
-    BoundedDelayScheduler, CrashingScheduler, LassoSchedule, RandomScheduler, RoundRobin,
-    Scheduler, ScriptedSchedule, SoloScheduler,
+    BoundedDelayScheduler, CrashingScheduler, LassoSchedule, PctScheduler, RandomScheduler,
+    RoundRobin, Scheduler, ScriptedSchedule, SoloScheduler,
 };
 pub use trace::{Event, EventKind, Trace};
 pub use wiring::Wiring;

@@ -20,6 +20,9 @@
 //!   stable-view analysis of Section 4.
 //! * [`BoundedDelayScheduler`] — a `k`-bounded-delay (partial-synchrony)
 //!   adversary: random, but no live processor starves longer than `k` steps.
+//! * [`PctScheduler`] — Probabilistic Concurrency Testing: a priority-based
+//!   adversary with `d` random priority-change points, much better than
+//!   uniform random at exposing rare orderings of depth ≤ `d`.
 //! * [`CrashingScheduler`] — failure injection: permanently stops chosen
 //!   processors after a given number of their steps.
 
@@ -282,6 +285,12 @@ impl Scheduler for LassoSchedule {
 /// is ever left unscheduled for more than `k` consecutive steps. This is the
 /// classic partial-synchrony adversary class, sitting between the fully
 /// asynchronous random adversary and lock-step round-robin.
+///
+/// Processors at the bound run longest-waiting first. Simultaneous arrivals
+/// at the bound are possible only among processors that have never been
+/// scheduled (their waits tick in lockstep until the first scheduling breaks
+/// the tie), so at most `n - 1` of them can queue up; the FIFO drain bounds
+/// the worst-case wait by `k + n - 2` at startup and by `k` thereafter.
 #[derive(Clone, Debug)]
 pub struct BoundedDelayScheduler<R> {
     rng: R,
@@ -313,8 +322,16 @@ impl<R: Rng> Scheduler for BoundedDelayScheduler<R> {
         if live.is_empty() {
             return None;
         }
-        // A processor at the bound must run; otherwise pick randomly.
-        let forced = live.iter().find(|p| self.waiting[p.0] + 1 >= self.bound);
+        // A processor at the bound must run — and among several at the bound
+        // the *longest-waiting* one, lowest id on ties. (Taking merely the
+        // first at the bound starves later-checked processors past `k`: two
+        // never-scheduled processors reach the bound on the same step, and
+        // the higher id then loses every future tie-break too.) Otherwise
+        // pick randomly.
+        let forced = live
+            .iter()
+            .filter(|p| self.waiting[p.0] + 1 >= self.bound)
+            .max_by_key(|p| (self.waiting[p.0], std::cmp::Reverse(p.0)));
         let chosen = match forced {
             Some(p) => *p,
             None => live[self.rng.gen_range(0..live.len())],
@@ -324,6 +341,94 @@ impl<R: Rng> Scheduler for BoundedDelayScheduler<R> {
         }
         self.waiting[chosen.0] = 0;
         Some(chosen)
+    }
+}
+
+/// Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010): a
+/// priority-based adversary with `d` random priority-change points.
+///
+/// Each processor receives a distinct random initial priority above `d`; the
+/// highest-priority live processor always runs. At each of `d` change points
+/// (step indices sampled uniformly from `[1, horizon)`), the currently
+/// highest-priority live processor is demoted below every initial priority.
+/// The resulting schedule is long solo bursts punctuated by `d` adversarial
+/// preemptions — exactly the shape of schedule that exposes ordering bugs of
+/// depth ≤ `d + 1`, with probability ≥ 1/(n·horizonᵈ) per run. A uniform
+/// random adversary finds the same bugs exponentially more rarely because it
+/// almost never lets one processor run solo long enough.
+///
+/// All randomness is consumed at construction, so a `PctScheduler` is a
+/// deterministic function of `(seed, n, d, horizon)` — the property the fuzz
+/// driver's replayable counterexamples rely on.
+#[derive(Clone, Debug)]
+pub struct PctScheduler {
+    /// Current priority per processor; higher runs first, values are unique.
+    priorities: Vec<usize>,
+    /// Sorted step indices at which a priority change fires.
+    change_points: Vec<usize>,
+    /// Index into `change_points` of the next unfired change.
+    next_change: usize,
+    /// Next demotion priority (starts at `d`, strictly decreasing), so every
+    /// demoted priority sits below all initial priorities and stays unique.
+    next_low: usize,
+    step: usize,
+}
+
+impl PctScheduler {
+    /// Creates a PCT adversary for `n` processors with `depth` priority
+    /// change points over schedules of up to `horizon` steps.
+    ///
+    /// The RNG is consumed here; scheduling is thereafter deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new<R: Rng>(mut rng: R, n: usize, depth: usize, horizon: usize) -> Self {
+        assert!(n > 0, "a schedule needs at least one processor");
+        // Distinct initial priorities depth+1 ..= depth+n, randomly permuted.
+        let mut priorities: Vec<usize> = (depth + 1..=depth + n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            priorities.swap(i, j);
+        }
+        let mut change_points: Vec<usize> = (0..depth)
+            .map(|_| rng.gen_range(1..horizon.max(2)))
+            .collect();
+        change_points.sort_unstable();
+        PctScheduler {
+            priorities,
+            change_points,
+            next_change: 0,
+            next_low: depth,
+            step: 0,
+        }
+    }
+
+    /// The current priority of processor `p` (diagnostics and tests).
+    #[must_use]
+    pub fn priority(&self, p: ProcId) -> usize {
+        self.priorities[p.0]
+    }
+}
+
+impl Scheduler for PctScheduler {
+    fn next(&mut self, live: &[ProcId]) -> Option<ProcId> {
+        if live.is_empty() {
+            return None;
+        }
+        self.step += 1;
+        // Fire every change point due at this step: demote the processor
+        // that would otherwise run.
+        while self.next_change < self.change_points.len()
+            && self.change_points[self.next_change] <= self.step
+        {
+            if let Some(top) = live.iter().max_by_key(|p| self.priorities[p.0]) {
+                self.priorities[top.0] = self.next_low;
+                self.next_low = self.next_low.saturating_sub(1);
+            }
+            self.next_change += 1;
+        }
+        live.iter().copied().max_by_key(|p| self.priorities[p.0])
     }
 }
 
@@ -503,14 +608,41 @@ mod tests {
     }
 
     #[test]
-    fn bounded_delay_with_k1_degenerates_reasonably() {
-        // k = 1 forces the first live processor every time (everyone is
-        // always "at the bound").
+    fn bounded_delay_with_k1_degenerates_to_round_robin() {
+        // k = 1 puts everyone at the bound every step, so longest-waiting-
+        // first yields a fair rotation (it used to pin the lowest id forever).
         let rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
-        let mut sched = BoundedDelayScheduler::new(rng, 2, 1);
-        let live = vec![ProcId(0), ProcId(1)];
-        for _ in 0..5 {
-            assert_eq!(sched.next(&live), Some(ProcId(0)));
+        let mut sched = BoundedDelayScheduler::new(rng, 3, 1);
+        let live = vec![ProcId(0), ProcId(1), ProcId(2)];
+        let seq: Vec<usize> = (0..6).map(|_| sched.next(&live).unwrap().0).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bounded_delay_simultaneous_arrivals_serve_longest_waiting() {
+        // Regression: with n = 3, k = 2, the two processors not chosen at
+        // step 1 reach the bound together at step 2. The old `find`-based
+        // selection then favoured the lowest id at every future tie too, so
+        // the highest id starved without bound. Longest-waiting-first drains
+        // the backlog FIFO: nobody waits more than k + n - 2 = 3 steps.
+        for seed in 0..10u64 {
+            let rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let n = 3;
+            let k = 2;
+            let mut sched = BoundedDelayScheduler::new(rng, n, k);
+            let live: Vec<ProcId> = (0..n).map(ProcId).collect();
+            let mut since = vec![0usize; n];
+            for _ in 0..500 {
+                let p = sched.next(&live).unwrap();
+                for s in &mut since {
+                    *s += 1;
+                }
+                since[p.0] = 0;
+                assert!(
+                    since.iter().all(|&s| s <= k + n - 2),
+                    "starved past the startup-adjusted bound: {since:?} (seed {seed})"
+                );
+            }
         }
     }
 
@@ -553,6 +685,85 @@ mod tests {
     }
 
     #[test]
+    fn crashing_contract_crash_at_zero_never_runs_even_solo() {
+        // crash_after(p, 0): the victim takes no steps even when it is the
+        // only live processor — the scheduler must return None, not the
+        // victim.
+        let mut sched = CrashingScheduler::new(RoundRobin::new(), 2).crash_after(ProcId(0), 0);
+        assert_eq!(sched.next(&[ProcId(0)]), None);
+        assert_eq!(sched.next(&[ProcId(0), ProcId(1)]), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn crashing_contract_mid_stream_crash_is_deterministic() {
+        // A scripted write-scan pattern (write + 3 reads per processor) with
+        // p0 crashed after 2 steps — i.e. mid-scan, between its first and
+        // second read. The crash filters p0 out of the live set the inner
+        // schedule observes, so `skip_halted` drops its remaining entries,
+        // and the whole sequence is a pure function of the configuration.
+        let run = || {
+            let script = ScriptedSchedule::from_indices([0, 0, 0, 0, 1, 1, 1, 1]).skip_halted();
+            let mut sched = CrashingScheduler::new(script, 2).crash_after(ProcId(0), 2);
+            let live = vec![ProcId(0), ProcId(1)];
+            let mut seq = Vec::new();
+            while let Some(p) = sched.next(&live) {
+                seq.push(p.0);
+            }
+            (seq, sched.crashed())
+        };
+        let (seq, crashed) = run();
+        assert_eq!(seq, vec![0, 0, 1, 1, 1, 1], "victim stops exactly mid-scan");
+        assert_eq!(crashed, vec![ProcId(0)]);
+        assert_eq!(run(), (seq, crashed), "contract is deterministic");
+    }
+
+    #[test]
+    fn pct_is_deterministic_and_schedules_only_live() {
+        let live: Vec<ProcId> = (0..4).map(ProcId).collect();
+        let seq = |seed: u64| {
+            let rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut s = PctScheduler::new(rng, 4, 3, 200);
+            (0..200)
+                .map(|_| s.next(&live).unwrap().0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(11), seq(11));
+        // The highest-priority processor runs solo between change points:
+        // the schedule is a handful of long bursts, not uniform noise.
+        let s = seq(11);
+        let bursts = s.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(bursts <= 3, "at most d = 3 preemptions, got {bursts}");
+    }
+
+    #[test]
+    fn pct_demotes_past_every_change_point() {
+        // With d = 1 and the change point at some step ≤ horizon, the top
+        // processor is demoted below everyone exactly once: the schedule is
+        // two solo bursts.
+        let rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut s = PctScheduler::new(rng, 3, 1, 50);
+        let live: Vec<ProcId> = (0..3).map(ProcId).collect();
+        let seq: Vec<usize> = (0..50).map(|_| s.next(&live).unwrap().0).collect();
+        let switches: Vec<usize> = (1..seq.len()).filter(|&i| seq[i] != seq[i - 1]).collect();
+        assert_eq!(switches.len(), 1, "exactly one preemption: {seq:?}");
+        // After the demotion the victim never runs again while others live.
+        let victim = seq[0];
+        assert!(seq[switches[0]..].iter().all(|&p| p != victim));
+    }
+
+    #[test]
+    fn pct_respects_halting() {
+        let rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut s = PctScheduler::new(rng, 3, 0, 10);
+        let top = s.next(&[ProcId(0), ProcId(1), ProcId(2)]).unwrap();
+        // The top-priority processor halts: the next pick differs.
+        let rest: Vec<ProcId> = (0..3).map(ProcId).filter(|p| *p != top).collect();
+        let next = s.next(&rest).unwrap();
+        assert_ne!(next, top);
+        assert_eq!(s.next(&[]), None);
+    }
+
+    #[test]
     fn mut_ref_is_scheduler() {
         fn run<S: Scheduler>(mut s: S) -> Option<ProcId> {
             s.next(&[ProcId(0)])
@@ -561,5 +772,92 @@ mod tests {
         assert_eq!(run(&mut rr), Some(ProcId(0)));
         // `rr` retains its state after being used by reference.
         assert_eq!(rr.next(&[ProcId(0), ProcId(1)]), Some(ProcId(1)));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn bounded_delay_wait_is_bounded(seed in any::<u64>(), n in 1usize..6, k in 1usize..8) {
+            // No live processor ever waits past the startup-adjusted bound
+            // k + n - 2 (simultaneous arrivals drain FIFO; see the type docs).
+            let rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut sched = BoundedDelayScheduler::new(rng, n, k);
+            let live: Vec<ProcId> = (0..n).map(ProcId).collect();
+            let mut since = vec![0usize; n];
+            for _ in 0..400 {
+                let p = sched.next(&live).unwrap();
+                for s in since.iter_mut() {
+                    *s += 1;
+                }
+                since[p.0] = 0;
+                prop_assert!(since.iter().all(|&s| s <= k + n.saturating_sub(2)));
+            }
+        }
+
+        #[test]
+        fn scripted_skip_halted_preserves_script_order(
+            script in proptest::collection::vec(0usize..5, 0..40),
+            live_mask in 1u32..32,
+        ) {
+            let live: Vec<ProcId> = (0..5usize)
+                .filter(|i| live_mask & (1 << i) != 0)
+                .map(ProcId)
+                .collect();
+            let mut s = ScriptedSchedule::from_indices(script.clone()).skip_halted();
+            let mut out = Vec::new();
+            while let Some(p) = s.next(&live) {
+                out.push(p.0);
+            }
+            // The emitted sequence is exactly the script restricted to live
+            // processors — same entries, same order, nothing reordered.
+            let expected: Vec<usize> = script
+                .into_iter()
+                .filter(|i| live.contains(&ProcId(*i)))
+                .collect();
+            prop_assert_eq!(out, expected);
+        }
+
+        #[test]
+        fn lasso_cycle_boundaries_are_exact(
+            plen in 0usize..6,
+            clen in 1usize..6,
+            rounds in 1usize..5,
+        ) {
+            let prefix: Vec<ProcId> = (0..plen).map(|i| ProcId(i % 3)).collect();
+            let cycle: Vec<ProcId> = (0..clen).map(|i| ProcId(i % 3)).collect();
+            let mut s = LassoSchedule::new(prefix, cycle);
+            let live: Vec<ProcId> = (0..3).map(ProcId).collect();
+            let total = plen + clen * rounds;
+            for pos in 0..=total {
+                let expected = pos >= plen && (pos - plen) % clen == 0;
+                prop_assert_eq!(s.at_cycle_boundary(), expected);
+                if pos < total {
+                    s.next(&live).unwrap();
+                }
+            }
+        }
+
+        #[test]
+        fn pct_fixed_seed_is_deterministic(
+            seed in any::<u64>(),
+            n in 1usize..6,
+            depth in 0usize..4,
+        ) {
+            let live: Vec<ProcId> = (0..n).map(ProcId).collect();
+            let run = |seed: u64| {
+                let rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                let mut s = PctScheduler::new(rng, n, depth, 120);
+                (0..120).map(|_| s.next(&live).unwrap()).collect::<Vec<_>>()
+            };
+            let a = run(seed);
+            prop_assert_eq!(&a, &run(seed));
+            prop_assert!(a.iter().all(|p| live.contains(p)));
+        }
     }
 }

@@ -642,6 +642,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_borrows_for_generic_args)] // the borrow is the point
     fn shared_invariant_can_be_passed_by_reference() {
         // One `Fn` closure instance must be reusable across explorer runs —
         // the shape the parallel sweep relies on.

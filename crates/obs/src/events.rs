@@ -141,6 +141,51 @@ impl SweepEvent {
     }
 }
 
+/// A fuzz campaign (or one shard of it) completed — emitted by the fa-fuzz
+/// driver. One event summarizes many generated cases; per-case detail lives
+/// in the repro artifacts the driver writes on violation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FuzzEvent {
+    /// Campaign label (e.g. `"smoke"`, `"e19"`).
+    pub campaign: String,
+    /// Algorithm family fuzzed (`"snapshot"`, `"renaming"`, `"consensus"`).
+    pub algo: String,
+    /// Worker threads the campaign ran with.
+    pub jobs: usize,
+    /// Generated cases executed.
+    pub cases: usize,
+    /// Cases whose oracle reported a violation.
+    pub violations: usize,
+    /// Executor steps summed over all cases.
+    pub total_steps: u64,
+    /// Distinct stable-view patterns observed across case end states (a
+    /// coverage proxy: how many qualitatively different final coverings the
+    /// adversary reached).
+    pub distinct_patterns: usize,
+    /// Wall-clock duration of the campaign shard.
+    pub elapsed_ns: u64,
+}
+
+impl FuzzEvent {
+    /// Cases executed per wall-clock second.
+    #[must_use]
+    pub fn cases_per_sec(&self) -> f64 {
+        rate(self.cases, self.elapsed_ns)
+    }
+
+    /// Executor steps per wall-clock second.
+    #[must_use]
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.total_steps as f64 / (self.elapsed_ns as f64 / 1e9)
+        }
+    }
+}
+
 #[allow(clippy::cast_precision_loss)]
 fn rate(count: usize, elapsed_ns: u64) -> f64 {
     if elapsed_ns == 0 {
@@ -165,6 +210,7 @@ pub enum ProbeEvent {
     Step(StepEvent),
     Timing(TimingEvent),
     Sweep(SweepEvent),
+    Fuzz(FuzzEvent),
 }
 
 #[cfg(test)]
@@ -220,6 +266,16 @@ mod tests {
                 peak_combo_states: 80,
                 per_combo_states: vec![40; 25],
                 elapsed_ns: 2_000_000_000,
+            }),
+            ProbeEvent::Fuzz(FuzzEvent {
+                campaign: "smoke".to_string(),
+                algo: "snapshot".to_string(),
+                jobs: 2,
+                cases: 500,
+                violations: 0,
+                total_steps: 123_456,
+                distinct_patterns: 17,
+                elapsed_ns: 1_000_000_000,
             }),
         ];
         for ev in events {

@@ -1,7 +1,8 @@
 //! Streaming sink: one JSON object per event, one event per line.
 
 use crate::events::{
-    OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent, TimingEvent, WriteEvent,
+    FuzzEvent, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent, TimingEvent,
+    WriteEvent,
 };
 use crate::probe::Probe;
 use std::io::Write;
@@ -81,6 +82,10 @@ impl<W: Write> Probe for JsonlSink<W> {
     fn on_sweep(&mut self, event: &SweepEvent) {
         self.emit(&ProbeEvent::Sweep(event.clone()));
     }
+
+    fn on_fuzz(&mut self, event: &FuzzEvent) {
+        self.emit(&ProbeEvent::Fuzz(event.clone()));
+    }
 }
 
 /// Parses a JSONL stream produced by [`JsonlSink`] back into events.
@@ -111,6 +116,7 @@ pub fn replay_events<P: Probe>(events: &[ProbeEvent], probe: &mut P) {
             ProbeEvent::Step(e) => probe.on_step(e),
             ProbeEvent::Timing(e) => probe.on_timing(e),
             ProbeEvent::Sweep(e) => probe.on_sweep(e),
+            ProbeEvent::Fuzz(e) => probe.on_fuzz(e),
         }
     }
 }

@@ -29,8 +29,8 @@ pub mod metrics;
 pub mod probe;
 
 pub use events::{
-    OpKind, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent, TimingEvent,
-    WriteEvent,
+    FuzzEvent, OpKind, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent,
+    TimingEvent, WriteEvent,
 };
 pub use jsonl::{parse_jsonl, replay_events, JsonlSink};
 pub use metrics::{Histogram, ProcMetrics, RunMetrics};

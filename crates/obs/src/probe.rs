@@ -1,7 +1,7 @@
 //! The [`Probe`] trait and structural probes ([`NoProbe`], [`Tee`]).
 
 use crate::events::{
-    OutputEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent, TimingEvent, WriteEvent,
+    FuzzEvent, OutputEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent, TimingEvent, WriteEvent,
 };
 
 /// Observer of a run's event stream.
@@ -56,6 +56,11 @@ pub trait Probe {
 
     /// A wiring-sweep model check completed (model checker only).
     fn on_sweep(&mut self, event: &SweepEvent) {
+        let _ = event;
+    }
+
+    /// A fuzz campaign shard completed (fuzz driver only).
+    fn on_fuzz(&mut self, event: &FuzzEvent) {
         let _ = event;
     }
 }
@@ -115,6 +120,11 @@ impl<A: Probe, B: Probe> Probe for Tee<A, B> {
         self.0.on_sweep(event);
         self.1.on_sweep(event);
     }
+
+    fn on_fuzz(&mut self, event: &FuzzEvent) {
+        self.0.on_fuzz(event);
+        self.1.on_fuzz(event);
+    }
 }
 
 /// Mutable references forward, so a runtime can borrow a caller-owned probe.
@@ -152,6 +162,10 @@ impl<P: Probe> Probe for &mut P {
 
     fn on_sweep(&mut self, event: &SweepEvent) {
         (**self).on_sweep(event);
+    }
+
+    fn on_fuzz(&mut self, event: &FuzzEvent) {
+        (**self).on_fuzz(event);
     }
 }
 

@@ -1,0 +1,200 @@
+//! End-to-end tests of the schedule-fuzzing subsystem: corpus replay,
+//! injected-bug catching + shrinking, campaign determinism, and clean
+//! campaigns over the unmodified algorithms.
+
+use fa_fuzz::case::InjectedBug;
+use fa_fuzz::{
+    corpus, replay_case, run_campaign, AlgoKind, CampaignConfig, CaseGen, ReproArtifact,
+};
+use fa_obs::NoProbe;
+
+fn read_corpus(name: &str) -> ReproArtifact {
+    let path = format!("{}/corpus/{name}", env!("CARGO_MANIFEST_DIR"));
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing corpus file {path}: {e}"));
+    ReproArtifact::from_json(&json).unwrap_or_else(|e| panic!("corrupt corpus file {path}: {e}"))
+}
+
+#[test]
+fn committed_fig2_artifact_matches_builder_and_replays() {
+    let committed = read_corpus("fig2_pathological.json");
+    let built = corpus::figure2_artifact();
+    assert_eq!(
+        committed, built,
+        "corpus/fig2_pathological.json is stale; regenerate with \
+         `cargo run -p fa-bench --bin fuzz -- --write-corpus corpus`"
+    );
+    // Clean fixture: no oracle fires, and the end state is pinned. The
+    // level mechanism defuses the pathological schedule: p1 terminates
+    // soundly with {1}, after which the p2/p3 chase resolves.
+    let result = committed.replay();
+    assert!(result.violation.is_none(), "{:?}", result.violation);
+    assert_eq!(result.pattern, committed.expected_pattern.clone().unwrap());
+    assert_eq!(result.pattern[0], vec![1]);
+    assert!(committed.replay_confirms());
+    // Determinism: replaying twice gives identical everything.
+    let again = committed.replay();
+    assert_eq!(result.steps, again.steps);
+    assert_eq!(result.pattern, again.pattern);
+    assert_eq!(result.outputs, again.outputs);
+}
+
+#[test]
+fn committed_e13_artifact_matches_builder_and_reproduces_disagreement() {
+    let committed = read_corpus("e13_unseen_competitor.json");
+    let built = corpus::e13_artifact();
+    assert_eq!(
+        committed, built,
+        "corpus/e13_unseen_competitor.json is stale; regenerate with \
+         `cargo run -p fa-bench --bin fuzz -- --write-corpus corpus`"
+    );
+    let result = committed.replay();
+    let v = result.violation.expect("naive rule must disagree");
+    assert_eq!(v.invariant, "consensus.agreement");
+    assert!(committed.replay_confirms());
+    // The disagreement is between concrete proposed values.
+    let d: Vec<_> = result.outputs.iter().flatten().collect();
+    assert_eq!(d.len(), 2, "both processors decided");
+    assert_ne!(d[0], d[1]);
+}
+
+/// The acceptance-criteria demonstration: a campaign against the injected
+/// naive consensus rule catches the bug and shrinks it to a replayable
+/// scripted schedule of at most 200 steps.
+#[test]
+fn injected_consensus_bug_is_caught_shrunk_and_replayable() {
+    let mut gen = CaseGen::standard(vec![2, 3], 400);
+    gen.inject = Some(InjectedBug::ConsensusNaiveRule);
+    gen.algos = vec![AlgoKind::Consensus];
+    let config = CampaignConfig {
+        campaign: "inject-test".to_string(),
+        cases: 200,
+        seed: 0x0bad_5eed,
+        jobs: Some(4),
+        gen,
+    };
+    let report = run_campaign(&config, &mut NoProbe);
+    assert!(
+        !report.violations.is_empty(),
+        "the injected bug must be caught within 200 cases"
+    );
+    let artifact = report.first_repro.expect("violation produces an artifact");
+    assert!(
+        artifact.script.steps.len() <= 200,
+        "shrunk schedule too long: {} steps",
+        artifact.script.steps.len()
+    );
+    assert!(
+        artifact.replay_confirms(),
+        "shrunk artifact must reproduce the violation"
+    );
+    // Local minimality: dropping any single step loses the violation.
+    let steps = &artifact.script.steps;
+    for i in 0..steps.len() {
+        let mut shorter = steps.clone();
+        shorter.remove(i);
+        assert!(
+            replay_case(&artifact.case, &shorter).violation.is_none(),
+            "shrunk schedule is not 1-minimal at position {i}"
+        );
+    }
+    // The artifact round-trips through its JSON wire format.
+    let back = ReproArtifact::from_json(&artifact.to_json()).unwrap();
+    assert_eq!(back, artifact);
+    assert!(back.replay_confirms());
+    // And the replay is deterministic.
+    let r1 = back.replay();
+    let r2 = back.replay();
+    assert_eq!(r1.steps, r2.steps);
+    assert_eq!(r1.violation, r2.violation);
+    assert_eq!(r1.schedule, r2.schedule);
+}
+
+/// Unmodified algorithms under PCT + crashes: no oracle may fire.
+#[test]
+fn clean_campaign_reports_zero_violations() {
+    let config = CampaignConfig {
+        campaign: "clean-test".to_string(),
+        cases: 600,
+        seed: 0xc1ea,
+        jobs: None,
+        gen: CaseGen::standard(vec![3, 4, 5, 6], 600),
+    };
+    let report = run_campaign(&config, &mut NoProbe);
+    assert_eq!(report.cases, 600);
+    assert!(
+        report.violations.is_empty(),
+        "violations on unmodified algorithms: {:?} (first: {:?})",
+        report.violations,
+        report.first_repro.map(|a| a.violation)
+    );
+    // All three families were exercised and explored many interleavings.
+    for (kind, tally) in &report.per_algo {
+        assert!(tally.cases > 0, "{kind:?} never ran");
+        assert!(tally.distinct_patterns > 1, "{kind:?} explored one pattern");
+    }
+}
+
+/// The report is deterministic in the worker count: same seed, different
+/// `jobs`, identical aggregate results.
+#[test]
+fn campaign_report_is_deterministic_across_worker_counts() {
+    let run = |jobs: Option<usize>| {
+        let mut gen = CaseGen::standard(vec![2, 3], 300);
+        gen.inject = Some(InjectedBug::ConsensusNaiveRule);
+        gen.algos = vec![AlgoKind::Consensus];
+        run_campaign(
+            &CampaignConfig {
+                campaign: "det-test".to_string(),
+                cases: 120,
+                seed: 77,
+                jobs,
+                gen,
+            },
+            &mut NoProbe,
+        )
+    };
+    let a = run(Some(1));
+    let b = run(Some(4));
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.total_steps, b.total_steps);
+    assert_eq!(a.distinct_patterns, b.distinct_patterns);
+    assert_eq!(a.per_algo, b.per_algo);
+    assert_eq!(
+        a.first_repro.map(|r| (r.label, r.script.steps)),
+        b.first_repro.map(|r| (r.label, r.script.steps))
+    );
+}
+
+/// Campaign telemetry flows through the fa-obs probe layer.
+#[test]
+fn campaign_emits_fuzz_events_per_algorithm() {
+    use fa_obs::JsonlSink;
+    let config = CampaignConfig {
+        campaign: "events-test".to_string(),
+        cases: 30,
+        seed: 5,
+        jobs: Some(2),
+        gen: CaseGen::standard(vec![3], 300),
+    };
+    let mut sink = JsonlSink::new(Vec::new());
+    let report = run_campaign(&config, &mut sink);
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let events = fa_obs::parse_jsonl(&text).unwrap();
+    let fuzz: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            fa_obs::ProbeEvent::Fuzz(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(fuzz.len(), 3, "one event per algorithm family");
+    let total: usize = fuzz.iter().map(|f| f.cases).sum();
+    assert_eq!(total, 30);
+    let steps: u64 = fuzz.iter().map(|f| f.total_steps).sum();
+    assert_eq!(steps, report.total_steps);
+    for f in &fuzz {
+        assert_eq!(f.campaign, "events-test");
+        assert!(f.cases_per_sec() >= 0.0);
+    }
+}

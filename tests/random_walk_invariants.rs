@@ -1,86 +1,77 @@
 //! Randomized path invariants: properties the model checker proves
 //! exhaustively at small scope, re-checked here on random walks at larger
 //! scope (n up to 6), at every step of the execution.
+//!
+//! The per-step assertions live in [`fa_fuzz::SnapshotOracle`] — the same
+//! checker the fuzz driver runs — so the random walks here and the PCT
+//! campaigns in `tests/fuzz_driver.rs` enforce identical invariants.
 
-use fa_core::{SnapRegister, SnapshotProcess, View};
-use fa_memory::{Executor, ProcId, RandomScheduler, Scheduler, SharedMemory, Wiring};
+use fa_core::{SnapRegister, SnapshotProcess};
+use fa_fuzz::{Oracle, SnapshotOracle};
+use fa_memory::{Executor, RandomScheduler, Scheduler, SharedMemory, Wiring};
 use rand::SeedableRng;
 
-fn snapshot_exec(n: usize, seed: u64) -> Executor<SnapshotProcess<u32>> {
+fn snapshot_exec_with_inputs(inputs: &[u32], seed: u64) -> Executor<SnapshotProcess<u32>> {
+    let n = inputs.len();
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xfeed);
     let procs: Vec<SnapshotProcess<u32>> =
-        (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+        inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
     let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
     let memory = SharedMemory::new(n, SnapRegister::default(), wirings).unwrap();
     Executor::new(procs, memory).unwrap()
+}
+
+fn snapshot_exec(n: usize, seed: u64) -> Executor<SnapshotProcess<u32>> {
+    let inputs: Vec<u32> = (0..n as u32).collect();
+    snapshot_exec_with_inputs(&inputs, seed)
+}
+
+/// Walks the executor under a random schedule, checking the full snapshot
+/// oracle (view monotonicity, level legality, self-inclusion, output
+/// comparability) after every step. Returns whether all processors halted.
+fn walk_with_oracle(inputs: &[u32], seed: u64, budget: usize) -> bool {
+    let mut exec = snapshot_exec_with_inputs(inputs, seed);
+    let mut sched = RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+    let mut oracle = SnapshotOracle::new(inputs, inputs.len());
+    for _ in 0..budget {
+        if exec.all_halted() {
+            break;
+        }
+        let live = exec.live_procs();
+        let p = sched.next(&live).unwrap();
+        exec.step_proc(p).unwrap();
+        if let Err(v) = oracle.check_step(&exec, p) {
+            panic!("inputs {inputs:?} seed {seed}: {v}");
+        }
+    }
+    exec.all_halted()
 }
 
 #[test]
 fn outputs_comparable_at_every_step_of_random_walks() {
     for n in 2..=6usize {
         for seed in 0..6u64 {
-            let mut exec = snapshot_exec(n, seed);
-            let mut sched = RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed));
-            let mut outputs: Vec<Option<View<u32>>> = vec![None; n];
-            for _ in 0..10_000_000usize {
-                if exec.all_halted() {
-                    break;
-                }
-                let live = exec.live_procs();
-                let p = sched.next(&live).unwrap();
-                exec.step_proc(p).unwrap();
-                if outputs[p.0].is_none() {
-                    outputs[p.0] = exec.first_output(p).cloned();
-                    // New output: must be comparable with all previous ones
-                    // and contain the writer's input.
-                    if let Some(v) = &outputs[p.0] {
-                        assert!(v.contains(&(p.0 as u32)), "n={n} seed={seed}");
-                        for o in outputs.iter().flatten() {
-                            assert!(v.comparable(o), "n={n} seed={seed}");
-                        }
-                    }
-                }
-            }
-            assert!(exec.all_halted(), "n={n} seed={seed}: wait-freedom");
+            let inputs: Vec<u32> = (0..n as u32).collect();
+            assert!(
+                walk_with_oracle(&inputs, seed, 10_000_000),
+                "n={n} seed={seed}: wait-freedom"
+            );
         }
     }
 }
 
 #[test]
 fn views_and_levels_evolve_legally_along_paths() {
-    // Views never shrink; level jumps are only +1-from-min or reset-to-0;
-    // a processor's level never exceeds n.
+    // The level is recomputed per completed scan (min over matching
+    // registers, plus one) — it may legally *fall* without resetting when
+    // every register matches the shared view, which happens readily under
+    // group (duplicate) inputs. An earlier version of this test asserted
+    // levels only rise or reset; the fuzz campaigns falsified that with
+    // all-equal inputs, so group-input walks are pinned here too.
     for seed in 0..5u64 {
-        let n = 4;
-        let mut exec = snapshot_exec(n, seed);
-        let mut sched = RandomScheduler::new(rand_chacha::ChaCha8Rng::seed_from_u64(seed));
-        let mut last: Vec<(View<u32>, usize)> = (0..n)
-            .map(|i| {
-                let p = exec.process(ProcId(i));
-                (p.view().clone(), p.level())
-            })
-            .collect();
-        for _ in 0..5_000_000usize {
-            if exec.all_halted() {
-                break;
-            }
-            let live = exec.live_procs();
-            let p = sched.next(&live).unwrap();
-            exec.step_proc(p).unwrap();
-            let proc = exec.process(p);
-            let (old_view, old_level) = &last[p.0];
-            assert!(old_view.is_subset(proc.view()), "seed {seed}: view shrank");
-            assert!(proc.level() <= n, "seed {seed}: level above n");
-            // Legal level moves: unchanged, reset to 0, or any rise (the
-            // min-read+1 rule can jump by more than 1 when reading higher
-            // levels).
-            let l = proc.level();
-            assert!(
-                l == *old_level || l == 0 || l > *old_level,
-                "seed {seed}: level moved {old_level} -> {l} illegally"
-            );
-            last[p.0] = (proc.view().clone(), l);
-        }
+        assert!(walk_with_oracle(&[0, 1, 2, 3], seed, 5_000_000), "distinct");
+        assert!(walk_with_oracle(&[7, 7, 7, 7], seed, 5_000_000), "groups");
+        assert!(walk_with_oracle(&[1, 2, 1, 2], seed, 5_000_000), "mixed");
     }
 }
 
