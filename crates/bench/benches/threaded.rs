@@ -21,7 +21,7 @@ fn bench_threaded_snapshot(c: &mut Criterion) {
                 let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
                 let report = run_threaded(procs, wirings, n, SnapRegister::default(), 50_000_000)
                     .expect("threaded run");
-                assert!(report.all_halted, "threaded snapshot must terminate");
+                assert!(report.all_completed(), "threaded snapshot must terminate");
                 report
             });
         });

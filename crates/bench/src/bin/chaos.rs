@@ -1,0 +1,20 @@
+//! Chaos campaign binary (E20): fault injection on the threaded runtime.
+//!
+//! ```text
+//! chaos [--smoke] [--seed N] [--out PATH]
+//! ```
+//!
+//! Runs the fixed-plan scenario matrix (crash-stop + poised-crash snapshot,
+//! renaming under mixed faults, consensus-with-backoff under a stall storm,
+//! panic containment) and writes `results/chaos_report.json` plus
+//! `results/chaos_events.jsonl`. `--smoke` runs one seed per scenario.
+
+fn main() {
+    let smoke = fa_bench::cli_flag("--smoke");
+    let seed = fa_bench::cli_value("--seed").map_or(0, |v| {
+        v.parse::<u64>()
+            .unwrap_or_else(|_| panic!("--seed wants an unsigned integer, got {v:?}"))
+    });
+    let out = fa_bench::cli_value("--out");
+    fa_bench::chaos_campaign::run_campaign(smoke, seed, out.as_deref());
+}

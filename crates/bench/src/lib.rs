@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos_campaign;
 pub mod obs_report;
 
 use fa_core::runner::{run_snapshot_random, SnapshotRunConfig};

@@ -11,16 +11,19 @@
 
 use std::fs;
 use std::io::Write as _;
+use std::time::Duration;
 
 use crate::print_table;
 use fa_baselines::DoubleCollectProcess;
 use fa_core::metrics::snapshot_trajectories_probed;
 use fa_core::runner::{run_consensus_probed, run_renaming_probed, WiringMode};
-use fa_core::View;
+use fa_core::{BackoffArbiter, ConsensusProcess, SnapRegister, View};
+use fa_memory::chaos::{run_chaos, ChaosConfig, FaultPlan};
 use fa_memory::{Executor, RandomScheduler, SharedMemory, Wiring};
 use fa_modelcheck::checks::{
     check_renaming_with, check_snapshot_task_coarse_with, check_snapshot_task_with, CheckConfig,
 };
+use fa_obs::BackoffEvent;
 use fa_obs::{JsonlSink, Probe as _, RunMetrics, SweepEvent};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -158,6 +161,64 @@ fn sweep_cells(jobs: Option<usize>) -> Vec<SweepEvent> {
     vec![snapshot.telemetry, renaming.telemetry, coarse.telemetry]
 }
 
+/// One consensus-under-chaos run with backoff arbiters: per-processor
+/// attempt/backoff telemetry plus whether every processor decided.
+struct BackoffCell {
+    seed: u64,
+    all_decided: bool,
+    events: Vec<BackoffEvent>,
+}
+
+/// Threaded consensus (n = 4) under an injected stall storm with a
+/// [`BackoffArbiter`] per processor — the contention-management telemetry
+/// the chaos campaign (E20) studies in depth, summarized here so the
+/// unified report shows attempt/backoff counters next to the deterministic
+/// workloads.
+fn backoff_chaos_cell(seed: u64) -> BackoffCell {
+    let n = 4;
+    let procs: Vec<ConsensusProcess<u32>> = (0..n as u32)
+        .map(|i| {
+            ConsensusProcess::new(10 + i, n).with_backoff(BackoffArbiter::new(
+                seed.wrapping_mul(131).wrapping_add(u64::from(i)),
+                Duration::from_micros(20),
+                Duration::from_millis(5),
+            ))
+        })
+        .collect();
+    let stats: Vec<_> = procs
+        .iter()
+        .map(|p| p.backoff_stats().expect("arbiter attached"))
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xbac0_ff00);
+    let wirings: Vec<Wiring> = (0..n).map(|_| Wiring::random(n, &mut rng)).collect();
+    let plan = FaultPlan::new(n)
+        .stall_every(1, 3, Duration::from_micros(200))
+        .stall_every(2, 4, Duration::from_micros(150));
+    let config = ChaosConfig::new(BUDGET).with_deadline(Duration::from_secs(120));
+    let report = run_chaos(procs, wirings, n, SnapRegister::default(), &plan, &config)
+        .expect("valid chaos config");
+    BackoffCell {
+        seed,
+        all_decided: report.all_completed(),
+        events: stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.event_for(i))
+            .collect(),
+    }
+}
+
+fn backoff_cell_json(c: &BackoffCell) -> Value {
+    let mut obj = Map::new();
+    obj.insert("seed".into(), c.seed.to_value());
+    obj.insert("all_decided".into(), Value::Bool(c.all_decided));
+    obj.insert(
+        "backoff_events".into(),
+        Value::Array(c.events.iter().map(serde_json::to_value).collect()),
+    );
+    Value::Object(obj)
+}
+
 /// Runs the workload matrix plus the model-check sweeps, writes
 /// `results/obs_report.json` and `results/obs_sweeps.jsonl`, and prints the
 /// markdown summary. `jobs` sets the sweep worker count (`None` = available
@@ -186,9 +247,13 @@ pub fn run_report(jobs: Option<usize>) {
         sink.on_sweep(ev);
     }
 
+    // Consensus-under-chaos backoff telemetry (threaded; see E20 for the
+    // full campaign).
+    let backoff_cells: Vec<BackoffCell> = (0..3).map(backoff_chaos_cell).collect();
+
     // JSON artifact.
     let mut root = Map::new();
-    root.insert("schema_version".into(), 2u64.to_value());
+    root.insert("schema_version".into(), 3u64.to_value());
     root.insert("experiment".into(), Value::String("obs_report".into()));
     root.insert(
         "config".into(),
@@ -205,6 +270,10 @@ pub fn run_report(jobs: Option<usize>) {
     root.insert(
         "sweeps".into(),
         Value::Array(sweeps.iter().map(serde_json::to_value).collect()),
+    );
+    root.insert(
+        "consensus_backoff".into(),
+        Value::Array(backoff_cells.iter().map(backoff_cell_json).collect()),
     );
     let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize report");
     fs::create_dir_all("results").expect("create results dir");
@@ -293,10 +362,44 @@ pub fn run_report(jobs: Option<usize>) {
         &sweep_rows,
     );
 
+    // Consensus-under-chaos backoff telemetry table.
+    println!("\n== consensus backoff under stall storm (threaded, E20) ==\n");
+    let backoff_rows: Vec<Vec<String>> = backoff_cells
+        .iter()
+        .map(|c| {
+            let attempts: u64 = c.events.iter().map(|e| e.attempts).sum();
+            let backoffs: u64 = c.events.iter().map(|e| e.backoffs).sum();
+            let total_ms: f64 =
+                c.events.iter().map(|e| e.total_backoff_ns).sum::<u64>() as f64 / 1e6;
+            let max_ms: f64 =
+                c.events.iter().map(|e| e.max_backoff_ns).max().unwrap_or(0) as f64 / 1e6;
+            vec![
+                c.seed.to_string(),
+                if c.all_decided { "yes" } else { "NO" }.to_string(),
+                attempts.to_string(),
+                backoffs.to_string(),
+                format!("{total_ms:.2}"),
+                format!("{max_ms:.2}"),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "seed",
+            "all decided",
+            "attempts",
+            "backoffs",
+            "total backoff ms",
+            "max backoff ms",
+        ],
+        &backoff_rows,
+    );
+
     println!(
-        "\nwrote results/obs_report.json ({} cells, {} sweeps) and results/obs_sweeps.jsonl",
+        "\nwrote results/obs_report.json ({} cells, {} sweeps, {} backoff runs) and results/obs_sweeps.jsonl",
         cells.len(),
-        sweeps.len()
+        sweeps.len(),
+        backoff_cells.len()
     );
     println!("peak covering = max processors simultaneously poised to write (Section 2);");
     println!("resets = snapshot levels falling to 0 after covered writes surfaced.");

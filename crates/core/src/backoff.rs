@@ -1,0 +1,279 @@
+//! Randomized exponential backoff: contention management for
+//! obstruction-free consensus.
+//!
+//! Obstruction-freedom is the strongest progress condition consensus can
+//! have in this model (see PAPERS.md on the optimal space complexity of
+//! anonymous consensus): [`ConsensusProcess`](crate::ConsensusProcess)
+//! terminates only once some processor's snapshot rounds run uncontended
+//! long enough to push its timestamp 2 ahead. On real threads under
+//! contention — or under a chaos stall storm — rivals can shadow each other
+//! indefinitely. The standard cure is a *contention manager*: after an
+//! undecided round, sleep a random duration drawn from an exponentially
+//! growing window, so that with probability 1 some processor eventually runs
+//! alone long enough to decide.
+//!
+//! [`BackoffArbiter`] is that manager. It is deliberately *outside* the
+//! algorithm: the decision rule of Figure 5 is untouched, the arbiter only
+//! inserts real-time pauses between snapshot rounds, and it is attached
+//! per-process with
+//! [`ConsensusProcess::with_backoff`](crate::ConsensusProcess::with_backoff)
+//! (or
+//! [`LongLivedSnapshotProcess::with_backoff`](crate::LongLivedSnapshotProcess::with_backoff)
+//! for raw long-lived invocations). Because pauses are wall-clock sleeps,
+//! the arbiter is meant for the threaded/chaos runtimes; deterministic
+//! executor runs should not attach one (the sleeps would only slow the
+//! simulation — schedules, not time, drive contention there).
+//!
+//! Telemetry accumulates in a shared [`BackoffStats`] handle readable from
+//! the supervising thread even while (or after) the process runs, and
+//! renders into an [`fa_obs::BackoffEvent`] for the probe stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Maximum doublings applied to the base window (2^20 ≈ 1M× the base);
+/// beyond this the cap always dominates.
+const MAX_SHIFT: u32 = 20;
+
+/// Shared attempt/backoff counters for one arbiter, readable concurrently.
+///
+/// The harness keeps a clone of the [`Arc`] handle (via
+/// [`BackoffArbiter::stats`]) and reads the totals after — or during — a
+/// threaded run, then emits them as a single [`fa_obs::BackoffEvent`].
+#[derive(Debug, Default)]
+pub struct BackoffStats {
+    attempts: AtomicU64,
+    backoffs: AtomicU64,
+    total_backoff_ns: AtomicU64,
+    max_backoff_ns: AtomicU64,
+}
+
+impl BackoffStats {
+    /// Consensus rounds evaluated (decided or not).
+    #[must_use]
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Pauses taken (attempts that did not decide).
+    #[must_use]
+    pub fn backoffs(&self) -> u64 {
+        self.backoffs.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds slept across all pauses.
+    #[must_use]
+    pub fn total_backoff_ns(&self) -> u64 {
+        self.total_backoff_ns.load(Ordering::Relaxed)
+    }
+
+    /// Longest single pause, in nanoseconds.
+    #[must_use]
+    pub fn max_backoff_ns(&self) -> u64 {
+        self.max_backoff_ns.load(Ordering::Relaxed)
+    }
+
+    /// Renders the counters as a probe event attributed to `proc_id`.
+    #[must_use]
+    pub fn event_for(&self, proc_id: usize) -> fa_obs::BackoffEvent {
+        fa_obs::BackoffEvent {
+            proc_id,
+            attempts: self.attempts(),
+            backoffs: self.backoffs(),
+            total_backoff_ns: self.total_backoff_ns(),
+            max_backoff_ns: self.max_backoff_ns(),
+        }
+    }
+
+    fn record_attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_backoff(&self, ns: u64) {
+        self.backoffs.fetch_add(1, Ordering::Relaxed);
+        self.total_backoff_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_backoff_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// Randomized-exponential-backoff contention manager.
+///
+/// After each undecided consensus round, [`pause`](Self::pause) sleeps a
+/// uniformly random duration from `[0, min(cap, base · 2^k)]`, where `k`
+/// counts consecutive undecided rounds; a decision (or
+/// [`reset`](Self::reset)) collapses the window back to `base`. Randomness
+/// is a seeded [`ChaCha8Rng`], so a plan's arbiters are reproducible even
+/// though thread interleaving is not.
+#[derive(Clone, Debug)]
+pub struct BackoffArbiter {
+    rng: ChaCha8Rng,
+    base_ns: u64,
+    cap_ns: u64,
+    /// Consecutive undecided rounds (the window exponent).
+    consecutive: u32,
+    stats: Arc<BackoffStats>,
+}
+
+impl BackoffArbiter {
+    /// Creates an arbiter with backoff windows growing from `base` up to
+    /// `cap`, seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero or exceeds `cap`.
+    #[must_use]
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Self {
+        let base_ns = duration_ns(base);
+        let cap_ns = duration_ns(cap);
+        assert!(base_ns > 0, "backoff base must be positive");
+        assert!(base_ns <= cap_ns, "backoff base must not exceed the cap");
+        BackoffArbiter {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            base_ns,
+            cap_ns,
+            consecutive: 0,
+            stats: Arc::new(BackoffStats::default()),
+        }
+    }
+
+    /// A shared handle to this arbiter's counters. Clones of the handle
+    /// remain readable from other threads while the owning process runs.
+    #[must_use]
+    pub fn stats(&self) -> Arc<BackoffStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Records the start of a consensus round (an *attempt*).
+    pub fn on_attempt(&mut self) {
+        self.stats.record_attempt();
+    }
+
+    /// The current window's upper bound, in nanoseconds.
+    #[must_use]
+    pub fn current_window_ns(&self) -> u64 {
+        let shift = self.consecutive.min(MAX_SHIFT);
+        self.base_ns.saturating_shl(shift).min(self.cap_ns)
+    }
+
+    /// Sleeps a uniformly random duration within the current window, then
+    /// doubles the window (up to the cap). Call after an undecided round.
+    pub fn pause(&mut self) {
+        let window = self.current_window_ns();
+        let ns = self.rng.gen_range(0..=window);
+        self.consecutive = self.consecutive.saturating_add(1);
+        self.stats.record_backoff(ns);
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+    }
+
+    /// Collapses the window back to `base` (call after a decision, or when
+    /// contention is known to have drained).
+    pub fn reset(&mut self) {
+        self.consecutive = 0;
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> Self {
+        if self != 0 && shift > self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arbiter(base_us: u64, cap_us: u64) -> BackoffArbiter {
+        BackoffArbiter::new(
+            7,
+            Duration::from_micros(base_us),
+            Duration::from_micros(cap_us),
+        )
+    }
+
+    #[test]
+    fn window_doubles_to_the_cap() {
+        let mut a = arbiter(1, 8);
+        let mut windows = Vec::new();
+        for _ in 0..6 {
+            windows.push(a.current_window_ns());
+            // Advance the exponent without sleeping for real.
+            a.consecutive += 1;
+        }
+        assert_eq!(windows, vec![1_000, 2_000, 4_000, 8_000, 8_000, 8_000]);
+    }
+
+    #[test]
+    fn reset_collapses_the_window() {
+        let mut a = arbiter(1, 1_000);
+        a.consecutive = 5;
+        a.reset();
+        assert_eq!(a.current_window_ns(), 1_000);
+    }
+
+    #[test]
+    fn pause_records_stats_within_bounds() {
+        let mut a = arbiter(1, 4);
+        let stats = a.stats();
+        a.on_attempt();
+        a.pause();
+        a.on_attempt();
+        a.pause();
+        assert_eq!(stats.attempts(), 2);
+        assert_eq!(stats.backoffs(), 2);
+        assert!(
+            stats.max_backoff_ns() <= 2_000,
+            "{}",
+            stats.max_backoff_ns()
+        );
+        assert!(stats.total_backoff_ns() >= stats.max_backoff_ns());
+        let ev = stats.event_for(3);
+        assert_eq!(ev.proc_id, 3);
+        assert_eq!(ev.attempts, 2);
+        assert_eq!(ev.backoffs, 2);
+    }
+
+    #[test]
+    fn seeded_arbiters_draw_identical_sequences() {
+        let mut a = arbiter(10, 1_000);
+        let mut b = arbiter(10, 1_000);
+        for _ in 0..5 {
+            let wa = a.current_window_ns();
+            let wb = b.current_window_ns();
+            assert_eq!(wa, wb);
+            assert_eq!(a.rng.gen_range(0..=wa), b.rng.gen_range(0..=wb));
+            a.consecutive += 1;
+            b.consecutive += 1;
+        }
+    }
+
+    #[test]
+    fn saturating_shl_saturates() {
+        assert_eq!(1u64.saturating_shl(63), 1 << 63);
+        assert_eq!(2u64.saturating_shl(63), u64::MAX);
+        assert_eq!(u64::MAX.saturating_shl(1), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must not exceed")]
+    fn base_above_cap_panics() {
+        let _ = arbiter(10, 1);
+    }
+}

@@ -35,6 +35,7 @@
 
 use fa_memory::{Action, Process, StepInput};
 
+use crate::backoff::BackoffArbiter;
 use crate::snapshot::{EngineStep, SnapRegister, SnapshotEngine};
 use crate::View;
 
@@ -79,10 +80,14 @@ pub struct ConsensusProcess<V: Ord> {
     naive_unseen_rule: bool,
     /// Completed snapshot rounds (for metrics).
     rounds: usize,
+    /// Optional contention manager: pauses between undecided rounds (real
+    /// wall-clock sleeps — attach only for threaded/chaos runs).
+    arbiter: Option<BackoffArbiter>,
 }
 
 // Equality and hashing ignore the `rounds` instrumentation counter (see
-// `SnapshotEngine` for the rationale).
+// `SnapshotEngine` for the rationale) and the backoff arbiter, which only
+// shapes real time, never the state machine.
 impl<V: Ord> PartialEq for ConsensusProcess<V> {
     fn eq(&self, other: &Self) -> bool {
         self.engine == other.engine
@@ -120,7 +125,23 @@ impl<V: Ord + Clone> ConsensusProcess<V> {
             output_emitted: false,
             naive_unseen_rule: false,
             rounds: 0,
+            arbiter: None,
         }
+    }
+
+    /// Attaches a [`BackoffArbiter`] contention manager: after every
+    /// undecided round the process sleeps a randomized, exponentially
+    /// growing pause before re-invoking the snapshot, so that on real
+    /// threads some processor eventually runs far enough ahead to decide.
+    /// Keep a [`stats`](BackoffArbiter::stats) handle before attaching to
+    /// read attempt/backoff telemetry after the run.
+    ///
+    /// Pauses are wall-clock sleeps: attach only for threaded/chaos runs
+    /// (under the deterministic executor they merely slow the simulation).
+    #[must_use]
+    pub fn with_backoff(mut self, arbiter: BackoffArbiter) -> Self {
+        self.arbiter = Some(arbiter);
+        self
     }
 
     /// Creates the process with Chandra's *naive* decision rule, which
@@ -136,6 +157,12 @@ impl<V: Ord + Clone> ConsensusProcess<V> {
         let mut p = Self::new(input, n);
         p.naive_unseen_rule = true;
         p
+    }
+
+    /// The attached arbiter's counters, if one is attached.
+    #[must_use]
+    pub fn backoff_stats(&self) -> Option<std::sync::Arc<crate::backoff::BackoffStats>> {
+        self.arbiter.as_ref().map(BackoffArbiter::stats)
     }
 
     /// The current preference (analysis only).
@@ -237,9 +264,17 @@ impl<V: Ord + Clone> Process for ConsensusProcess<V> {
                 }
                 EngineStep::Done(view) => {
                     self.rounds += 1;
+                    if let Some(arbiter) = &mut self.arbiter {
+                        arbiter.on_attempt();
+                    }
                     if let Some(v) = self.evaluate(&view) {
                         self.output_emitted = true;
                         return Action::Output(v);
+                    }
+                    if let Some(arbiter) = &mut self.arbiter {
+                        // Contention management: yield real time so a rival
+                        // can complete rounds uncontended.
+                        arbiter.pause();
                     }
                     // Re-invoke the long-lived snapshot with the new pair;
                     // the resumed engine immediately writes, which is this
@@ -422,6 +457,38 @@ mod tests {
             exec.first_output(ProcId(1)),
             "the unseen-competitor rule restores agreement"
         );
+    }
+
+    #[test]
+    fn backoff_arbiter_counts_attempts_and_preserves_decisions() {
+        use crate::backoff::BackoffArbiter;
+        use std::time::Duration;
+
+        // Tiny windows: sleeps are negligible even under the deterministic
+        // executor, so this stays a fast unit test.
+        let n = 2;
+        let procs: Vec<ConsensusProcess<u32>> = [10u32, 20]
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                ConsensusProcess::new(x, n).with_backoff(BackoffArbiter::new(
+                    i as u64,
+                    Duration::from_nanos(1),
+                    Duration::from_nanos(8),
+                ))
+            })
+            .collect();
+        let stats: Vec<_> = procs.iter().map(|p| p.backoff_stats().unwrap()).collect();
+        let memory =
+            SharedMemory::new(n, SnapRegister::default(), vec![Wiring::identity(n); n]).unwrap();
+        let mut exec = Executor::new(procs, memory).unwrap();
+        exec.run_solo(ProcId(0), 1_000_000).unwrap();
+        assert_eq!(exec.first_output(ProcId(0)), Some(&10));
+        // Solo rounds: at least one attempt recorded, decision on a later one.
+        assert!(stats[0].attempts() >= 2);
+        assert_eq!(stats[0].backoffs(), stats[0].attempts() - 1);
+        // p1 never ran: no attempts.
+        assert_eq!(stats[1].attempts(), 0);
     }
 
     #[test]

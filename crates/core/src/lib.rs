@@ -13,6 +13,9 @@
 //!   Bar-Noy–Dolev on group snapshots (Section 6, Figure 4).
 //! * [`ConsensusProcess`] — obstruction-free consensus by derandomizing
 //!   Chandra's algorithm over the long-lived snapshot (Section 7, Figure 5).
+//! * [`BackoffArbiter`] — randomized-exponential-backoff contention
+//!   management so obstruction-free consensus terminates in practice on
+//!   real threads.
 //! * [`stable_view`] — the eventual-pattern analysis: GST, stable views, and
 //!   the single-source DAG theorem (Section 4, Theorem 4.8).
 //! * [`figure2`] — the pathological execution of Figure 2, reproduced
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backoff;
 mod consensus;
 pub mod durability;
 pub mod figure2;
@@ -57,6 +61,7 @@ pub mod stable_view;
 mod view;
 mod write_scan;
 
+pub use backoff::{BackoffArbiter, BackoffStats};
 pub use consensus::{ConsensusProcess, Stamped};
 pub use long_lived::LongLivedSnapshotProcess;
 pub use renaming::RenamingProcess;

@@ -12,6 +12,7 @@
 
 use fa_memory::{Action, Process, StepInput};
 
+use crate::backoff::BackoffArbiter;
 use crate::snapshot::{EngineStep, SnapRegister, SnapshotEngine};
 use crate::View;
 
@@ -47,7 +48,7 @@ use crate::View;
 /// }
 /// assert!(exec.outputs(ProcId(0))[1].contains(&10));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug)]
 pub struct LongLivedSnapshotProcess<V: Ord> {
     engine: SnapshotEngine<V>,
     /// Inputs for invocations not yet started (front = next).
@@ -62,6 +63,35 @@ pub struct LongLivedSnapshotProcess<V: Ord> {
     /// Set when all invocations have completed and the final output was
     /// emitted.
     finished: bool,
+    /// Optional contention manager: pauses between invocations (real
+    /// wall-clock sleeps — attach only for threaded/chaos runs).
+    arbiter: Option<BackoffArbiter>,
+}
+
+// Equality and hashing ignore the backoff arbiter, which only shapes real
+// time, never the state machine (same contract as `ConsensusProcess`).
+impl<V: Ord> PartialEq for LongLivedSnapshotProcess<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.engine == other.engine
+            && self.queued == other.queued
+            && self.next_input == other.next_input
+            && self.awaiting_continuation == other.awaiting_continuation
+            && self.used_inputs == other.used_inputs
+            && self.finished == other.finished
+    }
+}
+
+impl<V: Ord> Eq for LongLivedSnapshotProcess<V> {}
+
+impl<V: Ord + std::hash::Hash> std::hash::Hash for LongLivedSnapshotProcess<V> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.engine.hash(state);
+        self.queued.hash(state);
+        self.next_input.hash(state);
+        self.awaiting_continuation.hash(state);
+        self.used_inputs.hash(state);
+        self.finished.hash(state);
+    }
 }
 
 impl<V: Ord + Clone> LongLivedSnapshotProcess<V> {
@@ -82,7 +112,23 @@ impl<V: Ord + Clone> LongLivedSnapshotProcess<V> {
             awaiting_continuation: false,
             used_inputs: View::singleton(first),
             finished: false,
+            arbiter: None,
         }
+    }
+
+    /// Attaches a [`BackoffArbiter`]: the process sleeps a randomized,
+    /// exponentially growing pause between snapshot invocations. Pauses are
+    /// wall-clock sleeps — attach only for threaded/chaos runs.
+    #[must_use]
+    pub fn with_backoff(mut self, arbiter: BackoffArbiter) -> Self {
+        self.arbiter = Some(arbiter);
+        self
+    }
+
+    /// The attached arbiter's counters, if one is attached.
+    #[must_use]
+    pub fn backoff_stats(&self) -> Option<std::sync::Arc<crate::backoff::BackoffStats>> {
+        self.arbiter.as_ref().map(BackoffArbiter::stats)
     }
 
     /// The inputs used by invocations started so far.
@@ -118,6 +164,11 @@ impl<V: Ord + Clone> Process for LongLivedSnapshotProcess<V> {
             debug_assert!(matches!(input, StepInput::OutputRecorded));
             self.awaiting_continuation = false;
             if self.next_input < self.queued.len() {
+                if let Some(arbiter) = &mut self.arbiter {
+                    // Contention management between invocations.
+                    arbiter.on_attempt();
+                    arbiter.pause();
+                }
                 let next = self.queued[self.next_input].clone();
                 self.next_input += 1;
                 self.used_inputs.insert(next.clone());

@@ -84,6 +84,15 @@ pub enum MemoryError {
     },
     /// The scheduler had no processor to run but some are still live.
     SchedulerStuck,
+    /// A process panicked inside [`Process::step`](crate::Process::step)
+    /// during a threaded run — a bug in the process implementation, caught
+    /// and contained instead of poisoning the whole run. Chaos runs
+    /// ([`crate::chaos`]) record panics as per-processor outcomes instead of
+    /// returning this error.
+    ProcessPanicked {
+        /// The processor whose step panicked.
+        proc: ProcId,
+    },
 }
 
 impl fmt::Display for MemoryError {
@@ -124,6 +133,9 @@ impl fmt::Display for MemoryError {
             }
             MemoryError::SchedulerStuck => {
                 write!(f, "scheduler returned no processor while some are still live")
+            }
+            MemoryError::ProcessPanicked { proc } => {
+                write!(f, "process on {proc} panicked during step (bug in the process implementation)")
             }
         }
     }
@@ -167,6 +179,7 @@ mod tests {
             MemoryError::ScheduledHalted { proc: ProcId(0) },
             MemoryError::StepBudgetExhausted { budget: 10 },
             MemoryError::SchedulerStuck,
+            MemoryError::ProcessPanicked { proc: ProcId(1) },
         ];
         for e in errs {
             let s = e.to_string();

@@ -38,6 +38,10 @@
 //!   *infinite* executions exact (Section 4's stable views).
 //! * [`threaded`] — a real-concurrency runtime that runs the same `Process`
 //!   machines on OS threads against lock-protected (hence atomic) registers.
+//! * [`chaos`] — fault injection for the threaded runtime: per-processor
+//!   crash-stop / poised-crash / stall / panic plans executed under a
+//!   supervisor with heartbeats and deadlines, yielding structured
+//!   per-processor outcomes.
 //!
 //! ## Quick example
 //!
@@ -73,6 +77,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 mod error;
 mod executor;
 mod ids;

@@ -9,7 +9,10 @@
 //!
 //! The OS scheduler plays the adversary, so runs are nondeterministic — this
 //! runtime exists to demonstrate the algorithms on real atomics and to feed
-//! the `threaded` benchmark (experiment E12), not to prove anything.
+//! the `threaded` benchmark (experiment E12), not to prove anything. For
+//! *adversarial* real-thread runs — injected crashes, poised coverings,
+//! stalls, panics — see the [`chaos`](crate::chaos) module, which this
+//! runtime is built on.
 //!
 //! ```
 //! use fa_memory::{threaded, Process, Action, StepInput, Wiring};
@@ -32,36 +35,121 @@
 //! let procs = vec![PutGet { input: 1, state: 0 }, PutGet { input: 2, state: 0 }];
 //! let wirings = vec![Wiring::identity(1); 2];
 //! let report = threaded::run_threaded(procs, wirings, 1, 0u32, 1_000).unwrap();
-//! assert!(report.all_halted);
+//! assert!(report.all_completed());
 //! // Each processor outputs whichever write landed last before its read.
 //! assert!(report.outputs.iter().all(|os| os.len() == 1));
 //! ```
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use fa_obs::{NoProbe, OpKind, OutputEvent, Probe, ReadEvent, TimingEvent, WriteEvent};
-use parking_lot::Mutex;
+use fa_obs::{NoProbe, Probe};
+use serde::{Deserialize, Serialize};
 
-use crate::{Action, MemoryError, Process, StepInput, Wiring};
+use crate::chaos::{run_chaos_probed, ChaosConfig, FaultPlan};
+use crate::{MemoryError, ProcId, Process, Wiring};
+
+/// How one processor's thread ended, as observed by the supervisor.
+///
+/// Plain [`run_threaded`] runs only produce [`Completed`](Self::Completed)
+/// and [`BudgetExhausted`](Self::BudgetExhausted) (panics become
+/// [`MemoryError::ProcessPanicked`]); the remaining variants arise under
+/// [`chaos`](crate::chaos) plans and deadlines.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcOutcome {
+    /// The process halted within its step budget.
+    Completed,
+    /// The step budget ran out before the process halted.
+    BudgetExhausted,
+    /// An injected crash stopped the processor after `after_ops`
+    /// shared-memory operations.
+    Crashed {
+        /// Operations completed before the crash.
+        after_ops: usize,
+        /// For poised crashes, the ground-truth register the processor
+        /// covers forever with its pending (never-landing) write.
+        covering: Option<usize>,
+    },
+    /// The process panicked inside [`Process::step`](crate::Process::step);
+    /// the panic was caught and contained.
+    Panicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// The worker went silent: its heartbeat was stale when the run's
+    /// deadline expired.
+    Stalled,
+    /// The worker was still making progress when the run's deadline expired.
+    DeadlineExceeded,
+}
+
+impl ProcOutcome {
+    /// Whether the processor halted normally.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ProcOutcome::Completed)
+    }
+
+    /// Whether the outcome is an injected crash (stop or poised).
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, ProcOutcome::Crashed { .. })
+    }
+
+    /// The ground-truth register this processor covers, if it crashed
+    /// poised.
+    #[must_use]
+    pub fn covering(&self) -> Option<usize> {
+        match self {
+            ProcOutcome::Crashed { covering, .. } => *covering,
+            _ => None,
+        }
+    }
+}
 
 /// Result of a threaded run.
 #[derive(Clone, Debug)]
 pub struct ThreadedReport<V, O> {
     /// All outputs produced by each processor, indexed by processor id.
     pub outputs: Vec<Vec<O>>,
-    /// Steps taken by each processor.
+    /// Steps taken by each processor (for silent workers, the last
+    /// heartbeat's step count).
     pub steps: Vec<usize>,
-    /// Whether every processor halted within its step budget.
-    pub all_halted: bool,
+    /// How each processor's thread ended.
+    pub outcomes: Vec<ProcOutcome>,
     /// Final register contents in ground-truth order.
     pub final_contents: Vec<V>,
+}
+
+impl<V, O> ThreadedReport<V, O> {
+    /// Whether every processor halted within its step budget.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(ProcOutcome::is_completed)
+    }
+
+    /// Ground-truth registers covered by poised-crashed processors, in
+    /// processor order.
+    #[must_use]
+    pub fn covered_registers(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .filter_map(ProcOutcome::covering)
+            .collect()
+    }
+
+    /// Whether every processor halted within its step budget.
+    #[deprecated(since = "0.1.0", note = "use `all_completed()` or inspect `outcomes`")]
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.all_completed()
+    }
 }
 
 /// Runs `procs` on OS threads against `m` lock-protected registers
 /// initialized to `init`, each processor addressing memory through its
 /// wiring. Each processor executes at most `max_steps` steps; exceeding the
-/// budget stops that processor without halting it.
+/// budget stops that processor without halting it
+/// ([`ProcOutcome::BudgetExhausted`]).
 ///
 /// # Errors
 ///
@@ -69,10 +157,8 @@ pub struct ThreadedReport<V, O> {
 /// * [`MemoryError::ZeroRegisters`] if `m == 0`.
 /// * [`MemoryError::WiringCountMismatch`] /
 ///   [`MemoryError::WiringSizeMismatch`] on inconsistent wirings.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics (a bug in the process implementation).
+/// * [`MemoryError::ProcessPanicked`] if a process panicked inside `step`
+///   (the panic is caught; surviving processors still finish first).
 pub fn run_threaded<P>(
     procs: Vec<P>,
     wirings: Vec<Wiring>,
@@ -104,13 +190,15 @@ where
 /// `read_from` / `overwrote_writer` attribution is absent (`None`): the
 /// lock-cell registers do not track writer identity.
 ///
+/// This is a fault-free run on the chaos machinery
+/// ([`run_chaos_probed`](crate::chaos::run_chaos_probed) with an empty
+/// [`FaultPlan`] and no deadline): worker panics are caught rather than
+/// propagated, and surface as [`MemoryError::ProcessPanicked`] once every
+/// surviving worker has finished.
+///
 /// # Errors
 ///
 /// Same conditions as [`run_threaded`].
-///
-/// # Panics
-///
-/// Panics if a worker thread panics (a bug in the process implementation).
 #[allow(clippy::type_complexity)]
 pub fn run_threaded_probed<P, Pr, F>(
     procs: Vec<P>,
@@ -127,164 +215,34 @@ where
     Pr: Probe + Send + 'static,
     F: FnMut(usize) -> Pr,
 {
-    let mut make_probe = make_probe;
-    if procs.len() < 2 {
-        return Err(MemoryError::TooFewProcessors {
-            processes: procs.len(),
-        });
+    let plan = FaultPlan::new(procs.len());
+    let config = ChaosConfig::new(max_steps);
+    let (report, probes) = run_chaos_probed(procs, wirings, m, init, &plan, &config, make_probe)?;
+    if let Some(proc) = report
+        .outcomes
+        .iter()
+        .position(|o| matches!(o, ProcOutcome::Panicked { .. }))
+    {
+        return Err(MemoryError::ProcessPanicked { proc: ProcId(proc) });
     }
-    if m == 0 {
-        return Err(MemoryError::ZeroRegisters);
-    }
-    if wirings.len() != procs.len() {
-        return Err(MemoryError::WiringCountMismatch {
-            processes: procs.len(),
-            wirings: wirings.len(),
-        });
-    }
-    for (i, w) in wirings.iter().enumerate() {
-        if w.len() != m {
-            return Err(MemoryError::WiringSizeMismatch {
-                proc: crate::ProcId(i),
-                wiring_len: w.len(),
-                registers: m,
-            });
-        }
-    }
-
-    let registers: Arc<Vec<Mutex<P::Value>>> =
-        Arc::new((0..m).map(|_| Mutex::new(init.clone())).collect());
-
-    let handles: Vec<_> = procs
+    // With no faults and no deadline, every worker reported and kept its
+    // probe.
+    let probes = probes
         .into_iter()
-        .zip(wirings)
-        .enumerate()
-        .map(|(proc_id, (mut proc, wiring))| {
-            let registers = Arc::clone(&registers);
-            let mut probe = make_probe(proc_id);
-            std::thread::spawn(move || {
-                let mut outputs = Vec::new();
-                let mut steps = 0usize;
-                let mut input = StepInput::Start;
-                let mut halted = false;
-                while steps < max_steps {
-                    let action = proc.step(input);
-                    steps += 1;
-                    let time = steps as u64;
-                    input = match action {
-                        Action::Read { local } => {
-                            let global = wiring.global(local);
-                            let value;
-                            if Pr::ENABLED {
-                                let op_start = Instant::now();
-                                let guard = registers[global.0].lock();
-                                let lock_wait_ns = elapsed_ns(op_start);
-                                value = guard.clone();
-                                drop(guard);
-                                probe.on_read(&ReadEvent {
-                                    proc_id,
-                                    local: local.0,
-                                    global: global.0,
-                                    time,
-                                    read_from: None,
-                                    value: Pr::WANTS_VALUES.then(|| format!("{value:?}")),
-                                });
-                                probe.on_timing(&TimingEvent {
-                                    proc_id,
-                                    op: OpKind::Read,
-                                    ns: elapsed_ns(op_start),
-                                    lock_wait_ns,
-                                });
-                            } else {
-                                value = registers[global.0].lock().clone();
-                            }
-                            StepInput::ReadValue(value)
-                        }
-                        Action::Write { local, value } => {
-                            let global = wiring.global(local);
-                            if Pr::ENABLED {
-                                let rendered = Pr::WANTS_VALUES.then(|| format!("{value:?}"));
-                                let op_start = Instant::now();
-                                let mut guard = registers[global.0].lock();
-                                let lock_wait_ns = elapsed_ns(op_start);
-                                *guard = value;
-                                drop(guard);
-                                probe.on_write(&WriteEvent {
-                                    proc_id,
-                                    local: local.0,
-                                    global: global.0,
-                                    time,
-                                    overwrote_writer: None,
-                                    value: rendered,
-                                });
-                                probe.on_timing(&TimingEvent {
-                                    proc_id,
-                                    op: OpKind::Write,
-                                    ns: elapsed_ns(op_start),
-                                    lock_wait_ns,
-                                });
-                            } else {
-                                *registers[global.0].lock() = value;
-                            }
-                            StepInput::Wrote
-                        }
-                        Action::Output(o) => {
-                            if Pr::ENABLED {
-                                probe.on_output(&OutputEvent {
-                                    proc_id,
-                                    time,
-                                    value: Pr::WANTS_VALUES.then(|| format!("{o:?}")),
-                                });
-                            }
-                            outputs.push(o);
-                            StepInput::OutputRecorded
-                        }
-                        Action::Halt => {
-                            if Pr::ENABLED {
-                                probe.on_halt(proc_id, time);
-                            }
-                            halted = true;
-                            break;
-                        }
-                    };
-                }
-                (outputs, steps, halted, probe)
-            })
-        })
+        .map(|p| p.expect("fault-free worker reported its probe"))
         .collect();
-
-    let mut outputs = Vec::new();
-    let mut steps = Vec::new();
-    let mut probes = Vec::new();
-    let mut all_halted = true;
-    for h in handles {
-        let (os, s, halted, probe) = h.join().expect("worker thread panicked");
-        outputs.push(os);
-        steps.push(s);
-        probes.push(probe);
-        all_halted &= halted;
-    }
-
-    let final_contents = registers.iter().map(|r| r.lock().clone()).collect();
-    Ok((
-        ThreadedReport {
-            outputs,
-            steps,
-            all_halted,
-            final_contents,
-        },
-        probes,
-    ))
+    Ok((report, probes))
 }
 
 /// Nanoseconds since `start`, saturated into `u64` (584 years of headroom).
-fn elapsed_ns(start: Instant) -> u64 {
+pub(crate) fn elapsed_ns(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Action, StepInput};
 
     #[derive(Clone)]
     struct WriteHalt {
@@ -358,7 +316,8 @@ mod tests {
         ];
         let wirings = vec![Wiring::identity(2), Wiring::from_perm(vec![1, 0]).unwrap()];
         let report = run_threaded(procs, wirings, 2, 0u32, 100).unwrap();
-        assert!(report.all_halted);
+        assert!(report.all_completed());
+        assert_eq!(report.outcomes, vec![ProcOutcome::Completed; 2]);
         // Disjoint ground-truth targets: no overwrite possible.
         assert_eq!(report.final_contents, vec![1, 2]);
     }
@@ -380,7 +339,7 @@ mod tests {
         let wirings = vec![Wiring::identity(2), Wiring::from_perm(vec![1, 0]).unwrap()];
         let (report, probes) =
             run_threaded_probed(procs, wirings, 2, 0u32, 100, |_| RunMetrics::new()).unwrap();
-        assert!(report.all_halted);
+        assert!(report.all_completed());
 
         let mut total = RunMetrics::new();
         for p in &probes {
@@ -414,7 +373,46 @@ mod tests {
             50,
         )
         .unwrap();
-        assert!(!report.all_halted);
+        assert!(!report.all_completed());
+        assert_eq!(report.outcomes, vec![ProcOutcome::BudgetExhausted; 2]);
         assert_eq!(report.steps, vec![50, 50]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_all_halted_matches_all_completed() {
+        let report: ThreadedReport<u32, u32> = ThreadedReport {
+            outputs: vec![Vec::new(), Vec::new()],
+            steps: vec![3, 3],
+            outcomes: vec![ProcOutcome::Completed, ProcOutcome::Completed],
+            final_contents: vec![0],
+        };
+        assert!(report.all_halted());
+        let report = ThreadedReport::<u32, u32> {
+            outcomes: vec![ProcOutcome::Completed, ProcOutcome::Stalled],
+            ..report
+        };
+        assert!(!report.all_halted());
+    }
+
+    #[test]
+    fn organic_panic_surfaces_as_process_panicked() {
+        #[derive(Clone)]
+        struct Bomb {
+            armed: bool,
+        }
+        impl Process for Bomb {
+            type Value = u32;
+            type Output = u32;
+            fn step(&mut self, _i: StepInput<u32>) -> Action<u32, u32> {
+                if self.armed {
+                    panic!("bug in the process implementation");
+                }
+                Action::write(0, 1)
+            }
+        }
+        let procs = vec![Bomb { armed: true }, Bomb { armed: false }];
+        let err = run_threaded(procs, vec![Wiring::identity(1); 2], 1, 0u32, 10).unwrap_err();
+        assert_eq!(err, MemoryError::ProcessPanicked { proc: ProcId(0) });
     }
 }

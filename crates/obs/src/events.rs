@@ -186,6 +186,55 @@ impl FuzzEvent {
     }
 }
 
+/// The kind of an injected fault (chaos runs on the threaded runtime).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosKind {
+    /// The processor crash-stopped: its thread exited, never to return.
+    CrashStop,
+    /// The processor crashed *poised*: its thread parked forever while one
+    /// write was pending — a real covering in the paper's sense.
+    CrashPoised,
+    /// The processor was stalled (a simulated preemption / GC pause).
+    Stall,
+    /// A panic was injected into the processor's step function.
+    Panic,
+}
+
+/// An injected fault fired on a real thread — emitted by the chaos runtime
+/// at the instant the fault takes effect.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosEvent {
+    /// Index of the affected processor.
+    pub proc_id: usize,
+    /// What was injected.
+    pub kind: ChaosKind,
+    /// Shared-memory operations the processor had completed when the fault
+    /// fired.
+    pub at_op: u64,
+    /// For [`ChaosKind::CrashPoised`]: the global register the pending
+    /// (never-landing) write covers.
+    pub covered_global: Option<usize>,
+    /// For [`ChaosKind::Stall`]: the injected pause, in nanoseconds.
+    pub stall_ns: u64,
+}
+
+/// Per-processor contention-management summary — emitted once per processor
+/// after a run using the backoff arbiter (obstruction-free consensus under
+/// contention).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffEvent {
+    /// Index of the processor the arbiter served.
+    pub proc_id: usize,
+    /// Consensus rounds (snapshot invocations) attempted.
+    pub attempts: u64,
+    /// Randomized pauses taken between undecided rounds.
+    pub backoffs: u64,
+    /// Total nanoseconds spent backing off.
+    pub total_backoff_ns: u64,
+    /// Largest single backoff, in nanoseconds.
+    pub max_backoff_ns: u64,
+}
+
 #[allow(clippy::cast_precision_loss)]
 fn rate(count: usize, elapsed_ns: u64) -> f64 {
     if elapsed_ns == 0 {
@@ -211,6 +260,8 @@ pub enum ProbeEvent {
     Timing(TimingEvent),
     Sweep(SweepEvent),
     Fuzz(FuzzEvent),
+    Chaos(ChaosEvent),
+    Backoff(BackoffEvent),
 }
 
 #[cfg(test)]
@@ -276,6 +327,27 @@ mod tests {
                 total_steps: 123_456,
                 distinct_patterns: 17,
                 elapsed_ns: 1_000_000_000,
+            }),
+            ProbeEvent::Chaos(ChaosEvent {
+                proc_id: 3,
+                kind: ChaosKind::CrashPoised,
+                at_op: 17,
+                covered_global: Some(2),
+                stall_ns: 0,
+            }),
+            ProbeEvent::Chaos(ChaosEvent {
+                proc_id: 1,
+                kind: ChaosKind::Stall,
+                at_op: 40,
+                covered_global: None,
+                stall_ns: 2_000_000,
+            }),
+            ProbeEvent::Backoff(BackoffEvent {
+                proc_id: 0,
+                attempts: 12,
+                backoffs: 11,
+                total_backoff_ns: 5_500_000,
+                max_backoff_ns: 1_200_000,
             }),
         ];
         for ev in events {

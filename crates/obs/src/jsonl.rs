@@ -1,8 +1,8 @@
 //! Streaming sink: one JSON object per event, one event per line.
 
 use crate::events::{
-    FuzzEvent, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent, TimingEvent,
-    WriteEvent,
+    BackoffEvent, ChaosEvent, FuzzEvent, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent,
+    SweepEvent, TimingEvent, WriteEvent,
 };
 use crate::probe::Probe;
 use std::io::Write;
@@ -86,6 +86,14 @@ impl<W: Write> Probe for JsonlSink<W> {
     fn on_fuzz(&mut self, event: &FuzzEvent) {
         self.emit(&ProbeEvent::Fuzz(event.clone()));
     }
+
+    fn on_chaos(&mut self, event: &ChaosEvent) {
+        self.emit(&ProbeEvent::Chaos(event.clone()));
+    }
+
+    fn on_backoff(&mut self, event: &BackoffEvent) {
+        self.emit(&ProbeEvent::Backoff(event.clone()));
+    }
 }
 
 /// Parses a JSONL stream produced by [`JsonlSink`] back into events.
@@ -117,6 +125,8 @@ pub fn replay_events<P: Probe>(events: &[ProbeEvent], probe: &mut P) {
             ProbeEvent::Timing(e) => probe.on_timing(e),
             ProbeEvent::Sweep(e) => probe.on_sweep(e),
             ProbeEvent::Fuzz(e) => probe.on_fuzz(e),
+            ProbeEvent::Chaos(e) => probe.on_chaos(e),
+            ProbeEvent::Backoff(e) => probe.on_backoff(e),
         }
     }
 }

@@ -29,8 +29,8 @@ pub mod metrics;
 pub mod probe;
 
 pub use events::{
-    FuzzEvent, OpKind, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent,
-    TimingEvent, WriteEvent,
+    BackoffEvent, ChaosEvent, ChaosKind, FuzzEvent, OpKind, OutputEvent, ProbeEvent, ReadEvent,
+    ResetEvent, StepEvent, SweepEvent, TimingEvent, WriteEvent,
 };
 pub use jsonl::{parse_jsonl, replay_events, JsonlSink};
 pub use metrics::{Histogram, ProcMetrics, RunMetrics};

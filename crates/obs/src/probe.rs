@@ -1,7 +1,8 @@
 //! The [`Probe`] trait and structural probes ([`NoProbe`], [`Tee`]).
 
 use crate::events::{
-    FuzzEvent, OutputEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent, TimingEvent, WriteEvent,
+    BackoffEvent, ChaosEvent, FuzzEvent, OutputEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent,
+    TimingEvent, WriteEvent,
 };
 
 /// Observer of a run's event stream.
@@ -61,6 +62,16 @@ pub trait Probe {
 
     /// A fuzz campaign shard completed (fuzz driver only).
     fn on_fuzz(&mut self, event: &FuzzEvent) {
+        let _ = event;
+    }
+
+    /// An injected fault fired (chaos runtime only).
+    fn on_chaos(&mut self, event: &ChaosEvent) {
+        let _ = event;
+    }
+
+    /// Per-processor backoff-arbiter summary (contention-managed runs only).
+    fn on_backoff(&mut self, event: &BackoffEvent) {
         let _ = event;
     }
 }
@@ -125,6 +136,16 @@ impl<A: Probe, B: Probe> Probe for Tee<A, B> {
         self.0.on_fuzz(event);
         self.1.on_fuzz(event);
     }
+
+    fn on_chaos(&mut self, event: &ChaosEvent) {
+        self.0.on_chaos(event);
+        self.1.on_chaos(event);
+    }
+
+    fn on_backoff(&mut self, event: &BackoffEvent) {
+        self.0.on_backoff(event);
+        self.1.on_backoff(event);
+    }
 }
 
 /// Mutable references forward, so a runtime can borrow a caller-owned probe.
@@ -166,6 +187,14 @@ impl<P: Probe> Probe for &mut P {
 
     fn on_fuzz(&mut self, event: &FuzzEvent) {
         (**self).on_fuzz(event);
+    }
+
+    fn on_chaos(&mut self, event: &ChaosEvent) {
+        (**self).on_chaos(event);
+    }
+
+    fn on_backoff(&mut self, event: &BackoffEvent) {
+        (**self).on_backoff(event);
     }
 }
 

@@ -1,0 +1,12 @@
+//! Workspace-root alias for the E20 chaos campaign binary; see
+//! `crates/bench/src/bin/chaos.rs`.
+
+fn main() {
+    let smoke = fa_bench::cli_flag("--smoke");
+    let seed = fa_bench::cli_value("--seed").map_or(0, |v| {
+        v.parse::<u64>()
+            .unwrap_or_else(|_| panic!("--seed wants an unsigned integer, got {v:?}"))
+    });
+    let out = fa_bench::cli_value("--out");
+    fa_bench::chaos_campaign::run_campaign(smoke, seed, out.as_deref());
+}

@@ -1,0 +1,285 @@
+//! Chaos integration (E20): the failure-injection assertions of
+//! `tests/failure_injection.rs`, ported from the deterministic executor's
+//! `CrashingScheduler` to *real OS threads* via `fa_memory::chaos`. Crashes
+//! here are actual dead or forever-parked threads, poised crashes are real
+//! coverings (a thread parked with a pending write), and supervision must
+//! return structured outcomes without ever hanging.
+//!
+//! Plans are fixed-seed; deadlines are generous so loaded CI runners never
+//! flake — the scenarios complete in milliseconds on an idle machine.
+
+use std::time::Duration;
+
+use fa_core::{BackoffArbiter, ConsensusProcess, RenamingProcess, SnapRegister, SnapshotProcess};
+use fa_memory::chaos::{run_chaos, ChaosConfig, FaultPlan};
+use fa_memory::threaded::ProcOutcome;
+use fa_memory::Wiring;
+use rand::SeedableRng;
+
+fn wirings(n: usize, seed: u64) -> Vec<Wiring> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| Wiring::random(n, &mut rng)).collect()
+}
+
+fn config() -> ChaosConfig {
+    ChaosConfig::new(50_000_000).with_deadline(Duration::from_secs(120))
+}
+
+/// The acceptance scenario: ⌈n/2⌉ = 3 of 5 snapshot processors crash on
+/// real threads — two crash-stop, one parks *poised mid-write* (a live
+/// covering) — and every survivor still terminates with a valid view.
+#[test]
+fn threaded_snapshot_survivors_terminate_despite_crashes() {
+    for seed in 0..3u64 {
+        let n = 5;
+        let procs: Vec<SnapshotProcess<u32>> =
+            (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+        let plan = FaultPlan::new(n)
+            .crash_stop(1, 3)
+            .crash_stop(3, 0)
+            .crash_poised(4, 2);
+        let report = run_chaos(
+            procs,
+            wirings(n, seed),
+            n,
+            SnapRegister::default(),
+            &plan,
+            &config(),
+        )
+        .unwrap();
+        // Per-processor outcomes, not one opaque bool.
+        assert!(
+            matches!(
+                report.outcomes[1],
+                ProcOutcome::Crashed { covering: None, .. }
+            ),
+            "seed {seed}: {:?}",
+            report.outcomes[1]
+        );
+        assert_eq!(
+            report.outcomes[3],
+            ProcOutcome::Crashed {
+                after_ops: 0,
+                covering: None
+            },
+            "seed {seed}"
+        );
+        assert!(
+            matches!(
+                report.outcomes[4],
+                ProcOutcome::Crashed {
+                    covering: Some(_),
+                    ..
+                }
+            ),
+            "seed {seed}: p4 must park poised ({:?})",
+            report.outcomes[4]
+        );
+        assert_eq!(report.covered_registers().len(), 1, "seed {seed}");
+        // Every survivor produced a valid snapshot output.
+        for p in [0usize, 2] {
+            assert!(
+                report.outcomes[p].is_completed(),
+                "seed {seed}: survivor p{p} must terminate ({:?})",
+                report.outcomes[p]
+            );
+            assert_eq!(report.outputs[p].len(), 1, "seed {seed}");
+            assert!(report.outputs[p][0].contains(&(p as u32)), "seed {seed}");
+        }
+        // Survivor views remain pairwise comparable.
+        assert!(
+            report.outputs[0][0].comparable(&report.outputs[2][0]),
+            "seed {seed}: {} vs {}",
+            report.outputs[0][0],
+            report.outputs[2][0]
+        );
+    }
+}
+
+/// A thread parked forever holding a pending write — a real covering — must
+/// not block the other processors' renaming.
+#[test]
+fn threaded_poised_covering_does_not_block_renaming() {
+    for seed in 0..3u64 {
+        let n = 4;
+        let procs: Vec<RenamingProcess<u32>> =
+            (0..n as u32).map(|x| RenamingProcess::new(x, n)).collect();
+        // p0 parks at its first write after one completed operation.
+        let plan = FaultPlan::new(n).crash_poised(0, 1);
+        let report = run_chaos(
+            procs,
+            wirings(n, seed + 50),
+            n,
+            SnapRegister::default(),
+            &plan,
+            &config(),
+        )
+        .unwrap();
+        assert!(
+            matches!(
+                report.outcomes[0],
+                ProcOutcome::Crashed {
+                    covering: Some(_),
+                    ..
+                }
+            ),
+            "seed {seed}: {:?}",
+            report.outcomes[0]
+        );
+        let mut names = Vec::new();
+        for p in 1..n {
+            assert!(
+                report.outcomes[p].is_completed(),
+                "seed {seed}: survivor p{p} must rename ({:?})",
+                report.outcomes[p]
+            );
+            names.push(report.outputs[p][0]);
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            n - 1,
+            "seed {seed}: survivors take distinct names"
+        );
+        // The crashed p0 participated (it wrote), so the adaptive bound
+        // counts M = n participants.
+        let bound = n * (n + 1) / 2;
+        assert!(
+            names.iter().all(|&x| (1..=bound).contains(&x)),
+            "seed {seed}: {names:?}"
+        );
+    }
+}
+
+/// Obstruction-freedom turned on its head, on real threads: crashes remove
+/// contention, so the sole survivor must decide.
+#[test]
+fn threaded_consensus_decides_when_rivals_crash() {
+    let n = 4;
+    let procs: Vec<ConsensusProcess<u32>> = (0..n as u32)
+        .map(|x| ConsensusProcess::new(10 + x, n))
+        .collect();
+    let plan = FaultPlan::new(n)
+        .crash_stop(0, 5)
+        .crash_stop(1, 9)
+        .crash_stop(3, 2);
+    let report = run_chaos(
+        procs,
+        wirings(n, 7),
+        n,
+        SnapRegister::default(),
+        &plan,
+        &config(),
+    )
+    .unwrap();
+    assert!(
+        report.outcomes[2].is_completed(),
+        "solo survivor decides ({:?})",
+        report.outcomes[2]
+    );
+    let d = report.outputs[2][0];
+    assert!((10..14).contains(&d), "decision is a proposed value");
+}
+
+/// The stall-storm acceptance scenario: injected stalls repeatedly preempt
+/// consensus processors, and the backoff arbiter still gets everyone to one
+/// common decision — with attempt/backoff telemetry readable afterwards.
+#[test]
+fn threaded_consensus_agrees_under_stall_storm_with_backoff() {
+    let n = 4;
+    let inputs = [10u32, 20, 30, 40];
+    let procs: Vec<ConsensusProcess<u32>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            ConsensusProcess::new(x, n).with_backoff(BackoffArbiter::new(
+                i as u64,
+                Duration::from_micros(20),
+                Duration::from_millis(5),
+            ))
+        })
+        .collect();
+    let stats: Vec<_> = procs
+        .iter()
+        .map(|p| p.backoff_stats().expect("arbiter attached"))
+        .collect();
+    let plan = FaultPlan::new(n)
+        .stall_every(1, 3, Duration::from_micros(200))
+        .stall_every(2, 4, Duration::from_micros(150));
+    let report = run_chaos(
+        procs,
+        wirings(n, 13),
+        n,
+        SnapRegister::default(),
+        &plan,
+        &config(),
+    )
+    .unwrap();
+    assert!(
+        report.all_completed(),
+        "all must decide despite the storm ({:?})",
+        report.outcomes
+    );
+    let decisions: Vec<u32> = report.outputs.iter().map(|os| os[0]).collect();
+    assert!(
+        decisions.windows(2).all(|w| w[0] == w[1]),
+        "agreement: {decisions:?}"
+    );
+    assert!(inputs.contains(&decisions[0]), "validity: {decisions:?}");
+    // The arbiters were exercised and their telemetry is visible.
+    assert!(stats.iter().all(|s| s.attempts() > 0));
+}
+
+/// Cyclic-shift wirings (the covering adversary's favorite) plus a
+/// real-thread crash: survivors still terminate.
+#[test]
+fn threaded_cyclic_wirings_survive_crashes() {
+    let n = 4;
+    let procs: Vec<SnapshotProcess<u32>> =
+        (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+    let cyclic: Vec<Wiring> = (0..n).map(|i| Wiring::cyclic_shift(n, i)).collect();
+    let plan = FaultPlan::new(n).crash_stop(3, 2);
+    let report = run_chaos(procs, cyclic, n, SnapRegister::default(), &plan, &config()).unwrap();
+    for p in 0..3 {
+        assert!(
+            report.outcomes[p].is_completed(),
+            "survivor p{p} terminates ({:?})",
+            report.outcomes[p]
+        );
+        assert_eq!(report.outputs[p].len(), 1);
+    }
+}
+
+/// An injected panic inside `Process::step` is contained as a structured
+/// outcome; the other processors still solve the task.
+#[test]
+fn threaded_injected_panic_is_contained() {
+    let n = 3;
+    let procs: Vec<SnapshotProcess<u32>> =
+        (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+    let plan = FaultPlan::new(n).panic_at(1, 2);
+    let report = run_chaos(
+        procs,
+        wirings(n, 99),
+        n,
+        SnapRegister::default(),
+        &plan,
+        &config(),
+    )
+    .unwrap();
+    assert!(
+        matches!(report.outcomes[1], ProcOutcome::Panicked { .. }),
+        "{:?}",
+        report.outcomes[1]
+    );
+    for p in [0usize, 2] {
+        assert!(
+            report.outcomes[p].is_completed(),
+            "{:?}",
+            report.outcomes[p]
+        );
+        assert!(report.outputs[p][0].contains(&(p as u32)));
+    }
+    assert!(report.outputs[0][0].comparable(&report.outputs[2][0]));
+}
