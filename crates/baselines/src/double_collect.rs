@@ -6,7 +6,7 @@
 //! measure it (it is fast when it works) and exhibit its unsoundness in the
 //! fully-anonymous model.
 
-use fa_core::View;
+use fa_core::{View, ViewValue};
 use fa_memory::{Action, LocalRegId, Process, StepInput};
 
 /// A write–scan process that terminates when two consecutive scans observe
@@ -17,7 +17,7 @@ use fa_memory::{Action, LocalRegId, Process, StepInput};
 /// `incomparable_outputs_witness` test for the two-processor refutation
 /// built from the paper's Section 4.1 covering execution.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct DoubleCollectProcess<V: Ord> {
+pub struct DoubleCollectProcess<V: ViewValue> {
     m: usize,
     view: View<V>,
     write_idx: usize,
@@ -29,7 +29,7 @@ pub struct DoubleCollectProcess<V: Ord> {
 }
 
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum Phase<V: Ord> {
+enum Phase<V: ViewValue> {
     Write,
     AwaitWrote,
     Scanning {
@@ -39,7 +39,7 @@ enum Phase<V: Ord> {
     Done,
 }
 
-impl<V: Ord + Clone> DoubleCollectProcess<V> {
+impl<V: ViewValue> DoubleCollectProcess<V> {
     /// Creates the process with the given input over `m` registers.
     ///
     /// # Panics
@@ -65,7 +65,7 @@ impl<V: Ord + Clone> DoubleCollectProcess<V> {
     }
 }
 
-impl<V: Ord + Clone> Process for DoubleCollectProcess<V> {
+impl<V: ViewValue> Process for DoubleCollectProcess<V> {
     type Value = View<V>;
     type Output = View<V>;
 
@@ -100,7 +100,7 @@ impl<V: Ord + Clone> Process for DoubleCollectProcess<V> {
                 let StepInput::ReadValue(v) = input else {
                     panic!("double collect expected a read value during scan");
                 };
-                collected.push(v);
+                collected.push(v.into_value());
                 if next < self.m {
                     self.phase = Phase::Scanning {
                         next: next + 1,
@@ -215,7 +215,7 @@ mod tests {
             for _ in 0..100 {
                 match proc.step(step_input) {
                     Action::Write { .. } => step_input = StepInput::Wrote,
-                    Action::Read { .. } => step_input = StepInput::ReadValue(world.clone()),
+                    Action::Read { .. } => step_input = StepInput::read_value(world.clone()),
                     Action::Output(out) => return out,
                     Action::Halt => panic!("halted without output"),
                 }
@@ -243,7 +243,7 @@ mod tests {
                 Action::Write { .. } => step_input = StepInput::Wrote,
                 Action::Read { .. } => {
                     tick += 1;
-                    step_input = StepInput::ReadValue(v(&[1, tick]));
+                    step_input = StepInput::read_value(v(&[1, tick]));
                 }
                 Action::Output(_) => panic!("must not terminate under churn"),
                 Action::Halt => panic!("must not halt"),

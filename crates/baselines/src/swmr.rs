@@ -12,7 +12,7 @@
 //! the textbook situation the fully-anonymous model destroys (no identities,
 //! no owned registers, no common register order).
 
-use fa_core::View;
+use fa_core::{View, ViewValue};
 use fa_memory::{Action, LocalRegId, Process, StepInput};
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +26,7 @@ pub struct SwmrRegister<V> {
 /// The one-shot SWMR snapshot process. **Not anonymous**: the process is
 /// constructed with its own identity (the index of the register it owns).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct SwmrSnapshotProcess<V: Ord> {
+pub struct SwmrSnapshotProcess<V: ViewValue> {
     /// This processor's identity = the register it owns.
     me: usize,
     input: V,
@@ -47,7 +47,7 @@ enum Phase<V> {
     Done,
 }
 
-impl<V: Ord + Clone> SwmrSnapshotProcess<V> {
+impl<V: ViewValue> SwmrSnapshotProcess<V> {
     /// Creates the process with identity `me` (owner of register `me`) and
     /// the given input, over `m` registers.
     ///
@@ -69,7 +69,7 @@ impl<V: Ord + Clone> SwmrSnapshotProcess<V> {
     }
 }
 
-impl<V: Ord + Clone> Process for SwmrSnapshotProcess<V> {
+impl<V: ViewValue> Process for SwmrSnapshotProcess<V> {
     type Value = SwmrRegister<V>;
     type Output = View<V>;
 
@@ -104,7 +104,7 @@ impl<V: Ord + Clone> Process for SwmrSnapshotProcess<V> {
                 let StepInput::ReadValue(v) = input else {
                     panic!("swmr snapshot expected a read value during scan");
                 };
-                collected.push(v);
+                collected.push(v.into_value());
                 if next < self.m {
                     self.phase = Phase::Scanning {
                         next: next + 1,

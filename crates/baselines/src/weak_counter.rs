@@ -77,7 +77,7 @@ impl Process for WeakCounterProcess {
         match std::mem::replace(&mut self.phase, Phase::Done) {
             Phase::Walk { pos } => {
                 match input {
-                    StepInput::ReadValue(true) => {
+                    StepInput::ReadValue(v) if *v => {
                         // Register set: keep walking. (The array is sized by
                         // the caller; walking off the end is a panic — the
                         // counter is exhausted.)
@@ -87,7 +87,7 @@ impl Process for WeakCounterProcess {
                             local: LocalRegId(pos + 1),
                         }
                     }
-                    StepInput::ReadValue(false) => {
+                    StepInput::ReadValue(_) => {
                         // First unset register found: claim it.
                         self.phase = Phase::Claiming { pos };
                         Action::Write {
@@ -261,8 +261,8 @@ mod tests {
     fn exhaustion_panics() {
         let mut p = WeakCounterProcess::new(2, 1);
         let _ = p.step(StepInput::Start);
-        let _ = p.step(StepInput::ReadValue(true));
-        let _ = p.step(StepInput::ReadValue(true));
+        let _ = p.step(StepInput::read_value(true));
+        let _ = p.step(StepInput::read_value(true));
     }
 
     #[test]
@@ -270,12 +270,12 @@ mod tests {
         let mut p = WeakCounterProcess::new(4, 2);
         // First get: read 0 -> unset -> claim -> output 0.
         assert_eq!(p.step(StepInput::Start), Action::read(0));
-        assert_eq!(p.step(StepInput::ReadValue(false)), Action::write(0, true));
+        assert_eq!(p.step(StepInput::read_value(false)), Action::write(0, true));
         assert_eq!(p.step(StepInput::Wrote), Action::Output(0));
         // Second get restarts at local position 0.
         assert_eq!(p.step(StepInput::OutputRecorded), Action::read(0));
-        assert_eq!(p.step(StepInput::ReadValue(true)), Action::read(1));
-        assert_eq!(p.step(StepInput::ReadValue(false)), Action::write(1, true));
+        assert_eq!(p.step(StepInput::read_value(true)), Action::read(1));
+        assert_eq!(p.step(StepInput::read_value(false)), Action::write(1, true));
         assert_eq!(p.step(StepInput::Wrote), Action::Output(1));
         assert_eq!(p.step(StepInput::OutputRecorded), Action::Halt);
     }

@@ -1,0 +1,112 @@
+//! Microbenchmarks for the value plane: the 64-bit bitmask fast path of
+//! `View` against the `BTreeSet` fallback, on the operations the snapshot
+//! hot loop actually performs — clone (every register write), union (every
+//! scan read), equality (the level test), hashing (model-checker dedup) —
+//! plus an end-to-end snapshot run under each representation.
+//!
+//! `u32` inputs have a dense embedding, so `View<u32>` rides the bitmask;
+//! [`Opaque`] deliberately has none, so `View<Opaque>` is pinned to the
+//! fallback — the pre-interning representation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_bench::Opaque;
+use fa_core::{SnapshotProcess, View};
+use fa_memory::{Executor, SharedMemory, Wiring};
+use std::hash::{Hash, Hasher};
+
+fn dense(range: std::ops::Range<u32>) -> View<u32> {
+    range.collect()
+}
+
+fn opaque(range: std::ops::Range<u32>) -> View<Opaque> {
+    range.map(Opaque).collect()
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_union");
+    group.sample_size(20);
+    for n in [8u32, 32, 64] {
+        let (a, b) = (dense(0..n / 2 + 1), dense(n / 2..n));
+        group.bench_with_input(BenchmarkId::new("bitmask", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut v = a.clone();
+                v.union_with(black_box(&b));
+                v
+            });
+        });
+        let (ao, bo) = (opaque(0..n / 2 + 1), opaque(n / 2..n));
+        group.bench_with_input(BenchmarkId::new("fallback", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut v = ao.clone();
+                v.union_with(black_box(&bo));
+                v
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eq_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_eq_hash");
+    group.sample_size(20);
+    for n in [8u32, 64] {
+        let (a, b) = (dense(0..n), dense(0..n));
+        group.bench_with_input(BenchmarkId::new("bitmask", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                black_box(&a).hash(&mut h);
+                black_box(&a) == black_box(&b) && h.finish() != 0
+            });
+        });
+        let (ao, bo) = (opaque(0..n), opaque(0..n));
+        group.bench_with_input(BenchmarkId::new("fallback", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                black_box(&ao).hash(&mut h);
+                black_box(&ao) == black_box(&bo) && h.finish() != 0
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Full snapshot runs: `n` processors, cyclic-shift wirings, round-robin.
+/// Dominated by register-value clones and view unions — the scan/write hot
+/// path the refactor targets.
+fn snapshot_run_dense(n: usize) -> usize {
+    let procs: Vec<SnapshotProcess<u32>> =
+        (0..n as u32).map(|x| SnapshotProcess::new(x, n)).collect();
+    let wirings: Vec<Wiring> = (0..n).map(|s| Wiring::cyclic_shift(n, s)).collect();
+    let memory = SharedMemory::new(n, Default::default(), wirings).expect("memory");
+    let mut exec = Executor::new(procs, memory).expect("executor");
+    exec.run_round_robin(1_000_000).expect("terminates");
+    exec.total_steps()
+}
+
+fn snapshot_run_opaque(n: usize) -> usize {
+    let procs: Vec<SnapshotProcess<Opaque>> = (0..n as u32)
+        .map(|x| SnapshotProcess::new(Opaque(x), n))
+        .collect();
+    let wirings: Vec<Wiring> = (0..n).map(|s| Wiring::cyclic_shift(n, s)).collect();
+    let memory = SharedMemory::new(n, Default::default(), wirings).expect("memory");
+    let mut exec = Executor::new(procs, memory).expect("executor");
+    exec.run_round_robin(1_000_000).expect("terminates");
+    exec.total_steps()
+}
+
+fn bench_snapshot_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_scan_path");
+    group.sample_size(10);
+    for n in [4usize, 6] {
+        group.bench_with_input(BenchmarkId::new("bitmask", n), &n, |bch, &n| {
+            bch.iter(|| snapshot_run_dense(n));
+        });
+        group.bench_with_input(BenchmarkId::new("fallback", n), &n, |bch, &n| {
+            bch.iter(|| snapshot_run_opaque(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_union, bench_eq_hash, bench_snapshot_scan);
+criterion_main!(benches);

@@ -20,6 +20,22 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// A `u32` wrapper with **no dense embedding**: it takes `ViewValue`'s
+/// default `None` implementations, so `View<Opaque>` always uses the
+/// `BTreeSet` fallback representation. This is exactly the pre-interning
+/// value plane, kept around as the baseline ("old representation") that the
+/// value-plane benches and the `bench_report` binary measure against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Opaque(pub u32);
+
+impl fa_core::ViewValue for Opaque {}
+
+impl std::fmt::Display for Opaque {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// Extracts the value of a `--name value` or `--name=value` argument.
 fn arg_value<I: Iterator<Item = String>>(mut args: I, name: &str) -> Option<String> {
     while let Some(a) = args.next() {

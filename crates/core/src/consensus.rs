@@ -37,7 +37,7 @@ use fa_memory::{Action, Process, StepInput};
 
 use crate::backoff::BackoffArbiter;
 use crate::snapshot::{EngineStep, SnapRegister, SnapshotEngine};
-use crate::View;
+use crate::{View, ViewValue};
 
 /// A `(timestamp, value)` pair written into the long-lived snapshot.
 ///
@@ -66,7 +66,7 @@ pub type Stamped<V> = (u64, V);
 /// assert_eq!(exec.first_output(ProcId(0)), Some(&10));
 /// ```
 #[derive(Clone, Debug)]
-pub struct ConsensusProcess<V: Ord> {
+pub struct ConsensusProcess<V: ViewValue> {
     engine: SnapshotEngine<Stamped<V>>,
     preference: V,
     timestamp: u64,
@@ -88,7 +88,7 @@ pub struct ConsensusProcess<V: Ord> {
 // Equality and hashing ignore the `rounds` instrumentation counter (see
 // `SnapshotEngine` for the rationale) and the backoff arbiter, which only
 // shapes real time, never the state machine.
-impl<V: Ord> PartialEq for ConsensusProcess<V> {
+impl<V: ViewValue> PartialEq for ConsensusProcess<V> {
     fn eq(&self, other: &Self) -> bool {
         self.engine == other.engine
             && self.preference == other.preference
@@ -98,9 +98,9 @@ impl<V: Ord> PartialEq for ConsensusProcess<V> {
     }
 }
 
-impl<V: Ord> Eq for ConsensusProcess<V> {}
+impl<V: ViewValue> Eq for ConsensusProcess<V> {}
 
-impl<V: Ord + std::hash::Hash> std::hash::Hash for ConsensusProcess<V> {
+impl<V: ViewValue + std::hash::Hash> std::hash::Hash for ConsensusProcess<V> {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.engine.hash(state);
         self.preference.hash(state);
@@ -110,7 +110,7 @@ impl<V: Ord + std::hash::Hash> std::hash::Hash for ConsensusProcess<V> {
     }
 }
 
-impl<V: Ord + Clone> ConsensusProcess<V> {
+impl<V: ViewValue> ConsensusProcess<V> {
     /// Creates the process proposing `input`, for `n` processors/registers.
     ///
     /// # Panics
@@ -192,15 +192,15 @@ impl<V: Ord + Clone> ConsensusProcess<V> {
     fn evaluate(&mut self, view: &View<Stamped<V>>) -> Option<V> {
         // Per-value maximum timestamp. Views are nonempty (they contain our
         // own stamped input).
-        let mut best: Option<(u64, &V)> = None; // leader: max ts, min value on tie
+        let mut best: Option<(u64, V)> = None; // leader: max ts, min value on tie
         let mut second_ts: Option<u64> = None; // max ts among non-leader values
                                                // First pass: find the leader.
         for (ts, v) in view.iter() {
             best = Some(match best {
-                None => (*ts, v),
+                None => (ts, v),
                 Some((bts, bv)) => {
-                    if *ts > bts || (*ts == bts && v < bv) {
-                        (*ts, v)
+                    if ts > bts || (ts == bts && v < bv) {
+                        (ts, v)
                     } else {
                         (bts, bv)
                     }
@@ -211,7 +211,7 @@ impl<V: Ord + Clone> ConsensusProcess<V> {
         // Second pass: the best timestamp among other values.
         for (ts, v) in view.iter() {
             if v != leader {
-                second_ts = Some(second_ts.map_or(*ts, |s| s.max(*ts)));
+                second_ts = Some(second_ts.map_or(ts, |s| s.max(ts)));
             }
         }
         // Unseen values must be assumed present at timestamp 0: unlike
@@ -230,15 +230,15 @@ impl<V: Ord + Clone> ConsensusProcess<V> {
             leader_ts >= second_ts.unwrap_or(0).saturating_add(2)
         };
         if leads_by_two {
-            return Some(leader.clone());
+            return Some(leader);
         }
-        self.preference = leader.clone();
+        self.preference = leader;
         self.timestamp = leader_ts + 1;
         None
     }
 }
 
-impl<V: Ord + Clone> Process for ConsensusProcess<V> {
+impl<V: ViewValue> Process for ConsensusProcess<V> {
     type Value = SnapRegister<Stamped<V>>;
     /// The decided value.
     type Output = V;

@@ -22,12 +22,12 @@
 
 use fa_memory::{Executor, MemoryError, ProcId, Scheduler};
 
-use crate::{SnapshotProcess, View};
+use crate::{SnapshotProcess, View, ViewValue};
 
 /// The set `R_W` of Definition 5.1: ground-truth registers whose stored
 /// view contains `W`.
 #[must_use]
-pub fn registers_containing<V: Ord + Clone>(
+pub fn registers_containing<V: ViewValue>(
     exec: &Executor<SnapshotProcess<V>>,
     w: &View<V>,
 ) -> Vec<usize> {
@@ -49,7 +49,7 @@ pub fn registers_containing<V: Ord + Clone>(
 /// absorbing `W`. The condition requires the *harmful* rest of `Q` to be
 /// outnumbered by the `W`-registers: `|R_W| > |Q \ Q_W|`.
 #[must_use]
-pub fn durably_stored<V: Ord + Clone>(
+pub fn durably_stored<V: ViewValue>(
     exec: &Executor<SnapshotProcess<V>>,
     w: &View<V>,
     q: &[ProcId],
@@ -106,7 +106,7 @@ pub fn check_lemma_5_3_along_run<V, S>(
     budget: usize,
 ) -> Result<usize, MemoryError>
 where
-    V: Ord + Clone + core::fmt::Debug,
+    V: ViewValue + core::fmt::Debug,
     S: Scheduler,
 {
     let n = exec.proc_count();

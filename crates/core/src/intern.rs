@@ -1,0 +1,237 @@
+//! Input interning: densify a sparse input domain onto `0..k` ids so views
+//! of it ride the packed [`SmallView`](crate::SmallView) fast path.
+//!
+//! The paper's algorithms are parameterized by an input *domain* fixed at
+//! construction time (one input per processor or group). The domain is tiny
+//! — at most `n ≤ 6` distinct values in every experiment — but nothing says
+//! the values themselves are small: a sweep over, say, hashed payloads would
+//! push every `View` onto the `BTreeSet` fallback. A [`ViewInterner`] maps
+//! such a domain onto dense [`InputId`]s once, up front; all the per-step
+//! set algebra then runs on `View<InputId>` masks, and values are resolved
+//! back only at the edges (outputs, reports, rendering).
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::view::{View, ViewValue};
+
+/// A dense interned input id, assigned by a [`ViewInterner`].
+///
+/// Ids are assigned in ascending value order by
+/// [`ViewInterner::from_inputs`], so `InputId` order agrees with the order
+/// of the values they stand for — ranks and iteration order computed on
+/// `View<InputId>` transfer directly to the underlying values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InputId(pub u32);
+
+impl ViewValue for InputId {
+    #[inline]
+    fn dense_index(&self) -> Option<u8> {
+        (self.0 < 64).then_some(self.0 as u8)
+    }
+
+    #[inline]
+    fn from_dense_index(idx: u8) -> Option<Self> {
+        (idx < 64).then_some(InputId(u32::from(idx)))
+    }
+}
+
+impl fmt::Display for InputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl Serialize for InputId {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for InputId {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        u32::from_value(v).map(InputId)
+    }
+}
+
+/// A hash-consing table from input values to dense [`InputId`]s.
+///
+/// ```
+/// use fa_core::{InputId, View, ViewInterner};
+///
+/// // Sparse inputs: as raw u32 views these would all spill to the fallback.
+/// let interner = ViewInterner::from_inputs([5_000u32, 70, 1_000_000]);
+/// let view: View<u32> = [70, 5_000].into_iter().collect();
+/// assert!(!view.is_small());
+///
+/// let dense = interner.intern_view(&view).unwrap();
+/// assert!(dense.is_small());
+/// assert_eq!(dense.rank_of(&InputId(1)), view.rank_of(&5_000));
+/// assert_eq!(interner.resolve_view(&dense).unwrap(), view);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ViewInterner<V: Ord> {
+    /// Id → value, in id (= value) order.
+    by_id: Vec<V>,
+    /// Value → id.
+    by_value: BTreeMap<V, InputId>,
+}
+
+impl<V: Ord + Clone> ViewInterner<V> {
+    /// An empty table; extend it with [`intern`](ViewInterner::intern).
+    #[must_use]
+    pub fn new() -> Self {
+        ViewInterner {
+            by_id: Vec::new(),
+            by_value: BTreeMap::new(),
+        }
+    }
+
+    /// Builds the table from the full input domain, deduplicated and with
+    /// ids assigned in ascending value order — the assignment that makes id
+    /// order coincide with value order (see [`InputId`]).
+    #[must_use]
+    pub fn from_inputs<I: IntoIterator<Item = V>>(inputs: I) -> Self {
+        let mut interner = ViewInterner::new();
+        let sorted: BTreeMap<V, ()> = inputs.into_iter().map(|v| (v, ())).collect();
+        for (value, ()) in sorted {
+            interner.intern(value);
+        }
+        interner
+    }
+
+    /// Number of interned values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Interns `value`, returning its id (existing or freshly assigned).
+    ///
+    /// Ids are assigned in first-seen order; only insertion in ascending
+    /// value order (what [`from_inputs`](ViewInterner::from_inputs) does)
+    /// guarantees the id-order/value-order agreement documented on
+    /// [`InputId`].
+    pub fn intern(&mut self, value: V) -> InputId {
+        if let Some(&id) = self.by_value.get(&value) {
+            return id;
+        }
+        let id = InputId(u32::try_from(self.by_id.len()).expect("interner overflow"));
+        self.by_id.push(value.clone());
+        self.by_value.insert(value, id);
+        id
+    }
+
+    /// The id of `value`, if already interned.
+    #[must_use]
+    pub fn id_of(&self, value: &V) -> Option<InputId> {
+        self.by_value.get(value).copied()
+    }
+
+    /// The value behind `id`, if assigned.
+    #[must_use]
+    pub fn value_of(&self, id: InputId) -> Option<&V> {
+        self.by_id.get(id.0 as usize)
+    }
+
+    /// Translates a view of values into a view of ids; `None` if any member
+    /// was never interned.
+    pub fn intern_view(&self, view: &View<V>) -> Option<View<InputId>>
+    where
+        V: ViewValue,
+    {
+        view.iter().map(|v| self.id_of(&v)).collect()
+    }
+
+    /// Translates a view of ids back into a view of values; `None` if any id
+    /// is unassigned.
+    pub fn resolve_view(&self, view: &View<InputId>) -> Option<View<V>>
+    where
+        V: ViewValue,
+    {
+        view.iter().map(|id| self.value_of(id).cloned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_inputs_assigns_ids_in_value_order() {
+        let interner = ViewInterner::from_inputs([30u32, 10, 20, 10]);
+        assert_eq!(interner.len(), 3);
+        assert_eq!(interner.id_of(&10), Some(InputId(0)));
+        assert_eq!(interner.id_of(&20), Some(InputId(1)));
+        assert_eq!(interner.id_of(&30), Some(InputId(2)));
+        assert_eq!(interner.value_of(InputId(2)), Some(&30));
+        assert_eq!(interner.id_of(&99), None);
+        assert_eq!(interner.value_of(InputId(3)), None);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = ViewInterner::new();
+        let a = interner.intern("snapshot");
+        let b = interner.intern("snapshot");
+        assert_eq!(a, b);
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn unknown_members_fail_translation() {
+        let interner = ViewInterner::from_inputs([1u32, 2]);
+        let view: View<u32> = [1, 3].into_iter().collect();
+        assert_eq!(interner.intern_view(&view), None);
+        let ids: View<InputId> = [InputId(0), InputId(7)].into_iter().collect();
+        assert_eq!(interner.resolve_view(&ids), None);
+    }
+
+    proptest! {
+        /// Interning any sparse domain yields packed views, and the
+        /// translation is a set-algebra isomorphism: union and subset
+        /// computed on ids agree with the originals.
+        #[test]
+        fn interned_views_are_packed_and_isomorphic(
+            domain in proptest::collection::btree_set(0u32..1_000_000, 1..12),
+            pick_a in proptest::collection::vec(any::<bool>(), 12),
+            pick_b in proptest::collection::vec(any::<bool>(), 12),
+        ) {
+            let interner = ViewInterner::from_inputs(domain.iter().copied());
+            let select = |picks: &[bool]| -> View<u32> {
+                domain
+                    .iter()
+                    .zip(picks)
+                    .filter_map(|(v, keep)| keep.then_some(*v))
+                    .collect()
+            };
+            let a = select(&pick_a);
+            let b = select(&pick_b);
+            let ia = interner.intern_view(&a).unwrap();
+            let ib = interner.intern_view(&b).unwrap();
+            prop_assert!(ia.is_small());
+            prop_assert!(ib.is_small());
+            prop_assert_eq!(interner.resolve_view(&ia).unwrap(), a.clone());
+            prop_assert_eq!(ia.is_subset(&ib), a.is_subset(&b));
+            prop_assert_eq!(ia.comparable(&ib), a.comparable(&b));
+            prop_assert_eq!(
+                interner.resolve_view(&ia.union(&ib)).unwrap(),
+                a.union(&b)
+            );
+            // Monotone id assignment: ranks transfer.
+            for v in &a {
+                let id = interner.id_of(&v).unwrap();
+                prop_assert_eq!(ia.rank_of(&id), a.rank_of(&v));
+            }
+        }
+    }
+}

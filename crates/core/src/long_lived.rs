@@ -14,7 +14,7 @@ use fa_memory::{Action, Process, StepInput};
 
 use crate::backoff::BackoffArbiter;
 use crate::snapshot::{EngineStep, SnapRegister, SnapshotEngine};
-use crate::View;
+use crate::{View, ViewValue};
 
 /// A process that invokes the long-lived snapshot once per queued input,
 /// outputting the resulting view after each invocation, then halting.
@@ -49,7 +49,7 @@ use crate::View;
 /// assert!(exec.outputs(ProcId(0))[1].contains(&10));
 /// ```
 #[derive(Clone, Debug)]
-pub struct LongLivedSnapshotProcess<V: Ord> {
+pub struct LongLivedSnapshotProcess<V: ViewValue> {
     engine: SnapshotEngine<V>,
     /// Inputs for invocations not yet started (front = next).
     queued: Vec<V>,
@@ -70,7 +70,7 @@ pub struct LongLivedSnapshotProcess<V: Ord> {
 
 // Equality and hashing ignore the backoff arbiter, which only shapes real
 // time, never the state machine (same contract as `ConsensusProcess`).
-impl<V: Ord> PartialEq for LongLivedSnapshotProcess<V> {
+impl<V: ViewValue> PartialEq for LongLivedSnapshotProcess<V> {
     fn eq(&self, other: &Self) -> bool {
         self.engine == other.engine
             && self.queued == other.queued
@@ -81,9 +81,9 @@ impl<V: Ord> PartialEq for LongLivedSnapshotProcess<V> {
     }
 }
 
-impl<V: Ord> Eq for LongLivedSnapshotProcess<V> {}
+impl<V: ViewValue> Eq for LongLivedSnapshotProcess<V> {}
 
-impl<V: Ord + std::hash::Hash> std::hash::Hash for LongLivedSnapshotProcess<V> {
+impl<V: ViewValue + std::hash::Hash> std::hash::Hash for LongLivedSnapshotProcess<V> {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.engine.hash(state);
         self.queued.hash(state);
@@ -94,7 +94,7 @@ impl<V: Ord + std::hash::Hash> std::hash::Hash for LongLivedSnapshotProcess<V> {
     }
 }
 
-impl<V: Ord + Clone> LongLivedSnapshotProcess<V> {
+impl<V: ViewValue> LongLivedSnapshotProcess<V> {
     /// Creates a process that performs one long-lived snapshot invocation per
     /// element of `inputs`, in order, over `n` registers.
     ///
@@ -150,7 +150,7 @@ impl<V: Ord + Clone> LongLivedSnapshotProcess<V> {
     }
 }
 
-impl<V: Ord + Clone> Process for LongLivedSnapshotProcess<V> {
+impl<V: ViewValue> Process for LongLivedSnapshotProcess<V> {
     type Value = SnapRegister<V>;
     type Output = View<V>;
 

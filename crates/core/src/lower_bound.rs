@@ -171,7 +171,7 @@ mod tests {
         let report = covering_demo(n).unwrap();
         for reg in &report.memory_after {
             assert_eq!(reg.len(), 1, "each covering write is a first write");
-            let val = *reg.iter().next().unwrap();
+            let val = reg.iter().next().unwrap();
             assert!((101..100 + n as u32 + 1).contains(&val));
         }
     }

@@ -18,7 +18,7 @@
 use fa_memory::{Action, Process, StepInput};
 
 use crate::snapshot::{EngineStep, SnapRegister, SnapshotEngine};
-use crate::View;
+use crate::{View, ViewValue};
 
 /// Converts a snapshot view and an own-input rank into a Bar-Noy–Dolev name.
 ///
@@ -31,13 +31,13 @@ use crate::View;
 /// assert_eq!(RenamingProcess::name_for(&snap, &9).unwrap(), 3);
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct RenamingProcess<V: Ord> {
+pub struct RenamingProcess<V: ViewValue> {
     input: V,
     engine: SnapshotEngine<V>,
     output_emitted: bool,
 }
 
-impl<V: Ord + Clone> RenamingProcess<V> {
+impl<V: ViewValue> RenamingProcess<V> {
     /// Creates the renaming process with this processor's (group) input for
     /// a system of `n` processors and registers.
     ///
@@ -79,7 +79,7 @@ impl<V: Ord + Clone> RenamingProcess<V> {
     }
 }
 
-impl<V: Ord + Clone> Process for RenamingProcess<V> {
+impl<V: ViewValue> Process for RenamingProcess<V> {
     type Value = SnapRegister<V>;
     /// The chosen name.
     type Output = usize;

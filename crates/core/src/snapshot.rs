@@ -24,7 +24,7 @@
 use fa_memory::{Action, LocalRegId, Process, StepInput};
 use serde::{Deserialize, Serialize};
 
-use crate::View;
+use crate::{View, ViewValue};
 
 /// Register contents for the snapshot algorithm: a view plus the writer's
 /// level at the time of the write (Figure 3, line 4).
@@ -32,14 +32,14 @@ use crate::View;
 /// The default value (empty view, level 0) is the registers' initial
 /// contents.
 #[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct SnapRegister<V: Ord> {
+pub struct SnapRegister<V: ViewValue> {
     /// The view written.
     pub view: View<V>,
     /// The writer's level at the time of the write.
     pub level: usize,
 }
 
-impl<V: Ord> SnapRegister<V> {
+impl<V: ViewValue> SnapRegister<V> {
     /// Creates register contents from a view and level.
     #[must_use]
     pub fn new(view: View<V>, level: usize) -> Self {
@@ -49,7 +49,7 @@ impl<V: Ord> SnapRegister<V> {
 
 /// What the engine wants next: a memory access, or the snapshot result.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum EngineStep<V: Ord> {
+pub enum EngineStep<V: ViewValue> {
     /// Issue this shared-memory access.
     Access(Action<SnapRegister<V>, ()>),
     /// The engine reached its termination level; the view is the snapshot.
@@ -64,7 +64,7 @@ pub enum EngineStep<V: Ord> {
 ///
 /// Values are the generic `V`; registers hold [`SnapRegister<V>`].
 #[derive(Clone, Debug)]
-pub struct SnapshotEngine<V: Ord> {
+pub struct SnapshotEngine<V: ViewValue> {
     /// Number of registers (= number of processors `N` in the paper).
     m: usize,
     /// Level at which the engine declares its view a snapshot.
@@ -81,7 +81,7 @@ pub struct SnapshotEngine<V: Ord> {
 // Equality and hashing ignore the `scans` instrumentation counter: two
 // engines are "the same state" iff they behave identically from here on,
 // which is what model checking and periodicity detection require.
-impl<V: Ord> PartialEq for SnapshotEngine<V> {
+impl<V: ViewValue> PartialEq for SnapshotEngine<V> {
     fn eq(&self, other: &Self) -> bool {
         self.m == other.m
             && self.terminate_level == other.terminate_level
@@ -92,9 +92,9 @@ impl<V: Ord> PartialEq for SnapshotEngine<V> {
     }
 }
 
-impl<V: Ord> Eq for SnapshotEngine<V> {}
+impl<V: ViewValue> Eq for SnapshotEngine<V> {}
 
-impl<V: Ord + std::hash::Hash> std::hash::Hash for SnapshotEngine<V> {
+impl<V: ViewValue + std::hash::Hash> std::hash::Hash for SnapshotEngine<V> {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.m.hash(state);
         self.terminate_level.hash(state);
@@ -107,7 +107,7 @@ impl<V: Ord + std::hash::Hash> std::hash::Hash for SnapshotEngine<V> {
 
 /// Where the engine is in its write–scan loop.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum EnginePhase<V: Ord> {
+enum EnginePhase<V: ViewValue> {
     Write,
     AwaitWrote,
     Scanning {
@@ -119,7 +119,7 @@ enum EnginePhase<V: Ord> {
     Done,
 }
 
-impl<V: Ord + Clone> SnapshotEngine<V> {
+impl<V: ViewValue> SnapshotEngine<V> {
     /// Creates an engine for a system of `m` registers (the paper's `N`),
     /// with initial view `{input}`, level 0, terminating at level `m`.
     ///
@@ -330,13 +330,13 @@ impl<V: Ord + Clone> SnapshotEngine<V> {
 /// }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct SnapshotProcess<V: Ord> {
+pub struct SnapshotProcess<V: ViewValue> {
     engine: SnapshotEngine<V>,
     /// Set once the output action has been emitted; next step halts.
     output_emitted: bool,
 }
 
-impl<V: Ord + Clone> SnapshotProcess<V> {
+impl<V: ViewValue> SnapshotProcess<V> {
     /// Creates the process for a system of `n` processors (and `n`
     /// registers), with this processor's input value.
     ///
@@ -391,7 +391,7 @@ impl<V: Ord + Clone> SnapshotProcess<V> {
     }
 }
 
-impl<V: Ord + Clone> Process for SnapshotProcess<V> {
+impl<V: ViewValue> Process for SnapshotProcess<V> {
     type Value = SnapRegister<V>;
     type Output = View<V>;
 
@@ -460,7 +460,7 @@ mod tests {
                 EngineStep::Access(Action::Read { .. }) => {
                     // Solo run: it reads back its own writes eventually, but
                     // registers it hasn't written yet return default.
-                    input = StepInput::ReadValue(SnapRegister::default());
+                    input = StepInput::read_value(SnapRegister::default());
                 }
                 EngineStep::Done(_) => break,
                 other => panic!("unexpected {other:?}"),
@@ -487,7 +487,8 @@ mod tests {
             match e.step(input) {
                 EngineStep::Access(Action::Write { .. }) => input = StepInput::Wrote,
                 EngineStep::Access(Action::Read { .. }) => {
-                    input = StepInput::ReadValue(SnapRegister::new(View::singleton(1), last_level));
+                    input =
+                        StepInput::read_value(SnapRegister::new(View::singleton(1), last_level));
                 }
                 EngineStep::Done(view) => {
                     assert_eq!(view, View::singleton(1));
@@ -509,12 +510,12 @@ mod tests {
         let _ = e.step(StepInput::Start);
         // read 0: own view, level 5.
         let _ = e.step(StepInput::Wrote);
-        let _ = e.step(StepInput::ReadValue(SnapRegister::new(
+        let _ = e.step(StepInput::read_value(SnapRegister::new(
             View::singleton(1),
             5,
         )));
         // read 1: different view -> reset and absorb.
-        let out = e.step(StepInput::ReadValue(SnapRegister::new(
+        let out = e.step(StepInput::read_value(SnapRegister::new(
             View::singleton(9),
             3,
         )));
@@ -539,8 +540,8 @@ mod tests {
         let _ = e.step(StepInput::Start);
         let _ = e.step(StepInput::Wrote);
         let superset = SnapRegister::new(View::from_iter([1, 2]), 9);
-        let _ = e.step(StepInput::ReadValue(superset.clone()));
-        let _ = e.step(StepInput::ReadValue(superset));
+        let _ = e.step(StepInput::read_value(superset.clone()));
+        let _ = e.step(StepInput::read_value(superset));
         assert_eq!(e.level(), 0, "superset reads must reset the level");
         assert_eq!(e.view(), &View::from_iter([1, 2]));
     }
@@ -554,7 +555,7 @@ mod tests {
             match e.step(input) {
                 EngineStep::Access(Action::Write { .. }) => input = StepInput::Wrote,
                 EngineStep::Access(Action::Read { .. }) => {
-                    input = StepInput::ReadValue(SnapRegister::new(View::singleton(1), 0));
+                    input = StepInput::read_value(SnapRegister::new(View::singleton(1), 0));
                 }
                 EngineStep::Done(_) => break,
                 other => panic!("unexpected {other:?}"),
@@ -571,7 +572,7 @@ mod tests {
             match e.step(input) {
                 EngineStep::Access(Action::Write { .. }) => input = StepInput::Wrote,
                 EngineStep::Access(Action::Read { .. }) => {
-                    input = StepInput::ReadValue(SnapRegister::new(View::singleton(1), 0));
+                    input = StepInput::read_value(SnapRegister::new(View::singleton(1), 0));
                 }
                 EngineStep::Done(_) => break,
                 other => panic!("unexpected {other:?}"),

@@ -29,18 +29,18 @@ use fa_memory::{
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{View, WriteScanProcess};
+use crate::{View, ViewValue, WriteScanProcess};
 
 /// The stable-view graph (Definition 4.3): vertices are the distinct stable
 /// views; there is an edge `V1 → V2` iff `V1 ⊂ V2`.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct StableViewGraph<V: Ord> {
+pub struct StableViewGraph<V: ViewValue> {
     vertices: Vec<View<V>>,
     /// Edges as (from, to) indices into `vertices`.
     edges: Vec<(usize, usize)>,
 }
 
-impl<V: Ord + Clone> StableViewGraph<V> {
+impl<V: ViewValue> StableViewGraph<V> {
     /// Builds the graph from an iterator of stable views (duplicates are
     /// merged).
     pub fn from_views<I: IntoIterator<Item = View<V>>>(views: I) -> Self {
@@ -119,7 +119,7 @@ impl<V: Ord + Clone> StableViewGraph<V> {
 
 /// The result of an exact lasso analysis.
 #[derive(Clone, Debug)]
-pub struct StableViewReport<V: Ord> {
+pub struct StableViewReport<V: ViewValue> {
     /// The stable view of each *live* processor (keys are processor ids).
     pub stable_views: BTreeMap<usize, View<V>>,
     /// The stable-view graph.

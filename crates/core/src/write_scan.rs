@@ -9,7 +9,7 @@
 
 use fa_memory::{Action, LocalRegId, Process, StepInput};
 
-use crate::View;
+use crate::{View, ViewValue};
 
 /// The never-terminating write–scan process of Figure 1.
 ///
@@ -32,7 +32,7 @@ use crate::View;
 /// }
 /// ```
 #[derive(Clone, Debug)]
-pub struct WriteScanProcess<V: Ord> {
+pub struct WriteScanProcess<V: ViewValue> {
     /// Number of registers `M`.
     m: usize,
     view: View<V>,
@@ -45,7 +45,7 @@ pub struct WriteScanProcess<V: Ord> {
 // Equality and hashing deliberately ignore the `scans` instrumentation
 // counter: two processes are "the same state" iff they behave identically
 // from here on, which is what periodicity detection and model checking need.
-impl<V: Ord> PartialEq for WriteScanProcess<V> {
+impl<V: ViewValue> PartialEq for WriteScanProcess<V> {
     fn eq(&self, other: &Self) -> bool {
         self.m == other.m
             && self.view == other.view
@@ -54,9 +54,9 @@ impl<V: Ord> PartialEq for WriteScanProcess<V> {
     }
 }
 
-impl<V: Ord> Eq for WriteScanProcess<V> {}
+impl<V: ViewValue> Eq for WriteScanProcess<V> {}
 
-impl<V: Ord + std::hash::Hash> std::hash::Hash for WriteScanProcess<V> {
+impl<V: ViewValue + std::hash::Hash> std::hash::Hash for WriteScanProcess<V> {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.m.hash(state);
         self.view.hash(state);
@@ -66,13 +66,13 @@ impl<V: Ord + std::hash::Hash> std::hash::Hash for WriteScanProcess<V> {
 }
 
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum Phase<V: Ord> {
+enum Phase<V: ViewValue> {
     Write,
     AwaitWrote,
     Scanning { next: usize, pending: View<V> },
 }
 
-impl<V: Ord + Clone> WriteScanProcess<V> {
+impl<V: ViewValue> WriteScanProcess<V> {
     /// Creates the process with the given input for a memory of `m`
     /// registers.
     ///
@@ -111,7 +111,7 @@ impl<V: Ord + Clone> WriteScanProcess<V> {
     }
 }
 
-impl<V: Ord + Clone> Process for WriteScanProcess<V> {
+impl<V: ViewValue> Process for WriteScanProcess<V> {
     type Value = View<V>;
     /// The loop never outputs; the analysis inspects views directly.
     type Output = ();

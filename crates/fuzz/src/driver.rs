@@ -153,7 +153,7 @@ where
     F: Fn(&P) -> &fa_core::View<u32>,
 {
     (0..n)
-        .map(|i| view_of(exec.process(ProcId(i))).iter().copied().collect())
+        .map(|i| view_of(exec.process(ProcId(i))).iter().collect())
         .collect()
 }
 

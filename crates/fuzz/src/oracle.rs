@@ -94,7 +94,10 @@ pub struct SnapshotOracle {
     last_views: Vec<View<u32>>,
     last_levels: Vec<usize>,
     last_scans: Vec<usize>,
-    outputs_seen: Vec<Option<View<u32>>>,
+    /// Whether each processor's first output has been checked. The output
+    /// views themselves stay borrowed from the executor at check time —
+    /// the oracle never clones them.
+    outputs_seen: Vec<bool>,
 }
 
 impl SnapshotOracle {
@@ -108,7 +111,7 @@ impl SnapshotOracle {
             last_views: inputs.iter().map(|&i| View::singleton(i)).collect(),
             last_levels: vec![0; inputs.len()],
             last_scans: vec![0; inputs.len()],
-            outputs_seen: vec![None; inputs.len()],
+            outputs_seen: vec![false; inputs.len()],
         }
     }
 }
@@ -160,11 +163,13 @@ impl Oracle<SnapshotProcess<u32>> for SnapshotOracle {
                 ),
             ));
         }
-        self.last_views[p.0] = view.clone();
+        // `clone_from` reuses the stored view's allocation; for bitmask
+        // views this is a plain word copy.
+        self.last_views[p.0].clone_from(view);
         self.last_levels[p.0] = level;
         self.last_scans[p.0] = scans;
 
-        if self.outputs_seen[p.0].is_none() {
+        if !self.outputs_seen[p.0] {
             if let Some(out) = exec.first_output(p) {
                 if !out.contains(&self.inputs[p.0]) {
                     return Err(violation(
@@ -176,21 +181,25 @@ impl Oracle<SnapshotProcess<u32>> for SnapshotOracle {
                         ),
                     ));
                 }
-                for (q, other) in self.outputs_seen.iter().enumerate() {
-                    if let Some(other) = other {
-                        if !out.comparable(other) {
-                            return Err(violation(
-                                "snapshot.comparability",
-                                step,
-                                format!(
-                                    "incomparable outputs: p{} {:?} vs p{} {:?}",
-                                    p.0, out, q, other
-                                ),
-                            ));
-                        }
+                for q in 0..self.outputs_seen.len() {
+                    if !self.outputs_seen[q] {
+                        continue;
+                    }
+                    let other = exec
+                        .first_output(ProcId(q))
+                        .expect("a seen output stays in the executor log");
+                    if !out.comparable(other) {
+                        return Err(violation(
+                            "snapshot.comparability",
+                            step,
+                            format!(
+                                "incomparable outputs: p{} {:?} vs p{} {:?}",
+                                p.0, out, q, other
+                            ),
+                        ));
                     }
                 }
-                self.outputs_seen[p.0] = Some(out.clone());
+                self.outputs_seen[p.0] = true;
             }
         }
         Ok(())

@@ -42,7 +42,7 @@
 //!         match (self.state, i) {
 //!             (0, _) => { self.state = 1; Action::write(0, self.input) }
 //!             (1, _) => { self.state = 2; Action::read(0) }
-//!             (2, StepInput::ReadValue(v)) => { self.state = 3; Action::Output(v) }
+//!             (2, StepInput::ReadValue(v)) => { self.state = 3; Action::Output(*v) }
 //!             _ => Action::Halt,
 //!         }
 //!     }
@@ -83,7 +83,18 @@ use fa_obs::{
 use parking_lot::Mutex;
 
 use crate::threaded::{elapsed_ns, ProcOutcome, ThreadedReport};
-use crate::{Action, MemoryError, ProcId, Process, StepInput, Wiring};
+use crate::{Action, MemoryError, ProcId, Process, StepInput, Versioned, Wiring};
+
+/// A lock-protected register: `Arc`-shared contents plus a write version.
+///
+/// A read clones the `Arc` handle under the lock (an O(1) critical section —
+/// no deep clone of the value while holding the register) and tags it with
+/// the version, mirroring [`SharedMemory::read`](crate::SharedMemory::read).
+/// A write swaps in a cell the writer allocated *before* taking the lock.
+struct RegisterCell<V> {
+    value: Arc<V>,
+    version: u64,
+}
 
 /// One injected fault. Faults count *shared-memory operations* (reads +
 /// writes), matching [`CrashingScheduler`](crate::CrashingScheduler)'s
@@ -544,8 +555,19 @@ where
         plan.num_procs()
     );
 
-    let registers: Arc<Vec<Mutex<P::Value>>> =
-        Arc::new((0..m).map(|_| Mutex::new(init.clone())).collect());
+    // All registers share the initial cell until first written: the value is
+    // immutable behind the `Arc`, so sharing is invisible.
+    let init_cell = Arc::new(init);
+    let registers: Arc<Vec<Mutex<RegisterCell<P::Value>>>> = Arc::new(
+        (0..m)
+            .map(|_| {
+                Mutex::new(RegisterCell {
+                    value: Arc::clone(&init_cell),
+                    version: 0,
+                })
+            })
+            .collect(),
+    );
     let start = Instant::now();
     let heartbeats = Arc::new(Heartbeats::new(n, start));
     let (tx, rx) = mpsc::channel::<WorkerReport<P::Output, Pr>>();
@@ -671,7 +693,13 @@ where
         }
     }
 
-    let final_contents = registers.iter().map(|r| r.lock().clone()).collect();
+    let final_contents = registers
+        .iter()
+        .map(|r| {
+            let cell = r.lock();
+            (*cell.value).clone()
+        })
+        .collect();
     Ok((
         ThreadedReport {
             outputs,
@@ -691,7 +719,7 @@ fn worker_loop<P, Pr>(
     proc_id: usize,
     mut proc: P,
     wiring: Wiring,
-    registers: &[Mutex<P::Value>],
+    registers: &[Mutex<RegisterCell<P::Value>>],
     mut probe: Pr,
     mut driver: FaultDriver,
     heartbeats: &Heartbeats,
@@ -780,12 +808,14 @@ where
         input = match action {
             Action::Read { local } => {
                 let global = wiring.global(local);
+                // Clone the Arc handle under the lock, never the value: the
+                // critical section is O(1) regardless of value size.
                 let value;
                 if Pr::ENABLED {
                     let op_start = Instant::now();
                     let guard = registers[global.0].lock();
                     let lock_wait_ns = elapsed_ns(op_start);
-                    value = guard.clone();
+                    value = Versioned::from_shared(Arc::clone(&guard.value), guard.version);
                     drop(guard);
                     probe.on_read(&ReadEvent {
                         proc_id,
@@ -793,7 +823,7 @@ where
                         global: global.0,
                         time,
                         read_from: None,
-                        value: Pr::WANTS_VALUES.then(|| format!("{value:?}")),
+                        value: Pr::WANTS_VALUES.then(|| format!("{:?}", value.get())),
                     });
                     probe.on_timing(&TimingEvent {
                         proc_id,
@@ -802,19 +832,24 @@ where
                         lock_wait_ns,
                     });
                 } else {
-                    value = registers[global.0].lock().clone();
+                    let guard = registers[global.0].lock();
+                    value = Versioned::from_shared(Arc::clone(&guard.value), guard.version);
                 }
                 ops += 1;
                 StepInput::ReadValue(value)
             }
             Action::Write { local, value } => {
                 let global = wiring.global(local);
+                // Allocate the shared cell before taking the lock; the
+                // critical section is a pointer swap plus a version bump.
+                let cell = Arc::new(value);
                 if Pr::ENABLED {
-                    let rendered = Pr::WANTS_VALUES.then(|| format!("{value:?}"));
+                    let rendered = Pr::WANTS_VALUES.then(|| format!("{:?}", &*cell));
                     let op_start = Instant::now();
                     let mut guard = registers[global.0].lock();
                     let lock_wait_ns = elapsed_ns(op_start);
-                    *guard = value;
+                    guard.value = cell;
+                    guard.version += 1;
                     drop(guard);
                     probe.on_write(&WriteEvent {
                         proc_id,
@@ -831,7 +866,9 @@ where
                         lock_wait_ns,
                     });
                 } else {
-                    *registers[global.0].lock() = value;
+                    let mut guard = registers[global.0].lock();
+                    guard.value = cell;
+                    guard.version += 1;
                 }
                 ops += 1;
                 StepInput::Wrote

@@ -50,7 +50,7 @@ pub struct RunOutcome {
 ///         match (self.state, input) {
 ///             (0, _) => { self.state = 1; Action::write(0, self.input) }
 ///             (1, _) => { self.state = 2; Action::read(0) }
-///             (2, StepInput::ReadValue(v)) => { self.state = 3; Action::Output(v) }
+///             (2, StepInput::ReadValue(v)) => { self.state = 3; Action::Output(*v) }
 ///             _ => Action::Halt,
 ///         }
 ///     }
@@ -359,6 +359,8 @@ where
 
         let (outcome, next_input, event_kind) = match action {
             Action::Read { local } => {
+                // Zero-clone read: the `Versioned` handle shares the register
+                // cell; the value is deep-cloned only into an enabled trace.
                 let (value, global, read_from) = self.memory.read(p, local)?;
                 if Pr::ENABLED {
                     self.probe.on_read(&fa_obs::ReadEvent {
@@ -367,23 +369,30 @@ where
                         global: global.0,
                         time: probe_time,
                         read_from: read_from.map(|w| w.0),
-                        value: Pr::WANTS_VALUES.then(|| format!("{value:?}")),
+                        value: Pr::WANTS_VALUES.then(|| format!("{:?}", value.get())),
                     });
                 }
+                let event = self.trace.is_some().then(|| EventKind::Read {
+                    local,
+                    global,
+                    value: value.get().clone(),
+                    read_from,
+                });
                 (
                     StepOutcome::MemoryAccess,
-                    Some(StepInput::ReadValue(value.clone())),
-                    Some(EventKind::Read {
-                        local,
-                        global,
-                        value,
-                        read_from,
-                    }),
+                    Some(StepInput::ReadValue(value)),
+                    event,
                 )
             }
             Action::Write { local, value } => {
                 let overwrote_writer = self.memory.last_writer(self.memory.resolve(p, local)?);
-                let (global, overwrote) = self.memory.write(p, local, value.clone())?;
+                // Allocate the shared cell once; keep a handle so tracing and
+                // probing can render the written value without re-cloning it
+                // out of the memory.
+                let cell = std::sync::Arc::new(value);
+                let (global, overwrote) =
+                    self.memory
+                        .write_shared(p, local, std::sync::Arc::clone(&cell))?;
                 if Pr::ENABLED {
                     self.probe.on_write(&fa_obs::WriteEvent {
                         proc_id: p.0,
@@ -391,23 +400,19 @@ where
                         global: global.0,
                         time: probe_time,
                         overwrote_writer: overwrote_writer.map(|w| w.0),
-                        value: Pr::WANTS_VALUES.then(|| format!("{value:?}")),
+                        value: Pr::WANTS_VALUES.then(|| format!("{:?}", &*cell)),
                     });
                 }
-                (
-                    StepOutcome::MemoryAccess,
-                    Some(StepInput::Wrote),
-                    Some(EventKind::Write {
-                        local,
-                        global,
-                        value,
-                        overwrote,
-                        overwrote_writer,
-                    }),
-                )
+                let event = self.trace.is_some().then(|| EventKind::Write {
+                    local,
+                    global,
+                    value: (*cell).clone(),
+                    overwrote: (*overwrote).clone(),
+                    overwrote_writer,
+                });
+                (StepOutcome::MemoryAccess, Some(StepInput::Wrote), event)
             }
             Action::Output(o) => {
-                self.outputs[p.0].push(o.clone());
                 if Pr::ENABLED {
                     self.probe.on_output(&fa_obs::OutputEvent {
                         proc_id: p.0,
@@ -415,11 +420,9 @@ where
                         value: Pr::WANTS_VALUES.then(|| format!("{o:?}")),
                     });
                 }
-                (
-                    StepOutcome::Output,
-                    Some(StepInput::OutputRecorded),
-                    Some(EventKind::Output(o)),
-                )
+                let event = self.trace.is_some().then(|| EventKind::Output(o.clone()));
+                self.outputs[p.0].push(o);
+                (StepOutcome::Output, Some(StepInput::OutputRecorded), event)
             }
             Action::Halt => {
                 if Pr::ENABLED {

@@ -93,7 +93,7 @@ pub use error::MemoryError;
 pub use executor::{Executor, RunOutcome, StepOutcome};
 pub use ids::{LocalRegId, ProcId, RegId};
 pub use memory::SharedMemory;
-pub use process::{Action, Process, StepInput};
+pub use process::{Action, Process, StepInput, Versioned};
 pub use replay::ReplayScript;
 pub use schedule::{
     BoundedDelayScheduler, CrashingScheduler, LassoSchedule, PctScheduler, RandomScheduler,

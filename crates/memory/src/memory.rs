@@ -1,9 +1,11 @@
 //! The ground-truth shared-memory state: `M` MWMR atomic registers plus the
 //! private wiring of each processor.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
-use crate::{LocalRegId, MemoryError, ProcId, RegId, Wiring};
+use crate::{LocalRegId, MemoryError, ProcId, RegId, Versioned, Wiring};
 
 /// The shared memory of a fully-anonymous system: `M` multi-writer
 /// multi-reader atomic registers, each processor wired to them through a
@@ -33,7 +35,10 @@ use crate::{LocalRegId, MemoryError, ProcId, RegId, Wiring};
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SharedMemory<V> {
-    registers: Vec<V>,
+    /// Register contents, one `Arc`-shared cell per register: a read hands
+    /// out a handle to the cell instead of deep-cloning the value, and a
+    /// write swaps in a freshly allocated cell.
+    registers: Vec<Arc<V>>,
     wirings: Vec<Wiring>,
     last_writer: Vec<Option<ProcId>>,
     /// Total number of writes ever applied, per register. Monotone; used by
@@ -44,7 +49,7 @@ pub struct SharedMemory<V> {
     owners: Option<Vec<ProcId>>,
 }
 
-impl<V: Clone> SharedMemory<V> {
+impl<V> SharedMemory<V> {
     /// Creates a memory of `m` registers, all initialized to `init` (the
     /// model's "known default value"), with the given per-processor wirings.
     ///
@@ -66,7 +71,11 @@ impl<V: Clone> SharedMemory<V> {
             }
         }
         Ok(SharedMemory {
-            registers: vec![init; m],
+            // All registers share one cell until first written: the initial
+            // value is immutable, so sharing is invisible (and intended —
+            // writes replace the Arc rather than mutating through it).
+            #[allow(clippy::rc_clone_in_vec_init)]
+            registers: vec![Arc::new(init); m],
             last_writer: vec![None; m],
             versions: vec![0; m],
             wirings,
@@ -149,9 +158,11 @@ impl<V: Clone> SharedMemory<V> {
 
     /// Atomically reads local register `local` on behalf of processor `p`.
     ///
-    /// Returns the value read, the global register actually accessed, and
-    /// the register's last writer (the processor `p` *reads from*, in the
-    /// paper's terminology), if any write has occurred.
+    /// Returns the value read — a [`Versioned`] handle sharing the register
+    /// cell, tagged with the register's write version, no deep clone — the
+    /// global register actually accessed, and the register's last writer
+    /// (the processor `p` *reads from*, in the paper's terminology), if any
+    /// write has occurred.
     ///
     /// # Errors
     ///
@@ -160,10 +171,13 @@ impl<V: Clone> SharedMemory<V> {
         &self,
         p: ProcId,
         local: LocalRegId,
-    ) -> Result<(V, RegId, Option<ProcId>), MemoryError> {
+    ) -> Result<(Versioned<V>, RegId, Option<ProcId>), MemoryError> {
         let global = self.resolve(p, local)?;
         Ok((
-            self.registers[global.0].clone(),
+            Versioned::from_shared(
+                Arc::clone(&self.registers[global.0]),
+                self.versions[global.0],
+            ),
             global,
             self.last_writer[global.0],
         ))
@@ -183,7 +197,23 @@ impl<V: Clone> SharedMemory<V> {
         p: ProcId,
         local: LocalRegId,
         value: V,
-    ) -> Result<(RegId, V), MemoryError> {
+    ) -> Result<(RegId, Arc<V>), MemoryError> {
+        self.write_shared(p, local, Arc::new(value))
+    }
+
+    /// Like [`write`](SharedMemory::write), but the caller supplies the
+    /// already-allocated cell — letting it keep a handle to the written
+    /// value (e.g. for tracing) without cloning the value itself.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`write`](SharedMemory::write).
+    pub fn write_shared(
+        &mut self,
+        p: ProcId,
+        local: LocalRegId,
+        value: Arc<V>,
+    ) -> Result<(RegId, Arc<V>), MemoryError> {
         let global = self.resolve(p, local)?;
         if let Some(owners) = &self.owners {
             let owner = owners[global.0];
@@ -209,6 +239,16 @@ impl<V: Clone> SharedMemory<V> {
     /// Panics if `r` is out of range.
     #[must_use]
     pub fn read_global(&self, r: RegId) -> &V {
+        self.registers[r.0].as_ref()
+    }
+
+    /// The shared cell of register `r` (ground-truth name). Analysis-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn shared_global(&self, r: RegId) -> &Arc<V> {
         &self.registers[r.0]
     }
 
@@ -232,9 +272,9 @@ impl<V: Clone> SharedMemory<V> {
         self.versions[r.0]
     }
 
-    /// All register contents in ground-truth order. Analysis-only.
+    /// The shared register cells in ground-truth order. Analysis-only.
     #[must_use]
-    pub fn contents(&self) -> &[V] {
+    pub fn contents_shared(&self) -> &[Arc<V>] {
         &self.registers
     }
 
@@ -252,6 +292,15 @@ impl<V: Clone> SharedMemory<V> {
                 _ => None,
             })
             .collect()
+    }
+}
+
+impl<V: Clone> SharedMemory<V> {
+    /// A cloned snapshot of all register contents in ground-truth order.
+    /// Analysis-only; the registers themselves stay `Arc`-shared.
+    #[must_use]
+    pub fn contents(&self) -> Vec<V> {
+        self.registers.iter().map(|cell| (**cell).clone()).collect()
     }
 }
 
@@ -304,7 +353,8 @@ mod tests {
         assert_eq!(*mem.read_global(RegId(1)), 10);
         // p2 has cyclic shift 2: local 2 -> global (2+2)%3 = 1.
         let (v, global, from) = mem.read(ProcId(2), LocalRegId(2)).unwrap();
-        assert_eq!(v, 10);
+        assert_eq!(*v, 10);
+        assert_eq!(v.version(), 1);
         assert_eq!(global, RegId(1));
         assert_eq!(from, Some(ProcId(1)));
     }
@@ -315,7 +365,7 @@ mod tests {
         mem.write(ProcId(0), LocalRegId(0), 5).unwrap();
         let (r, old) = mem.write(ProcId(0), LocalRegId(0), 6).unwrap();
         assert_eq!(r, RegId(0));
-        assert_eq!(old, 5);
+        assert_eq!(*old, 5);
         assert_eq!(mem.version(RegId(0)), 2);
     }
 
@@ -394,13 +444,14 @@ mod prop_tests {
                 if is_write {
                     let (g, old) = mem.write(p, local, val).unwrap();
                     prop_assert_eq!(g, global);
-                    prop_assert_eq!(old, contents[global.0]);
+                    prop_assert_eq!(*old, contents[global.0]);
                     contents[global.0] = val;
                     writes_per_reg[global.0] += 1;
                     last_writer[global.0] = Some(p);
                 } else {
                     let (v, g, from) = mem.read(p, local).unwrap();
-                    prop_assert_eq!(v, contents[global.0]);
+                    prop_assert_eq!(*v, contents[global.0]);
+                    prop_assert_eq!(v.version(), writes_per_reg[global.0]);
                     prop_assert_eq!(g, global);
                     prop_assert_eq!(from, last_writer[global.0]);
                 }

@@ -18,7 +18,124 @@
 //! algorithms in `fa-core` guarantee by building every processor from the
 //! same `new(input, n)` constructor.
 
+use core::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
 use crate::LocalRegId;
+
+/// A version-tagged, `Arc`-shared register value, as delivered by a read.
+///
+/// The shared-memory substrates store register contents behind `Arc` cells;
+/// a read hands the process a reference-counted handle to the cell's current
+/// contents plus the register's write version — no deep clone on the read
+/// path. `Versioned<V>` dereferences to `V`, so process code treats it as
+/// the value it read.
+///
+/// The version counts writes to the register the value was read from (0 for
+/// a never-written register). It is *observability metadata* — comparison
+/// and hashing ignore it, and processes must never branch on it: the model
+/// checker explores states outside any single timeline and always delivers
+/// version 0, so a version-sensitive process would behave differently under
+/// model checking than under execution.
+pub struct Versioned<V> {
+    value: Arc<V>,
+    version: u64,
+}
+
+impl<V> Versioned<V> {
+    /// Wraps a bare value, version 0 — a read from a never-written register,
+    /// and the form the model checker and unit tests feed processes.
+    #[must_use]
+    pub fn new(value: V) -> Self {
+        Versioned {
+            value: Arc::new(value),
+            version: 0,
+        }
+    }
+
+    /// Wraps an already-shared cell with the register's write version.
+    #[must_use]
+    pub fn from_shared(value: Arc<V>, version: u64) -> Self {
+        Versioned { value, version }
+    }
+
+    /// How many writes the source register had seen when this value was
+    /// read.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The value, by reference (also available through `Deref`).
+    #[must_use]
+    pub fn get(&self) -> &V {
+        &self.value
+    }
+
+    /// The shared cell itself.
+    #[must_use]
+    pub fn shared(&self) -> &Arc<V> {
+        &self.value
+    }
+
+    /// Consumes the handle and returns the shared cell.
+    #[must_use]
+    pub fn into_shared(self) -> Arc<V> {
+        self.value
+    }
+}
+
+impl<V: Clone> Versioned<V> {
+    /// Consumes the handle and returns the value, cloning only if the cell
+    /// is still shared.
+    #[must_use]
+    pub fn into_value(self) -> V {
+        Arc::try_unwrap(self.value).unwrap_or_else(|shared| (*shared).clone())
+    }
+}
+
+impl<V> Clone for Versioned<V> {
+    fn clone(&self) -> Self {
+        Versioned {
+            value: Arc::clone(&self.value),
+            version: self.version,
+        }
+    }
+}
+
+impl<V> Deref for Versioned<V> {
+    type Target = V;
+
+    fn deref(&self) -> &V {
+        &self.value
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for Versioned<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Versioned")
+            .field("value", &*self.value)
+            .field("version", &self.version)
+            .finish()
+    }
+}
+
+// Comparison and hashing see only the value: the version is metadata about
+// *when* the value was read, not part of what was read.
+impl<V: PartialEq> PartialEq for Versioned<V> {
+    fn eq(&self, other: &Self) -> bool {
+        *self.value == *other.value
+    }
+}
+
+impl<V: Eq> Eq for Versioned<V> {}
+
+impl<V: std::hash::Hash> std::hash::Hash for Versioned<V> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.value.hash(state);
+    }
+}
 
 /// The next shared-memory access (or decision) a process wants to perform.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -93,12 +210,22 @@ impl<V, O> Action<V, O> {
 pub enum StepInput<V> {
     /// First activation; there is no previous action.
     Start,
-    /// The previous action was a read and returned this value.
-    ReadValue(V),
+    /// The previous action was a read and returned this value (shared with
+    /// the register cell it came from; see [`Versioned`]).
+    ReadValue(Versioned<V>),
     /// The previous action was a write; it completed.
     Wrote,
     /// The previous action was an output; it was recorded.
     OutputRecorded,
+}
+
+impl<V> StepInput<V> {
+    /// Convenience constructor wrapping a bare value as a version-0 read —
+    /// the form unit tests drive processes with.
+    #[must_use]
+    pub fn read_value(value: V) -> Self {
+        StepInput::ReadValue(Versioned::new(value))
+    }
 }
 
 /// A deterministic process (the paper's "program" run by every processor).

@@ -107,7 +107,7 @@ mod tests {
                 }
                 StepInput::ReadValue(v) => {
                     self.rounds -= 1;
-                    Action::write(0, v + 1)
+                    Action::write(0, *v + 1)
                 }
                 StepInput::OutputRecorded => Action::Halt,
             }

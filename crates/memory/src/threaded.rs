@@ -26,7 +26,7 @@
 //!         match (self.state, i) {
 //!             (0, _) => { self.state = 1; Action::write(0, self.input) }
 //!             (1, _) => { self.state = 2; Action::read(0) }
-//!             (2, StepInput::ReadValue(v)) => { self.state = 3; Action::Output(v) }
+//!             (2, StepInput::ReadValue(v)) => { self.state = 3; Action::Output(*v) }
 //!             _ => Action::Halt,
 //!         }
 //!     }
@@ -135,13 +135,6 @@ impl<V, O> ThreadedReport<V, O> {
             .iter()
             .filter_map(ProcOutcome::covering)
             .collect()
-    }
-
-    /// Whether every processor halted within its step budget.
-    #[deprecated(since = "0.1.0", note = "use `all_completed()` or inspect `outcomes`")]
-    #[must_use]
-    pub fn all_halted(&self) -> bool {
-        self.all_completed()
     }
 }
 
@@ -376,23 +369,6 @@ mod tests {
         assert!(!report.all_completed());
         assert_eq!(report.outcomes, vec![ProcOutcome::BudgetExhausted; 2]);
         assert_eq!(report.steps, vec![50, 50]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_all_halted_matches_all_completed() {
-        let report: ThreadedReport<u32, u32> = ThreadedReport {
-            outputs: vec![Vec::new(), Vec::new()],
-            steps: vec![3, 3],
-            outcomes: vec![ProcOutcome::Completed, ProcOutcome::Completed],
-            final_contents: vec![0],
-        };
-        assert!(report.all_halted());
-        let report = ThreadedReport::<u32, u32> {
-            outcomes: vec![ProcOutcome::Completed, ProcOutcome::Stalled],
-            ..report
-        };
-        assert!(!report.all_halted());
     }
 
     #[test]

@@ -234,7 +234,7 @@ fn view_to_groups(view: &View<u32>, inputs: &[u32]) -> std::collections::BTreeSe
     for (p, &i) in inputs.iter().enumerate() {
         ids.insert(i, groups.group_of(p));
     }
-    view.iter().map(|v| ids[v]).collect()
+    view.iter().map(|v| ids[&v]).collect()
 }
 
 /// Exhaustively checks that the snapshot algorithm of Figure 3 solves the

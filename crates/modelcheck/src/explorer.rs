@@ -102,7 +102,10 @@ where
         match &*action {
             Action::Read { local } => {
                 let g = wirings[p.0].borrow().global(*local);
-                let value = (*next.memory[g.0]).clone();
+                // Hand the process a shared handle to the register cell, not a
+                // deep clone. The version is always 0 here: the model checker
+                // must never let processes observe write multiplicity.
+                let value = fa_memory::Versioned::from_shared(Arc::clone(&next.memory[g.0]), 0);
                 let mut proc = (*next.procs[p.0]).clone();
                 next.pending[p.0] = Some(Arc::new(proc.step(StepInput::ReadValue(value))));
                 next.procs[p.0] = Arc::new(proc);
@@ -155,6 +158,121 @@ where
         }
     }
     next
+}
+
+/// By-value interning table for one kind of `Arc`-shared state slot: each
+/// distinct pointee value gets a dense `u32` id. The `Arc` clone stored as
+/// the map key keeps the pointee alive for the table's lifetime, so ids
+/// never dangle, and lookups borrow the pointee (`Arc<T>: Borrow<T>`), so
+/// candidate values are never deep-cloned just to be looked up.
+#[derive(Debug)]
+struct SlotInterner<T> {
+    ids: HashMap<Arc<T>, u32>,
+}
+
+impl<T: Eq + Hash> SlotInterner<T> {
+    fn new() -> Self {
+        SlotInterner {
+            ids: HashMap::new(),
+        }
+    }
+
+    /// The id of `value`'s pointee, assigning the next dense id on first
+    /// sight. This hashes the pointee (the only deep operation left in
+    /// dedup); callers skip it for slots shared with an already-keyed parent
+    /// state (`Arc::ptr_eq`).
+    ///
+    /// Ids are capped one below `u32::MAX`, which is reserved as the
+    /// [`HALTED`] sentinel.
+    fn intern(&mut self, value: &Arc<T>) -> u32 {
+        if let Some(&id) = self.ids.get(&**value) {
+            return id;
+        }
+        let id = u32::try_from(self.ids.len())
+            .ok()
+            .filter(|&id| id < u32::MAX)
+            .expect("distinct slot values exceed the u32 id space");
+        self.ids.insert(Arc::clone(value), id);
+        id
+    }
+}
+
+/// Key id of a halted process's empty pending slot.
+const HALTED: u32 = u32::MAX;
+
+/// The per-slot interning tables of one exploration, and the key codec over
+/// them. A state's *key* is one `u32` per slot in slot order
+/// (`memory ++ procs ++ pending ++ outputs`): two states are equal iff their
+/// keys are equal, because each table is injective on pointee values. The
+/// visited-state set then needs only O(words) hashing and comparison per
+/// candidate, instead of deep traversals of register and process values.
+#[derive(Debug)]
+struct StateInterners<P: Process>
+where
+    P: Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    memory: SlotInterner<P::Value>,
+    procs: SlotInterner<P>,
+    pending: SlotInterner<Action<P::Value, P::Output>>,
+    outputs: SlotInterner<Vec<P::Output>>,
+}
+
+impl<P> StateInterners<P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    fn new() -> Self {
+        StateInterners {
+            memory: SlotInterner::new(),
+            procs: SlotInterner::new(),
+            pending: SlotInterner::new(),
+            outputs: SlotInterner::new(),
+        }
+    }
+
+    /// The interned key of `state`. Given the `parent` state and its key,
+    /// slots sharing the parent's allocation (`Arc::ptr_eq`) reuse the
+    /// parent's id without rehashing — a BFS step rewrites at most three
+    /// slots, so keying a successor costs one memcpy of the key plus deep
+    /// hashes of only the slots the step actually changed.
+    fn key(&mut self, state: &McState<P>, parent: Option<(&McState<P>, &[u32])>) -> Box<[u32]> {
+        let m = state.memory.len();
+        let n = state.procs.len();
+        let mut key = match parent {
+            Some((_, pk)) => pk.to_vec(),
+            None => vec![0u32; m + 3 * n],
+        };
+        for (i, cell) in state.memory.iter().enumerate() {
+            if parent.map_or(true, |(ps, _)| !Arc::ptr_eq(cell, &ps.memory[i])) {
+                key[i] = self.memory.intern(cell);
+            }
+        }
+        for (i, proc) in state.procs.iter().enumerate() {
+            if parent.map_or(true, |(ps, _)| !Arc::ptr_eq(proc, &ps.procs[i])) {
+                key[m + i] = self.procs.intern(proc);
+            }
+        }
+        for (i, slot) in state.pending.iter().enumerate() {
+            let changed = parent.map_or(true, |(ps, _)| match (slot, &ps.pending[i]) {
+                (Some(a), Some(b)) => !Arc::ptr_eq(a, b),
+                (None, None) => false,
+                _ => true,
+            });
+            if changed {
+                key[m + n + i] = slot.as_ref().map_or(HALTED, |a| self.pending.intern(a));
+            }
+        }
+        for (i, outs) in state.outputs.iter().enumerate() {
+            if parent.map_or(true, |(ps, _)| !Arc::ptr_eq(outs, &ps.outputs[i])) {
+                key[m + 2 * n + i] = self.outputs.intern(outs);
+            }
+        }
+        key.into_boxed_slice()
+    }
 }
 
 /// A property violation: the offending state and a schedule reaching it from
@@ -305,16 +423,20 @@ where
         S: Fn() -> bool,
     {
         // Arena of visited states with parent links for counterexamples.
-        // The dedup index maps a state hash to the arena slots carrying that
-        // hash; membership is confirmed by exact comparison against the
-        // arena, so exploration stays exact without storing states twice.
-        fn hash_state<S: Hash>(s: &S) -> u64 {
+        // Dedup works on *interned keys* (see [`StateInterners`]): `keys[i]`
+        // is the key of `arena[i]`, and the index maps a key hash to the
+        // arena slots carrying it; membership is confirmed by O(words) key
+        // comparison. Exploration is exact — keys are injective on states —
+        // but the hot path never deep-compares register or process values.
+        fn hash_key(k: &[u32]) -> u64 {
             use std::hash::Hasher;
             let mut h = std::collections::hash_map::DefaultHasher::new();
-            s.hash(&mut h);
+            k.hash(&mut h);
             h.finish()
         }
+        let mut interners = StateInterners::<P>::new();
         let mut arena: Vec<ArenaEntry<P>> = Vec::new();
+        let mut keys: Vec<Box<[u32]>> = Vec::new();
         let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut terminal = 0usize;
@@ -337,7 +459,9 @@ where
         };
 
         arena.push((self.initial.clone(), None, 0));
-        index.entry(hash_state(&self.initial)).or_default().push(0);
+        let k0 = interners.key(&self.initial, None);
+        index.entry(hash_key(&k0)).or_default().push(0);
+        keys.push(k0);
         queue.push_back(0);
         if let Err(message) = invariant(&self.initial) {
             return ExploreReport {
@@ -379,9 +503,9 @@ where
                 } else {
                     state.step(p, &self.wirings).expect("live process steps")
                 };
-                let h = hash_state(&next);
-                let slot = index.entry(h).or_default();
-                if slot.iter().any(|&i| arena[i].0 == next) {
+                let nk = interners.key(&next, Some((&state, &keys[cur])));
+                let slot = index.entry(hash_key(&nk)).or_default();
+                if slot.iter().any(|&i| keys[i] == nk) {
                     continue;
                 }
                 if arena.len() >= self.max_states {
@@ -390,6 +514,7 @@ where
                 }
                 let id = arena.len();
                 slot.push(id);
+                keys.push(nk);
                 arena.push((next, Some((cur, p)), depth + 1));
                 if let Err(message) = invariant(&arena[id].0) {
                     return ExploreReport {
@@ -674,6 +799,40 @@ mod tests {
             assert!(report.complete);
             assert!(report.violation.is_none());
         }
+    }
+
+    #[test]
+    fn interned_dedup_merges_value_equal_states_across_allocations() {
+        let mk = |a: u8, b: u8| {
+            Explorer::new(
+                vec![
+                    OneWrite {
+                        input: a,
+                        wrote: false,
+                    },
+                    OneWrite {
+                        input: b,
+                        wrote: false,
+                    },
+                ],
+                1,
+                0u8,
+                vec![Wiring::identity(1), Wiring::identity(1)],
+            )
+            .run(|_| Ok(()))
+        };
+        let same = mk(1, 1);
+        let distinct = mk(1, 2);
+        assert!(same.complete && distinct.complete);
+        // Equal inputs make the two write orders converge on value-equal
+        // states reached through *distinct* `Arc` allocations; the interned
+        // key table must still merge them (keys are by value, not pointer).
+        assert!(
+            same.states < distinct.states,
+            "{} !< {}",
+            same.states,
+            distinct.states
+        );
     }
 
     #[test]

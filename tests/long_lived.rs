@@ -84,7 +84,7 @@ fn histories_satisfy_future_work_group_definition() {
         for p in 0..3 {
             let inputs = [[1u32, 10], [2, 20], [3, 30]][p];
             for (k, out) in exec.outputs(ProcId(p)).iter().enumerate() {
-                history.push(Invocation::new(inputs[k], out.iter().copied().collect()));
+                history.push(Invocation::new(inputs[k], out.iter().collect()));
             }
         }
         check_long_lived_group_snapshot(&history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));

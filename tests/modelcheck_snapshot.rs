@@ -220,7 +220,7 @@ fn snapshot_algorithm_does_not_solve_immediate_snapshot() {
         .map(|(i, o)| {
             (
                 GroupId(i),
-                o.iter().map(|&v| GroupId(v as usize - 1)).collect(),
+                o.iter().map(|v| GroupId(v as usize - 1)).collect(),
             )
         })
         .collect();

@@ -114,19 +114,19 @@ mod name_rule_properties {
             let hi = z * (z + 1) / 2;
             for set in [&sa, &sb] {
                 for v in set.iter() {
-                    let name = RenamingProcess::name_for(set, v).unwrap();
+                    let name = RenamingProcess::name_for(set, &v).unwrap();
                     prop_assert!(name > lo && name <= hi);
                 }
             }
             // A smaller other-group snapshot (⊆ S) gets names ≤ lo.
             if !s.is_empty() {
-                let name = RenamingProcess::name_for(&s, s.iter().next().unwrap()).unwrap();
+                let name = RenamingProcess::name_for(&s, &s.iter().next().unwrap()).unwrap();
                 prop_assert!(name <= lo);
             }
             // A larger one (⊇ S ∪ {a,b}) gets names > hi.
             let mut big = sa.clone();
             big.union_with(&sb);
-            let name = RenamingProcess::name_for(&big, big.iter().next().unwrap()).unwrap();
+            let name = RenamingProcess::name_for(&big, &big.iter().next().unwrap()).unwrap();
             prop_assert!(name > hi);
         }
     }

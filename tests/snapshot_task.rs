@@ -21,7 +21,7 @@ fn to_group_outputs(
     let groups = GroupAssignment::new(inputs.iter().map(|i| GroupId(ids[i])).collect());
     let outputs = views
         .iter()
-        .map(|v| Some(v.iter().map(|x| GroupId(ids[x])).collect()))
+        .map(|v| Some(v.iter().map(|x| GroupId(ids[&x])).collect()))
         .collect();
     (groups, outputs)
 }

@@ -507,6 +507,21 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// Like upstream serde's `rc` feature: `Arc<T>` serializes as its contents.
+// Deserialization allocates a fresh cell, so sharing is not round-tripped —
+// fine for this workspace, where shared cells are an in-memory optimization.
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
