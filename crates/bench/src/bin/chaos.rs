@@ -1,7 +1,8 @@
 //! Chaos campaign binary (E20): fault injection on the threaded runtime.
 //!
 //! ```text
-//! chaos [--smoke] [--seed N] [--out PATH]
+//! chaos [--smoke] [--seed N] [--out PATH] [--progress]
+//!       [--telemetry-jsonl snap.jsonl] [--telemetry-cadence-ms N]
 //! ```
 //!
 //! Runs the fixed-plan scenario matrix (crash-stop + poised-crash snapshot,
@@ -16,5 +17,7 @@ fn main() {
             .unwrap_or_else(|_| panic!("--seed wants an unsigned integer, got {v:?}"))
     });
     let out = fa_bench::cli_value("--out");
-    fa_bench::chaos_campaign::run_campaign(smoke, seed, out.as_deref());
+    let telemetry = fa_bench::TelemetrySession::from_cli("chaos");
+    fa_bench::chaos_campaign::run_campaign(smoke, seed, out.as_deref(), telemetry.registry());
+    telemetry.finish();
 }

@@ -10,11 +10,14 @@
 //!   across `--jobs` values to catch nondeterministic violation selection.
 //! * `--n4` — additionally run the 4-processor coarse-scan sweep (E18):
 //!   all 13824 wiring combinations, bounded per combination.
+//! * `--progress` / `--telemetry-jsonl PATH` / `--telemetry-cadence-ms N` —
+//!   live telemetry plane (stderr progress line, snapshot JSONL stream);
+//!   stdout stays byte-identical with telemetry on or off.
 
 use std::fs;
 use std::io::Write as _;
 
-use fa_bench::{check_config_from_cli, cli_flag, print_table, sweep_summary};
+use fa_bench::{check_config_from_cli, cli_flag, print_table, sweep_summary, TelemetrySession};
 use fa_memory::Wiring;
 use fa_modelcheck::checks::{
     check_snapshot_task_coarse_with, check_snapshot_task_with, check_snapshot_wait_freedom,
@@ -53,9 +56,14 @@ fn smoke(config: &fa_modelcheck::CheckConfig) {
 }
 
 fn main() {
-    let config = check_config_from_cli();
+    let session = TelemetrySession::from_cli("check_snapshot");
+    let mut config = check_config_from_cli();
+    if let Some(registry) = session.registry() {
+        config = config.with_telemetry(registry);
+    }
     if cli_flag("--smoke") {
         smoke(&config);
+        session.finish();
         return;
     }
 
@@ -152,4 +160,5 @@ fn main() {
         "\nwrote results/check_snapshot_telemetry.jsonl ({} sweeps)",
         telemetry.len()
     );
+    session.finish();
 }

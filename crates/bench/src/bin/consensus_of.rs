@@ -88,7 +88,11 @@ fn main() {
     // interleaving and wiring combination, bounded in depth because the
     // timestamp space is unbounded. Honors --jobs.
     println!("\n== exhaustive safety model check, bounded depth (n=2) ==\n");
-    let config = check_config_from_cli();
+    let session = fa_bench::TelemetrySession::from_cli("consensus_of");
+    let mut config = check_config_from_cli();
+    if let Some(registry) = session.registry() {
+        config = config.with_telemetry(registry);
+    }
     let outcome = check_consensus_safety_with(&[1, 2], 600_000, 200, &config).expect("check runs");
     let report = &outcome.report;
     println!(
@@ -101,4 +105,5 @@ fn main() {
     );
     println!("{}", sweep_summary(&outcome.telemetry));
     assert!(report.violation.is_none(), "{:?}", report.violation);
+    session.finish();
 }

@@ -4,7 +4,8 @@
 //! ```text
 //! fuzz [--cases N] [--budget N] [--depth D] [--seed S] [--jobs J]
 //!      [--ns 3,4,5,6] [--smoke] [--inject-bug] [--out report.json]
-//!      [--events events.jsonl]
+//!      [--events events.jsonl] [--progress] [--telemetry-jsonl snap.jsonl]
+//!      [--telemetry-cadence-ms N]
 //! fuzz --replay artifact.json
 //! fuzz --write-corpus corpus/
 //! ```
@@ -16,7 +17,7 @@
 
 use std::io::Write as _;
 
-use fa_bench::{cli_flag, cli_jobs, cli_value, print_table};
+use fa_bench::{cli_flag, cli_jobs, cli_value, print_table, TelemetrySession};
 use fa_fuzz::case::InjectedBug;
 use fa_fuzz::{CampaignConfig, CampaignReport, CaseGen, ReproArtifact};
 use fa_obs::{JsonlSink, NoProbe};
@@ -147,16 +148,19 @@ fn main() {
         gen.ns = vec![2, 3];
     }
 
+    let campaign = if inject {
+        "inject-naive-consensus".to_string()
+    } else {
+        "fuzz".to_string()
+    };
+    let telemetry = TelemetrySession::from_cli(&campaign);
     let config = CampaignConfig {
-        campaign: if inject {
-            "inject-naive-consensus".to_string()
-        } else {
-            "fuzz".to_string()
-        },
+        campaign,
         cases,
         seed,
         jobs: cli_jobs(),
         gen,
+        telemetry: telemetry.registry(),
     };
     let report = match cli_value("--events") {
         Some(path) => {
@@ -169,6 +173,7 @@ fn main() {
         }
         None => fa_fuzz::run_campaign(&config, &mut NoProbe),
     };
+    telemetry.finish();
     print_report(&report);
 
     if let Some(path) = cli_value("--out") {

@@ -65,7 +65,11 @@ fn main() {
     // renaming algorithm over every interleaving and wiring combination
     // (mod relabeling) at small scope, honoring --jobs.
     println!("\n== exhaustive model check over all wirings (n=2) ==\n");
-    let config = check_config_from_cli();
+    let session = fa_bench::TelemetrySession::from_cli("renaming_bound");
+    let mut config = check_config_from_cli();
+    if let Some(registry) = session.registry() {
+        config = config.with_telemetry(registry);
+    }
     let outcome = check_renaming_with(&[1, 2], 500_000, &config).expect("check runs");
     let report = &outcome.report;
     println!(
@@ -78,4 +82,5 @@ fn main() {
     );
     println!("{}", sweep_summary(&outcome.telemetry));
     assert!(report.violation.is_none(), "{:?}", report.violation);
+    session.finish();
 }

@@ -41,7 +41,11 @@ fn main() {
 
     // E3: parallel wiring-sweep model check of the snapshot task (honors
     // --jobs); the report fields are deterministic, the telemetry is not.
-    let config = check_config_from_cli();
+    let session = fa_bench::TelemetrySession::from_cli("sweep");
+    let mut config = check_config_from_cli();
+    if let Some(registry) = session.registry() {
+        config = config.with_telemetry(registry);
+    }
     let e3 = check_snapshot_task_with(&[1, 2], 500_000, &config).expect("check runs");
     let t = &e3.telemetry;
     doc.insert(

@@ -139,7 +139,7 @@ where
 
 /// The acceptance scenario: crash ⌈n/2⌉ of `n = 6` snapshot processors (one
 /// poised mid-write) and require every survivor to output a valid view.
-fn snapshot_crash_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
+fn snapshot_crash_scenario(seed: u64, config: &ChaosConfig) -> ScenarioResult {
     let started = Instant::now();
     let n = 6;
     let inputs: Vec<u32> = (0..n as u32).collect();
@@ -149,14 +149,13 @@ fn snapshot_crash_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
         .crash_stop(1, 3)
         .crash_stop(3, 0)
         .crash_poised(5, 2);
-    let config = ChaosConfig::new(MAX_STEPS).with_deadline(deadline);
     let (report, probes) = run_chaos_probed(
         procs,
         random_wirings(n, seed),
         n,
         SnapRegister::default(),
         &plan,
-        &config,
+        config,
         |_| CampaignProbe::default(),
     )
     .expect("valid chaos config");
@@ -218,7 +217,7 @@ fn snapshot_crash_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
 
 /// Renaming under mixed faults: surviving names distinct and within the
 /// `M(M+1)/2` bound of Section 6.
-fn renaming_chaos_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
+fn renaming_chaos_scenario(seed: u64, config: &ChaosConfig) -> ScenarioResult {
     let started = Instant::now();
     let n = 5;
     let bound = n * (n + 1) / 2;
@@ -228,14 +227,13 @@ fn renaming_chaos_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
         .crash_poised(0, 1)
         .crash_stop(2, 4)
         .stall_once(3, 5, Duration::from_millis(1));
-    let config = ChaosConfig::new(MAX_STEPS).with_deadline(deadline);
     let (report, probes) = run_chaos_probed(
         procs,
         random_wirings(n, seed.wrapping_add(1000)),
         n,
         SnapRegister::default(),
         &plan,
-        &config,
+        config,
         |_| CampaignProbe::default(),
     )
     .expect("valid chaos config");
@@ -287,7 +285,7 @@ fn renaming_chaos_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
 
 /// Consensus with per-processor backoff arbiters under a stall storm: all
 /// processors must still decide one common value.
-fn consensus_backoff_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
+fn consensus_backoff_scenario(seed: u64, config: &ChaosConfig) -> ScenarioResult {
     let started = Instant::now();
     let n = 4;
     let inputs: Vec<u32> = vec![10, 20, 30, 40];
@@ -311,14 +309,13 @@ fn consensus_backoff_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
     let plan = FaultPlan::new(n)
         .stall_every(1, 3, Duration::from_micros(200))
         .stall_every(2, 4, Duration::from_micros(150));
-    let config = ChaosConfig::new(MAX_STEPS).with_deadline(deadline);
     let (report, probes) = run_chaos_probed(
         procs,
         random_wirings(n, seed.wrapping_add(2000)),
         n,
         SnapRegister::default(),
         &plan,
-        &config,
+        config,
         |_| CampaignProbe::default(),
     )
     .expect("valid chaos config");
@@ -377,21 +374,20 @@ fn consensus_backoff_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
 
 /// An injected `step` panic plus a crash-stop: the panic is contained as a
 /// per-processor outcome and the survivors still solve the task.
-fn panic_containment_scenario(seed: u64, deadline: Duration) -> ScenarioResult {
+fn panic_containment_scenario(seed: u64, config: &ChaosConfig) -> ScenarioResult {
     let started = Instant::now();
     let n = 4;
     let inputs: Vec<u32> = (0..n as u32).collect();
     let procs: Vec<SnapshotProcess<u32>> =
         inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
     let plan = FaultPlan::new(n).panic_at(1, 2).crash_stop(3, 1);
-    let config = ChaosConfig::new(MAX_STEPS).with_deadline(deadline);
     let (report, probes) = run_chaos_probed(
         procs,
         random_wirings(n, seed.wrapping_add(3000)),
         n,
         SnapRegister::default(),
         &plan,
-        &config,
+        config,
         |_| CampaignProbe::default(),
     )
     .expect("valid chaos config");
@@ -482,19 +478,28 @@ fn scenario_json(r: &ScenarioResult) -> Value {
 ///
 /// Panics if any scenario's invariant checks fail (the campaign doubles as
 /// an acceptance test), or if artifacts cannot be written.
-pub fn run_campaign(smoke: bool, seed_base: u64, out_path: Option<&str>) {
+pub fn run_campaign(
+    smoke: bool,
+    seed_base: u64,
+    out_path: Option<&str>,
+    telemetry: Option<std::sync::Arc<fa_obs::MetricRegistry>>,
+) {
     let seeds: Vec<u64> = if smoke { vec![0] } else { vec![0, 1, 2] };
     // Generous deadlines: the scenarios finish in milliseconds, the
     // deadline only bounds pathological machines (loaded CI runners).
     let deadline = Duration::from_secs(if smoke { 60 } else { 120 });
+    let mut config = ChaosConfig::new(MAX_STEPS).with_deadline(deadline);
+    if let Some(registry) = telemetry {
+        config = config.with_telemetry(registry);
+    }
 
     let mut results = Vec::new();
     for &s in &seeds {
         let seed = seed_base.wrapping_add(s);
-        results.push(snapshot_crash_scenario(seed, deadline));
-        results.push(renaming_chaos_scenario(seed, deadline));
-        results.push(consensus_backoff_scenario(seed, deadline));
-        results.push(panic_containment_scenario(seed, deadline));
+        results.push(snapshot_crash_scenario(seed, &config));
+        results.push(renaming_chaos_scenario(seed, &config));
+        results.push(consensus_backoff_scenario(seed, &config));
+        results.push(panic_containment_scenario(seed, &config));
     }
 
     // JSON artifact.
@@ -615,7 +620,8 @@ mod tests {
 
     #[test]
     fn acceptance_scenario_passes() {
-        let r = snapshot_crash_scenario(0, Duration::from_secs(60));
+        let config = ChaosConfig::new(MAX_STEPS).with_deadline(Duration::from_secs(60));
+        let r = snapshot_crash_scenario(0, &config);
         assert!(r.checks_passed, "{}", r.detail);
         assert_eq!(r.outcomes.iter().filter(|o| o.is_crashed()).count(), 3);
         assert!(!r.chaos_events.is_empty());
@@ -623,7 +629,8 @@ mod tests {
 
     #[test]
     fn consensus_scenario_decides_under_stall_storm() {
-        let r = consensus_backoff_scenario(0, Duration::from_secs(60));
+        let config = ChaosConfig::new(MAX_STEPS).with_deadline(Duration::from_secs(60));
+        let r = consensus_backoff_scenario(0, &config);
         assert!(r.checks_passed, "{}", r.detail);
         assert!(r.backoff_events.iter().any(|b| b.attempts > 0));
     }

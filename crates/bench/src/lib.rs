@@ -10,6 +10,9 @@
 
 pub mod chaos_campaign;
 pub mod obs_report;
+pub mod telemetry_cli;
+
+pub use telemetry_cli::TelemetrySession;
 
 use fa_core::runner::{run_snapshot_random, SnapshotRunConfig};
 use fa_core::{SnapRegister, View};

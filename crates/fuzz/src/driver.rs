@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use rand::SeedableRng;
@@ -14,11 +14,12 @@ use fa_memory::{
     CrashingScheduler, Executor, MemoryError, PctScheduler, ProcId, Process, RandomScheduler,
     Scheduler, ScriptedSchedule, SharedMemory,
 };
-use fa_obs::{FuzzEvent, Probe};
+use fa_obs::{FuzzEvent, MetricRegistry, Probe};
 
 use crate::case::{Algo, AlgoKind, CaseGen, FuzzCase};
 use crate::oracle::{ConsensusOracle, Oracle, RenamingOracle, SnapshotOracle, Violation};
 use crate::repro::ReproArtifact;
+use crate::telemetry::FuzzTelemetry;
 
 /// Outcome of one executed case.
 #[derive(Clone, Debug)]
@@ -270,6 +271,10 @@ pub struct CampaignConfig {
     pub jobs: Option<usize>,
     /// Case generator.
     pub gen: CaseGen,
+    /// Optional live-metric registry; when attached, workers record
+    /// `fuzz.*` counters, spans, and the per-case step histogram. Never
+    /// affects the deterministic report.
+    pub telemetry: Option<Arc<MetricRegistry>>,
 }
 
 impl CampaignConfig {
@@ -337,6 +342,10 @@ pub fn run_campaign<Pr: Probe>(config: &CampaignConfig, probe: &mut Pr) -> Campa
     let total = config.cases;
     let jobs = config.worker_count().clamp(1, total.max(1));
     let start = Instant::now();
+    let telemetry = config
+        .telemetry
+        .as_deref()
+        .map(FuzzTelemetry::from_registry);
 
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<CaseSummary>> = (0..total).map(|_| OnceLock::new()).collect();
@@ -348,9 +357,21 @@ pub fn run_campaign<Pr: Probe>(config: &CampaignConfig, probe: &mut Pr) -> Campa
                 if i >= total {
                     break;
                 }
+                let generate_guard = telemetry.as_ref().map(|t| t.generate.enter());
                 let case = campaign_case(config, i);
+                drop(generate_guard);
+                let execute_guard = telemetry.as_ref().map(|t| t.execute.enter());
                 let result = run_case(&case);
+                drop(execute_guard);
                 let violating = result.violation.is_some();
+                if let Some(tel) = &telemetry {
+                    tel.cases_done.inc();
+                    tel.steps_total.add(result.steps as u64);
+                    if violating {
+                        tel.violations.inc();
+                    }
+                    tel.case_steps.record(result.steps as u64);
+                }
                 let _ = slots[i].set(CaseSummary {
                     algo: case.algo.kind(),
                     steps: result.steps,
@@ -397,7 +418,9 @@ pub fn run_campaign<Pr: Probe>(config: &CampaignConfig, probe: &mut Pr) -> Campa
                     .schedule
                     .clone()
                     .expect("violating cases keep their schedules");
+                let shrink_guard = telemetry.as_ref().map(|t| t.shrink.enter());
                 let minimal = shrink_schedule(&case, &schedule);
+                drop(shrink_guard);
                 first_repro = Some(ReproArtifact::new(
                     format!("{}-repro-{i}", config.campaign),
                     case,

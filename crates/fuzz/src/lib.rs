@@ -41,6 +41,7 @@ pub mod corpus;
 pub mod driver;
 pub mod oracle;
 pub mod repro;
+pub mod telemetry;
 
 pub use case::{Algo, AlgoKind, CaseGen, FuzzCase};
 pub use driver::{
@@ -49,3 +50,4 @@ pub use driver::{
 };
 pub use oracle::{ConsensusOracle, Oracle, RenamingOracle, SnapshotOracle, Violation};
 pub use repro::ReproArtifact;
+pub use telemetry::FuzzTelemetry;

@@ -78,7 +78,8 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use fa_obs::{
-    ChaosEvent, ChaosKind, NoProbe, OpKind, OutputEvent, Probe, ReadEvent, TimingEvent, WriteEvent,
+    ChaosEvent, ChaosKind, Counter, MetricRegistry, NoProbe, OpKind, OutputEvent, Probe, ReadEvent,
+    Span, TimingEvent, WriteEvent,
 };
 use parking_lot::Mutex;
 
@@ -281,6 +282,9 @@ pub struct ChaosConfig {
     /// expires is classified [`ProcOutcome::Stalled`] (wedged), younger ones
     /// [`ProcOutcome::DeadlineExceeded`] (alive but too slow).
     pub stall_grace: Duration,
+    /// Optional live-metric registry; when attached, each run records the
+    /// `chaos.*` metrics (see [`ChaosTelemetry`]). Never affects outcomes.
+    pub telemetry: Option<Arc<MetricRegistry>>,
 }
 
 impl ChaosConfig {
@@ -292,6 +296,7 @@ impl ChaosConfig {
             max_steps,
             deadline: None,
             stall_grace: Duration::from_secs(1),
+            telemetry: None,
         }
     }
 
@@ -307,6 +312,50 @@ impl ChaosConfig {
     pub fn with_stall_grace(mut self, grace: Duration) -> Self {
         self.stall_grace = grace;
         self
+    }
+
+    /// Attaches a live-metric registry (builder style).
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: Arc<MetricRegistry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+}
+
+/// Live-telemetry handles one chaos run records into (`chaos.*` names,
+/// shared with the bench binaries and `obs_report` trend tables):
+///
+/// | name                   | kind    | meaning                                |
+/// |------------------------|---------|----------------------------------------|
+/// | `chaos.scenarios_done` | counter | supervised runs finished               |
+/// | `chaos.steps_total`    | counter | heartbeat step sum across all workers  |
+/// | `chaos.supervise`      | span    | report collection until deadline       |
+/// | `chaos.collect`        | span    | outcome classification + final memory  |
+///
+/// All handles record with relaxed atomics; attaching them never changes a
+/// run's [`ThreadedReport`].
+#[derive(Clone, Debug, Default)]
+pub struct ChaosTelemetry {
+    /// `chaos.scenarios_done`.
+    pub scenarios_done: Counter,
+    /// `chaos.steps_total`.
+    pub steps_total: Counter,
+    /// `chaos.supervise`.
+    pub supervise: Span,
+    /// `chaos.collect`.
+    pub collect: Span,
+}
+
+impl ChaosTelemetry {
+    /// Resolves the `chaos.*` handles from `registry`.
+    #[must_use]
+    pub fn from_registry(registry: &MetricRegistry) -> Self {
+        ChaosTelemetry {
+            scenarios_done: registry.counter("chaos.scenarios_done"),
+            steps_total: registry.counter("chaos.steps_total"),
+            supervise: registry.span("chaos.supervise"),
+            collect: registry.span("chaos.collect"),
+        }
     }
 }
 
@@ -644,8 +693,14 @@ where
     }
     drop(tx);
 
+    let telemetry = config
+        .telemetry
+        .as_deref()
+        .map(ChaosTelemetry::from_registry);
+
     // Supervision: collect reports until all workers answered or the
     // deadline expires; classify the silent ones by heartbeat age.
+    let supervise_guard = telemetry.as_ref().map(|t| t.supervise.enter());
     let mut slots: Vec<Option<WorkerReport<P::Output, Pr>>> = (0..n).map(|_| None).collect();
     let mut received = 0usize;
     while received < n {
@@ -667,7 +722,9 @@ where
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
+    drop(supervise_guard);
 
+    let collect_guard = telemetry.as_ref().map(|t| t.collect.enter());
     let mut outputs = Vec::with_capacity(n);
     let mut steps = Vec::with_capacity(n);
     let mut outcomes = Vec::with_capacity(n);
@@ -700,6 +757,11 @@ where
             (*cell.value).clone()
         })
         .collect();
+    drop(collect_guard);
+    if let Some(tel) = &telemetry {
+        tel.scenarios_done.inc();
+        tel.steps_total.add(steps.iter().map(|&s| s as u64).sum());
+    }
     Ok((
         ThreadedReport {
             outputs,
@@ -969,6 +1031,44 @@ mod tests {
         assert!(report.all_completed());
         assert!(report.outcomes.iter().all(ProcOutcome::is_completed));
         assert_eq!(report.outputs.iter().map(Vec::len).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn telemetry_attached_run_reports_identically_and_counts_exactly() {
+        let run = |telemetry: Option<Arc<MetricRegistry>>| {
+            let mut config = ChaosConfig::new(100);
+            config.telemetry = telemetry;
+            run_chaos(
+                writers(3, 2),
+                vec![Wiring::identity(1); 3],
+                1,
+                0u32,
+                &FaultPlan::new(3),
+                &config,
+            )
+            .unwrap()
+        };
+        let plain = run(None);
+        let registry = Arc::new(MetricRegistry::new());
+        let probed = run(Some(Arc::clone(&registry)));
+        assert_eq!(plain.outcomes, probed.outcomes);
+        assert_eq!(plain.outputs, probed.outputs);
+        assert_eq!(plain.steps, probed.steps);
+
+        let snap = registry.sample(0, None);
+        assert_eq!(snap.counter("chaos.scenarios_done"), 1);
+        assert_eq!(
+            snap.counter("chaos.steps_total"),
+            probed.steps.iter().map(|&s| s as u64).sum::<u64>()
+        );
+        let supervise = snap.phases.get("chaos.supervise").expect("supervise span");
+        assert_eq!(supervise.calls, 1);
+        let collect = snap.phases.get("chaos.collect").expect("collect span");
+        assert_eq!(collect.calls, 1);
+
+        // A second supervised run accumulates into the same registry.
+        let _ = run(Some(Arc::clone(&registry)));
+        assert_eq!(registry.counter("chaos.scenarios_done").get(), 2);
     }
 
     #[test]

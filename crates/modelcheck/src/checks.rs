@@ -27,31 +27,57 @@ use std::time::Instant;
 
 use fa_core::{ConsensusProcess, RenamingProcess, SnapshotProcess, View};
 use fa_memory::{Process, Wiring};
-use fa_obs::SweepEvent;
+use fa_obs::{MetricRegistry, SweepEvent};
 use fa_tasks::{check_group_solution, AdaptiveRenaming, GroupAssignment, GroupId, Snapshot, Task};
 
 use crate::explorer::{Explorer, McState};
+use crate::telemetry::SweepTelemetry;
 use crate::wirings::ComboTable;
 
 /// Sweep execution knobs, threaded through the `check_*_with` harnesses.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality deliberately ignores the telemetry attachment: two configs are
+/// equal iff they produce the same deterministic sweep.
+#[derive(Clone, Debug, Default)]
 pub struct CheckConfig {
     /// Worker threads for the combo sweep. `None` (the default) uses the
     /// machine's available parallelism; `Some(1)` forces a serial sweep.
     pub jobs: Option<usize>,
+    /// Live-telemetry registry the sweep records `mc.*` metrics into.
+    /// `None` (the default) keeps every telemetry hook compiled to a no-op
+    /// branch; `Some` never changes the deterministic report.
+    pub telemetry: Option<Arc<MetricRegistry>>,
 }
+
+impl PartialEq for CheckConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.jobs == other.jobs
+    }
+}
+
+impl Eq for CheckConfig {}
 
 impl CheckConfig {
     /// A serial sweep (`jobs = 1`).
     #[must_use]
     pub fn serial() -> Self {
-        CheckConfig { jobs: Some(1) }
+        CheckConfig {
+            jobs: Some(1),
+            telemetry: None,
+        }
     }
 
     /// Sets the worker count (clamped to at least 1).
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Attaches a live-telemetry registry (see [`CheckConfig::telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: Arc<MetricRegistry>) -> Self {
+        self.telemetry = Some(registry);
         self
     }
 
@@ -131,6 +157,17 @@ where
     let jobs = config.worker_count().min(total.max(1));
     let start = Instant::now();
 
+    // Live telemetry (optional): phase spans and progress counters, shared
+    // by every worker. The deterministic report below never reads them.
+    let telemetry = config
+        .telemetry
+        .as_deref()
+        .map(SweepTelemetry::from_registry);
+    if let Some(tel) = &telemetry {
+        tel.combos_total.set(total as u64);
+        tel.jobs.set(jobs as u64);
+    }
+
     let next = AtomicUsize::new(0);
     // Lowest combo index with a violation found so far (MAX = none yet).
     let best = AtomicUsize::new(usize::MAX);
@@ -139,6 +176,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
+                let claim_guard = telemetry.as_ref().map(|t| t.claim.enter());
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= total {
                     break;
@@ -148,8 +186,19 @@ where
                     continue;
                 }
                 let combo = table.combo(i);
+                drop(claim_guard);
                 let stop = || i > best.load(Ordering::Relaxed);
-                let result = make_explorer(combo.clone()).run_until(&invariant, stop);
+                let mut explorer = make_explorer(combo.clone());
+                if let Some(tel) = &telemetry {
+                    explorer = explorer.with_telemetry(tel.explorer.clone());
+                }
+                let expand_guard = telemetry.as_ref().map(|t| t.expand.enter());
+                let result = explorer.run_until(&invariant, stop);
+                drop(expand_guard);
+                if let Some(tel) = &telemetry {
+                    tel.combos_done.inc();
+                    tel.combo_states.record(result.states as u64);
+                }
                 let violation = result.violation.map(|v| {
                     format!(
                         "{violation_prefix}wirings {:?}: {} (schedule {:?})",
@@ -847,6 +896,42 @@ mod tests {
         assert_eq!(outcome.telemetry.combos_attempted, 25);
         assert_eq!(outcome.telemetry.combos_total, 36);
         assert_eq!(outcome.telemetry.per_combo_states.len(), 25);
+    }
+
+    #[test]
+    fn telemetry_attached_sweep_reports_identically_and_counts_exactly() {
+        let plain = check_snapshot_task_with(&[1, 2], 500_000, &CheckConfig::serial()).unwrap();
+
+        let registry = Arc::new(MetricRegistry::new());
+        let config = CheckConfig::serial().with_telemetry(Arc::clone(&registry));
+        let probed = check_snapshot_task_with(&[1, 2], 500_000, &config).unwrap();
+
+        // Telemetry must not perturb the deterministic report (the CI
+        // telemetry-smoke job re-proves this at the byte level).
+        assert_eq!(probed.report, plain.report);
+        assert_eq!(
+            probed.telemetry.per_combo_states,
+            plain.telemetry.per_combo_states
+        );
+
+        // The live counters agree exactly with the report.
+        let snap = registry.sample(0, None);
+        assert_eq!(
+            snap.counter("mc.states_total"),
+            plain.report.total_states as u64
+        );
+        assert_eq!(snap.counter("mc.combos_done"), plain.report.combos as u64);
+        assert_eq!(
+            snap.gauge("mc.combos_total"),
+            plain.report.total_combos as u64
+        );
+        assert_eq!(snap.gauge("mc.jobs"), 1);
+        // Phase spans saw one interval per combo claim/expansion.
+        assert_eq!(snap.phases["mc.expand"].calls, plain.report.combos as u64);
+        assert_eq!(
+            snap.quantiles["mc.combo_states"].count,
+            plain.report.combos as u64
+        );
     }
 
     #[test]

@@ -4,8 +4,11 @@ use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 use std::sync::Arc;
+use std::time::Instant;
 
 use fa_memory::{Action, ProcId, Process, StepInput, Wiring};
+
+use crate::telemetry::ExplorerTelemetry;
 
 /// A process's poised-action slot: `None` once the process has halted.
 pub type PendingAction<P> = Option<Arc<Action<<P as Process>::Value, <P as Process>::Output>>>;
@@ -234,6 +237,15 @@ where
         }
     }
 
+    /// Entries across all four slot tables — the live size of the interned
+    /// value universe this exploration has touched.
+    fn len_total(&self) -> usize {
+        self.memory.ids.len()
+            + self.procs.ids.len()
+            + self.pending.ids.len()
+            + self.outputs.ids.len()
+    }
+
     /// The interned key of `state`. Given the `parent` state and its key,
     /// slots sharing the parent's allocation (`Arc::ptr_eq`) reuse the
     /// parent's id without rehashing — a BFS step rewrites at most three
@@ -325,12 +337,20 @@ where
     max_states: usize,
     max_depth: Option<usize>,
     coarse_scans: bool,
+    telemetry: Option<ExplorerTelemetry>,
 }
 
 /// How many state expansions pass between polls of the external stop signal
 /// in [`Explorer::run_until`]: frequent enough to abort promptly, rare
-/// enough to keep the check off the hot path.
+/// enough to keep the check off the hot path. Telemetry gauges are flushed
+/// on the same boundary, so live sampling shares the existing slow path.
 const STOP_POLL_INTERVAL: usize = 1024;
+
+/// One in this many expansions is wall-clock timed for the `mc.dedup` span
+/// (recorded scaled, so totals stay unbiased). Sampling keeps the two
+/// `Instant::now()` calls off the per-expansion hot path — the <5% probe
+/// overhead budget of EXPERIMENTS E22.
+const DEDUP_SAMPLE_INTERVAL: usize = 64;
 
 impl<P> Explorer<P>
 where
@@ -367,6 +387,7 @@ where
             max_states: 1_000_000,
             max_depth: None,
             coarse_scans: false,
+            telemetry: None,
         }
     }
 
@@ -394,6 +415,16 @@ where
     #[must_use]
     pub fn with_max_depth(mut self, depth: usize) -> Self {
         self.max_depth = Some(depth);
+        self
+    }
+
+    /// Attaches live-telemetry handles: the exploration then publishes
+    /// state/frontier/visited-table/interner metrics on the stop-poll
+    /// boundary and sampled dedup timings. Purely additive — attaching
+    /// telemetry never changes the [`ExploreReport`].
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: ExplorerTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -442,6 +473,27 @@ where
         let mut terminal = 0usize;
         let mut complete = true;
         let mut since_poll = 0usize;
+        // Live-telemetry bookkeeping: states are published as deltas (so the
+        // shared counter stays globally monotone across combos and workers),
+        // gauges on the stop-poll boundary and at every exit.
+        let mut expansions = 0usize;
+        let mut flushed_states = 0usize;
+        let key_words = self.initial.memory.len() + 3 * self.initial.procs.len();
+        let flush_telemetry =
+            |flushed: &mut usize, visited: usize, depth: usize, interner_entries: usize| {
+                if let Some(tel) = &self.telemetry {
+                    tel.states.add((visited - *flushed) as u64);
+                    *flushed = visited;
+                    tel.frontier_depth.set(depth as u64);
+                    tel.visited_entries.set(visited as u64);
+                    // Estimate, not an allocator measurement: `key_words`
+                    // u32s per key, plus the state's slot-pointer vectors
+                    // and parent/depth/index bookkeeping per arena entry.
+                    tel.visited_bytes
+                        .set((visited * (key_words * 12 + 170)) as u64);
+                    tel.interner_entries.set(interner_entries as u64);
+                }
+            };
 
         let make_violation = |arena: &[ArenaEntry<P>], at: usize, message: String| {
             let mut schedule = Vec::new();
@@ -464,6 +516,7 @@ where
         keys.push(k0);
         queue.push_back(0);
         if let Err(message) = invariant(&self.initial) {
+            flush_telemetry(&mut flushed_states, 1, 0, interners.len_total());
             return ExploreReport {
                 states: 1,
                 terminal_states: usize::from(self.initial.all_halted()),
@@ -489,6 +542,12 @@ where
                 since_poll += 1;
                 if since_poll >= STOP_POLL_INTERVAL {
                     since_poll = 0;
+                    flush_telemetry(
+                        &mut flushed_states,
+                        arena.len(),
+                        depth,
+                        interners.len_total(),
+                    );
                     if stop() {
                         return ExploreReport {
                             states: arena.len(),
@@ -503,9 +562,22 @@ where
                 } else {
                     state.step(p, &self.wirings).expect("live process steps")
                 };
+                // One expansion in DEDUP_SAMPLE_INTERVAL is wall-clock
+                // timed through keying + visited lookup; recorded scaled so
+                // the span total stays an unbiased estimate.
+                expansions += 1;
+                let dedup_start = (self.telemetry.is_some()
+                    && expansions % DEDUP_SAMPLE_INTERVAL == 0)
+                    .then(Instant::now);
                 let nk = interners.key(&next, Some((&state, &keys[cur])));
                 let slot = index.entry(hash_key(&nk)).or_default();
-                if slot.iter().any(|&i| keys[i] == nk) {
+                let duplicate = slot.iter().any(|&i| keys[i] == nk);
+                if let (Some(started), Some(tel)) = (dedup_start, &self.telemetry) {
+                    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    tel.dedup
+                        .record_sampled_ns(ns, DEDUP_SAMPLE_INTERVAL as u64);
+                }
+                if duplicate {
                     continue;
                 }
                 if arena.len() >= self.max_states {
@@ -517,6 +589,12 @@ where
                 keys.push(nk);
                 arena.push((next, Some((cur, p)), depth + 1));
                 if let Err(message) = invariant(&arena[id].0) {
+                    flush_telemetry(
+                        &mut flushed_states,
+                        arena.len(),
+                        depth,
+                        interners.len_total(),
+                    );
                     return ExploreReport {
                         states: arena.len(),
                         terminal_states: terminal,
@@ -528,6 +606,7 @@ where
             }
         }
 
+        flush_telemetry(&mut flushed_states, arena.len(), 0, interners.len_total());
         ExploreReport {
             states: arena.len(),
             terminal_states: terminal,
@@ -833,6 +912,46 @@ mod tests {
             same.states,
             distinct.states
         );
+    }
+
+    #[test]
+    fn telemetry_is_exact_and_never_changes_the_report() {
+        use fa_core::SnapshotProcess;
+        use fa_obs::MetricRegistry;
+
+        let mk = || {
+            let procs: Vec<SnapshotProcess<u8>> =
+                vec![SnapshotProcess::new(1, 2), SnapshotProcess::new(2, 2)];
+            Explorer::new(
+                procs,
+                2,
+                Default::default(),
+                vec![Wiring::identity(2), Wiring::cyclic_shift(2, 1)],
+            )
+        };
+        let plain = mk().run(|_| Ok(()));
+
+        let registry = MetricRegistry::new();
+        let tel = ExplorerTelemetry::from_registry(&registry);
+        let probed = mk().with_telemetry(tel.clone()).run(|_| Ok(()));
+
+        // The deterministic report is untouched by telemetry.
+        assert_eq!(probed.states, plain.states);
+        assert_eq!(probed.terminal_states, plain.terminal_states);
+        assert_eq!(probed.complete, plain.complete);
+
+        // The live counter converges on the exact state count, and the
+        // gauges hold the final table sizes.
+        assert_eq!(tel.states.get(), plain.states as u64);
+        assert_eq!(tel.visited_entries.get(), plain.states as u64);
+        assert!(tel.visited_bytes.get() > 0);
+        assert!(tel.interner_entries.get() > 0);
+
+        // A second probed run accumulates onto the same counter (monotone
+        // across combos), rather than resetting it.
+        let again = mk().with_telemetry(tel.clone()).run(|_| Ok(()));
+        assert_eq!(again.states, plain.states);
+        assert_eq!(tel.states.get(), 2 * plain.states as u64);
     }
 
     #[test]

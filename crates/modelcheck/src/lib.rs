@@ -40,7 +40,9 @@ pub mod atomicity;
 pub mod checks;
 mod explorer;
 pub mod simulate;
+pub mod telemetry;
 pub mod wirings;
 
 pub use checks::{CheckConfig, CheckOutcome, TaskCheckReport};
 pub use explorer::{step_block, ExploreReport, Explorer, McState, Violation};
+pub use telemetry::{ExplorerTelemetry, SweepTelemetry};

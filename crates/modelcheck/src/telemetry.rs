@@ -1,0 +1,115 @@
+//! Live-telemetry handle bundles for the model checker.
+//!
+//! Metric names are stable, dot-scoped identifiers (`mc.*`) shared with the
+//! bench binaries and the `obs_report` trend tables:
+//!
+//! | name                   | kind      | meaning                                    |
+//! |------------------------|-----------|--------------------------------------------|
+//! | `mc.states_total`      | counter   | distinct states admitted across all combos |
+//! | `mc.combos_done`       | counter   | wiring combinations finished               |
+//! | `mc.combos_total`      | gauge     | combinations in the sweep                  |
+//! | `mc.jobs`              | gauge     | sweep worker threads                       |
+//! | `mc.frontier_depth`    | gauge     | BFS depth currently being expanded         |
+//! | `mc.visited_entries`   | gauge     | arena size of the sampled combo            |
+//! | `mc.visited_bytes_est` | gauge     | estimated bytes of keys + arena + index    |
+//! | `mc.interner_entries`  | gauge     | per-slot interner entries (all four maps)  |
+//! | `mc.claim`             | span      | combo claim + wiring materialization       |
+//! | `mc.expand`            | span      | per-combo BFS exploration                  |
+//! | `mc.dedup`             | span      | key + visited lookup (1-in-64 sampled)     |
+//! | `mc.combo_states`      | histogram | states per finished combination            |
+//!
+//! Gauges are last-write-wins: with a parallel sweep they describe the most
+//! recently sampled worker's combo, which is the useful live reading (the
+//! counter `mc.states_total` stays globally exact). All handles record with
+//! relaxed atomics; attaching them never changes a deterministic report.
+
+use fa_obs::{Counter, Gauge, LiveHistogram, MetricRegistry, Span};
+
+/// Telemetry handles one [`Explorer`](crate::Explorer) records into while
+/// exploring. Cloning shares the underlying atomics, so a parallel sweep
+/// hands every worker's explorer the same bundle.
+#[derive(Clone, Debug, Default)]
+pub struct ExplorerTelemetry {
+    /// `mc.states_total` — monotone across combos and workers.
+    pub states: Counter,
+    /// `mc.frontier_depth`.
+    pub frontier_depth: Gauge,
+    /// `mc.visited_entries`.
+    pub visited_entries: Gauge,
+    /// `mc.visited_bytes_est`.
+    pub visited_bytes: Gauge,
+    /// `mc.interner_entries`.
+    pub interner_entries: Gauge,
+    /// `mc.dedup` — sampled, see [`crate::Explorer`] docs.
+    pub dedup: Span,
+}
+
+impl ExplorerTelemetry {
+    /// Resolves the `mc.*` explorer handles from `registry`.
+    #[must_use]
+    pub fn from_registry(registry: &MetricRegistry) -> Self {
+        ExplorerTelemetry {
+            states: registry.counter("mc.states_total"),
+            frontier_depth: registry.gauge("mc.frontier_depth"),
+            visited_entries: registry.gauge("mc.visited_entries"),
+            visited_bytes: registry.gauge("mc.visited_bytes_est"),
+            interner_entries: registry.gauge("mc.interner_entries"),
+            dedup: registry.span("mc.dedup"),
+        }
+    }
+}
+
+/// Telemetry handles for a wiring sweep: the per-explorer bundle plus
+/// sweep-level progress and phase spans.
+#[derive(Clone, Debug, Default)]
+pub struct SweepTelemetry {
+    /// Handles threaded into each combo's explorer.
+    pub explorer: ExplorerTelemetry,
+    /// `mc.combos_done`.
+    pub combos_done: Counter,
+    /// `mc.combos_total`.
+    pub combos_total: Gauge,
+    /// `mc.jobs`.
+    pub jobs: Gauge,
+    /// `mc.claim`.
+    pub claim: Span,
+    /// `mc.expand`.
+    pub expand: Span,
+    /// `mc.combo_states`.
+    pub combo_states: LiveHistogram,
+}
+
+impl SweepTelemetry {
+    /// Resolves the `mc.*` sweep handles from `registry`.
+    #[must_use]
+    pub fn from_registry(registry: &MetricRegistry) -> Self {
+        SweepTelemetry {
+            explorer: ExplorerTelemetry::from_registry(registry),
+            combos_done: registry.counter("mc.combos_done"),
+            combos_total: registry.gauge("mc.combos_total"),
+            jobs: registry.gauge("mc.jobs"),
+            claim: registry.span("mc.claim"),
+            expand: registry.span("mc.expand"),
+            combo_states: registry.histogram("mc.combo_states"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_resolve_to_shared_registry_metrics() {
+        let registry = MetricRegistry::new();
+        let a = SweepTelemetry::from_registry(&registry);
+        let b = SweepTelemetry::from_registry(&registry);
+        a.explorer.states.add(3);
+        b.explorer.states.add(4);
+        assert_eq!(registry.counter("mc.states_total").get(), 7);
+        a.combos_done.inc();
+        assert_eq!(registry.counter("mc.combos_done").get(), 1);
+        a.combos_total.set(36);
+        assert_eq!(b.combos_total.get(), 36);
+    }
+}

@@ -8,6 +8,7 @@
 //! metrics-only path free of formatting cost.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// The four operation kinds a processor can take in one step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -235,6 +236,96 @@ pub struct BackoffEvent {
     pub max_backoff_ns: u64,
 }
 
+/// Cumulative wall-clock totals for one named phase, as sampled from a
+/// live [`Span`](crate::Span) — claim/expand/dedup in the model checker,
+/// generate/execute/shrink in the fuzz driver, supervise/collect in chaos.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Total nanoseconds spent inside the phase since registry creation.
+    pub ns: u64,
+    /// Intervals folded into `ns` (sampled phases scale both together, so
+    /// `ns / calls` stays an honest per-interval mean).
+    pub calls: u64,
+    /// `ns` as a share of registry wall-clock elapsed. Worker threads time
+    /// phases concurrently, so shares may exceed `1.0` and their sum is
+    /// bounded by the number of workers, not by one.
+    pub share: f64,
+}
+
+/// Bucket-boundary quantiles of one live histogram at sample time.
+///
+/// Quantiles are exact with respect to log₂ bucket boundaries (each is the
+/// upper bound of the bucket holding the nearest-rank sample), matching
+/// [`Histogram::quantile`](crate::Histogram::quantile).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantileStat {
+    /// Samples recorded so far.
+    pub count: u64,
+    /// 50th-percentile upper bucket bound.
+    pub p50: u64,
+    /// 95th-percentile upper bucket bound.
+    pub p95: u64,
+    /// 99th-percentile upper bucket bound.
+    pub p99: u64,
+}
+
+/// One periodic sample of a live [`MetricRegistry`](crate::MetricRegistry),
+/// appended by the background [`TelemetryEmitter`](crate::TelemetryEmitter)
+/// to a dedicated JSONL stream.
+///
+/// Snapshots are wall-clock-derived and therefore non-deterministic *by
+/// design*; they never feed back into `TaskCheckReport` or the fuzz/chaos
+/// reports, which stay byte-identical with telemetry on or off.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Sample sequence number, starting at 0, strictly increasing within a
+    /// stream.
+    pub seq: u64,
+    /// Nanoseconds since the registry was created.
+    pub elapsed_ns: u64,
+    /// Monotone counter values (e.g. `mc.states_total`, `fuzz.cases_done`).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauge values (e.g. `mc.frontier_depth`,
+    /// `mc.visited_entries`, `mc.visited_bytes_est`, interner sizes).
+    pub gauges: BTreeMap<String, u64>,
+    /// Per-second rate of each counter over the interval since the previous
+    /// snapshot (whole-run average for the first sample of a stream).
+    pub rates: BTreeMap<String, f64>,
+    /// Cumulative per-phase span totals, keyed by span name.
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Quantiles of each live histogram, keyed by histogram name.
+    pub quantiles: BTreeMap<String, QuantileStat>,
+    /// Resident set size in bytes (`/proc/self/statm`; 0 where unavailable).
+    pub rss_bytes: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Convenience: a counter value by name, 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience: a gauge value by name, 0 when absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Cumulative wall-clock total for one named span, emitted once per span
+/// when a telemetry stream closes (and available for direct streaming of
+/// individual intervals).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Span name (e.g. `"mc.expand"`, `"fuzz.shrink"`).
+    pub name: String,
+    /// Nanoseconds covered by this event.
+    pub ns: u64,
+    /// Intervals folded into `ns` (1 for a single interval).
+    pub calls: u64,
+}
+
 #[allow(clippy::cast_precision_loss)]
 fn rate(count: usize, elapsed_ns: u64) -> f64 {
     if elapsed_ns == 0 {
@@ -262,11 +353,50 @@ pub enum ProbeEvent {
     Fuzz(FuzzEvent),
     Chaos(ChaosEvent),
     Backoff(BackoffEvent),
+    Telemetry(TelemetrySnapshot),
+    Span(SpanEvent),
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
+
+    /// A fully-populated snapshot exercising every field, including an f64
+    /// rate that must survive the JSON round trip losslessly.
+    pub(crate) fn sample_snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            seq: 7,
+            elapsed_ns: 1_750_000_000,
+            counters: BTreeMap::from([
+                ("mc.states_total".to_string(), 1_234_567),
+                ("mc.combos_done".to_string(), 42),
+            ]),
+            gauges: BTreeMap::from([
+                ("mc.frontier_depth".to_string(), 11),
+                ("mc.visited_entries".to_string(), 98_765),
+                ("mc.visited_bytes_est".to_string(), 12_345_678),
+            ]),
+            rates: BTreeMap::from([("mc.states_total".to_string(), 198_431.062_5)]),
+            phases: BTreeMap::from([(
+                "mc.expand".to_string(),
+                PhaseStat {
+                    ns: 1_500_000_000,
+                    calls: 42,
+                    share: 0.857_142_857,
+                },
+            )]),
+            quantiles: BTreeMap::from([(
+                "mc.combo_states".to_string(),
+                QuantileStat {
+                    count: 42,
+                    p50: 1023,
+                    p95: 2047,
+                    p99: 4095,
+                },
+            )]),
+            rss_bytes: 88_080_384,
+        }
+    }
 
     #[test]
     fn events_round_trip_through_json() {
@@ -348,6 +478,12 @@ mod tests {
                 backoffs: 11,
                 total_backoff_ns: 5_500_000,
                 max_backoff_ns: 1_200_000,
+            }),
+            ProbeEvent::Telemetry(sample_snapshot()),
+            ProbeEvent::Span(SpanEvent {
+                name: "mc.expand".to_string(),
+                ns: 9_876_543,
+                calls: 321,
             }),
         ];
         for ev in events {

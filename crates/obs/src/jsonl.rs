@@ -1,50 +1,99 @@
 //! Streaming sink: one JSON object per event, one event per line.
 
 use crate::events::{
-    BackoffEvent, ChaosEvent, FuzzEvent, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, StepEvent,
-    SweepEvent, TimingEvent, WriteEvent,
+    BackoffEvent, ChaosEvent, FuzzEvent, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, SpanEvent,
+    StepEvent, SweepEvent, TelemetrySnapshot, TimingEvent, WriteEvent,
 };
 use crate::probe::Probe;
-use std::io::Write;
+use std::io::{self, Write};
 
 /// Writes every probe event to `w` as JSONL (externally-tagged
 /// [`ProbeEvent`] objects, newline-delimited).
 ///
 /// Wants values: read/write/output events carry the `Debug` rendering of
-/// the value involved. Write errors panic — a telemetry stream that silently
-/// drops events would be worse than a loud failure in this experimental
-/// harness.
+/// the value involved.
+///
+/// Error handling: the first write error sticks — later events become no-ops
+/// (the stream is truncated, not interleaved with garbage) and the error is
+/// surfaced by [`JsonlSink::finish`], inspectable early via
+/// [`JsonlSink::error`]. Dropping a sink flushes it, so a campaign that
+/// unwinds mid-run still lands its trailing buffered events; an unconsumed
+/// error is reported on stderr at drop rather than lost.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    writer: W,
+    /// `None` only after `finish`/`into_inner` took the writer out.
+    writer: Option<W>,
     events_written: u64,
+    error: Option<io::Error>,
 }
 
 impl<W: Write> JsonlSink<W> {
     /// Wraps a writer. Consider a `BufWriter` for file targets.
     pub fn new(writer: W) -> Self {
         JsonlSink {
-            writer,
+            writer: Some(writer),
             events_written: 0,
+            error: None,
         }
     }
 
-    /// Number of events written so far.
+    /// Number of events successfully written so far.
     #[must_use]
     pub fn events_written(&self) -> u64 {
         self.events_written
     }
 
-    /// Flushes and returns the underlying writer.
-    pub fn into_inner(mut self) -> W {
-        self.writer.flush().expect("jsonl sink flush failed");
-        self.writer
+    /// The sticky write error, if any event or flush has failed.
+    #[must_use]
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer, or the first write/flush
+    /// error the stream hit. The graceful close for campaign streams.
+    pub fn finish(mut self) -> io::Result<W> {
+        let mut writer = self.writer.take().expect("writer present until consumed");
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => writer.flush().map(|()| writer),
+        }
+    }
+
+    /// Flushes and returns the underlying writer; panics on a write error.
+    /// Prefer [`JsonlSink::finish`] where an error can be handled.
+    pub fn into_inner(self) -> W {
+        self.finish().expect("jsonl sink flush failed")
     }
 
     fn emit(&mut self, event: &ProbeEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let writer = self.writer.as_mut().expect("writer present until consumed");
         let line = serde_json::to_string(event).expect("probe event serialization cannot fail");
-        writeln!(self.writer, "{line}").expect("jsonl sink write failed");
-        self.events_written += 1;
+        match writeln!(writer, "{line}") {
+            Ok(()) => self.events_written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let Some(writer) = self.writer.as_mut() else {
+            return; // finish()/into_inner() already flushed and took it
+        };
+        if let Err(e) = writer.flush() {
+            self.error.get_or_insert(e);
+        }
+        if let Some(e) = &self.error {
+            // Surfacing of last resort: the stream owner never called
+            // finish(), so the truncation would otherwise be invisible.
+            eprintln!(
+                "jsonl sink dropped with unreported write error after {} events: {e}",
+                self.events_written
+            );
+        }
     }
 }
 
@@ -94,6 +143,14 @@ impl<W: Write> Probe for JsonlSink<W> {
     fn on_backoff(&mut self, event: &BackoffEvent) {
         self.emit(&ProbeEvent::Backoff(event.clone()));
     }
+
+    fn on_telemetry(&mut self, event: &TelemetrySnapshot) {
+        self.emit(&ProbeEvent::Telemetry(event.clone()));
+    }
+
+    fn on_span(&mut self, event: &SpanEvent) {
+        self.emit(&ProbeEvent::Span(event.clone()));
+    }
 }
 
 /// Parses a JSONL stream produced by [`JsonlSink`] back into events.
@@ -127,6 +184,8 @@ pub fn replay_events<P: Probe>(events: &[ProbeEvent], probe: &mut P) {
             ProbeEvent::Fuzz(e) => probe.on_fuzz(e),
             ProbeEvent::Chaos(e) => probe.on_chaos(e),
             ProbeEvent::Backoff(e) => probe.on_backoff(e),
+            ProbeEvent::Telemetry(e) => probe.on_telemetry(e),
+            ProbeEvent::Span(e) => probe.on_span(e),
         }
     }
 }
@@ -200,5 +259,115 @@ mod tests {
     fn malformed_lines_name_their_position() {
         let err = parse_jsonl("{\"Halt\":{\"proc_id\":0,\"time\":1}}\nnot json\n").unwrap_err();
         assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn telemetry_and_span_arms_round_trip_through_replay() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let snap = crate::events::tests::sample_snapshot();
+        let span = SpanEvent {
+            name: "mc.dedup".to_string(),
+            ns: 123_456_789,
+            calls: 64,
+        };
+        sink.on_telemetry(&snap);
+        sink.on_span(&span);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let events = parse_jsonl(&text).unwrap();
+        assert_eq!(
+            events,
+            vec![
+                ProbeEvent::Telemetry(snap.clone()),
+                ProbeEvent::Span(span.clone())
+            ]
+        );
+
+        // Replay drives the on_telemetry/on_span hooks, producing an
+        // identical re-recorded stream.
+        let mut resink = JsonlSink::new(Vec::new());
+        replay_events(&events, &mut resink);
+        assert_eq!(resink.events_written(), 2);
+        let retext = String::from_utf8(resink.into_inner()).unwrap();
+        assert_eq!(retext, text);
+    }
+
+    /// A writer that records whether it was flushed, via shared state that
+    /// survives the sink being dropped.
+    struct FlushSpy {
+        flushed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+        written: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
+    }
+
+    impl Write for FlushSpy {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.written.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushed
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drop_flushes_the_writer() {
+        let flushed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let written = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        {
+            let mut sink = JsonlSink::new(FlushSpy {
+                flushed: flushed.clone(),
+                written: written.clone(),
+            });
+            sink.on_halt(0, 1);
+            assert!(!flushed.load(std::sync::atomic::Ordering::SeqCst));
+        } // dropped without finish()
+        assert!(flushed.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(
+            String::from_utf8(written.lock().unwrap().clone()).unwrap(),
+            "{\"Halt\":{\"proc_id\":0,\"time\":1}}\n"
+        );
+    }
+
+    /// A writer that fails every write with `BrokenPipe`.
+    #[derive(Debug)]
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe gone",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_errors_stick_and_surface_through_finish() {
+        let mut sink = JsonlSink::new(FailingWriter);
+        sink.on_halt(0, 1); // must not panic
+        assert_eq!(sink.events_written(), 0);
+        assert_eq!(
+            sink.error().map(std::io::Error::kind),
+            Some(std::io::ErrorKind::BrokenPipe)
+        );
+        sink.on_halt(0, 2); // sticky: silently skipped, error preserved
+        assert_eq!(sink.events_written(), 0);
+        let err = sink.finish().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn finish_returns_writer_and_disarms_drop() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_halt(3, 4);
+        let bytes = sink.finish().unwrap();
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            "{\"Halt\":{\"proc_id\":3,\"time\":4}}\n"
+        );
     }
 }

@@ -16,6 +16,15 @@
 //! * [`JsonlSink`] — streams every event as one JSON object per line;
 //! * [`Tee`] — fans events out to two probes at once.
 //!
+//! Alongside the deterministic probe path sits the *live telemetry plane*
+//! (v2): a lock-free [`MetricRegistry`] of atomic counters, gauges,
+//! shard-and-merge histograms, and phase [`Span`]s that campaign workloads
+//! record into from worker threads, sampled on a fixed cadence by a
+//! background [`TelemetryEmitter`] into [`TelemetrySnapshot`] JSONL records
+//! and an in-place terminal progress line. Telemetry is out-of-band by
+//! construction: it never feeds into deterministic reports, which stay
+//! byte-identical with telemetry on or off.
+//!
 //! Events identify processors and registers by plain `usize` indices rather
 //! than the runtime's typed ids: this crate sits *below* the runtime crates
 //! so that both the lock-step executor and the threaded runtime can depend
@@ -27,11 +36,18 @@ pub mod events;
 pub mod jsonl;
 pub mod metrics;
 pub mod probe;
+pub mod registry;
+pub mod telemetry;
 
 pub use events::{
-    BackoffEvent, ChaosEvent, ChaosKind, FuzzEvent, OpKind, OutputEvent, ProbeEvent, ReadEvent,
-    ResetEvent, StepEvent, SweepEvent, TimingEvent, WriteEvent,
+    BackoffEvent, ChaosEvent, ChaosKind, FuzzEvent, OpKind, OutputEvent, PhaseStat, ProbeEvent,
+    QuantileStat, ReadEvent, ResetEvent, SpanEvent, StepEvent, SweepEvent, TelemetrySnapshot,
+    TimingEvent, WriteEvent,
 };
 pub use jsonl::{parse_jsonl, replay_events, JsonlSink};
 pub use metrics::{Histogram, ProcMetrics, RunMetrics};
 pub use probe::{NoProbe, Probe, Tee};
+pub use registry::{
+    read_rss_bytes, Counter, Gauge, LiveHistogram, MetricRegistry, Span, SpanGuard,
+};
+pub use telemetry::{progress_line, TelemetryConfig, TelemetryEmitter, TelemetrySummary};

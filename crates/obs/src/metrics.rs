@@ -23,13 +23,17 @@ impl Histogram {
         (u64::BITS - value.leading_zeros()) as usize
     }
 
-    /// The inclusive `(low, high)` value range bucket `i` covers.
+    /// The inclusive `(low, high)` value range bucket `i` covers. Indices
+    /// above 64 (unreachable from [`Histogram::bucket_index`]) clamp to the
+    /// final bucket, whose upper bound is `u64::MAX`.
     #[must_use]
     pub fn bucket_range(i: usize) -> (u64, u64) {
+        let i = i.min(64);
         if i == 0 {
             (0, 0)
         } else {
-            (1u64 << (i - 1), (1u64 << i) - 1)
+            // Bucket 64 is [2^63, u64::MAX]; `(1 << 64) - 1` would overflow.
+            (1u64 << (i - 1), u64::MAX >> (64 - i))
         }
     }
 
@@ -56,6 +60,48 @@ impl Histogram {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine += theirs;
         }
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) by the nearest-rank method, exact
+    /// with respect to bucket boundaries: returns the *upper* bound of the
+    /// bucket containing the rank-⌈q·n⌉ smallest sample, i.e. a value `v`
+    /// such that at least `q·n` samples are ≤ `v` and `v` is the tightest
+    /// such bucket boundary. `None` when the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_range(i).1);
+            }
+        }
+        // Unreachable: count() sums the same buckets the loop walks.
+        None
+    }
+
+    /// The median bucket bound ([`Histogram::quantile`] at 0.5).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile bucket bound.
+    #[must_use]
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile bucket bound.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
     }
 }
 
@@ -254,6 +300,89 @@ mod tests {
         assert_eq!(a.count(), 4);
         assert_eq!(a.buckets[Histogram::bucket_index(5)], 2);
         assert_eq!(a.buckets[0], 1);
+    }
+
+    #[test]
+    fn quantiles_pin_edge_buckets() {
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::default().quantile(0.5), None);
+
+        // All-zero samples sit in bucket 0, whose upper bound is 0.
+        let mut zeros = Histogram::default();
+        for _ in 0..10 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.p50(), Some(0));
+        assert_eq!(zeros.p99(), Some(0));
+
+        // A single sample of 1 lands in bucket 1 = [1, 1]: every quantile
+        // is exactly 1, not a coarser bound.
+        let mut one = Histogram::default();
+        one.record(1);
+        assert_eq!(one.quantile(0.0), Some(1));
+        assert_eq!(one.p50(), Some(1));
+        assert_eq!(one.p99(), Some(1));
+
+        // u64::MAX lands in the last bucket (index 64) and reports its own
+        // value as the upper bound.
+        let mut max = Histogram::default();
+        max.record(u64::MAX);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(max.p50(), Some(u64::MAX));
+
+        // 100 samples: 95 small (value 1), 5 large (value 1000, bucket
+        // [512, 1023]). Rank ⌈0.95·100⌉ = 95 is still small; rank 99 is
+        // large. p95 must report the small bucket, p99 the large one.
+        let mut mixed = Histogram::default();
+        for _ in 0..95 {
+            mixed.record(1);
+        }
+        for _ in 0..5 {
+            mixed.record(1000);
+        }
+        assert_eq!(mixed.p50(), Some(1));
+        assert_eq!(mixed.p95(), Some(1));
+        assert_eq!(mixed.p99(), Some(1023));
+
+        // Quantiles clamp: q=0.0 is the first sample, q=1.0 the last.
+        assert_eq!(mixed.quantile(0.0), Some(1));
+        assert_eq!(mixed.quantile(1.0), Some(1023));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutes_with_quantiles() {
+        let samples: [&[u64]; 3] = [&[0, 1, 1, 7], &[100, 100, 513], &[2, 65_535]];
+        let hist_of = |values: &[u64]| {
+            let mut h = Histogram::default();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let [a, b, c] = [
+            hist_of(samples[0]),
+            hist_of(samples[1]),
+            hist_of(samples[2]),
+        ];
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), including bucket-vector length.
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // Merging equals recording the concatenated sample stream, so
+        // quantiles agree with the serially-built histogram.
+        let all: Vec<u64> = samples.iter().flat_map(|s| s.iter().copied()).collect();
+        let serial = hist_of(&all);
+        assert_eq!(left, serial);
+        assert_eq!(left.p50(), serial.p50());
+        assert_eq!(left.p99(), serial.p99());
+        assert_eq!(left.count(), 9);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The [`Probe`] trait and structural probes ([`NoProbe`], [`Tee`]).
 
 use crate::events::{
-    BackoffEvent, ChaosEvent, FuzzEvent, OutputEvent, ReadEvent, ResetEvent, StepEvent, SweepEvent,
-    TimingEvent, WriteEvent,
+    BackoffEvent, ChaosEvent, FuzzEvent, OutputEvent, ReadEvent, ResetEvent, SpanEvent, StepEvent,
+    SweepEvent, TelemetrySnapshot, TimingEvent, WriteEvent,
 };
 
 /// Observer of a run's event stream.
@@ -72,6 +72,17 @@ pub trait Probe {
 
     /// Per-processor backoff-arbiter summary (contention-managed runs only).
     fn on_backoff(&mut self, event: &BackoffEvent) {
+        let _ = event;
+    }
+
+    /// A periodic live-telemetry sample (emitter thread only; wall-clock
+    /// derived, never part of a deterministic report).
+    fn on_telemetry(&mut self, event: &TelemetrySnapshot) {
+        let _ = event;
+    }
+
+    /// A named span's cumulative wall-clock total (emitter thread only).
+    fn on_span(&mut self, event: &SpanEvent) {
         let _ = event;
     }
 }
@@ -146,6 +157,16 @@ impl<A: Probe, B: Probe> Probe for Tee<A, B> {
         self.0.on_backoff(event);
         self.1.on_backoff(event);
     }
+
+    fn on_telemetry(&mut self, event: &TelemetrySnapshot) {
+        self.0.on_telemetry(event);
+        self.1.on_telemetry(event);
+    }
+
+    fn on_span(&mut self, event: &SpanEvent) {
+        self.0.on_span(event);
+        self.1.on_span(event);
+    }
 }
 
 /// Mutable references forward, so a runtime can borrow a caller-owned probe.
@@ -196,6 +217,14 @@ impl<P: Probe> Probe for &mut P {
     fn on_backoff(&mut self, event: &BackoffEvent) {
         (**self).on_backoff(event);
     }
+
+    fn on_telemetry(&mut self, event: &TelemetrySnapshot) {
+        (**self).on_telemetry(event);
+    }
+
+    fn on_span(&mut self, event: &SpanEvent) {
+        (**self).on_span(event);
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +264,194 @@ mod tests {
         tee.on_step(&StepEvent { time: 2, poised: 1 });
         assert_eq!(tee.0 .0, 2);
         assert_eq!(tee.1 .0, 2);
+    }
+
+    /// Captures every event as its [`ProbeEvent`] form, for exhaustive
+    /// fan-out assertions.
+    #[derive(Default, Debug, PartialEq)]
+    struct Recorder(Vec<crate::ProbeEvent>);
+
+    impl Probe for Recorder {
+        const WANTS_VALUES: bool = true;
+
+        fn on_read(&mut self, event: &ReadEvent) {
+            self.0.push(crate::ProbeEvent::Read(event.clone()));
+        }
+        fn on_write(&mut self, event: &WriteEvent) {
+            self.0.push(crate::ProbeEvent::Write(event.clone()));
+        }
+        fn on_output(&mut self, event: &OutputEvent) {
+            self.0.push(crate::ProbeEvent::Output(event.clone()));
+        }
+        fn on_halt(&mut self, proc_id: usize, time: u64) {
+            self.0.push(crate::ProbeEvent::Halt { proc_id, time });
+        }
+        fn on_reset(&mut self, event: &ResetEvent) {
+            self.0.push(crate::ProbeEvent::Reset(event.clone()));
+        }
+        fn on_step(&mut self, event: &StepEvent) {
+            self.0.push(crate::ProbeEvent::Step(event.clone()));
+        }
+        fn on_timing(&mut self, event: &TimingEvent) {
+            self.0.push(crate::ProbeEvent::Timing(event.clone()));
+        }
+        fn on_sweep(&mut self, event: &SweepEvent) {
+            self.0.push(crate::ProbeEvent::Sweep(event.clone()));
+        }
+        fn on_fuzz(&mut self, event: &FuzzEvent) {
+            self.0.push(crate::ProbeEvent::Fuzz(event.clone()));
+        }
+        fn on_chaos(&mut self, event: &ChaosEvent) {
+            self.0.push(crate::ProbeEvent::Chaos(event.clone()));
+        }
+        fn on_backoff(&mut self, event: &BackoffEvent) {
+            self.0.push(crate::ProbeEvent::Backoff(event.clone()));
+        }
+        fn on_telemetry(&mut self, event: &TelemetrySnapshot) {
+            self.0.push(crate::ProbeEvent::Telemetry(event.clone()));
+        }
+        fn on_span(&mut self, event: &SpanEvent) {
+            self.0.push(crate::ProbeEvent::Span(event.clone()));
+        }
+    }
+
+    /// Drives one event of every arm through `probe`, in a fixed order.
+    /// Keep in sync with [`ProbeEvent`]: a new arm must be fired here so the
+    /// exhaustive fan-out tests below cover it.
+    fn fire_all_arms(probe: &mut impl Probe) {
+        probe.on_read(&ReadEvent {
+            proc_id: 0,
+            local: 1,
+            global: 2,
+            time: 1,
+            read_from: Some(3),
+            value: Some("v".to_string()),
+        });
+        probe.on_write(&WriteEvent {
+            proc_id: 1,
+            local: 0,
+            global: 0,
+            time: 2,
+            overwrote_writer: Some(0),
+            value: None,
+        });
+        probe.on_output(&OutputEvent {
+            proc_id: 1,
+            time: 3,
+            value: Some("out".to_string()),
+        });
+        probe.on_halt(1, 4);
+        probe.on_reset(&ResetEvent {
+            proc_id: 0,
+            time: 5,
+            from_level: 2,
+        });
+        probe.on_step(&StepEvent { time: 6, poised: 3 });
+        probe.on_timing(&TimingEvent {
+            proc_id: 0,
+            op: crate::OpKind::Write,
+            ns: 150,
+            lock_wait_ns: 20,
+        });
+        probe.on_sweep(&SweepEvent {
+            check: "snapshot_task".to_string(),
+            jobs: 2,
+            combos_attempted: 4,
+            combos_total: 8,
+            states: 100,
+            peak_combo_states: 40,
+            per_combo_states: vec![25; 4],
+            elapsed_ns: 1_000,
+        });
+        probe.on_fuzz(&FuzzEvent {
+            campaign: "smoke".to_string(),
+            algo: "snapshot".to_string(),
+            jobs: 1,
+            cases: 10,
+            violations: 0,
+            total_steps: 500,
+            distinct_patterns: 3,
+            elapsed_ns: 2_000,
+        });
+        probe.on_chaos(&ChaosEvent {
+            proc_id: 2,
+            kind: crate::ChaosKind::Stall,
+            at_op: 9,
+            covered_global: None,
+            stall_ns: 77,
+        });
+        probe.on_backoff(&BackoffEvent {
+            proc_id: 0,
+            attempts: 3,
+            backoffs: 2,
+            total_backoff_ns: 900,
+            max_backoff_ns: 500,
+        });
+        probe.on_telemetry(&crate::events::tests::sample_snapshot());
+        probe.on_span(&SpanEvent {
+            name: "fuzz.execute".to_string(),
+            ns: 4_242,
+            calls: 7,
+        });
+    }
+
+    /// The number of [`ProbeEvent`] arms `fire_all_arms` covers. A compile
+    /// error or count mismatch here means an arm was added without fan-out
+    /// coverage.
+    const ALL_ARMS: usize = 13;
+
+    #[test]
+    fn tee_forwards_every_event_arm_to_both_sides() {
+        let mut tee = Tee(Recorder::default(), Recorder::default());
+        fire_all_arms(&mut tee);
+        assert_eq!(tee.0 .0.len(), ALL_ARMS);
+        assert_eq!(tee.0, tee.1);
+        // Every arm appears exactly once, in firing order.
+        let arm_tags: Vec<&str> = tee
+            .0
+             .0
+            .iter()
+            .map(|ev| match ev {
+                crate::ProbeEvent::Read(_) => "Read",
+                crate::ProbeEvent::Write(_) => "Write",
+                crate::ProbeEvent::Output(_) => "Output",
+                crate::ProbeEvent::Halt { .. } => "Halt",
+                crate::ProbeEvent::Reset(_) => "Reset",
+                crate::ProbeEvent::Step(_) => "Step",
+                crate::ProbeEvent::Timing(_) => "Timing",
+                crate::ProbeEvent::Sweep(_) => "Sweep",
+                crate::ProbeEvent::Fuzz(_) => "Fuzz",
+                crate::ProbeEvent::Chaos(_) => "Chaos",
+                crate::ProbeEvent::Backoff(_) => "Backoff",
+                crate::ProbeEvent::Telemetry(_) => "Telemetry",
+                crate::ProbeEvent::Span(_) => "Span",
+            })
+            .collect();
+        assert_eq!(
+            arm_tags,
+            [
+                "Read",
+                "Write",
+                "Output",
+                "Halt",
+                "Reset",
+                "Step",
+                "Timing",
+                "Sweep",
+                "Fuzz",
+                "Chaos",
+                "Backoff",
+                "Telemetry",
+                "Span"
+            ]
+        );
+    }
+
+    #[test]
+    fn mut_ref_forwards_every_event_arm() {
+        let mut rec = Recorder::default();
+        fire_all_arms(&mut &mut rec);
+        assert_eq!(rec.0.len(), ALL_ARMS);
     }
 
     #[test]

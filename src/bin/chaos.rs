@@ -8,5 +8,7 @@ fn main() {
             .unwrap_or_else(|_| panic!("--seed wants an unsigned integer, got {v:?}"))
     });
     let out = fa_bench::cli_value("--out");
-    fa_bench::chaos_campaign::run_campaign(smoke, seed, out.as_deref());
+    let telemetry = fa_bench::TelemetrySession::from_cli("chaos");
+    fa_bench::chaos_campaign::run_campaign(smoke, seed, out.as_deref(), telemetry.registry());
+    telemetry.finish();
 }

@@ -72,6 +72,7 @@ fn injected_consensus_bug_is_caught_shrunk_and_replayable() {
         seed: 0x0bad_5eed,
         jobs: Some(4),
         gen,
+        telemetry: None,
     };
     let report = run_campaign(&config, &mut NoProbe);
     assert!(
@@ -119,6 +120,7 @@ fn clean_campaign_reports_zero_violations() {
         seed: 0xc1ea,
         jobs: None,
         gen: CaseGen::standard(vec![3, 4, 5, 6], 600),
+        telemetry: None,
     };
     let report = run_campaign(&config, &mut NoProbe);
     assert_eq!(report.cases, 600);
@@ -150,6 +152,7 @@ fn campaign_report_is_deterministic_across_worker_counts() {
                 seed: 77,
                 jobs,
                 gen,
+                telemetry: None,
             },
             &mut NoProbe,
         )
@@ -176,6 +179,7 @@ fn campaign_emits_fuzz_events_per_algorithm() {
         seed: 5,
         jobs: Some(2),
         gen: CaseGen::standard(vec![3], 300),
+        telemetry: None,
     };
     let mut sink = JsonlSink::new(Vec::new());
     let report = run_campaign(&config, &mut sink);
@@ -197,4 +201,43 @@ fn campaign_emits_fuzz_events_per_algorithm() {
         assert_eq!(f.campaign, "events-test");
         assert!(f.cases_per_sec() >= 0.0);
     }
+}
+
+/// Attaching a live-metric registry never changes the deterministic report,
+/// and the `fuzz.*` metrics land exactly.
+#[test]
+fn telemetry_attached_campaign_reports_identically_and_counts_exactly() {
+    use std::sync::Arc;
+    let mk = |telemetry| CampaignConfig {
+        campaign: "tel-test".to_string(),
+        cases: 60,
+        seed: 0x7e1e,
+        jobs: Some(2),
+        gen: CaseGen::standard(vec![3], 200),
+        telemetry,
+    };
+    let plain = run_campaign(&mk(None), &mut NoProbe);
+    let registry = Arc::new(fa_obs::MetricRegistry::new());
+    let probed = run_campaign(&mk(Some(Arc::clone(&registry))), &mut NoProbe);
+
+    assert_eq!(plain.cases, probed.cases);
+    assert_eq!(plain.total_steps, probed.total_steps);
+    assert_eq!(plain.violations, probed.violations);
+    assert_eq!(plain.distinct_patterns, probed.distinct_patterns);
+    assert_eq!(plain.per_algo, probed.per_algo);
+
+    let snap = registry.sample(0, None);
+    assert_eq!(snap.counter("fuzz.cases_done"), 60);
+    assert_eq!(snap.counter("fuzz.steps_total"), probed.total_steps);
+    assert_eq!(
+        snap.counter("fuzz.violations"),
+        probed.violations.len() as u64
+    );
+    let generate = snap.phases.get("fuzz.generate").expect("generate span");
+    assert_eq!(generate.calls, 60);
+    let execute = snap.phases.get("fuzz.execute").expect("execute span");
+    assert_eq!(execute.calls, 60);
+    let steps = snap.quantiles.get("fuzz.case_steps").expect("histogram");
+    assert_eq!(steps.count, 60);
+    assert!(steps.p50 > 0, "cases take steps");
 }
