@@ -82,13 +82,29 @@ pub fn cli_jobs() -> Option<usize> {
     })
 }
 
-/// A model-check [`CheckConfig`] honoring the `--jobs` flag.
+/// The sweep executor requested via `--strategy auto|serial|pool` (`None`
+/// when absent: [`fa_modelcheck::StrategyKind::Auto`]).
+///
+/// # Panics
+///
+/// Panics with a usage message if the value names no known strategy.
+#[must_use]
+pub fn cli_strategy() -> Option<fa_modelcheck::StrategyKind> {
+    cli_value("--strategy").map(|v| v.parse().unwrap_or_else(|e| panic!("{e}")))
+}
+
+/// A model-check [`CheckConfig`] honoring the `--jobs` and `--strategy`
+/// flags.
 #[must_use]
 pub fn check_config_from_cli() -> CheckConfig {
-    match cli_jobs() {
+    let mut config = match cli_jobs() {
         Some(j) => CheckConfig::default().with_jobs(j),
         None => CheckConfig::default(),
+    };
+    if let Some(kind) = cli_strategy() {
+        config = config.with_strategy(kind);
     }
+    config
 }
 
 /// One-line human rendering of sweep telemetry, for experiment binaries.

@@ -190,6 +190,67 @@ impl SmallView {
         }
     }
 
+    /// Batch union of many packed views — the scan-path reduction. Written
+    /// over four disjoint accumulators so the compiler autovectorizes the
+    /// main loop (one vector OR per four masks on 256-bit SIMD); the scalar
+    /// tail handles the remainder.
+    #[must_use]
+    pub fn union_of(views: &[SmallView]) -> SmallView {
+        let mut acc = [0u64; 4];
+        let mut chunks = views.chunks_exact(4);
+        for c in &mut chunks {
+            acc[0] |= c[0].mask;
+            acc[1] |= c[1].mask;
+            acc[2] |= c[2].mask;
+            acc[3] |= c[3].mask;
+        }
+        let mut mask = acc[0] | acc[1] | acc[2] | acc[3];
+        for v in chunks.remainder() {
+            mask |= v.mask;
+        }
+        SmallView { mask }
+    }
+
+    /// How many of `views` are subsets of `of` — a branch-free batch scan
+    /// (one AND-NOT + compare per mask, no data-dependent branches).
+    #[must_use]
+    pub fn count_subsets_of(views: &[SmallView], of: SmallView) -> usize {
+        views
+            .iter()
+            .map(|v| usize::from(v.mask & !of.mask == 0))
+            .sum()
+    }
+
+    /// Whether the masks are pairwise containment-comparable (every two
+    /// related by `⊆`) — the snapshot-task condition checked on every
+    /// reachable state, batched.
+    ///
+    /// Containment-comparability of a whole family reduces to a *chain*
+    /// check: sorted by population count, each adjacent pair must satisfy
+    /// `⊆` (transitivity gives every other pair; two comparable masks of
+    /// equal popcount are equal). That turns the quadratic pairwise loop
+    /// into one sort of ≤ a few words plus a branch-free linear scan.
+    #[must_use]
+    pub fn chain_comparable(masks: &[u64]) -> bool {
+        fn chain_holds(sorted: &[u64]) -> bool {
+            sorted.windows(2).fold(0u64, |acc, w| acc | (w[0] & !w[1])) == 0
+        }
+        // The model checker calls this once per reachable state: keep the
+        // common small family on the stack.
+        const INLINE: usize = 8;
+        if masks.len() <= INLINE {
+            let mut buf = [0u64; INLINE];
+            buf[..masks.len()].copy_from_slice(masks);
+            let buf = &mut buf[..masks.len()];
+            buf.sort_unstable_by_key(|m| m.count_ones());
+            chain_holds(buf)
+        } else {
+            let mut sorted = masks.to_vec();
+            sorted.sort_unstable_by_key(|m| m.count_ones());
+            chain_holds(&sorted)
+        }
+    }
+
     /// The precomputed hash: the mask is its own hash value.
     #[must_use]
     pub fn precomputed_hash(self) -> u64 {
@@ -310,6 +371,16 @@ impl<V: ViewValue> View<V> {
         let mut v = View::new();
         v.insert(value);
         v
+    }
+
+    /// Wraps a packed view. Sound for any [`ViewValue`]: every `SmallView`
+    /// member has a dense index by construction, so the normalization
+    /// invariant (Small iff all members dense) holds.
+    #[must_use]
+    pub fn from_small(small: SmallView) -> Self {
+        View {
+            repr: Repr::Small(small),
+        }
     }
 
     /// Number of values in the view.
@@ -1033,5 +1104,62 @@ mod tests {
             prop_assert_eq!(&reinter, &collected);
             prop_assert_eq!(hash_of(&reinter), hash_of(&collected));
         }
+
+        /// `union_of` agrees with the fold over `union`, for every slice
+        /// length (including the 4-lane chunked body and the scalar tail).
+        #[test]
+        fn batch_union_matches_the_fold(
+            masks in proptest::collection::vec(any::<u64>(), 0..11),
+        ) {
+            let views: Vec<SmallView> = masks.iter().map(|&m| SmallView::from_mask(m)).collect();
+            let expect = masks.iter().fold(0u64, |acc, m| acc | m);
+            prop_assert_eq!(SmallView::union_of(&views).mask(), expect);
+        }
+
+        /// `count_subsets_of` agrees with the filter over `is_subset`.
+        #[test]
+        fn batch_subset_count_matches_the_filter(
+            masks in proptest::collection::vec(0u64..256, 0..10),
+            of in 0u64..256,
+        ) {
+            let views: Vec<SmallView> = masks.iter().map(|&m| SmallView::from_mask(m)).collect();
+            let of_view = SmallView::from_mask(of);
+            let expect = views.iter().filter(|v| v.is_subset(of_view)).count();
+            prop_assert_eq!(SmallView::count_subsets_of(&views, of_view), expect);
+        }
+
+        /// `chain_comparable` agrees with the quadratic pairwise definition
+        /// — on small universes (dense comparable families are likely) and
+        /// across the INLINE=8 stack-buffer boundary.
+        #[test]
+        fn batch_chain_comparability_matches_pairwise(
+            masks in proptest::collection::vec(0u64..16, 0..12),
+        ) {
+            let pairwise = masks.iter().all(|&a| {
+                masks.iter().all(|&b| a & !b == 0 || b & !a == 0)
+            });
+            prop_assert_eq!(SmallView::chain_comparable(&masks), pairwise);
+        }
+    }
+
+    #[test]
+    fn batch_union_covers_chunked_and_tail_lanes() {
+        let views: Vec<SmallView> = (0..9).map(|i| SmallView::from_mask(1 << (i * 7))).collect();
+        let expect = views.iter().fold(0u64, |acc, v| acc | v.mask());
+        assert_eq!(SmallView::union_of(&views).mask(), expect);
+        assert_eq!(SmallView::union_of(&[]).mask(), 0);
+    }
+
+    #[test]
+    fn batch_chain_comparability_examples() {
+        // A proper chain: {} ⊂ {0} ⊂ {0,1} ⊂ {0,1,2}.
+        assert!(SmallView::chain_comparable(&[0b111, 0b1, 0b11, 0b0]));
+        // {0} and {1} are incomparable.
+        assert!(!SmallView::chain_comparable(&[0b1, 0b10]));
+        // Equal masks are mutually comparable.
+        assert!(SmallView::chain_comparable(&[0b101, 0b101, 0b1]));
+        // Trivial families.
+        assert!(SmallView::chain_comparable(&[]));
+        assert!(SmallView::chain_comparable(&[42]));
     }
 }

@@ -722,6 +722,12 @@ where
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
+    // A report that landed in the channel by the time the deadline expired
+    // is a real answer — completion *at* the deadline is completion, and a
+    // deadline that pre-expired during thread spawning must not erase
+    // reports already sent. Drain whatever is queued before classifying the
+    // silent workers by heartbeat.
+    drain_ready(&rx, &mut slots, &mut received);
     drop(supervise_guard);
 
     let collect_guard = telemetry.as_ref().map(|t| t.collect.enter());
@@ -771,6 +777,27 @@ where
         },
         probes,
     ))
+}
+
+/// Non-blocking post-deadline drain: moves every report already queued in
+/// `rx` into its slot. Reports sent after this point stay unclaimed — their
+/// workers are classified by heartbeat age like any other silent worker.
+fn drain_ready<O, Pr>(
+    rx: &mpsc::Receiver<WorkerReport<O, Pr>>,
+    slots: &mut [Option<WorkerReport<O, Pr>>],
+    received: &mut usize,
+) {
+    while *received < slots.len() {
+        match rx.try_recv() {
+            Ok(report) => {
+                let id = report.proc_id;
+                debug_assert!(slots[id].is_none(), "duplicate report from worker {id}");
+                slots[id] = Some(report);
+                *received += 1;
+            }
+            Err(mpsc::TryRecvError::Empty | mpsc::TryRecvError::Disconnected) => break,
+        }
+    }
 }
 
 /// The per-thread step loop: identical memory semantics to
@@ -1180,6 +1207,65 @@ mod tests {
             report.outcomes[0]
         );
         assert!(report.outcomes[1].is_completed());
+    }
+
+    #[test]
+    fn reports_queued_at_the_deadline_are_drained_not_discarded() {
+        // The exact post-deadline race, deterministically: both workers'
+        // reports are already in the channel when the supervisor gives up
+        // on blocking. Classification must come from the reports, never
+        // from heartbeat age.
+        let (tx, rx) = mpsc::channel::<WorkerReport<u32, NoProbe>>();
+        for proc_id in [1usize, 0] {
+            tx.send(WorkerReport {
+                proc_id,
+                outcome: ProcOutcome::Completed,
+                outputs: vec![proc_id as u32],
+                steps: 3,
+                probe: Some(NoProbe),
+            })
+            .unwrap();
+        }
+        let mut slots: Vec<Option<WorkerReport<u32, NoProbe>>> = vec![None, None];
+        let mut received = 0;
+        drain_ready(&rx, &mut slots, &mut received);
+        assert_eq!(received, 2);
+        for (i, slot) in slots.iter().enumerate() {
+            let report = slot.as_ref().expect("queued report claimed");
+            assert_eq!(report.outcome, ProcOutcome::Completed);
+            assert_eq!(report.outputs, vec![i as u32]);
+        }
+        // An empty channel leaves the remaining slot silent without
+        // blocking or panicking.
+        let mut slots: Vec<Option<WorkerReport<u32, NoProbe>>> = vec![None];
+        let mut received = 0;
+        drain_ready(&rx, &mut slots, &mut received);
+        assert_eq!(received, 0);
+        assert!(slots[0].is_none());
+    }
+
+    #[test]
+    fn zero_fault_runs_under_a_deadline_always_complete() {
+        // Regression: a fault-free run raced against a deadline must never
+        // lose a completion that reported in time. Loop to give the
+        // spawn/report/supervise interleavings room to vary.
+        for _ in 0..40 {
+            let report = run_chaos(
+                writers(2, 1),
+                vec![Wiring::identity(1); 2],
+                1,
+                0u32,
+                &FaultPlan::new(2),
+                &ChaosConfig::new(100).with_deadline(Duration::from_millis(250)),
+            )
+            .unwrap();
+            assert!(
+                report.outcomes.iter().all(ProcOutcome::is_completed),
+                "{:?}",
+                report.outcomes
+            );
+            assert_eq!(report.outputs.iter().map(Vec::len).sum::<usize>(), 2);
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 
-use fa_core::{SnapRegister, SnapshotProcess, View};
+use fa_core::{SmallView, SnapRegister, SnapshotProcess, View};
 use fa_memory::{ProcId, Wiring};
 
 use crate::explorer::McState;
@@ -67,6 +67,13 @@ pub struct NonAtomicWitness {
 /// The set of inputs present in memory at `state`: the union of all register
 /// views.
 fn memory_inputs(state: &McState<SnapshotProcess<u32>>) -> View<u32> {
+    // Packed fast path: when every register view is on the 64-bit
+    // representation, the whole union is one batch OR over the raw masks.
+    let smalls: Option<Vec<SmallView>> =
+        state.memory.iter().map(|reg| reg.view.as_small()).collect();
+    if let Some(smalls) = smalls {
+        return View::from_small(SmallView::union_of(&smalls));
+    }
     let mut out = View::new();
     for reg in &state.memory {
         out.union_with(&reg.view);

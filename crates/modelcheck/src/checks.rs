@@ -21,8 +21,7 @@
 
 use std::collections::BTreeMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::Instant;
 
 use fa_core::{ConsensusProcess, RenamingProcess, SnapshotProcess, View};
@@ -30,7 +29,9 @@ use fa_memory::{Process, Wiring};
 use fa_obs::{MetricRegistry, SweepEvent};
 use fa_tasks::{check_group_solution, AdaptiveRenaming, GroupAssignment, GroupId, Snapshot, Task};
 
-use crate::explorer::{Explorer, McState};
+use crate::arena::StateView;
+use crate::explorer::Explorer;
+use crate::strategy::{ComboOutcome, StrategyKind};
 use crate::telemetry::SweepTelemetry;
 use crate::wirings::ComboTable;
 
@@ -43,6 +44,10 @@ pub struct CheckConfig {
     /// Worker threads for the combo sweep. `None` (the default) uses the
     /// machine's available parallelism; `Some(1)` forces a serial sweep.
     pub jobs: Option<usize>,
+    /// Which [`crate::strategy::ExploreStrategy`] executes the sweep. The
+    /// default ([`StrategyKind::Auto`]) picks serial for one job and the
+    /// worker pool otherwise; the strategy never changes the report.
+    pub strategy: StrategyKind,
     /// Live-telemetry registry the sweep records `mc.*` metrics into.
     /// `None` (the default) keeps every telemetry hook compiled to a no-op
     /// branch; `Some` never changes the deterministic report.
@@ -51,7 +56,7 @@ pub struct CheckConfig {
 
 impl PartialEq for CheckConfig {
     fn eq(&self, other: &Self) -> bool {
-        self.jobs == other.jobs
+        self.jobs == other.jobs && self.strategy == other.strategy
     }
 }
 
@@ -63,6 +68,7 @@ impl CheckConfig {
     pub fn serial() -> Self {
         CheckConfig {
             jobs: Some(1),
+            strategy: StrategyKind::Auto,
             telemetry: None,
         }
     }
@@ -71,6 +77,13 @@ impl CheckConfig {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Selects the sweep execution strategy (see [`CheckConfig::strategy`]).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -128,15 +141,9 @@ pub struct CheckOutcome {
     pub telemetry: SweepEvent,
 }
 
-/// Per-combination result handed back by a sweep worker.
-struct ComboOutcome {
-    states: usize,
-    complete: bool,
-    violation: Option<String>,
-}
-
-/// Fans the per-combo explorations of one harness across `config` workers
-/// and assembles the deterministic report (module docs).
+/// Fans the per-combo explorations of one harness across the configured
+/// [`crate::strategy::ExploreStrategy`] and assembles the deterministic
+/// report (module docs).
 fn run_sweep<P, MkE, F>(
     check: &'static str,
     n: usize,
@@ -150,7 +157,7 @@ where
     P::Value: Clone + Eq + Hash + std::fmt::Debug,
     P::Output: Clone + Eq + Hash + std::fmt::Debug,
     MkE: Fn(Vec<Arc<Wiring>>) -> Explorer<P> + Sync,
-    F: Fn(&McState<P>) -> Result<(), String> + Sync,
+    F: Fn(&StateView<'_, P>) -> Result<(), String> + Sync,
 {
     let table = ComboTable::new(n, n);
     let total = table.len();
@@ -168,62 +175,46 @@ where
         tel.jobs.set(jobs as u64);
     }
 
-    let next = AtomicUsize::new(0);
-    // Lowest combo index with a violation found so far (MAX = none yet).
-    let best = AtomicUsize::new(usize::MAX);
-    let slots: Vec<OnceLock<ComboOutcome>> = (0..total).map(|_| OnceLock::new()).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let claim_guard = telemetry.as_ref().map(|t| t.claim.enter());
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                // A violation at a lower index makes this combo irrelevant.
-                if i > best.load(Ordering::Relaxed) {
-                    continue;
-                }
-                let combo = table.combo(i);
-                drop(claim_guard);
-                let stop = || i > best.load(Ordering::Relaxed);
-                let mut explorer = make_explorer(combo.clone());
-                if let Some(tel) = &telemetry {
-                    explorer = explorer.with_telemetry(tel.explorer.clone());
-                }
-                let expand_guard = telemetry.as_ref().map(|t| t.expand.enter());
-                let result = explorer.run_until(&invariant, stop);
-                drop(expand_guard);
-                if let Some(tel) = &telemetry {
-                    tel.combos_done.inc();
-                    tel.combo_states.record(result.states as u64);
-                }
-                let violation = result.violation.map(|v| {
-                    format!(
-                        "{violation_prefix}wirings {:?}: {} (schedule {:?})",
-                        combo.iter().map(ToString::to_string).collect::<Vec<_>>(),
-                        v.message,
-                        v.schedule
-                    )
-                });
-                if violation.is_some() {
-                    best.fetch_min(i, Ordering::Relaxed);
-                }
-                let _ = slots[i].set(ComboOutcome {
-                    states: result.states,
-                    complete: result.complete,
-                    violation,
-                });
-            });
+    // One combo exploration, handed to the strategy: deterministic per index
+    // (modulo the strategy-controlled `stop` probe), telemetry included.
+    let run_combo = |i: usize, stop: &(dyn Fn() -> bool + Sync)| -> ComboOutcome {
+        let claim_guard = telemetry.as_ref().map(|t| t.claim.enter());
+        let combo = table.combo(i);
+        drop(claim_guard);
+        let mut explorer = make_explorer(combo.clone());
+        if let Some(tel) = &telemetry {
+            explorer = explorer.with_telemetry(tel.explorer.clone());
         }
-    });
+        let expand_guard = telemetry.as_ref().map(|t| t.expand.enter());
+        let result = explorer.run_until(&invariant, stop);
+        drop(expand_guard);
+        if let Some(tel) = &telemetry {
+            tel.combos_done.inc();
+            tel.combo_states.record(result.states as u64);
+        }
+        ComboOutcome {
+            states: result.states,
+            complete: result.complete,
+            violation: result.violation.map(|v| {
+                format!(
+                    "{violation_prefix}wirings {:?}: {} (schedule {:?})",
+                    combo.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                    v.message,
+                    v.schedule
+                )
+            }),
+        }
+    };
 
-    // Assemble from combos 0..=best only: those are exactly the combos a
-    // serial sweep explores, and each is guaranteed fully explored (a combo
-    // is skipped/aborted only when its index exceeds the best at some
-    // moment, and best never rises).
-    let first_violation = best.load(Ordering::Relaxed);
+    let slots = config.strategy.build(jobs).run(total, &run_combo);
+
+    // Assemble from combos 0..=best only (best = lowest violating index):
+    // those are exactly the combos a serial sweep explores, and the strategy
+    // contract guarantees each was fully explored, never skipped or aborted.
+    let first_violation = slots
+        .iter()
+        .position(|s| s.as_ref().is_some_and(|o| o.violation.is_some()))
+        .unwrap_or(usize::MAX);
     let attempted = if first_violation < total {
         first_violation + 1
     } else {
@@ -235,7 +226,7 @@ where
     let mut violation = None;
     for (i, slot) in slots.iter().enumerate().take(attempted) {
         let outcome = slot
-            .get()
+            .as_ref()
             .expect("combos up to the first violation are always explored");
         per_combo_states.push(outcome.states);
         total_states += outcome.states;
@@ -401,12 +392,23 @@ pub fn check_snapshot_task_coarse_with(
 }
 
 fn snapshot_invariant(
-    state: &McState<SnapshotProcess<u32>>,
+    state: &StateView<'_, SnapshotProcess<u32>>,
     inputs: &[u32],
     groups: &GroupAssignment,
 ) -> Result<(), String> {
     let outputs = state.first_outputs();
     let all_inputs: View<u32> = inputs.iter().copied().collect();
+    // Fast path: when every present output is a packed 64-bit view, the
+    // whole pairwise-comparability clause collapses to one batch chain check
+    // over the raw masks (SIMD-friendly, no per-pair deep compares). The
+    // containment clauses below then only need the per-output checks.
+    let masks: Option<Vec<u64>> = outputs
+        .iter()
+        .flatten()
+        .map(View::as_small)
+        .map(|s| s.map(fa_core::SmallView::mask))
+        .collect();
+    let batch_comparable = masks.as_deref().map(fa_core::SmallView::chain_comparable);
     for (i, out) in outputs.iter().enumerate() {
         let Some(view) = out else { continue };
         if !view.contains(&inputs[i]) {
@@ -414,6 +416,9 @@ fn snapshot_invariant(
         }
         if !view.is_subset(&all_inputs) {
             return Err(format!("output of p{i} contains non-input values"));
+        }
+        if batch_comparable == Some(true) {
+            continue;
         }
         for (j, other) in outputs.iter().enumerate() {
             if let Some(w) = other {
@@ -616,7 +621,9 @@ pub fn check_snapshot_wait_freedom<W: Into<Arc<Wiring>>>(
         Explorer::new(procs, n, Default::default(), wirings.clone()).with_max_states(max_states);
     let result = explorer.run(move |state| {
         for p in state.live() {
-            let mut cur = state.clone();
+            // Solo runs re-step the state, which needs the materialized
+            // `McState` — the one invariant that pays a decode per state.
+            let mut cur = state.to_state();
             let mut halted = false;
             for _ in 0..solo_budget {
                 match cur.step(p, &wirings) {
@@ -709,7 +716,7 @@ pub fn check_snapshot_task_at_level_with(
 }
 
 fn snapshot_invariant_generic(
-    state: &McState<SnapshotProcess<u32>>,
+    state: &StateView<'_, SnapshotProcess<u32>>,
     inputs: &[u32],
     groups: &GroupAssignment,
 ) -> Result<(), String> {
@@ -871,8 +878,8 @@ mod tests {
             // Violated iff p2's wiring maps local 0 to global 2 (value 3 is
             // only ever written by p2): perm indices 4 and 5 of S_3, i.e.
             // combo indices 24..36. Lowest violating index: 24.
-            |state: &McState<WriteOnce>| {
-                if *state.memory[2] == 3 {
+            |state| {
+                if *state.memory(2) == 3 {
                     Err("register 2 holds 3".to_string())
                 } else {
                     Ok(())
@@ -947,6 +954,68 @@ mod tests {
                 parallel.telemetry.per_combo_states,
                 serial.telemetry.per_combo_states
             );
+        }
+    }
+
+    #[test]
+    fn forced_strategies_reproduce_the_auto_report() {
+        use crate::strategy::StrategyKind;
+        let reference = check_snapshot_task_with(&[1, 2], 500_000, &CheckConfig::serial())
+            .unwrap()
+            .report;
+        for (strategy, jobs) in [
+            (StrategyKind::Serial, 4),
+            (StrategyKind::WorkerPool, 1),
+            (StrategyKind::WorkerPool, 4),
+            (StrategyKind::Auto, 2),
+        ] {
+            let config = CheckConfig::default()
+                .with_jobs(jobs)
+                .with_strategy(strategy);
+            let outcome = check_snapshot_task_with(&[1, 2], 500_000, &config).unwrap();
+            assert_eq!(
+                outcome.report, reference,
+                "strategy={strategy:?} jobs={jobs} must reproduce the serial report"
+            );
+        }
+    }
+
+    #[test]
+    fn id_space_exhaustion_surfaces_as_incomplete_sweep_accounting() {
+        // A tiny injected id cap starves every combo's exploration; the
+        // sweep must finish with an honest incomplete report (the combo
+        // count still covers the whole sweep — no combo violated, none
+        // panicked) instead of a worker-thread join error.
+        for jobs in [1, 4] {
+            let outcome = run_sweep(
+                "write_once_capped",
+                3,
+                &CheckConfig::default().with_jobs(jobs),
+                |combo| {
+                    let procs = vec![
+                        WriteOnce {
+                            input: 1,
+                            wrote: false,
+                        },
+                        WriteOnce {
+                            input: 2,
+                            wrote: false,
+                        },
+                        WriteOnce {
+                            input: 3,
+                            wrote: false,
+                        },
+                    ];
+                    Explorer::new(procs, 3, 0u8, combo).with_id_cap(2)
+                },
+                |_| Ok(()),
+                "",
+            );
+            let report = &outcome.report;
+            assert_eq!(report.total_combos, 36);
+            assert_eq!(report.combos, 36, "exhaustion is not a violation");
+            assert!(!report.complete, "exhausted combos must poison complete");
+            assert!(report.violation.is_none());
         }
     }
 }

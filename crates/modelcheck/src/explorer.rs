@@ -1,4 +1,14 @@
 //! Breadth-first exhaustive exploration of a fixed system.
+//!
+//! Since the flat-arena migration the hot path works entirely in interned id
+//! space (see [`crate::arena`]): a visited state is one row of `u32` slot
+//! ids, a BFS step copies the parent row and rewrites at most three words,
+//! and invariants observe states through the zero-materialization
+//! [`StateView`]. The `Arc`-walking representation ([`McState`]) remains the
+//! *semantic* definition of a state — violations, replays, and the
+//! simulation/atomicity layers still use it — and the pre-arena BFS is kept
+//! verbatim as [`Explorer::run_until_arc`], the differential baseline the
+//! tests and benches compare against.
 
 use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
@@ -8,14 +18,15 @@ use std::time::Instant;
 
 use fa_memory::{Action, ProcId, Process, StepInput, Wiring};
 
+use crate::arena::{ArenaTables, SlotInterner, StateView, HALTED};
 use crate::telemetry::ExplorerTelemetry;
 
 /// A process's poised-action slot: `None` once the process has halted.
 pub type PendingAction<P> = Option<Arc<Action<<P as Process>::Value, <P as Process>::Output>>>;
 
-/// BFS arena entry: the state, its parent link (arena index plus the process
-/// scheduled to reach it), and its depth.
-type ArenaEntry<P> = (McState<P>, Option<(usize, ProcId)>, usize);
+/// Legacy BFS arena entry: the state, its parent link (arena index plus the
+/// process scheduled to reach it), and its depth.
+type ArcArenaEntry<P> = (McState<P>, Option<(usize, ProcId)>, usize);
 
 /// A global state of the model: register contents, process states, each
 /// process's poised action, and the outputs produced so far.
@@ -25,10 +36,10 @@ type ArenaEntry<P> = (McState<P>, Option<(usize, ProcId)>, usize);
 ///
 /// Every slot is individually reference-counted: stepping a state
 /// shallow-clones the slot vectors (pointer copies) and deep-clones only the
-/// one register/process/output slot the step mutates. Successor states in a
-/// BFS arena therefore share almost all of their structure with their
-/// parents, which is what makes large sweeps affordable. `Arc`'s `Hash`/`Eq`
-/// delegate to the pointee, so state interning semantics are unchanged.
+/// one register/process/output slot the step mutates. The breadth-first hot
+/// path no longer stores these at all (it stores id rows, see
+/// [`crate::arena`]); `McState` is the materialized form used by violations,
+/// replays, random walks, and the atomicity checker.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct McState<P: Process>
 where
@@ -163,52 +174,11 @@ where
     next
 }
 
-/// By-value interning table for one kind of `Arc`-shared state slot: each
-/// distinct pointee value gets a dense `u32` id. The `Arc` clone stored as
-/// the map key keeps the pointee alive for the table's lifetime, so ids
-/// never dangle, and lookups borrow the pointee (`Arc<T>: Borrow<T>`), so
-/// candidate values are never deep-cloned just to be looked up.
-#[derive(Debug)]
-struct SlotInterner<T> {
-    ids: HashMap<Arc<T>, u32>,
-}
-
-impl<T: Eq + Hash> SlotInterner<T> {
-    fn new() -> Self {
-        SlotInterner {
-            ids: HashMap::new(),
-        }
-    }
-
-    /// The id of `value`'s pointee, assigning the next dense id on first
-    /// sight. This hashes the pointee (the only deep operation left in
-    /// dedup); callers skip it for slots shared with an already-keyed parent
-    /// state (`Arc::ptr_eq`).
-    ///
-    /// Ids are capped one below `u32::MAX`, which is reserved as the
-    /// [`HALTED`] sentinel.
-    fn intern(&mut self, value: &Arc<T>) -> u32 {
-        if let Some(&id) = self.ids.get(&**value) {
-            return id;
-        }
-        let id = u32::try_from(self.ids.len())
-            .ok()
-            .filter(|&id| id < u32::MAX)
-            .expect("distinct slot values exceed the u32 id space");
-        self.ids.insert(Arc::clone(value), id);
-        id
-    }
-}
-
-/// Key id of a halted process's empty pending slot.
-const HALTED: u32 = u32::MAX;
-
-/// The per-slot interning tables of one exploration, and the key codec over
-/// them. A state's *key* is one `u32` per slot in slot order
-/// (`memory ++ procs ++ pending ++ outputs`): two states are equal iff their
-/// keys are equal, because each table is injective on pointee values. The
-/// visited-state set then needs only O(words) hashing and comparison per
-/// candidate, instead of deep traversals of register and process values.
+/// The per-slot interning tables of the *legacy* (`Arc`-walking) BFS and its
+/// key codec. A state's key is one `u32` per slot in slot order
+/// (`memory ++ procs ++ pending ++ outputs`) — the exact row layout the
+/// arena path stores directly; the legacy path derives it per state from the
+/// `Arc` graph. Retained for [`Explorer::run_until_arc`].
 #[derive(Debug)]
 struct StateInterners<P: Process>
 where
@@ -228,22 +198,19 @@ where
     P::Value: Clone + Eq + Hash + std::fmt::Debug,
     P::Output: Clone + Eq + Hash + std::fmt::Debug,
 {
-    fn new() -> Self {
+    fn new(id_cap: u32) -> Self {
         StateInterners {
-            memory: SlotInterner::new(),
-            procs: SlotInterner::new(),
-            pending: SlotInterner::new(),
-            outputs: SlotInterner::new(),
+            memory: SlotInterner::new("memory", id_cap),
+            procs: SlotInterner::new("procs", id_cap),
+            pending: SlotInterner::new("pending", id_cap),
+            outputs: SlotInterner::new("outputs", id_cap),
         }
     }
 
     /// Entries across all four slot tables — the live size of the interned
     /// value universe this exploration has touched.
     fn len_total(&self) -> usize {
-        self.memory.ids.len()
-            + self.procs.ids.len()
-            + self.pending.ids.len()
-            + self.outputs.ids.len()
+        self.memory.len() + self.procs.len() + self.pending.len() + self.outputs.len()
     }
 
     /// The interned key of `state`. Given the `parent` state and its key,
@@ -251,7 +218,11 @@ where
     /// parent's id without rehashing — a BFS step rewrites at most three
     /// slots, so keying a successor costs one memcpy of the key plus deep
     /// hashes of only the slots the step actually changed.
-    fn key(&mut self, state: &McState<P>, parent: Option<(&McState<P>, &[u32])>) -> Box<[u32]> {
+    fn key(
+        &mut self,
+        state: &McState<P>,
+        parent: Option<(&McState<P>, &[u32])>,
+    ) -> Result<Box<[u32]>, crate::arena::IdSpaceExhausted> {
         let m = state.memory.len();
         let n = state.procs.len();
         let mut key = match parent {
@@ -260,12 +231,12 @@ where
         };
         for (i, cell) in state.memory.iter().enumerate() {
             if parent.map_or(true, |(ps, _)| !Arc::ptr_eq(cell, &ps.memory[i])) {
-                key[i] = self.memory.intern(cell);
+                key[i] = self.memory.intern_arc(cell)?;
             }
         }
         for (i, proc) in state.procs.iter().enumerate() {
             if parent.map_or(true, |(ps, _)| !Arc::ptr_eq(proc, &ps.procs[i])) {
-                key[m + i] = self.procs.intern(proc);
+                key[m + i] = self.procs.intern_arc(proc)?;
             }
         }
         for (i, slot) in state.pending.iter().enumerate() {
@@ -275,15 +246,18 @@ where
                 _ => true,
             });
             if changed {
-                key[m + n + i] = slot.as_ref().map_or(HALTED, |a| self.pending.intern(a));
+                key[m + n + i] = match slot.as_ref() {
+                    Some(a) => self.pending.intern_arc(a)?,
+                    None => HALTED,
+                };
             }
         }
         for (i, outs) in state.outputs.iter().enumerate() {
             if parent.map_or(true, |(ps, _)| !Arc::ptr_eq(outs, &ps.outputs[i])) {
-                key[m + 2 * n + i] = self.outputs.intern(outs);
+                key[m + 2 * n + i] = self.outputs.intern_arc(outs)?;
             }
         }
-        key.into_boxed_slice()
+        Ok(key.into_boxed_slice())
     }
 }
 
@@ -317,7 +291,7 @@ where
     /// States in which every process had halted.
     pub terminal_states: usize,
     /// `true` iff the whole reachable space was explored (no cap hit, no
-    /// external abort).
+    /// id-space exhaustion, no external abort).
     pub complete: bool,
     /// The first violation found, if any.
     pub violation: Option<Violation<P>>,
@@ -337,6 +311,7 @@ where
     max_states: usize,
     max_depth: Option<usize>,
     coarse_scans: bool,
+    id_cap: u32,
     telemetry: Option<ExplorerTelemetry>,
 }
 
@@ -387,6 +362,7 @@ where
             max_states: 1_000_000,
             max_depth: None,
             coarse_scans: false,
+            id_cap: HALTED,
             telemetry: None,
         }
     }
@@ -418,6 +394,17 @@ where
         self
     }
 
+    /// Caps the per-table slot-id space (default: the full `u32` range;
+    /// ids stay strictly below the cap, so the halted sentinel is never
+    /// assigned). A test hook: tiny caps force the id-space exhaustion
+    /// path, which must abort the exploration gracefully with
+    /// `complete: false` instead of panicking inside a sweep worker.
+    #[must_use]
+    pub fn with_id_cap(mut self, cap: u32) -> Self {
+        self.id_cap = cap;
+        self
+    }
+
     /// Attaches live-telemetry handles: the exploration then publishes
     /// state/frontier/visited-table/interner metrics on the stop-poll
     /// boundary and sampled dedup timings. Purely additive — attaching
@@ -433,11 +420,13 @@ where
     /// report a violation, which aborts the search with a counterexample
     /// schedule.
     ///
-    /// The invariant is a shared (`Fn`) closure, so one instance can serve
-    /// every worker of a parallel sweep by reference.
+    /// The invariant observes states through the borrow-only [`StateView`]
+    /// (call [`StateView::to_state`] for a materialized [`McState`]); it is
+    /// a shared (`Fn`) closure, so one instance can serve every worker of a
+    /// parallel sweep by reference.
     pub fn run<F>(&self, invariant: F) -> ExploreReport<P>
     where
-        F: Fn(&McState<P>) -> Result<(), String>,
+        F: Fn(&StateView<'_, P>) -> Result<(), String>,
     {
         self.run_until(invariant, || false)
     }
@@ -447,27 +436,35 @@ where
     /// exploration aborts with `complete: false` and no violation. Parallel
     /// sweeps use this to cancel workers made redundant by an
     /// earlier-indexed violation.
+    ///
+    /// This is the flat-arena BFS: states are id rows in one contiguous
+    /// `Vec<u32>` (see [`crate::arena`]), stepping patches a copied row in
+    /// place, and the visited set hashes rows directly — no per-state `Arc`
+    /// traffic. Explored states, order, and the report are identical to the
+    /// legacy [`Explorer::run_until_arc`] path.
     #[allow(clippy::too_many_lines)]
     pub fn run_until<F, S>(&self, invariant: F, stop: S) -> ExploreReport<P>
     where
-        F: Fn(&McState<P>) -> Result<(), String>,
+        F: Fn(&StateView<'_, P>) -> Result<(), String>,
         S: Fn() -> bool,
     {
-        // Arena of visited states with parent links for counterexamples.
-        // Dedup works on *interned keys* (see [`StateInterners`]): `keys[i]`
-        // is the key of `arena[i]`, and the index maps a key hash to the
-        // arena slots carrying it; membership is confirmed by O(words) key
-        // comparison. Exploration is exact — keys are injective on states —
-        // but the hot path never deep-compares register or process values.
-        fn hash_key(k: &[u32]) -> u64 {
+        fn hash_row(k: &[u32]) -> u64 {
             use std::hash::Hasher;
             let mut h = std::collections::hash_map::DefaultHasher::new();
             k.hash(&mut h);
             h.finish()
         }
-        let mut interners = StateInterners::<P>::new();
-        let mut arena: Vec<ArenaEntry<P>> = Vec::new();
-        let mut keys: Vec<Box<[u32]>> = Vec::new();
+        let m = self.initial.memory.len();
+        let n = self.initial.procs.len();
+        let w = m + 3 * n;
+        let mut tables = ArenaTables::<P>::new(m, n, self.id_cap);
+        // The visited arena: row i lives at rows[i*w..(i+1)*w]. Parent links
+        // and depths ride in parallel vectors; the index maps a row hash to
+        // the arena slots carrying it, membership confirmed by O(w) word
+        // comparison. Exploration is exact — rows are injective on states.
+        let mut rows: Vec<u32> = Vec::new();
+        let mut parents: Vec<Option<(usize, ProcId)>> = Vec::new();
+        let mut depths: Vec<u32> = Vec::new();
         let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut terminal = 0usize;
@@ -478,6 +475,219 @@ where
         // gauges on the stop-poll boundary and at every exit.
         let mut expansions = 0usize;
         let mut flushed_states = 0usize;
+        let flush_telemetry =
+            |flushed: &mut usize, visited: usize, depth: usize, interner_entries: usize| {
+                if let Some(tel) = &self.telemetry {
+                    tel.states.add((visited - *flushed) as u64);
+                    *flushed = visited;
+                    tel.frontier_depth.set(depth as u64);
+                    tel.visited_entries.set(visited as u64);
+                    // Estimate, not an allocator measurement: `w` u32s per
+                    // row, plus parent/depth/index bookkeeping per state.
+                    tel.visited_bytes.set((visited * (w * 4 + 72)) as u64);
+                    tel.interner_entries.set(interner_entries as u64);
+                }
+            };
+
+        let make_violation = |tables: &ArenaTables<P>,
+                              rows: &[u32],
+                              parents: &[Option<(usize, ProcId)>],
+                              at: usize,
+                              message: String| {
+            let mut schedule = Vec::new();
+            let mut cur = at;
+            while let Some((parent, p)) = parents[cur] {
+                schedule.push(p);
+                cur = parent;
+            }
+            schedule.reverse();
+            Violation {
+                message,
+                state: tables.decode(&rows[at * w..(at + 1) * w]),
+                schedule,
+            }
+        };
+
+        let Ok(k0) = tables.encode(&self.initial) else {
+            // Not even the initial state fits the injected id space.
+            return ExploreReport {
+                states: 0,
+                terminal_states: 0,
+                complete: false,
+                violation: None,
+            };
+        };
+        index.entry(hash_row(&k0)).or_default().push(0);
+        rows.extend_from_slice(&k0);
+        parents.push(None);
+        depths.push(0);
+        queue.push_back(0);
+        if let Err(message) = invariant(&StateView::new(&tables, &rows[..w])) {
+            flush_telemetry(&mut flushed_states, 1, 0, tables.len_total());
+            return ExploreReport {
+                states: 1,
+                terminal_states: usize::from(self.initial.all_halted()),
+                complete: true,
+                violation: Some(make_violation(&tables, &rows, &parents, 0, message)),
+            };
+        }
+
+        let mut scratch = vec![0u32; w];
+        while let Some(cur) = queue.pop_front() {
+            let depth = depths[cur] as usize;
+            let row_start = cur * w;
+            if rows[row_start + m + n..row_start + m + 2 * n]
+                .iter()
+                .all(|&id| id == HALTED)
+            {
+                terminal += 1;
+                continue;
+            }
+            if let Some(maxd) = self.max_depth {
+                if depth >= maxd {
+                    complete = false;
+                    continue;
+                }
+            }
+            for pi in 0..n {
+                if rows[row_start + m + n + pi] == HALTED {
+                    continue;
+                }
+                let p = ProcId(pi);
+                since_poll += 1;
+                if since_poll >= STOP_POLL_INTERVAL {
+                    since_poll = 0;
+                    flush_telemetry(
+                        &mut flushed_states,
+                        rows.len() / w,
+                        depth,
+                        tables.len_total(),
+                    );
+                    if stop() {
+                        return ExploreReport {
+                            states: rows.len() / w,
+                            terminal_states: terminal,
+                            complete: false,
+                            violation: None,
+                        };
+                    }
+                }
+                scratch.copy_from_slice(&rows[row_start..row_start + w]);
+                let stepped = if self.coarse_scans {
+                    tables.step_block_row(&mut scratch, p, &self.wirings)
+                } else {
+                    tables.step_row(&mut scratch, p, &self.wirings)
+                };
+                if stepped.is_err() {
+                    // Id-space exhaustion: abort gracefully, like hitting the
+                    // state cap — the report stays honest (`complete: false`)
+                    // and the sweep worker never panics.
+                    flush_telemetry(
+                        &mut flushed_states,
+                        rows.len() / w,
+                        depth,
+                        tables.len_total(),
+                    );
+                    return ExploreReport {
+                        states: rows.len() / w,
+                        terminal_states: terminal,
+                        complete: false,
+                        violation: None,
+                    };
+                }
+                // One expansion in DEDUP_SAMPLE_INTERVAL is wall-clock timed
+                // through hashing + visited lookup; recorded scaled so the
+                // span total stays an unbiased estimate.
+                expansions += 1;
+                let dedup_start = (self.telemetry.is_some()
+                    && expansions % DEDUP_SAMPLE_INTERVAL == 0)
+                    .then(Instant::now);
+                let slot = index.entry(hash_row(&scratch)).or_default();
+                let duplicate = slot
+                    .iter()
+                    .any(|&i| rows[i * w..(i + 1) * w] == scratch[..]);
+                if let (Some(started), Some(tel)) = (dedup_start, &self.telemetry) {
+                    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    tel.dedup
+                        .record_sampled_ns(ns, DEDUP_SAMPLE_INTERVAL as u64);
+                }
+                if duplicate {
+                    continue;
+                }
+                if rows.len() / w >= self.max_states {
+                    complete = false;
+                    continue;
+                }
+                let id = rows.len() / w;
+                slot.push(id);
+                rows.extend_from_slice(&scratch);
+                parents.push(Some((cur, p)));
+                depths.push(depths[cur] + 1);
+                if let Err(message) =
+                    invariant(&StateView::new(&tables, &rows[id * w..(id + 1) * w]))
+                {
+                    flush_telemetry(
+                        &mut flushed_states,
+                        rows.len() / w,
+                        depth,
+                        tables.len_total(),
+                    );
+                    return ExploreReport {
+                        states: rows.len() / w,
+                        terminal_states: terminal,
+                        complete: false,
+                        violation: Some(make_violation(&tables, &rows, &parents, id, message)),
+                    };
+                }
+                queue.push_back(id);
+            }
+        }
+
+        flush_telemetry(&mut flushed_states, rows.len() / w, 0, tables.len_total());
+        ExploreReport {
+            states: rows.len() / w,
+            terminal_states: terminal,
+            complete,
+            violation: None,
+        }
+    }
+
+    /// The pre-arena BFS over `Arc`-shared [`McState`]s, kept verbatim as
+    /// the differential baseline: tests assert its reports are identical to
+    /// [`Explorer::run_until`]'s, and the E23 bench measures the arena
+    /// speedup against it. Not part of the supported API surface.
+    #[doc(hidden)]
+    pub fn run_arc<F>(&self, invariant: F) -> ExploreReport<P>
+    where
+        F: Fn(&McState<P>) -> Result<(), String>,
+    {
+        self.run_until_arc(invariant, || false)
+    }
+
+    /// See [`Explorer::run_arc`].
+    #[doc(hidden)]
+    #[allow(clippy::too_many_lines)]
+    pub fn run_until_arc<F, S>(&self, invariant: F, stop: S) -> ExploreReport<P>
+    where
+        F: Fn(&McState<P>) -> Result<(), String>,
+        S: Fn() -> bool,
+    {
+        fn hash_key(k: &[u32]) -> u64 {
+            use std::hash::Hasher;
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            h.finish()
+        }
+        let mut interners = StateInterners::<P>::new(self.id_cap);
+        let mut arena: Vec<ArcArenaEntry<P>> = Vec::new();
+        let mut keys: Vec<Box<[u32]>> = Vec::new();
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut terminal = 0usize;
+        let mut complete = true;
+        let mut since_poll = 0usize;
+        let mut expansions = 0usize;
+        let mut flushed_states = 0usize;
         let key_words = self.initial.memory.len() + 3 * self.initial.procs.len();
         let flush_telemetry =
             |flushed: &mut usize, visited: usize, depth: usize, interner_entries: usize| {
@@ -486,16 +696,13 @@ where
                     *flushed = visited;
                     tel.frontier_depth.set(depth as u64);
                     tel.visited_entries.set(visited as u64);
-                    // Estimate, not an allocator measurement: `key_words`
-                    // u32s per key, plus the state's slot-pointer vectors
-                    // and parent/depth/index bookkeeping per arena entry.
                     tel.visited_bytes
                         .set((visited * (key_words * 12 + 170)) as u64);
                     tel.interner_entries.set(interner_entries as u64);
                 }
             };
 
-        let make_violation = |arena: &[ArenaEntry<P>], at: usize, message: String| {
+        let make_violation = |arena: &[ArcArenaEntry<P>], at: usize, message: String| {
             let mut schedule = Vec::new();
             let mut cur = at;
             while let Some((parent, p)) = arena[cur].1 {
@@ -511,7 +718,14 @@ where
         };
 
         arena.push((self.initial.clone(), None, 0));
-        let k0 = interners.key(&self.initial, None);
+        let Ok(k0) = interners.key(&self.initial, None) else {
+            return ExploreReport {
+                states: 0,
+                terminal_states: 0,
+                complete: false,
+                violation: None,
+            };
+        };
         index.entry(hash_key(&k0)).or_default().push(0);
         keys.push(k0);
         queue.push_back(0);
@@ -562,14 +776,26 @@ where
                 } else {
                     state.step(p, &self.wirings).expect("live process steps")
                 };
-                // One expansion in DEDUP_SAMPLE_INTERVAL is wall-clock
-                // timed through keying + visited lookup; recorded scaled so
-                // the span total stays an unbiased estimate.
                 expansions += 1;
                 let dedup_start = (self.telemetry.is_some()
                     && expansions % DEDUP_SAMPLE_INTERVAL == 0)
                     .then(Instant::now);
-                let nk = interners.key(&next, Some((&state, &keys[cur])));
+                let Ok(nk) = interners.key(&next, Some((&state, &keys[cur]))) else {
+                    // Graceful id-space-exhaustion abort, as on the arena
+                    // path.
+                    flush_telemetry(
+                        &mut flushed_states,
+                        arena.len(),
+                        depth,
+                        interners.len_total(),
+                    );
+                    return ExploreReport {
+                        states: arena.len(),
+                        terminal_states: terminal,
+                        complete: false,
+                        violation: None,
+                    };
+                };
                 let slot = index.entry(hash_key(&nk)).or_default();
                 let duplicate = slot.iter().any(|&i| keys[i] == nk);
                 if let (Some(started), Some(tel)) = (dedup_start, &self.telemetry) {
@@ -686,7 +912,7 @@ mod tests {
         );
         // "Register never holds 2" is violated as soon as p1 writes.
         let report = explorer.run(|s| {
-            if *s.memory[0] == 2 {
+            if *s.memory(0) == 2 {
                 Err("register holds 2".to_string())
             } else {
                 Ok(())
@@ -746,6 +972,62 @@ mod tests {
     }
 
     #[test]
+    fn tiny_id_cap_aborts_gracefully_instead_of_panicking() {
+        // The two-writer space needs more than two distinct process values
+        // per table; a cap of 2 must surface as an honest incomplete report
+        // — the legacy codepath used to panic here
+        // ("distinct slot values exceed the u32 id space").
+        let mk = || {
+            Explorer::new(
+                vec![
+                    OneWrite {
+                        input: 1,
+                        wrote: false,
+                    },
+                    OneWrite {
+                        input: 2,
+                        wrote: false,
+                    },
+                ],
+                1,
+                0u8,
+                vec![Wiring::identity(1), Wiring::identity(1)],
+            )
+            .with_id_cap(2)
+        };
+        let report = mk().run(|_| Ok(()));
+        assert!(!report.complete, "exhaustion must mark incompleteness");
+        assert!(report.violation.is_none());
+        // The legacy differential path takes the same graceful abort.
+        let legacy = mk().run_arc(|_| Ok(()));
+        assert!(!legacy.complete);
+        assert!(legacy.violation.is_none());
+    }
+
+    #[test]
+    fn id_cap_too_small_for_the_initial_state_reports_zero_states() {
+        let explorer = Explorer::new(
+            vec![
+                OneWrite {
+                    input: 1,
+                    wrote: false,
+                },
+                OneWrite {
+                    input: 2,
+                    wrote: false,
+                },
+            ],
+            1,
+            0u8,
+            vec![Wiring::identity(1), Wiring::identity(1)],
+        )
+        .with_id_cap(1);
+        let report = explorer.run(|_| Ok(()));
+        assert!(!report.complete);
+        assert_eq!(report.states, 0);
+    }
+
+    #[test]
     fn immediate_stop_aborts_incomplete() {
         use fa_core::SnapshotProcess;
         // A space large enough to cross the poll interval.
@@ -798,7 +1080,7 @@ mod tests {
         let wirings = vec![Wiring::identity(1), Wiring::identity(1)];
         let explorer = Explorer::new(procs.clone(), 1, 0u8, wirings.clone());
         let report = explorer.run(|s| {
-            if s.all_halted() && *s.memory[0] == 1 {
+            if s.all_halted() && *s.memory(0) == 1 {
                 Err("final memory is 1".into())
             } else {
                 Ok(())
@@ -850,13 +1132,13 @@ mod tests {
     fn shared_invariant_can_be_passed_by_reference() {
         // One `Fn` closure instance must be reusable across explorer runs —
         // the shape the parallel sweep relies on.
-        let invariant = |s: &McState<OneWrite>| {
-            if *s.memory[0] == 99 {
+        fn invariant(s: &StateView<'_, OneWrite>) -> Result<(), String> {
+            if *s.memory(0) == 99 {
                 Err("impossible".into())
             } else {
                 Ok(())
             }
-        };
+        }
         for _ in 0..2 {
             let procs = vec![
                 OneWrite {
@@ -904,8 +1186,8 @@ mod tests {
         let distinct = mk(1, 2);
         assert!(same.complete && distinct.complete);
         // Equal inputs make the two write orders converge on value-equal
-        // states reached through *distinct* `Arc` allocations; the interned
-        // key table must still merge them (keys are by value, not pointer).
+        // states reached through *distinct* step paths; the interned tables
+        // must still merge them (ids are by value, not provenance).
         assert!(
             same.states < distinct.states,
             "{} !< {}",
@@ -952,6 +1234,50 @@ mod tests {
         let again = mk().with_telemetry(tel.clone()).run(|_| Ok(()));
         assert_eq!(again.states, plain.states);
         assert_eq!(tel.states.get(), 2 * plain.states as u64);
+    }
+
+    #[test]
+    fn arena_and_arc_paths_report_identically() {
+        use fa_core::SnapshotProcess;
+        // The whole point of keeping `run_until_arc`: same states, same
+        // order, same verdicts. (The dedicated differential suite covers the
+        // harness level; this is the explorer-level smoke.)
+        let mk = || {
+            let procs: Vec<SnapshotProcess<u8>> =
+                vec![SnapshotProcess::new(1, 2), SnapshotProcess::new(2, 2)];
+            Explorer::new(
+                procs,
+                2,
+                Default::default(),
+                vec![Wiring::identity(2), Wiring::cyclic_shift(2, 1)],
+            )
+        };
+        let arena = mk().run(|_| Ok(()));
+        let arc = mk().run_arc(|_| Ok(()));
+        assert_eq!(arena.states, arc.states);
+        assert_eq!(arena.terminal_states, arc.terminal_states);
+        assert_eq!(arena.complete, arc.complete);
+
+        // And with a violating invariant: same state, same schedule.
+        let arena = mk().run(|s| {
+            if s.first_outputs().iter().any(Option::is_some) {
+                Err("output".into())
+            } else {
+                Ok(())
+            }
+        });
+        let arc = mk().run_arc(|s| {
+            if s.first_outputs().iter().any(Option::is_some) {
+                Err("output".into())
+            } else {
+                Ok(())
+            }
+        });
+        let (va, vb) = (arena.violation.unwrap(), arc.violation.unwrap());
+        assert_eq!(arena.states, arc.states);
+        assert_eq!(va.state, vb.state);
+        assert_eq!(va.schedule, vb.schedule);
+        assert_eq!(va.message, vb.message);
     }
 
     #[test]

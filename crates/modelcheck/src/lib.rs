@@ -10,7 +10,11 @@
 //!
 //! * [`Explorer`] — breadth-first exhaustive exploration of every
 //!   interleaving of a fixed system (processes + wirings), with invariant
-//!   checking on every reachable state and counterexample schedules.
+//!   checking on every reachable state and counterexample schedules. The
+//!   hot path runs over the flat id arena of [`arena`]; invariants observe
+//!   states through the borrow-only [`StateView`].
+//! * [`strategy`] — factory-selectable sweep executors
+//!   (serial / worker pool) behind one [`ExploreStrategy`] contract.
 //! * [`checks`] — ready-made checks: the snapshot task (E3), adaptive
 //!   renaming, consensus safety, and solo-termination (the wait-freedom
 //!   certificate).
@@ -36,13 +40,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod atomicity;
 pub mod checks;
 mod explorer;
 pub mod simulate;
+pub mod strategy;
 pub mod telemetry;
 pub mod wirings;
 
+pub use arena::{ArenaState, ArenaTables, IdSpaceExhausted, StateView};
 pub use checks::{CheckConfig, CheckOutcome, TaskCheckReport};
 pub use explorer::{step_block, ExploreReport, Explorer, McState, Violation};
+pub use strategy::{ComboOutcome, ExploreStrategy, StrategyKind};
 pub use telemetry::{ExplorerTelemetry, SweepTelemetry};

@@ -56,8 +56,9 @@ pub struct TelemetrySummary {
     pub span_events: usize,
     /// Where the JSONL stream went, if anywhere.
     pub jsonl_path: Option<PathBuf>,
-    /// First I/O error the stream hit, if any (the stream is truncated at
-    /// that point, never interleaved).
+    /// First I/O error the JSONL stream or the stderr progress line hit, if
+    /// any (the failing stream is truncated at that point, never
+    /// interleaved).
     pub io_error: Option<String>,
 }
 
@@ -122,6 +123,72 @@ impl TelemetryEmitter {
 /// bound regardless of cadence.
 const STOP_POLL: Duration = Duration::from_millis(20);
 
+/// In-place `\r` progress rendering over any byte stream, with
+/// [`JsonlSink`]'s error discipline: the first write error is kept, later
+/// writes become no-ops, and the error surfaces in the emitter's
+/// [`TelemetrySummary::io_error`].
+struct ProgressRenderer<W: Write> {
+    out: W,
+    /// Display width of the last rendered line, so redraws and
+    /// [`ProgressRenderer::clear`] blank exactly what was drawn.
+    last_width: usize,
+    error: Option<String>,
+}
+
+impl<W: Write> ProgressRenderer<W> {
+    fn new(out: W) -> Self {
+        ProgressRenderer {
+            out,
+            last_width: 0,
+            error: None,
+        }
+    }
+
+    /// Redraws the in-place line, padding over any longer previous render.
+    fn render(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        let width = line.chars().count();
+        let pad = width.max(self.last_width);
+        let res = write!(self.out, "\r{line:<pad$}").and_then(|()| self.out.flush());
+        match res {
+            Ok(()) => self.last_width = width,
+            Err(e) => self.error = Some(e.to_string()),
+        }
+    }
+
+    /// Blanks the in-place line and returns the cursor to column 0, so
+    /// whatever writes to the stream next starts on a clean row instead of
+    /// being glued onto a half-drawn progress line.
+    fn clear(&mut self) {
+        if self.error.is_some() || self.last_width == 0 {
+            return;
+        }
+        let blank = " ".repeat(self.last_width);
+        let res = write!(self.out, "\r{blank}\r").and_then(|()| self.out.flush());
+        if let Err(e) = res {
+            self.error = Some(e.to_string());
+        }
+        self.last_width = 0;
+    }
+
+    /// Writes a plain terminated line (the closing scrollback summary).
+    fn line(&mut self, text: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        let res = writeln!(self.out, "{text}").and_then(|()| self.out.flush());
+        if let Err(e) = res {
+            self.error = Some(e.to_string());
+        }
+    }
+
+    fn into_error(self) -> Option<String> {
+        self.error
+    }
+}
+
 fn emitter_loop(
     registry: &MetricRegistry,
     config: &TelemetryConfig,
@@ -131,6 +198,9 @@ fn emitter_loop(
     let mut seq = 0u64;
     let mut prev: Option<TelemetrySnapshot> = None;
     let started = Instant::now();
+    let mut progress = config
+        .progress
+        .then(|| ProgressRenderer::new(io::stderr().lock()));
 
     loop {
         // Sleep one cadence in stop-poll slices so stop() is prompt.
@@ -149,10 +219,8 @@ fn emitter_loop(
         if let Some(sink) = sink.as_mut() {
             sink.on_telemetry(&snap);
         }
-        if config.progress {
-            let line = progress_line(&config.label, &snap);
-            eprint!("\r{line:<100}");
-            let _ = io::stderr().flush();
+        if let Some(p) = progress.as_mut() {
+            p.render(&progress_line(&config.label, &snap));
         }
         prev = Some(snap);
         seq += 1;
@@ -172,16 +240,18 @@ fn emitter_loop(
             io_error = Some(e.to_string());
         }
     }
-    if config.progress {
-        // Leave the last progress line behind, completed by a newline and a
-        // closing duration so scrollback shows how long the run took.
-        eprintln!();
-        eprintln!(
+    if let Some(mut p) = progress {
+        // Clear the in-place line — whatever the process prints to stderr
+        // next must start on a clean row, not glued to a stale `\r` line —
+        // then leave one closing line in scrollback with the run duration.
+        p.clear();
+        p.line(&format!(
             "[{}] telemetry: {} snapshots over {:.1}s",
             config.label,
             seq,
             started.elapsed().as_secs_f64()
-        );
+        ));
+        io_error = io_error.or(p.into_error());
     }
     (seq, span_events.len(), io_error)
 }
@@ -324,6 +394,54 @@ mod tests {
         assert!(summary.snapshots >= 1); // the final at-stop sample
         assert!(summary.jsonl_path.is_none());
         assert!(summary.io_error.is_none());
+    }
+
+    #[test]
+    fn progress_renderer_clears_the_line_on_stop() {
+        let mut r = ProgressRenderer::new(Vec::new());
+        r.render("[e18] states 1,000");
+        // A shorter redraw pads over the longer previous line.
+        r.render("[e18] done");
+        r.clear();
+        r.line("[e18] telemetry: 2 snapshots over 0.1s");
+        assert!(r.error.is_none());
+        let out = String::from_utf8(r.out).unwrap();
+        let long = "[e18] states 1,000";
+        let short = format!("{:<width$}", "[e18] done", width = long.chars().count());
+        // Render, padded redraw, blank-out to column 0, then the closing
+        // scrollback line — nothing of the in-place line survives the stop.
+        let blank = " ".repeat("[e18] done".chars().count());
+        let expect =
+            format!("\r{long}\r{short}\r{blank}\r[e18] telemetry: 2 snapshots over 0.1s\n");
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn progress_renderer_clear_without_render_writes_nothing() {
+        let mut r = ProgressRenderer::new(Vec::new());
+        r.clear();
+        assert!(r.out.is_empty(), "no line was drawn, nothing to clear");
+    }
+
+    #[test]
+    fn progress_renderer_surfaces_write_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "stderr gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut r = ProgressRenderer::new(Failing);
+        r.render("[x] 1");
+        // Later writes are no-ops; the first error is what surfaces.
+        r.render("[x] 2");
+        r.clear();
+        r.line("closing");
+        let err = r.into_error().expect("write error surfaces");
+        assert!(err.contains("stderr gone"), "{err}");
     }
 
     #[test]
