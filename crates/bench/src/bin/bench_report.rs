@@ -25,6 +25,13 @@
 //!    state-arena engine: per-combo counts must match exactly, and the
 //!    headline `sweep_states_per_sec_arena` / `sweep_states_per_sec_arc`
 //!    pair records the engine speedup.
+//! 5. **E24 (symmetry quotient)** — the E18-class fully-symmetric coarse
+//!    sweep run under `--quotient` semantics: records the measured orbit
+//!    factor (estimated full-space states over canonical states explored),
+//!    checks quotiented reruns render byte-identically, and *attempts* the
+//!    n = 5 scope — far past any full sweep at (5!)⁴ ≈ 2·10⁸ combos — as a
+//!    capped single-combo exploration pushed through the tiered visited
+//!    store with a deliberately tiny memory budget.
 //!
 //! Exits nonzero if any determinism check fails.
 //!
@@ -38,6 +45,7 @@ use std::time::Instant;
 use fa_bench::{cli_flag, cli_value, Opaque};
 use fa_core::{SnapshotProcess, View};
 use fa_memory::{Executor, SharedMemory, Wiring};
+use fa_modelcheck::checks::{check_snapshot_task_coarse_with, CheckConfig};
 use fa_modelcheck::wirings::ComboTable;
 use fa_modelcheck::Explorer;
 use serde_json::json;
@@ -297,6 +305,68 @@ fn main() {
         rate_new / rate_arc
     );
 
+    // 5. E24: the symmetry quotient over the E18-class sweep — fully
+    // symmetric inputs make the whole wiring group collapse, so the orbit
+    // factor here is the headline compression number. Smoke keeps n = 3
+    // (36 combos); the full run takes the real E18 scope at n = 4
+    // (13824 combos, 762 canonical).
+    let quot_n = if smoke { 3usize } else { 4 };
+    let quot_inputs = vec![7u32; quot_n];
+    eprintln!("[bench_report] E24 quotient sweep (n={quot_n}, cap {sweep_cap})...");
+    let quot_config = CheckConfig::default().with_quotient();
+    let quot_start = Instant::now();
+    let quot =
+        check_snapshot_task_coarse_with(&quot_inputs, sweep_cap, &quot_config).expect("check runs");
+    let quot_elapsed = quot_start.elapsed().as_secs_f64();
+    let quot_again =
+        check_snapshot_task_coarse_with(&quot_inputs, sweep_cap, &quot_config).expect("check runs");
+    // Determinism: the quotiented report renders byte-identically on rerun.
+    let quotient_rerun_identical =
+        format!("{:?}", quot.report) == format!("{:?}", quot_again.report);
+    assert!(
+        quot.report.violation.is_none(),
+        "{:?}",
+        quot.report.violation
+    );
+    let quot_stats = quot.report.quotient.clone().expect("quotiented report");
+    let orbit_factor = quot_stats.orbit_factor();
+    eprintln!(
+        "  combos {}/{} ({} explored): {} canonical states for a full-space estimate of {} ({orbit_factor:.2}x) in {quot_elapsed:.2}s",
+        quot.report.combos,
+        quot.report.total_combos,
+        quot_stats.combos_explored,
+        quot_stats.canonical_states,
+        quot_stats.full_states_estimate,
+    );
+
+    // The n = 5 attempt: the full sweep is out of reach for any engine
+    // ((5!)^4 ≈ 2.1e8 wiring combos), so take one symmetric combo — where
+    // the row quotient bites hardest — capped, with a visited budget small
+    // enough that the run *must* live out of the disk tier.
+    let n5 = 5usize;
+    let n5_cap = if smoke { 2_000usize } else { 20_000 };
+    let n5_budget = 64 * 1024usize;
+    eprintln!("[bench_report] E24 n=5 attempt (cap {n5_cap}, visited budget {n5_budget} B)...");
+    let n5_procs: Vec<SnapshotProcess<u32>> =
+        (0..n5).map(|_| SnapshotProcess::new(7, n5)).collect();
+    let n5_wirings: Vec<Wiring> = (0..n5).map(|_| Wiring::identity(n5)).collect();
+    let n5_start = Instant::now();
+    let n5_report = Explorer::new(n5_procs, n5, Default::default(), n5_wirings)
+        .with_coarse_scans()
+        .with_max_states(n5_cap)
+        .with_quotient()
+        .with_visited_budget(n5_budget)
+        .run(|_| Ok(()));
+    let n5_elapsed = n5_start.elapsed().as_secs_f64();
+    assert!(n5_report.violation.is_none(), "n=5 prefix must be clean");
+    let n5_est = n5_report
+        .full_states_estimate
+        .unwrap_or(n5_report.states as u64);
+    eprintln!(
+        "  {} canonical states (full-space estimate {n5_est}), {} shards spilled, complete={} in {n5_elapsed:.2}s",
+        n5_report.states, n5_report.spilled_shards, n5_report.complete,
+    );
+
     // Determinism check 1: both representations explore identical spaces.
     let repr_equivalent = per_combo_new == per_combo_old;
     // Determinism check 2: re-running the new representation serializes
@@ -316,8 +386,12 @@ fn main() {
     if !engine_equivalent {
         eprintln!("[bench_report] FAIL: arena and arc engines explored different state spaces");
     }
+    if !quotient_rerun_identical {
+        eprintln!("[bench_report] FAIL: quotiented sweep re-run is not byte-identical");
+    }
 
-    let determinism_ok = repr_equivalent && rerun_identical && engine_equivalent;
+    let determinism_ok =
+        repr_equivalent && rerun_identical && engine_equivalent && quotient_rerun_identical;
     let total_states: usize = per_combo_new.iter().sum();
     let sweep_doc = json!({
         "n": n,
@@ -336,13 +410,37 @@ fn main() {
         "representations_equivalent": repr_equivalent,
         "rerun_byte_identical": rerun_identical,
         "arena_matches_arc_engine": engine_equivalent,
+        "quotient_rerun_byte_identical": quotient_rerun_identical,
+    });
+    let quotient_doc = json!({
+        "n": quot_n,
+        "inputs": quot_inputs,
+        "max_states_per_combo": sweep_cap,
+        "combos_total": quot.report.total_combos,
+        "combos_explored": quot_stats.combos_explored,
+        "canonical_states": quot_stats.canonical_states,
+        "full_states_estimate": quot_stats.full_states_estimate,
+        "orbit_factor": orbit_factor,
+        "spilled_shards": quot_stats.spilled_shards,
+        "elapsed_s": quot_elapsed,
+        "n5_attempt": json!({
+            "n": n5,
+            "max_states": n5_cap,
+            "visited_budget_bytes": n5_budget,
+            "canonical_states": n5_report.states,
+            "full_states_estimate": n5_est,
+            "spilled_shards": n5_report.spilled_shards,
+            "complete": n5_report.complete,
+            "elapsed_s": n5_elapsed,
+        }),
     });
     let doc = json!({
-        "experiment": "E21+E23",
+        "experiment": "E21+E23+E24",
         "smoke": smoke,
         "micro": micros.iter().map(Micro::to_json).collect::<Vec<_>>(),
         "scan": scans,
         "sweep": sweep_doc,
+        "quotient": quotient_doc,
         "determinism": determinism_doc,
     });
 
@@ -362,7 +460,7 @@ fn main() {
         })
         .unwrap_or_default();
     let prefix = if smoke { "smoke_" } else { "" };
-    root.insert("experiment".into(), json!("E21+E23"));
+    root.insert("experiment".into(), json!("E21+E23+E24"));
     for (key, value) in [
         (
             "min_micro_speedup",
@@ -378,6 +476,15 @@ fn main() {
         ("sweep_states_per_sec_arena", json!(rate_new)),
         ("sweep_states_per_sec_arc", json!(rate_arc)),
         ("arena_sweep_speedup", json!(rate_new / rate_arc)),
+        ("quotient_orbit_factor", json!(orbit_factor)),
+        (
+            "quotient_canonical_states",
+            json!(quot_stats.canonical_states),
+        ),
+        (
+            "quotient_n5_spilled_shards",
+            json!(n5_report.spilled_shards),
+        ),
         ("determinism_ok", json!(determinism_ok)),
     ] {
         root.insert(format!("{prefix}{key}"), value);

@@ -16,6 +16,11 @@
 //! * `--progress` / `--telemetry-jsonl PATH` / `--telemetry-cadence-ms N` —
 //!   live telemetry plane (stderr progress line, snapshot JSONL stream);
 //!   stdout stays byte-identical with telemetry on or off.
+//! * `--quotient` — symmetry-quotient the sweeps (orbit-canonical visited
+//!   set + combo class representatives); verdicts are unchanged, report
+//!   lines gain the quotient ledger.
+//! * `--visited-budget BYTES` — spill cold visited shards to a checksummed
+//!   disk tier past the budget; reports are byte-identical to in-memory.
 
 use std::fs;
 use std::io::Write as _;
@@ -29,14 +34,26 @@ use fa_modelcheck::checks::{
 use fa_obs::{JsonlSink, Probe, SweepEvent};
 
 fn report_line(r: &TaskCheckReport) -> String {
-    format!(
+    let mut line = format!(
         "combos={}/{} states={} complete={} violation={}",
         r.combos,
         r.total_combos,
         r.total_states,
         r.complete,
         r.violation.clone().unwrap_or_else(|| "none".into())
-    )
+    );
+    // Quotiented runs append their ledger; plain output stays byte-stable.
+    if let Some(q) = &r.quotient {
+        line.push_str(&format!(
+            " quotient: combos_explored={} canonical_states={} full_states_est={} orbit_factor={:.2} spilled={}",
+            q.combos_explored,
+            q.canonical_states,
+            q.full_states_estimate,
+            q.orbit_factor(),
+            q.spilled_shards
+        ));
+    }
+    line
 }
 
 /// The deterministic smoke check: report lines only, byte-identical across

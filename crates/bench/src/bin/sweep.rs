@@ -48,21 +48,33 @@ fn main() {
     }
     let e3 = check_snapshot_task_with(&[1, 2], 500_000, &config).expect("check runs");
     let t = &e3.telemetry;
-    doc.insert(
-        "e3_snapshot_model_check".into(),
-        json!({
-            "jobs": t.jobs,
-            "combos_attempted": t.combos_attempted,
-            "combos_total": t.combos_total,
-            "states": t.states,
-            "peak_combo_states": t.peak_combo_states,
-            "complete": e3.report.complete,
-            "violation": e3.report.violation,
-            "elapsed_ns": t.elapsed_ns,
-            "combos_per_sec": t.combos_per_sec(),
-            "states_per_sec": t.states_per_sec(),
-        }),
-    );
+    let mut e3_doc = json!({
+        "jobs": t.jobs,
+        "combos_attempted": t.combos_attempted,
+        "combos_total": t.combos_total,
+        "states": t.states,
+        "peak_combo_states": t.peak_combo_states,
+        "complete": e3.report.complete,
+        "violation": e3.report.violation,
+        "elapsed_ns": t.elapsed_ns,
+        "combos_per_sec": t.combos_per_sec(),
+        "states_per_sec": t.states_per_sec(),
+    });
+    // Quotiented runs (--quotient) add their ledger; the plain document's
+    // key set is unchanged, so committed artifacts stay diffable.
+    if let (Some(q), serde_json::Value::Object(m)) = (&e3.report.quotient, &mut e3_doc) {
+        m.insert(
+            "quotient".into(),
+            json!({
+                "combos_explored": q.combos_explored,
+                "canonical_states": q.canonical_states,
+                "full_states_estimate": q.full_states_estimate,
+                "orbit_factor": q.orbit_factor(),
+                "spilled_shards": q.spilled_shards,
+            }),
+        );
+    }
+    doc.insert("e3_snapshot_model_check".into(), e3_doc);
 
     // E4: snapshot step stats.
     let e4: Vec<_> = (2..=10usize)

@@ -93,8 +93,22 @@ pub fn cli_strategy() -> Option<fa_modelcheck::StrategyKind> {
     cli_value("--strategy").map(|v| v.parse().unwrap_or_else(|e| panic!("{e}")))
 }
 
-/// A model-check [`CheckConfig`] honoring the `--jobs` and `--strategy`
-/// flags.
+/// The visited-set memory budget requested via `--visited-budget BYTES`
+/// (`None` when absent: everything stays in memory).
+///
+/// # Panics
+///
+/// Panics with a usage message if the value is not a non-negative integer.
+#[must_use]
+pub fn cli_visited_budget() -> Option<usize> {
+    cli_value("--visited-budget").map(|v| {
+        v.parse::<usize>()
+            .unwrap_or_else(|_| panic!("--visited-budget wants a byte count, got {v:?}"))
+    })
+}
+
+/// A model-check [`CheckConfig`] honoring the `--jobs`, `--strategy`,
+/// `--quotient`, and `--visited-budget` flags.
 #[must_use]
 pub fn check_config_from_cli() -> CheckConfig {
     let mut config = match cli_jobs() {
@@ -103,6 +117,12 @@ pub fn check_config_from_cli() -> CheckConfig {
     };
     if let Some(kind) = cli_strategy() {
         config = config.with_strategy(kind);
+    }
+    if cli_flag("--quotient") {
+        config = config.with_quotient();
+    }
+    if let Some(bytes) = cli_visited_budget() {
+        config = config.with_visited_budget(bytes);
     }
     config
 }

@@ -238,7 +238,7 @@ fn heaviest_sweep_rate(sweeps: &[Value]) -> Option<String> {
     ))
 }
 
-/// Reads every committed perf artifact (E17–E22) defensively and returns
+/// Reads every committed perf artifact (E17–E24) defensively and returns
 /// the cross-experiment trend rows for the report's `trends` section.
 #[allow(clippy::cast_precision_loss)]
 fn trend_rows() -> Vec<Trend> {
@@ -329,6 +329,22 @@ fn trend_rows() -> Vec<Trend> {
                 .and_then(Value::as_f64)?;
             let rate = v.get("e22_states_per_sec_live").and_then(Value::as_f64)?;
             Some(format!("{pct:.2}% at {rate:.0} states/s live"))
+        }),
+    });
+
+    // E24: symmetry-quotient compression of the fully-symmetric sweep.
+    rows.push(Trend {
+        experiment: "E24",
+        source: "results/bench_report.json",
+        metric: "quotient orbit factor",
+        value: read_json_file("results/bench_report.json").and_then(|v| {
+            let quot = v.get("quotient")?;
+            let factor = quot.get("orbit_factor").and_then(Value::as_f64)?;
+            let canonical = quot.get("canonical_states").and_then(Value::as_u64)?;
+            let combos = quot.get("combos_explored").and_then(Value::as_u64)?;
+            Some(format!(
+                "{factor:.2}x ({canonical} canonical states, {combos} combo classes)"
+            ))
         }),
     });
 
@@ -541,7 +557,7 @@ pub fn run_report(jobs: Option<usize>) {
         &backoff_rows,
     );
 
-    // Perf-trajectory trends from the committed artifacts (E17–E22).
+    // Perf-trajectory trends from the committed artifacts (E17–E24).
     println!("\n== perf trajectory across committed artifacts ==\n");
     let trend_table: Vec<Vec<String>> = trends
         .iter()
@@ -589,12 +605,12 @@ mod tests {
         // Unit tests run from the crate directory, where no results/
         // artifacts exist: every row must render (value = None), not panic.
         let rows = trend_rows();
-        assert_eq!(rows.len(), 6, "one row per experiment E17..E22");
+        assert_eq!(rows.len(), 7, "one row per experiment E17..E24");
         for t in &rows {
             assert!(!t.experiment.is_empty());
             assert!(!t.source.is_empty());
         }
         let json: Vec<Value> = rows.iter().map(trend_json).collect();
-        assert_eq!(json.len(), 6);
+        assert_eq!(json.len(), 7);
     }
 }

@@ -1,0 +1,463 @@
+//! Symmetry-quotient canonicalization of flat arena rows (DESIGN §13).
+//!
+//! Full anonymity makes processors interchangeable and register names
+//! arbitrary — the exact symmetry the paper's covering argument exploits.
+//! The model checker re-explores states that differ only by such a
+//! renaming; this module maps every state to a canonical orbit
+//! representative so the visited set stores one row per orbit.
+//!
+//! # The sound group
+//!
+//! Not every pair of permutations is a symmetry: wirings are *fixed* per
+//! exploration, so permuting processors is only meaningful when the wiring
+//! assignment looks the same afterwards. For a system with wirings
+//! `w_0..w_{n-1}` over `m` registers, the sound group is
+//!
+//! ```text
+//! G = { (σ, π) ∈ S_n × S_m :  σ preserves the initial per-processor state,
+//!                             w_{σ(i)} = π ∘ w_i  for every i }
+//! ```
+//!
+//! The wiring condition at `i = 0` forces `π = w_{σ(0)} ∘ w_0⁻¹`, so `G`
+//! embeds into `S_n` and `|G| ≤ n!`. An element acts on a row by permuting
+//! the memory section with `π` and the procs/pending/outputs sections with
+//! `σ`. Both conditions are load-bearing:
+//!
+//! * the wiring condition makes the action commute with transitions,
+//!   `step(g·s, σ(p)) = g·step(s, p)` — a read/write by processor `σ(i)` on
+//!   local register `l` touches global `w_{σ(i)}(l) = π(w_i(l))`, exactly
+//!   where `g` moved the register processor `i` would have touched;
+//! * the initial-state condition (equal inputs at `σ`-related indices;
+//!   registers are uniformly initialized, so any `π` fixes them) makes the
+//!   initial state a fixed point, so orbits are reachability-closed and a
+//!   canonical representative is always itself reachable.
+//!
+//! Together they give the quotient soundness theorem: exploring only
+//! canonical rows visits exactly one state per reachable orbit, and a
+//! `G`-symmetric invariant holds on every reachable state iff it holds on
+//! every canonical one. Orbit sizes are exact (`|G| / |stabilizer|` by
+//! orbit–stabilizer), so summing them recovers the full-space state count
+//! of a complete exploration — the property the differential suite pins.
+//!
+//! # Canonical form
+//!
+//! The canonical representative is the id-lexicographically least row in
+//! the orbit (ids are assigned in first-touch order within one exploration,
+//! so the order is total and deterministic). [`Canonicalizer::canonicalize`]
+//! minimizes over the ≤ n! group elements with a cheap refinement: the
+//! running best row prunes candidates word-by-word (most die within the
+//! memory-section prefix), and only candidates that stay tied through the
+//! whole row are materialized. The exhaustive fallback is the same loop run
+//! to completion — for the sweep sizes this crate targets (`n ≤ 5`,
+//! `|G| ≤ 120`) that is already cheap.
+//!
+//! # Combo-level quotient
+//!
+//! The same group acts across wiring combinations: transforming a combo
+//! `w` into `w'_j = π ∘ w_{σ⁻¹(j)}` (renormalized so `w'_0` is the
+//! identity, i.e. `π = w_{σ⁻¹(0)}⁻¹`) yields an isomorphic system whenever
+//! `σ` preserves the input classes. [`combo_reps`] computes, for every
+//! combo index, the least index in its isomorphism class; sweeps explore
+//! only class representatives and account skipped combos through them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fa_memory::Wiring;
+
+/// Inverse of a permutation given as a forward array (`p[i]` = image of
+/// `i`).
+pub(crate) fn invert(p: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; p.len()];
+    for (i, &v) in p.iter().enumerate() {
+        inv[v] = i;
+    }
+    inv
+}
+
+/// Composition `a ∘ b` (apply `b` first) of forward arrays.
+pub(crate) fn compose(a: &[usize], b: &[usize]) -> Vec<usize> {
+    b.iter().map(|&i| a[i]).collect()
+}
+
+/// All permutations `σ` of `0..classes.len()` with
+/// `classes[σ(i)] == classes[i]` for every `i`, in lexicographic order (the
+/// identity is always first). Factorial in the class multiplicities;
+/// intended for the sweep scopes of this crate (`n ≤ 6`).
+fn class_preserving_perms(classes: &[usize]) -> Vec<Vec<usize>> {
+    fn rec(classes: &[usize], used: &mut [bool], cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        let i = cur.len();
+        if i == classes.len() {
+            out.push(cur.clone());
+            return;
+        }
+        for v in 0..classes.len() {
+            if !used[v] && classes[v] == classes[i] {
+                used[v] = true;
+                cur.push(v);
+                rec(classes, used, cur, out);
+                cur.pop();
+                used[v] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(
+        classes,
+        &mut vec![false; classes.len()],
+        &mut Vec::with_capacity(classes.len()),
+        &mut out,
+    );
+    out
+}
+
+/// One symmetry-group element: the processor permutation `σ`, the register
+/// permutation `π` it forces, and the precomputed full-row gather map.
+#[derive(Clone, Debug)]
+struct GroupElem {
+    /// `σ` forward: processor `i`'s slots move to index `proc[i]`.
+    proc: Vec<usize>,
+    /// `π` forward: global register `r` moves to index `reg[r]`.
+    reg: Vec<usize>,
+    /// Gather map over the whole `m + 3n` row: `(g·row)[j] = row[src[j]]`.
+    src: Vec<usize>,
+}
+
+impl GroupElem {
+    fn new(proc: Vec<usize>, reg: Vec<usize>, m: usize, n: usize) -> Self {
+        let proc_inv = invert(&proc);
+        let reg_inv = invert(&reg);
+        let mut src = Vec::with_capacity(m + 3 * n);
+        src.extend(reg_inv.iter().copied());
+        for section in 0..3 {
+            let base = m + section * n;
+            src.extend(proc_inv.iter().map(|&i| base + i));
+        }
+        GroupElem { proc, reg, src }
+    }
+}
+
+/// The symmetry group of one exploration and the row-canonicalization it
+/// induces (module docs). Element 0 is always the identity.
+#[derive(Clone, Debug)]
+pub struct Canonicalizer {
+    elems: Vec<GroupElem>,
+    m: usize,
+    n: usize,
+}
+
+impl Canonicalizer {
+    /// Computes the group for a system with the given wirings and initial
+    /// per-processor equivalence classes (`proc_classes[i] ==
+    /// proc_classes[j]` iff processors `i` and `j` start value-equal —
+    /// same process state and same poised action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc_classes.len() != wirings.len()`.
+    #[must_use]
+    pub fn for_system(proc_classes: &[usize], wirings: &[Arc<Wiring>]) -> Self {
+        let n = wirings.len();
+        assert_eq!(proc_classes.len(), n, "one class id per processor required");
+        let m = wirings.first().map_or(0, |w| w.len());
+        let w0_inv = wirings.first().map(|w| w.inverse());
+        let mut elems = Vec::new();
+        for sigma in class_preserving_perms(proc_classes) {
+            // π is forced by the wiring condition at i = 0; keep σ only if
+            // that π satisfies the condition at every other i.
+            let Some(w0_inv) = &w0_inv else {
+                elems.push(GroupElem::new(sigma, Vec::new(), m, n));
+                continue;
+            };
+            let pi = wirings[sigma[0]].compose(w0_inv);
+            if (0..n).all(|i| pi.compose(&wirings[i]) == *wirings[sigma[i]]) {
+                elems.push(GroupElem::new(sigma, pi.as_slice().to_vec(), m, n));
+            }
+        }
+        Canonicalizer { elems, m, n }
+    }
+
+    /// Number of group elements (`1 ≤ order ≤ n!`).
+    #[must_use]
+    pub fn group_order(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the group is the identity alone — canonicalization is then
+    /// the identity map and explorations behave exactly as without
+    /// quotienting.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.elems.len() == 1
+    }
+
+    /// Ids per row this canonicalizer acts on: `m + 3n`.
+    #[must_use]
+    pub fn row_words(&self) -> usize {
+        self.m + 3 * self.n
+    }
+
+    /// Writes `g·row` into `out` for group element `elem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem` is out of range or the slices are not `row_words()`
+    /// long.
+    pub fn apply(&self, elem: usize, row: &[u32], out: &mut [u32]) {
+        for (o, &s) in out.iter_mut().zip(&self.elems[elem].src) {
+            *o = row[s];
+        }
+    }
+
+    /// Writes the canonical (id-lexicographically least) orbit member of
+    /// `row` into `out`; returns the index of a group element `g` with
+    /// `g·row == out` and the exact orbit size (`|G| / |stabilizer|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not `row_words()` long.
+    pub fn canonicalize(&self, row: &[u32], out: &mut [u32]) -> (u32, u64) {
+        out.copy_from_slice(row);
+        let mut best_elem = 0u32;
+        // Elements mapping `row` onto the current best — a stabilizer coset,
+        // so the final count divides |G| and yields the exact orbit size.
+        let mut ties = 1usize;
+        'elems: for (ei, elem) in self.elems.iter().enumerate().skip(1) {
+            for (j, &s) in elem.src.iter().enumerate() {
+                let v = row[s];
+                if v < out[j] {
+                    // New minimum: the compared prefix is equal, so only the
+                    // tail needs materializing.
+                    out[j] = v;
+                    for (o, &s2) in out.iter_mut().zip(&elem.src).skip(j + 1) {
+                        *o = row[s2];
+                    }
+                    best_elem = u32::try_from(ei).expect("group order fits u32");
+                    ties = 1;
+                    continue 'elems;
+                } else if v > out[j] {
+                    continue 'elems;
+                }
+            }
+            ties += 1;
+        }
+        debug_assert_eq!(self.elems.len() % ties, 0, "ties form a coset");
+        (best_elem, (self.elems.len() / ties) as u64)
+    }
+
+    /// The forward `(σ, π)` arrays of group element `idx` — used by the
+    /// violation path to rebuild a concrete schedule from canonical parent
+    /// links.
+    pub(crate) fn elem_perms(&self, idx: usize) -> (&[usize], &[usize]) {
+        let e = &self.elems[idx];
+        (&e.proc, &e.reg)
+    }
+}
+
+/// For every wiring-combo index of an `(n, m)` sweep (`(m!)^(n-1)` combos,
+/// processor 0 fixed to the identity wiring as in
+/// [`crate::wirings::ComboTable`]), the least index in its isomorphism
+/// class under input-class-preserving processor permutations: combo `w`
+/// maps to `w'_j = π ∘ w_{σ⁻¹(j)}` with `π = w_{σ⁻¹(0)}⁻¹` (so `w'_0`
+/// stays the identity). Returns `None` when only the identity permutation
+/// preserves `proc_classes` (all inputs distinct) or the combo count
+/// overflows — both mean "no combo-level quotient".
+///
+/// The transforms form a group action on combo indices, so taking the
+/// minimum over the orbit is idempotent and the representative of the
+/// lowest violating combo is that combo itself — sweeps quotiented this way
+/// report the same lowest violating index as full sweeps.
+#[must_use]
+pub fn combo_reps(n: usize, m: usize, proc_classes: &[usize]) -> Option<Vec<usize>> {
+    let sigmas = class_preserving_perms(proc_classes);
+    if sigmas.len() <= 1 {
+        return None;
+    }
+    let wirings: Vec<Wiring> = Wiring::enumerate(m).collect();
+    let k = wirings.len();
+    let exp = u32::try_from(n.checked_sub(1)?).ok()?;
+    let total = k.checked_pow(exp)?;
+    let rank: HashMap<&[usize], usize> = wirings
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (w.as_slice(), i))
+        .collect();
+    let inverses: Vec<Wiring> = wirings.iter().map(Wiring::inverse).collect();
+    let sigma_invs: Vec<Vec<usize>> = sigmas.iter().map(|s| invert(s)).collect();
+    let mut rep = Vec::with_capacity(total);
+    let mut idxs = vec![0usize; n];
+    for c in 0..total {
+        let mut rest = c;
+        for slot in idxs.iter_mut().skip(1) {
+            *slot = rest % k;
+            rest /= k;
+        }
+        let mut best = c;
+        for si in sigma_invs.iter().skip(1) {
+            let pi = &inverses[idxs[si[0]]];
+            let mut transformed = 0usize;
+            let mut mult = 1usize;
+            for &sij in si.iter().skip(1) {
+                let wj = pi.compose(&wirings[idxs[sij]]);
+                transformed += rank[wj.as_slice()] * mult;
+                mult *= k;
+            }
+            best = best.min(transformed);
+        }
+        rep.push(best);
+    }
+    Some(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arcs(ws: Vec<Wiring>) -> Vec<Arc<Wiring>> {
+        ws.into_iter().map(Arc::new).collect()
+    }
+
+    #[test]
+    fn canon_distinct_classes_leave_only_the_identity() {
+        let wirings = arcs(vec![Wiring::identity(2), Wiring::identity(2)]);
+        let c = Canonicalizer::for_system(&[0, 1], &wirings);
+        assert!(c.is_trivial());
+        assert_eq!(c.group_order(), 1);
+    }
+
+    #[test]
+    fn canon_swap_wiring_pair_has_order_two() {
+        // w = [id, swap], equal classes: σ = (0 1) forces π = w_1 = swap,
+        // and π ∘ w_1 = id = w_0 — a valid element. |G| = 2.
+        let wirings = arcs(vec![
+            Wiring::identity(2),
+            Wiring::from_perm(vec![1, 0]).unwrap(),
+        ]);
+        let c = Canonicalizer::for_system(&[0, 0], &wirings);
+        assert_eq!(c.group_order(), 2);
+    }
+
+    #[test]
+    fn canon_incompatible_wirings_reject_the_swap() {
+        // w = [id, id] with a 3-register cycle for p2: σ swapping p0 and p2
+        // would force π = w_2, but π ∘ w_2 ≠ w_0, so only σ's fixing the
+        // wiring assignment survive.
+        let wirings = arcs(vec![
+            Wiring::identity(3),
+            Wiring::identity(3),
+            Wiring::cyclic_shift(3, 1),
+        ]);
+        let c = Canonicalizer::for_system(&[0, 0, 0], &wirings);
+        // Only id and the p0↔p1 swap (both wired identically) remain.
+        assert_eq!(c.group_order(), 2);
+    }
+
+    #[test]
+    fn canon_all_identity_wirings_give_the_full_symmetric_group() {
+        let wirings = arcs(vec![Wiring::identity(2); 3]);
+        let c = Canonicalizer::for_system(&[0, 0, 0], &wirings);
+        assert_eq!(c.group_order(), 6);
+    }
+
+    #[test]
+    fn canon_canonical_form_is_minimal_idempotent_and_invariant() {
+        let wirings = arcs(vec![Wiring::identity(1); 3]);
+        let c = Canonicalizer::for_system(&[0, 0, 0], &wirings);
+        assert_eq!(c.group_order(), 6);
+        // m=1, n=3: row = [mem | p0 p1 p2 | a0 a1 a2 | o0 o1 o2].
+        let row: Vec<u32> = vec![7, 2, 0, 1, 5, 3, 4, 9, 8, 9];
+        let w = c.row_words();
+        let mut canon = vec![0u32; w];
+        let (g, orbit) = c.canonicalize(&row, &mut canon);
+        // The element index maps the row onto its canonical form.
+        let mut check = vec![0u32; w];
+        c.apply(g as usize, &row, &mut check);
+        assert_eq!(check, canon);
+        // Minimality: no element produces a smaller row.
+        for e in 0..c.group_order() {
+            c.apply(e, &row, &mut check);
+            assert!(check >= canon, "element {e} beats the canonical form");
+        }
+        // Idempotence.
+        let mut again = vec![0u32; w];
+        let (_, orbit2) = c.canonicalize(&canon, &mut again);
+        assert_eq!(again, canon);
+        assert_eq!(orbit, orbit2);
+        // Invariance: every orbit member canonicalizes to the same row,
+        // and the orbit size equals the number of distinct images.
+        let mut members = std::collections::BTreeSet::new();
+        for e in 0..c.group_order() {
+            c.apply(e, &row, &mut check);
+            members.insert(check.clone());
+            let mut from_member = vec![0u32; w];
+            let (_, o) = c.canonicalize(&check, &mut from_member);
+            assert_eq!(from_member, canon, "element {e} breaks invariance");
+            assert_eq!(o, orbit);
+        }
+        assert_eq!(members.len() as u64, orbit, "orbit size is exact");
+    }
+
+    #[test]
+    fn canon_fixed_rows_have_orbit_one() {
+        let wirings = arcs(vec![Wiring::identity(1); 3]);
+        let c = Canonicalizer::for_system(&[0, 0, 0], &wirings);
+        // A fully symmetric row (all processors in the same slots) is fixed
+        // by the whole group.
+        let row: Vec<u32> = vec![4, 1, 1, 1, 2, 2, 2, 0, 0, 0];
+        let mut canon = vec![0u32; c.row_words()];
+        let (g, orbit) = c.canonicalize(&row, &mut canon);
+        assert_eq!(g, 0);
+        assert_eq!(orbit, 1);
+        assert_eq!(canon, row);
+    }
+
+    #[test]
+    fn canon_combo_reps_none_for_distinct_classes() {
+        assert_eq!(combo_reps(3, 3, &[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn canon_combo_reps_pair_inverse_wirings_at_n2() {
+        // n=2: the only nontrivial σ maps combo (id, w) to (id, w⁻¹), so
+        // classes are {w, w⁻¹} pairs. For m=3: id and the 3 transpositions
+        // are self-inverse, the two 3-cycles pair up — 5 classes.
+        let reps = combo_reps(2, 3, &[0, 0]).unwrap();
+        assert_eq!(reps.len(), 6);
+        let distinct: std::collections::BTreeSet<usize> = reps.iter().copied().collect();
+        assert_eq!(distinct.len(), 5);
+        // Idempotent and never above the index.
+        for (c, &r) in reps.iter().enumerate() {
+            assert!(r <= c);
+            assert_eq!(reps[r], r, "representatives are canonical");
+        }
+    }
+
+    #[test]
+    fn canon_combo_reps_quotient_factor_exceeds_two_at_n4() {
+        // The E18-class sweep shape: 4 processors, 4 registers, all inputs
+        // equal. The combo quotient alone must beat the 2x acceptance bar.
+        let reps = combo_reps(4, 4, &[0, 0, 0, 0]).unwrap();
+        assert_eq!(reps.len(), 13_824);
+        let canonical = (0..reps.len()).filter(|&i| reps[i] == i).count();
+        let distinct: std::collections::BTreeSet<usize> = reps.iter().copied().collect();
+        assert_eq!(distinct.len(), canonical);
+        let factor = reps.len() as f64 / canonical as f64;
+        assert!(factor > 2.0, "combo quotient factor {factor:.2} ≤ 2");
+    }
+
+    #[test]
+    fn canon_perm_helpers_invert_and_compose() {
+        let p = vec![2usize, 0, 1];
+        assert_eq!(invert(&p), vec![1, 2, 0]);
+        assert_eq!(compose(&invert(&p), &p), vec![0, 1, 2]);
+        assert_eq!(compose(&p, &invert(&p)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn canon_class_preserving_perms_identity_first() {
+        let perms = class_preserving_perms(&[0, 1, 0]);
+        assert_eq!(perms[0], vec![0, 1, 2]);
+        assert_eq!(perms.len(), 2);
+        assert_eq!(perms[1], vec![2, 1, 0]);
+    }
+}

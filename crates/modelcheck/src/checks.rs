@@ -30,10 +30,17 @@ use fa_obs::{MetricRegistry, SweepEvent};
 use fa_tasks::{check_group_solution, AdaptiveRenaming, GroupAssignment, GroupId, Snapshot, Task};
 
 use crate::arena::StateView;
+use crate::canon;
 use crate::explorer::Explorer;
 use crate::strategy::{ComboOutcome, StrategyKind};
 use crate::telemetry::SweepTelemetry;
 use crate::wirings::ComboTable;
+
+/// Above this many total combos, sweeps skip the combo-level symmetry
+/// quotient (whose representative table is linear in the combo count) and
+/// rely on the per-combo row quotient alone — the n=5 sweep has
+/// `(5!)^4 ≈ 2·10^8` combos, far past any useful table size.
+const COMBO_QUOTIENT_LIMIT: usize = 1_000_000;
 
 /// Sweep execution knobs, threaded through the `check_*_with` harnesses.
 ///
@@ -52,11 +59,26 @@ pub struct CheckConfig {
     /// `None` (the default) keeps every telemetry hook compiled to a no-op
     /// branch; `Some` never changes the deterministic report.
     pub telemetry: Option<Arc<MetricRegistry>>,
+    /// Quotient the sweep by the system's processor/register symmetry group
+    /// (see [`crate::canon`]): combos are reduced to isomorphism-class
+    /// representatives and each exploration dedups states by canonical
+    /// orbit row. Verdicts, the lowest violating combo, and completeness
+    /// are unchanged; state counts shrink and the report gains
+    /// [`TaskCheckReport::quotient`].
+    pub quotient: bool,
+    /// Resident-byte budget for each exploration's visited set; beyond it,
+    /// cold row shards spill to a checksummed disk tier (see
+    /// [`crate::store`]). `None` keeps everything in memory. Never changes
+    /// the deterministic report (hence excluded from equality, like
+    /// telemetry) — spill failures surface as `complete: false`.
+    pub visited_budget: Option<usize>,
 }
 
 impl PartialEq for CheckConfig {
     fn eq(&self, other: &Self) -> bool {
-        self.jobs == other.jobs && self.strategy == other.strategy
+        self.jobs == other.jobs
+            && self.strategy == other.strategy
+            && self.quotient == other.quotient
     }
 }
 
@@ -70,6 +92,8 @@ impl CheckConfig {
             jobs: Some(1),
             strategy: StrategyKind::Auto,
             telemetry: None,
+            quotient: false,
+            visited_budget: None,
         }
     }
 
@@ -91,6 +115,21 @@ impl CheckConfig {
     #[must_use]
     pub fn with_telemetry(mut self, registry: Arc<MetricRegistry>) -> Self {
         self.telemetry = Some(registry);
+        self
+    }
+
+    /// Enables the symmetry quotient (see [`CheckConfig::quotient`]).
+    #[must_use]
+    pub fn with_quotient(mut self) -> Self {
+        self.quotient = true;
+        self
+    }
+
+    /// Sets the visited-set memory budget in bytes (see
+    /// [`CheckConfig::visited_budget`]).
+    #[must_use]
+    pub fn with_visited_budget(mut self, bytes: usize) -> Self {
+        self.visited_budget = Some(bytes);
         self
     }
 
@@ -128,6 +167,43 @@ pub struct TaskCheckReport {
     /// Description of the lowest-combo-index violation found, if any
     /// (includes the wiring combination and a counterexample schedule).
     pub violation: Option<String>,
+    /// Symmetry-quotient accounting; `Some` iff the sweep ran with
+    /// [`CheckConfig::quotient`], so plain reports are unchanged.
+    pub quotient: Option<QuotientStats>,
+}
+
+/// Accounting for a symmetry-quotiented sweep (see [`crate::canon`]).
+///
+/// `total_states` in the enclosing report counts *canonical* states with
+/// every combo expanded through its class representative; this struct adds
+/// the quotient-side ledger needed to reconstruct full-space totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuotientStats {
+    /// Canonical (orbit-representative) states across the distinct
+    /// representative combos actually explored in the attempted prefix.
+    pub canonical_states: usize,
+    /// Estimated full-space state total across the attempted prefix:
+    /// per-combo orbit sizes summed during exploration, each combo expanded
+    /// through its representative. Exact (not an estimate) on complete runs.
+    pub full_states_estimate: u64,
+    /// Distinct representative combos explored in the attempted prefix.
+    pub combos_explored: usize,
+    /// Visited shards spilled to the disk tier across explored combos
+    /// (always 0 without a [`CheckConfig::visited_budget`]).
+    pub spilled_shards: usize,
+}
+
+impl QuotientStats {
+    /// Quotient compression factor: estimated full-space states over
+    /// canonical states (1.0 when the symmetry group is trivial).
+    #[must_use]
+    pub fn orbit_factor(&self) -> f64 {
+        if self.canonical_states == 0 {
+            1.0
+        } else {
+            self.full_states_estimate as f64 / self.canonical_states as f64
+        }
+    }
 }
 
 /// A sweep's deterministic report plus its telemetry.
@@ -164,6 +240,35 @@ where
     let jobs = config.worker_count().min(total.max(1));
     let start = Instant::now();
 
+    // Combo-level quotient: two wiring combinations related by a
+    // class-preserving processor permutation (with each wiring renormalized
+    // so processor 0's is the identity) explore isomorphic state spaces, so
+    // only class representatives need running. `reps[i] <= i` and the
+    // representative of the lowest violating combo *is* the lowest violating
+    // combo, so the assembled report's `violation`/`combos` are unchanged.
+    let reps = if config.quotient && total <= COMBO_QUOTIENT_LIMIT {
+        let classes = make_explorer(table.combo(0)).initial_symmetry_classes();
+        canon::combo_reps(n, n, &classes)
+    } else {
+        None
+    };
+    // Compacted exploration list (canonical combo indices, ascending) plus
+    // the full-index -> list-position map the assembly reads back through.
+    let (explore, pos) = match &reps {
+        Some(reps) => {
+            let mut explore = Vec::new();
+            let mut pos = vec![usize::MAX; total];
+            for (c, &r) in reps.iter().enumerate() {
+                if r == c {
+                    pos[c] = explore.len();
+                    explore.push(c);
+                }
+            }
+            (explore, pos)
+        }
+        None => ((0..total).collect::<Vec<_>>(), (0..total).collect()),
+    };
+
     // Live telemetry (optional): phase spans and progress counters, shared
     // by every worker. The deterministic report below never reads them.
     let telemetry = config
@@ -182,6 +287,12 @@ where
         let combo = table.combo(i);
         drop(claim_guard);
         let mut explorer = make_explorer(combo.clone());
+        if config.quotient {
+            explorer = explorer.with_quotient();
+        }
+        if let Some(budget) = config.visited_budget {
+            explorer = explorer.with_visited_budget(budget);
+        }
         if let Some(tel) = &telemetry {
             explorer = explorer.with_telemetry(tel.explorer.clone());
         }
@@ -195,6 +306,8 @@ where
         ComboOutcome {
             states: result.states,
             complete: result.complete,
+            full_states_est: result.full_states_estimate,
+            spilled_shards: result.spilled_shards,
             violation: result.violation.map(|v| {
                 format!(
                     "{violation_prefix}wirings {:?}: {} (schedule {:?})",
@@ -206,14 +319,25 @@ where
         }
     };
 
-    let slots = config.strategy.build(jobs).run(total, &run_combo);
+    let slots = config
+        .strategy
+        .build(jobs)
+        .run(explore.len(), &|k, stop| run_combo(explore[k], stop));
+
+    // Every full combo index reads its outcome through its representative's
+    // slot (the identity mapping when the combo quotient is off).
+    let outcome_of = |i: usize| -> Option<&ComboOutcome> {
+        slots[pos[reps.as_ref().map_or(i, |r| r[i])]].as_ref()
+    };
 
     // Assemble from combos 0..=best only (best = lowest violating index):
     // those are exactly the combos a serial sweep explores, and the strategy
     // contract guarantees each was fully explored, never skipped or aborted.
-    let first_violation = slots
-        .iter()
-        .position(|s| s.as_ref().is_some_and(|o| o.violation.is_some()))
+    // Representatives of combos below `best` sit below `best`'s own slot in
+    // the compacted list (reps[i] <= i and positions are ascending), so the
+    // prefix contract carries over to the quotiented sweep.
+    let first_violation = (0..total)
+        .find(|&i| outcome_of(i).is_some_and(|o| o.violation.is_some()))
         .unwrap_or(usize::MAX);
     let attempted = if first_violation < total {
         first_violation + 1
@@ -224,18 +348,29 @@ where
     let mut total_states = 0usize;
     let mut all_complete = true;
     let mut violation = None;
-    for (i, slot) in slots.iter().enumerate().take(attempted) {
-        let outcome = slot
-            .as_ref()
-            .expect("combos up to the first violation are always explored");
+    let mut quotient = config.quotient.then(QuotientStats::default);
+    for i in 0..attempted {
+        let outcome = outcome_of(i).expect("combos up to the first violation are always explored");
         per_combo_states.push(outcome.states);
         total_states += outcome.states;
         all_complete &= outcome.complete;
         if i == first_violation {
             violation.clone_from(&outcome.violation);
         }
+        if let Some(q) = &mut quotient {
+            q.full_states_estimate += outcome.full_states_est.unwrap_or(outcome.states as u64);
+            if reps.as_ref().map_or(true, |r| r[i] == i) {
+                q.combos_explored += 1;
+                q.canonical_states += outcome.states;
+                q.spilled_shards += outcome.spilled_shards;
+            }
+        }
     }
     let complete = violation.is_none() && attempted == total && all_complete;
+    if let (Some(tel), Some(q)) = (&telemetry, &quotient) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        tel.orbit_factor.set((q.orbit_factor() * 1000.0) as u64);
+    }
 
     CheckOutcome {
         report: TaskCheckReport {
@@ -244,6 +379,7 @@ where
             total_states,
             complete,
             violation,
+            quotient,
         },
         telemetry: SweepEvent {
             check: check.to_string(),
@@ -650,6 +786,7 @@ pub fn check_snapshot_wait_freedom<W: Into<Arc<Wiring>>>(
         violation: result
             .violation
             .map(|v| format!("{} (schedule {:?})", v.message, v.schedule)),
+        quotient: None,
     })
 }
 
@@ -887,6 +1024,102 @@ mod tests {
             },
             "",
         )
+    }
+
+    /// A fully symmetric violating sweep: three *identical* writers (full
+    /// S₃ symmetry) and a value-based (hence group-invariant) invariant
+    /// that trips whenever two registers hold the written value — i.e. on
+    /// every combo except those wiring all three local 0s to global 0.
+    /// Lowest violating combo: 2 (the first wiring moving local 0).
+    fn symmetric_toy_sweep(config: &CheckConfig) -> CheckOutcome {
+        run_sweep(
+            "write_once_symmetric",
+            3,
+            config,
+            |combo| {
+                let procs = vec![
+                    WriteOnce {
+                        input: 1,
+                        wrote: false,
+                    };
+                    3
+                ];
+                Explorer::new(procs, 3, 0u8, combo)
+            },
+            |state| {
+                let hits = (0..3).filter(|&r| *state.memory(r) == 1).count();
+                if hits >= 2 {
+                    Err(format!("{hits} registers hold 1"))
+                } else {
+                    Ok(())
+                }
+            },
+            "",
+        )
+    }
+
+    #[test]
+    fn quotiented_symmetric_sweep_is_exact_and_compresses() {
+        // Same fully symmetric system with a vacuous invariant: the sweep
+        // completes, so the quotient's full-space estimate must reproduce
+        // the plain total *exactly*, while exploring a fraction of it.
+        let noop = |config: &CheckConfig| {
+            run_sweep(
+                "write_once_noop",
+                3,
+                config,
+                |combo| {
+                    let procs = vec![
+                        WriteOnce {
+                            input: 1,
+                            wrote: false,
+                        };
+                        3
+                    ];
+                    Explorer::new(procs, 3, 0u8, combo)
+                },
+                |_| Ok(()),
+                "",
+            )
+            .report
+        };
+        let plain = noop(&CheckConfig::serial());
+        let quot = noop(&CheckConfig::serial().with_quotient());
+        assert!(plain.complete && quot.complete);
+        assert!(plain.violation.is_none() && quot.violation.is_none());
+        assert_eq!(quot.combos, plain.combos);
+        let stats = quot.quotient.expect("quotiented reports carry stats");
+        assert_eq!(stats.full_states_estimate, plain.total_states as u64);
+        assert!(
+            stats.combos_explored < quot.total_combos,
+            "the combo quotient must collapse symmetric combos"
+        );
+        assert!(
+            stats.orbit_factor() > 2.0,
+            "orbit factor {:.2} ≤ 2",
+            stats.orbit_factor()
+        );
+    }
+
+    #[test]
+    fn quotiented_sweep_reports_the_same_lowest_violating_combo() {
+        let plain = symmetric_toy_sweep(&CheckConfig::serial()).report;
+        let quot = symmetric_toy_sweep(&CheckConfig::serial().with_quotient()).report;
+        assert_eq!(plain.combos, 3, "lowest violating combo is 2");
+        assert_eq!(quot.combos, plain.combos);
+        assert_eq!(quot.total_combos, plain.total_combos);
+        assert_eq!(quot.complete, plain.complete);
+        // Same violating combo ⇒ the message names the same wirings (the
+        // schedule inside the combo may be a different orbit member).
+        let wirings_of = |v: &Option<String>| {
+            let v = v.clone().expect("the toy must violate");
+            let end = v.find("]:").expect("violations name the wirings");
+            v[..=end].to_string()
+        };
+        assert_eq!(wirings_of(&quot.violation), wirings_of(&plain.violation));
+        let stats = quot.quotient.expect("quotiented reports carry stats");
+        assert!(stats.combos_explored <= quot.combos);
+        assert!(plain.quotient.is_none());
     }
 
     #[test]

@@ -19,6 +19,8 @@ use std::time::Instant;
 use fa_memory::{Action, ProcId, Process, StepInput, Wiring};
 
 use crate::arena::{ArenaTables, SlotInterner, StateView, HALTED};
+use crate::canon::{compose, invert, Canonicalizer};
+use crate::store::{InMemoryVisited, TieredVisited, VisitedStore};
 use crate::telemetry::ExplorerTelemetry;
 
 /// A process's poised-action slot: `None` once the process has halted.
@@ -295,6 +297,15 @@ where
     pub complete: bool,
     /// The first violation found, if any.
     pub violation: Option<Violation<P>>,
+    /// Estimated full-space (un-quotiented) count of the visited states:
+    /// the sum of visited orbit sizes. `Some` iff symmetry quotienting was
+    /// enabled ([`Explorer::with_quotient`]); **exact** — not an estimate —
+    /// when the exploration completed, since reachable orbits are then
+    /// covered exactly once (see [`crate::canon`]).
+    pub full_states_estimate: Option<u64>,
+    /// Visited-set shards spilled to the disk tier (always 0 without a
+    /// [`Explorer::with_visited_budget`] budget).
+    pub spilled_shards: usize,
 }
 
 /// Breadth-first explorer of one system (fixed processes, wirings, initial
@@ -313,6 +324,9 @@ where
     coarse_scans: bool,
     id_cap: u32,
     telemetry: Option<ExplorerTelemetry>,
+    quotient: bool,
+    visited_budget: Option<usize>,
+    corrupt_spill: bool,
 }
 
 /// How many state expansions pass between polls of the external stop signal
@@ -364,6 +378,9 @@ where
             coarse_scans: false,
             id_cap: HALTED,
             telemetry: None,
+            quotient: false,
+            visited_budget: None,
+            corrupt_spill: false,
         }
     }
 
@@ -415,6 +432,66 @@ where
         self
     }
 
+    /// Enables symmetry-quotient exploration (see [`crate::canon`]): every
+    /// stepped state is mapped to its canonical orbit representative under
+    /// the system's processor/register symmetry group before dedup, so the
+    /// visited set holds one row per orbit. The report then carries
+    /// `full_states_estimate` (Σ orbit sizes — exact on complete runs) and
+    /// a violation, if found, is translated back into a concrete schedule
+    /// of the *real* (un-permuted) system before being reported. Sound only
+    /// for invariants that are themselves symmetric under the group, which
+    /// all the anonymity properties of this crate are.
+    #[must_use]
+    pub fn with_quotient(mut self) -> Self {
+        self.quotient = true;
+        self
+    }
+
+    /// Bounds the resident bytes of visited-set row storage: beyond the
+    /// budget, cold full shards spill to a checksummed append-only temp
+    /// file (see [`crate::store`]). Reports are identical to in-memory runs
+    /// — the store only changes *where* rows live — except that spill I/O
+    /// failures or corruption abort the exploration with `complete: false`.
+    #[must_use]
+    pub fn with_visited_budget(mut self, bytes: usize) -> Self {
+        self.visited_budget = Some(bytes);
+        self
+    }
+
+    /// Test hook: corrupts the first spilled visited shard so read-back
+    /// must fail loudly. Only meaningful together with
+    /// [`Explorer::with_visited_budget`].
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_corrupted_spill_for_tests(mut self) -> Self {
+        self.corrupt_spill = true;
+        self
+    }
+
+    /// Initial-state symmetry classes: `classes[i] == classes[j]` iff
+    /// processors `i` and `j` start value-equal (same process state, same
+    /// poised action) — the processor-permutation constraint of the sound
+    /// quotient group.
+    pub(crate) fn initial_symmetry_classes(&self) -> Vec<usize> {
+        let n = self.initial.procs.len();
+        let mut classes = Vec::with_capacity(n);
+        let mut reps: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let found = reps.iter().position(|&r| {
+                self.initial.procs[r] == self.initial.procs[i]
+                    && self.initial.pending[r] == self.initial.pending[i]
+            });
+            match found {
+                Some(class) => classes.push(class),
+                None => {
+                    classes.push(reps.len());
+                    reps.push(i);
+                }
+            }
+        }
+        classes
+    }
+
     /// Explores breadth-first, checking `invariant` on every visited state
     /// (including the initial one). `invariant` returns `Err(message)` to
     /// report a violation, which aborts the search with a counterexample
@@ -442,68 +519,146 @@ where
     /// place, and the visited set hashes rows directly — no per-state `Arc`
     /// traffic. Explored states, order, and the report are identical to the
     /// legacy [`Explorer::run_until_arc`] path.
-    #[allow(clippy::too_many_lines)]
     pub fn run_until<F, S>(&self, invariant: F, stop: S) -> ExploreReport<P>
     where
         F: Fn(&StateView<'_, P>) -> Result<(), String>,
         S: Fn() -> bool,
     {
-        fn hash_row(k: &[u32]) -> u64 {
-            use std::hash::Hasher;
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            k.hash(&mut h);
-            h.finish()
+        let w = self.initial.memory.len() + 3 * self.initial.procs.len();
+        match self.visited_budget {
+            None => self.bfs(&invariant, &stop, InMemoryVisited::new(w)),
+            Some(budget) => {
+                let mut store = TieredVisited::new(w, budget);
+                if self.corrupt_spill {
+                    store.corrupt_next_spill_for_tests();
+                }
+                self.bfs(&invariant, &stop, store)
+            }
         }
+    }
+
+    /// The flat-arena BFS, generic over visited-set storage and optionally
+    /// quotienting by the system's symmetry group. `run_until` monomorphizes
+    /// this twice (in-memory and tiered); the store only decides where rows
+    /// live, never which ids exist, so both instantiations produce identical
+    /// reports. Store failures (spill-tier I/O errors or corruption) abort
+    /// the exploration with `complete: false` — exactly like id-space
+    /// exhaustion — and are never treated as "row not seen".
+    #[allow(clippy::too_many_lines)]
+    fn bfs<V, F, S>(&self, invariant: &F, stop: &S, mut store: V) -> ExploreReport<P>
+    where
+        V: VisitedStore,
+        F: Fn(&StateView<'_, P>) -> Result<(), String>,
+        S: Fn() -> bool,
+    {
         let m = self.initial.memory.len();
         let n = self.initial.procs.len();
         let w = m + 3 * n;
         let mut tables = ArenaTables::<P>::new(m, n, self.id_cap);
-        // The visited arena: row i lives at rows[i*w..(i+1)*w]. Parent links
-        // and depths ride in parallel vectors; the index maps a row hash to
-        // the arena slots carrying it, membership confirmed by O(w) word
-        // comparison. Exploration is exact — rows are injective on states.
-        let mut rows: Vec<u32> = Vec::new();
+        let canon = self
+            .quotient
+            .then(|| Canonicalizer::for_system(&self.initial_symmetry_classes(), &self.wirings));
+        // With only the identity in the group, canonicalization is the
+        // identity map: skip it entirely so the exploration is instruction-
+        // for-instruction the non-quotient one (reports then agree exactly,
+        // which the differential suite asserts).
+        let nontrivial = canon.as_ref().is_some_and(|c| !c.is_trivial());
+        // Parent links, depths, and the group element mapping each stepped
+        // row onto the canonical row actually stored (identity when not
+        // quotienting) ride in parallel vectors indexed by state id.
         let mut parents: Vec<Option<(usize, ProcId)>> = Vec::new();
         let mut depths: Vec<u32> = Vec::new();
-        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut gelems: Vec<u32> = Vec::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut terminal = 0usize;
         let mut complete = true;
         let mut since_poll = 0usize;
+        // Σ orbit sizes of visited canonical states — the full-space total
+        // reported as `full_states_estimate` (exact on complete runs).
+        let mut estimate = 0u64;
         // Live-telemetry bookkeeping: states are published as deltas (so the
         // shared counter stays globally monotone across combos and workers),
         // gauges on the stop-poll boundary and at every exit.
         let mut expansions = 0usize;
         let mut flushed_states = 0usize;
-        let flush_telemetry =
-            |flushed: &mut usize, visited: usize, depth: usize, interner_entries: usize| {
-                if let Some(tel) = &self.telemetry {
-                    tel.states.add((visited - *flushed) as u64);
-                    *flushed = visited;
-                    tel.frontier_depth.set(depth as u64);
-                    tel.visited_entries.set(visited as u64);
-                    // Estimate, not an allocator measurement: `w` u32s per
-                    // row, plus parent/depth/index bookkeeping per state.
-                    tel.visited_bytes.set((visited * (w * 4 + 72)) as u64);
-                    tel.interner_entries.set(interner_entries as u64);
-                }
-            };
+        let flush_telemetry = |flushed: &mut usize,
+                               visited: usize,
+                               depth: usize,
+                               interner_entries: usize,
+                               store_bytes: usize,
+                               spilled: usize| {
+            if let Some(tel) = &self.telemetry {
+                tel.states.add((visited - *flushed) as u64);
+                *flushed = visited;
+                tel.frontier_depth.set(depth as u64);
+                tel.visited_entries.set(visited as u64);
+                // Estimate, not an allocator measurement: resident row
+                // payload plus parent/depth/index bookkeeping per state.
+                tel.visited_bytes.set(store_bytes as u64);
+                tel.visited_spilled.set(spilled as u64);
+                tel.interner_entries.set(interner_entries as u64);
+            }
+        };
 
         let make_violation = |tables: &ArenaTables<P>,
-                              rows: &[u32],
                               parents: &[Option<(usize, ProcId)>],
+                              gelems: &[u32],
                               at: usize,
+                              vrow: &[u32],
                               message: String| {
-            let mut schedule = Vec::new();
+            let mut edges: Vec<(ProcId, u32)> = Vec::new();
             let mut cur = at;
             while let Some((parent, p)) = parents[cur] {
-                schedule.push(p);
+                edges.push((p, gelems[cur]));
                 cur = parent;
             }
-            schedule.reverse();
+            edges.reverse();
+            if !nontrivial {
+                return Violation {
+                    message,
+                    state: tables.decode(vrow),
+                    schedule: edges.into_iter().map(|(p, _)| p).collect(),
+                };
+            }
+            // Quotiented search: each stored row v_j is g_j · step(v_{j-1},
+            // p_j). Let B_j = g_j ∘ ... ∘ g_1; then u_j = B_j⁻¹ · v_j is a
+            // *real* execution of the un-permuted system reached by
+            // scheduling q_j = σ_{B_{j-1}}⁻¹(p_j) (by equivariance,
+            // step(g·s, σ_g(p)) = g · step(s, p)). Walk root→violation
+            // maintaining B⁻¹ to emit the concrete schedule, then gather the
+            // real violating state u = B⁻¹ · v.
+            let c = canon.as_ref().expect("nontrivial implies quotienting");
+            let mut inv_proc: Vec<usize> = (0..n).collect();
+            let mut inv_reg: Vec<usize> = (0..m).collect();
+            let mut schedule = Vec::with_capacity(edges.len());
+            for (p, g) in edges {
+                schedule.push(ProcId(inv_proc[p.0]));
+                let (gp, gr) = c.elem_perms(g as usize);
+                inv_proc = compose(&inv_proc, &invert(gp));
+                inv_reg = compose(&inv_reg, &invert(gr));
+            }
+            let fwd_proc = invert(&inv_proc);
+            let fwd_reg = invert(&inv_reg);
+            let mut urow = vec![0u32; w];
+            for (j, slot) in urow[..m].iter_mut().enumerate() {
+                *slot = vrow[fwd_reg[j]];
+            }
+            for section in 0..3 {
+                let base = m + section * n;
+                for (j, &src) in fwd_proc.iter().enumerate() {
+                    urow[base + j] = vrow[base + src];
+                }
+            }
+            // The canonical row tripped the invariant; for a symmetric
+            // invariant its real preimage trips it too — re-derive the
+            // message there so it matches what a schedule replay observes.
+            let message = match invariant(&StateView::new(tables, &urow)) {
+                Err(real) => real,
+                Ok(()) => message,
+            };
             Violation {
                 message,
-                state: tables.decode(&rows[at * w..(at + 1) * w]),
+                state: tables.decode(&urow),
                 schedule,
             }
         };
@@ -515,31 +670,81 @@ where
                 terminal_states: 0,
                 complete: false,
                 violation: None,
+                full_states_estimate: self.quotient.then_some(0),
+                spilled_shards: 0,
             };
         };
-        index.entry(hash_row(&k0)).or_default().push(0);
-        rows.extend_from_slice(&k0);
+        // The initial state is a fixed point of the group (uniform memory,
+        // class-preserving σ, empty outputs), so canonicalizing it is a
+        // no-op with orbit 1 — run it anyway for uniform accounting.
+        let (root_row, root_orbit) = if nontrivial {
+            let c = canon.as_ref().expect("nontrivial implies quotienting");
+            let mut out = vec![0u32; w];
+            let (_, orbit) = c.canonicalize(&k0, &mut out);
+            (out, orbit)
+        } else {
+            (k0.into_vec(), 1)
+        };
+        estimate += root_orbit;
+        if store.insert(&root_row).is_err() {
+            return ExploreReport {
+                states: store.len(),
+                terminal_states: 0,
+                complete: false,
+                violation: None,
+                full_states_estimate: self.quotient.then_some(estimate),
+                spilled_shards: store.spilled_shards(),
+            };
+        }
         parents.push(None);
         depths.push(0);
+        gelems.push(0);
         queue.push_back(0);
-        if let Err(message) = invariant(&StateView::new(&tables, &rows[..w])) {
-            flush_telemetry(&mut flushed_states, 1, 0, tables.len_total());
+        if let Err(message) = invariant(&StateView::new(&tables, &root_row)) {
+            flush_telemetry(
+                &mut flushed_states,
+                1,
+                0,
+                tables.len_total(),
+                store.approx_bytes(),
+                store.spilled_shards(),
+            );
             return ExploreReport {
                 states: 1,
                 terminal_states: usize::from(self.initial.all_halted()),
                 complete: true,
-                violation: Some(make_violation(&tables, &rows, &parents, 0, message)),
+                violation: Some(make_violation(
+                    &tables, &parents, &gelems, 0, &root_row, message,
+                )),
+                full_states_estimate: self.quotient.then_some(estimate),
+                spilled_shards: store.spilled_shards(),
             };
         }
 
+        let mut cur_row = vec![0u32; w];
         let mut scratch = vec![0u32; w];
+        let mut canon_buf = vec![0u32; w];
         while let Some(cur) = queue.pop_front() {
             let depth = depths[cur] as usize;
-            let row_start = cur * w;
-            if rows[row_start + m + n..row_start + m + 2 * n]
-                .iter()
-                .all(|&id| id == HALTED)
-            {
+            if store.read_row(cur, &mut cur_row).is_err() {
+                flush_telemetry(
+                    &mut flushed_states,
+                    store.len(),
+                    depth,
+                    tables.len_total(),
+                    store.approx_bytes(),
+                    store.spilled_shards(),
+                );
+                return ExploreReport {
+                    states: store.len(),
+                    terminal_states: terminal,
+                    complete: false,
+                    violation: None,
+                    full_states_estimate: self.quotient.then_some(estimate),
+                    spilled_shards: store.spilled_shards(),
+                };
+            }
+            if cur_row[m + n..m + 2 * n].iter().all(|&id| id == HALTED) {
                 terminal += 1;
                 continue;
             }
@@ -550,7 +755,7 @@ where
                 }
             }
             for pi in 0..n {
-                if rows[row_start + m + n + pi] == HALTED {
+                if cur_row[m + n + pi] == HALTED {
                     continue;
                 }
                 let p = ProcId(pi);
@@ -559,20 +764,24 @@ where
                     since_poll = 0;
                     flush_telemetry(
                         &mut flushed_states,
-                        rows.len() / w,
+                        store.len(),
                         depth,
                         tables.len_total(),
+                        store.approx_bytes(),
+                        store.spilled_shards(),
                     );
                     if stop() {
                         return ExploreReport {
-                            states: rows.len() / w,
+                            states: store.len(),
                             terminal_states: terminal,
                             complete: false,
                             violation: None,
+                            full_states_estimate: self.quotient.then_some(estimate),
+                            spilled_shards: store.spilled_shards(),
                         };
                     }
                 }
-                scratch.copy_from_slice(&rows[row_start..row_start + w]);
+                scratch.copy_from_slice(&cur_row);
                 let stepped = if self.coarse_scans {
                     tables.step_block_row(&mut scratch, p, &self.wirings)
                 } else {
@@ -584,71 +793,133 @@ where
                     // and the sweep worker never panics.
                     flush_telemetry(
                         &mut flushed_states,
-                        rows.len() / w,
+                        store.len(),
                         depth,
                         tables.len_total(),
+                        store.approx_bytes(),
+                        store.spilled_shards(),
                     );
                     return ExploreReport {
-                        states: rows.len() / w,
+                        states: store.len(),
                         terminal_states: terminal,
                         complete: false,
                         violation: None,
+                        full_states_estimate: self.quotient.then_some(estimate),
+                        spilled_shards: store.spilled_shards(),
                     };
                 }
                 // One expansion in DEDUP_SAMPLE_INTERVAL is wall-clock timed
-                // through hashing + visited lookup; recorded scaled so the
-                // span total stays an unbiased estimate.
+                // through canonicalization + hashing + visited lookup;
+                // recorded scaled so the span total stays unbiased.
                 expansions += 1;
                 let dedup_start = (self.telemetry.is_some()
                     && expansions % DEDUP_SAMPLE_INTERVAL == 0)
                     .then(Instant::now);
-                let slot = index.entry(hash_row(&scratch)).or_default();
-                let duplicate = slot
-                    .iter()
-                    .any(|&i| rows[i * w..(i + 1) * w] == scratch[..]);
+                let (gidx, orbit) = if nontrivial {
+                    let c = canon.as_ref().expect("nontrivial implies quotienting");
+                    let (g, orb) = c.canonicalize(&scratch, &mut canon_buf);
+                    // Keep the canonical row in `scratch`: dedup, insertion,
+                    // and the invariant all see the representative.
+                    std::mem::swap(&mut scratch, &mut canon_buf);
+                    (g, orb)
+                } else {
+                    (0u32, 1u64)
+                };
+                let seen = store.lookup(&scratch);
                 if let (Some(started), Some(tel)) = (dedup_start, &self.telemetry) {
                     let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     tel.dedup
                         .record_sampled_ns(ns, DEDUP_SAMPLE_INTERVAL as u64);
                 }
+                let duplicate = match seen {
+                    Ok(hit) => hit.is_some(),
+                    Err(_) => {
+                        flush_telemetry(
+                            &mut flushed_states,
+                            store.len(),
+                            depth,
+                            tables.len_total(),
+                            store.approx_bytes(),
+                            store.spilled_shards(),
+                        );
+                        return ExploreReport {
+                            states: store.len(),
+                            terminal_states: terminal,
+                            complete: false,
+                            violation: None,
+                            full_states_estimate: self.quotient.then_some(estimate),
+                            spilled_shards: store.spilled_shards(),
+                        };
+                    }
+                };
                 if duplicate {
                     continue;
                 }
-                if rows.len() / w >= self.max_states {
+                if store.len() >= self.max_states {
                     complete = false;
                     continue;
                 }
-                let id = rows.len() / w;
-                slot.push(id);
-                rows.extend_from_slice(&scratch);
-                parents.push(Some((cur, p)));
-                depths.push(depths[cur] + 1);
-                if let Err(message) =
-                    invariant(&StateView::new(&tables, &rows[id * w..(id + 1) * w]))
-                {
+                let Ok(id) = store.insert(&scratch) else {
                     flush_telemetry(
                         &mut flushed_states,
-                        rows.len() / w,
+                        store.len(),
                         depth,
                         tables.len_total(),
+                        store.approx_bytes(),
+                        store.spilled_shards(),
                     );
                     return ExploreReport {
-                        states: rows.len() / w,
+                        states: store.len(),
                         terminal_states: terminal,
                         complete: false,
-                        violation: Some(make_violation(&tables, &rows, &parents, id, message)),
+                        violation: None,
+                        full_states_estimate: self.quotient.then_some(estimate),
+                        spilled_shards: store.spilled_shards(),
+                    };
+                };
+                estimate += orbit;
+                parents.push(Some((cur, p)));
+                depths.push(depths[cur] + 1);
+                gelems.push(gidx);
+                if let Err(message) = invariant(&StateView::new(&tables, &scratch)) {
+                    flush_telemetry(
+                        &mut flushed_states,
+                        store.len(),
+                        depth,
+                        tables.len_total(),
+                        store.approx_bytes(),
+                        store.spilled_shards(),
+                    );
+                    return ExploreReport {
+                        states: store.len(),
+                        terminal_states: terminal,
+                        complete: false,
+                        violation: Some(make_violation(
+                            &tables, &parents, &gelems, id, &scratch, message,
+                        )),
+                        full_states_estimate: self.quotient.then_some(estimate),
+                        spilled_shards: store.spilled_shards(),
                     };
                 }
                 queue.push_back(id);
             }
         }
 
-        flush_telemetry(&mut flushed_states, rows.len() / w, 0, tables.len_total());
+        flush_telemetry(
+            &mut flushed_states,
+            store.len(),
+            0,
+            tables.len_total(),
+            store.approx_bytes(),
+            store.spilled_shards(),
+        );
         ExploreReport {
-            states: rows.len() / w,
+            states: store.len(),
             terminal_states: terminal,
             complete,
             violation: None,
+            full_states_estimate: self.quotient.then_some(estimate),
+            spilled_shards: store.spilled_shards(),
         }
     }
 
@@ -724,6 +995,8 @@ where
                 terminal_states: 0,
                 complete: false,
                 violation: None,
+                full_states_estimate: None,
+                spilled_shards: 0,
             };
         };
         index.entry(hash_key(&k0)).or_default().push(0);
@@ -736,6 +1009,8 @@ where
                 terminal_states: usize::from(self.initial.all_halted()),
                 complete: true,
                 violation: Some(make_violation(&arena, 0, message)),
+                full_states_estimate: None,
+                spilled_shards: 0,
             };
         }
 
@@ -768,6 +1043,8 @@ where
                             terminal_states: terminal,
                             complete: false,
                             violation: None,
+                            full_states_estimate: None,
+                            spilled_shards: 0,
                         };
                     }
                 }
@@ -794,6 +1071,8 @@ where
                         terminal_states: terminal,
                         complete: false,
                         violation: None,
+                        full_states_estimate: None,
+                        spilled_shards: 0,
                     };
                 };
                 let slot = index.entry(hash_key(&nk)).or_default();
@@ -826,6 +1105,8 @@ where
                         terminal_states: terminal,
                         complete: false,
                         violation: Some(make_violation(&arena, id, message)),
+                        full_states_estimate: None,
+                        spilled_shards: 0,
                     };
                 }
                 queue.push_back(id);
@@ -838,6 +1119,8 @@ where
             terminal_states: terminal,
             complete,
             violation: None,
+            full_states_estimate: None,
+            spilled_shards: 0,
         }
     }
 }

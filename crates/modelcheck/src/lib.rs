@@ -15,6 +15,12 @@
 //!   states through the borrow-only [`StateView`].
 //! * [`strategy`] — factory-selectable sweep executors
 //!   (serial / worker pool) behind one [`ExploreStrategy`] contract.
+//! * [`canon`] — symmetry-quotient canonicalization: orbit-representative
+//!   arena rows under the system's processor/register automorphism group,
+//!   with exact orbit sizes for full-space accounting.
+//! * [`store`] — pluggable visited-set stores behind [`VisitedStore`]:
+//!   all-in-memory, or tiered with cold shards spilled to a checksummed
+//!   append-only disk file under a memory budget.
 //! * [`checks`] — ready-made checks: the snapshot task (E3), adaptive
 //!   renaming, consensus safety, and solo-termination (the wait-freedom
 //!   certificate).
@@ -42,15 +48,19 @@
 
 pub mod arena;
 pub mod atomicity;
+pub mod canon;
 pub mod checks;
 mod explorer;
 pub mod simulate;
+pub mod store;
 pub mod strategy;
 pub mod telemetry;
 pub mod wirings;
 
 pub use arena::{ArenaState, ArenaTables, IdSpaceExhausted, StateView};
-pub use checks::{CheckConfig, CheckOutcome, TaskCheckReport};
+pub use canon::Canonicalizer;
+pub use checks::{CheckConfig, CheckOutcome, QuotientStats, TaskCheckReport};
 pub use explorer::{step_block, ExploreReport, Explorer, McState, Violation};
+pub use store::{InMemoryVisited, StoreError, TieredVisited, VisitedStore};
 pub use strategy::{ComboOutcome, ExploreStrategy, StrategyKind};
 pub use telemetry::{ExplorerTelemetry, SweepTelemetry};

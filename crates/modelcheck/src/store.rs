@@ -1,0 +1,603 @@
+//! Visited-set storage for the arena BFS: a [`VisitedStore`] trait with a
+//! hot in-memory table ([`InMemoryVisited`], the exact logic the explorer
+//! used inline before this module existed) and a tiered implementation
+//! ([`TieredVisited`]) that spills cold row shards to an append-only
+//! file-backed tier once a configurable memory budget is exceeded
+//! (DESIGN §13).
+//!
+//! Both stores assign state ids in insertion order (`0, 1, 2, ..`), so the
+//! explorer's BFS numbering — and therefore every report it assembles — is
+//! identical whichever store backs it. The tiered store keeps its hash
+//! index in memory permanently (only row payloads spill) and reads spilled
+//! shards back through a single-shard cache; BFS pops are nearly sequential
+//! in id order, so the cache absorbs almost all disk traffic.
+//!
+//! Durability is *not* a goal — the spill file is a temp file deleted on
+//! drop. Integrity is: every spilled shard carries a checksum, and any
+//! truncated or corrupted read surfaces as a loud [`StoreError`] that the
+//! explorer converts into `complete: false` rather than silently
+//! mis-deduplicating.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hash of one row, matching the explorer's historical row hashing exactly
+/// (so in-memory runs before and after this module report identically).
+pub(crate) fn hash_row(row: &[u32]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    row.hash(&mut h);
+    h.finish()
+}
+
+/// FNV-1a over a byte slice — the per-shard spill checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A visited-store failure. [`StoreError::Io`] wraps spill-file I/O errors
+/// (including truncation, surfaced as an unexpected-EOF read);
+/// [`StoreError::Corrupt`] reports a shard whose checksum no longer matches
+/// its payload. The explorer treats both as a hard abort of the affected
+/// exploration (`complete: false`), never as "row not seen".
+#[derive(Debug)]
+pub enum StoreError {
+    /// Reading or writing the spill tier failed.
+    Io(std::io::Error),
+    /// A spilled shard failed checksum verification on read-back.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "visited spill tier I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "visited spill tier corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Deduplicating storage of fixed-width `u32` rows with dense insertion-order
+/// ids. The BFS uses exactly this surface; swapping implementations must
+/// never change which ids exist or what they decode to.
+pub trait VisitedStore: std::fmt::Debug {
+    /// Width of every row, in `u32` words.
+    fn row_words(&self) -> usize;
+
+    /// Number of rows stored.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no rows yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Id of an already-stored row equal to `row`, if any.
+    fn lookup(&mut self, row: &[u32]) -> Result<Option<usize>, StoreError>;
+
+    /// Stores `row` (assumed not present — call [`VisitedStore::lookup`]
+    /// first) and returns its id, always `len()` before the call.
+    fn insert(&mut self, row: &[u32]) -> Result<usize, StoreError>;
+
+    /// Copies row `id` into `out` (length `row_words()`).
+    fn read_row(&mut self, id: usize, out: &mut [u32]) -> Result<(), StoreError>;
+
+    /// Number of shards spilled to the disk tier so far (0 for in-memory
+    /// stores).
+    fn spilled_shards(&self) -> usize;
+
+    /// Estimated resident bytes: row payload held in memory plus per-state
+    /// bookkeeping, using the same per-state constant the explorer's
+    /// `mc.visited_bytes_est` gauge always used.
+    fn approx_bytes(&self) -> usize;
+}
+
+/// Estimated per-state bookkeeping bytes (parents, depths, hash-index
+/// entries) — the constant the explorer's byte gauge has always used.
+const STATE_OVERHEAD_BYTES: usize = 72;
+
+/// The hot all-in-memory store: a flat row arena plus a hash index, the
+/// verbatim extraction of the explorer's original inline visited set.
+#[derive(Debug)]
+pub struct InMemoryVisited {
+    w: usize,
+    rows: Vec<u32>,
+    index: HashMap<u64, Vec<usize>>,
+}
+
+impl InMemoryVisited {
+    /// Creates an empty store for rows of `row_words` words.
+    #[must_use]
+    pub fn new(row_words: usize) -> Self {
+        InMemoryVisited {
+            w: row_words,
+            rows: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+impl VisitedStore for InMemoryVisited {
+    fn row_words(&self) -> usize {
+        self.w
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len() / self.w.max(1)
+    }
+
+    fn lookup(&mut self, row: &[u32]) -> Result<Option<usize>, StoreError> {
+        let Some(ids) = self.index.get(&hash_row(row)) else {
+            return Ok(None);
+        };
+        Ok(ids
+            .iter()
+            .copied()
+            .find(|&i| self.rows[i * self.w..(i + 1) * self.w] == *row))
+    }
+
+    fn insert(&mut self, row: &[u32]) -> Result<usize, StoreError> {
+        let id = self.len();
+        self.index.entry(hash_row(row)).or_default().push(id);
+        self.rows.extend_from_slice(row);
+        Ok(id)
+    }
+
+    fn read_row(&mut self, id: usize, out: &mut [u32]) -> Result<(), StoreError> {
+        out.copy_from_slice(&self.rows[id * self.w..(id + 1) * self.w]);
+        Ok(())
+    }
+
+    fn spilled_shards(&self) -> usize {
+        0
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.rows.len() * 4 + self.len() * STATE_OVERHEAD_BYTES
+    }
+}
+
+/// Distinguishes concurrent explorations' spill files within one process.
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// One fixed-capacity run of consecutive rows. Shards are resident until
+/// full and cold, then move to the disk tier wholesale.
+#[derive(Debug)]
+enum Shard {
+    /// Rows held in memory (the tail shard, or full shards not yet spilled).
+    Ram(Vec<u32>),
+    /// Rows spilled to the file at this byte offset (checksum included).
+    Disk { offset: u64 },
+}
+
+/// The tiered store: resident shards up to a byte budget, then the oldest
+/// *full* shards spill — append-only, checksummed — to a temp file. The
+/// tail shard (still filling) and the hash index never spill, so lookups
+/// stay one hash probe plus (rarely) one cached shard read.
+#[derive(Debug)]
+pub struct TieredVisited {
+    w: usize,
+    /// Rows per shard — fixed at construction so disk offsets are computable.
+    shard_rows: usize,
+    /// Resident row budget derived from the byte budget.
+    budget_rows: usize,
+    shards: Vec<Shard>,
+    index: HashMap<u64, Vec<usize>>,
+    len: usize,
+    file: Option<File>,
+    path: Option<PathBuf>,
+    file_len: u64,
+    /// Lowest shard index still resident — shards spill strictly in order.
+    next_to_spill: usize,
+    spilled: usize,
+    /// Single-shard read-back cache: `(shard index, decoded rows)`.
+    cache: Option<(usize, Vec<u32>)>,
+    /// Test hook: corrupt the next spilled shard's payload on disk.
+    corrupt_next_spill: bool,
+}
+
+impl TieredVisited {
+    /// Creates a store for rows of `row_words` words that keeps at most
+    /// roughly `budget_bytes` of row payload resident. Tiny budgets are
+    /// honored by spilling every shard as soon as it fills.
+    #[must_use]
+    pub fn new(row_words: usize, budget_bytes: usize) -> Self {
+        let w = row_words.max(1);
+        let row_bytes = w * 4;
+        // Aim for at least a handful of shards within budget, bounded so
+        // spill granularity stays sane for both tiny and huge budgets.
+        let shard_rows = (budget_bytes / row_bytes / 4).clamp(16, 4096);
+        let budget_rows = (budget_bytes / row_bytes).max(shard_rows);
+        TieredVisited {
+            w: row_words,
+            shard_rows,
+            budget_rows,
+            shards: Vec::new(),
+            index: HashMap::new(),
+            len: 0,
+            file: None,
+            path: None,
+            file_len: 0,
+            next_to_spill: 0,
+            spilled: 0,
+            cache: None,
+            corrupt_next_spill: false,
+        }
+    }
+
+    /// Path of the spill file, once anything has spilled.
+    #[must_use]
+    pub fn spill_path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Rows per spill shard (fixed at construction).
+    #[must_use]
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Test hook: flips one payload byte of the next shard written to disk,
+    /// so read-back must fail the checksum. Hidden — only the corruption
+    /// tests use it.
+    #[doc(hidden)]
+    pub fn corrupt_next_spill_for_tests(&mut self) {
+        self.corrupt_next_spill = true;
+    }
+
+    fn resident_rows(&self) -> usize {
+        self.len - self.spilled * self.shard_rows
+    }
+
+    fn ensure_file(&mut self) -> Result<(), StoreError> {
+        if self.file.is_some() {
+            return Ok(());
+        }
+        let path = std::env::temp_dir().join(format!(
+            "fa-mc-visited-{}-{}.spill",
+            std::process::id(),
+            SPILL_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        self.file = Some(file);
+        self.path = Some(path);
+        Ok(())
+    }
+
+    fn spill_oldest(&mut self) -> Result<(), StoreError> {
+        self.ensure_file()?;
+        let s = self.next_to_spill;
+        let Shard::Ram(rows) = &self.shards[s] else {
+            unreachable!("shards spill in order; {s} already on disk");
+        };
+        debug_assert_eq!(
+            rows.len(),
+            self.shard_rows * self.w,
+            "only full shards spill"
+        );
+        let mut payload: Vec<u8> = Vec::with_capacity(rows.len() * 4);
+        for v in rows {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let checksum = fnv1a(&payload);
+        if self.corrupt_next_spill {
+            self.corrupt_next_spill = false;
+            payload[0] ^= 0xFF;
+        }
+        let offset = self.file_len;
+        let file = self.file.as_mut().expect("ensure_file ran");
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(&checksum.to_le_bytes())?;
+        file.write_all(&payload)?;
+        self.file_len = offset + 8 + payload.len() as u64;
+        self.shards[s] = Shard::Disk { offset };
+        self.next_to_spill += 1;
+        self.spilled += 1;
+        Ok(())
+    }
+
+    fn maybe_spill(&mut self) -> Result<(), StoreError> {
+        while self.resident_rows() > self.budget_rows {
+            let s = self.next_to_spill;
+            if s >= self.shards.len() {
+                break;
+            }
+            let Shard::Ram(rows) = &self.shards[s] else {
+                break;
+            };
+            if rows.len() < self.shard_rows * self.w {
+                // Never spill the still-filling tail shard.
+                break;
+            }
+            self.spill_oldest()?;
+        }
+        Ok(())
+    }
+
+    /// Loads shard `s` (on disk at `offset`) into the read cache, verifying
+    /// its checksum.
+    fn load_shard(&mut self, s: usize, offset: u64) -> Result<(), StoreError> {
+        if self.cache.as_ref().is_some_and(|(c, _)| *c == s) {
+            return Ok(());
+        }
+        let file = self.file.as_mut().ok_or_else(|| {
+            StoreError::Corrupt(format!("shard {s} marked spilled but no spill file exists"))
+        })?;
+        let payload_bytes = self.shard_rows * self.w * 4;
+        let mut header = [0u8; 8];
+        let mut payload = vec![0u8; payload_bytes];
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut header)?;
+        file.read_exact(&mut payload)?;
+        let expect = u64::from_le_bytes(header);
+        let got = fnv1a(&payload);
+        if got != expect {
+            return Err(StoreError::Corrupt(format!(
+                "shard {s} at offset {offset}: checksum {got:#018x} != recorded {expect:#018x}"
+            )));
+        }
+        let rows: Vec<u32> = payload
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        self.cache = Some((s, rows));
+        Ok(())
+    }
+
+    /// Whether stored row `id` equals `row`, reading through the disk tier
+    /// if needed.
+    fn row_equals(&mut self, id: usize, row: &[u32]) -> Result<bool, StoreError> {
+        let s = id / self.shard_rows;
+        let r = id % self.shard_rows;
+        match &self.shards[s] {
+            Shard::Ram(rows) => Ok(rows[r * self.w..(r + 1) * self.w] == *row),
+            Shard::Disk { offset } => {
+                let offset = *offset;
+                self.load_shard(s, offset)?;
+                let (_, rows) = self.cache.as_ref().expect("load_shard filled the cache");
+                Ok(rows[r * self.w..(r + 1) * self.w] == *row)
+            }
+        }
+    }
+}
+
+impl VisitedStore for TieredVisited {
+    fn row_words(&self) -> usize {
+        self.w
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn lookup(&mut self, row: &[u32]) -> Result<Option<usize>, StoreError> {
+        let Some(ids) = self.index.get(&hash_row(row)) else {
+            return Ok(None);
+        };
+        // Candidate lists are almost always length 1; clone to end the
+        // index borrow before reading through the disk tier.
+        let candidates: Vec<usize> = ids.clone();
+        for id in candidates {
+            if self.row_equals(id, row)? {
+                return Ok(Some(id));
+            }
+        }
+        Ok(None)
+    }
+
+    fn insert(&mut self, row: &[u32]) -> Result<usize, StoreError> {
+        let id = self.len;
+        let cap = self.shard_rows * self.w;
+        let needs_new_tail = match self.shards.last() {
+            None | Some(Shard::Disk { .. }) => true,
+            Some(Shard::Ram(rows)) => rows.len() >= cap,
+        };
+        if needs_new_tail {
+            self.shards.push(Shard::Ram(Vec::with_capacity(cap)));
+        }
+        let Some(Shard::Ram(tail)) = self.shards.last_mut() else {
+            unreachable!("a resident tail shard was just ensured");
+        };
+        tail.extend_from_slice(row);
+        self.index.entry(hash_row(row)).or_default().push(id);
+        self.len += 1;
+        self.maybe_spill()?;
+        Ok(id)
+    }
+
+    fn read_row(&mut self, id: usize, out: &mut [u32]) -> Result<(), StoreError> {
+        let s = id / self.shard_rows;
+        let r = id % self.shard_rows;
+        match &self.shards[s] {
+            Shard::Ram(rows) => {
+                out.copy_from_slice(&rows[r * self.w..(r + 1) * self.w]);
+                Ok(())
+            }
+            Shard::Disk { offset } => {
+                let offset = *offset;
+                self.load_shard(s, offset)?;
+                let (_, rows) = self.cache.as_ref().expect("load_shard filled the cache");
+                out.copy_from_slice(&rows[r * self.w..(r + 1) * self.w]);
+                Ok(())
+            }
+        }
+    }
+
+    fn spilled_shards(&self) -> usize {
+        self.spilled
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.resident_rows() * self.w * 4 + self.len * STATE_OVERHEAD_BYTES
+    }
+}
+
+impl Drop for TieredVisited {
+    fn drop(&mut self) {
+        self.file = None;
+        if let Some(path) = &self.path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic distinct rows: no two `i` produce equal rows.
+    fn row(i: u32, w: usize) -> Vec<u32> {
+        (0..w as u32)
+            .map(|j| i.wrapping_mul(2_654_435_761).wrapping_add(j) ^ (i << 8))
+            .collect()
+    }
+
+    #[test]
+    fn store_inmemory_assigns_dense_ids_and_finds_rows() {
+        let w = 5;
+        let mut s = InMemoryVisited::new(w);
+        for i in 0..50u32 {
+            let r = row(i, w);
+            assert_eq!(s.lookup(&r).unwrap(), None);
+            assert_eq!(s.insert(&r).unwrap(), i as usize);
+        }
+        assert_eq!(s.len(), 50);
+        let mut out = vec![0u32; w];
+        for i in 0..50u32 {
+            let r = row(i, w);
+            assert_eq!(s.lookup(&r).unwrap(), Some(i as usize));
+            s.read_row(i as usize, &mut out).unwrap();
+            assert_eq!(out, r);
+        }
+        assert_eq!(s.spilled_shards(), 0);
+    }
+
+    #[test]
+    fn store_tiered_spills_everything_under_a_zero_budget() {
+        let w = 4;
+        let mut t = TieredVisited::new(w, 0);
+        let mut m = InMemoryVisited::new(w);
+        let total = 10 * t.shard_rows() + 3;
+        for i in 0..total {
+            let r = row(i as u32, w);
+            assert_eq!(t.lookup(&r).unwrap(), None);
+            assert_eq!(m.lookup(&r).unwrap(), None);
+            assert_eq!(t.insert(&r).unwrap(), m.insert(&r).unwrap());
+        }
+        assert_eq!(t.len(), total);
+        assert_eq!(
+            t.spilled_shards(),
+            10,
+            "every full shard spills at budget 0"
+        );
+        assert!(t.spill_path().is_some());
+        // Every row — resident or spilled — looks up and reads back equally
+        // in both stores.
+        let mut a = vec![0u32; w];
+        let mut b = vec![0u32; w];
+        for i in 0..total {
+            let r = row(i as u32, w);
+            assert_eq!(t.lookup(&r).unwrap(), Some(i));
+            assert_eq!(m.lookup(&r).unwrap(), Some(i));
+            t.read_row(i, &mut a).unwrap();
+            m.read_row(i, &mut b).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(t.lookup(&row(total as u32 + 7, w)).unwrap(), None);
+        let path = t.spill_path().unwrap().to_path_buf();
+        drop(t);
+        assert!(!path.exists(), "spill file is removed on drop");
+    }
+
+    #[test]
+    fn store_tiered_generous_budget_never_spills() {
+        let w = 4;
+        let mut t = TieredVisited::new(w, 1 << 20);
+        for i in 0..1000u32 {
+            t.insert(&row(i, w)).unwrap();
+        }
+        assert_eq!(t.spilled_shards(), 0);
+        assert!(t.spill_path().is_none());
+    }
+
+    #[test]
+    fn store_tiered_truncated_spill_fails_loudly() {
+        let w = 4;
+        let mut t = TieredVisited::new(w, 0);
+        let total = 2 * t.shard_rows();
+        for i in 0..total {
+            t.insert(&row(i as u32, w)).unwrap();
+        }
+        assert!(t.spilled_shards() >= 1);
+        // Truncate the spill file behind the store's back; reading any
+        // spilled row must now error, not dedup-miss.
+        let path = t.spill_path().unwrap();
+        OpenOptions::new()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_len(4)
+            .unwrap();
+        let mut out = vec![0u32; w];
+        let err = t.read_row(0, &mut out).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn store_tiered_corrupted_spill_fails_checksum() {
+        let w = 4;
+        let mut t = TieredVisited::new(w, 0);
+        t.corrupt_next_spill_for_tests();
+        let total = 2 * t.shard_rows();
+        for i in 0..total {
+            t.insert(&row(i as u32, w)).unwrap();
+        }
+        assert!(t.spilled_shards() >= 1);
+        let mut out = vec![0u32; w];
+        let err = t.read_row(0, &mut out).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("checksum"), "got {msg}");
+    }
+
+    #[test]
+    fn store_tiered_lookup_through_corrupt_tier_errors() {
+        let w = 4;
+        let mut t = TieredVisited::new(w, 0);
+        t.corrupt_next_spill_for_tests();
+        let total = 2 * t.shard_rows();
+        for i in 0..total {
+            t.insert(&row(i as u32, w)).unwrap();
+        }
+        // Row 0 lives in the corrupted first shard: a lookup that must
+        // compare against it errors instead of reporting "unseen".
+        assert!(t.lookup(&row(0, w)).is_err());
+    }
+}

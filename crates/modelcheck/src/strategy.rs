@@ -20,6 +20,11 @@ pub struct ComboOutcome {
     pub states: usize,
     /// Whether the combo's reachable space was fully explored.
     pub complete: bool,
+    /// Estimated full-space state count when the exploration ran with the
+    /// symmetry quotient (`None` otherwise). Exact on complete runs.
+    pub full_states_est: Option<u64>,
+    /// Visited shards spilled to the disk tier (0 without a budget).
+    pub spilled_shards: usize,
     /// Formatted violation found in this combo, if any.
     pub violation: Option<String>,
 }
@@ -180,6 +185,8 @@ mod tests {
             ComboOutcome {
                 states: i + 1,
                 complete: !aborted,
+                full_states_est: None,
+                spilled_shards: 0,
                 violation: (!aborted && violations.contains(&i)).then(|| format!("combo {i}")),
             }
         }

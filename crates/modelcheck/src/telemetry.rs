@@ -12,7 +12,9 @@
 //! | `mc.frontier_depth`    | gauge     | BFS depth currently being expanded         |
 //! | `mc.visited_entries`   | gauge     | arena size of the sampled combo            |
 //! | `mc.visited_bytes_est` | gauge     | estimated bytes of keys + arena + index    |
+//! | `mc.visited_spilled`   | gauge     | visited shards spilled to the disk tier    |
 //! | `mc.interner_entries`  | gauge     | per-slot interner entries (all four maps)  |
+//! | `mc.orbit_factor`      | gauge     | sweep quotient factor, ×1000 fixed-point   |
 //! | `mc.claim`             | span      | combo claim + wiring materialization       |
 //! | `mc.expand`            | span      | per-combo BFS exploration                  |
 //! | `mc.dedup`             | span      | key + visited lookup (1-in-64 sampled)     |
@@ -38,6 +40,8 @@ pub struct ExplorerTelemetry {
     pub visited_entries: Gauge,
     /// `mc.visited_bytes_est`.
     pub visited_bytes: Gauge,
+    /// `mc.visited_spilled`.
+    pub visited_spilled: Gauge,
     /// `mc.interner_entries`.
     pub interner_entries: Gauge,
     /// `mc.dedup` — sampled, see [`crate::Explorer`] docs.
@@ -53,6 +57,7 @@ impl ExplorerTelemetry {
             frontier_depth: registry.gauge("mc.frontier_depth"),
             visited_entries: registry.gauge("mc.visited_entries"),
             visited_bytes: registry.gauge("mc.visited_bytes_est"),
+            visited_spilled: registry.gauge("mc.visited_spilled"),
             interner_entries: registry.gauge("mc.interner_entries"),
             dedup: registry.span("mc.dedup"),
         }
@@ -77,6 +82,10 @@ pub struct SweepTelemetry {
     pub expand: Span,
     /// `mc.combo_states`.
     pub combo_states: LiveHistogram,
+    /// `mc.orbit_factor` — quotient factor (full-space estimate over
+    /// canonical states) in ×1000 fixed-point, since gauges carry `u64`.
+    /// Only written by quotiented sweeps.
+    pub orbit_factor: Gauge,
 }
 
 impl SweepTelemetry {
@@ -91,6 +100,7 @@ impl SweepTelemetry {
             claim: registry.span("mc.claim"),
             expand: registry.span("mc.expand"),
             combo_states: registry.histogram("mc.combo_states"),
+            orbit_factor: registry.gauge("mc.orbit_factor"),
         }
     }
 }

@@ -1,0 +1,165 @@
+//! Property tests for the symmetry-quotient canonicalizer: over random
+//! systems (wirings + processor classes) and random arena rows, the
+//! canonical form must be invariant across a row's whole orbit, idempotent,
+//! minimal, and report an orbit size equal to the number of distinct group
+//! images — the algebra the quotiented explorer's soundness rests on.
+
+use std::sync::Arc;
+
+use fa_memory::Wiring;
+use fa_modelcheck::Canonicalizer;
+use proptest::prelude::*;
+
+/// Builds a random-but-reproducible system from raw seeds: `n` processors
+/// over `m` registers, wirings picked by index into the `m!` enumeration,
+/// one of two classes per processor. Returns the canonicalizer and the
+/// row width `m + 3n`.
+fn build(
+    n: usize,
+    m: usize,
+    wiring_seed: &[usize],
+    class_seed: &[usize],
+) -> (Canonicalizer, usize) {
+    let all: Vec<Arc<Wiring>> = Wiring::enumerate(m).map(Arc::new).collect();
+    let wirings: Vec<Arc<Wiring>> = (0..n)
+        .map(|i| Arc::clone(&all[wiring_seed[i % wiring_seed.len()] % all.len()]))
+        .collect();
+    let classes: Vec<usize> = (0..n).map(|i| class_seed[i % class_seed.len()]).collect();
+    let canon = Canonicalizer::for_system(&classes, &wirings);
+    (canon, m + 3 * n)
+}
+
+fn row_from(seed: &[u32], w: usize) -> Vec<u32> {
+    (0..w).map(|j| seed[j % seed.len()]).collect()
+}
+
+/// All group images of `row`, one per element, as owned vectors.
+fn orbit_images(c: &Canonicalizer, row: &[u32]) -> Vec<Vec<u32>> {
+    let mut out = vec![0u32; row.len()];
+    (0..c.group_order())
+        .map(|e| {
+            c.apply(e, row, &mut out);
+            out.clone()
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn canonical_form_is_invariant_across_the_orbit(
+        n in 2usize..=3,
+        m in 1usize..=3,
+        wiring_seed in proptest::collection::vec(0usize..6, 3),
+        class_seed in proptest::collection::vec(0usize..2, 3),
+        seed in proptest::collection::vec(0u32..6, 12),
+    ) {
+        let (c, w) = build(n, m, &wiring_seed, &class_seed);
+        let row = row_from(&seed, w);
+        let mut canon = vec![0u32; w];
+        let (_, orbit) = c.canonicalize(&row, &mut canon);
+        for image in orbit_images(&c, &row) {
+            let mut from_image = vec![0u32; w];
+            let (_, o) = c.canonicalize(&image, &mut from_image);
+            prop_assert_eq!(&from_image, &canon, "orbit member disagrees");
+            prop_assert_eq!(o, orbit, "orbit size disagrees");
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_and_minimal(
+        n in 2usize..=3,
+        m in 1usize..=3,
+        wiring_seed in proptest::collection::vec(0usize..6, 3),
+        class_seed in proptest::collection::vec(0usize..2, 3),
+        seed in proptest::collection::vec(0u32..6, 12),
+    ) {
+        let (c, w) = build(n, m, &wiring_seed, &class_seed);
+        let row = row_from(&seed, w);
+        let mut canon = vec![0u32; w];
+        c.canonicalize(&row, &mut canon);
+        // Idempotent: the canonical form is its own canonical form.
+        let mut again = vec![0u32; w];
+        c.canonicalize(&canon, &mut again);
+        prop_assert_eq!(&again, &canon);
+        // Minimal: no group image is lexicographically smaller.
+        for image in orbit_images(&c, &row) {
+            prop_assert!(image >= canon, "an image beats the canonical form");
+        }
+    }
+
+    #[test]
+    fn orbit_size_counts_distinct_images_and_divides_the_group(
+        n in 2usize..=3,
+        m in 1usize..=3,
+        wiring_seed in proptest::collection::vec(0usize..6, 3),
+        class_seed in proptest::collection::vec(0usize..2, 3),
+        seed in proptest::collection::vec(0u32..4, 12),
+    ) {
+        let (c, w) = build(n, m, &wiring_seed, &class_seed);
+        let row = row_from(&seed, w);
+        let mut canon = vec![0u32; w];
+        let (_, orbit) = c.canonicalize(&row, &mut canon);
+        let distinct: std::collections::BTreeSet<Vec<u32>> =
+            orbit_images(&c, &row).into_iter().collect();
+        prop_assert_eq!(orbit, distinct.len() as u64, "orbit–stabilizer count");
+        prop_assert_eq!(c.group_order() as u64 % orbit, 0, "orbit divides |G|");
+    }
+
+    #[test]
+    fn group_images_are_closed_under_composition(
+        n in 2usize..=3,
+        m in 1usize..=2,
+        wiring_seed in proptest::collection::vec(0usize..6, 3),
+        class_seed in proptest::collection::vec(0usize..2, 3),
+        seed in proptest::collection::vec(0u32..6, 12),
+    ) {
+        // Applying any element to any image lands back in the image set:
+        // the element table really is a group acting on rows.
+        let (c, w) = build(n, m, &wiring_seed, &class_seed);
+        let row = row_from(&seed, w);
+        let images: std::collections::BTreeSet<Vec<u32>> =
+            orbit_images(&c, &row).into_iter().collect();
+        let mut out = vec![0u32; w];
+        for image in &images {
+            for e in 0..c.group_order() {
+                c.apply(e, image, &mut out);
+                prop_assert!(
+                    images.contains(&out),
+                    "composition escapes the orbit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn halted_sentinels_travel_with_their_processor(
+        n in 2usize..=3,
+        m in 1usize..=3,
+        wiring_seed in proptest::collection::vec(0usize..6, 3),
+        halt_mask in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        // Rows with HALTED pending slots (the one out-of-band value the
+        // explorer stores) keep exactly as many sentinels, all in the
+        // pending section, under every group element.
+        let (c, w) = build(n, m, &wiring_seed, &[0]);
+        let mut row: Vec<u32> = (0..w as u32).collect();
+        let mut halted = 0;
+        for i in 0..n {
+            if halt_mask[i % halt_mask.len()] {
+                row[m + n + i] = u32::MAX;
+                halted += 1;
+            }
+        }
+        let mut out = vec![0u32; w];
+        for e in 0..c.group_order() {
+            c.apply(e, &row, &mut out);
+            let in_pending = out[m + n..m + 2 * n]
+                .iter()
+                .filter(|&&v| v == u32::MAX)
+                .count();
+            let total = out.iter().filter(|&&v| v == u32::MAX).count();
+            prop_assert_eq!(in_pending, halted);
+            prop_assert_eq!(total, halted);
+        }
+    }
+}
