@@ -1,8 +1,14 @@
 //! E7 — Obstruction-free consensus: agreement and validity always hold;
 //! termination holds whenever contention subsides (solo tail), and solo runs
 //! decide in a constant number of snapshot rounds.
+//!
+//! Honors the shared sweep flags (`--jobs`, `--quotient`, `--visited-budget`,
+//! `--checkpoint-dir`/`--checkpoint-every`/`--resume`, `--memory-limit`).
+//! Exit codes: 0 clean, 2 incomplete (the safety check is depth-bounded by
+//! design — the timestamp space is unbounded — so this is the expected code
+//! for a healthy run), 3 violation found.
 
-use fa_bench::{check_config_from_cli, print_table, sweep_summary};
+use fa_bench::{check_config_from_cli, print_table, report_exit_code, signals, sweep_summary};
 use fa_core::runner::{run_consensus_random, WiringMode};
 use fa_core::{ConsensusProcess, SnapRegister};
 use fa_memory::{Executor, ProcId, SharedMemory, Wiring};
@@ -93,6 +99,7 @@ fn main() {
     if let Some(registry) = session.registry() {
         config = config.with_telemetry(registry);
     }
+    config = config.with_abort(signals::install_abort_handler());
     let outcome = check_consensus_safety_with(&[1, 2], 600_000, 200, &config).expect("check runs");
     let report = &outcome.report;
     println!(
@@ -106,4 +113,8 @@ fn main() {
     println!("{}", sweep_summary(&outcome.telemetry));
     assert!(report.violation.is_none(), "{:?}", report.violation);
     session.finish();
+    // The depth bound makes `complete: false` the healthy outcome here; the
+    // exit code still reports it honestly so harnesses can tell the three
+    // cases apart.
+    std::process::exit(report_exit_code(report));
 }

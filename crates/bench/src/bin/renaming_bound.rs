@@ -1,10 +1,17 @@
 //! E6 — Adaptive renaming: names fall in 1..=M(M+1)/2 where M is the number
 //! of *participating groups*, names never collide across groups, and the
 //! bound is adaptive (depends on participation, not on N).
+//!
+//! Honors the shared sweep flags (`--jobs`, `--quotient`, `--visited-budget`,
+//! `--checkpoint-dir`/`--checkpoint-every`/`--resume`, `--memory-limit`).
+//! Exit codes: 0 clean, 2 the model check finished incomplete (budget or
+//! SIGINT/SIGTERM abort; resumable when checkpointed), 3 violation found.
 
 use std::collections::BTreeSet;
 
-use fa_bench::{check_config_from_cli, group_inputs, print_table, sweep_summary};
+use fa_bench::{
+    check_config_from_cli, group_inputs, print_table, report_exit_code, signals, sweep_summary,
+};
 use fa_core::runner::{run_renaming_random, WiringMode};
 use fa_modelcheck::checks::check_renaming_with;
 
@@ -70,6 +77,7 @@ fn main() {
     if let Some(registry) = session.registry() {
         config = config.with_telemetry(registry);
     }
+    config = config.with_abort(signals::install_abort_handler());
     let outcome = check_renaming_with(&[1, 2], 500_000, &config).expect("check runs");
     let report = &outcome.report;
     println!(
@@ -83,4 +91,6 @@ fn main() {
     println!("{}", sweep_summary(&outcome.telemetry));
     assert!(report.violation.is_none(), "{:?}", report.violation);
     session.finish();
+    // 0 clean / 2 incomplete-by-budget / 3 violation.
+    std::process::exit(report_exit_code(report));
 }

@@ -3,8 +3,15 @@
 //! the data behind EXPERIMENTS.md, regenerable in one command.
 //!
 //! Usage: `cargo run --release -p fa-bench --bin sweep > results.json`
+//!
+//! Honors the shared sweep flags (`--jobs`, `--quotient`, `--visited-budget`,
+//! `--checkpoint-dir`/`--checkpoint-every`/`--resume`, `--memory-limit`).
+//! Exit codes: 0 clean, 2 the E3 model check finished incomplete (budget or
+//! SIGINT/SIGTERM abort; resumable when checkpointed), 3 violation found.
 
-use fa_bench::{check_config_from_cli, group_inputs, snapshot_step_stats};
+use fa_bench::{
+    check_config_from_cli, group_inputs, report_exit_code, signals, snapshot_step_stats,
+};
 use fa_core::figure2::{expected_rows, run_figure2};
 use fa_core::lower_bound::covering_demo;
 use fa_core::pathology::generalized_report;
@@ -46,6 +53,9 @@ fn main() {
     if let Some(registry) = session.registry() {
         config = config.with_telemetry(registry);
     }
+    // SIGINT/SIGTERM stop the sweep gracefully: the journal (if any) gets a
+    // final sync and the process exits 2 instead of dying mid-write.
+    config = config.with_abort(signals::install_abort_handler());
     let e3 = check_snapshot_task_with(&[1, 2], 500_000, &config).expect("check runs");
     let t = &e3.telemetry;
     let mut e3_doc = json!({
@@ -129,8 +139,12 @@ fn main() {
         .collect();
     doc.insert("e8_lower_bound".into(), json!(e8));
 
+    let exit = report_exit_code(&e3.report);
     println!(
         "{}",
         serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("json")
     );
+    session.finish();
+    // 0 clean / 2 incomplete / 3 violation, after the document is out.
+    std::process::exit(exit);
 }

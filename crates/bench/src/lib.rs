@@ -5,11 +5,12 @@
 //! the mapping is the per-experiment index in `DESIGN.md`, and observed
 //! results are recorded in `EXPERIMENTS.md`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // one targeted allow in `signals` for the handler registration
 #![warn(missing_docs)]
 
 pub mod chaos_campaign;
 pub mod obs_report;
+pub mod signals;
 pub mod telemetry_cli;
 
 pub use telemetry_cli::TelemetrySession;
@@ -17,7 +18,8 @@ pub use telemetry_cli::TelemetrySession;
 use fa_core::runner::{run_snapshot_random, SnapshotRunConfig};
 use fa_core::{SnapRegister, View};
 use fa_memory::{Executor, MemoryError, ProcId, SharedMemory, Wiring};
-use fa_modelcheck::checks::CheckConfig;
+use fa_modelcheck::checks::{CheckConfig, TaskCheckReport};
+use fa_modelcheck::CheckpointConfig;
 use fa_obs::SweepEvent;
 use rand::Rng;
 use rand::SeedableRng;
@@ -93,22 +95,114 @@ pub fn cli_strategy() -> Option<fa_modelcheck::StrategyKind> {
     cli_value("--strategy").map(|v| v.parse().unwrap_or_else(|e| panic!("{e}")))
 }
 
-/// The visited-set memory budget requested via `--visited-budget BYTES`
-/// (`None` when absent: everything stays in memory).
+/// Parses a human-readable byte size: a plain integer (`65536`), a binary
+/// suffix (`64KiB`, `2GiB` — powers of 1024), a decimal suffix (`64KB`,
+/// `2GB` — powers of 1000), or a bare letter (`64K`, `2G` — binary, the
+/// common CLI shorthand). A trailing `B`/`b` and surrounding whitespace are
+/// accepted; matching is case-insensitive.
+///
+/// # Errors
+///
+/// Returns a usage message naming the rejected input on empty strings,
+/// unknown suffixes, non-numeric magnitudes, and overflow.
+pub fn parse_size(text: &str) -> Result<u64, String> {
+    let s = text.trim();
+    if s.is_empty() {
+        return Err("empty size".to_string());
+    }
+    let lower = s.to_ascii_lowercase();
+    // Suffix table, longest first so `kib` wins over `k`.
+    const SUFFIXES: &[(&str, u64)] = &[
+        ("kib", 1 << 10),
+        ("mib", 1 << 20),
+        ("gib", 1 << 30),
+        ("tib", 1 << 40),
+        ("kb", 1_000),
+        ("mb", 1_000_000),
+        ("gb", 1_000_000_000),
+        ("tb", 1_000_000_000_000),
+        ("k", 1 << 10),
+        ("m", 1 << 20),
+        ("g", 1 << 30),
+        ("t", 1 << 40),
+        ("b", 1),
+    ];
+    let (digits, unit) = SUFFIXES
+        .iter()
+        .find_map(|(suffix, unit)| lower.strip_suffix(suffix).map(|d| (d, *unit)))
+        .unwrap_or((lower.as_str(), 1));
+    let digits = digits.trim_end();
+    if digits.is_empty() {
+        return Err(format!("size {text:?} has no magnitude"));
+    }
+    let magnitude: u64 = digits
+        .parse()
+        .map_err(|_| format!("size {text:?} is not a number with an optional KiB/MiB/GiB/TiB (or KB/MB/GB/TB) suffix"))?;
+    magnitude
+        .checked_mul(unit)
+        .ok_or_else(|| format!("size {text:?} overflows u64 bytes"))
+}
+
+/// The value of a `--name SIZE` argument parsed via [`parse_size`]
+/// (`None` when absent).
 ///
 /// # Panics
 ///
-/// Panics with a usage message if the value is not a non-negative integer.
+/// Panics with a usage message if the value does not parse as a size.
+#[must_use]
+pub fn cli_size(name: &str) -> Option<u64> {
+    cli_value(name).map(|v| parse_size(&v).unwrap_or_else(|e| panic!("{name}: {e}")))
+}
+
+/// The visited-set memory budget requested via `--visited-budget SIZE`
+/// (`None` when absent: everything stays in memory). Sizes are
+/// human-readable: `67108864`, `64MiB`, `2GB` (see [`parse_size`]).
+///
+/// # Panics
+///
+/// Panics with a usage message if the value does not parse as a size.
 #[must_use]
 pub fn cli_visited_budget() -> Option<usize> {
-    cli_value("--visited-budget").map(|v| {
-        v.parse::<usize>()
-            .unwrap_or_else(|_| panic!("--visited-budget wants a byte count, got {v:?}"))
-    })
+    cli_size("--visited-budget").map(|v| usize::try_from(v).unwrap_or(usize::MAX))
+}
+
+/// The checkpoint configuration requested via `--checkpoint-dir DIR`
+/// (`None` when absent: no checkpointing). `--checkpoint-every SIZE` sets
+/// the journal fsync epoch (human-readable sizes, default 64KiB) and
+/// `--resume` resumes from an existing journal in the directory.
+///
+/// # Panics
+///
+/// Panics with a usage message if `--checkpoint-every` does not parse.
+#[must_use]
+pub fn cli_checkpoint() -> Option<CheckpointConfig> {
+    let dir = cli_value("--checkpoint-dir")?;
+    let mut cp = CheckpointConfig::new(dir);
+    if let Some(bytes) = cli_size("--checkpoint-every") {
+        cp = cp.with_sync_every(bytes);
+    }
+    if cli_flag("--resume") {
+        cp = cp.with_resume();
+    }
+    Some(cp)
+}
+
+/// The RSS hard limit requested via `--memory-limit SIZE` (`None` when
+/// absent: no watchdog). At 80% of the limit the sweep's visited tier is
+/// forced to spill; at the limit the sweep aborts gracefully to
+/// `complete: false` instead of dying to the OOM killer.
+///
+/// # Panics
+///
+/// Panics with a usage message if the value does not parse as a size.
+#[must_use]
+pub fn cli_memory_limit() -> Option<u64> {
+    cli_size("--memory-limit")
 }
 
 /// A model-check [`CheckConfig`] honoring the `--jobs`, `--strategy`,
-/// `--quotient`, and `--visited-budget` flags.
+/// `--quotient`, `--visited-budget`, `--checkpoint-dir`,
+/// `--checkpoint-every`, `--resume`, and `--memory-limit` flags.
 #[must_use]
 pub fn check_config_from_cli() -> CheckConfig {
     let mut config = match cli_jobs() {
@@ -124,7 +218,36 @@ pub fn check_config_from_cli() -> CheckConfig {
     if let Some(bytes) = cli_visited_budget() {
         config = config.with_visited_budget(bytes);
     }
+    if let Some(cp) = cli_checkpoint() {
+        config = config.with_checkpoint(cp);
+    }
+    if let Some(limit) = cli_memory_limit() {
+        config = config.with_memory_limit(limit);
+    }
     config
+}
+
+/// Exit code for a clean run: complete, no violation.
+pub const EXIT_CLEAN: i32 = 0;
+/// Exit code for a run that finished without a violation but explored less
+/// than everything (state/depth/memory budget, abort signal) — resumable
+/// when checkpointed. Distinct from 1, which the panic runtime owns.
+pub const EXIT_INCOMPLETE: i32 = 2;
+/// Exit code for a run whose report carries a violation.
+pub const EXIT_VIOLATION: i32 = 3;
+
+/// Maps a sweep report to the process exit code contract above, so CI and
+/// the soak/crash harnesses can tell "clean", "incomplete-by-budget", and
+/// "violation found" apart.
+#[must_use]
+pub fn report_exit_code(report: &TaskCheckReport) -> i32 {
+    if report.violation.is_some() {
+        EXIT_VIOLATION
+    } else if report.complete {
+        EXIT_CLEAN
+    } else {
+        EXIT_INCOMPLETE
+    }
 }
 
 /// One-line human rendering of sweep telemetry, for experiment binaries.
@@ -439,6 +562,64 @@ mod tests {
         assert_eq!(arg_value(args(&["--smoke"]), "--jobs"), None);
         // `--jobsx 1` must not match `--jobs`.
         assert_eq!(arg_value(args(&["--jobsx", "1"]), "--jobs"), None);
+    }
+
+    #[test]
+    fn parse_size_accepts_plain_bytes_and_suffixes() {
+        assert_eq!(parse_size("0"), Ok(0));
+        assert_eq!(parse_size("65536"), Ok(65_536));
+        assert_eq!(parse_size("64KiB"), Ok(64 * 1024));
+        assert_eq!(parse_size("64kib"), Ok(64 * 1024));
+        assert_eq!(parse_size("2GiB"), Ok(2 << 30));
+        assert_eq!(parse_size("1TiB"), Ok(1 << 40));
+        assert_eq!(parse_size("3MiB"), Ok(3 << 20));
+        // Decimal suffixes are powers of 1000.
+        assert_eq!(parse_size("64KB"), Ok(64_000));
+        assert_eq!(parse_size("2gb"), Ok(2_000_000_000));
+        assert_eq!(parse_size("5TB"), Ok(5_000_000_000_000));
+        // Bare letters are the binary CLI shorthand.
+        assert_eq!(parse_size("64K"), Ok(64 * 1024));
+        assert_eq!(parse_size("2g"), Ok(2 << 30));
+        assert_eq!(parse_size("1m"), Ok(1 << 20));
+        // Trailing B and whitespace are tolerated.
+        assert_eq!(parse_size("128B"), Ok(128));
+        assert_eq!(parse_size("  64 KiB  "), Ok(64 * 1024));
+    }
+
+    #[test]
+    fn parse_size_rejects_garbage_with_usage_messages() {
+        assert!(parse_size("").unwrap_err().contains("empty"));
+        assert!(parse_size("KiB").unwrap_err().contains("no magnitude"));
+        assert!(parse_size("ten").unwrap_err().contains("not a number"));
+        assert!(parse_size("64XiB").unwrap_err().contains("not a number"));
+        assert!(parse_size("-3KiB").unwrap_err().contains("not a number"));
+        assert!(parse_size("1.5GiB").unwrap_err().contains("not a number"));
+        assert!(parse_size("999999999999TiB")
+            .unwrap_err()
+            .contains("overflows"));
+    }
+
+    #[test]
+    fn report_exit_codes_distinguish_the_three_outcomes() {
+        let clean = TaskCheckReport {
+            combos: 2,
+            total_combos: 2,
+            total_states: 10,
+            complete: true,
+            violation: None,
+            quotient: None,
+        };
+        assert_eq!(report_exit_code(&clean), EXIT_CLEAN);
+        let incomplete = TaskCheckReport {
+            complete: false,
+            ..clean.clone()
+        };
+        assert_eq!(report_exit_code(&incomplete), EXIT_INCOMPLETE);
+        let violated = TaskCheckReport {
+            violation: Some("boom".into()),
+            ..clean
+        };
+        assert_eq!(report_exit_code(&violated), EXIT_VIOLATION);
     }
 
     #[test]

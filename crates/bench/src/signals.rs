@@ -1,0 +1,109 @@
+//! Graceful-shutdown signal handling for long-running sweep binaries.
+//!
+//! [`install_abort_handler`] registers SIGINT/SIGTERM handlers that do one
+//! async-signal-safe thing: raise a shared [`AtomicBool`]. The sweep polls
+//! that flag through [`CheckConfig::abort`](fa_modelcheck::CheckConfig),
+//! finishes the current journal records, fsyncs a final checkpoint, and
+//! exits with the incomplete exit code — so an interrupted checkpointed run
+//! is always resumable with `--resume`.
+//!
+//! No `libc` crate: the two constants and the `signal(2)` prototype are
+//! declared directly (they are stable POSIX ABI on every target we build),
+//! keeping the workspace dependency-free. On non-unix targets the installer
+//! degrades to returning a flag nobody raises.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, OnceLock};
+
+/// The flag shared with every registered handler. `signal(2)` handlers get
+/// no closure context, so the target flag lives in a process-wide static.
+static ABORT_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::ABORT_FLAG;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`. Takes and returns a handler address
+        /// (`SIG_ERR` is `usize::MAX` on error, which we ignore: failing to
+        /// install a handler only costs graceful shutdown, never safety).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// The handler itself: raise the flag and return. Everything here is
+    /// async-signal-safe (one relaxed atomic store, no allocation, no
+    /// locks); the sweep notices at its next stop-probe poll.
+    extern "C" fn raise_abort(_signum: i32) {
+        if let Some(flag) = ABORT_FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    pub(super) fn install() {
+        let handler = raise_abort as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    /// Arms an [`AtomicBool`] that future [`install`]ed handlers raise —
+    /// used by tests to exercise the handler path without a real signal.
+    #[cfg(test)]
+    pub(super) fn fire_for_test() {
+        raise_abort(SIGINT);
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs SIGINT/SIGTERM handlers (first call only; the registration is
+/// process-wide) and returns the abort flag they raise. Hand the flag to
+/// [`CheckConfig::with_abort`](fa_modelcheck::CheckConfig::with_abort) and
+/// treat an incomplete report as "interrupted, resume me".
+///
+/// Subsequent calls return the same flag without re-registering.
+#[must_use]
+pub fn install_abort_handler() -> Arc<AtomicBool> {
+    let mut first = false;
+    let flag = ABORT_FLAG.get_or_init(|| {
+        first = true;
+        Arc::new(AtomicBool::new(false))
+    });
+    if first {
+        imp::install();
+    }
+    Arc::clone(flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn install_returns_one_shared_flag() {
+        let a = install_abort_handler();
+        let b = install_abort_handler();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!a.load(Ordering::Relaxed));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn handler_raises_the_installed_flag() {
+        let flag = install_abort_handler();
+        flag.store(false, Ordering::Relaxed);
+        imp::fire_for_test();
+        assert!(flag.load(Ordering::Relaxed));
+        flag.store(false, Ordering::Relaxed); // leave no residue for other tests
+    }
+}

@@ -19,9 +19,10 @@
 //! thread-count-dependent data (wall-clock, worker count) lives in the
 //! [`SweepEvent`] telemetry, not in the report.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use fa_core::{ConsensusProcess, RenamingProcess, SnapshotProcess, View};
@@ -31,6 +32,10 @@ use fa_tasks::{check_group_solution, AdaptiveRenaming, GroupAssignment, GroupId,
 
 use crate::arena::StateView;
 use crate::canon;
+use crate::checkpoint::{
+    self, CheckpointConfig, JournalHeader, JournalRecord, MemoryWatchdog, ProgressHook,
+    SweepJournal,
+};
 use crate::explorer::Explorer;
 use crate::strategy::{ComboOutcome, StrategyKind};
 use crate::telemetry::SweepTelemetry;
@@ -72,6 +77,24 @@ pub struct CheckConfig {
     /// the deterministic report (hence excluded from equality, like
     /// telemetry) — spill failures surface as `complete: false`.
     pub visited_budget: Option<usize>,
+    /// Crash-safe checkpointing (see [`crate::checkpoint`]): combo claims
+    /// and outcomes are journaled under a directory, spill shards are routed
+    /// beside the journal, and with [`CheckpointConfig::resume`] a prior
+    /// journal's recorded outcomes are replayed verbatim instead of
+    /// re-explored. Never changes the deterministic report (hence excluded
+    /// from equality, like telemetry).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// External abort flag the sweep polls alongside each combo's stop
+    /// probe (signal handlers raise it to request a graceful stop). An
+    /// aborted sweep reports `complete: false` and journals nothing for the
+    /// cut-short combos, so a resume re-explores exactly those. Excluded
+    /// from equality.
+    pub abort: Option<Arc<AtomicBool>>,
+    /// RSS hard limit in bytes for the memory watchdog (see
+    /// [`MemoryWatchdog`]): at 80% the visited tier is forced to spill, at
+    /// the limit the sweep aborts gracefully to `complete: false` instead
+    /// of dying to the OOM killer. Excluded from equality.
+    pub memory_limit: Option<u64>,
 }
 
 impl PartialEq for CheckConfig {
@@ -94,6 +117,9 @@ impl CheckConfig {
             telemetry: None,
             quotient: false,
             visited_budget: None,
+            checkpoint: None,
+            abort: None,
+            memory_limit: None,
         }
     }
 
@@ -130,6 +156,28 @@ impl CheckConfig {
     #[must_use]
     pub fn with_visited_budget(mut self, bytes: usize) -> Self {
         self.visited_budget = Some(bytes);
+        self
+    }
+
+    /// Enables crash-safe checkpointing (see [`CheckConfig::checkpoint`]).
+    #[must_use]
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Attaches an external abort flag (see [`CheckConfig::abort`]).
+    #[must_use]
+    pub fn with_abort(mut self, abort: Arc<AtomicBool>) -> Self {
+        self.abort = Some(abort);
+        self
+    }
+
+    /// Sets the RSS hard limit for the memory watchdog (see
+    /// [`CheckConfig::memory_limit`]).
+    #[must_use]
+    pub fn with_memory_limit(mut self, bytes: u64) -> Self {
+        self.memory_limit = Some(bytes);
         self
     }
 
@@ -220,14 +268,24 @@ pub struct CheckOutcome {
 /// Fans the per-combo explorations of one harness across the configured
 /// [`crate::strategy::ExploreStrategy`] and assembles the deterministic
 /// report (module docs).
+///
+/// `scope` fingerprints the harness inputs the combo table does not capture
+/// (input values, state caps, depth caps — see [`checkpoint::scope_of`]);
+/// it pins a checkpoint journal to one exact sweep so `--resume` under a
+/// different configuration fails loudly instead of splicing reports.
+///
+/// Errors are reserved for the crash-safety layer: an unreadable or
+/// mismatched journal, or a journal write failure mid-sweep. Without a
+/// [`CheckConfig::checkpoint`] this never returns `Err`.
 fn run_sweep<P, MkE, F>(
     check: &'static str,
     n: usize,
     config: &CheckConfig,
+    scope: u64,
     make_explorer: MkE,
     invariant: F,
     violation_prefix: &str,
-) -> CheckOutcome
+) -> Result<CheckOutcome, String>
 where
     P: Process + Clone + Eq + Hash + std::fmt::Debug,
     P::Value: Clone + Eq + Hash + std::fmt::Debug,
@@ -280,12 +338,117 @@ where
         tel.jobs.set(jobs as u64);
     }
 
+    // Crash safety (optional): open or resume the checkpoint journal, whose
+    // header pins this exact sweep, and collect the outcomes a prior run
+    // already recorded. Per-combo BFS is deterministic, so replaying a
+    // recorded outcome verbatim equals re-exploring it.
+    let fingerprint =
+        checkpoint::sweep_fingerprint(check, n, total, explore.len(), config.quotient, scope);
+    let mut recovered: HashMap<usize, ComboOutcome> = HashMap::new();
+    let journal: Option<Arc<Mutex<SweepJournal>>> = match &config.checkpoint {
+        None => None,
+        Some(cp) => {
+            let header = JournalHeader {
+                check: check.to_string(),
+                n: n as u64,
+                total_combos: total as u64,
+                fingerprint,
+            };
+            std::fs::create_dir_all(cp.dir.join(checkpoint::SPILL_SUBDIR)).map_err(|e| {
+                format!(
+                    "cannot create checkpoint directory {}: {e}",
+                    cp.dir.display()
+                )
+            })?;
+            let journal = if cp.resume && SweepJournal::exists(&cp.dir) {
+                let (journal, recovery) =
+                    SweepJournal::open_resume(&cp.dir, cp.sync_every_bytes)
+                        .map_err(|e| format!("cannot resume from {}: {e}", cp.dir.display()))?;
+                if recovery.header != header {
+                    return Err(format!(
+                        "checkpoint mismatch in {}: journal was written by check {:?} \
+                         (n={}, {} combos, fingerprint {:#018x}) but this sweep is {check:?} \
+                         (n={n}, {total} combos, fingerprint {fingerprint:#018x}); \
+                         use a fresh checkpoint dir or drop --resume",
+                        cp.dir.display(),
+                        recovery.header.check,
+                        recovery.header.n,
+                        recovery.header.total_combos,
+                        recovery.header.fingerprint,
+                    ));
+                }
+                recovered = recovery.completed;
+                journal
+            } else {
+                SweepJournal::create(&cp.dir, &header, cp.sync_every_bytes).map_err(|e| {
+                    format!(
+                        "cannot create checkpoint journal in {}: {e}",
+                        cp.dir.display()
+                    )
+                })?
+            };
+            Some(Arc::new(Mutex::new(journal)))
+        }
+    };
+    let spill_dir = config
+        .checkpoint
+        .as_ref()
+        .map(|cp| cp.dir.join(checkpoint::SPILL_SUBDIR));
+    if let Some(tel) = &telemetry {
+        tel.ckpt.recovered.set(recovered.len() as u64);
+    }
+
+    // Graceful degradation: one abort flag every combo's stop probe watches.
+    // Signal handlers (bench binaries) and the memory watchdog raise it;
+    // aborted combos report incomplete and are never journaled as done.
+    let abort: Arc<AtomicBool> = config.abort.clone().unwrap_or_default();
+    let watchdog = config
+        .memory_limit
+        .map(|hard| MemoryWatchdog::start(hard, Arc::clone(&abort)));
+    let pressure = watchdog.as_ref().map(MemoryWatchdog::pressure);
+
+    // First journal append failure, if any: it aborts the sweep (durability
+    // is gone, so keeping going would checkpoint nothing) and surfaces as a
+    // loud `Err` after the strategy winds down.
+    let journal_error: Mutex<Option<String>> = Mutex::new(None);
+    let journal_append = |record: &JournalRecord| {
+        let Some(journal) = &journal else { return };
+        let mut guard = journal.lock().expect("journal lock");
+        match guard.append(record) {
+            Ok(()) => {
+                if let Some(tel) = &telemetry {
+                    tel.ckpt.records.inc();
+                    tel.ckpt.journal_bytes.set(guard.bytes_written());
+                    tel.ckpt.syncs.set(guard.syncs());
+                }
+            }
+            Err(e) => {
+                drop(guard);
+                journal_error
+                    .lock()
+                    .expect("journal error lock")
+                    .get_or_insert_with(|| e.to_string());
+                abort.store(true, Ordering::Relaxed);
+            }
+        }
+    };
+
     // One combo exploration, handed to the strategy: deterministic per index
     // (modulo the strategy-controlled `stop` probe), telemetry included.
     let run_combo = |i: usize, stop: &(dyn Fn() -> bool + Sync)| -> ComboOutcome {
+        if let Some(done) = recovered.get(&i) {
+            // Recorded by a prior run of this exact sweep: replay verbatim.
+            if let Some(tel) = &telemetry {
+                tel.combos_done.inc();
+                tel.combo_states.record(done.states as u64);
+            }
+            return done.clone();
+        }
         let claim_guard = telemetry.as_ref().map(|t| t.claim.enter());
         let combo = table.combo(i);
         drop(claim_guard);
+        journal_append(&JournalRecord::ComboClaim { combo: i as u64 });
+        checkpoint::crash_point("journal.claim");
         let mut explorer = make_explorer(combo.clone());
         if config.quotient {
             explorer = explorer.with_quotient();
@@ -296,14 +459,33 @@ where
         if let Some(tel) = &telemetry {
             explorer = explorer.with_telemetry(tel.explorer.clone());
         }
+        if let Some(dir) = &spill_dir {
+            explorer = explorer.with_spill_dir(dir.clone());
+        }
+        if let Some(flag) = &pressure {
+            explorer = explorer.with_memory_pressure(Arc::clone(flag));
+        }
+        if let Some(journal) = &journal {
+            explorer = explorer
+                .with_progress_hook(ProgressHook::journaling(Arc::clone(journal), i as u64));
+        }
+        // Whether this exploration was ever told to stop: cut-short outcomes
+        // depend on scheduling, so they must never be journaled as done.
+        let stopped = AtomicBool::new(false);
         let expand_guard = telemetry.as_ref().map(|t| t.expand.enter());
-        let result = explorer.run_until(&invariant, stop);
+        let result = explorer.run_until(&invariant, || {
+            let s = stop() || abort.load(Ordering::Relaxed);
+            if s {
+                stopped.store(true, Ordering::Relaxed);
+            }
+            s
+        });
         drop(expand_guard);
         if let Some(tel) = &telemetry {
             tel.combos_done.inc();
             tel.combo_states.record(result.states as u64);
         }
-        ComboOutcome {
+        let outcome = ComboOutcome {
             states: result.states,
             complete: result.complete,
             full_states_est: result.full_states_estimate,
@@ -316,13 +498,36 @@ where
                     v.schedule
                 )
             }),
+        };
+        if !stopped.load(Ordering::Relaxed) {
+            journal_append(&JournalRecord::ComboDone {
+                combo: i as u64,
+                outcome: outcome.clone(),
+            });
+            checkpoint::crash_point("journal.done");
         }
+        outcome
     };
 
     let slots = config
         .strategy
         .build(jobs)
         .run(explore.len(), &|k, stop| run_combo(explore[k], stop));
+
+    // Final checkpoint: everything journaled so far is durable before the
+    // report is assembled (signal-driven aborts land here too, so a graceful
+    // shutdown always leaves a synced journal behind).
+    if let Some(e) = journal_error.lock().expect("journal error lock").take() {
+        return Err(format!("checkpoint journal write failed: {e}"));
+    }
+    if let Some(journal) = &journal {
+        journal
+            .lock()
+            .expect("journal lock")
+            .sync()
+            .map_err(|e| format!("checkpoint journal final sync failed: {e}"))?;
+    }
+    drop(watchdog);
 
     // Every full combo index reads its outcome through its representative's
     // slot (the identity mapping when the combo quotient is off).
@@ -372,7 +577,7 @@ where
         tel.orbit_factor.set((q.orbit_factor() * 1000.0) as u64);
     }
 
-    CheckOutcome {
+    Ok(CheckOutcome {
         report: TaskCheckReport {
             combos: attempted,
             total_combos: total,
@@ -391,7 +596,14 @@ where
             per_combo_states,
             elapsed_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
         },
-    }
+    })
+}
+
+/// Checkpoint scope for a harness: fingerprints the raw inputs plus every
+/// cap/knob that shapes its sweep (see [`checkpoint::scope_of`]).
+fn harness_scope(inputs: &[u32], caps: &[u64]) -> u64 {
+    let inputs: Vec<u64> = inputs.iter().map(|&x| u64::from(x)).collect();
+    checkpoint::scope_of(&inputs, caps)
 }
 
 /// Maps raw `u32` inputs to dense [`GroupId`]s (equal inputs = same group).
@@ -460,10 +672,11 @@ pub fn check_snapshot_task_with(
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    Ok(run_sweep(
+    run_sweep(
         "snapshot_task",
         n,
         config,
+        harness_scope(inputs, &[max_states_per_combo as u64]),
         |combo| {
             let procs: Vec<SnapshotProcess<u32>> =
                 inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
@@ -471,7 +684,7 @@ pub fn check_snapshot_task_with(
         },
         |state| snapshot_invariant(state, inputs, &groups),
         "",
-    ))
+    )
 }
 
 /// Like [`check_snapshot_task`] but at PlusCal *label* granularity (whole
@@ -511,10 +724,11 @@ pub fn check_snapshot_task_coarse_with(
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    Ok(run_sweep(
+    run_sweep(
         "snapshot_task_coarse",
         n,
         config,
+        harness_scope(inputs, &[max_states_per_combo as u64]),
         |combo| {
             let procs: Vec<SnapshotProcess<u32>> =
                 inputs.iter().map(|&x| SnapshotProcess::new(x, n)).collect();
@@ -524,7 +738,7 @@ pub fn check_snapshot_task_coarse_with(
         },
         |state| snapshot_invariant(state, inputs, &groups),
         "",
-    ))
+    )
 }
 
 fn snapshot_invariant(
@@ -610,10 +824,11 @@ pub fn check_renaming_with(
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
-    Ok(run_sweep(
+    run_sweep(
         "renaming",
         n,
         config,
+        harness_scope(inputs, &[max_states_per_combo as u64]),
         |combo| {
             let procs: Vec<RenamingProcess<u32>> =
                 inputs.iter().map(|&x| RenamingProcess::new(x, n)).collect();
@@ -640,7 +855,7 @@ pub fn check_renaming_with(
             Ok(())
         },
         "",
-    ))
+    )
 }
 
 /// Bounded-depth check of consensus safety (agreement + validity) for the
@@ -687,10 +902,11 @@ pub fn check_consensus_safety_with(
 ) -> Result<CheckOutcome, String> {
     let n = inputs.len();
     assert!(n >= 2, "the model requires at least two processors");
-    Ok(run_sweep(
+    run_sweep(
         "consensus_safety",
         n,
         config,
+        harness_scope(inputs, &[max_states_per_combo as u64, max_depth as u64]),
         |combo| {
             let procs: Vec<ConsensusProcess<u32>> = inputs
                 .iter()
@@ -723,7 +939,7 @@ pub fn check_consensus_safety_with(
             Ok(())
         },
         "",
-    ))
+    )
 }
 
 /// The wait-freedom certificate: from **every** reachable state, every live
@@ -836,10 +1052,14 @@ pub fn check_snapshot_task_at_level_with(
     assert!(n >= 2, "the model requires at least two processors");
     let groups = group_assignment(inputs);
     let prefix = format!("level {terminate_level}, ");
-    Ok(run_sweep(
+    run_sweep(
         "snapshot_task_at_level",
         n,
         config,
+        harness_scope(
+            inputs,
+            &[terminate_level as u64, max_states_per_combo as u64],
+        ),
         |combo| {
             let procs: Vec<SnapshotProcess<u32>> = inputs
                 .iter()
@@ -849,7 +1069,7 @@ pub fn check_snapshot_task_at_level_with(
         },
         |state| snapshot_invariant_generic(state, inputs, &groups),
         &prefix,
-    ))
+    )
 }
 
 fn snapshot_invariant_generic(
@@ -991,10 +1211,16 @@ mod tests {
     }
 
     fn write_once_sweep(jobs: usize) -> CheckOutcome {
+        write_once_sweep_with(&CheckConfig::default().with_jobs(jobs))
+            .expect("uncheckpointed sweeps never error")
+    }
+
+    fn write_once_sweep_with(config: &CheckConfig) -> Result<CheckOutcome, String> {
         run_sweep(
             "write_once",
             3,
-            &CheckConfig::default().with_jobs(jobs),
+            config,
+            0,
             |combo| {
                 let procs = vec![
                     WriteOnce {
@@ -1036,6 +1262,7 @@ mod tests {
             "write_once_symmetric",
             3,
             config,
+            0,
             |combo| {
                 let procs = vec![
                     WriteOnce {
@@ -1056,6 +1283,7 @@ mod tests {
             },
             "",
         )
+        .expect("uncheckpointed sweeps never error")
     }
 
     #[test]
@@ -1068,6 +1296,7 @@ mod tests {
                 "write_once_noop",
                 3,
                 config,
+                0,
                 |combo| {
                     let procs = vec![
                         WriteOnce {
@@ -1081,6 +1310,7 @@ mod tests {
                 |_| Ok(()),
                 "",
             )
+            .expect("uncheckpointed sweeps never error")
             .report
         };
         let plain = noop(&CheckConfig::serial());
@@ -1224,6 +1454,7 @@ mod tests {
                 "write_once_capped",
                 3,
                 &CheckConfig::default().with_jobs(jobs),
+                0,
                 |combo| {
                     let procs = vec![
                         WriteOnce {
@@ -1243,12 +1474,108 @@ mod tests {
                 },
                 |_| Ok(()),
                 "",
-            );
+            )
+            .expect("uncheckpointed sweeps never error");
             let report = &outcome.report;
             assert_eq!(report.total_combos, 36);
             assert_eq!(report.combos, 36, "exhaustion is not a violation");
             assert!(!report.complete, "exhausted combos must poison complete");
             assert!(report.violation.is_none());
         }
+    }
+
+    fn scratch_checkpoint_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "fa-mc-checks-{tag}-{}-{}",
+            std::process::id(),
+            crate::store::unique_id()
+        ))
+    }
+
+    #[test]
+    fn checkpoint_sweep_aborted_then_resumed_is_byte_identical() {
+        let dir = scratch_checkpoint_dir("resume");
+        let baseline = write_once_sweep(1);
+
+        // Run 1: the abort flag is raised before the sweep starts, so every
+        // combo is cut short, reported incomplete, and — crucially — never
+        // journaled as done (aborted outcomes are nondeterministic).
+        let abort = Arc::new(AtomicBool::new(true));
+        let cp = CheckpointConfig::new(&dir);
+        let config = CheckConfig::serial()
+            .with_checkpoint(cp.clone())
+            .with_abort(abort);
+        let interrupted = write_once_sweep_with(&config).expect("checkpointed sweep");
+        assert!(!interrupted.report.complete);
+        assert!(interrupted.report.violation.is_none());
+
+        // Run 2 resumes: the journal holds claims but no outcomes, so the
+        // whole sweep re-explores and matches the uninterrupted baseline.
+        let config = CheckConfig::serial().with_checkpoint(cp.clone().with_resume());
+        let resumed = write_once_sweep_with(&config).expect("resumed sweep");
+        assert_eq!(resumed.report, baseline.report);
+        assert_eq!(
+            resumed.telemetry.per_combo_states,
+            baseline.telemetry.per_combo_states
+        );
+
+        // Run 3 resumes again: now every outcome up to the violation is
+        // recorded; replay is pure journal reads and still byte-identical.
+        let config = CheckConfig::serial().with_checkpoint(cp.with_resume());
+        let replayed = write_once_sweep_with(&config).expect("replayed sweep");
+        assert_eq!(replayed.report, baseline.report);
+        assert_eq!(
+            replayed.telemetry.per_combo_states,
+            baseline.telemetry.per_combo_states
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_resume_under_different_sweep_fails_loudly() {
+        let dir = scratch_checkpoint_dir("mismatch");
+        let cp = CheckpointConfig::new(&dir);
+        write_once_sweep_with(&CheckConfig::serial().with_checkpoint(cp.clone()))
+            .expect("checkpointed sweep");
+
+        // Same journal, different sweep shape (the quotient flag changes the
+        // fingerprint): resuming must refuse rather than splice reports.
+        let config = CheckConfig::serial()
+            .with_quotient()
+            .with_checkpoint(cp.with_resume());
+        let err = write_once_sweep_with(&config).expect_err("fingerprint mismatch must error");
+        assert!(err.contains("checkpoint mismatch"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_telemetry_counts_journal_records_and_recovered_combos() {
+        let dir = scratch_checkpoint_dir("telemetry");
+        let cp = CheckpointConfig::new(&dir);
+        let registry = Arc::new(MetricRegistry::new());
+        let config = CheckConfig::serial()
+            .with_checkpoint(cp.clone())
+            .with_telemetry(Arc::clone(&registry));
+        let first = write_once_sweep_with(&config).expect("checkpointed sweep");
+        let snap = registry.sample(0, None);
+        // One claim + one done per explored combo (25: stops at the first
+        // violating combo, index 24), all appended this run.
+        assert_eq!(snap.counter("ckpt.records"), 50);
+        assert!(snap.gauge("ckpt.journal_bytes") > 0);
+        assert_eq!(snap.gauge("ckpt.recovered"), 0);
+
+        let registry = Arc::new(MetricRegistry::new());
+        let config = CheckConfig::serial()
+            .with_checkpoint(cp.with_resume())
+            .with_telemetry(Arc::clone(&registry));
+        let second = write_once_sweep_with(&config).expect("resumed sweep");
+        assert_eq!(second.report, first.report);
+        let snap = registry.sample(0, None);
+        assert_eq!(snap.counter("ckpt.records"), 0, "replay appends nothing");
+        assert_eq!(snap.gauge("ckpt.recovered"), 25);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

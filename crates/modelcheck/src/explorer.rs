@@ -20,6 +20,7 @@ use fa_memory::{Action, ProcId, Process, StepInput, Wiring};
 
 use crate::arena::{ArenaTables, SlotInterner, StateView, HALTED};
 use crate::canon::{compose, invert, Canonicalizer};
+use crate::checkpoint::{crash_point, ProgressHook};
 use crate::store::{InMemoryVisited, TieredVisited, VisitedStore};
 use crate::telemetry::ExplorerTelemetry;
 
@@ -327,6 +328,9 @@ where
     quotient: bool,
     visited_budget: Option<usize>,
     corrupt_spill: bool,
+    spill_dir: Option<std::path::PathBuf>,
+    pressure: Option<Arc<std::sync::atomic::AtomicBool>>,
+    progress: Option<ProgressHook>,
 }
 
 /// How many state expansions pass between polls of the external stop signal
@@ -381,6 +385,9 @@ where
             quotient: false,
             visited_budget: None,
             corrupt_spill: false,
+            spill_dir: None,
+            pressure: None,
+            progress: None,
         }
     }
 
@@ -468,6 +475,35 @@ where
         self
     }
 
+    /// Routes visited-store spill shards into `dir` (a checkpoint
+    /// directory) in durable mode — fsync on shard seal, loud failure if
+    /// the directory vanishes — instead of the system temp dir. Only
+    /// meaningful together with [`Explorer::with_visited_budget`].
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: std::path::PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    /// Attaches the memory watchdog's pressure flag: while raised, the
+    /// tiered visited store force-spills every sealed shard regardless of
+    /// budget. A no-op without [`Explorer::with_visited_budget`].
+    #[must_use]
+    pub fn with_memory_pressure(mut self, flag: Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.pressure = Some(flag);
+        self
+    }
+
+    /// Attaches a progress hook fired with `(states, depth)` on every
+    /// stop-poll boundary — the checkpoint journal uses it to record
+    /// throttled partial-BFS markers. Purely observational: attaching a
+    /// hook never changes the [`ExploreReport`].
+    #[must_use]
+    pub fn with_progress_hook(mut self, hook: ProgressHook) -> Self {
+        self.progress = Some(hook);
+        self
+    }
+
     /// Initial-state symmetry classes: `classes[i] == classes[j]` iff
     /// processors `i` and `j` start value-equal (same process state, same
     /// poised action) — the processor-permutation constraint of the sound
@@ -529,6 +565,12 @@ where
             None => self.bfs(&invariant, &stop, InMemoryVisited::new(w)),
             Some(budget) => {
                 let mut store = TieredVisited::new(w, budget);
+                if let Some(dir) = &self.spill_dir {
+                    store = store.with_spill_dir(dir.clone());
+                }
+                if let Some(flag) = &self.pressure {
+                    store.set_pressure(Arc::clone(flag));
+                }
                 if self.corrupt_spill {
                     store.corrupt_next_spill_for_tests();
                 }
@@ -721,6 +763,20 @@ where
             };
         }
 
+        // Combos smaller than the poll interval would otherwise never
+        // observe the probe at all — one entry check keeps graceful aborts
+        // (signals, memory watchdog) responsive on any combo size.
+        if stop() {
+            return ExploreReport {
+                states: store.len(),
+                terminal_states: terminal,
+                complete: false,
+                violation: None,
+                full_states_estimate: self.quotient.then_some(estimate),
+                spilled_shards: store.spilled_shards(),
+            };
+        }
+
         let mut cur_row = vec![0u32; w];
         let mut scratch = vec![0u32; w];
         let mut canon_buf = vec![0u32; w];
@@ -770,6 +826,10 @@ where
                         store.approx_bytes(),
                         store.spilled_shards(),
                     );
+                    if let Some(hook) = &self.progress {
+                        hook.fire(store.len() as u64, depth as u64);
+                    }
+                    crash_point("explorer.poll");
                     if stop() {
                         return ExploreReport {
                             states: store.len(),

@@ -24,6 +24,10 @@
 //! * [`checks`] — ready-made checks: the snapshot task (E3), adaptive
 //!   renaming, consensus safety, and solo-termination (the wait-freedom
 //!   certificate).
+//! * [`checkpoint`] — crash-safe resumable sweeps: an append-only
+//!   checksummed journal of combo claims/outcomes, recovery that truncates
+//!   torn tails and replays recorded outcomes verbatim, a memory watchdog
+//!   for graceful degradation, and env-driven crash injection.
 //! * [`atomicity`] — the witness search for E5: an execution in which a
 //!   returned snapshot never equalled the set of inputs present in memory.
 //! * [`wirings`] — enumeration of wiring combinations with the
@@ -49,6 +53,7 @@
 pub mod arena;
 pub mod atomicity;
 pub mod canon;
+pub mod checkpoint;
 pub mod checks;
 mod explorer;
 pub mod simulate;
@@ -59,6 +64,10 @@ pub mod wirings;
 
 pub use arena::{ArenaState, ArenaTables, IdSpaceExhausted, StateView};
 pub use canon::Canonicalizer;
+pub use checkpoint::{
+    crash_point, inspect_journal, scope_of, sweep_fingerprint, CheckpointConfig, JournalError,
+    JournalHeader, JournalRecord, MemoryWatchdog, ProgressHook, Recovery, SweepJournal,
+};
 pub use checks::{CheckConfig, CheckOutcome, QuotientStats, TaskCheckReport};
 pub use explorer::{step_block, ExploreReport, Explorer, McState, Violation};
 pub use store::{InMemoryVisited, StoreError, TieredVisited, VisitedStore};

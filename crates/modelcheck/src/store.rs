@@ -23,7 +23,8 @@ use std::fs::{File, OpenOptions};
 use std::hash::{Hash, Hasher};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Hash of one row, matching the explorer's historical row hashing exactly
 /// (so in-memory runs before and after this module report identically).
@@ -33,8 +34,9 @@ pub(crate) fn hash_row(row: &[u32]) -> u64 {
     h.finish()
 }
 
-/// FNV-1a over a byte slice — the per-shard spill checksum.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte slice — the per-shard spill checksum, shared with
+/// the checkpoint journal's frame checksums.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -183,6 +185,12 @@ impl VisitedStore for InMemoryVisited {
 /// Distinguishes concurrent explorations' spill files within one process.
 static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Process-unique counter draw — spill file names, plus unique temp-dir
+/// names in tests across the crate.
+pub(crate) fn unique_id() -> u64 {
+    SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
 /// One fixed-capacity run of consecutive rows. Shards are resident until
 /// full and cold, then move to the disk tier wholesale.
 #[derive(Debug)]
@@ -217,6 +225,13 @@ pub struct TieredVisited {
     cache: Option<(usize, Vec<u32>)>,
     /// Test hook: corrupt the next spilled shard's payload on disk.
     corrupt_next_spill: bool,
+    /// Spill into this directory (checkpointed sweeps) instead of the
+    /// system temp dir. Implies durable mode: fsync on every shard seal
+    /// and a loud error if the directory vanishes mid-run.
+    spill_dir: Option<PathBuf>,
+    /// Memory-pressure flag from the watchdog: while raised, every sealed
+    /// shard spills immediately regardless of budget.
+    pressure: Option<Arc<AtomicBool>>,
 }
 
 impl TieredVisited {
@@ -245,7 +260,25 @@ impl TieredVisited {
             spilled: 0,
             cache: None,
             corrupt_next_spill: false,
+            spill_dir: None,
+            pressure: None,
         }
+    }
+
+    /// Routes spill shards into `dir` (a checkpoint directory) instead of
+    /// the system temp dir, and makes the spill tier durable: every sealed
+    /// shard is fsync'd, and a vanished directory surfaces as a loud
+    /// [`StoreError`] instead of silent dedup loss.
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    /// Attaches a memory-pressure flag (from the watchdog): while raised,
+    /// every sealed shard spills immediately regardless of budget.
+    pub fn set_pressure(&mut self, flag: Arc<AtomicBool>) {
+        self.pressure = Some(flag);
     }
 
     /// Path of the spill file, once anything has spilled.
@@ -272,14 +305,30 @@ impl TieredVisited {
         self.len - self.spilled * self.shard_rows
     }
 
+    /// In durable mode, errors loudly when the configured spill directory
+    /// has vanished mid-run (e.g. the checkpoint dir was deleted).
+    fn check_spill_dir(&self) -> Result<(), StoreError> {
+        if let Some(dir) = &self.spill_dir {
+            if !dir.is_dir() {
+                return Err(StoreError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("spill directory {} vanished mid-run", dir.display()),
+                )));
+            }
+        }
+        Ok(())
+    }
+
     fn ensure_file(&mut self) -> Result<(), StoreError> {
         if self.file.is_some() {
             return Ok(());
         }
-        let path = std::env::temp_dir().join(format!(
+        self.check_spill_dir()?;
+        let dir = self.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+        let path = dir.join(format!(
             "fa-mc-visited-{}-{}.spill",
             std::process::id(),
-            SPILL_COUNTER.fetch_add(1, Ordering::Relaxed),
+            unique_id(),
         ));
         let file = OpenOptions::new()
             .read(true)
@@ -292,7 +341,9 @@ impl TieredVisited {
     }
 
     fn spill_oldest(&mut self) -> Result<(), StoreError> {
+        crate::checkpoint::crash_point("store.spill");
         self.ensure_file()?;
+        self.check_spill_dir()?;
         let s = self.next_to_spill;
         let Shard::Ram(rows) = &self.shards[s] else {
             unreachable!("shards spill in order; {s} already on disk");
@@ -316,6 +367,11 @@ impl TieredVisited {
         file.seek(SeekFrom::Start(offset))?;
         file.write_all(&checksum.to_le_bytes())?;
         file.write_all(&payload)?;
+        if self.spill_dir.is_some() {
+            // Durable mode: the shard is sealed — make it survive a crash
+            // before anything depends on it being on disk.
+            file.sync_data()?;
+        }
         self.file_len = offset + 8 + payload.len() as u64;
         self.shards[s] = Shard::Disk { offset };
         self.next_to_spill += 1;
@@ -324,7 +380,12 @@ impl TieredVisited {
     }
 
     fn maybe_spill(&mut self) -> Result<(), StoreError> {
-        while self.resident_rows() > self.budget_rows {
+        let under_pressure = self
+            .pressure
+            .as_ref()
+            .is_some_and(|p| p.load(Ordering::Relaxed));
+        let budget_rows = if under_pressure { 0 } else { self.budget_rows };
+        while self.resident_rows() > budget_rows {
             let s = self.next_to_spill;
             if s >= self.shards.len() {
                 break;
@@ -599,5 +660,85 @@ mod tests {
         // Row 0 lives in the corrupted first shard: a lookup that must
         // compare against it errors instead of reporting "unseen".
         assert!(t.lookup(&row(0, w)).is_err());
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fa-mc-store-{tag}-{}-{}",
+            std::process::id(),
+            unique_id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn store_tiered_routes_spills_into_configured_dir() {
+        let w = 4;
+        let dir = scratch_dir("route");
+        let mut t = TieredVisited::new(w, 0).with_spill_dir(dir.clone());
+        let total = 3 * t.shard_rows();
+        for i in 0..total {
+            t.insert(&row(i as u32, w)).unwrap();
+        }
+        assert!(t.spilled_shards() >= 2);
+        let path = t.spill_path().unwrap().to_path_buf();
+        assert_eq!(path.parent(), Some(dir.as_path()));
+        // Spilled rows still read back correctly from the routed file.
+        let mut out = vec![0u32; w];
+        t.read_row(0, &mut out).unwrap();
+        assert_eq!(out, row(0, w));
+        drop(t);
+        assert!(!path.exists(), "spill file removed on drop");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_tiered_vanished_spill_dir_fails_loudly() {
+        let w = 4;
+        let dir = scratch_dir("vanish");
+        let mut t = TieredVisited::new(w, 0).with_spill_dir(dir.clone());
+        let total = 2 * t.shard_rows();
+        for i in 0..total {
+            t.insert(&row(i as u32, w)).unwrap();
+        }
+        assert!(t.spilled_shards() >= 1);
+        // Delete the directory (and the spill file in it) behind the
+        // store's back: the next spill must error, never lose rows
+        // silently.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let mut err = None;
+        for i in total..total + 2 * t.shard_rows() {
+            if let Err(e) = t.insert(&row(i as u32, w)) {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = err.expect("spilling into a vanished dir must fail");
+        assert!(matches!(err, StoreError::Io(_)), "got {err:?}");
+        assert!(err.to_string().contains("vanished"), "got {err}");
+    }
+
+    #[test]
+    fn store_tiered_pressure_flag_force_spills_sealed_shards() {
+        let w = 4;
+        // Generous budget: nothing would spill on its own.
+        let mut t = TieredVisited::new(w, 1 << 20);
+        let pressure = Arc::new(AtomicBool::new(false));
+        t.set_pressure(Arc::clone(&pressure));
+        let per_shard = t.shard_rows();
+        for i in 0..2 * per_shard {
+            t.insert(&row(i as u32, w)).unwrap();
+        }
+        assert_eq!(t.spilled_shards(), 0);
+        pressure.store(true, Ordering::Relaxed);
+        // The next insert sees the flag and evicts every sealed shard
+        // (the still-filling tail stays resident by design).
+        t.insert(&row(2 * per_shard as u32, w)).unwrap();
+        assert_eq!(t.spilled_shards(), 2);
+        // Spilled rows still read back.
+        let mut out = vec![0u32; w];
+        t.read_row(0, &mut out).unwrap();
+        assert_eq!(out, row(0, w));
     }
 }

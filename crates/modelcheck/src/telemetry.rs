@@ -19,6 +19,10 @@
 //! | `mc.expand`            | span      | per-combo BFS exploration                  |
 //! | `mc.dedup`             | span      | key + visited lookup (1-in-64 sampled)     |
 //! | `mc.combo_states`      | histogram | states per finished combination            |
+//! | `ckpt.records`         | counter   | checkpoint journal records appended        |
+//! | `ckpt.journal_bytes`   | gauge     | checkpoint journal size on disk            |
+//! | `ckpt.syncs`           | gauge     | journal fsync epochs completed             |
+//! | `ckpt.recovered`       | gauge     | combo outcomes replayed from a journal     |
 //!
 //! Gauges are last-write-wins: with a parallel sweep they describe the most
 //! recently sampled worker's combo, which is the useful live reading (the
@@ -86,6 +90,36 @@ pub struct SweepTelemetry {
     /// canonical states) in ×1000 fixed-point, since gauges carry `u64`.
     /// Only written by quotiented sweeps.
     pub orbit_factor: Gauge,
+    /// Checkpoint-journal handles; only written by checkpointed sweeps.
+    pub ckpt: CheckpointTelemetry,
+}
+
+/// Telemetry handles for the crash-safety layer (see [`crate::checkpoint`]).
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointTelemetry {
+    /// `ckpt.records` — journal records appended this run.
+    pub records: Counter,
+    /// `ckpt.journal_bytes` — journal size on disk, including any resumed
+    /// prefix.
+    pub journal_bytes: Gauge,
+    /// `ckpt.syncs` — fsync epochs completed on the journal.
+    pub syncs: Gauge,
+    /// `ckpt.recovered` — combo outcomes replayed verbatim from a prior
+    /// run's journal instead of re-explored.
+    pub recovered: Gauge,
+}
+
+impl CheckpointTelemetry {
+    /// Resolves the `ckpt.*` handles from `registry`.
+    #[must_use]
+    pub fn from_registry(registry: &MetricRegistry) -> Self {
+        CheckpointTelemetry {
+            records: registry.counter("ckpt.records"),
+            journal_bytes: registry.gauge("ckpt.journal_bytes"),
+            syncs: registry.gauge("ckpt.syncs"),
+            recovered: registry.gauge("ckpt.recovered"),
+        }
+    }
 }
 
 impl SweepTelemetry {
@@ -101,6 +135,7 @@ impl SweepTelemetry {
             expand: registry.span("mc.expand"),
             combo_states: registry.histogram("mc.combo_states"),
             orbit_factor: registry.gauge("mc.orbit_factor"),
+            ckpt: CheckpointTelemetry::from_registry(registry),
         }
     }
 }

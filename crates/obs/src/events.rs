@@ -236,6 +236,41 @@ pub struct BackoffEvent {
     pub max_backoff_ns: u64,
 }
 
+/// What a checkpoint event describes (see [`CheckpointEvent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckpointAction {
+    /// A fresh journal was created for a sweep.
+    Created,
+    /// A combo was claimed (journaled before its exploration starts).
+    Claimed,
+    /// A combo's deterministic outcome was durably recorded.
+    Completed,
+    /// A long combo published a mid-flight progress record.
+    Progress,
+    /// The journal was fsynced (epoch boundary or final checkpoint).
+    Synced,
+    /// A prior run's journal was scanned and its outcomes recovered.
+    Recovered,
+}
+
+/// One checkpoint-journal transition — emitted by crash-safe sweep drivers
+/// (journal creation, claims, completions, syncs, and recovery).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointEvent {
+    /// What happened.
+    pub action: CheckpointAction,
+    /// The wiring-combination index involved, when the action is per-combo.
+    pub combo: Option<u64>,
+    /// Combo outcomes durably recorded in the journal so far (after this
+    /// action; for [`CheckpointAction::Recovered`], the recovered count).
+    pub combos_recorded: u64,
+    /// Journal size in bytes after this action.
+    pub journal_bytes: u64,
+    /// Bytes dropped from a torn/corrupt journal tail (only nonzero for
+    /// [`CheckpointAction::Recovered`]).
+    pub truncated_bytes: u64,
+}
+
 /// Cumulative wall-clock totals for one named phase, as sampled from a
 /// live [`Span`](crate::Span) — claim/expand/dedup in the model checker,
 /// generate/execute/shrink in the fuzz driver, supervise/collect in chaos.
@@ -355,6 +390,7 @@ pub enum ProbeEvent {
     Backoff(BackoffEvent),
     Telemetry(TelemetrySnapshot),
     Span(SpanEvent),
+    Checkpoint(CheckpointEvent),
 }
 
 #[cfg(test)]
@@ -484,6 +520,13 @@ pub(crate) mod tests {
                 name: "mc.expand".to_string(),
                 ns: 9_876_543,
                 calls: 321,
+            }),
+            ProbeEvent::Checkpoint(CheckpointEvent {
+                action: CheckpointAction::Recovered,
+                combo: None,
+                combos_recorded: 24,
+                journal_bytes: 4_096,
+                truncated_bytes: 17,
             }),
         ];
         for ev in events {

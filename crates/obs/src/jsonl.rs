@@ -1,8 +1,8 @@
 //! Streaming sink: one JSON object per event, one event per line.
 
 use crate::events::{
-    BackoffEvent, ChaosEvent, FuzzEvent, OutputEvent, ProbeEvent, ReadEvent, ResetEvent, SpanEvent,
-    StepEvent, SweepEvent, TelemetrySnapshot, TimingEvent, WriteEvent,
+    BackoffEvent, ChaosEvent, CheckpointEvent, FuzzEvent, OutputEvent, ProbeEvent, ReadEvent,
+    ResetEvent, SpanEvent, StepEvent, SweepEvent, TelemetrySnapshot, TimingEvent, WriteEvent,
 };
 use crate::probe::Probe;
 use std::io::{self, Write};
@@ -151,6 +151,10 @@ impl<W: Write> Probe for JsonlSink<W> {
     fn on_span(&mut self, event: &SpanEvent) {
         self.emit(&ProbeEvent::Span(event.clone()));
     }
+
+    fn on_checkpoint(&mut self, event: &CheckpointEvent) {
+        self.emit(&ProbeEvent::Checkpoint(event.clone()));
+    }
 }
 
 /// Parses a JSONL stream produced by [`JsonlSink`] back into events.
@@ -186,6 +190,7 @@ pub fn replay_events<P: Probe>(events: &[ProbeEvent], probe: &mut P) {
             ProbeEvent::Backoff(e) => probe.on_backoff(e),
             ProbeEvent::Telemetry(e) => probe.on_telemetry(e),
             ProbeEvent::Span(e) => probe.on_span(e),
+            ProbeEvent::Checkpoint(e) => probe.on_checkpoint(e),
         }
     }
 }

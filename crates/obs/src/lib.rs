@@ -40,9 +40,9 @@ pub mod registry;
 pub mod telemetry;
 
 pub use events::{
-    BackoffEvent, ChaosEvent, ChaosKind, FuzzEvent, OpKind, OutputEvent, PhaseStat, ProbeEvent,
-    QuantileStat, ReadEvent, ResetEvent, SpanEvent, StepEvent, SweepEvent, TelemetrySnapshot,
-    TimingEvent, WriteEvent,
+    BackoffEvent, ChaosEvent, ChaosKind, CheckpointAction, CheckpointEvent, FuzzEvent, OpKind,
+    OutputEvent, PhaseStat, ProbeEvent, QuantileStat, ReadEvent, ResetEvent, SpanEvent, StepEvent,
+    SweepEvent, TelemetrySnapshot, TimingEvent, WriteEvent,
 };
 pub use jsonl::{parse_jsonl, replay_events, JsonlSink};
 pub use metrics::{Histogram, ProcMetrics, RunMetrics};

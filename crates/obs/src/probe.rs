@@ -1,8 +1,8 @@
 //! The [`Probe`] trait and structural probes ([`NoProbe`], [`Tee`]).
 
 use crate::events::{
-    BackoffEvent, ChaosEvent, FuzzEvent, OutputEvent, ReadEvent, ResetEvent, SpanEvent, StepEvent,
-    SweepEvent, TelemetrySnapshot, TimingEvent, WriteEvent,
+    BackoffEvent, ChaosEvent, CheckpointEvent, FuzzEvent, OutputEvent, ReadEvent, ResetEvent,
+    SpanEvent, StepEvent, SweepEvent, TelemetrySnapshot, TimingEvent, WriteEvent,
 };
 
 /// Observer of a run's event stream.
@@ -83,6 +83,11 @@ pub trait Probe {
 
     /// A named span's cumulative wall-clock total (emitter thread only).
     fn on_span(&mut self, event: &SpanEvent) {
+        let _ = event;
+    }
+
+    /// A checkpoint-journal transition (crash-safe sweep drivers only).
+    fn on_checkpoint(&mut self, event: &CheckpointEvent) {
         let _ = event;
     }
 }
@@ -167,6 +172,11 @@ impl<A: Probe, B: Probe> Probe for Tee<A, B> {
         self.0.on_span(event);
         self.1.on_span(event);
     }
+
+    fn on_checkpoint(&mut self, event: &CheckpointEvent) {
+        self.0.on_checkpoint(event);
+        self.1.on_checkpoint(event);
+    }
 }
 
 /// Mutable references forward, so a runtime can borrow a caller-owned probe.
@@ -224,6 +234,10 @@ impl<P: Probe> Probe for &mut P {
 
     fn on_span(&mut self, event: &SpanEvent) {
         (**self).on_span(event);
+    }
+
+    fn on_checkpoint(&mut self, event: &CheckpointEvent) {
+        (**self).on_checkpoint(event);
     }
 }
 
@@ -313,6 +327,9 @@ mod tests {
         fn on_span(&mut self, event: &SpanEvent) {
             self.0.push(crate::ProbeEvent::Span(event.clone()));
         }
+        fn on_checkpoint(&mut self, event: &CheckpointEvent) {
+            self.0.push(crate::ProbeEvent::Checkpoint(event.clone()));
+        }
     }
 
     /// Drives one event of every arm through `probe`, in a fixed order.
@@ -393,12 +410,19 @@ mod tests {
             ns: 4_242,
             calls: 7,
         });
+        probe.on_checkpoint(&CheckpointEvent {
+            action: crate::CheckpointAction::Completed,
+            combo: Some(12),
+            combos_recorded: 13,
+            journal_bytes: 2_048,
+            truncated_bytes: 0,
+        });
     }
 
     /// The number of [`ProbeEvent`] arms `fire_all_arms` covers. A compile
     /// error or count mismatch here means an arm was added without fan-out
     /// coverage.
-    const ALL_ARMS: usize = 13;
+    const ALL_ARMS: usize = 14;
 
     #[test]
     fn tee_forwards_every_event_arm_to_both_sides() {
@@ -425,6 +449,7 @@ mod tests {
                 crate::ProbeEvent::Backoff(_) => "Backoff",
                 crate::ProbeEvent::Telemetry(_) => "Telemetry",
                 crate::ProbeEvent::Span(_) => "Span",
+                crate::ProbeEvent::Checkpoint(_) => "Checkpoint",
             })
             .collect();
         assert_eq!(
@@ -442,7 +467,8 @@ mod tests {
                 "Chaos",
                 "Backoff",
                 "Telemetry",
-                "Span"
+                "Span",
+                "Checkpoint"
             ]
         );
     }
