@@ -84,8 +84,11 @@ pub fn cli_jobs() -> Option<usize> {
     })
 }
 
-/// The sweep executor requested via `--strategy auto|serial|pool` (`None`
-/// when absent: [`fa_modelcheck::StrategyKind::Auto`]).
+/// The sweep executor requested via `--strategy auto|serial|pool|intra[:N]`
+/// (`None` when absent: [`fa_modelcheck::StrategyKind::Auto`]). `intra`
+/// parallelizes *within* each combo's BFS with N shared-frontier workers
+/// (N omitted or 0: the detected core count), splitting the `--jobs`
+/// budget between combo-level and intra-combo threads.
 ///
 /// # Panics
 ///

@@ -126,6 +126,145 @@ impl<T: Eq + Hash> SlotInterner<T> {
         self.values.push(value);
         Ok(id)
     }
+
+    /// The id of `value` if it is already interned, without assigning one.
+    pub(crate) fn lookup(&self, value: &T) -> Option<u32> {
+        self.ids.get(value).copied()
+    }
+}
+
+/// Which of the four slot tables an intern call touched — the alphabet of a
+/// worker's overlay intern log, replayed serially to commit provisional ids
+/// in exactly the order a serial exploration would have assigned them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SlotKind {
+    Memory,
+    Procs,
+    Pending,
+    Outputs,
+}
+
+/// Table access the arena steppers need: resolve slot ids to values and
+/// intern freshly produced values. [`ArenaTables`] implements it directly
+/// (the serial path); [`OverlayTables`] implements it over a frozen base
+/// with per-worker provisional ids (the intra-combo parallel path). Both
+/// paths share [`step_row_in`]/[`step_block_row_in`] verbatim, so the intern
+/// call order per action — load-bearing for log replay — cannot drift.
+pub(crate) trait StepTables<P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    fn dims(&self) -> (usize, usize);
+    fn memory_value(&self, id: u32) -> &Arc<P::Value>;
+    fn proc_value(&self, id: u32) -> &Arc<P>;
+    fn pending_value(&self, id: u32) -> &Arc<Action<P::Value, P::Output>>;
+    fn outputs_value(&self, id: u32) -> &Arc<Vec<P::Output>>;
+    fn intern_memory(&mut self, value: P::Value) -> Result<u32, IdSpaceExhausted>;
+    fn intern_proc(&mut self, value: P) -> Result<u32, IdSpaceExhausted>;
+    fn intern_pending(
+        &mut self,
+        value: Action<P::Value, P::Output>,
+    ) -> Result<u32, IdSpaceExhausted>;
+    fn intern_outputs(&mut self, value: Vec<P::Output>) -> Result<u32, IdSpaceExhausted>;
+}
+
+/// Whether process `p`'s pending slot in `row` is a read — the scan
+/// predicate of coarse (label-granularity) stepping.
+fn pending_is_read_in<P, T>(tables: &T, row: &[u32], p: ProcId) -> bool
+where
+    T: StepTables<P>,
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    let (m, n) = tables.dims();
+    let id = row[m + n + p.0];
+    id != HALTED && matches!(&**tables.pending_value(id), Action::Read { .. })
+}
+
+/// Applies process `p`'s poised action to `row` in place against any
+/// [`StepTables`] — the one arena step both the serial and the overlay
+/// paths run. See [`ArenaTables::step_row`] for the contract.
+pub(crate) fn step_row_in<P, T>(
+    tables: &mut T,
+    row: &mut [u32],
+    p: ProcId,
+    wirings: &[Arc<Wiring>],
+) -> Result<(), IdSpaceExhausted>
+where
+    T: StepTables<P>,
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    let (m, n) = tables.dims();
+    let proc_ix = m + p.0;
+    let pend_ix = m + n + p.0;
+    let pending_id = row[pend_ix];
+    assert_ne!(pending_id, HALTED, "live process steps");
+    let action = Arc::clone(tables.pending_value(pending_id));
+    match &*action {
+        Action::Read { local } => {
+            let g = wirings[p.0].global(*local);
+            // Hand the process a shared handle to the register cell; the
+            // version is always 0 — the model checker must never let
+            // processes observe write multiplicity.
+            let value =
+                fa_memory::Versioned::from_shared(Arc::clone(tables.memory_value(row[g.0])), 0);
+            let mut proc = (**tables.proc_value(row[proc_ix])).clone();
+            let next_action = proc.step(StepInput::ReadValue(value));
+            row[proc_ix] = tables.intern_proc(proc)?;
+            row[pend_ix] = tables.intern_pending(next_action)?;
+        }
+        Action::Write { local, value } => {
+            let g = wirings[p.0].global(*local);
+            row[g.0] = tables.intern_memory(value.clone())?;
+            let mut proc = (**tables.proc_value(row[proc_ix])).clone();
+            let next_action = proc.step(StepInput::Wrote);
+            row[proc_ix] = tables.intern_proc(proc)?;
+            row[pend_ix] = tables.intern_pending(next_action)?;
+        }
+        Action::Output(o) => {
+            let out_ix = m + 2 * n + p.0;
+            let mut outs = (**tables.outputs_value(row[out_ix])).clone();
+            outs.push(o.clone());
+            row[out_ix] = tables.intern_outputs(outs)?;
+            let mut proc = (**tables.proc_value(row[proc_ix])).clone();
+            let next_action = proc.step(StepInput::OutputRecorded);
+            row[proc_ix] = tables.intern_proc(proc)?;
+            row[pend_ix] = tables.intern_pending(next_action)?;
+        }
+        Action::Halt => {
+            row[pend_ix] = HALTED;
+        }
+    }
+    Ok(())
+}
+
+/// One PlusCal-label-granularity block against any [`StepTables`] — see
+/// [`ArenaTables::step_block_row`].
+pub(crate) fn step_block_row_in<P, T>(
+    tables: &mut T,
+    row: &mut [u32],
+    p: ProcId,
+    wirings: &[Arc<Wiring>],
+) -> Result<(), IdSpaceExhausted>
+where
+    T: StepTables<P>,
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    let was_read = pending_is_read_in(tables, row, p);
+    step_row_in(tables, row, p, wirings)?;
+    if was_read {
+        while pending_is_read_in(tables, row, p) {
+            step_row_in(tables, row, p, wirings)?;
+        }
+    }
+    Ok(())
 }
 
 /// The four slot tables of one exploration plus the row layout over them.
@@ -233,13 +372,6 @@ where
         }
     }
 
-    /// Whether process `p`'s pending slot in `row` is a read — the scan
-    /// predicate of coarse (label-granularity) stepping.
-    fn pending_is_read(&self, row: &[u32], p: ProcId) -> bool {
-        let id = row[self.m + self.n + p.0];
-        id != HALTED && matches!(&**self.pending.get(id), Action::Read { .. })
-    }
-
     /// Applies process `p`'s poised action to `row` in place: the arena
     /// step. Rewrites `p`'s process and pending ids plus at most one
     /// register or output id; every other word is untouched.
@@ -258,48 +390,7 @@ where
         p: ProcId,
         wirings: &[Arc<Wiring>],
     ) -> Result<(), IdSpaceExhausted> {
-        let (m, n) = (self.m, self.n);
-        let proc_ix = m + p.0;
-        let pend_ix = m + n + p.0;
-        let pending_id = row[pend_ix];
-        assert_ne!(pending_id, HALTED, "live process steps");
-        let action = Arc::clone(self.pending.get(pending_id));
-        match &*action {
-            Action::Read { local } => {
-                let g = wirings[p.0].global(*local);
-                // Hand the process a shared handle to the register cell; the
-                // version is always 0 — the model checker must never let
-                // processes observe write multiplicity.
-                let value =
-                    fa_memory::Versioned::from_shared(Arc::clone(self.memory.get(row[g.0])), 0);
-                let mut proc = (**self.procs.get(row[proc_ix])).clone();
-                let next_action = proc.step(StepInput::ReadValue(value));
-                row[proc_ix] = self.procs.intern_owned(proc)?;
-                row[pend_ix] = self.pending.intern_owned(next_action)?;
-            }
-            Action::Write { local, value } => {
-                let g = wirings[p.0].global(*local);
-                row[g.0] = self.memory.intern_owned(value.clone())?;
-                let mut proc = (**self.procs.get(row[proc_ix])).clone();
-                let next_action = proc.step(StepInput::Wrote);
-                row[proc_ix] = self.procs.intern_owned(proc)?;
-                row[pend_ix] = self.pending.intern_owned(next_action)?;
-            }
-            Action::Output(o) => {
-                let out_ix = m + 2 * n + p.0;
-                let mut outs = (**self.outputs.get(row[out_ix])).clone();
-                outs.push(o.clone());
-                row[out_ix] = self.outputs.intern_owned(outs)?;
-                let mut proc = (**self.procs.get(row[proc_ix])).clone();
-                let next_action = proc.step(StepInput::OutputRecorded);
-                row[proc_ix] = self.procs.intern_owned(proc)?;
-                row[pend_ix] = self.pending.intern_owned(next_action)?;
-            }
-            Action::Halt => {
-                row[pend_ix] = HALTED;
-            }
-        }
-        Ok(())
+        step_row_in(self, row, p, wirings)
     }
 
     /// One PlusCal-label-granularity block of `p` applied to `row` in place:
@@ -320,14 +411,329 @@ where
         p: ProcId,
         wirings: &[Arc<Wiring>],
     ) -> Result<(), IdSpaceExhausted> {
-        let was_read = self.pending_is_read(row, p);
-        self.step_row(row, p, wirings)?;
-        if was_read {
-            while self.pending_is_read(row, p) {
-                self.step_row(row, p, wirings)?;
+        step_block_row_in(self, row, p, wirings)
+    }
+
+    /// Replays one record's slice of a worker's overlay intern log into the
+    /// committed tables, pushing the committed id of every logged value onto
+    /// `maps` (indexed by provisional offset) and advancing the per-table
+    /// `cursors`. Because records are replayed in serial (parent, process)
+    /// order and each worker logs a value at its earliest producing record,
+    /// the globally earliest record that produced a fresh value is always
+    /// the one whose replay interns it — so committed ids land in exactly
+    /// the order a serial exploration would have assigned them.
+    ///
+    /// # Errors
+    ///
+    /// Fails at precisely the record where a serial exploration would have
+    /// exhausted the id space.
+    pub(crate) fn replay_slice(
+        &mut self,
+        log: &OverlayLog<P>,
+        range: std::ops::Range<usize>,
+        cursors: &mut [usize; 4],
+        maps: &mut [Vec<u32>; 4],
+    ) -> Result<(), IdSpaceExhausted> {
+        for kind in &log.kinds[range] {
+            match kind {
+                SlotKind::Memory => {
+                    let v = &log.memory[cursors[0]];
+                    cursors[0] += 1;
+                    maps[0].push(self.memory.intern_arc(v)?);
+                }
+                SlotKind::Procs => {
+                    let v = &log.procs[cursors[1]];
+                    cursors[1] += 1;
+                    maps[1].push(self.procs.intern_arc(v)?);
+                }
+                SlotKind::Pending => {
+                    let v = &log.pending[cursors[2]];
+                    cursors[2] += 1;
+                    maps[2].push(self.pending.intern_arc(v)?);
+                }
+                SlotKind::Outputs => {
+                    let v = &log.outputs[cursors[3]];
+                    cursors[3] += 1;
+                    maps[3].push(self.outputs.intern_arc(v)?);
+                }
             }
         }
         Ok(())
+    }
+}
+
+impl<P> StepTables<P> for ArenaTables<P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    fn dims(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    fn memory_value(&self, id: u32) -> &Arc<P::Value> {
+        self.memory.get(id)
+    }
+
+    fn proc_value(&self, id: u32) -> &Arc<P> {
+        self.procs.get(id)
+    }
+
+    fn pending_value(&self, id: u32) -> &Arc<Action<P::Value, P::Output>> {
+        self.pending.get(id)
+    }
+
+    fn outputs_value(&self, id: u32) -> &Arc<Vec<P::Output>> {
+        self.outputs.get(id)
+    }
+
+    fn intern_memory(&mut self, value: P::Value) -> Result<u32, IdSpaceExhausted> {
+        self.memory.intern_owned(value)
+    }
+
+    fn intern_proc(&mut self, value: P) -> Result<u32, IdSpaceExhausted> {
+        self.procs.intern_owned(value)
+    }
+
+    fn intern_pending(
+        &mut self,
+        value: Action<P::Value, P::Output>,
+    ) -> Result<u32, IdSpaceExhausted> {
+        self.pending.intern_owned(value)
+    }
+
+    fn intern_outputs(&mut self, value: Vec<P::Output>) -> Result<u32, IdSpaceExhausted> {
+        self.outputs.intern_owned(value)
+    }
+}
+
+/// One table's provisional overlay: values this worker produced that the
+/// frozen base tables do not hold, with dense ids starting at the base
+/// epoch's length. `values` doubles as the per-table intern log in
+/// assignment order.
+#[derive(Debug)]
+pub(crate) struct OverlaySlot<T> {
+    frozen_len: u32,
+    ids: HashMap<Arc<T>, u32>,
+    values: Vec<Arc<T>>,
+}
+
+impl<T: Eq + Hash> OverlaySlot<T> {
+    fn new(frozen_len: usize) -> Self {
+        OverlaySlot {
+            frozen_len: u32::try_from(frozen_len).expect("committed ids fit u32"),
+            ids: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+
+    fn get<'s>(&'s self, base: &'s SlotInterner<T>, id: u32) -> &'s Arc<T> {
+        if id >= self.frozen_len {
+            &self.values[(id - self.frozen_len) as usize]
+        } else {
+            base.get(id)
+        }
+    }
+
+    /// Interns `value` against the frozen base first, then this overlay,
+    /// assigning a fresh provisional id (`frozen_len + k`) on first sight.
+    /// The returned flag says whether a fresh id was assigned (and so must
+    /// be logged). The only failure here is the hard [`HALTED`] bound; the
+    /// base table's configured cap is enforced later, during replay, where
+    /// the serial abort point is known.
+    fn intern(
+        &mut self,
+        base: &SlotInterner<T>,
+        value: T,
+    ) -> Result<(u32, bool), IdSpaceExhausted> {
+        if let Some(id) = base.lookup(&value) {
+            return Ok((id, false));
+        }
+        if let Some(&id) = self.ids.get(&value) {
+            return Ok((id, false));
+        }
+        let id = u32::try_from(self.frozen_len as usize + self.values.len())
+            .ok()
+            .filter(|&id| id < HALTED)
+            .ok_or(IdSpaceExhausted { table: base.table })?;
+        let value = Arc::new(value);
+        self.ids.insert(Arc::clone(&value), id);
+        self.values.push(value);
+        Ok((id, true))
+    }
+}
+
+/// A worker's private view of the arena during one parallel expansion
+/// epoch: the committed tables are frozen (shared immutably across
+/// workers), and anything fresh this worker interns lands in per-table
+/// overlays under provisional ids, recorded in an ordered intern log.
+/// Committing an epoch replays the logs serially ([`ArenaTables::replay_slice`])
+/// and patches provisional ids to committed ones ([`OverlayLog::patch_row`]),
+/// after which worker scheduling is unobservable in any row.
+#[derive(Debug)]
+pub(crate) struct OverlayTables<'a, P: Process>
+where
+    P: Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    base: &'a ArenaTables<P>,
+    memory: OverlaySlot<P::Value>,
+    procs: OverlaySlot<P>,
+    pending: OverlaySlot<Action<P::Value, P::Output>>,
+    outputs: OverlaySlot<Vec<P::Output>>,
+    kinds: Vec<SlotKind>,
+}
+
+impl<'a, P> OverlayTables<'a, P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    pub(crate) fn new(base: &'a ArenaTables<P>) -> Self {
+        OverlayTables {
+            base,
+            memory: OverlaySlot::new(base.memory.len()),
+            procs: OverlaySlot::new(base.procs.len()),
+            pending: OverlaySlot::new(base.pending.len()),
+            outputs: OverlaySlot::new(base.outputs.len()),
+            kinds: Vec::new(),
+        }
+    }
+
+    /// Intern-log length so far — record boundaries snapshot this.
+    pub(crate) fn log_len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Dismantles the overlay into its replayable log, releasing the borrow
+    /// of the base tables so the commit phase can mutate them.
+    pub(crate) fn into_log(self) -> OverlayLog<P> {
+        OverlayLog {
+            kinds: self.kinds,
+            frozen: [
+                self.memory.frozen_len,
+                self.procs.frozen_len,
+                self.pending.frozen_len,
+                self.outputs.frozen_len,
+            ],
+            memory: self.memory.values,
+            procs: self.procs.values,
+            pending: self.pending.values,
+            outputs: self.outputs.values,
+        }
+    }
+}
+
+impl<P> StepTables<P> for OverlayTables<'_, P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    fn dims(&self) -> (usize, usize) {
+        (self.base.m, self.base.n)
+    }
+
+    fn memory_value(&self, id: u32) -> &Arc<P::Value> {
+        self.memory.get(&self.base.memory, id)
+    }
+
+    fn proc_value(&self, id: u32) -> &Arc<P> {
+        self.procs.get(&self.base.procs, id)
+    }
+
+    fn pending_value(&self, id: u32) -> &Arc<Action<P::Value, P::Output>> {
+        self.pending.get(&self.base.pending, id)
+    }
+
+    fn outputs_value(&self, id: u32) -> &Arc<Vec<P::Output>> {
+        self.outputs.get(&self.base.outputs, id)
+    }
+
+    fn intern_memory(&mut self, value: P::Value) -> Result<u32, IdSpaceExhausted> {
+        let (id, fresh) = self.memory.intern(&self.base.memory, value)?;
+        if fresh {
+            self.kinds.push(SlotKind::Memory);
+        }
+        Ok(id)
+    }
+
+    fn intern_proc(&mut self, value: P) -> Result<u32, IdSpaceExhausted> {
+        let (id, fresh) = self.procs.intern(&self.base.procs, value)?;
+        if fresh {
+            self.kinds.push(SlotKind::Procs);
+        }
+        Ok(id)
+    }
+
+    fn intern_pending(
+        &mut self,
+        value: Action<P::Value, P::Output>,
+    ) -> Result<u32, IdSpaceExhausted> {
+        let (id, fresh) = self.pending.intern(&self.base.pending, value)?;
+        if fresh {
+            self.kinds.push(SlotKind::Pending);
+        }
+        Ok(id)
+    }
+
+    fn intern_outputs(&mut self, value: Vec<P::Output>) -> Result<u32, IdSpaceExhausted> {
+        let (id, fresh) = self.outputs.intern(&self.base.outputs, value)?;
+        if fresh {
+            self.kinds.push(SlotKind::Outputs);
+        }
+        Ok(id)
+    }
+}
+
+/// The replayable remains of one worker's [`OverlayTables`]: the ordered
+/// intern log (`kinds` interleaves the four per-table value queues) plus the
+/// frozen epoch lengths that tell provisional ids apart from committed ones.
+#[derive(Debug)]
+pub(crate) struct OverlayLog<P: Process>
+where
+    P: Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    pub(crate) kinds: Vec<SlotKind>,
+    frozen: [u32; 4],
+    memory: Vec<Arc<P::Value>>,
+    procs: Vec<Arc<P>>,
+    pending: Vec<Arc<Action<P::Value, P::Output>>>,
+    outputs: Vec<Arc<Vec<P::Output>>>,
+}
+
+impl<P> OverlayLog<P>
+where
+    P: Process + Clone + Eq + Hash + std::fmt::Debug,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+{
+    /// Rewrites every provisional id in `row` to its committed id using the
+    /// replay `maps` built by [`ArenaTables::replay_slice`]. After this the
+    /// row is exactly the row a serial exploration would have produced.
+    pub(crate) fn patch_row(&self, m: usize, n: usize, maps: &[Vec<u32>; 4], row: &mut [u32]) {
+        for (col, id) in row.iter_mut().enumerate() {
+            let table = if col < m {
+                0
+            } else if col < m + n {
+                1
+            } else if col < m + 2 * n {
+                2
+            } else {
+                3
+            };
+            if table == 2 && *id == HALTED {
+                continue;
+            }
+            if *id >= self.frozen[table] {
+                *id = maps[table][(*id - self.frozen[table]) as usize];
+            }
+        }
     }
 }
 
@@ -543,6 +949,112 @@ mod tests {
         let err = tables.step_row(&mut row, ProcId(0), &wirings).unwrap_err();
         assert_eq!(err, IdSpaceExhausted { table: "pending" });
         assert!(err.to_string().contains("pending"));
+    }
+
+    /// Drives the overlay path the way the parallel explorer does — expand
+    /// against frozen tables, replay the log, patch rows — and checks the
+    /// result is bit-identical to serial stepping: same rows, same ids, same
+    /// table contents.
+    #[test]
+    fn arena_overlay_replay_matches_serial_ids_and_rows() {
+        let (initial, wirings) = two_writers();
+
+        // Serial reference: step each process once from the root.
+        let mut serial = ArenaTables::<OneWrite>::new(1, 2, HALTED);
+        let root_s = serial.encode(&initial).unwrap();
+        let mut serial_rows = Vec::new();
+        for p in 0..2 {
+            let mut row = root_s.clone();
+            serial.step_row(&mut row, ProcId(p), &wirings).unwrap();
+            serial_rows.push(row);
+        }
+
+        // Overlay path over the same frozen epoch.
+        let mut committed = ArenaTables::<OneWrite>::new(1, 2, HALTED);
+        let root = committed.encode(&initial).unwrap();
+        let mut rows = Vec::new();
+        let mut ranges = Vec::new();
+        let log = {
+            let mut overlay = OverlayTables::new(&committed);
+            for p in 0..2 {
+                let start = overlay.log_len();
+                let mut row = root.clone();
+                step_row_in(&mut overlay, &mut row, ProcId(p), &wirings).unwrap();
+                ranges.push(start..overlay.log_len());
+                rows.push(row);
+            }
+            overlay.into_log()
+        };
+
+        let mut cursors = [0usize; 4];
+        let mut maps: [Vec<u32>; 4] = Default::default();
+        for (row, range) in rows.iter_mut().zip(ranges) {
+            committed
+                .replay_slice(&log, range, &mut cursors, &mut maps)
+                .unwrap();
+            log.patch_row(1, 2, &maps, row);
+        }
+
+        assert_eq!(rows, serial_rows);
+        assert_eq!(committed.len_total(), serial.len_total());
+        for (row, srow) in rows.iter().zip(&serial_rows) {
+            assert_eq!(committed.decode(row), serial.decode(srow));
+        }
+    }
+
+    /// A value two records both produce is logged once per worker and
+    /// interned once at replay; values already committed are never logged.
+    #[test]
+    fn arena_overlay_dedups_against_frozen_and_itself() {
+        let (initial, wirings) = two_writers();
+        let mut committed = ArenaTables::<OneWrite>::new(1, 2, HALTED);
+        let root = committed.encode(&initial).unwrap();
+        let before = committed.len_total();
+
+        let mut overlay = OverlayTables::new(&committed);
+        // Stepping the same process twice from the same parent row produces
+        // identical fresh values; the second step logs nothing new.
+        let mut row_a = root.clone();
+        step_row_in(&mut overlay, &mut row_a, ProcId(0), &wirings).unwrap();
+        let after_first = overlay.log_len();
+        let mut row_b = root.clone();
+        step_row_in(&mut overlay, &mut row_b, ProcId(0), &wirings).unwrap();
+        assert_eq!(row_a, row_b);
+        assert_eq!(
+            overlay.log_len(),
+            after_first,
+            "duplicate step logs nothing"
+        );
+        // The frozen tables were never touched.
+        assert_eq!(committed.len_total(), before);
+    }
+
+    /// The overlay itself never enforces the configured cap — exhaustion is
+    /// detected at replay, where the serial abort point is known.
+    #[test]
+    fn arena_overlay_replay_enforces_the_committed_cap() {
+        let (initial, wirings) = two_writers();
+        let mut committed = ArenaTables::<OneWrite>::new(1, 2, 2);
+        let root = committed.encode(&initial).unwrap();
+
+        let mut row = root.clone();
+        let range = {
+            let mut overlay = OverlayTables::new(&committed);
+            step_row_in(&mut overlay, &mut row, ProcId(0), &wirings).unwrap();
+            0..overlay.log_len()
+        };
+        let log = {
+            let mut overlay = OverlayTables::new(&committed);
+            let mut row = root.clone();
+            step_row_in(&mut overlay, &mut row, ProcId(0), &wirings).unwrap();
+            overlay.into_log()
+        };
+        let mut cursors = [0usize; 4];
+        let mut maps: [Vec<u32>; 4] = Default::default();
+        let err = committed
+            .replay_slice(&log, range, &mut cursors, &mut maps)
+            .unwrap_err();
+        assert_eq!(err.table, "pending");
     }
 
     #[test]

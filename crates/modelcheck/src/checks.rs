@@ -287,9 +287,9 @@ fn run_sweep<P, MkE, F>(
     violation_prefix: &str,
 ) -> Result<CheckOutcome, String>
 where
-    P: Process + Clone + Eq + Hash + std::fmt::Debug,
-    P::Value: Clone + Eq + Hash + std::fmt::Debug,
-    P::Output: Clone + Eq + Hash + std::fmt::Debug,
+    P: Process + Clone + Eq + Hash + std::fmt::Debug + Send + Sync,
+    P::Value: Clone + Eq + Hash + std::fmt::Debug + Send + Sync,
+    P::Output: Clone + Eq + Hash + std::fmt::Debug + Send + Sync,
     MkE: Fn(Vec<Arc<Wiring>>) -> Explorer<P> + Sync,
     F: Fn(&StateView<'_, P>) -> Result<(), String> + Sync,
 {
@@ -473,13 +473,20 @@ where
         // depend on scheduling, so they must never be journaled as done.
         let stopped = AtomicBool::new(false);
         let expand_guard = telemetry.as_ref().map(|t| t.expand.enter());
-        let result = explorer.run_until(&invariant, || {
+        let probe = || {
             let s = stop() || abort.load(Ordering::Relaxed);
             if s {
                 stopped.store(true, Ordering::Relaxed);
             }
             s
-        });
+        };
+        // `--strategy intra` swaps the per-combo BFS for the shared-frontier
+        // parallel one; its report is byte-identical (DESIGN §15), so
+        // everything downstream — journaling included — is oblivious.
+        let result = match config.strategy.intra_workers() {
+            Some(w) => explorer.run_until_intra(&invariant, probe, w),
+            None => explorer.run_until(&invariant, probe),
+        };
         drop(expand_guard);
         if let Some(tel) = &telemetry {
             tel.combos_done.inc();
@@ -1441,6 +1448,81 @@ mod tests {
                 "strategy={strategy:?} jobs={jobs} must reproduce the serial report"
             );
         }
+    }
+
+    #[test]
+    fn intra_strategy_reproduces_the_serial_sweep_report() {
+        use crate::strategy::StrategyKind;
+        // Violating sweep: the intra BFS must select the same lowest
+        // violating combo with the same schedule at every worker count and
+        // jobs split, composed with the quotient and a spill-forcing budget.
+        let reference = write_once_sweep(1);
+        for workers in [1, 2, 4] {
+            for jobs in [1, 4] {
+                let config = CheckConfig::default()
+                    .with_jobs(jobs)
+                    .with_strategy(StrategyKind::IntraCombo { workers });
+                let outcome =
+                    write_once_sweep_with(&config).expect("uncheckpointed sweeps never error");
+                assert_eq!(
+                    outcome.report, reference.report,
+                    "intra workers={workers} jobs={jobs}"
+                );
+                assert_eq!(
+                    outcome.telemetry.per_combo_states,
+                    reference.telemetry.per_combo_states
+                );
+            }
+        }
+
+        let quotiented = CheckConfig::serial()
+            .with_quotient()
+            .with_visited_budget(64);
+        let reference = check_snapshot_task_with(&[1, 2], 500_000, &quotiented).unwrap();
+        for workers in [2, 4] {
+            let config = quotiented
+                .clone()
+                .with_strategy(StrategyKind::IntraCombo { workers });
+            let outcome = check_snapshot_task_with(&[1, 2], 500_000, &config).unwrap();
+            assert_eq!(outcome.report, reference.report, "intra workers={workers}");
+        }
+    }
+
+    #[test]
+    fn intra_checkpoint_journals_at_combo_granularity_only() {
+        use crate::strategy::StrategyKind;
+        // Resume semantics are untouched by the intra strategy: a journal
+        // written under `--strategy intra` holds exactly the combo-level
+        // record stream a serial run writes — same record count, no new
+        // kinds — and resumes byte-identically under either strategy.
+        let baseline = write_once_sweep(1);
+        let dir = scratch_checkpoint_dir("intra");
+        let cp = CheckpointConfig::new(&dir);
+        let registry = Arc::new(MetricRegistry::new());
+        let config = CheckConfig::serial()
+            .with_strategy(StrategyKind::IntraCombo { workers: 2 })
+            .with_checkpoint(cp.clone())
+            .with_telemetry(Arc::clone(&registry));
+        let intra = write_once_sweep_with(&config).expect("checkpointed sweep");
+        assert_eq!(intra.report, baseline.report);
+        // One claim + one done per explored combo (25: stops at the first
+        // violating combo) — identical to the serial journal's stream.
+        let snap = registry.sample(0, None);
+        assert_eq!(snap.counter("ckpt.records"), 50);
+
+        // The journal replays into a *serial* resume verbatim: granularity
+        // is per-combo, so the writing strategy is unobservable.
+        let recovery = crate::inspect_journal(&dir).expect("intact journal");
+        assert_eq!(recovery.completed.len(), 25);
+        let config = CheckConfig::serial().with_checkpoint(cp.with_resume());
+        let resumed = write_once_sweep_with(&config).expect("resumed sweep");
+        assert_eq!(resumed.report, baseline.report);
+        assert_eq!(
+            resumed.telemetry.per_combo_states,
+            baseline.telemetry.per_combo_states
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

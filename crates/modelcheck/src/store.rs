@@ -1,16 +1,21 @@
 //! Visited-set storage for the arena BFS: a [`VisitedStore`] trait with a
 //! hot in-memory table ([`InMemoryVisited`], the exact logic the explorer
-//! used inline before this module existed) and a tiered implementation
+//! used inline before this module existed), a tiered implementation
 //! ([`TieredVisited`]) that spills cold row shards to an append-only
 //! file-backed tier once a configurable memory budget is exceeded
-//! (DESIGN §13).
+//! (DESIGN §13), and a hash-sharded implementation ([`ShardedVisited`])
+//! whose frozen-epoch lookups are readable from many intra-combo workers at
+//! once (DESIGN §15).
 //!
-//! Both stores assign state ids in insertion order (`0, 1, 2, ..`), so the
+//! All stores assign state ids in insertion order (`0, 1, 2, ..`), so the
 //! explorer's BFS numbering — and therefore every report it assembles — is
-//! identical whichever store backs it. The tiered store keeps its hash
-//! index in memory permanently (only row payloads spill) and reads spilled
+//! identical whichever store backs it. The tiered stores keep their hash
+//! index in memory permanently (only row payloads spill) and read spilled
 //! shards back through a single-shard cache; BFS pops are nearly sequential
-//! in id order, so the cache absorbs almost all disk traffic.
+//! in id order, so the cache absorbs almost all disk traffic. Both tiered
+//! stores share one row core ([`TieredRows`]), so spill decisions depend
+//! only on the insertion sequence — never on which index found the rows —
+//! and the reported `spilled_shards` is identical across stores.
 //!
 //! Durability is *not* a goal — the spill file is a temp file deleted on
 //! drop. Integrity is: every spilled shard carries a checksum, and any
@@ -24,7 +29,7 @@ use std::hash::{Hash, Hasher};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Hash of one row, matching the explorer's historical row hashing exactly
 /// (so in-memory runs before and after this module report identically).
@@ -201,28 +206,38 @@ enum Shard {
     Disk { offset: u64 },
 }
 
-/// The tiered store: resident shards up to a byte budget, then the oldest
-/// *full* shards spill — append-only, checksummed — to a temp file. The
-/// tail shard (still filling) and the hash index never spill, so lookups
-/// stay one hash probe plus (rarely) one cached shard read.
+/// The mutable disk half of a row tier: the spill file handle, its length,
+/// and the single-shard read-back cache. Behind a `Mutex` so sealed shards
+/// read back through `&self` — intra-combo workers probe a frozen store
+/// concurrently during speculative expansion, and only this rarely-touched
+/// corner needs synchronization.
+#[derive(Debug, Default)]
+struct DiskTier {
+    file: Option<File>,
+    file_len: u64,
+    /// Single-shard read-back cache: `(shard index, decoded rows)`.
+    cache: Option<(usize, Vec<u32>)>,
+}
+
+/// Index-free tiered row storage — the row arena plus spill tier shared by
+/// [`TieredVisited`] (one flat hash index) and [`ShardedVisited`] (a
+/// hash-sharded index). Spill decisions here depend only on the insertion
+/// sequence, never on the index that found a row, so `spilled_shards` is
+/// identical across every store built on this core.
 #[derive(Debug)]
-pub struct TieredVisited {
+pub(crate) struct TieredRows {
     w: usize,
     /// Rows per shard — fixed at construction so disk offsets are computable.
     shard_rows: usize,
     /// Resident row budget derived from the byte budget.
     budget_rows: usize,
     shards: Vec<Shard>,
-    index: HashMap<u64, Vec<usize>>,
     len: usize,
-    file: Option<File>,
+    disk: Mutex<DiskTier>,
     path: Option<PathBuf>,
-    file_len: u64,
     /// Lowest shard index still resident — shards spill strictly in order.
     next_to_spill: usize,
     spilled: usize,
-    /// Single-shard read-back cache: `(shard index, decoded rows)`.
-    cache: Option<(usize, Vec<u32>)>,
     /// Test hook: corrupt the next spilled shard's payload on disk.
     corrupt_next_spill: bool,
     /// Spill into this directory (checkpointed sweeps) instead of the
@@ -234,75 +249,43 @@ pub struct TieredVisited {
     pressure: Option<Arc<AtomicBool>>,
 }
 
-impl TieredVisited {
-    /// Creates a store for rows of `row_words` words that keeps at most
+impl TieredRows {
+    /// Creates row storage for rows of `row_words` words that keeps at most
     /// roughly `budget_bytes` of row payload resident. Tiny budgets are
     /// honored by spilling every shard as soon as it fills.
-    #[must_use]
-    pub fn new(row_words: usize, budget_bytes: usize) -> Self {
+    fn new(row_words: usize, budget_bytes: usize) -> Self {
         let w = row_words.max(1);
         let row_bytes = w * 4;
         // Aim for at least a handful of shards within budget, bounded so
         // spill granularity stays sane for both tiny and huge budgets.
         let shard_rows = (budget_bytes / row_bytes / 4).clamp(16, 4096);
         let budget_rows = (budget_bytes / row_bytes).max(shard_rows);
-        TieredVisited {
+        TieredRows {
             w: row_words,
             shard_rows,
             budget_rows,
             shards: Vec::new(),
-            index: HashMap::new(),
             len: 0,
-            file: None,
+            disk: Mutex::new(DiskTier::default()),
             path: None,
-            file_len: 0,
             next_to_spill: 0,
             spilled: 0,
-            cache: None,
             corrupt_next_spill: false,
             spill_dir: None,
             pressure: None,
         }
     }
 
-    /// Routes spill shards into `dir` (a checkpoint directory) instead of
-    /// the system temp dir, and makes the spill tier durable: every sealed
-    /// shard is fsync'd, and a vanished directory surfaces as a loud
-    /// [`StoreError`] instead of silent dedup loss.
-    #[must_use]
-    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
-        self.spill_dir = Some(dir);
-        self
-    }
-
-    /// Attaches a memory-pressure flag (from the watchdog): while raised,
-    /// every sealed shard spills immediately regardless of budget.
-    pub fn set_pressure(&mut self, flag: Arc<AtomicBool>) {
-        self.pressure = Some(flag);
-    }
-
-    /// Path of the spill file, once anything has spilled.
-    #[must_use]
-    pub fn spill_path(&self) -> Option<&Path> {
-        self.path.as_deref()
-    }
-
-    /// Rows per spill shard (fixed at construction).
-    #[must_use]
-    pub fn shard_rows(&self) -> usize {
-        self.shard_rows
-    }
-
-    /// Test hook: flips one payload byte of the next shard written to disk,
-    /// so read-back must fail the checksum. Hidden — only the corruption
-    /// tests use it.
-    #[doc(hidden)]
-    pub fn corrupt_next_spill_for_tests(&mut self) {
-        self.corrupt_next_spill = true;
+    fn len(&self) -> usize {
+        self.len
     }
 
     fn resident_rows(&self) -> usize {
         self.len - self.spilled * self.shard_rows
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.resident_rows() * self.w * 4 + self.len * STATE_OVERHEAD_BYTES
     }
 
     /// In durable mode, errors loudly when the configured spill directory
@@ -320,7 +303,7 @@ impl TieredVisited {
     }
 
     fn ensure_file(&mut self) -> Result<(), StoreError> {
-        if self.file.is_some() {
+        if self.disk.get_mut().expect("disk tier lock").file.is_some() {
             return Ok(());
         }
         self.check_spill_dir()?;
@@ -335,7 +318,7 @@ impl TieredVisited {
             .write(true)
             .create_new(true)
             .open(&path)?;
-        self.file = Some(file);
+        self.disk.get_mut().expect("disk tier lock").file = Some(file);
         self.path = Some(path);
         Ok(())
     }
@@ -362,17 +345,22 @@ impl TieredVisited {
             self.corrupt_next_spill = false;
             payload[0] ^= 0xFF;
         }
-        let offset = self.file_len;
-        let file = self.file.as_mut().expect("ensure_file ran");
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(&checksum.to_le_bytes())?;
-        file.write_all(&payload)?;
-        if self.spill_dir.is_some() {
-            // Durable mode: the shard is sealed — make it survive a crash
-            // before anything depends on it being on disk.
-            file.sync_data()?;
-        }
-        self.file_len = offset + 8 + payload.len() as u64;
+        let durable = self.spill_dir.is_some();
+        let offset = {
+            let tier = self.disk.get_mut().expect("disk tier lock");
+            let offset = tier.file_len;
+            let file = tier.file.as_mut().expect("ensure_file ran");
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(&checksum.to_le_bytes())?;
+            file.write_all(&payload)?;
+            if durable {
+                // Durable mode: the shard is sealed — make it survive a
+                // crash before anything depends on it being on disk.
+                file.sync_data()?;
+            }
+            tier.file_len = offset + 8 + payload.len() as u64;
+            offset
+        };
         self.shards[s] = Shard::Disk { offset };
         self.next_to_spill += 1;
         self.spilled += 1;
@@ -402,13 +390,34 @@ impl TieredVisited {
         Ok(())
     }
 
+    /// Appends `row` (no index bookkeeping) and returns its dense id,
+    /// spilling sealed shards past the budget.
+    fn push_row(&mut self, row: &[u32]) -> Result<usize, StoreError> {
+        let id = self.len;
+        let cap = self.shard_rows * self.w;
+        let needs_new_tail = match self.shards.last() {
+            None | Some(Shard::Disk { .. }) => true,
+            Some(Shard::Ram(rows)) => rows.len() >= cap,
+        };
+        if needs_new_tail {
+            self.shards.push(Shard::Ram(Vec::with_capacity(cap)));
+        }
+        let Some(Shard::Ram(tail)) = self.shards.last_mut() else {
+            unreachable!("a resident tail shard was just ensured");
+        };
+        tail.extend_from_slice(row);
+        self.len += 1;
+        self.maybe_spill()?;
+        Ok(id)
+    }
+
     /// Loads shard `s` (on disk at `offset`) into the read cache, verifying
     /// its checksum.
-    fn load_shard(&mut self, s: usize, offset: u64) -> Result<(), StoreError> {
-        if self.cache.as_ref().is_some_and(|(c, _)| *c == s) {
+    fn load_shard(&self, tier: &mut DiskTier, s: usize, offset: u64) -> Result<(), StoreError> {
+        if tier.cache.as_ref().is_some_and(|(c, _)| *c == s) {
             return Ok(());
         }
-        let file = self.file.as_mut().ok_or_else(|| {
+        let file = tier.file.as_mut().ok_or_else(|| {
             StoreError::Corrupt(format!("shard {s} marked spilled but no spill file exists"))
         })?;
         let payload_bytes = self.shard_rows * self.w * 4;
@@ -428,72 +437,13 @@ impl TieredVisited {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        self.cache = Some((s, rows));
+        tier.cache = Some((s, rows));
         Ok(())
     }
 
-    /// Whether stored row `id` equals `row`, reading through the disk tier
-    /// if needed.
-    fn row_equals(&mut self, id: usize, row: &[u32]) -> Result<bool, StoreError> {
-        let s = id / self.shard_rows;
-        let r = id % self.shard_rows;
-        match &self.shards[s] {
-            Shard::Ram(rows) => Ok(rows[r * self.w..(r + 1) * self.w] == *row),
-            Shard::Disk { offset } => {
-                let offset = *offset;
-                self.load_shard(s, offset)?;
-                let (_, rows) = self.cache.as_ref().expect("load_shard filled the cache");
-                Ok(rows[r * self.w..(r + 1) * self.w] == *row)
-            }
-        }
-    }
-}
-
-impl VisitedStore for TieredVisited {
-    fn row_words(&self) -> usize {
-        self.w
-    }
-
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    fn lookup(&mut self, row: &[u32]) -> Result<Option<usize>, StoreError> {
-        let Some(ids) = self.index.get(&hash_row(row)) else {
-            return Ok(None);
-        };
-        // Candidate lists are almost always length 1; clone to end the
-        // index borrow before reading through the disk tier.
-        let candidates: Vec<usize> = ids.clone();
-        for id in candidates {
-            if self.row_equals(id, row)? {
-                return Ok(Some(id));
-            }
-        }
-        Ok(None)
-    }
-
-    fn insert(&mut self, row: &[u32]) -> Result<usize, StoreError> {
-        let id = self.len;
-        let cap = self.shard_rows * self.w;
-        let needs_new_tail = match self.shards.last() {
-            None | Some(Shard::Disk { .. }) => true,
-            Some(Shard::Ram(rows)) => rows.len() >= cap,
-        };
-        if needs_new_tail {
-            self.shards.push(Shard::Ram(Vec::with_capacity(cap)));
-        }
-        let Some(Shard::Ram(tail)) = self.shards.last_mut() else {
-            unreachable!("a resident tail shard was just ensured");
-        };
-        tail.extend_from_slice(row);
-        self.index.entry(hash_row(row)).or_default().push(id);
-        self.len += 1;
-        self.maybe_spill()?;
-        Ok(id)
-    }
-
-    fn read_row(&mut self, id: usize, out: &mut [u32]) -> Result<(), StoreError> {
+    /// Copies row `id` into `out`, reading through the disk tier if needed.
+    /// `&self`: safe to call from many workers against a frozen epoch.
+    fn read_row_into(&self, id: usize, out: &mut [u32]) -> Result<(), StoreError> {
         let s = id / self.shard_rows;
         let r = id % self.shard_rows;
         match &self.shards[s] {
@@ -502,30 +452,258 @@ impl VisitedStore for TieredVisited {
                 Ok(())
             }
             Shard::Disk { offset } => {
-                let offset = *offset;
-                self.load_shard(s, offset)?;
-                let (_, rows) = self.cache.as_ref().expect("load_shard filled the cache");
+                let mut tier = self.disk.lock().expect("disk tier lock");
+                self.load_shard(&mut tier, s, *offset)?;
+                let (_, rows) = tier.cache.as_ref().expect("load_shard filled the cache");
                 out.copy_from_slice(&rows[r * self.w..(r + 1) * self.w]);
                 Ok(())
             }
         }
     }
 
-    fn spilled_shards(&self) -> usize {
-        self.spilled
-    }
-
-    fn approx_bytes(&self) -> usize {
-        self.resident_rows() * self.w * 4 + self.len * STATE_OVERHEAD_BYTES
+    /// Whether stored row `id` equals `row`, reading through the disk tier
+    /// if needed. `&self`: safe from many workers against a frozen epoch.
+    fn row_equals(&self, id: usize, row: &[u32]) -> Result<bool, StoreError> {
+        let s = id / self.shard_rows;
+        let r = id % self.shard_rows;
+        match &self.shards[s] {
+            Shard::Ram(rows) => Ok(rows[r * self.w..(r + 1) * self.w] == *row),
+            Shard::Disk { offset } => {
+                let mut tier = self.disk.lock().expect("disk tier lock");
+                self.load_shard(&mut tier, s, *offset)?;
+                let (_, rows) = tier.cache.as_ref().expect("load_shard filled the cache");
+                Ok(rows[r * self.w..(r + 1) * self.w] == *row)
+            }
+        }
     }
 }
 
-impl Drop for TieredVisited {
+impl Drop for TieredRows {
     fn drop(&mut self) {
-        self.file = None;
+        if let Ok(tier) = self.disk.get_mut() {
+            tier.file = None;
+        }
         if let Some(path) = &self.path {
             let _ = std::fs::remove_file(path);
         }
+    }
+}
+
+/// The tiered store: resident shards up to a byte budget, then the oldest
+/// *full* shards spill — append-only, checksummed — to a temp file. The
+/// tail shard (still filling) and the hash index never spill, so lookups
+/// stay one hash probe plus (rarely) one cached shard read.
+#[derive(Debug)]
+pub struct TieredVisited {
+    index: HashMap<u64, Vec<usize>>,
+    core: TieredRows,
+}
+
+impl TieredVisited {
+    /// Creates a store for rows of `row_words` words that keeps at most
+    /// roughly `budget_bytes` of row payload resident. Tiny budgets are
+    /// honored by spilling every shard as soon as it fills.
+    #[must_use]
+    pub fn new(row_words: usize, budget_bytes: usize) -> Self {
+        TieredVisited {
+            index: HashMap::new(),
+            core: TieredRows::new(row_words, budget_bytes),
+        }
+    }
+
+    /// Routes spill shards into `dir` (a checkpoint directory) instead of
+    /// the system temp dir, and makes the spill tier durable: every sealed
+    /// shard is fsync'd, and a vanished directory surfaces as a loud
+    /// [`StoreError`] instead of silent dedup loss.
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.core.spill_dir = Some(dir);
+        self
+    }
+
+    /// Attaches a memory-pressure flag (from the watchdog): while raised,
+    /// every sealed shard spills immediately regardless of budget.
+    pub fn set_pressure(&mut self, flag: Arc<AtomicBool>) {
+        self.core.pressure = Some(flag);
+    }
+
+    /// Path of the spill file, once anything has spilled.
+    #[must_use]
+    pub fn spill_path(&self) -> Option<&Path> {
+        self.core.path.as_deref()
+    }
+
+    /// Rows per spill shard (fixed at construction).
+    #[must_use]
+    pub fn shard_rows(&self) -> usize {
+        self.core.shard_rows
+    }
+
+    /// Test hook: flips one payload byte of the next shard written to disk,
+    /// so read-back must fail the checksum. Hidden — only the corruption
+    /// tests use it.
+    #[doc(hidden)]
+    pub fn corrupt_next_spill_for_tests(&mut self) {
+        self.core.corrupt_next_spill = true;
+    }
+}
+
+impl VisitedStore for TieredVisited {
+    fn row_words(&self) -> usize {
+        self.core.w
+    }
+
+    fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    fn lookup(&mut self, row: &[u32]) -> Result<Option<usize>, StoreError> {
+        let Some(ids) = self.index.get(&hash_row(row)) else {
+            return Ok(None);
+        };
+        for &id in ids {
+            if self.core.row_equals(id, row)? {
+                return Ok(Some(id));
+            }
+        }
+        Ok(None)
+    }
+
+    fn insert(&mut self, row: &[u32]) -> Result<usize, StoreError> {
+        let id = self.core.len();
+        self.index.entry(hash_row(row)).or_default().push(id);
+        self.core.push_row(row)?;
+        Ok(id)
+    }
+
+    fn read_row(&mut self, id: usize, out: &mut [u32]) -> Result<(), StoreError> {
+        self.core.read_row_into(id, out)
+    }
+
+    fn spilled_shards(&self) -> usize {
+        self.core.spilled
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.core.approx_bytes()
+    }
+}
+
+/// Index shards of a [`ShardedVisited`] — fixed so shard selection is a
+/// pure function of the row hash.
+const INDEX_SHARDS: usize = 16;
+
+/// The hash-sharded store behind intra-combo parallel exploration
+/// (`--strategy intra`, DESIGN §15): [`INDEX_SHARDS`] index shards keyed by
+/// the high bits of the row hash over one shared [`TieredRows`] row tier.
+/// Frozen-epoch probes ([`ShardedVisited::lookup_shared`]) take `&self`, so
+/// every expansion worker can deduplicate speculatively against the
+/// committed prefix at once; inserts stay `&mut self` and happen only in
+/// the serial commit phase, in exactly the order a serial BFS would have
+/// performed them. Because the row tier is shared — not per index shard —
+/// spill decisions compose with `--visited-budget` identically to
+/// [`TieredVisited`], keeping `spilled_shards` byte-identical in reports.
+#[derive(Debug)]
+pub struct ShardedVisited {
+    index: Box<[HashMap<u64, Vec<usize>>]>,
+    core: TieredRows,
+}
+
+impl ShardedVisited {
+    /// Creates a store for rows of `row_words` words. With `budget_bytes`
+    /// set, cold sealed shards spill past the budget exactly like
+    /// [`TieredVisited`]; without, nothing ever spills.
+    #[must_use]
+    pub fn new(row_words: usize, budget_bytes: Option<usize>) -> Self {
+        ShardedVisited {
+            index: (0..INDEX_SHARDS).map(|_| HashMap::new()).collect(),
+            core: TieredRows::new(row_words, budget_bytes.unwrap_or(usize::MAX)),
+        }
+    }
+
+    /// See [`TieredVisited::with_spill_dir`].
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.core.spill_dir = Some(dir);
+        self
+    }
+
+    /// See [`TieredVisited::set_pressure`].
+    pub fn set_pressure(&mut self, flag: Arc<AtomicBool>) {
+        self.core.pressure = Some(flag);
+    }
+
+    /// See [`TieredVisited::corrupt_next_spill_for_tests`].
+    #[doc(hidden)]
+    pub fn corrupt_next_spill_for_tests(&mut self) {
+        self.core.corrupt_next_spill = true;
+    }
+
+    /// Which index shard a row hash lands in: the high bits, which the
+    /// low-bit-consuming hash maps leave unused.
+    fn shard_of(hash: u64) -> usize {
+        (hash >> 60) as usize % INDEX_SHARDS
+    }
+
+    /// Id of an already-stored row equal to `row` (whose hash is `hash`),
+    /// through `&self`: the concurrent frozen-epoch probe. Callers must not
+    /// race this with inserts — the explorer's level commit is the only
+    /// inserter and runs with exclusive access.
+    pub(crate) fn lookup_shared(
+        &self,
+        row: &[u32],
+        hash: u64,
+    ) -> Result<Option<usize>, StoreError> {
+        let Some(ids) = self.index[Self::shard_of(hash)].get(&hash) else {
+            return Ok(None);
+        };
+        for &id in ids {
+            if self.core.row_equals(id, row)? {
+                return Ok(Some(id));
+            }
+        }
+        Ok(None)
+    }
+
+    /// [`VisitedStore::insert`] with the row hash already computed.
+    pub(crate) fn insert_hashed(&mut self, row: &[u32], hash: u64) -> Result<usize, StoreError> {
+        let id = self.core.len();
+        self.index[Self::shard_of(hash)]
+            .entry(hash)
+            .or_default()
+            .push(id);
+        self.core.push_row(row)?;
+        Ok(id)
+    }
+}
+
+impl VisitedStore for ShardedVisited {
+    fn row_words(&self) -> usize {
+        self.core.w
+    }
+
+    fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    fn lookup(&mut self, row: &[u32]) -> Result<Option<usize>, StoreError> {
+        self.lookup_shared(row, hash_row(row))
+    }
+
+    fn insert(&mut self, row: &[u32]) -> Result<usize, StoreError> {
+        self.insert_hashed(row, hash_row(row))
+    }
+
+    fn read_row(&mut self, id: usize, out: &mut [u32]) -> Result<(), StoreError> {
+        self.core.read_row_into(id, out)
+    }
+
+    fn spilled_shards(&self) -> usize {
+        self.core.spilled
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.core.approx_bytes()
     }
 }
 
@@ -740,5 +918,103 @@ mod tests {
         let mut out = vec![0u32; w];
         t.read_row(0, &mut out).unwrap();
         assert_eq!(out, row(0, w));
+    }
+
+    /// A deterministic pseudo-random op stream (the no-new-deps stand-in
+    /// for a proptest): under any interleaving of inserts and lookups of
+    /// colliding candidates, [`ShardedVisited`] accepts and rejects exactly
+    /// the set [`InMemoryVisited`] does, with identical ids.
+    #[test]
+    fn sharded_matches_inmemory_under_random_interleavings() {
+        for (seed, w) in [(1u64, 3usize), (7, 5), (42, 8)] {
+            let mut rng = seed;
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            let mut sharded = ShardedVisited::new(w, None);
+            let mut reference = InMemoryVisited::new(w);
+            let mut out_a = vec![0u32; w];
+            let mut out_b = vec![0u32; w];
+            for _ in 0..600 {
+                // Small candidate pool so lookups hit both present and
+                // absent rows, and inserts see plenty of duplicates.
+                let candidate = row((next() % 97) as u32, w);
+                match next() % 3 {
+                    0 => {
+                        let a = sharded.lookup(&candidate).unwrap();
+                        let b = reference.lookup(&candidate).unwrap();
+                        assert_eq!(a, b, "seed {seed} w {w}");
+                    }
+                    1 => {
+                        // Insert only if absent, mirroring the explorer's
+                        // lookup-then-insert discipline.
+                        if reference.lookup(&candidate).unwrap().is_none() {
+                            assert_eq!(sharded.lookup(&candidate).unwrap(), None);
+                            let a = sharded.insert(&candidate).unwrap();
+                            let b = reference.insert(&candidate).unwrap();
+                            assert_eq!(a, b, "seed {seed} w {w}");
+                        }
+                    }
+                    _ => {
+                        if !reference.is_empty() {
+                            let id = (next() % reference.len() as u64) as usize;
+                            sharded.read_row(id, &mut out_a).unwrap();
+                            reference.read_row(id, &mut out_b).unwrap();
+                            assert_eq!(out_a, out_b, "seed {seed} w {w}");
+                        }
+                    }
+                }
+            }
+            assert_eq!(sharded.len(), reference.len());
+            assert_eq!(sharded.spilled_shards(), 0, "no budget, no spills");
+        }
+    }
+
+    /// The concurrent frozen-epoch probe agrees with the `&mut` trait
+    /// lookup for both present and absent rows.
+    #[test]
+    fn sharded_shared_lookup_agrees_with_mut_lookup() {
+        let w = 6;
+        let mut s = ShardedVisited::new(w, None);
+        for i in 0..200u32 {
+            s.insert(&row(i, w)).unwrap();
+        }
+        for i in 0..260u32 {
+            let r = row(i, w);
+            let hash = hash_row(&r);
+            assert_eq!(s.lookup_shared(&r, hash).unwrap(), s.lookup(&r).unwrap());
+        }
+    }
+
+    /// With a budget, the sharded store makes the same spill decisions as
+    /// the tiered store for the same insertion sequence — the property that
+    /// keeps `spilled_shards` byte-identical in intra-vs-serial reports.
+    #[test]
+    #[cfg_attr(miri, ignore)] // exercises the real filesystem spill tier
+    fn sharded_budget_spill_accounting_matches_tiered() {
+        let w = 4;
+        let mut sharded = ShardedVisited::new(w, Some(0));
+        let mut tiered = TieredVisited::new(w, 0);
+        let total = 5 * tiered.shard_rows() + 7;
+        for i in 0..total {
+            let r = row(i as u32, w);
+            assert_eq!(sharded.insert(&r).unwrap(), tiered.insert(&r).unwrap());
+            assert_eq!(sharded.spilled_shards(), tiered.spilled_shards());
+        }
+        assert_eq!(sharded.spilled_shards(), 5);
+        // Spilled rows look up and read back identically through both.
+        let mut a = vec![0u32; w];
+        let mut b = vec![0u32; w];
+        for i in 0..total {
+            let r = row(i as u32, w);
+            assert_eq!(sharded.lookup(&r).unwrap(), Some(i));
+            assert_eq!(tiered.lookup(&r).unwrap(), Some(i));
+            sharded.read_row(i, &mut a).unwrap();
+            tiered.read_row(i, &mut b).unwrap();
+            assert_eq!(a, b);
+        }
     }
 }
